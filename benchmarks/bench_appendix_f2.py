@@ -1,0 +1,69 @@
+"""Figures 10-16 (Appendix F.2): every tagging-scheme × resource-model combo.
+
+The paper repeats the Figure-7 sweep for all four criticality tagging
+schemes (Service-Level / Frequency-Based at P50 / P90) under both resource
+models (CPM and long-tailed) and reports that Phoenix dominates the
+baselines in every configuration.  This bench runs the same grid at reduced
+scale and checks the dominance relation per configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptlab import ResourceModel, TaggingScheme, build_environment, run_failure_sweep
+
+FAILURE_LEVELS = (0.3, 0.6, 0.9)
+
+CONFIGURATIONS = [
+    (tagging, resources)
+    for resources in (ResourceModel.CPM, ResourceModel.LONG_TAILED)
+    for tagging in (
+        TaggingScheme.SERVICE_P50,
+        TaggingScheme.SERVICE_P90,
+        TaggingScheme.FREQUENCY_P50,
+        TaggingScheme.FREQUENCY_P90,
+    )
+]
+
+
+def run_configuration(alibaba_apps, nodes, tagging, resources, trials=1):
+    env = build_environment(
+        node_count=nodes,
+        applications=alibaba_apps,
+        tagging_scheme=tagging,
+        resource_model=resources,
+        target_utilization=0.7,
+        seed=2025,
+    )
+    return run_failure_sweep(env, failure_levels=FAILURE_LEVELS, trials=trials)
+
+
+@pytest.mark.benchmark(group="appendix-f2")
+@pytest.mark.parametrize("tagging,resources", CONFIGURATIONS, ids=lambda v: str(getattr(v, "value", v)))
+def test_appendix_f2_configuration(benchmark, alibaba_apps, bench_scale, tagging, resources):
+    # A smaller cluster per configuration keeps the 8-way grid tractable.
+    nodes = max(100, bench_scale.adaptlab_nodes // 4)
+    result = benchmark.pedantic(
+        run_configuration,
+        args=(alibaba_apps, nodes, tagging, resources),
+        kwargs={"trials": bench_scale.trials},
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n=== {tagging.value} + {resources.value} ===")
+    print(f"{'failed':<8}{'scheme':<16}{'avail':<8}{'revenue':<10}{'fair-dev':<10}")
+    for point in sorted(result.points, key=lambda p: (p.failure_level, p.scheme)):
+        print(
+            f"{point.failure_level:<8.1f}{point.scheme:<16}{point.availability:<8.2f}"
+            f"{point.revenue:<10.2f}{point.fairness_total:<10.3f}"
+        )
+    for level in FAILURE_LEVELS:
+        phoenix_best = max(
+            result.point("phoenix-cost", level).availability,
+            result.point("phoenix-fair", level).availability,
+        )
+        for baseline in ("priority", "fair", "default"):
+            assert phoenix_best >= result.point(baseline, level).availability - 1e-9
+        revenues = {s: result.point(s, level).revenue for s in result.schemes()}
+        assert revenues["phoenix-cost"] >= max(revenues.values()) - 0.02

@@ -1,0 +1,75 @@
+"""Figure 17 (Appendix G): analysis of the Alibaba-like workload.
+
+(a) dependency-graph size vs. user requests served, (b) call-graph size CDF
+for the top applications, (c) fraction of requests servable as a function of
+the fraction of microservices activated (the LP/greedy coverage analysis),
+plus the single-upstream statistic quoted in §3.2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptlab import (
+    application_summaries,
+    call_graph_size_cdf,
+    generate_alibaba_applications,
+    requests_vs_microservice_fraction,
+    single_upstream_fraction,
+)
+
+
+def run_analysis(n_apps=18, seed=2025):
+    apps = generate_alibaba_applications(n_apps=n_apps, seed=seed)
+    top4 = sorted(apps, key=lambda a: a.total_requests, reverse=True)[:4]
+    return {
+        "summaries": application_summaries(apps),
+        "cdfs": {app.name: call_graph_size_cdf(app, max_size=20) for app in top4},
+        "coverage": {
+            app.name: requests_vs_microservice_fraction(app, fractions=(0.01, 0.03, 0.05, 0.1))
+            for app in top4
+        },
+        "single_upstream_all": single_upstream_fraction(apps),
+        "single_upstream_top4": single_upstream_fraction(apps, top_k=4),
+        "apps": apps,
+    }
+
+
+@pytest.mark.benchmark(group="fig17")
+def test_fig17_alibaba_analysis(benchmark):
+    result = benchmark.pedantic(run_analysis, rounds=1, iterations=1)
+
+    print("\n=== Figure 17(a): application size vs requests served ===")
+    print(f"{'app':<8}{'microservices':<16}{'requests/day':<16}{'single-upstream':<16}")
+    for summary in result["summaries"]:
+        print(
+            f"{summary.name:<8}{summary.microservices:<16}{summary.requests:<16.0f}"
+            f"{summary.single_upstream_fraction:<16.2f}"
+        )
+
+    print("\n=== Figure 17(b): call-graph size CDF (top-4 apps, size <= 10) ===")
+    for name, cdf in result["cdfs"].items():
+        at_10 = dict(cdf)[10]
+        print(f"  {name}: {at_10:.0%} of requests touch <= 10 microservices")
+
+    print("\n=== Figure 17(c): requests served vs fraction of microservices ===")
+    for name, points in result["coverage"].items():
+        formatted = ", ".join(f"{frac:.0%}->{cov:.0%}" for frac, cov in points)
+        print(f"  {name}: {formatted}")
+
+    print(
+        f"\nsingle-upstream microservices: top-4 {result['single_upstream_top4']:.0%}, "
+        f"all 18 apps {result['single_upstream_all']:.0%}"
+    )
+
+    # §3.2: 74 % (top 4) and 82 % (all apps) are single-upstream — we accept a band.
+    assert 0.65 <= result["single_upstream_top4"] <= 0.92
+    assert 0.70 <= result["single_upstream_all"] <= 0.92
+
+    # The biggest application serves >80 % of requests from a few % of its
+    # microservices, and most of its call graphs stay small.
+    biggest = max(result["apps"], key=lambda a: a.size)
+    coverage = dict(result["coverage"][biggest.name])
+    assert coverage[0.03] > 0.5
+    assert coverage[0.1] > 0.8
+    assert dict(result["cdfs"][biggest.name])[10] > 0.6

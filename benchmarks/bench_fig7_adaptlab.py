@@ -1,0 +1,58 @@
+"""Figure 7: AdaptLab failure sweep (Service-Level-P90 tags, CPM resources).
+
+(a) critical service availability, (b) normalized revenue, and (c) deviation
+from fair share across failure levels, for PhoenixCost, PhoenixFair,
+Priority, Fair and Default.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptlab import run_failure_sweep, summarize
+
+from benchmarks.conftest import print_series
+
+FAILURE_LEVELS = (0.0, 0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_failure_sweep(benchmark, adaptlab_env, bench_scale):
+    result = benchmark.pedantic(
+        run_failure_sweep,
+        kwargs={
+            "env": adaptlab_env,
+            "failure_levels": FAILURE_LEVELS,
+            "trials": bench_scale.trials,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    print_series("Figure 7(a): critical service availability", summarize(result, "availability"))
+    print_series("Figure 7(b): normalized revenue", summarize(result, "revenue"))
+    print_series("Figure 7(c): total fair-share deviation", summarize(result, "fairness_total"))
+
+    # Shape checks at the paper's headline failure levels.
+    for level in (0.3, 0.5, 0.7):
+        phoenix_best = max(
+            result.point("phoenix-cost", level).availability,
+            result.point("phoenix-fair", level).availability,
+        )
+        assert phoenix_best >= result.point("priority", level).availability - 1e-9
+        assert phoenix_best >= result.point("fair", level).availability - 1e-9
+        assert phoenix_best >= result.point("default", level).availability - 1e-9
+
+        # PhoenixCost maximizes revenue.
+        revenues = {s: result.point(s, level).revenue for s in result.schemes()}
+        assert revenues["phoenix-cost"] >= max(revenues.values()) - 1e-9
+
+        # PhoenixFair has the least total fairness deviation among tag-aware schemes.
+        assert (
+            result.point("phoenix-fair", level).fairness_total
+            <= result.point("priority", level).fairness_total + 1e-9
+        )
+        assert (
+            result.point("phoenix-fair", level).fairness_total
+            <= result.point("default", level).fairness_total + 1e-9
+        )

@@ -1,0 +1,53 @@
+"""Figure 9 (Appendix F.1): resource breakdown across criticality levels for
+the CloudLab workload, and the breaking-point property.
+
+The paper reports a roughly 60:40 split between the most-critical and the
+remaining resources, with all five instances together using ~70 % of the
+200-CPU cluster, so that a failure down to ~42 % capacity is the deepest the
+cluster can absorb while keeping every C1 microservice alive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import cloudlab_workload, resource_breakdown
+from repro.criticality import CriticalityTag
+
+CLUSTER_CPU = 200.0
+
+
+def measure_breakdown():
+    workload = cloudlab_workload(total_capacity_cpu=CLUSTER_CPU)
+    per_level = resource_breakdown(workload)
+    total = sum(per_level.values())
+    c1 = sum(
+        ms.total_resources.cpu
+        for template in workload.values()
+        for ms in template.application
+        if ms.criticality == CriticalityTag(1)
+    )
+    return {
+        "per_level": per_level,
+        "total_cpu": total,
+        "c1_cpu": c1,
+        "cluster_fraction": total / CLUSTER_CPU,
+        "c1_cluster_fraction": c1 / CLUSTER_CPU,
+    }
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_resource_breakdown(benchmark):
+    result = benchmark.pedantic(measure_breakdown, rounds=1, iterations=1)
+    print("\n=== Figure 9: CPU demand per criticality level (CloudLab workload) ===")
+    for level, cpu in result["per_level"].items():
+        print(f"  {level}: {cpu:.1f} cpu ({cpu / result['total_cpu']:.0%})")
+    print(f"  total: {result['total_cpu']:.1f} cpu = {result['cluster_fraction']:.0%} of the cluster")
+    print(f"  C1 alone: {result['c1_cpu']:.1f} cpu = {result['c1_cluster_fraction']:.0%} of the cluster")
+
+    # The workload fills ~70 % of the cluster and the critical slice fits
+    # within the paper's 42 %-capacity breaking point.
+    assert result["cluster_fraction"] == pytest.approx(0.70, abs=0.03)
+    assert result["c1_cluster_fraction"] < 0.42
+    # C1 is the single largest criticality bucket.
+    assert result["per_level"]["C1"] == max(result["per_level"].values())

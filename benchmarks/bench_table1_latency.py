@@ -1,0 +1,71 @@
+"""Table 1 (Appendix H): P95 latencies before and after diagonal scaling.
+
+Pruned services are reported as "--"; partially pruned services (HR's
+"reserve" losing its optional ``user`` call) fail fast and get slightly
+*faster*, matching the paper's measurement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import LoadGenerator, build_hotel_reservation, build_overleaf
+
+
+def measure_latencies():
+    rows = []
+    overleaf = build_overleaf()
+    hr = build_hotel_reservation()
+
+    overleaf_gen = LoadGenerator(overleaf)
+    hr_gen = LoadGenerator(hr)
+
+    before_overleaf = overleaf_gen.report(set(overleaf.application.microservices))
+    # After diagonal scaling only the edit path survives.
+    after_overleaf = overleaf_gen.report({"web", "real-time", "document-updater", "docstore"})
+
+    before_hr = hr_gen.report(set(hr.application.microservices))
+    # After diagonal scaling: search/reserve paths stay, user/recommendation off.
+    after_hr = hr_gen.report({"frontend", "search", "geo", "rate", "reservation"})
+
+    for app, request, before, after in [
+        ("Overleaf", "document-edits", before_overleaf, after_overleaf),
+        ("Overleaf", "compile", before_overleaf, after_overleaf),
+        ("Overleaf", "spell-check", before_overleaf, after_overleaf),
+        ("HR", "reserve", before_hr, after_hr),
+        ("HR", "recommend", before_hr, after_hr),
+        ("HR", "search", before_hr, after_hr),
+        ("HR", "login", before_hr, after_hr),
+    ]:
+        rows.append(
+            {
+                "app": app,
+                "service": request,
+                "before_ms": before.sample(request).p95_latency_ms,
+                "after_ms": after.sample(request).p95_latency_ms,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_p95_latencies(benchmark):
+    rows = benchmark.pedantic(measure_latencies, rounds=1, iterations=1)
+    print("\n=== Table 1: P95 latencies before/after diagonal scaling ===")
+    print(f"{'app':<10}{'service':<16}{'before':<12}{'after':<12}")
+    for row in rows:
+        after = f"{row['after_ms']:.2f}" if row["after_ms"] is not None else "--"
+        print(f"{row['app']:<10}{row['service']:<16}{row['before_ms']:<12.2f}{after:<12}")
+
+    by_service = {(r["app"], r["service"]): r for r in rows}
+    # Pruned services report no latency after scaling.
+    assert by_service[("Overleaf", "spell-check")]["after_ms"] is None
+    assert by_service[("HR", "recommend")]["after_ms"] is None
+    assert by_service[("HR", "login")]["after_ms"] is None
+    # Retained critical services keep (or slightly improve) their latency.
+    edits = by_service[("Overleaf", "document-edits")]
+    assert edits["after_ms"] <= edits["before_ms"] * 1.05
+    reserve = by_service[("HR", "reserve")]
+    assert reserve["after_ms"] < reserve["before_ms"]
+    search = by_service[("HR", "search")]
+    assert search["after_ms"] <= search["before_ms"] * 1.05

@@ -1,0 +1,96 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+benchmarks run on scaled-down clusters by default (so the whole suite
+finishes in minutes on a laptop); the scale can be raised with the
+``REPRO_BENCH_SCALE`` environment variable:
+
+* ``REPRO_BENCH_SCALE=small`` (default) — hundreds of nodes, smaller apps.
+* ``REPRO_BENCH_SCALE=paper`` — the paper's sizes (up to 100k nodes); slow.
+
+Each bench prints the rows/series of its figure so the output can be
+compared against the paper directly; EXPERIMENTS.md records a snapshot.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.adaptlab import build_environment, generate_alibaba_applications
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Knobs that differ between the quick and the paper-scale runs."""
+
+    name: str
+    adaptlab_nodes: int
+    adaptlab_apps: int
+    scalability_nodes: tuple[int, ...]
+    replay_nodes: int
+    trials: int
+
+
+SCALES = {
+    "small": BenchScale(
+        name="small",
+        adaptlab_nodes=400,
+        adaptlab_apps=8,
+        scalability_nodes=(100, 1000, 5000),
+        replay_nodes=400,
+        trials=1,
+    ),
+    "paper": BenchScale(
+        name="paper",
+        adaptlab_nodes=100_000,
+        adaptlab_apps=18,
+        scalability_nodes=(100, 1000, 10_000, 100_000),
+        replay_nodes=10_000,
+        trials=5,
+    ),
+}
+
+
+def current_scale() -> BenchScale:
+    return SCALES[os.environ.get("REPRO_BENCH_SCALE", "small")]
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> BenchScale:
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def alibaba_apps(bench_scale):
+    return generate_alibaba_applications(n_apps=bench_scale.adaptlab_apps, seed=2025)
+
+
+@pytest.fixture(scope="session")
+def adaptlab_env(bench_scale, alibaba_apps):
+    """The Figure-7 environment: Service-Level-P90 tagging, CPM resources."""
+    return build_environment(
+        node_count=bench_scale.adaptlab_nodes,
+        applications=alibaba_apps,
+        tagging_scheme="service-p90",
+        resource_model="cpm",
+        target_utilization=0.7,
+        seed=2025,
+    )
+
+
+def print_series(title: str, series: dict[str, list[tuple[float, float]]]) -> None:
+    """Print a figure's series as aligned rows (x, one column per scheme)."""
+    print(f"\n=== {title} ===")
+    schemes = sorted(series)
+    xs = sorted({x for points in series.values() for x, _ in points})
+    header = "x".ljust(8) + "".join(s.ljust(16) for s in schemes)
+    print(header)
+    lookup = {s: dict(points) for s, points in series.items()}
+    for x in xs:
+        row = f"{x:<8.2f}" + "".join(
+            f"{lookup[s].get(x, float('nan')):<16.4f}" for s in schemes
+        )
+        print(row)

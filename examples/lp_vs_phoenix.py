@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Compare Phoenix's heuristic planner against the exact ILP formulations.
+
+On a small cluster the ILP (LPCost / LPFair) is tractable and provides the
+optimal activation set; this example shows that Phoenix's planner+scheduler
+reach near-identical activations orders of magnitude faster — the reason the
+paper uses the LP only as a design guide (§4, Figure 8b).  Run with:
+
+    python examples/lp_vs_phoenix.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.adaptlab import build_environment, generate_alibaba_applications, inject_capacity_failure
+from repro.adaptlab.metrics import critical_service_availability, normalized_revenue
+from repro.core import LPCost, PhoenixPlanner, PhoenixScheduler, RevenueObjective
+from repro.core.scheduler import apply_schedule
+
+
+def main() -> None:
+    # The exact ILP only stays tractable on small instances (that is the
+    # point of this example), so use the four *smallest* generated apps.
+    apps = sorted(generate_alibaba_applications(n_apps=12, seed=3), key=lambda a: a.size)[:4]
+    env = build_environment(
+        node_count=20,
+        applications=apps,
+        tagging_scheme="service-p90",
+        resource_model="cpm",
+        target_utilization=0.7,
+        seed=3,
+    )
+    reference = env.fresh_state()
+    state = env.fresh_state()
+    inject_capacity_failure(state, 0.5, seed=1)
+    print(f"cluster: {len(state.nodes)} nodes, "
+          f"{sum(len(a) for a in state.applications.values())} microservices, 50% capacity lost")
+
+    # Phoenix heuristic.
+    started = time.perf_counter()
+    planner = PhoenixPlanner(RevenueObjective())
+    scheduler = PhoenixScheduler()
+    schedule = scheduler.schedule(state, planner.plan(state))
+    phoenix_time = time.perf_counter() - started
+    phoenix_state = state.copy()
+    apply_schedule(phoenix_state, schedule)
+
+    # Exact ILP.
+    started = time.perf_counter()
+    solution = LPCost(time_limit=60).solve(state)
+    lp_time = time.perf_counter() - started
+    lp_state = state.copy()
+    apply_schedule(lp_state, solution.to_schedule_plan(state))
+
+    for name, target, seconds in [
+        ("Phoenix (heuristic)", phoenix_state, phoenix_time),
+        ("LPCost (exact ILP)", lp_state, lp_time),
+    ]:
+        availability, _ = critical_service_availability(target)
+        revenue = normalized_revenue(target, reference)
+        print(f"\n{name}:")
+        print(f"  planning time          : {seconds:.3f} s")
+        print(f"  critical availability  : {availability:.2f}")
+        print(f"  normalized revenue     : {revenue:.2f}")
+
+    print(f"\nspeedup: {lp_time / phoenix_time:.0f}x — and the LP stops scaling near "
+          "1000 nodes (Figure 8b), which is why Phoenix uses the heuristic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: plan a graceful degradation for a tiny application.
+
+Builds a four-microservice application with criticality tags and a
+dependency graph, places it on a small cluster, fails half the nodes, and
+asks Phoenix for a recovery plan.  Run with:
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Application,
+    CriticalityTag,
+    Microservice,
+    PhoenixPlanner,
+    PhoenixScheduler,
+    Resources,
+    RevenueObjective,
+    build_uniform_cluster,
+)
+
+
+def main() -> None:
+    # 1. Describe the application: microservices, resources, criticality tags
+    #    (C1 = most critical) and the caller -> callee dependency graph.
+    app = Application.from_microservices(
+        "webshop",
+        [
+            Microservice("frontend", Resources(cpu=2, memory=2), CriticalityTag(1)),
+            Microservice("checkout", Resources(cpu=2, memory=2), CriticalityTag(1)),
+            Microservice("search", Resources(cpu=2, memory=2), CriticalityTag(2)),
+            Microservice("recommendations", Resources(cpu=2, memory=2), CriticalityTag(5)),
+        ],
+        dependency_edges=[
+            ("frontend", "checkout"),
+            ("frontend", "search"),
+            ("frontend", "recommendations"),
+        ],
+        price_per_unit=2.0,
+        critical_service="checkout",
+    )
+
+    # 2. Build a cluster and register the application.
+    state = build_uniform_cluster(node_count=4, node_capacity=Resources(4, 4), applications=[app])
+
+    # 3. Place everything (steady state), then fail half the cluster.
+    planner = PhoenixPlanner(RevenueObjective())
+    scheduler = PhoenixScheduler()
+    schedule = scheduler.schedule(state, planner.plan(state))
+    from repro.core.scheduler import apply_schedule
+
+    apply_schedule(state, schedule)
+    print("steady state:", sorted(state.active_microservices()["webshop"]))
+
+    state.fail_nodes(["node-0", "node-1"])
+    print("\nnodes failed: node-0, node-1 (only 8 CPU left for 8 CPU of demand)")
+
+    # 4. Ask Phoenix for a new plan: it keeps the critical path and turns the
+    #    recommendations container off (diagonal scaling).
+    plan = planner.plan(state)
+    schedule = scheduler.schedule(state, plan)
+    print("\nactivation order:")
+    for entry in plan.ranked:
+        marker = "ON " if entry in plan.activated else "off"
+        print(f"  [{marker}] {entry.microservice} ({entry.cpu} cpu)")
+
+    print("\nactions to execute:")
+    for action in schedule.ordered_actions():
+        print(f"  {action.kind.value:<8} {action.replica} -> {action.target_node or '-'}")
+
+    apply_schedule(state, schedule)
+    print("\nafter degradation:", sorted(state.active_microservices()["webshop"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""repro — reproduction of "Cooperative Graceful Degradation in Containerized
+Clouds" (Phoenix + AdaptLab, ASPLOS 2025).
+
+Public API highlights
+---------------------
+* :mod:`repro.core` — the Phoenix planner, scheduler, LP formulations and
+  controller, plus criticality tags and operator objectives.
+* :mod:`repro.cluster` — the cluster substrate (nodes, microservices,
+  applications, cluster state).
+* :mod:`repro.kubesim` — a Kubernetes-like discrete simulator used for the
+  CloudLab-style experiments.
+* :mod:`repro.apps` — models of Overleaf and DeathStarBench HotelReservation
+  with load generators and utility accounting.
+* :mod:`repro.adaptlab` — the AdaptLab resilience benchmarking platform.
+* :mod:`repro.chaos` — the chaos-testing service for criticality tags.
+"""
+
+from repro.cluster import (
+    Application,
+    ClusterState,
+    Microservice,
+    Node,
+    ReplicaId,
+    Resources,
+    build_uniform_cluster,
+)
+from repro.core import (
+    CriticalityTag,
+    FairnessObjective,
+    PhoenixController,
+    PhoenixPlanner,
+    PhoenixScheduler,
+    RevenueObjective,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Application",
+    "ClusterState",
+    "Microservice",
+    "Node",
+    "ReplicaId",
+    "Resources",
+    "build_uniform_cluster",
+    "CriticalityTag",
+    "FairnessObjective",
+    "PhoenixController",
+    "PhoenixPlanner",
+    "PhoenixScheduler",
+    "RevenueObjective",
+    "__version__",
+]

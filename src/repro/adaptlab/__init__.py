@@ -1,0 +1,117 @@
+"""AdaptLab: the resilience benchmarking platform."""
+
+from repro.adaptlab.analysis import (
+    AppSummary,
+    application_summaries,
+    call_graph_size_cdf,
+    coverage_curve,
+    requests_vs_microservice_fraction,
+    single_upstream_fraction,
+)
+from repro.adaptlab.baselines import (
+    DefaultScheme,
+    FairScheme,
+    LPCostScheme,
+    LPFairScheme,
+    NoDegradationScheme,
+    PhoenixCostScheme,
+    PhoenixFairScheme,
+    PhoenixScheme,
+    PriorityScheme,
+    ResilienceScheme,
+    default_scheme_suite,
+)
+from repro.adaptlab.cluster_env import AdaptLabEnvironment, build_environment
+from repro.adaptlab.dependency_graphs import (
+    CallGraph,
+    TracedApplication,
+    generate_alibaba_applications,
+)
+from repro.adaptlab.failures import inject_capacity_failure, restore_capacity, set_capacity_fraction
+from repro.adaptlab.frequency_lp import (
+    CoverageSelection,
+    greedy_coverage_curve,
+    max_coverage_with_budget,
+    minimal_microservices_for_coverage,
+)
+from repro.adaptlab.harness import (
+    DEFAULT_FAILURE_LEVELS,
+    SweepPoint,
+    SweepResult,
+    run_failure_sweep,
+    summarize,
+)
+from repro.adaptlab.metrics import (
+    FairnessDeviation,
+    SchemeMetrics,
+    cluster_utilization,
+    critical_service_availability,
+    evaluate_state,
+    fairness_deviation,
+    normalized_revenue,
+    requests_served_fraction,
+)
+from repro.adaptlab.replay import (
+    CapacityTrace,
+    CapacityTracePoint,
+    ReplayPoint,
+    ReplayResult,
+    replay_capacity_trace,
+)
+from repro.adaptlab.resources import ResourceModel, assign_resources
+from repro.adaptlab.tagging import TaggingScheme, tag_application, tag_applications
+
+__all__ = [
+    "AppSummary",
+    "application_summaries",
+    "call_graph_size_cdf",
+    "coverage_curve",
+    "requests_vs_microservice_fraction",
+    "single_upstream_fraction",
+    "DefaultScheme",
+    "FairScheme",
+    "LPCostScheme",
+    "LPFairScheme",
+    "NoDegradationScheme",
+    "PhoenixCostScheme",
+    "PhoenixFairScheme",
+    "PhoenixScheme",
+    "PriorityScheme",
+    "ResilienceScheme",
+    "default_scheme_suite",
+    "AdaptLabEnvironment",
+    "build_environment",
+    "CallGraph",
+    "TracedApplication",
+    "generate_alibaba_applications",
+    "inject_capacity_failure",
+    "restore_capacity",
+    "set_capacity_fraction",
+    "CoverageSelection",
+    "greedy_coverage_curve",
+    "max_coverage_with_budget",
+    "minimal_microservices_for_coverage",
+    "DEFAULT_FAILURE_LEVELS",
+    "SweepPoint",
+    "SweepResult",
+    "run_failure_sweep",
+    "summarize",
+    "FairnessDeviation",
+    "SchemeMetrics",
+    "cluster_utilization",
+    "critical_service_availability",
+    "evaluate_state",
+    "fairness_deviation",
+    "normalized_revenue",
+    "requests_served_fraction",
+    "CapacityTrace",
+    "CapacityTracePoint",
+    "ReplayPoint",
+    "ReplayResult",
+    "replay_capacity_trace",
+    "ResourceModel",
+    "assign_resources",
+    "TaggingScheme",
+    "tag_application",
+    "tag_applications",
+]

@@ -1,0 +1,91 @@
+"""Alibaba workload analysis (Figure 17, Appendix G).
+
+Three analyses over the (synthetic) Alibaba applications:
+
+* application size vs. user requests served (Fig. 17a),
+* call-graph size distribution of the top applications (Fig. 17b),
+* fraction of requests servable as a function of the fraction of
+  microservices activated (Fig. 17c, via the Appendix G optimization).
+
+Plus the §3.2 statistic used to motivate rule-based tagging: the fraction of
+microservices with a single upstream caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.adaptlab.dependency_graphs import TracedApplication
+from repro.adaptlab.frequency_lp import greedy_coverage_curve, max_coverage_with_budget
+
+
+@dataclass(frozen=True, slots=True)
+class AppSummary:
+    """One row of Figure 17a."""
+
+    name: str
+    microservices: int
+    requests: float
+    single_upstream_fraction: float
+
+
+def application_summaries(applications: list[TracedApplication]) -> list[AppSummary]:
+    """Size, request volume and single-upstream share per application."""
+    return [
+        AppSummary(
+            name=app.name,
+            microservices=app.size,
+            requests=app.total_requests,
+            single_upstream_fraction=app.single_upstream_fraction(),
+        )
+        for app in applications
+    ]
+
+
+def single_upstream_fraction(applications: list[TracedApplication], top_k: int | None = None) -> float:
+    """Aggregate single-upstream fraction (74-82 % in the paper's analysis)."""
+    selected = applications
+    if top_k is not None:
+        selected = sorted(applications, key=lambda a: a.total_requests, reverse=True)[:top_k]
+    singles = 0
+    total = 0
+    for app in selected:
+        non_root = [n for n in app.graph.nodes if app.graph.in_degree(n) > 0]
+        total += len(non_root)
+        singles += sum(1 for n in non_root if app.graph.in_degree(n) == 1)
+    return singles / total if total else 0.0
+
+
+def call_graph_size_cdf(app: TracedApplication, max_size: int = 20) -> list[tuple[int, float]]:
+    """CDF of call-graph sizes weighted by request volume (Fig. 17b)."""
+    total = app.total_requests
+    if total <= 0:
+        return [(size, 0.0) for size in range(1, max_size + 1)]
+    sizes = np.array([len(cg) for cg in app.call_graphs])
+    weights = np.array([cg.requests for cg in app.call_graphs])
+    cdf = []
+    for size in range(1, max_size + 1):
+        cdf.append((size, float(weights[sizes <= size].sum() / total)))
+    return cdf
+
+
+def requests_vs_microservice_fraction(
+    app: TracedApplication,
+    fractions: tuple[float, ...] = (0.01, 0.02, 0.03, 0.05, 0.1),
+    method: str = "greedy",
+) -> list[tuple[float, float]]:
+    """Fraction of requests served with a budget of X % of microservices (Fig. 17c)."""
+    points = []
+    for fraction in fractions:
+        budget = max(1, int(round(fraction * app.size)))
+        selection = max_coverage_with_budget(app, budget, method=method)
+        points.append((fraction, selection.coverage))
+    return points
+
+
+def coverage_curve(app: TracedApplication) -> list[tuple[float, float]]:
+    """Full (microservice fraction, request coverage) curve for one application."""
+    curve = greedy_coverage_curve(app)
+    return [(count / app.size, coverage) for count, coverage in curve]

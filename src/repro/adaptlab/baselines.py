@@ -1,0 +1,291 @@
+"""Resilience schemes evaluated by AdaptLab (§6).
+
+Cooperative schemes (the paper's contribution):
+
+* :class:`PhoenixCostScheme` — Phoenix planner + scheduler, revenue objective.
+* :class:`PhoenixFairScheme` — Phoenix planner + scheduler, fairness objective.
+* :class:`LPCostScheme` / :class:`LPFairScheme` — the exact ILP formulations.
+
+Non-cooperative baselines:
+
+* :class:`FairScheme` — operator-enforced fair-share redistribution that is
+  blind to criticality tags.
+* :class:`PriorityScheme` — applications expose criticality tags but the
+  operator enforces no per-application quota, so tag-rich applications hog
+  capacity.
+* :class:`DefaultScheme` — vanilla Kubernetes behaviour: reschedule evicted
+  pods with a spreading policy, no criticality awareness, no deletions of
+  running pods, no packing efficiency.
+* :class:`NoDegradationScheme` — applications that cannot adapt at all (the
+  "×" marker of Figure 5): unless the *whole* application fits, it is down.
+
+Every scheme consumes a post-failure :class:`ClusterState` and returns a new
+state (the enacted target) plus the planning time it took to compute it.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from typing import Mapping
+
+import networkx as nx
+
+from repro.cluster.application import Application
+from repro.cluster.microservice import Microservice
+from repro.cluster.state import ClusterState, ReplicaId
+from repro.core.lp import LPCost, LPFair
+from repro.core.objectives import FairnessObjective, OperatorObjective, RevenueObjective
+from repro.core.plan import ActivationPlan, RankedMicroservice
+from repro.core.planner import GlobalRanker, PhoenixPlanner, PriorityEstimator
+from repro.core.scheduler import PhoenixScheduler, apply_schedule
+
+
+class ResilienceScheme(ABC):
+    """A degradation/recovery policy responding to a capacity crunch."""
+
+    name: str = "scheme"
+
+    @abstractmethod
+    def respond(self, state: ClusterState) -> tuple[ClusterState, float]:
+        """Return (new cluster state, planning seconds) for a failed state.
+
+        ``state`` is not mutated.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+# -- Phoenix --------------------------------------------------------------------
+
+
+class PhoenixScheme(ResilienceScheme):
+    """Phoenix planner + scheduler under a configurable operator objective."""
+
+    def __init__(self, objective: OperatorObjective, name: str | None = None) -> None:
+        self.planner = PhoenixPlanner(objective)
+        self.scheduler = PhoenixScheduler()
+        self.name = name or f"phoenix-{objective.name}"
+
+    def respond(self, state: ClusterState) -> tuple[ClusterState, float]:
+        started = time.perf_counter()
+        plan = self.planner.plan(state)
+        schedule = self.scheduler.schedule(state, plan)
+        elapsed = time.perf_counter() - started
+        new_state = state.copy()
+        apply_schedule(new_state, schedule)
+        return new_state, elapsed
+
+
+class PhoenixCostScheme(PhoenixScheme):
+    """PhoenixCost: revenue-maximizing operator objective."""
+
+    def __init__(self) -> None:
+        super().__init__(RevenueObjective(), name="phoenix-cost")
+
+
+class PhoenixFairScheme(PhoenixScheme):
+    """PhoenixFair: water-filling max-min fairness operator objective."""
+
+    def __init__(self) -> None:
+        super().__init__(FairnessObjective(), name="phoenix-fair")
+
+
+# -- exact LP baselines ------------------------------------------------------------
+
+
+class LPCostScheme(ResilienceScheme):
+    """Exact revenue-maximizing ILP (does not scale beyond ~1000 nodes)."""
+
+    name = "lp-cost"
+
+    def __init__(self, time_limit: float = 60.0) -> None:
+        self._lp = LPCost(time_limit=time_limit)
+
+    def respond(self, state: ClusterState) -> tuple[ClusterState, float]:
+        started = time.perf_counter()
+        solution = self._lp.solve(state)
+        schedule = solution.to_schedule_plan(state)
+        elapsed = time.perf_counter() - started
+        new_state = state.copy()
+        apply_schedule(new_state, schedule)
+        return new_state, elapsed
+
+
+class LPFairScheme(LPCostScheme):
+    """Exact fairness ILP (Appendix C)."""
+
+    name = "lp-fair"
+
+    def __init__(self, time_limit: float = 60.0) -> None:
+        super().__init__(time_limit)
+        self._lp = LPFair(time_limit=time_limit)
+
+
+# -- non-cooperative baselines --------------------------------------------------------
+
+
+class _CriticalityBlindEstimator(PriorityEstimator):
+    """Orders microservices by dependency topology only (no criticality)."""
+
+    def rank(self, app: Application) -> list[str]:
+        if not app.has_dependency_graph:
+            return sorted(app.microservices)
+        graph = app.dependency_graph
+        try:
+            order = [n for n in nx.lexicographical_topological_sort(graph)]
+        except nx.NetworkXUnfeasible:  # cycles: fall back to name order
+            order = sorted(app.microservices)
+        missing = [n for n in sorted(app.microservices) if n not in order]
+        return order + missing
+
+
+class FairScheme(ResilienceScheme):
+    """Fair-share redistribution without criticality awareness."""
+
+    name = "fair"
+
+    def __init__(self) -> None:
+        self._estimator = _CriticalityBlindEstimator()
+        self._scheduler = PhoenixScheduler()
+
+    def respond(self, state: ClusterState) -> tuple[ClusterState, float]:
+        started = time.perf_counter()
+        objective = FairnessObjective()
+        ranker = GlobalRanker(objective)
+        app_rank = {name: self._estimator.rank(app) for name, app in state.applications.items()}
+        plan = ranker.rank(state.applications, app_rank, state.total_capacity().cpu)
+        schedule = self._scheduler.schedule(state, plan)
+        elapsed = time.perf_counter() - started
+        new_state = state.copy()
+        apply_schedule(new_state, schedule)
+        return new_state, elapsed
+
+
+class PriorityScheme(ResilienceScheme):
+    """Criticality tags without operator-level inter-application policy.
+
+    Each application restores its own containers in criticality order, but
+    the operator applies no per-application quota and no inter-application
+    coordination: applications are simply served one after another, and —
+    as the paper observes — "a few applications with many high-criticality
+    microservices use most of the resources", starving the applications that
+    come later in the queue.  Applications with larger high-criticality
+    footprints reclaim capacity first (they generate the most restart
+    traffic), which is what makes the behaviour pathological.
+    """
+
+    name = "priority"
+
+    def __init__(self) -> None:
+        self._estimator = PriorityEstimator()
+        self._scheduler = PhoenixScheduler()
+
+    def respond(self, state: ClusterState) -> tuple[ClusterState, float]:
+        started = time.perf_counter()
+        capacity = state.total_capacity().cpu
+
+        def c1_demand(app: Application) -> float:
+            return sum(
+                ms.total_resources.cpu for ms in app if ms.criticality.level == 1
+            )
+
+        app_order = sorted(
+            state.applications.values(), key=lambda a: (-c1_demand(a), a.name)
+        )
+        ranked: list[RankedMicroservice] = []
+        activated: list[RankedMicroservice] = []
+        remaining = capacity
+        for app in app_order:
+            blocked = False
+            for ms_name in self._estimator.rank(app):
+                ms = app.get(ms_name)
+                demand = ms.total_resources.cpu
+                entry = RankedMicroservice(app.name, ms_name, demand)
+                ranked.append(entry)
+                if not blocked and demand <= remaining + 1e-9:
+                    activated.append(entry)
+                    remaining -= demand
+                else:
+                    blocked = True
+        plan = ActivationPlan(
+            ranked=ranked, activated=activated, capacity=capacity, objective=self.name
+        )
+        schedule = self._scheduler.schedule(state, plan)
+        elapsed = time.perf_counter() - started
+        new_state = state.copy()
+        apply_schedule(new_state, schedule)
+        return new_state, elapsed
+
+
+class DefaultScheme(ResilienceScheme):
+    """Vanilla cluster-scheduler behaviour (the Kubernetes "Default" baseline).
+
+    Pods on healthy nodes keep running; pods lost with failed nodes are
+    rescheduled in name order using a least-allocated (spreading) policy.
+    Nothing is ever turned off to make room, so under a capacity crunch the
+    reschedule queue simply stalls — exactly the behaviour Phoenix improves
+    on.
+    """
+
+    name = "default"
+
+    def respond(self, state: ClusterState) -> tuple[ClusterState, float]:
+        started = time.perf_counter()
+        new_state = state.copy()
+        evicted = new_state.evict_from_failed_nodes()
+        evicted.sort(key=lambda r: (r.app, r.microservice, r.replica))
+        for replica in evicted:
+            demand = new_state.microservice(replica.app, replica.microservice).resources
+            target = None
+            best_free = -1.0
+            for node in new_state.healthy_nodes():
+                free = new_state.free_on(node.name)
+                if demand.fits_within(free) and free.cpu > best_free:
+                    target = node.name
+                    best_free = free.cpu
+            if target is not None:
+                new_state.assign(replica, target)
+        elapsed = time.perf_counter() - started
+        return new_state, elapsed
+
+
+class NoDegradationScheme(ResilienceScheme):
+    """Applications that cannot degrade: all-or-nothing availability.
+
+    After Default-style rescheduling, any application that is not fully
+    running is considered down and its remaining replicas are withdrawn —
+    modelling applications that cannot adapt to a resource crunch (the "×"
+    marker in Figure 5).
+    """
+
+    name = "no-degradation"
+
+    def __init__(self) -> None:
+        self._default = DefaultScheme()
+
+    def respond(self, state: ClusterState) -> tuple[ClusterState, float]:
+        new_state, elapsed = self._default.respond(state)
+        started = time.perf_counter()
+        active = new_state.active_microservices()
+        for name, app in new_state.applications.items():
+            fully_up = all(ms.name in active[name] for ms in app)
+            if fully_up:
+                continue
+            for ms in app:
+                for replica in new_state.iter_replicas(name, ms.name):
+                    if new_state.node_of(replica) is not None:
+                        new_state.unassign(replica)
+        return new_state, elapsed + (time.perf_counter() - started)
+
+
+def default_scheme_suite() -> list[ResilienceScheme]:
+    """The five schemes shown in Figures 7 and 10-16."""
+    return [
+        PhoenixCostScheme(),
+        PhoenixFairScheme(),
+        PriorityScheme(),
+        FairScheme(),
+        DefaultScheme(),
+    ]

@@ -1,0 +1,161 @@
+"""AdaptLab environment builder.
+
+An *environment* is a pre-failure cluster: N uniform nodes, the 18
+Alibaba-like applications tagged and sized according to the chosen schemes,
+and an initial placement of every microservice.  Experiments copy the
+environment's state, inject failures, let a resilience scheme respond, and
+measure the outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.adaptlab.dependency_graphs import TracedApplication, generate_alibaba_applications
+from repro.adaptlab.resources import ResourceModel, assign_resources
+from repro.adaptlab.tagging import TaggingScheme, tag_applications
+from repro.cluster.application import Application
+from repro.cluster.microservice import Microservice
+from repro.cluster.node import Node
+from repro.cluster.resources import Resources
+from repro.cluster.state import ClusterState, ReplicaId
+from repro.criticality import CriticalityTag
+
+
+@dataclass
+class AdaptLabEnvironment:
+    """A ready-to-run AdaptLab scenario."""
+
+    state: ClusterState
+    traced: dict[str, TracedApplication]
+    tagging_scheme: TaggingScheme
+    resource_model: ResourceModel
+    node_capacity: float
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def applications(self) -> dict[str, Application]:
+        return self.state.applications
+
+    def fresh_state(self) -> ClusterState:
+        """A copy of the pre-failure state for one experiment trial."""
+        return self.state.copy()
+
+
+def _build_application(
+    traced: TracedApplication,
+    resources: Mapping[str, float],
+    tags: Mapping[str, CriticalityTag],
+    price_per_unit: float,
+) -> Application:
+    microservices = [
+        Microservice(
+            name=ms,
+            resources=Resources.cpu_only(resources[ms]),
+            criticality=tags.get(ms, CriticalityTag(1)),
+        )
+        for ms in traced.microservices()
+    ]
+    return Application.from_microservices(
+        traced.name,
+        microservices,
+        dependency_edges=list(traced.graph.edges),
+        price_per_unit=price_per_unit,
+        critical_service=None,
+    )
+
+
+def _initial_placement(state: ClusterState) -> None:
+    """Place every microservice with first-fit-decreasing (pre-failure state)."""
+    entries = []
+    for app_name, app in state.applications.items():
+        for ms in app:
+            entries.append((ms.resources.cpu, app_name, ms.name))
+    entries.sort(reverse=True)
+    nodes = sorted(state.nodes.values(), key=lambda n: n.name)
+    cursor = 0
+    for cpu, app_name, ms_name in entries:
+        placed = False
+        for offset in range(len(nodes)):
+            node = nodes[(cursor + offset) % len(nodes)]
+            demand = state.application(app_name).get(ms_name).resources
+            if demand.fits_within(state.free_on(node.name)):
+                state.assign(ReplicaId(app_name, ms_name, 0), node.name)
+                cursor = (cursor + offset + 1) % len(nodes)
+                placed = True
+                break
+        if not placed:
+            raise RuntimeError(
+                f"environment is over-subscribed: {app_name}/{ms_name} ({cpu} cpu) does not fit"
+            )
+
+
+def build_environment(
+    node_count: int = 1000,
+    n_apps: int = 18,
+    tagging_scheme: TaggingScheme | str = TaggingScheme.SERVICE_P90,
+    resource_model: ResourceModel | str = ResourceModel.CPM,
+    target_utilization: float = 0.7,
+    seed: int = 2025,
+    applications: list[TracedApplication] | None = None,
+    price_levels: tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 5.0),
+) -> AdaptLabEnvironment:
+    """Build an AdaptLab environment.
+
+    Parameters
+    ----------
+    node_count:
+        Cluster size; the paper evaluates up to 100,000 nodes.
+    tagging_scheme / resource_model:
+        Which of the paper's criticality/resource assignment schemes to use.
+    target_utilization:
+        Pre-failure cluster utilization; node capacity is derived from the
+        aggregate demand so the initial placement always fits.
+    applications:
+        Pre-generated traced applications (to share them across environments
+        and avoid regenerating for every configuration).
+    price_levels:
+        Willingness-to-pay values assigned round-robin (by application rank)
+        for the revenue-based objective.
+    """
+    if not 0.0 < target_utilization <= 0.95:
+        raise ValueError("target_utilization must be in (0, 0.95]")
+    tagging_scheme = TaggingScheme.parse(tagging_scheme)
+    resource_model = ResourceModel.parse(resource_model)
+
+    traced_apps = applications if applications is not None else generate_alibaba_applications(
+        n_apps=n_apps, seed=seed
+    )
+    resources = assign_resources(traced_apps, model=resource_model, seed=seed)
+    tags = tag_applications(traced_apps, scheme=tagging_scheme, seed=seed)
+
+    rng = np.random.default_rng(seed)
+    apps: list[Application] = []
+    for index, traced in enumerate(traced_apps):
+        price = price_levels[int(rng.integers(0, len(price_levels)))]
+        apps.append(_build_application(traced, resources[traced.name], tags[traced.name], price))
+
+    total_demand = sum(app.total_demand().cpu for app in apps)
+    largest_ms = max(ms.resources.cpu for app in apps for ms in app)
+    node_capacity = max(total_demand / (target_utilization * node_count), largest_ms * 1.05)
+
+    nodes = [Node(f"node-{i}", Resources.cpu_only(node_capacity)) for i in range(node_count)]
+    state = ClusterState(nodes=nodes, applications=apps)
+    _initial_placement(state)
+
+    return AdaptLabEnvironment(
+        state=state,
+        traced={t.name: t for t in traced_apps},
+        tagging_scheme=tagging_scheme,
+        resource_model=resource_model,
+        node_capacity=node_capacity,
+        metadata={
+            "seed": seed,
+            "node_count": node_count,
+            "target_utilization": target_utilization,
+            "total_demand_cpu": total_demand,
+        },
+    )

@@ -1,0 +1,187 @@
+"""Synthetic Alibaba-trace-like application dependency graphs.
+
+The paper derives 18 application dependency graphs (10 to ~3000
+microservices) from the Alibaba 2021 cluster traces and reports several
+structural properties (§3.2, Appendix G):
+
+* application sizes and request volumes are heavily skewed — a few large
+  applications serve most user requests (Fig. 17a),
+* 74-82 % of microservices have a single upstream caller,
+* call graphs (per-request sub-graphs) are small: for the largest
+  application >80 % of call graphs touch fewer than 10 microservices
+  (Fig. 17b),
+* a small fraction of microservices (~3 %) can serve >80 % of requests
+  (Fig. 17c).
+
+The traces themselves are not redistributable and require Apache Spark to
+process, so this module generates applications with the same structural
+properties from a seeded RNG.  Everything downstream (tagging, resource
+assignment, the harness) only consumes these aggregate properties, which is
+exactly what the paper's evaluation uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class CallGraph:
+    """One call-graph template: the microservices a request type touches."""
+
+    microservices: tuple[str, ...]
+    #: How many user requests per day follow this template.
+    requests: float
+
+    def __len__(self) -> int:
+        return len(self.microservices)
+
+
+@dataclass
+class TracedApplication:
+    """An application dependency graph plus its call-graph templates."""
+
+    name: str
+    graph: nx.DiGraph
+    call_graphs: list[CallGraph] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def total_requests(self) -> float:
+        return sum(cg.requests for cg in self.call_graphs)
+
+    def microservices(self) -> list[str]:
+        return sorted(self.graph.nodes)
+
+    def entry_point(self) -> str:
+        """The root microservice every call graph starts from."""
+        roots = [n for n in self.graph.nodes if self.graph.in_degree(n) == 0]
+        return roots[0] if roots else next(iter(sorted(self.graph.nodes)))
+
+    def single_upstream_fraction(self) -> float:
+        """Fraction of microservices invoked by exactly one upstream caller."""
+        non_root = [n for n in self.graph.nodes if self.graph.in_degree(n) > 0]
+        if not non_root:
+            return 0.0
+        single = sum(1 for n in non_root if self.graph.in_degree(n) == 1)
+        return single / len(non_root)
+
+    def invocation_counts(self) -> dict[str, float]:
+        """Requests per day that touch each microservice (popularity)."""
+        counts = {name: 0.0 for name in self.graph.nodes}
+        for cg in self.call_graphs:
+            for ms in cg.microservices:
+                counts[ms] += cg.requests
+        return counts
+
+
+# -- generation ------------------------------------------------------------------
+
+
+def _application_sizes(n_apps: int, rng: np.random.Generator) -> list[int]:
+    """Heavy-tailed application sizes between ~10 and ~3000 microservices."""
+    sizes = []
+    for rank in range(n_apps):
+        # Top-ranked applications are much larger (Zipf-like over ranks); the
+        # steep exponent reproduces the paper's spread of ~10 to ~3000
+        # microservices across the 18 applications.
+        base = 3000 / (rank + 1) ** 2.0
+        jitter = rng.uniform(0.8, 1.2)
+        sizes.append(int(np.clip(base * jitter, 10, 3200)))
+    return sizes
+
+
+def _request_volumes(n_apps: int, rng: np.random.Generator) -> list[float]:
+    """Requests/day per application; top four serve the lion's share."""
+    volumes = []
+    for rank in range(n_apps):
+        base = 1_300_000 / (rank + 1) ** 1.6
+        volumes.append(base * rng.uniform(0.85, 1.15))
+    return volumes
+
+
+def _build_graph(name: str, size: int, rng: np.random.Generator) -> nx.DiGraph:
+    """Build a mostly-tree DG where ~80 % of nodes have a single upstream."""
+    graph = nx.DiGraph()
+    nodes = [f"{name}-ms{i:04d}" for i in range(size)]
+    graph.add_nodes_from(nodes)
+    for index in range(1, size):
+        # Preferential attachment to earlier (more "core") microservices
+        # produces realistic fan-out from gateway/aggregator services.
+        parent_index = int(rng.beta(1.2, 4.0) * index)
+        graph.add_edge(nodes[parent_index], nodes[index])
+        # ~20 % of non-root microservices gain one extra upstream caller.
+        if index > 2 and rng.random() < 0.2:
+            extra_parent = int(rng.integers(0, index))
+            if extra_parent != index and nodes[extra_parent] != nodes[index]:
+                graph.add_edge(nodes[extra_parent], nodes[index])
+    return graph
+
+
+def _sample_call_graphs(
+    name: str,
+    graph: nx.DiGraph,
+    total_requests: float,
+    rng: np.random.Generator,
+    templates: int,
+) -> list[CallGraph]:
+    """Sample heavy-tailed call-graph templates rooted at the entry node.
+
+    Template sizes follow a long-tailed distribution (most are tiny, a few
+    span dozens of microservices); template popularity follows a Zipf
+    distribution so a handful of templates account for most requests.
+    """
+    nodes = sorted(graph.nodes)
+    root = [n for n in nodes if graph.in_degree(n) == 0]
+    entry = root[0] if root else nodes[0]
+    weights = 1.0 / np.arange(1, templates + 1) ** 1.3
+    weights = weights / weights.sum() * total_requests
+
+    call_graphs: list[CallGraph] = []
+    for template_index in range(templates):
+        # Long-tailed size: most templates touch < 10 microservices.
+        size = 2 + int(rng.pareto(1.6) * 2.0)
+        size = min(size, max(2, graph.number_of_nodes() // 2))
+        visited = [entry]
+        frontier = list(graph.successors(entry))
+        while frontier and len(visited) < size:
+            nxt = frontier.pop(int(rng.integers(0, len(frontier))))
+            if nxt in visited:
+                continue
+            visited.append(nxt)
+            frontier.extend(graph.successors(nxt))
+        call_graphs.append(
+            CallGraph(microservices=tuple(visited), requests=float(weights[template_index]))
+        )
+    return call_graphs
+
+
+def generate_alibaba_applications(
+    n_apps: int = 18,
+    seed: int = 2025,
+    templates_per_app: int = 60,
+) -> list[TracedApplication]:
+    """Generate the 18 Alibaba-like applications used by AdaptLab.
+
+    Deterministic for a given seed, so experiments are reproducible.
+    """
+    if n_apps < 1:
+        raise ValueError("n_apps must be positive")
+    rng = np.random.default_rng(seed)
+    sizes = _application_sizes(n_apps, rng)
+    volumes = _request_volumes(n_apps, rng)
+    applications = []
+    for index, (size, volume) in enumerate(zip(sizes, volumes)):
+        name = f"app{index + 1}"
+        graph = _build_graph(name, size, rng)
+        call_graphs = _sample_call_graphs(
+            name, graph, volume, rng, templates=min(templates_per_app, max(4, size))
+        )
+        applications.append(TracedApplication(name=name, graph=graph, call_graphs=call_graphs))
+    return applications

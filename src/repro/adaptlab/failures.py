@@ -1,0 +1,90 @@
+"""Failure injection for AdaptLab experiments.
+
+Failures are expressed as a target fraction of *capacity* lost (the x-axis
+of Figures 7 and 10-16).  Nodes are failed uniformly at random until the
+failed capacity reaches the target, which models sub-data-center failures
+such as losing racks/rows to a power or cooling event.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.state import ClusterState
+
+
+def inject_capacity_failure(
+    state: ClusterState,
+    capacity_fraction: float,
+    seed: int = 0,
+) -> list[str]:
+    """Fail random nodes until ``capacity_fraction`` of capacity is lost.
+
+    Returns the names of the failed nodes.  The state is mutated in place
+    (nodes marked failed; replicas on them remain assigned, as in Kubernetes
+    before eviction — schemes decide how to handle them).
+    """
+    if not 0.0 <= capacity_fraction <= 1.0:
+        raise ValueError("capacity_fraction must be within [0, 1]")
+    total = state.total_capacity(healthy_only=False).cpu
+    if total <= 0 or capacity_fraction == 0.0:
+        return []
+    rng = np.random.default_rng(seed)
+    candidates = [n.name for n in state.nodes.values() if n.is_healthy]
+    rng.shuffle(candidates)
+    failed: list[str] = []
+    lost = sum(state.node(n).capacity.cpu for n in state.nodes if state.node(n).failed)
+    target = capacity_fraction * total
+    for name in candidates:
+        if lost >= target - 1e-9:
+            break
+        lost += state.node(name).capacity.cpu
+        failed.append(name)
+    state.fail_nodes(failed)
+    return failed
+
+
+def restore_capacity(state: ClusterState, node_names: list[str]) -> None:
+    """Recover previously failed nodes (used by the replay experiment)."""
+    state.recover_nodes(node_names)
+
+
+def set_capacity_fraction(
+    state: ClusterState,
+    available_fraction: float,
+    seed: int = 0,
+) -> list[str]:
+    """Fail or recover nodes so that ``available_fraction`` of capacity is healthy.
+
+    Used by the trace-replay experiment (Figure 8a) where available capacity
+    varies over time.  Returns the currently failed node names.
+    """
+    if not 0.0 <= available_fraction <= 1.0:
+        raise ValueError("available_fraction must be within [0, 1]")
+    rng = np.random.default_rng(seed)
+    total = state.total_capacity(healthy_only=False).cpu
+    target_failed = (1.0 - available_fraction) * total
+
+    failed_nodes = [n.name for n in state.nodes.values() if n.failed]
+    healthy_nodes = [n.name for n in state.nodes.values() if n.is_healthy]
+    lost = sum(state.node(n).capacity.cpu for n in failed_nodes)
+
+    if lost < target_failed:  # need to fail more nodes
+        rng.shuffle(healthy_nodes)
+        to_fail = []
+        for name in healthy_nodes:
+            if lost >= target_failed - 1e-9:
+                break
+            lost += state.node(name).capacity.cpu
+            to_fail.append(name)
+        state.fail_nodes(to_fail)
+    elif lost > target_failed:  # recover some nodes
+        rng.shuffle(failed_nodes)
+        to_recover = []
+        for name in failed_nodes:
+            if lost <= target_failed + 1e-9:
+                break
+            lost -= state.node(name).capacity.cpu
+            to_recover.append(name)
+        state.recover_nodes(to_recover)
+    return [n.name for n in state.nodes.values() if n.failed]

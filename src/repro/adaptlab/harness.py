@@ -1,0 +1,146 @@
+"""Experiment harness: failure sweeps across schemes (Figures 7 and 10-16).
+
+The harness copies the environment's pre-failure state, injects a failure of
+the requested magnitude, lets each scheme respond, and records the metric
+bundle.  Results are plain dataclasses that benches and tests can assert on
+and print as the rows/series of the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Iterable, Sequence
+
+from repro.adaptlab.baselines import ResilienceScheme, default_scheme_suite
+from repro.adaptlab.cluster_env import AdaptLabEnvironment
+from repro.adaptlab.failures import inject_capacity_failure
+from repro.adaptlab.metrics import SchemeMetrics, evaluate_state
+
+#: The failure levels (fraction of capacity lost) used on the x-axis of Fig 7.
+DEFAULT_FAILURE_LEVELS: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+@dataclass
+class SweepPoint:
+    """Averaged metrics for one (scheme, failure level) combination."""
+
+    scheme: str
+    failure_level: float
+    availability: float
+    revenue: float
+    fairness_positive: float
+    fairness_negative: float
+    utilization: float
+    requests_served: float | None
+    planning_seconds: float
+    trials: int
+
+    @property
+    def fairness_total(self) -> float:
+        return self.fairness_positive + self.fairness_negative
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep, indexable by scheme and failure level."""
+
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def series(self, scheme: str, metric: str) -> list[tuple[float, float]]:
+        """(failure level, metric value) series for one scheme."""
+        series = []
+        for point in sorted(self.points, key=lambda p: p.failure_level):
+            if point.scheme != scheme:
+                continue
+            value = getattr(point, metric)
+            series.append((point.failure_level, value))
+        return series
+
+    def point(self, scheme: str, failure_level: float) -> SweepPoint:
+        for candidate in self.points:
+            if candidate.scheme == scheme and abs(candidate.failure_level - failure_level) < 1e-9:
+                return candidate
+        raise KeyError((scheme, failure_level))
+
+    def schemes(self) -> list[str]:
+        return sorted({p.scheme for p in self.points})
+
+    def to_rows(self) -> list[dict[str, object]]:
+        """Plain dict rows (what the benches print)."""
+        return [vars(p) | {"fairness_total": p.fairness_total} for p in self.points]
+
+
+def _aggregate(
+    scheme: str,
+    failure_level: float,
+    metrics: Sequence[SchemeMetrics],
+) -> SweepPoint:
+    return SweepPoint(
+        scheme=scheme,
+        failure_level=failure_level,
+        availability=mean(m.critical_service_availability for m in metrics),
+        revenue=mean(m.normalized_revenue for m in metrics),
+        fairness_positive=mean(m.fairness.positive for m in metrics),
+        fairness_negative=mean(m.fairness.negative for m in metrics),
+        utilization=mean(m.utilization for m in metrics),
+        requests_served=(
+            mean(m.requests_served_fraction for m in metrics)
+            if metrics and metrics[0].requests_served_fraction is not None
+            else None
+        ),
+        planning_seconds=mean(m.planning_seconds for m in metrics),
+        trials=len(metrics),
+    )
+
+
+def run_failure_sweep(
+    env: AdaptLabEnvironment,
+    schemes: Iterable[ResilienceScheme] | None = None,
+    failure_levels: Sequence[float] = DEFAULT_FAILURE_LEVELS,
+    trials: int = 1,
+    seed: int = 0,
+    include_requests_served: bool = False,
+) -> SweepResult:
+    """Run the full failure sweep of Figure 7 (and Figures 10-16).
+
+    Parameters
+    ----------
+    env:
+        The AdaptLab environment to evaluate on.
+    schemes:
+        Resilience schemes; defaults to the paper's five-scheme suite.
+    failure_levels:
+        Fractions of cluster capacity to fail.
+    trials:
+        Trials per (scheme, level) pair; failures differ by trial seed and
+        results are averaged (the paper averages five trials).
+    include_requests_served:
+        Also compute the requests-served fraction (slower on big clusters).
+    """
+    scheme_list = list(schemes) if schemes is not None else default_scheme_suite()
+    reference = env.fresh_state()
+    traced = env.traced if include_requests_served else None
+    result = SweepResult()
+    for level in failure_levels:
+        for scheme in scheme_list:
+            collected: list[SchemeMetrics] = []
+            for trial in range(trials):
+                state = env.fresh_state()
+                inject_capacity_failure(state, level, seed=seed + trial * 1009 + int(level * 100))
+                new_state, planning_seconds = scheme.respond(state)
+                collected.append(
+                    evaluate_state(
+                        new_state,
+                        reference=reference,
+                        traced=traced,
+                        planning_seconds=planning_seconds,
+                    )
+                )
+            result.points.append(_aggregate(scheme.name, level, collected))
+    return result
+
+
+def summarize(result: SweepResult, metric: str = "availability") -> dict[str, list[tuple[float, float]]]:
+    """Scheme -> (failure level, metric) series, convenient for printing."""
+    return {scheme: result.series(scheme, metric) for scheme in result.schemes()}

@@ -1,0 +1,166 @@
+"""Evaluation metrics (§6): critical service availability, revenue, fairness
+deviation, cluster utilization and requests served.
+
+All metrics operate on a :class:`ClusterState`; "active" means every replica
+of a microservice is assigned to a healthy node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.adaptlab.dependency_graphs import TracedApplication
+from repro.cluster.state import ClusterState
+from repro.core.objectives import microservice_revenue_rate, water_fill_shares
+
+
+@dataclass(frozen=True, slots=True)
+class FairnessDeviation:
+    """Deviation from max-min fair share, split by sign (Figure 7c)."""
+
+    positive: float
+    negative: float
+
+    @property
+    def total(self) -> float:
+        return self.positive + self.negative
+
+
+@dataclass
+class SchemeMetrics:
+    """All metrics for one (scheme, failure level, trial) data point."""
+
+    critical_service_availability: float
+    normalized_revenue: float
+    fairness: FairnessDeviation
+    utilization: float
+    requests_served_fraction: float | None = None
+    planning_seconds: float = 0.0
+    per_app_availability: dict[str, bool] = field(default_factory=dict)
+
+
+# -- individual metrics ----------------------------------------------------------
+
+
+def critical_service_availability(state: ClusterState) -> tuple[float, dict[str, bool]]:
+    """Fraction of applications whose C1 microservices are all active.
+
+    Matches the paper's AdaptLab definition: an application's critical
+    service goal is met when *all* of its C1-tagged microservices run.
+    """
+    active = state.active_microservices()
+    per_app: dict[str, bool] = {}
+    for name, app in state.applications.items():
+        critical = [ms.name for ms in app if ms.criticality.level == 1]
+        per_app[name] = all(ms in active[name] for ms in critical) if critical else True
+    if not per_app:
+        return 1.0, per_app
+    return sum(per_app.values()) / len(per_app), per_app
+
+
+def normalized_revenue(state: ClusterState, reference: ClusterState | None = None) -> float:
+    """Revenue from active microservices, normalized to the pre-failure state.
+
+    Revenue of a microservice = willingness-to-pay × CPU × criticality
+    weight (see :func:`microservice_revenue_rate`), earned only while it is
+    active (§6 "Revenue is computed based on whether a microservice is
+    activated or not when failures strike").
+    """
+
+    def revenue(target: ClusterState) -> float:
+        active = target.active_microservices()
+        value = 0.0
+        for name, app in target.applications.items():
+            for ms in app:
+                if ms.name in active[name]:
+                    value += microservice_revenue_rate(app, ms)
+        return value
+
+    achieved = revenue(state)
+    if reference is None:
+        baseline = sum(
+            microservice_revenue_rate(app, ms)
+            for app in state.applications.values()
+            for ms in app
+        )
+    else:
+        baseline = revenue(reference)
+    if baseline <= 0:
+        return 0.0
+    return achieved / baseline
+
+
+def fairness_deviation(state: ClusterState) -> FairnessDeviation:
+    """Positive/negative deviation from the water-filling fair share.
+
+    Shares are computed over the *healthy* capacity at measurement time, so
+    the metric reflects how fairly the surviving capacity was divided.  Both
+    components are normalized by the healthy capacity.
+    """
+    capacity = state.total_capacity().cpu
+    demands = {name: app.total_demand().cpu for name, app in state.applications.items()}
+    shares = water_fill_shares(demands, capacity)
+    active = state.active_microservices()
+    usage = {name: 0.0 for name in state.applications}
+    for name, app in state.applications.items():
+        for ms in app:
+            if ms.name in active[name]:
+                usage[name] += ms.total_resources.cpu
+    positive = sum(max(0.0, usage[a] - shares[a]) for a in usage)
+    negative = sum(max(0.0, shares[a] - usage[a]) for a in usage)
+    if capacity <= 0:
+        return FairnessDeviation(0.0, 0.0)
+    return FairnessDeviation(positive / capacity, negative / capacity)
+
+
+def cluster_utilization(state: ClusterState) -> float:
+    """Fraction of healthy capacity used by assigned replicas (Figure 8c)."""
+    return state.utilization()
+
+
+def requests_served_fraction(
+    state: ClusterState,
+    traced: Mapping[str, TracedApplication],
+) -> float:
+    """Fraction of user requests fully servable given the active microservices.
+
+    A request (call-graph template) is served only when every microservice
+    it touches is active — the measure behind Figure 8a and the paper's
+    "2× requests served" claim.
+    """
+    total = 0.0
+    served = 0.0
+    active_by_app = state.active_microservices()
+    for name, app in traced.items():
+        if name not in state.applications:
+            continue
+        active = active_by_app[name]
+        for cg in app.call_graphs:
+            total += cg.requests
+            if set(cg.microservices) <= active:
+                served += cg.requests
+    if total <= 0:
+        return 0.0
+    return served / total
+
+
+def evaluate_state(
+    state: ClusterState,
+    reference: ClusterState | None = None,
+    traced: Mapping[str, TracedApplication] | None = None,
+    planning_seconds: float = 0.0,
+) -> SchemeMetrics:
+    """Compute the full metric bundle for one post-response cluster state."""
+    availability, per_app = critical_service_availability(state)
+    return SchemeMetrics(
+        critical_service_availability=availability,
+        normalized_revenue=normalized_revenue(state, reference),
+        fairness=fairness_deviation(state),
+        utilization=cluster_utilization(state),
+        requests_served_fraction=(
+            requests_served_fraction(state, traced) if traced is not None else None
+        ),
+        planning_seconds=planning_seconds,
+        per_app_availability=per_app,
+    )

@@ -1,0 +1,132 @@
+"""Criticality-tagging schemes for AdaptLab applications (§6.2).
+
+The Alibaba traces carry no criticality information, so the paper assigns
+tags with two schemes, each at the 50th and 90th percentile of request
+coverage:
+
+* **service-level tagging** — the most frequently invoked *services*
+  (call-graph templates) are identified until they cover the target fraction
+  of requests; every microservice they touch is tagged C1.
+* **frequency-based tagging** — a linear program (Appendix G) finds the
+  smallest *set of microservices* that can serve the target fraction of
+  requests; those microservices are tagged C1.
+
+In both schemes the remaining microservices receive lower criticalities
+ordered by their invocation frequency, and a small random fraction of
+infrequently invoked microservices is promoted to C1 to model critical
+background services (e.g. garbage collection).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.adaptlab.dependency_graphs import TracedApplication
+from repro.adaptlab.frequency_lp import minimal_microservices_for_coverage
+from repro.criticality import DEFAULT_LEVELS, CriticalityTag
+
+
+class TaggingScheme(enum.Enum):
+    """The four schemes evaluated in the paper (Figures 7, 10-16)."""
+
+    SERVICE_P50 = "service-p50"
+    SERVICE_P90 = "service-p90"
+    FREQUENCY_P50 = "frequency-p50"
+    FREQUENCY_P90 = "frequency-p90"
+
+    @classmethod
+    def parse(cls, value: "TaggingScheme | str") -> "TaggingScheme":
+        if isinstance(value, TaggingScheme):
+            return value
+        for member in cls:
+            if member.value == str(value).lower():
+                return member
+        raise ValueError(f"unknown tagging scheme {value!r}")
+
+    @property
+    def percentile(self) -> float:
+        return 0.5 if self.value.endswith("p50") else 0.9
+
+    @property
+    def is_service_level(self) -> bool:
+        return self.value.startswith("service")
+
+
+def _critical_set_service_level(app: TracedApplication, percentile: float) -> set[str]:
+    """Microservices of the most popular call-graph templates covering
+    ``percentile`` of requests."""
+    total = app.total_requests
+    if total <= 0:
+        return set(app.microservices())
+    covered = 0.0
+    critical: set[str] = set()
+    for cg in sorted(app.call_graphs, key=lambda c: c.requests, reverse=True):
+        if covered / total >= percentile:
+            break
+        critical.update(cg.microservices)
+        covered += cg.requests
+    return critical
+
+
+def _critical_set_frequency(app: TracedApplication, percentile: float) -> set[str]:
+    """LP/greedy minimal microservice set covering ``percentile`` of requests."""
+    selection = minimal_microservices_for_coverage(app, percentile)
+    return set(selection.microservices)
+
+
+def _frequency_levels(app: TracedApplication, critical: set[str]) -> dict[str, CriticalityTag]:
+    """Assign C2..C10 to non-critical microservices by invocation frequency."""
+    counts = app.invocation_counts()
+    others = sorted(
+        (ms for ms in app.microservices() if ms not in critical),
+        key=lambda ms: counts[ms],
+        reverse=True,
+    )
+    tags: dict[str, CriticalityTag] = {ms: CriticalityTag(1) for ms in critical}
+    if not others:
+        return tags
+    levels = DEFAULT_LEVELS - 1  # C2..C10
+    bucket = max(1, int(np.ceil(len(others) / levels)))
+    for index, ms in enumerate(others):
+        level = min(DEFAULT_LEVELS, 2 + index // bucket)
+        tags[ms] = CriticalityTag(level)
+    return tags
+
+
+def tag_application(
+    app: TracedApplication,
+    scheme: TaggingScheme | str,
+    seed: int = 11,
+    background_critical_fraction: float = 0.01,
+) -> dict[str, CriticalityTag]:
+    """Assign criticality tags to one application under a tagging scheme."""
+    scheme = TaggingScheme.parse(scheme)
+    if scheme.is_service_level:
+        critical = _critical_set_service_level(app, scheme.percentile)
+    else:
+        critical = _critical_set_frequency(app, scheme.percentile)
+
+    # Promote a small random set of infrequently invoked microservices to C1
+    # (critical background services such as garbage collection).
+    counts = app.invocation_counts()
+    infrequent = sorted(
+        (ms for ms in app.microservices() if ms not in critical),
+        key=lambda ms: counts[ms],
+    )
+    rng = np.random.default_rng(seed + app.size)
+    promote = max(0, int(round(background_critical_fraction * app.size)))
+    for ms in rng.permutation(infrequent)[:promote]:
+        critical.add(str(ms))
+
+    return _frequency_levels(app, critical)
+
+
+def tag_applications(
+    applications: list[TracedApplication],
+    scheme: TaggingScheme | str,
+    seed: int = 11,
+) -> dict[str, dict[str, CriticalityTag]]:
+    """Tag every application; returns app name -> (microservice -> tag)."""
+    return {app.name: tag_application(app, scheme, seed=seed) for app in applications}

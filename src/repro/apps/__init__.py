@@ -1,0 +1,28 @@
+"""Real-world application models: Overleaf and DeathStarBench HotelReservation."""
+
+from repro.apps.base import AppTemplate, RequestType, resource_breakdown, retag_for_critical_service
+from repro.apps.hotel_reservation import build_hotel_reservation
+from repro.apps.loadgen import (
+    LoadGenerator,
+    LoadReport,
+    MultiAppLoadRecorder,
+    RequestSample,
+    ThroughputTimeline,
+    cloudlab_workload,
+)
+from repro.apps.overleaf import build_overleaf
+
+__all__ = [
+    "AppTemplate",
+    "RequestType",
+    "resource_breakdown",
+    "retag_for_critical_service",
+    "build_hotel_reservation",
+    "LoadGenerator",
+    "LoadReport",
+    "MultiAppLoadRecorder",
+    "RequestSample",
+    "ThroughputTimeline",
+    "cloudlab_workload",
+    "build_overleaf",
+]

@@ -1,0 +1,158 @@
+"""Shared helpers for the real-world application models.
+
+Each application model describes its microservices (resources, criticality
+tags, replicas), its dependency graph, and the *request types* end users
+issue.  A request type maps to the set of microservices that must be serving
+for the request to succeed, plus a utility value ("harvest", following Fox &
+Brewer 1999 as the paper does) so degraded operation can be quantified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.cluster.application import Application
+
+
+@dataclass(frozen=True, slots=True)
+class RequestType:
+    """One kind of end-user request an application serves.
+
+    Attributes
+    ----------
+    name:
+        Request type name (e.g. ``"document-edits"``).
+    microservices:
+        Microservices that must all be serving for the request to succeed.
+    optional_microservices:
+        Microservices that enrich the response but whose absence only lowers
+        utility (e.g. the ``user`` service for HotelReservation's "reserve"
+        — reservations still work as a guest, utility drops to 0.8).
+    rate:
+        Nominal request rate (requests/second) under the standard load mix.
+    utility:
+        Utility earned by a fully successful request.
+    degraded_utility:
+        Utility earned when required microservices are up but one or more
+        optional microservices are down.
+    latency_ms:
+        Nominal P95 latency when fully served (used for Table 1).
+    """
+
+    name: str
+    microservices: tuple[str, ...]
+    optional_microservices: tuple[str, ...] = ()
+    rate: float = 1.0
+    utility: float = 1.0
+    degraded_utility: float = 1.0
+    latency_ms: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("rate must be non-negative")
+        if not self.microservices:
+            raise ValueError("a request type needs at least one microservice")
+
+
+@dataclass
+class AppTemplate:
+    """A reusable application blueprint: application + request types."""
+
+    application: Application
+    request_types: dict[str, RequestType] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for request in self.request_types.values():
+            for ms in (*request.microservices, *request.optional_microservices):
+                if ms not in self.application:
+                    raise ValueError(
+                        f"request type {request.name!r} references unknown microservice {ms!r}"
+                    )
+
+    @property
+    def name(self) -> str:
+        return self.application.name
+
+    def request(self, name: str) -> RequestType:
+        return self.request_types[name]
+
+    def critical_request(self) -> RequestType:
+        """The request type defining the application's steady state (Table 4)."""
+        critical = self.application.critical_service
+        if critical is None or critical not in self.request_types:
+            # Fall back to the highest-rate request type.
+            return max(self.request_types.values(), key=lambda r: r.rate)
+        return self.request_types[critical]
+
+    def microservices_for(self, request_names: Iterable[str]) -> set[str]:
+        needed: set[str] = set()
+        for name in request_names:
+            request = self.request_types[name]
+            needed.update(request.microservices)
+        return needed
+
+    def rename(self, new_name: str, price_per_unit: float | None = None) -> "AppTemplate":
+        """Clone this template under a new application-instance name.
+
+        The CloudLab experiment runs several instances of the same app
+        (Overleaf0..2, HR0..1) with different critical services and prices;
+        renaming keeps microservice names intact while giving each instance
+        its own namespace.
+        """
+        app = self.application
+        clone = Application(
+            name=new_name,
+            microservices=dict(app.microservices),
+            dependency_graph=app.dependency_graph.copy() if app.dependency_graph is not None else None,
+            price_per_unit=price_per_unit if price_per_unit is not None else app.price_per_unit,
+            critical_service=app.critical_service,
+        )
+        return AppTemplate(application=clone, request_types=dict(self.request_types))
+
+    def with_critical_service(self, request_name: str) -> "AppTemplate":
+        """Clone with a different business-critical request type."""
+        if request_name not in self.request_types:
+            raise KeyError(request_name)
+        app = self.application
+        clone = Application(
+            name=app.name,
+            microservices=dict(app.microservices),
+            dependency_graph=app.dependency_graph.copy() if app.dependency_graph is not None else None,
+            price_per_unit=app.price_per_unit,
+            critical_service=request_name,
+        )
+        return AppTemplate(application=clone, request_types=dict(self.request_types))
+
+
+def retag_for_critical_service(template: AppTemplate) -> AppTemplate:
+    """Re-assign criticality tags so the critical request's services are C1.
+
+    This mirrors the paper's CloudLab tagging methodology (§6.1): the
+    microservices supporting the designated critical service are tagged C1;
+    everything else keeps its (lower) criticality, or is demoted to at most
+    C2 if it was previously C1.
+    """
+    from repro.criticality import CriticalityTag
+
+    critical = template.critical_request()
+    critical_set = set(critical.microservices)
+    tags: dict[str, CriticalityTag] = {}
+    for name, ms in template.application.microservices.items():
+        if name in critical_set:
+            tags[name] = CriticalityTag(1)
+        elif ms.criticality.level == 1:
+            tags[name] = CriticalityTag(2)
+        else:
+            tags[name] = ms.criticality
+    retagged = template.application.with_tags(tags)
+    return AppTemplate(application=retagged, request_types=dict(template.request_types))
+
+
+def resource_breakdown(templates: Mapping[str, AppTemplate]) -> dict[str, float]:
+    """Aggregate CPU demand per criticality level across app instances (Fig. 9)."""
+    breakdown: dict[str, float] = {}
+    for template in templates.values():
+        for tag, resources in template.application.demand_by_criticality().items():
+            breakdown[str(tag)] = breakdown.get(str(tag), 0.0) + resources.cpu
+    return dict(sorted(breakdown.items()))

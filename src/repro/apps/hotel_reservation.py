@@ -1,0 +1,107 @@
+"""HotelReservation (DeathStarBench) application model.
+
+HotelReservation is a gRPC microservice benchmark.  Its frontend fans out to
+search, reservation, profile, recommendation, user and rate services, with
+geo behind search.  As discussed in §5 of the paper the stock application is
+not crash-proof; the paper adds error handling so that optional downstream
+calls (e.g. ``user`` during reservation, ``recommendation`` during search)
+fail gracefully.  The ``reserve`` request models that partial degradation:
+it still succeeds without ``user`` but its utility drops to 0.8 (Fig. 6f).
+
+Stateful backends (MongoDB, memcached) run in a separate stateful cluster in
+the paper's setup, so they are not part of this model.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppTemplate, RequestType
+from repro.cluster.application import Application
+from repro.cluster.microservice import Microservice
+from repro.cluster.resources import Resources
+from repro.criticality import CriticalityTag
+
+#: (name, cpu per replica, memory per replica, criticality, replicas)
+_MICROSERVICES: list[tuple[str, float, float, int, int]] = [
+    ("frontend", 1.0, 0.75, 1, 3),
+    ("search", 1.0, 0.75, 1, 3),
+    ("geo", 1.0, 0.5, 1, 2),
+    ("rate", 1.0, 0.5, 1, 2),
+    ("reservation", 1.0, 0.75, 2, 3),
+    ("profile", 1.0, 0.5, 3, 2),
+    ("user", 0.5, 0.5, 4, 2),
+    ("recommendation", 0.5, 0.5, 5, 2),
+]
+
+_EDGES: list[tuple[str, str]] = [
+    ("frontend", "search"),
+    ("frontend", "reservation"),
+    ("frontend", "profile"),
+    ("frontend", "recommendation"),
+    ("frontend", "user"),
+    ("search", "geo"),
+    ("search", "rate"),
+    ("reservation", "user"),
+    ("recommendation", "profile"),
+]
+
+
+def build_hotel_reservation(
+    name: str = "hotelreservation",
+    price_per_unit: float = 1.0,
+    critical_service: str = "search",
+    scale: float = 1.0,
+) -> AppTemplate:
+    """Build a HotelReservation instance (the paper runs HR0 and HR1)."""
+    microservices = [
+        Microservice(
+            name=ms_name,
+            resources=Resources(cpu=cpu * scale, memory=mem * scale),
+            criticality=CriticalityTag(level),
+            replicas=replicas,
+        )
+        for ms_name, cpu, mem, level, replicas in _MICROSERVICES
+    ]
+    application = Application.from_microservices(
+        name,
+        microservices,
+        dependency_edges=_EDGES,
+        price_per_unit=price_per_unit,
+        critical_service=critical_service,
+    )
+    request_types = {
+        "search": RequestType(
+            name="search",
+            microservices=("frontend", "search", "geo", "rate"),
+            optional_microservices=("profile",),
+            rate=30.0,
+            utility=1.0,
+            degraded_utility=0.9,
+            latency_ms=53.26,
+        ),
+        "reserve": RequestType(
+            name="reserve",
+            microservices=("frontend", "reservation", "rate"),
+            optional_microservices=("user",),
+            rate=12.0,
+            utility=1.0,
+            degraded_utility=0.8,
+            latency_ms=55.33,
+        ),
+        "recommend": RequestType(
+            name="recommend",
+            microservices=("frontend", "recommendation", "profile"),
+            rate=8.0,
+            utility=0.4,
+            degraded_utility=0.4,
+            latency_ms=47.43,
+        ),
+        "login": RequestType(
+            name="login",
+            microservices=("frontend", "user"),
+            rate=5.0,
+            utility=0.3,
+            degraded_utility=0.3,
+            latency_ms=41.8,
+        ),
+    }
+    return AppTemplate(application=application, request_types=request_types)

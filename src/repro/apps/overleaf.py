@@ -1,0 +1,163 @@
+"""Overleaf application model.
+
+Overleaf is a collaborative LaTeX editor composed of 14 microservices (§3.2).
+Edits flow over web sockets through ``real-time`` and ``document-updater``;
+compiles go through ``clsi``; most other features (chat, tags, spelling,
+history/versions) are independent REST services that can be turned off
+without breaking the core editing experience — which is what makes Overleaf
+diagonal-scaling compliant out of the box.
+
+Resource numbers are calibrated so that the CloudLab-style workload
+(:func:`repro.apps.loadgen.cloudlab_workload`) reproduces the roughly 60:40
+split between critical (C1) and lower-criticality resources reported in
+Appendix F.1 (Figure 9), with the whole workload filling about 70 % of a
+200-CPU cluster.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppTemplate, RequestType
+from repro.cluster.application import Application
+from repro.cluster.microservice import Microservice
+from repro.cluster.resources import Resources
+from repro.criticality import CriticalityTag
+
+#: The 14 Overleaf microservices with (cpu, memory, criticality, replicas).
+#: Resources are per replica; busy services run several replicas, as they do
+#: in the paper's CloudLab deployment.
+_MICROSERVICES: list[tuple[str, float, float, int, int]] = [
+    ("web", 1.5, 1.5, 1, 3),               # main frontend / API gateway
+    ("real-time", 1.0, 0.75, 1, 3),        # websocket edit sessions
+    ("document-updater", 1.0, 0.75, 1, 3), # operational-transform edit pipeline
+    ("docstore", 1.0, 1.0, 1, 2),          # document persistence API (stateless tier)
+    ("filestore", 1.0, 1.0, 2, 2),         # binary/image uploads
+    ("clsi", 1.5, 1.5, 2, 3),              # LaTeX compile service
+    ("track-changes", 1.0, 1.0, 3, 2),     # versioning / history
+    ("project-history", 1.0, 1.0, 3, 2),   # project-level history
+    ("spelling", 1.0, 1.0, 4, 2),          # spell-check
+    ("chat", 0.5, 0.5, 5, 2),              # in-project chat
+    ("tags", 0.5, 0.5, 5, 2),              # project tagging / folders
+    ("notifications", 0.5, 0.5, 5, 2),     # in-app notifications
+    ("contacts", 0.5, 0.5, 5, 2),          # collaborator auto-complete
+    ("references", 0.5, 0.5, 4, 2),        # bibliography indexing
+]
+
+#: Caller -> callee edges of the Overleaf dependency graph.
+_EDGES: list[tuple[str, str]] = [
+    ("web", "real-time"),
+    ("web", "docstore"),
+    ("web", "filestore"),
+    ("web", "clsi"),
+    ("web", "spelling"),
+    ("web", "chat"),
+    ("web", "tags"),
+    ("web", "notifications"),
+    ("web", "contacts"),
+    ("web", "references"),
+    ("web", "track-changes"),
+    ("web", "project-history"),
+    ("real-time", "document-updater"),
+    ("document-updater", "docstore"),
+    ("document-updater", "track-changes"),
+    ("clsi", "filestore"),
+]
+
+
+def build_overleaf(
+    name: str = "overleaf",
+    price_per_unit: float = 1.0,
+    critical_service: str = "document-edits",
+    scale: float = 1.0,
+) -> AppTemplate:
+    """Build an Overleaf application instance.
+
+    Parameters
+    ----------
+    name:
+        Instance name (the CloudLab experiment runs overleaf0/1/2).
+    price_per_unit:
+        Willingness-to-pay used by revenue-based objectives.
+    critical_service:
+        Which request type defines this instance's steady state — the paper
+        uses document-edits, versions and downloads for the three instances.
+    scale:
+        Multiplier applied to every microservice's resources, so instances
+        can differ in load (the paper tweaks load-generator parameters per
+        instance).
+    """
+    microservices = [
+        Microservice(
+            name=ms_name,
+            resources=Resources(cpu=cpu * scale, memory=mem * scale),
+            criticality=CriticalityTag(level),
+            replicas=replicas,
+        )
+        for ms_name, cpu, mem, level, replicas in _MICROSERVICES
+    ]
+    application = Application.from_microservices(
+        name,
+        microservices,
+        dependency_edges=_EDGES,
+        price_per_unit=price_per_unit,
+        critical_service=critical_service,
+    )
+    request_types = {
+        "document-edits": RequestType(
+            name="document-edits",
+            microservices=("web", "real-time", "document-updater", "docstore"),
+            optional_microservices=("track-changes",),
+            rate=40.0,
+            utility=1.0,
+            degraded_utility=0.95,
+            latency_ms=141.0,
+        ),
+        "compile": RequestType(
+            name="compile",
+            microservices=("web", "clsi", "filestore"),
+            rate=6.0,
+            utility=0.8,
+            degraded_utility=0.8,
+            latency_ms=4317.9,
+        ),
+        "spell-check": RequestType(
+            name="spell-check",
+            microservices=("web", "spelling"),
+            rate=20.0,
+            utility=0.4,
+            degraded_utility=0.4,
+            latency_ms=2296.7,
+        ),
+        "versions": RequestType(
+            name="versions",
+            microservices=("web", "track-changes", "project-history", "docstore"),
+            rate=8.0,
+            utility=0.6,
+            degraded_utility=0.6,
+            latency_ms=180.0,
+        ),
+        "downloads": RequestType(
+            name="downloads",
+            microservices=("web", "filestore", "docstore"),
+            rate=5.0,
+            utility=0.6,
+            degraded_utility=0.6,
+            latency_ms=220.0,
+        ),
+        "chat": RequestType(
+            name="chat",
+            microservices=("web", "chat"),
+            rate=4.0,
+            utility=0.2,
+            degraded_utility=0.2,
+            latency_ms=90.0,
+        ),
+        "project-management": RequestType(
+            name="project-management",
+            microservices=("web", "tags", "notifications", "contacts"),
+            rate=3.0,
+            utility=0.2,
+            degraded_utility=0.2,
+            latency_ms=120.0,
+        ),
+    }
+    return AppTemplate(application=application, request_types=request_types)

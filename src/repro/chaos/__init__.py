@@ -1,0 +1,20 @@
+"""Chaos-testing service for validating criticality tags."""
+
+from repro.chaos.injector import ChaosInjector, DegradationScenario
+from repro.chaos.report import ChaosReport, ScenarioResult
+from repro.chaos.suite import ChaosTestingService, normalized_utility, verify_tagging
+from repro.chaos.validation import AnomalyKind, TagAnomaly, ValidationReport, validate_tags
+
+__all__ = [
+    "ChaosInjector",
+    "DegradationScenario",
+    "ChaosReport",
+    "ScenarioResult",
+    "ChaosTestingService",
+    "normalized_utility",
+    "verify_tagging",
+    "AnomalyKind",
+    "TagAnomaly",
+    "ValidationReport",
+    "validate_tags",
+]

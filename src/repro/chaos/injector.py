@@ -1,0 +1,104 @@
+"""Failure injection primitives for chaos testing.
+
+The chaos-testing service (§5) verifies that an application behaves
+correctly under its declared criticality tags: when low-criticality
+microservices are turned off, the critical services must keep serving.  The
+injector enumerates degradation scenarios — which microservices to disable —
+at configurable degrees of failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterator
+
+import numpy as np
+
+from repro.apps.base import AppTemplate
+from repro.criticality import CriticalityTag
+
+
+@dataclass(frozen=True, slots=True)
+class DegradationScenario:
+    """One chaos experiment: the microservices that are turned off."""
+
+    disabled: tuple[str, ...]
+    description: str = ""
+
+    def serving_set(self, template: AppTemplate) -> set[str]:
+        return set(template.application.microservices) - set(self.disabled)
+
+
+class ChaosInjector:
+    """Generates degradation scenarios for an application template."""
+
+    def __init__(self, template: AppTemplate, seed: int = 0) -> None:
+        self.template = template
+        self._rng = np.random.default_rng(seed)
+
+    # -- scenario generators --------------------------------------------------------
+    def criticality_level_scenarios(self) -> Iterator[DegradationScenario]:
+        """Turn off everything below each criticality level, one level at a time.
+
+        This is the paper's primary validation: the application must keep
+        its critical service when all C>k microservices are off.
+        """
+        app = self.template.application
+        levels = sorted({ms.criticality.level for ms in app})
+        for level in levels:
+            disabled = tuple(
+                sorted(name for name, ms in app.microservices.items() if ms.criticality.level > level)
+            )
+            if disabled:
+                yield DegradationScenario(
+                    disabled=disabled,
+                    description=f"disable everything below C{level}",
+                )
+
+    def single_service_scenarios(self, max_level: int = 1) -> Iterator[DegradationScenario]:
+        """Turn off one non-critical microservice at a time."""
+        app = self.template.application
+        for name, ms in sorted(app.microservices.items()):
+            if ms.criticality > CriticalityTag(max_level):
+                yield DegradationScenario(
+                    disabled=(name,), description=f"disable {name} ({ms.criticality})"
+                )
+
+    def pairwise_scenarios(self, max_level: int = 2, limit: int = 20) -> Iterator[DegradationScenario]:
+        """Turn off pairs of non-critical microservices (bounded)."""
+        app = self.template.application
+        candidates = sorted(
+            name for name, ms in app.microservices.items() if ms.criticality > CriticalityTag(max_level)
+        )
+        for count, pair in enumerate(combinations(candidates, 2)):
+            if count >= limit:
+                return
+            yield DegradationScenario(disabled=pair, description=f"disable {pair[0]}+{pair[1]}")
+
+    def random_scenarios(
+        self, degree: float, count: int = 5, protect_critical: bool = True
+    ) -> Iterator[DegradationScenario]:
+        """Disable a random ``degree`` fraction of microservices.
+
+        With ``protect_critical`` the C1 set is never disabled, modelling a
+        failure Phoenix has already mitigated; without it the scenario models
+        an unmitigated infrastructure failure.
+        """
+        if not 0.0 <= degree <= 1.0:
+            raise ValueError("degree must be within [0, 1]")
+        app = self.template.application
+        names = sorted(app.microservices)
+        eligible = [
+            n for n in names if not (protect_critical and app.criticality_of(n).level == 1)
+        ]
+        k = int(round(degree * len(names)))
+        for index in range(count):
+            if k == 0 or not eligible:
+                yield DegradationScenario(disabled=(), description="no-op")
+                continue
+            chosen = self._rng.choice(eligible, size=min(k, len(eligible)), replace=False)
+            yield DegradationScenario(
+                disabled=tuple(sorted(str(c) for c in chosen)),
+                description=f"random degree={degree:.0%} #{index}",
+            )

@@ -1,0 +1,55 @@
+"""Chaos test reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioResult:
+    """Outcome of one degradation scenario."""
+
+    description: str
+    disabled: tuple[str, ...]
+    critical_service_available: bool
+    utility_score: float
+    passed: bool
+
+
+@dataclass
+class ChaosReport:
+    """Aggregated results of a chaos test run for one application."""
+
+    app: str
+    critical_request: str
+    results: list[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    @property
+    def failures(self) -> list[ScenarioResult]:
+        return [r for r in self.results if not r.passed]
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "app": self.app,
+            "critical_request": self.critical_request,
+            "scenarios": len(self.results),
+            "passed": sum(r.passed for r in self.results),
+            "failed": len(self.failures),
+            "verdict": "PASS" if self.passed else "FAIL",
+        }
+
+    def to_text(self) -> str:
+        """Human-readable report (what would be surfaced to developers)."""
+        lines = [f"Chaos report for {self.app} (critical request: {self.critical_request})"]
+        for result in self.results:
+            status = "PASS" if result.passed else "FAIL"
+            lines.append(
+                f"  [{status}] {result.description}: critical="
+                f"{result.critical_service_available} utility={result.utility_score:.2f}"
+            )
+        lines.append(f"Verdict: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""The managed chaos-testing service (§5).
+
+Before criticality tags reach production, developers run chaos tests that
+turn off tagged microservices and check that (a) the application's critical
+service stays available and (b) the end-user utility stays above a floor.
+The suite uses the same load-generator/utility machinery as the evaluation,
+so a template that passes chaos testing is diagonal-scaling compliant by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.apps.base import AppTemplate
+from repro.apps.loadgen import LoadGenerator, LoadReport
+from repro.chaos.injector import ChaosInjector, DegradationScenario
+from repro.chaos.report import ChaosReport, ScenarioResult
+
+#: A utility function scores the load report; the default is the normalized
+#: utility rate (earned utility / maximum possible utility).
+UtilityFunction = Callable[[LoadReport, AppTemplate], float]
+
+
+def normalized_utility(report: LoadReport, template: AppTemplate) -> float:
+    maximum = sum(r.rate * r.utility for r in template.request_types.values())
+    if maximum <= 0:
+        return 0.0
+    return report.total_utility_rate / maximum
+
+
+@dataclass
+class ChaosTestingService:
+    """Run degradation scenarios against an application template.
+
+    Parameters
+    ----------
+    template:
+        The application (deployment files + criticality tags, in the paper's
+        terms).
+    utility_function:
+        Scores the load-generator output; defaults to normalized utility.
+    min_utility:
+        A scenario fails if utility drops below this floor even when the
+        critical service stays up.
+    """
+
+    template: AppTemplate
+    utility_function: UtilityFunction = normalized_utility
+    min_utility: float = 0.0
+
+    def run_scenario(self, scenario: DegradationScenario) -> ScenarioResult:
+        generator = LoadGenerator(self.template)
+        serving = scenario.serving_set(self.template)
+        report = generator.report(serving)
+        critical = self.template.critical_request().name
+        critical_ok = report.critical_service_available(critical)
+        utility = self.utility_function(report, self.template)
+        return ScenarioResult(
+            description=scenario.description,
+            disabled=scenario.disabled,
+            critical_service_available=critical_ok,
+            utility_score=utility,
+            passed=critical_ok and utility >= self.min_utility,
+        )
+
+    def run(
+        self,
+        scenarios: Iterable[DegradationScenario] | None = None,
+        degrees: Iterable[float] = (0.1, 0.3, 0.5),
+        seed: int = 0,
+    ) -> ChaosReport:
+        """Run a standard battery of scenarios (or a caller-provided one)."""
+        injector = ChaosInjector(self.template, seed=seed)
+        if scenarios is None:
+            scenarios = [
+                *injector.criticality_level_scenarios(),
+                *injector.single_service_scenarios(),
+                *(s for degree in degrees for s in injector.random_scenarios(degree, count=3)),
+            ]
+        report = ChaosReport(
+            app=self.template.name, critical_request=self.template.critical_request().name
+        )
+        for scenario in scenarios:
+            report.results.append(self.run_scenario(scenario))
+        return report
+
+
+def verify_tagging(template: AppTemplate, min_utility: float = 0.0, seed: int = 0) -> ChaosReport:
+    """Convenience wrapper: run the standard chaos battery on a template."""
+    return ChaosTestingService(template, min_utility=min_utility).run(seed=seed)

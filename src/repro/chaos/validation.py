@@ -1,0 +1,194 @@
+"""Static validation of criticality tags (§7, "Adversarial or Incorrect
+Criticality Tags").
+
+Complementing the chaos-testing service (which *executes* degradation
+scenarios), this module performs static checks that catch common tagging
+mistakes before anything is deployed:
+
+* **inverted dependencies** — a microservice is tagged more critical than a
+  downstream service it strictly requires (its only path to its callees),
+  so Phoenix could keep it running while turning off what it needs;
+* **unreachable critical services** — a C1 microservice whose every upstream
+  caller is less critical, so under degradation no traffic can reach it;
+* **over-tagging** — the fraction of resources tagged C1 exceeds an operator
+  threshold, which defeats the purpose of diagonal scaling;
+* **single-upstream candidates** — untagged (implicitly C1) microservices
+  with exactly one, less-critical upstream caller: the paper's §3.2 analysis
+  identifies these as safe candidates for lower criticality.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cluster.application import Application
+
+
+class AnomalyKind(enum.Enum):
+    """Categories of tagging anomalies."""
+
+    INVERTED_DEPENDENCY = "inverted-dependency"
+    UNREACHABLE_CRITICAL = "unreachable-critical"
+    OVER_TAGGED = "over-tagged"
+    DOWNGRADE_CANDIDATE = "downgrade-candidate"
+
+
+@dataclass(frozen=True, slots=True)
+class TagAnomaly:
+    """One finding of the validator."""
+
+    kind: AnomalyKind
+    microservice: str | None
+    message: str
+
+    @property
+    def is_error(self) -> bool:
+        """Errors break degradation correctness; the rest are advisory.
+
+        An inverted dependency is advisory rather than an error because the
+        caller may deliberately treat the callee as optional (HotelReservation's
+        ``reservation -> user`` call is the paper's example: error handling lets
+        reservations proceed as a guest).  Chaos testing is the authority on
+        whether the application actually tolerates it.
+        """
+        return self.kind is AnomalyKind.UNREACHABLE_CRITICAL
+
+
+@dataclass
+class ValidationReport:
+    """All anomalies found for one application."""
+
+    app: str
+    anomalies: list[TagAnomaly]
+
+    @property
+    def errors(self) -> list[TagAnomaly]:
+        return [a for a in self.anomalies if a.is_error]
+
+    @property
+    def warnings(self) -> list[TagAnomaly]:
+        return [a for a in self.anomalies if not a.is_error]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def of_kind(self, kind: AnomalyKind) -> list[TagAnomaly]:
+        return [a for a in self.anomalies if a.kind is kind]
+
+    def to_text(self) -> str:
+        lines = [f"Tag validation for {self.app}: {'OK' if self.ok else 'ERRORS'}"]
+        for anomaly in self.anomalies:
+            marker = "ERROR" if anomaly.is_error else "warn "
+            lines.append(f"  [{marker}] {anomaly.kind.value}: {anomaly.message}")
+        return "\n".join(lines)
+
+
+def _inverted_dependencies(app: Application) -> list[TagAnomaly]:
+    """Microservices whose *only* downstream dependency is less critical.
+
+    If a microservice has exactly one callee and that callee is tagged less
+    critical, degradation can remove the callee while keeping the caller,
+    which usually breaks the caller's function.
+    """
+    findings = []
+    for name in app.microservices:
+        callees = app.successors(name)
+        if len(callees) != 1:
+            continue
+        callee = callees[0]
+        if app.criticality_of(callee) > app.criticality_of(name):
+            findings.append(
+                TagAnomaly(
+                    kind=AnomalyKind.INVERTED_DEPENDENCY,
+                    microservice=name,
+                    message=(
+                        f"{name} ({app.criticality_of(name)}) depends only on {callee} "
+                        f"({app.criticality_of(callee)}), which may be turned off first"
+                    ),
+                )
+            )
+    return findings
+
+
+def _unreachable_critical(app: Application) -> list[TagAnomaly]:
+    """C1 microservices all of whose upstream callers are less critical."""
+    findings = []
+    for name in app.microservices:
+        if app.criticality_of(name).level != 1:
+            continue
+        predecessors = app.predecessors(name)
+        if not predecessors:
+            continue
+        if all(app.criticality_of(p).level > 1 for p in predecessors):
+            findings.append(
+                TagAnomaly(
+                    kind=AnomalyKind.UNREACHABLE_CRITICAL,
+                    microservice=name,
+                    message=(
+                        f"{name} is C1 but every caller "
+                        f"({', '.join(predecessors)}) is less critical"
+                    ),
+                )
+            )
+    return findings
+
+
+def _over_tagging(app: Application, max_critical_fraction: float) -> list[TagAnomaly]:
+    total = app.total_demand().cpu
+    if total <= 0:
+        return []
+    critical = sum(ms.total_resources.cpu for ms in app if ms.criticality.level == 1)
+    fraction = critical / total
+    if fraction > max_critical_fraction:
+        return [
+            TagAnomaly(
+                kind=AnomalyKind.OVER_TAGGED,
+                microservice=None,
+                message=(
+                    f"{fraction:.0%} of resources are tagged C1 "
+                    f"(operator guidance: at most {max_critical_fraction:.0%})"
+                ),
+            )
+        ]
+    return []
+
+
+def _downgrade_candidates(app: Application) -> list[TagAnomaly]:
+    """§3.2 rule: single-upstream stubs tagged C1 are downgrade candidates."""
+    findings = []
+    for name in app.microservices:
+        if app.criticality_of(name).level != 1:
+            continue
+        predecessors = app.predecessors(name)
+        if len(predecessors) != 1:
+            continue
+        if app.successors(name):
+            continue  # not a leaf stub
+        caller = predecessors[0]
+        if app.criticality_of(caller).level > 1:
+            findings.append(
+                TagAnomaly(
+                    kind=AnomalyKind.DOWNGRADE_CANDIDATE,
+                    microservice=name,
+                    message=(
+                        f"{name} is a C1 leaf served only by {caller} "
+                        f"({app.criticality_of(caller)}); consider tagging it lower"
+                    ),
+                )
+            )
+    return findings
+
+
+def validate_tags(app: Application, max_critical_fraction: float = 0.8) -> ValidationReport:
+    """Run every static check against one application."""
+    if not 0.0 < max_critical_fraction <= 1.0:
+        raise ValueError("max_critical_fraction must be in (0, 1]")
+    anomalies = [
+        *_inverted_dependencies(app),
+        *_unreachable_critical(app),
+        *_over_tagging(app, max_critical_fraction),
+        *_downgrade_candidates(app),
+    ]
+    return ValidationReport(app=app.name, anomalies=anomalies)

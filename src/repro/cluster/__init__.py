@@ -1,0 +1,24 @@
+"""Cluster substrate: nodes, microservices, applications and cluster state."""
+
+from repro.cluster.application import Application, DependencyGraphError
+from repro.cluster.events import EventTimeline, FailureEvent, RecoveryEvent
+from repro.cluster.microservice import Microservice
+from repro.cluster.node import Node
+from repro.cluster.resources import Resources, total
+from repro.cluster.state import ClusterState, ReplicaId, SchedulingError, build_uniform_cluster
+
+__all__ = [
+    "Application",
+    "DependencyGraphError",
+    "EventTimeline",
+    "FailureEvent",
+    "RecoveryEvent",
+    "Microservice",
+    "Node",
+    "Resources",
+    "total",
+    "ClusterState",
+    "ReplicaId",
+    "SchedulingError",
+    "build_uniform_cluster",
+]

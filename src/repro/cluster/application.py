@@ -1,0 +1,184 @@
+"""Application model: a set of microservices plus an optional dependency graph.
+
+The dependency graph (DG) is a ``networkx.DiGraph`` whose nodes are
+microservice names and whose edges point from caller to callee (upstream to
+downstream), matching the paper's Alibaba-derived application DGs.  The DG is
+optional — Phoenix's planner falls back to pure criticality ordering when it
+is absent (requirement R5, broad deployability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+import networkx as nx
+
+from repro.cluster.microservice import Microservice
+from repro.cluster.resources import Resources, total
+from repro.criticality import CriticalityTag
+
+
+class DependencyGraphError(ValueError):
+    """Raised when a supplied dependency graph is inconsistent with the app."""
+
+
+@dataclass
+class Application:
+    """A microservice-based application registered with Phoenix.
+
+    Attributes
+    ----------
+    name:
+        Globally unique application name (e.g. ``"overleaf0"``).
+    microservices:
+        Mapping from microservice name to :class:`Microservice`.
+    dependency_graph:
+        Optional caller -> callee DiGraph over microservice names.
+    price_per_unit:
+        The application's willingness-to-pay per unit resource, used by the
+        revenue-based operator objective (LPCost / PhoenixCost).
+    critical_service:
+        Name of the business-critical service (e.g. ``"document-edits"``)
+        whose sustained throughput defines the application's steady state
+        (Table 4 in the paper).  Purely informational for metrics.
+    """
+
+    name: str
+    microservices: dict[str, Microservice] = field(default_factory=dict)
+    dependency_graph: nx.DiGraph | None = None
+    price_per_unit: float = 1.0
+    critical_service: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("application name must be non-empty")
+        if self.price_per_unit <= 0:
+            raise ValueError("price_per_unit must be positive")
+        if self.dependency_graph is not None:
+            self._validate_graph(self.dependency_graph)
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_microservices(
+        cls,
+        name: str,
+        microservices: Iterable[Microservice],
+        dependency_edges: Iterable[tuple[str, str]] | None = None,
+        price_per_unit: float = 1.0,
+        critical_service: str | None = None,
+    ) -> "Application":
+        """Build an application from a list of microservices and DG edges."""
+        ms_map = {}
+        for ms in microservices:
+            if ms.name in ms_map:
+                raise ValueError(f"duplicate microservice {ms.name!r} in app {name!r}")
+            ms_map[ms.name] = ms
+        graph = None
+        if dependency_edges is not None:
+            graph = nx.DiGraph()
+            graph.add_nodes_from(ms_map)
+            graph.add_edges_from(dependency_edges)
+        return cls(
+            name=name,
+            microservices=ms_map,
+            dependency_graph=graph,
+            price_per_unit=price_per_unit,
+            critical_service=critical_service,
+        )
+
+    def _validate_graph(self, graph: nx.DiGraph) -> None:
+        unknown = set(graph.nodes) - set(self.microservices)
+        if unknown:
+            raise DependencyGraphError(
+                f"dependency graph of {self.name!r} references unknown microservices: {sorted(unknown)}"
+            )
+        missing = set(self.microservices) - set(graph.nodes)
+        if missing:
+            # Tolerate microservices absent from the DG by adding them as
+            # isolated nodes; they are then root nodes for the planner.
+            graph.add_nodes_from(missing)
+
+    # -- queries -------------------------------------------------------------
+    def __iter__(self) -> Iterator[Microservice]:
+        return iter(self.microservices.values())
+
+    def __len__(self) -> int:
+        return len(self.microservices)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.microservices
+
+    def get(self, name: str) -> Microservice:
+        return self.microservices[name]
+
+    @property
+    def has_dependency_graph(self) -> bool:
+        return self.dependency_graph is not None
+
+    def total_demand(self) -> Resources:
+        """Aggregate resource demand of the whole application."""
+        return total(ms.total_resources for ms in self)
+
+    def demand_by_criticality(self) -> dict[CriticalityTag, Resources]:
+        """Aggregate demand per criticality level (used by Figure 9)."""
+        result: dict[CriticalityTag, Resources] = {}
+        for ms in self:
+            current = result.get(ms.criticality, Resources.zero())
+            result[ms.criticality] = current + ms.total_resources
+        return result
+
+    def source_microservices(self) -> list[str]:
+        """Entry microservices: no inbound edges in the DG.
+
+        When no DG exists, every microservice is treated as a source.
+        """
+        if self.dependency_graph is None:
+            return sorted(self.microservices)
+        return sorted(n for n in self.dependency_graph.nodes if self.dependency_graph.in_degree(n) == 0)
+
+    def predecessors(self, name: str) -> list[str]:
+        """Upstream callers of ``name`` (empty when no DG or a source node)."""
+        if self.dependency_graph is None or name not in self.dependency_graph:
+            return []
+        return sorted(self.dependency_graph.predecessors(name))
+
+    def successors(self, name: str) -> list[str]:
+        if self.dependency_graph is None or name not in self.dependency_graph:
+            return []
+        return sorted(self.dependency_graph.successors(name))
+
+    def criticality_of(self, name: str) -> CriticalityTag:
+        return self.microservices[name].criticality
+
+    def tags(self) -> dict[str, CriticalityTag]:
+        return {name: ms.criticality for name, ms in self.microservices.items()}
+
+    def microservices_at_or_above(self, level: CriticalityTag) -> list[str]:
+        """Microservices whose criticality is at least as important as ``level``."""
+        return sorted(
+            name for name, ms in self.microservices.items() if ms.criticality <= level
+        )
+
+    def with_tags(self, tags: Mapping[str, CriticalityTag]) -> "Application":
+        """Return a copy of this application with re-assigned criticality tags."""
+        new_ms = []
+        for name, ms in self.microservices.items():
+            new_ms.append(
+                Microservice(
+                    name=ms.name,
+                    resources=ms.resources,
+                    criticality=tags.get(name, ms.criticality),
+                    replicas=ms.replicas,
+                    stateful=ms.stateful,
+                    metadata=dict(ms.metadata),
+                )
+            )
+        graph = self.dependency_graph.copy() if self.dependency_graph is not None else None
+        return Application(
+            name=self.name,
+            microservices={ms.name: ms for ms in new_ms},
+            dependency_graph=graph,
+            price_per_unit=self.price_per_unit,
+            critical_service=self.critical_service,
+        )

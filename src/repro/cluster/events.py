@@ -1,0 +1,61 @@
+"""Failure and recovery events used by simulators and the Phoenix agent."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class FailureEvent:
+    """A set of nodes failing at a point in (simulated) time."""
+
+    time: float
+    nodes: tuple[str, ...]
+    cause: str = "unspecified"
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("event time must be non-negative")
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryEvent:
+    """A set of nodes recovering at a point in (simulated) time."""
+
+    time: float
+    nodes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("event time must be non-negative")
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+
+
+@dataclass
+class EventTimeline:
+    """An ordered sequence of failure/recovery events.
+
+    Used by the Figure 6 timeline experiment (fail at t1, recover 10 minutes
+    later) and by the Figure 8a capacity-replay experiment.
+    """
+
+    events: list[FailureEvent | RecoveryEvent] = field(default_factory=list)
+
+    def add(self, event: FailureEvent | RecoveryEvent) -> None:
+        self.events.append(event)
+        self.events.sort(key=lambda e: e.time)
+
+    def between(self, start: float, end: float) -> Sequence[FailureEvent | RecoveryEvent]:
+        """Events with ``start < time <= end`` (simulation-step semantics)."""
+        return [e for e in self.events if start < e.time <= end]
+
+    def horizon(self) -> float:
+        return max((e.time for e in self.events), default=0.0)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

@@ -1,0 +1,61 @@
+"""Microservice specification.
+
+A microservice is the unit of diagonal scaling: the planner decides whether
+each microservice is activated, and the scheduler decides where its replicas
+run.  Criticality tags live here (``criticality``), matching the paper's
+container-level tagging interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.resources import Resources
+from repro.criticality import HIGHEST_CRITICALITY, CriticalityTag
+
+
+@dataclass
+class Microservice:
+    """A single microservice (one container image, possibly many replicas).
+
+    Attributes
+    ----------
+    name:
+        Unique within its application (e.g. ``"spell-check"``).
+    resources:
+        Resource demand of **one replica**.
+    criticality:
+        The criticality tag (C1 = most critical).  Untagged microservices
+        default to the highest criticality, per §5 "Partial Tagging".
+    replicas:
+        Desired replica count.  The planner treats a microservice as active
+        only if all replicas can be placed (Appendix D).
+    stateful:
+        Stateful services are never diagonally scaled (the paper's scope is
+        stateless workloads); Phoenix treats them as pinned.
+    metadata:
+        Free-form annotations (e.g. the request types the service handles).
+    """
+
+    name: str
+    resources: Resources
+    criticality: CriticalityTag = field(default_factory=lambda: HIGHEST_CRITICALITY)
+    replicas: int = 1
+    stateful: bool = False
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("microservice name must be non-empty")
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+        if not isinstance(self.criticality, CriticalityTag):
+            self.criticality = CriticalityTag.parse(self.criticality)
+
+    @property
+    def total_resources(self) -> Resources:
+        """Aggregate demand across all replicas."""
+        return self.resources * self.replicas
+
+    def __hash__(self) -> int:
+        return hash(self.name)

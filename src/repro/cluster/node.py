@@ -1,0 +1,45 @@
+"""Cluster node model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.resources import Resources
+
+
+@dataclass
+class Node:
+    """A physical (or virtual) server in the cluster.
+
+    A node has a capacity, a health flag (``failed``) and an optional set of
+    labels.  Scheduling state (which microservices run here) lives in
+    :class:`repro.cluster.state.ClusterState`, not on the node itself, so
+    that planners can work on copies of the assignment without copying nodes.
+    """
+
+    name: str
+    capacity: Resources
+    failed: bool = False
+    labels: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node name must be non-empty")
+
+    @property
+    def is_healthy(self) -> bool:
+        return not self.failed
+
+    def fail(self) -> None:
+        self.failed = True
+
+    def recover(self) -> None:
+        self.failed = False
+
+    def __hash__(self) -> int:  # nodes are identified by name
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Node):
+            return NotImplemented
+        return self.name == other.name

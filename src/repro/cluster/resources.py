@@ -1,0 +1,85 @@
+"""Resource vectors used throughout the cluster substrate.
+
+The paper models microservice resource requirements as scalar CPU demands
+(millicores on Kubernetes, abstract units in AdaptLab).  We keep a small
+two-dimensional vector (cpu, memory) so that the bin-packing heuristics and
+LP formulations exercise multi-dimensional packing, while still supporting
+the scalar view the paper's plots use (``dominant`` / ``cpu``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Resources:
+    """An immutable (cpu, memory) resource vector.
+
+    Units are abstract: the CloudLab experiments use CPU millicores and MiB,
+    while AdaptLab uses normalized units derived from calls-per-minute.
+    Arithmetic is element-wise and comparisons are conjunctive, which is the
+    semantics bin packing needs ("fits" means every dimension fits).
+    """
+
+    cpu: float = 0.0
+    memory: float = 0.0
+
+    #: Tolerance for floating-point round-off when accumulating resources.
+    _EPSILON = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.cpu < -self._EPSILON or self.memory < -self._EPSILON:
+            raise ValueError(f"resources must be non-negative, got {self}")
+        # Clamp round-off noise so repeated add/subtract cycles stay at zero.
+        if self.cpu < 0:
+            object.__setattr__(self, "cpu", 0.0)
+        if self.memory < 0:
+            object.__setattr__(self, "memory", 0.0)
+
+    # -- arithmetic ---------------------------------------------------------
+    def __add__(self, other: "Resources") -> "Resources":
+        return Resources(self.cpu + other.cpu, self.memory + other.memory)
+
+    def __sub__(self, other: "Resources") -> "Resources":
+        return Resources(self.cpu - other.cpu, self.memory - other.memory)
+
+    def __mul__(self, factor: float) -> "Resources":
+        return Resources(self.cpu * factor, self.memory * factor)
+
+    __rmul__ = __mul__
+
+    # -- comparisons --------------------------------------------------------
+    def fits_within(self, capacity: "Resources") -> bool:
+        """Return True if this demand fits inside ``capacity`` on every axis."""
+        return self.cpu <= capacity.cpu + 1e-9 and self.memory <= capacity.memory + 1e-9
+
+    def is_zero(self) -> bool:
+        return self.cpu == 0.0 and self.memory == 0.0
+
+    # -- scalar views -------------------------------------------------------
+    @property
+    def dominant(self) -> float:
+        """The dominant (largest) dimension, used for scalar reporting."""
+        return max(self.cpu, self.memory)
+
+    def scalar(self) -> float:
+        """Scalar view used by the paper's plots (CPU units)."""
+        return self.cpu
+
+    @staticmethod
+    def zero() -> "Resources":
+        return Resources(0.0, 0.0)
+
+    @staticmethod
+    def cpu_only(cpu: float) -> "Resources":
+        """Convenience constructor for the AdaptLab scalar resource model."""
+        return Resources(cpu=cpu, memory=0.0)
+
+
+def total(resource_list) -> Resources:
+    """Sum an iterable of :class:`Resources`."""
+    acc = Resources.zero()
+    for item in resource_list:
+        acc = acc + item
+    return acc

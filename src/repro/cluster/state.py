@@ -1,0 +1,318 @@
+"""Cluster state: nodes, applications and the microservice -> node assignment.
+
+:class:`ClusterState` is the substrate both Phoenix and the AdaptLab
+simulator operate on.  The Phoenix planner and scheduler always work on a
+*copy* of the state (``state.copy()``) and hand back a plan; only the agent
+applies changes to the live state, mirroring the paper's separation between
+the packing module (dry-run) and the agent (execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.cluster.application import Application
+from repro.cluster.microservice import Microservice
+from repro.cluster.node import Node
+from repro.cluster.resources import Resources
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicaId:
+    """Identifies a single replica of a microservice of an application."""
+
+    app: str
+    microservice: str
+    replica: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.app}/{self.microservice}[{self.replica}]"
+
+
+class SchedulingError(RuntimeError):
+    """Raised when an assignment would violate capacity or consistency."""
+
+
+class ClusterState:
+    """Mutable cluster state shared by planners, schedulers and simulators."""
+
+    def __init__(
+        self,
+        nodes: Iterable[Node] = (),
+        applications: Iterable[Application] = (),
+    ) -> None:
+        self._nodes: dict[str, Node] = {}
+        self._apps: dict[str, Application] = {}
+        #: replica -> node name
+        self._assignments: dict[ReplicaId, str] = {}
+        #: node name -> used resources (cache, kept consistent by mutators)
+        self._used: dict[str, Resources] = {}
+        #: node name -> replicas on it (reverse index, kept by the mutators)
+        self._by_node: dict[str, set[ReplicaId]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for app in applications:
+            self.add_application(app)
+
+    # -- registration --------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate node {node.name!r}")
+        self._nodes[node.name] = node
+        self._used[node.name] = Resources.zero()
+        self._by_node[node.name] = set()
+
+    def add_application(self, app: Application) -> None:
+        if app.name in self._apps:
+            raise ValueError(f"duplicate application {app.name!r}")
+        self._apps[app.name] = app
+
+    def remove_application(self, name: str) -> None:
+        if name not in self._apps:
+            raise KeyError(name)
+        for replica in [r for r in self._assignments if r.app == name]:
+            self.unassign(replica)
+        del self._apps[name]
+
+    # -- accessors ------------------------------------------------------------
+    @property
+    def nodes(self) -> dict[str, Node]:
+        return self._nodes
+
+    @property
+    def applications(self) -> dict[str, Application]:
+        return self._apps
+
+    @property
+    def assignments(self) -> dict[ReplicaId, str]:
+        return dict(self._assignments)
+
+    def node(self, name: str) -> Node:
+        return self._nodes[name]
+
+    def application(self, name: str) -> Application:
+        return self._apps[name]
+
+    def microservice(self, app: str, name: str) -> Microservice:
+        return self._apps[app].get(name)
+
+    def healthy_nodes(self) -> list[Node]:
+        return [n for n in self._nodes.values() if n.is_healthy]
+
+    def failed_nodes(self) -> list[Node]:
+        return [n for n in self._nodes.values() if n.failed]
+
+    def iter_replicas(self, app: str, microservice: str) -> Iterator[ReplicaId]:
+        count = self._apps[app].get(microservice).replicas
+        for index in range(count):
+            yield ReplicaId(app, microservice, index)
+
+    # -- capacity accounting ---------------------------------------------------
+    def used_on(self, node_name: str) -> Resources:
+        return self._used[node_name]
+
+    def free_on(self, node_name: str) -> Resources:
+        node = self._nodes[node_name]
+        if node.failed:
+            return Resources.zero()
+        return node.capacity - self._used[node_name]
+
+    def total_capacity(self, healthy_only: bool = True) -> Resources:
+        acc = Resources.zero()
+        for node in self._nodes.values():
+            if healthy_only and node.failed:
+                continue
+            acc = acc + node.capacity
+        return acc
+
+    def total_used(self, healthy_only: bool = True) -> Resources:
+        acc = Resources.zero()
+        for name, used in self._used.items():
+            if healthy_only and self._nodes[name].failed:
+                continue
+            acc = acc + used
+        return acc
+
+    def utilization(self) -> float:
+        """Fraction of healthy capacity currently in use (CPU view)."""
+        capacity = self.total_capacity().cpu
+        if capacity <= 0:
+            return 0.0
+        return self.total_used().cpu / capacity
+
+    # -- assignment mutators ---------------------------------------------------
+    def assign(self, replica: ReplicaId, node_name: str, *, enforce_capacity: bool = True) -> None:
+        """Place ``replica`` on ``node_name``.
+
+        With ``enforce_capacity`` (the default) placement that would exceed
+        the node's capacity raises :class:`SchedulingError`; Phoenix's packing
+        heuristic relies on this to detect infeasible placements.
+        """
+        if replica.app not in self._apps:
+            raise SchedulingError(f"unknown application {replica.app!r}")
+        if replica.microservice not in self._apps[replica.app]:
+            raise SchedulingError(f"unknown microservice {replica.microservice!r}")
+        if node_name not in self._nodes:
+            raise SchedulingError(f"unknown node {node_name!r}")
+        node = self._nodes[node_name]
+        if node.failed:
+            raise SchedulingError(f"cannot assign {replica} to failed node {node_name!r}")
+        if replica in self._assignments:
+            raise SchedulingError(f"{replica} is already assigned")
+        demand = self._apps[replica.app].get(replica.microservice).resources
+        if enforce_capacity and not (self._used[node_name] + demand).fits_within(node.capacity):
+            raise SchedulingError(
+                f"{replica} ({demand}) does not fit on {node_name!r} "
+                f"(used={self._used[node_name]}, capacity={node.capacity})"
+            )
+        self._assignments[replica] = node_name
+        self._used[node_name] = self._used[node_name] + demand
+        self._by_node[node_name].add(replica)
+
+    def unassign(self, replica: ReplicaId) -> str:
+        """Remove ``replica`` from its node; returns the node it ran on."""
+        if replica not in self._assignments:
+            raise SchedulingError(f"{replica} is not assigned")
+        node_name = self._assignments.pop(replica)
+        demand = self._apps[replica.app].get(replica.microservice).resources
+        self._used[node_name] = self._used[node_name] - demand
+        self._by_node[node_name].discard(replica)
+        return node_name
+
+    def node_of(self, replica: ReplicaId) -> str | None:
+        return self._assignments.get(replica)
+
+    def replicas_on(self, node_name: str) -> list[ReplicaId]:
+        return sorted(self._by_node.get(node_name, ()), key=lambda r: (r.app, r.microservice, r.replica))
+
+    # -- microservice activity -------------------------------------------------
+    def running_replica_counts(self) -> dict[tuple[str, str], int]:
+        """Replicas per (app, microservice) assigned to healthy nodes.
+
+        Single pass over the assignment map; metrics and baselines that need
+        the activity of many microservices should use this (or
+        :meth:`active_microservices`) instead of calling :meth:`is_active`
+        in a loop.
+        """
+        counts: dict[tuple[str, str], int] = {}
+        for replica, node_name in self._assignments.items():
+            if self._nodes[node_name].is_healthy:
+                key = (replica.app, replica.microservice)
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def running_replicas(self, app: str, microservice: str) -> int:
+        """Count replicas of a microservice that are assigned to healthy nodes."""
+        count = 0
+        for replica, node_name in self._assignments.items():
+            if (
+                replica.app == app
+                and replica.microservice == microservice
+                and self._nodes[node_name].is_healthy
+            ):
+                count += 1
+        return count
+
+    def is_active(self, app: str, microservice: str) -> bool:
+        """A microservice is active when **all** replicas run on healthy nodes."""
+        ms = self._apps[app].get(microservice)
+        return self.running_replicas(app, microservice) >= ms.replicas
+
+    def active_microservices(self, app: str | None = None) -> dict[str, set[str]]:
+        """Mapping of application -> set of fully active microservices."""
+        apps = [app] if app is not None else list(self._apps)
+        counts = self.running_replica_counts()
+        return {
+            a: {
+                name
+                for name, ms in self._apps[a].microservices.items()
+                if counts.get((a, name), 0) >= ms.replicas
+            }
+            for a in apps
+        }
+
+    def app_resource_usage(self) -> dict[str, float]:
+        """CPU usage per application on healthy nodes (for fairness metrics)."""
+        usage: dict[str, float] = {a: 0.0 for a in self._apps}
+        for replica, node_name in self._assignments.items():
+            if not self._nodes[node_name].is_healthy:
+                continue
+            demand = self._apps[replica.app].get(replica.microservice).resources
+            usage[replica.app] += demand.cpu
+        return usage
+
+    # -- failure handling --------------------------------------------------------
+    def fail_nodes(self, names: Iterable[str]) -> list[ReplicaId]:
+        """Mark nodes failed and return the replicas that were impacted.
+
+        Impacted replicas stay in the assignment map (they are "down" but the
+        desired state still references them); callers decide whether to evict
+        them.  This matches Kubernetes semantics where pods on a NotReady
+        node linger until evicted.
+        """
+        impacted: list[ReplicaId] = []
+        for name in names:
+            node = self._nodes[name]
+            if node.failed:
+                continue
+            node.fail()
+            impacted.extend(self.replicas_on(name))
+        return impacted
+
+    def recover_nodes(self, names: Iterable[str]) -> None:
+        for name in names:
+            self._nodes[name].recover()
+
+    def evict_from_failed_nodes(self) -> list[ReplicaId]:
+        """Unassign every replica currently placed on a failed node."""
+        evicted = []
+        for node in self.failed_nodes():
+            for replica in self.replicas_on(node.name):
+                self.unassign(replica)
+                evicted.append(replica)
+        return evicted
+
+    # -- copying -------------------------------------------------------------------
+    def copy(self) -> "ClusterState":
+        """Deep-enough copy: nodes are copied, applications are shared.
+
+        Applications are immutable from the scheduler's point of view, so
+        sharing them keeps copies cheap even for 100k-node clusters.
+        """
+        clone = ClusterState()
+        for node in self._nodes.values():
+            clone.add_node(Node(node.name, node.capacity, node.failed, dict(node.labels)))
+        for app in self._apps.values():
+            clone.add_application(app)
+        clone._assignments = dict(self._assignments)
+        clone._used = dict(self._used)
+        clone._by_node = {name: set(replicas) for name, replicas in self._by_node.items()}
+        return clone
+
+    # -- misc ------------------------------------------------------------------------
+    def summary(self) -> dict[str, object]:
+        """Small dict used in logs and tests."""
+        return {
+            "nodes": len(self._nodes),
+            "failed_nodes": len(self.failed_nodes()),
+            "applications": len(self._apps),
+            "assigned_replicas": len(self._assignments),
+            "utilization": round(self.utilization(), 4),
+        }
+
+    def __repr__(self) -> str:
+        return f"ClusterState({self.summary()})"
+
+
+def build_uniform_cluster(
+    node_count: int,
+    node_capacity: Resources | float,
+    applications: Iterable[Application] = (),
+    node_prefix: str = "node",
+) -> ClusterState:
+    """Convenience builder for a homogeneous cluster (AdaptLab default)."""
+    if isinstance(node_capacity, (int, float)):
+        node_capacity = Resources(cpu=float(node_capacity), memory=float(node_capacity))
+    nodes = [Node(f"{node_prefix}-{i}", node_capacity) for i in range(node_count)]
+    return ClusterState(nodes=nodes, applications=applications)

@@ -1,0 +1,79 @@
+"""Phoenix core: criticality tags, planner, scheduler, LP and controller."""
+
+from repro.core.controller import ClusterBackend, PhoenixController, ReconcileReport, StateBackend
+from repro.core.criticality import (
+    HIGHEST_CRITICALITY,
+    LOWEST_DEFAULT_CRITICALITY,
+    CriticalityTag,
+    criticality_breakdown,
+    normalize_tags,
+)
+from repro.core.dynamic_tags import (
+    CriticalityTagAPI,
+    DynamicTaggingPolicy,
+    TagRule,
+    TagUpdateRejected,
+    TaggingContext,
+    business_hours_rule,
+    off_hours_rule,
+    overload_rule,
+)
+from repro.core.lp import LPCost, LPFair, LPSizeError, LPSolution
+from repro.core.objectives import (
+    FairnessObjective,
+    OperatorObjective,
+    RevenueObjective,
+    WeightedObjective,
+    water_fill_shares,
+)
+from repro.core.packing import PackingHeuristic, PackingResult
+from repro.core.plan import (
+    Action,
+    ActionKind,
+    ActivationPlan,
+    RankedMicroservice,
+    SchedulePlan,
+)
+from repro.core.planner import GlobalRanker, PhoenixPlanner, PriorityEstimator
+from repro.core.scheduler import PhoenixScheduler, apply_schedule
+
+__all__ = [
+    "ClusterBackend",
+    "PhoenixController",
+    "ReconcileReport",
+    "StateBackend",
+    "HIGHEST_CRITICALITY",
+    "LOWEST_DEFAULT_CRITICALITY",
+    "CriticalityTag",
+    "criticality_breakdown",
+    "normalize_tags",
+    "CriticalityTagAPI",
+    "DynamicTaggingPolicy",
+    "TagRule",
+    "TagUpdateRejected",
+    "TaggingContext",
+    "business_hours_rule",
+    "off_hours_rule",
+    "overload_rule",
+    "LPCost",
+    "LPFair",
+    "LPSizeError",
+    "LPSolution",
+    "FairnessObjective",
+    "OperatorObjective",
+    "RevenueObjective",
+    "WeightedObjective",
+    "water_fill_shares",
+    "PackingHeuristic",
+    "PackingResult",
+    "Action",
+    "ActionKind",
+    "ActivationPlan",
+    "RankedMicroservice",
+    "SchedulePlan",
+    "GlobalRanker",
+    "PhoenixPlanner",
+    "PriorityEstimator",
+    "PhoenixScheduler",
+    "apply_schedule",
+]

@@ -1,0 +1,168 @@
+"""Phoenix controller: monitor the cluster, plan, schedule and execute.
+
+The controller ties the planner and scheduler to an underlying cluster
+through a small :class:`ClusterBackend` protocol, so the same controller
+drives both the Kubernetes-like simulator (:mod:`repro.kubesim`) and the
+pure-state AdaptLab environments.  It mirrors the Phoenix agent described in
+§4.2/§5: the agent polls the cluster state on a fixed interval, detects node
+failures or recoveries, and pushes a new target state when anything changed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.cluster.state import ClusterState
+from repro.core.objectives import OperatorObjective
+from repro.core.plan import Action, ActivationPlan, SchedulePlan
+from repro.core.planner import PhoenixPlanner
+from repro.core.scheduler import PhoenixScheduler
+
+
+class ClusterBackend(Protocol):
+    """What Phoenix needs from a cluster scheduler integration."""
+
+    def observe(self) -> ClusterState:
+        """Return a snapshot of the current cluster state."""
+        ...
+
+    def execute(self, actions: list[Action]) -> None:
+        """Apply a list of actions (delete / migrate / start) to the cluster."""
+        ...
+
+
+@dataclass
+class ReconcileReport:
+    """What happened during one controller reconciliation round."""
+
+    triggered: bool
+    failed_nodes: list[str] = field(default_factory=list)
+    recovered_nodes: list[str] = field(default_factory=list)
+    plan: ActivationPlan | None = None
+    schedule: SchedulePlan | None = None
+    planning_seconds: float = 0.0
+    actions_executed: int = 0
+
+
+class PhoenixController:
+    """Automated resilience management loop.
+
+    Parameters
+    ----------
+    backend:
+        The cluster integration to observe and act on.
+    objective:
+        Operator objective used for global ranking.
+    monitor_interval:
+        Seconds between state observations (15 s in the paper's deployment;
+        purely informational here — callers drive the loop explicitly or via
+        :meth:`run` with a simulated clock).
+    allow_migration / allow_deletion:
+        Passed through to the packing heuristic.
+    """
+
+    def __init__(
+        self,
+        backend: ClusterBackend,
+        objective: OperatorObjective,
+        monitor_interval: float = 15.0,
+        allow_migration: bool = True,
+        allow_deletion: bool = True,
+    ) -> None:
+        if monitor_interval <= 0:
+            raise ValueError("monitor_interval must be positive")
+        self.backend = backend
+        self.monitor_interval = monitor_interval
+        self.planner = PhoenixPlanner(objective)
+        self.scheduler = PhoenixScheduler(
+            allow_migration=allow_migration, allow_deletion=allow_deletion
+        )
+        self._known_failed: set[str] | None = None
+        self.history: list[ReconcileReport] = []
+
+    # -- failure detection -----------------------------------------------------
+    def _detect_changes(self, state: ClusterState) -> tuple[list[str], list[str]]:
+        current_failed = {n.name for n in state.failed_nodes()}
+        if self._known_failed is None:
+            self._known_failed = current_failed
+            return sorted(current_failed), []
+        newly_failed = sorted(current_failed - self._known_failed)
+        recovered = sorted(self._known_failed - current_failed)
+        self._known_failed = current_failed
+        return newly_failed, recovered
+
+    # -- single round ------------------------------------------------------------
+    def reconcile(self, force: bool = False) -> ReconcileReport:
+        """Observe, detect changes, and (if anything changed) plan + execute."""
+        state = self.backend.observe()
+        failed, recovered = self._detect_changes(state)
+        triggered = force or bool(failed) or bool(recovered)
+        report = ReconcileReport(
+            triggered=triggered, failed_nodes=failed, recovered_nodes=recovered
+        )
+        if not triggered:
+            self.history.append(report)
+            return report
+
+        started = time.perf_counter()
+        plan = self.planner.plan(state)
+        schedule = self.scheduler.schedule(state, plan)
+        report.planning_seconds = time.perf_counter() - started
+        report.plan = plan
+        report.schedule = schedule
+
+        actions = schedule.ordered_actions()
+        self.backend.execute(actions)
+        report.actions_executed = len(actions)
+        self.history.append(report)
+        return report
+
+    # -- continuous operation -------------------------------------------------------
+    def run(self, rounds: int) -> list[ReconcileReport]:
+        """Run ``rounds`` reconciliation rounds back to back.
+
+        Real deployments sleep ``monitor_interval`` between rounds; simulated
+        environments advance their own clock, so no sleeping happens here.
+        """
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        return [self.reconcile() for _ in range(rounds)]
+
+    def reset(self) -> None:
+        """Forget detection state and history (used when re-running scenarios)."""
+        self._known_failed = None
+        self.history.clear()
+
+
+class StateBackend:
+    """A trivial backend over a bare :class:`ClusterState`.
+
+    AdaptLab uses this when action latencies do not matter: actions are
+    applied to the state instantaneously.
+    """
+
+    def __init__(self, state: ClusterState) -> None:
+        self.state = state
+
+    def observe(self) -> ClusterState:
+        return self.state
+
+    def execute(self, actions: list[Action]) -> None:
+        from repro.core.plan import ActionKind
+
+        for action in actions:
+            if action.kind is ActionKind.DELETE:
+                if self.state.node_of(action.replica) is not None:
+                    self.state.unassign(action.replica)
+            elif action.kind is ActionKind.MIGRATE:
+                if self.state.node_of(action.replica) is not None:
+                    self.state.unassign(action.replica)
+                self.state.assign(action.replica, action.target_node)
+            elif action.kind is ActionKind.START:
+                current = self.state.node_of(action.replica)
+                if current is not None:
+                    # Stale placement on a failed node: drop it first.
+                    self.state.unassign(action.replica)
+                self.state.assign(action.replica, action.target_node)

@@ -1,0 +1,23 @@
+"""Criticality tags (re-exported from :mod:`repro.criticality`).
+
+The canonical implementation lives at the package root so that the cluster
+substrate can use tags without importing the whole Phoenix core.
+"""
+
+from repro.criticality import (
+    DEFAULT_LEVELS,
+    HIGHEST_CRITICALITY,
+    LOWEST_DEFAULT_CRITICALITY,
+    CriticalityTag,
+    criticality_breakdown,
+    normalize_tags,
+)
+
+__all__ = [
+    "DEFAULT_LEVELS",
+    "HIGHEST_CRITICALITY",
+    "LOWEST_DEFAULT_CRITICALITY",
+    "CriticalityTag",
+    "criticality_breakdown",
+    "normalize_tags",
+]

@@ -1,0 +1,234 @@
+"""Dynamic criticality tagging (§7, "Dynamic Criticality Tagging").
+
+The paper's discussion section proposes letting applications adjust their
+criticality tags based on contextual factors such as time of day or user
+behaviour, instead of the static tags used by the main system.  This module
+implements that extension:
+
+* :class:`TagRule` — a predicate over a :class:`TaggingContext` plus the tag
+  overrides to apply when it matches (e.g. "during business hours the
+  reporting pipeline is C2, off-hours it is C7").
+* :class:`DynamicTaggingPolicy` — an ordered rule list evaluated against the
+  current context; later rules override earlier ones, and anything not
+  matched keeps its static tag.
+* :class:`CriticalityTagAPI` — the operator-facing registry the paper's
+  future-work section sketches: applications submit tag updates at run time,
+  the operator validates and applies them, and Phoenix picks up the new tags
+  on its next planning round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from repro.cluster.application import Application
+from repro.criticality import CriticalityTag
+
+
+@dataclass(frozen=True, slots=True)
+class TaggingContext:
+    """The contextual signals a dynamic tagging rule may consult.
+
+    Attributes
+    ----------
+    hour_of_day:
+        Local hour in ``[0, 24)``.
+    day_of_week:
+        0 = Monday … 6 = Sunday.
+    load_factor:
+        Current load relative to the application's provisioned capacity
+        (1.0 = nominal).
+    extras:
+        Free-form application-specific signals (feature flags, campaign
+        windows, ...).
+    """
+
+    hour_of_day: float = 12.0
+    day_of_week: int = 0
+    load_factor: float = 1.0
+    extras: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hour_of_day < 24.0:
+            raise ValueError("hour_of_day must be in [0, 24)")
+        if not 0 <= self.day_of_week <= 6:
+            raise ValueError("day_of_week must be in [0, 6]")
+        if self.load_factor < 0:
+            raise ValueError("load_factor must be non-negative")
+
+    @property
+    def is_business_hours(self) -> bool:
+        """Mon-Fri, 09:00-18:00 — the default notion of peak hours."""
+        return self.day_of_week < 5 and 9.0 <= self.hour_of_day < 18.0
+
+    @property
+    def is_weekend(self) -> bool:
+        return self.day_of_week >= 5
+
+
+@dataclass(frozen=True, slots=True)
+class TagRule:
+    """One conditional tag override."""
+
+    name: str
+    predicate: Callable[[TaggingContext], bool]
+    overrides: Mapping[str, CriticalityTag]
+
+    def applies(self, context: TaggingContext) -> bool:
+        return bool(self.predicate(context))
+
+
+def business_hours_rule(name: str, overrides: Mapping[str, CriticalityTag | int | str]) -> TagRule:
+    """Overrides that apply only during business hours."""
+    parsed = {ms: CriticalityTag.parse(tag) for ms, tag in overrides.items()}
+    return TagRule(name=name, predicate=lambda ctx: ctx.is_business_hours, overrides=parsed)
+
+
+def off_hours_rule(name: str, overrides: Mapping[str, CriticalityTag | int | str]) -> TagRule:
+    """Overrides that apply outside business hours."""
+    parsed = {ms: CriticalityTag.parse(tag) for ms, tag in overrides.items()}
+    return TagRule(name=name, predicate=lambda ctx: not ctx.is_business_hours, overrides=parsed)
+
+
+def overload_rule(
+    name: str,
+    overrides: Mapping[str, CriticalityTag | int | str],
+    load_threshold: float = 1.2,
+) -> TagRule:
+    """Overrides that apply when the application is overloaded."""
+    parsed = {ms: CriticalityTag.parse(tag) for ms, tag in overrides.items()}
+    return TagRule(
+        name=name,
+        predicate=lambda ctx: ctx.load_factor >= load_threshold,
+        overrides=parsed,
+    )
+
+
+class DynamicTaggingPolicy:
+    """An ordered list of tag rules for one application."""
+
+    def __init__(self, application: Application, rules: Iterable[TagRule] = ()) -> None:
+        self.application = application
+        self._rules: list[TagRule] = []
+        for rule in rules:
+            self.add_rule(rule)
+
+    @property
+    def rules(self) -> list[TagRule]:
+        return list(self._rules)
+
+    def add_rule(self, rule: TagRule) -> None:
+        unknown = set(rule.overrides) - set(self.application.microservices)
+        if unknown:
+            raise ValueError(
+                f"rule {rule.name!r} overrides unknown microservices: {sorted(unknown)}"
+            )
+        self._rules.append(rule)
+
+    def tags_for(self, context: TaggingContext) -> dict[str, CriticalityTag]:
+        """Effective tags under ``context`` (static tags + matching overrides)."""
+        tags = self.application.tags()
+        for rule in self._rules:
+            if rule.applies(context):
+                tags.update(rule.overrides)
+        return tags
+
+    def retagged(self, context: TaggingContext) -> Application:
+        """A copy of the application carrying the effective tags.
+
+        Phoenix planners consume :class:`Application` objects, so re-tagging
+        produces a drop-in replacement for the next planning round.
+        """
+        return self.application.with_tags(self.tags_for(context))
+
+    def changed_microservices(self, context: TaggingContext) -> dict[str, tuple[CriticalityTag, CriticalityTag]]:
+        """Which microservices change tag under ``context`` (old, new)."""
+        static = self.application.tags()
+        dynamic = self.tags_for(context)
+        return {
+            name: (static[name], dynamic[name])
+            for name in static
+            if static[name] != dynamic[name]
+        }
+
+
+class TagUpdateRejected(ValueError):
+    """Raised when the operator refuses a runtime tag update."""
+
+
+class CriticalityTagAPI:
+    """Operator-side registry for runtime criticality-tag updates.
+
+    The paper's discussion section envisions "criticality tagging APIs that
+    allow applications to assign criticality tags dynamically" while the
+    operator guards against abusive updates (everything suddenly tagged C1).
+    The guard implemented here is the one the paper suggests operators use:
+    a cap on the fraction of an application's resources that may be tagged at
+    the highest criticality.
+    """
+
+    def __init__(self, max_critical_fraction: float = 0.8) -> None:
+        if not 0.0 < max_critical_fraction <= 1.0:
+            raise ValueError("max_critical_fraction must be in (0, 1]")
+        self.max_critical_fraction = max_critical_fraction
+        self._applications: dict[str, Application] = {}
+        self._audit_log: list[tuple[str, str, str]] = []
+
+    # -- registration ------------------------------------------------------------
+    def register(self, application: Application) -> None:
+        if application.name in self._applications:
+            raise ValueError(f"application {application.name!r} already registered")
+        self._validate(application)
+        self._applications[application.name] = application
+        self._audit_log.append((application.name, "register", ""))
+
+    def application(self, name: str) -> Application:
+        return self._applications[name]
+
+    def applications(self) -> dict[str, Application]:
+        return dict(self._applications)
+
+    @property
+    def audit_log(self) -> list[tuple[str, str, str]]:
+        return list(self._audit_log)
+
+    # -- updates -------------------------------------------------------------------
+    def update_tags(self, name: str, overrides: Mapping[str, CriticalityTag | int | str]) -> Application:
+        """Apply a tag update for one application; returns the new version."""
+        if name not in self._applications:
+            raise KeyError(name)
+        current = self._applications[name]
+        unknown = set(overrides) - set(current.microservices)
+        if unknown:
+            raise TagUpdateRejected(f"unknown microservices in update: {sorted(unknown)}")
+        parsed = {ms: CriticalityTag.parse(tag) for ms, tag in overrides.items()}
+        candidate = current.with_tags(parsed)
+        self._validate(candidate)
+        self._applications[name] = candidate
+        self._audit_log.append((name, "update", ",".join(sorted(overrides))))
+        return candidate
+
+    def apply_policy(self, policy: DynamicTaggingPolicy, context: TaggingContext) -> Application:
+        """Evaluate a dynamic policy and apply the resulting tags."""
+        name = policy.application.name
+        if name not in self._applications:
+            raise KeyError(name)
+        changes = policy.changed_microservices(context)
+        if not changes:
+            return self._applications[name]
+        return self.update_tags(name, {ms: new for ms, (_, new) in changes.items()})
+
+    # -- guards ---------------------------------------------------------------------
+    def _validate(self, application: Application) -> None:
+        total = application.total_demand().cpu
+        if total <= 0:
+            return
+        critical = sum(
+            ms.total_resources.cpu for ms in application if ms.criticality.level == 1
+        )
+        if critical / total > self.max_critical_fraction + 1e-9:
+            raise TagUpdateRejected(
+                f"{application.name!r} tags {critical / total:.0%} of its resources C1, "
+                f"above the operator cap of {self.max_critical_fraction:.0%}"
+            )

@@ -1,0 +1,273 @@
+"""Integer Linear Program formulations of Phoenix planning (§4, Appendix C).
+
+The paper formulates criticality-aware planning and placement as an ILP with
+activation variables ``x_ij`` (microservice *j* of application *i* active)
+and placement variables ``y_ijk`` (microservice *j* of application *i* on
+node *k*), subject to
+
+* Eq. 1  intra-application criticality ordering,
+* Eq. 2  dependency constraints (an active microservice needs an active
+  predecessor),
+* Eq. 3  every active microservice is placed on exactly one node,
+* Eq. 4  node capacity.
+
+Two objectives are provided: :class:`LPCost` (revenue maximization) and
+:class:`LPFair` (water-filled max-min fairness, Appendix C).  The paper uses
+Gurobi; this reproduction uses ``scipy.optimize.milp`` (HiGHS), which is
+available offline.  As in the paper, the LP is a *guide* — it scales poorly
+beyond O(1000) nodes, which Figure 8b demonstrates — so a size guard and a
+time limit are built in.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.cluster.state import ClusterState, ReplicaId
+from repro.core.objectives import microservice_revenue_rate, water_fill_shares
+from repro.core.plan import ActivationPlan, RankedMicroservice, SchedulePlan, Action, ActionKind
+
+
+class LPSizeError(RuntimeError):
+    """Raised when the ILP would be too large to build, mirroring the paper's
+    observation that LP-based planning does not scale to real cluster sizes."""
+
+
+@dataclass
+class LPSolution:
+    """Raw ILP solution: activation decisions and placements."""
+
+    activated: set[tuple[str, str]] = field(default_factory=set)
+    placement: dict[tuple[str, str], str] = field(default_factory=dict)
+    objective_value: float = 0.0
+    solve_time: float = 0.0
+    status: str = "unknown"
+
+    def to_activation_plan(self, state: ClusterState, objective: str) -> ActivationPlan:
+        entries = [
+            RankedMicroservice(app, ms, state.microservice(app, ms).total_resources.cpu)
+            for app, ms in sorted(self.activated)
+        ]
+        return ActivationPlan(
+            ranked=list(entries),
+            activated=list(entries),
+            capacity=state.total_capacity().cpu,
+            objective=objective,
+        )
+
+    def to_schedule_plan(self, state: ClusterState) -> SchedulePlan:
+        """Translate placements into a schedule plan (single-replica model)."""
+        target: dict[ReplicaId, str] = {}
+        actions: list[Action] = []
+        live = state.assignments
+        for (app, ms), node in self.placement.items():
+            replica = ReplicaId(app, ms, 0)
+            target[replica] = node
+            if replica not in live:
+                actions.append(Action(ActionKind.START, replica, target_node=node))
+            elif live[replica] != node:
+                actions.append(
+                    Action(ActionKind.MIGRATE, replica, target_node=node, source_node=live[replica])
+                )
+        for replica, node in live.items():
+            if (replica.app, replica.microservice) not in self.placement and not state.node(node).failed:
+                actions.append(Action(ActionKind.DELETE, replica, source_node=node))
+        return SchedulePlan(target_assignment=target, actions=actions)
+
+
+class _ILPBuilder:
+    """Shared constraint construction for LPCost and LPFair."""
+
+    def __init__(self, state: ClusterState, max_variables: int = 2_000_000) -> None:
+        self.state = state
+        self.apps = state.applications
+        self.nodes = [n for n in state.healthy_nodes()]
+        self.ms_index: list[tuple[str, str]] = []
+        for app_name in sorted(self.apps):
+            for ms_name in sorted(self.apps[app_name].microservices):
+                self.ms_index.append((app_name, ms_name))
+        self.n_ms = len(self.ms_index)
+        self.n_nodes = len(self.nodes)
+        n_vars = self.n_ms + self.n_ms * self.n_nodes
+        if n_vars > max_variables:
+            raise LPSizeError(
+                f"ILP would need {n_vars} variables for {self.n_ms} microservices on "
+                f"{self.n_nodes} nodes; refusing to build (limit {max_variables})."
+            )
+        self.n_vars = n_vars
+        self.ms_pos = {key: i for i, key in enumerate(self.ms_index)}
+
+    # Variable layout: [x_0 .. x_{M-1}, y_{0,0} .. y_{M-1,N-1}] row-major by ms.
+    def x(self, app: str, ms: str) -> int:
+        return self.ms_pos[(app, ms)]
+
+    def y(self, app: str, ms: str, node_index: int) -> int:
+        return self.n_ms + self.ms_pos[(app, ms)] * self.n_nodes + node_index
+
+    def resource(self, app: str, ms: str) -> float:
+        return self.apps[app].get(ms).total_resources.cpu
+
+    def constraints(self) -> list[LinearConstraint]:
+        rows: list[tuple[dict[int, float], float, float]] = []
+
+        # Eq. 1 — criticality ordering inside each application:
+        # x_j >= x_k whenever C(m_k) > C(m_j).  Instead of the quadratic
+        # number of pairwise rows, each container of a lower level is bounded
+        # by the *average* activation of the next-higher level:
+        #     x_low <= (1/|L|) * sum_{high in L} x_high
+        # Since the variables are binary, x_low can only be 1 when every
+        # higher-level container is active — the same semantics with one row
+        # per container.
+        for app_name, app in self.apps.items():
+            by_level: dict[int, list[str]] = {}
+            for ms in app:
+                by_level.setdefault(ms.criticality.level, []).append(ms.name)
+            levels = sorted(by_level)
+            for higher, lower in zip(levels, levels[1:]):
+                higher_names = by_level[higher]
+                weight = 1.0 / len(higher_names)
+                for ms_low in by_level[lower]:
+                    coeffs = {self.x(app_name, ms_high): weight for ms_high in higher_names}
+                    coeffs[self.x(app_name, ms_low)] = coeffs.get(self.x(app_name, ms_low), 0.0) - 1.0
+                    rows.append((coeffs, 0.0, np.inf))
+
+        # Eq. 2 — dependency constraints: sum(pred x) >= x_k.
+        for app_name, app in self.apps.items():
+            if not app.has_dependency_graph:
+                continue
+            for ms in app:
+                preds = app.predecessors(ms.name)
+                if not preds:
+                    continue
+                coeffs = {self.x(app_name, p): 1.0 for p in preds}
+                coeffs[self.x(app_name, ms.name)] = coeffs.get(self.x(app_name, ms.name), 0.0) - 1.0
+                rows.append((coeffs, 0.0, np.inf))
+
+        # Eq. 3 — placement: sum_k y_ijk == x_ij.
+        for app_name, ms_name in self.ms_index:
+            coeffs = {self.y(app_name, ms_name, k): 1.0 for k in range(self.n_nodes)}
+            coeffs[self.x(app_name, ms_name)] = -1.0
+            rows.append((coeffs, 0.0, 0.0))
+
+        # Eq. 4 — node capacity.
+        for k, node in enumerate(self.nodes):
+            coeffs = {
+                self.y(app_name, ms_name, k): self.resource(app_name, ms_name)
+                for app_name, ms_name in self.ms_index
+            }
+            rows.append((coeffs, -np.inf, node.capacity.cpu))
+
+        return [self._to_constraint(rows)]
+
+    def _to_constraint(self, rows: list[tuple[dict[int, float], float, float]]) -> LinearConstraint:
+        data, row_idx, col_idx, lower, upper = [], [], [], [], []
+        for i, (coeffs, lo, hi) in enumerate(rows):
+            for col, value in coeffs.items():
+                data.append(value)
+                row_idx.append(i)
+                col_idx.append(col)
+            lower.append(lo)
+            upper.append(hi)
+        matrix = sparse.csr_matrix(
+            (data, (row_idx, col_idx)), shape=(len(rows), self.n_vars)
+        )
+        return LinearConstraint(matrix, np.asarray(lower), np.asarray(upper))
+
+    def solve(
+        self,
+        objective: np.ndarray,
+        extra_constraints: list[LinearConstraint] | None = None,
+        time_limit: float = 60.0,
+    ) -> LPSolution:
+        constraints = self.constraints()
+        if extra_constraints:
+            constraints.extend(extra_constraints)
+        integrality = np.ones(self.n_vars)
+        bounds = Bounds(lb=np.zeros(self.n_vars), ub=np.ones(self.n_vars))
+        started = time.perf_counter()
+        result = milp(
+            c=-objective,  # milp minimizes
+            constraints=constraints,
+            integrality=integrality,
+            bounds=bounds,
+            options={"time_limit": time_limit, "presolve": True},
+        )
+        elapsed = time.perf_counter() - started
+        solution = LPSolution(solve_time=elapsed, status=result.status and str(result.status) or "ok")
+        if result.x is None:
+            solution.status = f"infeasible({result.message})"
+            return solution
+        x = result.x
+        solution.objective_value = float(objective @ x)
+        for (app, ms), pos in self.ms_pos.items():
+            if x[pos] > 0.5:
+                solution.activated.add((app, ms))
+                for k in range(self.n_nodes):
+                    if x[self.y(app, ms, k)] > 0.5:
+                        solution.placement[(app, ms)] = self.nodes[k].name
+                        break
+        solution.status = "optimal"
+        return solution
+
+
+class LPCost:
+    """Revenue-maximizing ILP (Appendix C, revenue objective)."""
+
+    name = "lp-cost"
+
+    def __init__(self, time_limit: float = 60.0, max_variables: int = 2_000_000) -> None:
+        self.time_limit = time_limit
+        self.max_variables = max_variables
+
+    def solve(self, state: ClusterState) -> LPSolution:
+        builder = _ILPBuilder(state, max_variables=self.max_variables)
+        objective = np.zeros(builder.n_vars)
+        for (app, ms), pos in builder.ms_pos.items():
+            application = builder.apps[app]
+            objective[pos] = microservice_revenue_rate(application, application.get(ms))
+        return builder.solve(objective, time_limit=self.time_limit)
+
+    def plan(self, state: ClusterState) -> ActivationPlan:
+        return self.solve(state).to_activation_plan(state, self.name)
+
+
+class LPFair:
+    """Water-filled max-min fairness ILP (Appendix C, Eq. 6-7)."""
+
+    name = "lp-fair"
+
+    def __init__(self, time_limit: float = 60.0, max_variables: int = 2_000_000) -> None:
+        self.time_limit = time_limit
+        self.max_variables = max_variables
+
+    def solve(self, state: ClusterState) -> LPSolution:
+        builder = _ILPBuilder(state, max_variables=self.max_variables)
+        demands = {name: app.total_demand().cpu for name, app in builder.apps.items()}
+        capacity = state.total_capacity().cpu
+        fair_shares = water_fill_shares(demands, capacity)
+
+        # Cap each application's allocation at its water-fill share (Eq. 7),
+        # then maximize total activated resources, which pushes every
+        # application as close to its share as indivisibility allows.
+        rows: list[tuple[dict[int, float], float, float]] = []
+        for app_name in builder.apps:
+            coeffs = {
+                builder.x(app_name, ms_name): builder.resource(app_name, ms_name)
+                for a, ms_name in builder.ms_index
+                if a == app_name
+            }
+            rows.append((coeffs, -np.inf, fair_shares[app_name] + 1e-9))
+        extra = [builder._to_constraint(rows)] if rows else None
+
+        objective = np.zeros(builder.n_vars)
+        for (app, ms), pos in builder.ms_pos.items():
+            objective[pos] = builder.resource(app, ms)
+        return builder.solve(objective, extra_constraints=extra, time_limit=self.time_limit)
+
+    def plan(self, state: ClusterState) -> ActivationPlan:
+        return self.solve(state).to_activation_plan(state, self.name)

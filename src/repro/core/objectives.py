@@ -1,0 +1,219 @@
+"""Operator objectives used by the Phoenix planner's global ranking step.
+
+The paper supports any monotonically increasing operator objective ``F`` and
+evaluates two instances (§4):
+
+* **Revenue** (PhoenixCost / LPCost): containers of applications with a
+  higher willingness-to-pay per unit resource are ranked first.
+* **Fairness** (PhoenixFair / LPFair): a water-filling max-min fair share is
+  pre-computed per application, and in each round the container whose
+  activation keeps its application closest to (but not beyond, unless slack
+  remains) its fair share is ranked first.
+
+Objectives implement a ``score`` method; *larger scores are ranked earlier*.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping
+
+from repro.cluster.application import Application
+from repro.cluster.microservice import Microservice
+
+
+def water_fill_shares(demands: Mapping[str, float], capacity: float) -> dict[str, float]:
+    """Compute max-min (water-filling) fair shares.
+
+    Each application is entitled to ``capacity / n``; applications demanding
+    less than their entitlement free up the excess, which is redistributed
+    among the remaining applications, repeating until no excess remains.
+
+    Parameters
+    ----------
+    demands:
+        Application name -> total resource demand.
+    capacity:
+        Total resources available for distribution.
+
+    Returns
+    -------
+    dict
+        Application name -> fair share (never exceeding its demand).
+    """
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    remaining = {app: max(0.0, demand) for app, demand in demands.items()}
+    shares = {app: 0.0 for app in demands}
+    available = capacity
+    active = [app for app, demand in remaining.items() if demand > 0]
+    while active and available > 1e-12:
+        level = available / len(active)
+        satisfied = [app for app in active if remaining[app] <= level + 1e-12]
+        if not satisfied:
+            for app in active:
+                shares[app] += level
+                remaining[app] -= level
+            available = 0.0
+            break
+        for app in satisfied:
+            shares[app] += remaining[app]
+            available -= remaining[app]
+            remaining[app] = 0.0
+        active = [app for app in active if remaining[app] > 1e-12]
+    return shares
+
+
+class OperatorObjective(ABC):
+    """Base class for operator objectives used during global ranking."""
+
+    #: human-readable name used in results tables (e.g. "revenue", "fairness")
+    name: str = "objective"
+
+    def prepare(self, applications: Mapping[str, Application], capacity: float) -> None:
+        """Hook called once per planning round before any scoring.
+
+        Objectives that need global pre-computation (e.g. fair shares)
+        override this.  ``capacity`` is the aggregate healthy CPU capacity.
+        """
+
+    @abstractmethod
+    def score(
+        self,
+        app: Application,
+        microservice: Microservice,
+        allocated: Mapping[str, float],
+    ) -> float:
+        """Score a candidate container.
+
+        Parameters
+        ----------
+        app:
+            The application the candidate belongs to.
+        microservice:
+            The candidate microservice.
+        allocated:
+            CPU units already granted to each application by previous
+            ranking rounds (the planner updates this as it goes).
+
+        Returns
+        -------
+        float
+            Larger values are ranked earlier.
+        """
+
+
+def criticality_revenue_weight(level: int) -> float:
+    """Relative revenue of a container as a function of its criticality.
+
+    The paper assigns each microservice a utility/revenue value "that aligns
+    with its criticality" (§6.1): business-critical containers generate most
+    of the revenue, good-to-have features generate very little.  A
+    ``1/level**2`` weighting captures that skew steeply enough that a C1
+    container of a modestly priced application outranks the optional
+    containers of premium applications, which is what lets PhoenixCost keep
+    critical services available while maximizing revenue (Figures 5-7).
+    """
+    if level < 1:
+        raise ValueError("criticality level must be >= 1")
+    return 1.0 / (level * level)
+
+
+def microservice_revenue_rate(app: Application, microservice: Microservice) -> float:
+    """Revenue per unit time earned while ``microservice`` is active."""
+    return (
+        app.price_per_unit
+        * microservice.total_resources.cpu
+        * criticality_revenue_weight(microservice.criticality.level)
+    )
+
+
+class RevenueObjective(OperatorObjective):
+    """Rank containers by the revenue they generate per unit resource.
+
+    Revenue per unit resource is the application's willingness-to-pay scaled
+    by the container's criticality weight, so a C1 container of a cheap
+    application can still outrank a C5 container of an expensive one.
+    """
+
+    name = "revenue"
+
+    def score(
+        self,
+        app: Application,
+        microservice: Microservice,
+        allocated: Mapping[str, float],
+    ) -> float:
+        return app.price_per_unit * criticality_revenue_weight(microservice.criticality.level)
+
+
+class FairnessObjective(OperatorObjective):
+    """Rank containers so allocations track the water-filling fair share.
+
+    The score is the (signed) remaining headroom below the application's fair
+    share after activating the candidate: applications still far below their
+    fair share score high, applications at or above it score low.  Ties
+    between under-served applications are broken toward the smaller request,
+    which keeps the allocation close to textbook water-filling.
+    """
+
+    name = "fairness"
+
+    def __init__(self) -> None:
+        self._fair_shares: dict[str, float] = {}
+
+    @property
+    def fair_shares(self) -> dict[str, float]:
+        return dict(self._fair_shares)
+
+    def prepare(self, applications: Mapping[str, Application], capacity: float) -> None:
+        demands = {name: app.total_demand().cpu for name, app in applications.items()}
+        self._fair_shares = water_fill_shares(demands, capacity)
+
+    def score(
+        self,
+        app: Application,
+        microservice: Microservice,
+        allocated: Mapping[str, float],
+    ) -> float:
+        fair_share = self._fair_shares.get(app.name, 0.0)
+        current = allocated.get(app.name, 0.0)
+        demand = microservice.total_resources.cpu
+        headroom_after = fair_share - (current + demand)
+        return headroom_after
+
+
+class WeightedObjective(OperatorObjective):
+    """A convex combination of other objectives.
+
+    Demonstrates the paper's claim that Phoenix supports arbitrary operator
+    objectives: operators can blend revenue and fairness (or any custom
+    scorer) without touching the planner.
+    """
+
+    name = "weighted"
+
+    def __init__(self, components: Mapping[OperatorObjective, float]) -> None:
+        if not components:
+            raise ValueError("at least one component objective is required")
+        if any(weight < 0 for weight in components.values()):
+            raise ValueError("weights must be non-negative")
+        total = sum(components.values())
+        if total <= 0:
+            raise ValueError("weights must not all be zero")
+        self._components = {obj: weight / total for obj, weight in components.items()}
+
+    def prepare(self, applications: Mapping[str, Application], capacity: float) -> None:
+        for objective in self._components:
+            objective.prepare(applications, capacity)
+
+    def score(
+        self,
+        app: Application,
+        microservice: Microservice,
+        allocated: Mapping[str, float],
+    ) -> float:
+        return sum(
+            weight * objective.score(app, microservice, allocated)
+            for objective, weight in self._components.items()
+        )

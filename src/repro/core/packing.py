@@ -1,0 +1,264 @@
+"""The Phoenix scheduler's packing heuristic (Algorithm 2 / Appendix B).
+
+The packing module maps the planner's globally ordered activation list onto
+healthy nodes using a three-pronged strategy:
+
+1. **Best fit** — place the replica on the healthy node with the *least*
+   free capacity that can still hold it.
+2. **Repack (migration)** — if no node fits, try to free one up by migrating
+   smaller replicas off a candidate node onto other nodes.
+3. **Delete lower ranks** — as a last resort, delete replicas of
+   lower-ranked microservices (from the tail of the planner's list) until
+   the replica fits.
+
+All work happens on a *copy* of the cluster state; the agent later applies
+the resulting action list to the real cluster.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.cluster.resources import Resources
+from repro.cluster.state import ClusterState, ReplicaId, SchedulingError
+from repro.core.plan import ActivationPlan, RankedMicroservice
+
+
+class _NodeIndex:
+    """Nodes indexed by free CPU so best-fit lookups avoid linear scans.
+
+    This mirrors the paper's use of sorted containers in the packing module.
+    The index is maintained incrementally as replicas are placed or removed.
+    """
+
+    def __init__(self, state: ClusterState) -> None:
+        self._state = state
+        self._entries: list[tuple[float, str]] = []
+        for node in state.healthy_nodes():
+            free = state.free_on(node.name)
+            bisect.insort(self._entries, (free.cpu, node.name))
+
+    def remove(self, node_name: str) -> None:
+        free = self._state.free_on(node_name).cpu
+        index = bisect.bisect_left(self._entries, (free, node_name))
+        while index < len(self._entries):
+            if self._entries[index][1] == node_name:
+                del self._entries[index]
+                return
+            if self._entries[index][0] > free:
+                break
+            index += 1
+        # Fallback (should not happen): linear removal.
+        self._entries = [e for e in self._entries if e[1] != node_name]
+
+    def reinsert(self, node_name: str) -> None:
+        free = self._state.free_on(node_name).cpu
+        bisect.insort(self._entries, (free, node_name))
+
+    def best_fit(self, demand: Resources) -> str | None:
+        """Healthy node with the smallest free capacity >= demand, or None."""
+        start = bisect.bisect_left(self._entries, (demand.cpu - 1e-9, ""))
+        for free_cpu, node_name in self._entries[start:]:
+            if demand.fits_within(self._state.free_on(node_name)):
+                return node_name
+        return None
+
+    def nodes_by_free_desc(self) -> list[str]:
+        return [name for _, name in reversed(self._entries)]
+
+
+@dataclass
+class PackingResult:
+    """Outcome of one packing run."""
+
+    #: Final replica -> node assignment (on the working copy).
+    assignment: dict[ReplicaId, str] = field(default_factory=dict)
+    #: Microservices that could not be placed (app, microservice).
+    unplaced: list[tuple[str, str]] = field(default_factory=list)
+    #: Replicas deleted by the delete-lower-ranks strategy.
+    deleted: list[ReplicaId] = field(default_factory=list)
+    #: Replicas migrated by the repacking strategy: replica -> (from, to).
+    migrated: dict[ReplicaId, tuple[str, str]] = field(default_factory=dict)
+
+
+class PackingHeuristic:
+    """Criticality-aware bin packing (Algorithm 2).
+
+    ``repack_candidate_nodes`` bounds how many nodes the migration strategy
+    examines per placement; the candidates with the most free capacity are
+    the ones most likely to be freed up, so a small bound keeps the heuristic
+    close to linear without changing its outcome in practice.
+    """
+
+    def __init__(
+        self,
+        allow_migration: bool = True,
+        allow_deletion: bool = True,
+        repack_candidate_nodes: int = 8,
+    ) -> None:
+        self.allow_migration = allow_migration
+        self.allow_deletion = allow_deletion
+        self.repack_candidate_nodes = repack_candidate_nodes
+
+    # -- public API ----------------------------------------------------------
+    def pack(self, state: ClusterState, plan: ActivationPlan) -> PackingResult:
+        """Pack the plan's activated microservices onto healthy nodes.
+
+        ``state`` must be a working copy the caller is willing to have
+        mutated; replicas already running on healthy nodes are kept in place
+        whenever possible.
+        """
+        result = PackingResult()
+        # Remove replicas stranded on failed nodes; they must be restarted.
+        state.evict_from_failed_nodes()
+
+        activated = list(plan.activated)
+        activated_set = {(e.app, e.microservice) for e in activated}
+        rank_of = {(e.app, e.microservice): i for i, e in enumerate(plan.ranked)}
+
+        # Delete running replicas of microservices the planner chose NOT to
+        # activate (diagonal scaling: turning off non-critical containers).
+        for replica, node_name in list(state.assignments.items()):
+            if (replica.app, replica.microservice) not in activated_set:
+                state.unassign(replica)
+                result.deleted.append(replica)
+
+        index = _NodeIndex(state)
+
+        for entry in activated:
+            placed = self._place_microservice(state, index, entry, rank_of, result)
+            if not placed:
+                result.unplaced.append((entry.app, entry.microservice))
+
+        result.assignment = state.assignments
+        return result
+
+    # -- internal steps --------------------------------------------------------
+    def _place_microservice(
+        self,
+        state: ClusterState,
+        index: _NodeIndex,
+        entry: RankedMicroservice,
+        rank_of: dict[tuple[str, str], int],
+        result: PackingResult,
+    ) -> bool:
+        """Place every replica of one microservice; all-or-nothing (Appendix D)."""
+        ms = state.microservice(entry.app, entry.microservice)
+        placed_now: list[ReplicaId] = []
+        for replica in state.iter_replicas(entry.app, entry.microservice):
+            if state.node_of(replica) is not None:
+                continue  # already running on a healthy node — keep in place
+            node_name = self._find_node(state, index, ms.resources, entry, rank_of, result)
+            if node_name is None:
+                # Roll back replicas of this microservice placed in this round.
+                for done in placed_now:
+                    node = state.node_of(done)
+                    assert node is not None
+                    index.remove(node)
+                    state.unassign(done)
+                    index.reinsert(node)
+                return False
+            self._assign(state, index, replica, node_name)
+            placed_now.append(replica)
+        return True
+
+    def _assign(self, state: ClusterState, index: _NodeIndex, replica: ReplicaId, node_name: str) -> None:
+        index.remove(node_name)
+        state.assign(replica, node_name)
+        index.reinsert(node_name)
+
+    def _find_node(
+        self,
+        state: ClusterState,
+        index: _NodeIndex,
+        demand: Resources,
+        entry: RankedMicroservice,
+        rank_of: dict[tuple[str, str], int],
+        result: PackingResult,
+    ) -> str | None:
+        node_name = index.best_fit(demand)
+        if node_name is not None:
+            return node_name
+        if self.allow_migration:
+            node_name = self._repack_to_fit(state, index, demand, result)
+            if node_name is not None:
+                return node_name
+        if self.allow_deletion:
+            node_name = self._delete_lower_ranks_to_fit(state, index, demand, entry, rank_of, result)
+            if node_name is not None:
+                return node_name
+        return None
+
+    def _repack_to_fit(
+        self,
+        state: ClusterState,
+        index: _NodeIndex,
+        demand: Resources,
+        result: PackingResult,
+    ) -> str | None:
+        """Try to free up one node by migrating its smallest replicas away.
+
+        Nodes are visited from most free to least free (they need the least
+        help to fit the new replica); only the top few candidates are tried.
+        Migration moves are applied eagerly; if a candidate still cannot fit
+        the demand the moves are kept (they only improve packing) and the
+        next candidate is tried, matching the heuristic's greedy character.
+        """
+        candidates = index.nodes_by_free_desc()[: self.repack_candidate_nodes]
+        for node_name in candidates:
+            if demand.fits_within(state.free_on(node_name)):
+                return node_name
+            residents = sorted(
+                state.replicas_on(node_name),
+                key=lambda r: state.microservice(r.app, r.microservice).resources.cpu,
+            )
+            # Exclude the candidate from the index while we migrate off it so
+            # that best-fit lookups for its residents never pick it again.
+            index.remove(node_name)
+            for resident in residents:
+                if demand.fits_within(state.free_on(node_name)):
+                    break
+                resident_demand = state.microservice(resident.app, resident.microservice).resources
+                target = index.best_fit(resident_demand)
+                if target is None:
+                    continue
+                state.unassign(resident)
+                self._assign(state, index, resident, target)
+                result.migrated[resident] = (node_name, target)
+            index.reinsert(node_name)
+            if demand.fits_within(state.free_on(node_name)):
+                return node_name
+        return None
+
+    def _delete_lower_ranks_to_fit(
+        self,
+        state: ClusterState,
+        index: _NodeIndex,
+        demand: Resources,
+        entry: RankedMicroservice,
+        rank_of: dict[tuple[str, str], int],
+        result: PackingResult,
+    ) -> str | None:
+        """Delete lower-priority running replicas until the demand fits."""
+        my_rank = rank_of.get((entry.app, entry.microservice), len(rank_of))
+        victims = sorted(
+            (
+                replica
+                for replica in state.assignments
+                if rank_of.get((replica.app, replica.microservice), len(rank_of)) > my_rank
+            ),
+            key=lambda r: rank_of.get((r.app, r.microservice), len(rank_of)),
+            reverse=True,
+        )
+        for victim in victims:
+            node_name = state.node_of(victim)
+            assert node_name is not None
+            index.remove(node_name)
+            state.unassign(victim)
+            index.reinsert(node_name)
+            result.deleted.append(victim)
+            candidate = index.best_fit(demand)
+            if candidate is not None:
+                return candidate
+        return None

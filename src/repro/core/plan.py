@@ -1,0 +1,115 @@
+"""Plan and action data model shared by the planner, scheduler and agent."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.cluster.state import ReplicaId
+
+
+@dataclass(frozen=True, slots=True)
+class RankedMicroservice:
+    """One entry of the planner's globally ordered activation list."""
+
+    app: str
+    microservice: str
+    #: CPU units of the full microservice (all replicas), used for reporting.
+    cpu: float = 0.0
+
+
+@dataclass
+class ActivationPlan:
+    """Output of the Phoenix planner (§4.1).
+
+    ``ranked`` is the global activation order across applications;
+    ``activated`` is the prefix that fits within the available capacity.
+    """
+
+    ranked: list[RankedMicroservice] = field(default_factory=list)
+    activated: list[RankedMicroservice] = field(default_factory=list)
+    capacity: float = 0.0
+    objective: str = "unspecified"
+
+    def activated_set(self) -> set[tuple[str, str]]:
+        return {(entry.app, entry.microservice) for entry in self.activated}
+
+    def activated_for(self, app: str) -> list[str]:
+        return [e.microservice for e in self.activated if e.app == app]
+
+    def __iter__(self) -> Iterator[RankedMicroservice]:
+        return iter(self.activated)
+
+    def __len__(self) -> int:
+        return len(self.activated)
+
+
+class ActionKind(enum.Enum):
+    """The three action types the Phoenix agent executes (§4.2, Appendix E)."""
+
+    DELETE = "delete"
+    MIGRATE = "migrate"
+    START = "start"
+
+
+@dataclass(frozen=True, slots=True)
+class Action:
+    """A single scheduling action to be applied to the cluster scheduler."""
+
+    kind: ActionKind
+    replica: ReplicaId
+    #: Target node for START and MIGRATE; None for DELETE.
+    target_node: str | None = None
+    #: Source node for MIGRATE and DELETE; None for START.
+    source_node: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind in (ActionKind.START, ActionKind.MIGRATE) and self.target_node is None:
+            raise ValueError(f"{self.kind.value} action requires a target node")
+        if self.kind is ActionKind.DELETE and self.target_node is not None:
+            raise ValueError("delete action must not carry a target node")
+
+
+@dataclass
+class SchedulePlan:
+    """Output of the Phoenix scheduler: target assignment plus action list."""
+
+    target_assignment: dict[ReplicaId, str] = field(default_factory=dict)
+    actions: list[Action] = field(default_factory=list)
+    #: Microservices (app, name) the packing heuristic could not place.
+    unplaced: list[tuple[str, str]] = field(default_factory=list)
+
+    def actions_of(self, kind: ActionKind) -> list[Action]:
+        return [a for a in self.actions if a.kind is kind]
+
+    @property
+    def deletions(self) -> list[Action]:
+        return self.actions_of(ActionKind.DELETE)
+
+    @property
+    def migrations(self) -> list[Action]:
+        return self.actions_of(ActionKind.MIGRATE)
+
+    @property
+    def starts(self) -> list[Action]:
+        return self.actions_of(ActionKind.START)
+
+    def ordered_actions(self) -> list[Action]:
+        """Actions in execution order: deletions, migrations, then starts.
+
+        Deletions free capacity first, migrations consolidate, and starts
+        consume the freed capacity — the order the Phoenix agent uses.
+        """
+        return [*self.deletions, *self.migrations, *self.starts]
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+
+def merge_action_lists(plans: Iterable[SchedulePlan]) -> list[Action]:
+    """Concatenate ordered actions from multiple plans (utility for tooling)."""
+    merged: list[Action] = []
+    for plan in plans:
+        merged.extend(plan.ordered_actions())
+    return merged

@@ -1,0 +1,249 @@
+"""Phoenix planner — the criticality-aware planning algorithm (Algorithm 1).
+
+The planner has two sub-modules:
+
+* :class:`PriorityEstimator` orders microservices *within* each application
+  by combining criticality tags with the application's dependency graph.
+  The traversal guarantees that (a) more-critical microservices never appear
+  after less-critical ones unless a dependency forces it, and (b) every
+  microservice appears after at least one of its predecessors, so every
+  prefix of the ordering is a connected, servable sub-application
+  (constraints Eq. 1 and Eq. 2 of the paper's LP).
+* :class:`GlobalRanker` merges the per-application orderings into a single
+  global activation list using the operator objective (fairness, revenue,
+  ...), charging each activation against the aggregate healthy capacity.
+
+``PhoenixPlanner`` wires the two together and is what the controller and the
+AdaptLab harness call.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cluster.application import Application
+from repro.cluster.state import ClusterState
+from repro.core.objectives import OperatorObjective
+from repro.core.plan import ActivationPlan, RankedMicroservice
+
+
+class PriorityEstimator:
+    """Order microservices within one application (Alg. 1, lines 5-20)."""
+
+    def rank(self, app: Application) -> list[str]:
+        """Return microservice names in activation-priority order."""
+        if not app.has_dependency_graph:
+            return self._rank_by_criticality(app)
+        return self._rank_with_dependencies(app)
+
+    @staticmethod
+    def _rank_by_criticality(app: Application) -> list[str]:
+        """No dependency graph: order purely by criticality, then name."""
+        return sorted(app.microservices, key=lambda n: (app.criticality_of(n).level, n))
+
+    @staticmethod
+    def _rank_with_dependencies(app: Application) -> list[str]:
+        """Criticality-keyed traversal of the dependency graph.
+
+        A frontier priority queue holds microservices whose activation would
+        not violate the topological constraint (source nodes, plus nodes with
+        at least one already-ranked predecessor).  The most critical frontier
+        node is ranked next; ties break on name for determinism.
+        """
+        graph = app.dependency_graph
+        assert graph is not None
+        ranked: list[str] = []
+        visited: set[str] = set()
+        queued: set[str] = set()
+        counter = itertools.count()
+        heap: list[tuple[int, int, str]] = []
+
+        def push(name: str) -> None:
+            if name in visited or name in queued:
+                return
+            queued.add(name)
+            heapq.heappush(heap, (app.criticality_of(name).level, next(counter), name))
+
+        for source in app.source_microservices():
+            push(source)
+
+        while heap:
+            _, _, name = heapq.heappop(heap)
+            queued.discard(name)
+            if name in visited:
+                continue
+            visited.add(name)
+            ranked.append(name)
+            for child in app.successors(name):
+                push(child)
+
+        # Microservices unreachable from any source (e.g. nodes inside a cycle
+        # with no external entry) are appended by criticality so the planner
+        # never silently drops containers.
+        leftovers = sorted(
+            (n for n in app.microservices if n not in visited),
+            key=lambda n: (app.criticality_of(n).level, n),
+        )
+        ranked.extend(leftovers)
+        return ranked
+
+
+@dataclass
+class _AppCursor:
+    """Iteration state over one application's priority list."""
+
+    app: Application
+    order: list[str]
+    index: int = 0
+
+    def current(self) -> str | None:
+        if self.index >= len(self.order):
+            return None
+        return self.order[self.index]
+
+    def advance(self) -> None:
+        self.index += 1
+
+
+class GlobalRanker:
+    """Merge per-application orderings using the operator objective."""
+
+    def __init__(self, objective: OperatorObjective) -> None:
+        self._objective = objective
+
+    @property
+    def objective(self) -> OperatorObjective:
+        return self._objective
+
+    def rank(
+        self,
+        applications: Mapping[str, Application],
+        app_rank: Mapping[str, list[str]],
+        capacity: float,
+    ) -> ActivationPlan:
+        """Produce the global activation list (Alg. 1, lines 21-30).
+
+        ``capacity`` is the aggregate CPU capacity of healthy nodes; the
+        activated prefix never exceeds it.  The full ranked list is also
+        recorded so the scheduler can use it for deletion ordering.
+        """
+        self._objective.prepare(applications, capacity)
+        allocated = {name: 0.0 for name in applications}
+        cursors = {
+            name: _AppCursor(applications[name], list(app_rank.get(name, [])))
+            for name in applications
+        }
+
+        ranked: list[RankedMicroservice] = []
+        activated: list[RankedMicroservice] = []
+        remaining = capacity
+        #: Applications whose next container did not fit.  Further containers
+        #: of a blocked application are still *ranked* (the scheduler uses the
+        #: full order for deletions) but never *activated*, which preserves the
+        #: intra-application criticality and dependency constraints (Eq. 1/2).
+        blocked: set[str] = set()
+
+        while True:
+            best_app: str | None = None
+            best_score = float("-inf")
+            for name, cursor in cursors.items():
+                ms_name = cursor.current()
+                if ms_name is None:
+                    continue
+                ms = cursor.app.get(ms_name)
+                score = self._objective.score(cursor.app, ms, allocated)
+                if score > best_score or (score == best_score and (best_app is None or name < best_app)):
+                    best_score = score
+                    best_app = name
+            if best_app is None:
+                break
+
+            cursor = cursors[best_app]
+            ms_name = cursor.current()
+            assert ms_name is not None
+            ms = cursor.app.get(ms_name)
+            demand = ms.total_resources.cpu
+            entry = RankedMicroservice(best_app, ms_name, demand)
+            ranked.append(entry)
+            if best_app not in blocked and demand <= remaining + 1e-9:
+                activated.append(entry)
+                remaining -= demand
+                allocated[best_app] += demand
+            else:
+                # Capacity exhausted for this application.  Unlike the paper's
+                # pseudo-code, which breaks out of the loop entirely, we keep
+                # scanning other applications so that smaller containers can
+                # still use leftover capacity; this strictly increases
+                # utilization and never violates per-application ordering.
+                blocked.add(best_app)
+            cursor.advance()
+
+        return ActivationPlan(
+            ranked=ranked,
+            activated=activated,
+            capacity=capacity,
+            objective=self._objective.name,
+        )
+
+
+class PhoenixPlanner:
+    """The complete Phoenix planner: priority estimation + global ranking."""
+
+    def __init__(self, objective: OperatorObjective) -> None:
+        self._estimator = PriorityEstimator()
+        self._ranker = GlobalRanker(objective)
+
+    @property
+    def objective(self) -> OperatorObjective:
+        return self._ranker.objective
+
+    def app_ranks(self, applications: Mapping[str, Application]) -> dict[str, list[str]]:
+        """Per-application priority lists (exposed for tests and tooling)."""
+        return {name: self._estimator.rank(app) for name, app in applications.items()}
+
+    def plan(self, state: ClusterState) -> ActivationPlan:
+        """Plan activations for the current cluster state.
+
+        Stateful microservices are excluded from diagonal scaling: they are
+        charged against capacity up front and never appear in the ranked
+        list, mirroring Phoenix's stateless-only scope (§5).
+        """
+        applications = state.applications
+        capacity = state.total_capacity().cpu
+
+        pinned = 0.0
+        degradable: dict[str, Application] = {}
+        pinned_entries: list[RankedMicroservice] = []
+        for name, app in applications.items():
+            stateless = [ms for ms in app if not ms.stateful]
+            stateful = [ms for ms in app if ms.stateful]
+            pinned += sum(ms.total_resources.cpu for ms in stateful)
+            pinned_entries.extend(
+                RankedMicroservice(name, ms.name, ms.total_resources.cpu) for ms in stateful
+            )
+            if stateful:
+                degradable[name] = Application(
+                    name=app.name,
+                    microservices={ms.name: ms for ms in stateless},
+                    dependency_graph=(
+                        app.dependency_graph.subgraph(ms.name for ms in stateless).copy()
+                        if app.dependency_graph is not None
+                        else None
+                    ),
+                    price_per_unit=app.price_per_unit,
+                    critical_service=app.critical_service,
+                )
+            else:
+                degradable[name] = app
+
+        available = max(0.0, capacity - pinned)
+        app_rank = self.app_ranks(degradable)
+        plan = self._ranker.rank(degradable, app_rank, available)
+        # Stateful microservices are always part of the target state.
+        plan.activated = pinned_entries + plan.activated
+        plan.ranked = pinned_entries + plan.ranked
+        plan.capacity = capacity
+        return plan

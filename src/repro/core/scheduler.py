@@ -1,0 +1,104 @@
+"""Phoenix scheduler: turn an activation plan into an executable action list.
+
+The scheduler runs the packing heuristic on a *copy* of the live cluster
+state and then diffs the packed target assignment against the live
+assignment to produce an ordered list of DELETE, MIGRATE and START actions
+(§4.2).  The Phoenix agent (see :mod:`repro.core.controller`) executes the
+actions against the underlying cluster scheduler.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.state import ClusterState, ReplicaId
+from repro.core.packing import PackingHeuristic, PackingResult
+from repro.core.plan import Action, ActionKind, ActivationPlan, SchedulePlan
+
+
+class PhoenixScheduler:
+    """Maps the planner's activation list to nodes and emits actions."""
+
+    def __init__(self, allow_migration: bool = True, allow_deletion: bool = True) -> None:
+        self._packer = PackingHeuristic(
+            allow_migration=allow_migration,
+            allow_deletion=allow_deletion,
+        )
+
+    @property
+    def packer(self) -> PackingHeuristic:
+        return self._packer
+
+    def schedule(self, state: ClusterState, plan: ActivationPlan) -> SchedulePlan:
+        """Produce a :class:`SchedulePlan` for ``plan`` on ``state``.
+
+        ``state`` is not mutated; all packing happens on a copy.
+        """
+        working = state.copy()
+        packing = self._packer.pack(working, plan)
+        actions = self._diff(state, packing)
+        return SchedulePlan(
+            target_assignment=dict(packing.assignment),
+            actions=actions,
+            unplaced=list(packing.unplaced),
+        )
+
+    @staticmethod
+    def _diff(live: ClusterState, packing: PackingResult) -> list[Action]:
+        """Compute actions that transform the live assignment into the target."""
+        live_assignment = live.assignments
+        target = packing.assignment
+
+        deletions: list[Action] = []
+        migrations: list[Action] = []
+        starts: list[Action] = []
+
+        for replica, live_node in live_assignment.items():
+            target_node = target.get(replica)
+            node_failed = live.node(live_node).failed
+            if target_node is None:
+                # Replica should not run any more.  If its node failed there
+                # is nothing to delete (Kubernetes garbage-collects it when
+                # the node returns); otherwise issue an explicit deletion.
+                if not node_failed:
+                    deletions.append(
+                        Action(ActionKind.DELETE, replica, source_node=live_node)
+                    )
+            elif target_node != live_node:
+                if node_failed:
+                    # The old copy is gone with its node: a plain restart.
+                    starts.append(
+                        Action(ActionKind.START, replica, target_node=target_node)
+                    )
+                else:
+                    migrations.append(
+                        Action(
+                            ActionKind.MIGRATE,
+                            replica,
+                            target_node=target_node,
+                            source_node=live_node,
+                        )
+                    )
+
+        for replica, target_node in target.items():
+            if replica not in live_assignment:
+                starts.append(Action(ActionKind.START, replica, target_node=target_node))
+
+        def sort_key(action: Action) -> tuple[str, str, int]:
+            return (action.replica.app, action.replica.microservice, action.replica.replica)
+
+        deletions.sort(key=sort_key)
+        migrations.sort(key=sort_key)
+        starts.sort(key=sort_key)
+        return [*deletions, *migrations, *starts]
+
+
+def apply_schedule(state: ClusterState, schedule: SchedulePlan) -> None:
+    """Apply a schedule's target assignment directly to a cluster state.
+
+    This is the "instantaneous" execution path used by AdaptLab simulations
+    (where action latencies are not modelled); the Kubernetes-backed agent in
+    :mod:`repro.core.controller` executes actions one by one instead.
+    """
+    for replica in list(state.assignments):
+        state.unassign(replica)
+    for replica, node_name in schedule.target_assignment.items():
+        state.assign(replica, node_name)

@@ -1,0 +1,111 @@
+"""Criticality tags — the application-facing interface of Phoenix.
+
+Applications express their resilience requirements by tagging each container
+with a criticality level ``C1, C2, ... Cn`` where a *lower* number means
+*higher* importance (§3 of the paper).  Untagged containers default to the
+highest criticality, which makes partial adoption safe (§5, "Partial
+Tagging"): an operator can never accidentally turn off something the
+application did not explicitly mark as degradable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+#: Number of criticality levels used by default throughout the repo and in
+#: the paper's experiments (C1 .. C10).  Tags beyond this are still valid.
+DEFAULT_LEVELS = 10
+
+_TAG_RE = re.compile(r"^[Cc](\d+)$")
+
+
+@dataclass(frozen=True, order=False, slots=True)
+class CriticalityTag:
+    """A criticality level.  ``CriticalityTag(1)`` is the most critical.
+
+    Ordering is defined so that *higher priority sorts first*:
+    ``CriticalityTag(1) < CriticalityTag(2)``.
+    """
+
+    level: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.level, int) or isinstance(self.level, bool):
+            raise TypeError(f"criticality level must be an int, got {self.level!r}")
+        if self.level < 1:
+            raise ValueError(f"criticality level must be >= 1, got {self.level}")
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def parse(cls, value: "CriticalityTag | int | str") -> "CriticalityTag":
+        """Parse a tag from an int (``1``), string (``"C1"``/``"c1"``) or tag."""
+        if isinstance(value, CriticalityTag):
+            return value
+        if isinstance(value, int) and not isinstance(value, bool):
+            return cls(value)
+        if isinstance(value, str):
+            match = _TAG_RE.match(value.strip())
+            if match:
+                return cls(int(match.group(1)))
+            if value.strip().isdigit():
+                return cls(int(value.strip()))
+        raise ValueError(f"cannot parse criticality tag from {value!r}")
+
+    # -- ordering ------------------------------------------------------------
+    def __lt__(self, other: "CriticalityTag") -> bool:
+        return self.level < other.level
+
+    def __le__(self, other: "CriticalityTag") -> bool:
+        return self.level <= other.level
+
+    def __gt__(self, other: "CriticalityTag") -> bool:
+        return self.level > other.level
+
+    def __ge__(self, other: "CriticalityTag") -> bool:
+        return self.level >= other.level
+
+    def is_more_critical_than(self, other: "CriticalityTag") -> bool:
+        """True when this tag outranks ``other`` (lower level number)."""
+        return self.level < other.level
+
+    def __str__(self) -> str:
+        return f"C{self.level}"
+
+
+#: The default tag for untagged containers.
+HIGHEST_CRITICALITY = CriticalityTag(1)
+
+#: Lowest commonly used tag (good-to-have features).
+LOWEST_DEFAULT_CRITICALITY = CriticalityTag(DEFAULT_LEVELS)
+
+
+def normalize_tags(
+    tags: Mapping[str, "CriticalityTag | int | str"] | None,
+    names: Iterable[str],
+) -> dict[str, CriticalityTag]:
+    """Produce a complete name -> tag mapping for ``names``.
+
+    Missing or ``None`` entries default to :data:`HIGHEST_CRITICALITY`,
+    implementing the paper's partial-tagging rule.
+    """
+    tags = dict(tags or {})
+    normalized: dict[str, CriticalityTag] = {}
+    for name in names:
+        raw = tags.get(name)
+        normalized[name] = HIGHEST_CRITICALITY if raw is None else CriticalityTag.parse(raw)
+    return normalized
+
+
+def criticality_breakdown(
+    tagged_resources: Mapping[CriticalityTag, float],
+) -> dict[str, float]:
+    """Return the fraction of resources at each criticality level.
+
+    Used to regenerate Figure 9 (resource breakdown across criticalities).
+    """
+    total = sum(tagged_resources.values())
+    if total <= 0:
+        return {str(tag): 0.0 for tag in tagged_resources}
+    return {str(tag): value / total for tag, value in sorted(tagged_resources.items())}

@@ -1,0 +1,51 @@
+"""Kubernetes-like cluster simulator (the CloudLab substrate stand-in)."""
+
+from repro.kubesim.apiserver import ApiError, ApiServer, Event
+from repro.kubesim.cluster import (
+    KubeCluster,
+    KubeClusterConfig,
+    PhoenixKubeBackend,
+    criticality_to_priority,
+)
+from repro.kubesim.controller_manager import DeploymentController
+from repro.kubesim.kubelet import Kubelet, NodeLifecycleController
+from repro.kubesim.objects import (
+    APP_LABEL,
+    CRITICALITY_LABEL,
+    MICROSERVICE_LABEL,
+    PHOENIX_ENABLED_LABEL,
+    Deployment,
+    KubeNode,
+    Namespace,
+    NodeCondition,
+    Pod,
+    PodPhase,
+    PodSpec,
+)
+from repro.kubesim.scheduler import DefaultScheduler, SchedulingDecision
+
+__all__ = [
+    "ApiError",
+    "ApiServer",
+    "Event",
+    "KubeCluster",
+    "KubeClusterConfig",
+    "PhoenixKubeBackend",
+    "criticality_to_priority",
+    "DeploymentController",
+    "Kubelet",
+    "NodeLifecycleController",
+    "APP_LABEL",
+    "CRITICALITY_LABEL",
+    "MICROSERVICE_LABEL",
+    "PHOENIX_ENABLED_LABEL",
+    "Deployment",
+    "KubeNode",
+    "Namespace",
+    "NodeCondition",
+    "Pod",
+    "PodPhase",
+    "PodSpec",
+    "DefaultScheduler",
+    "SchedulingDecision",
+]

@@ -1,0 +1,214 @@
+"""In-memory Kubernetes-like API server.
+
+Stores namespaces, nodes, deployments and pods, and offers the CRUD + label
+selector queries the rest of the simulator (and the Phoenix agent adapter)
+relies on.  A small event log makes the simulator's behaviour observable in
+tests and the Figure 6 timeline experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from repro.kubesim.objects import Deployment, KubeNode, Namespace, Pod, PodPhase
+
+
+class ApiError(KeyError):
+    """Raised for missing or conflicting API objects."""
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One line of the cluster event log."""
+
+    time: float
+    kind: str
+    obj: str
+    message: str = ""
+
+
+def _matches(labels: Mapping[str, str], selector: Mapping[str, str] | None) -> bool:
+    if not selector:
+        return True
+    return all(labels.get(key) == value for key, value in selector.items())
+
+
+@dataclass
+class ApiServer:
+    """The cluster's source of truth."""
+
+    namespaces: dict[str, Namespace] = field(default_factory=dict)
+    nodes: dict[str, KubeNode] = field(default_factory=dict)
+    deployments: dict[tuple[str, str], Deployment] = field(default_factory=dict)
+    pods: dict[tuple[str, str], Pod] = field(default_factory=dict)
+    events: list[Event] = field(default_factory=list)
+    clock: float = 0.0
+
+    # -- event log --------------------------------------------------------------
+    def record(self, kind: str, obj: str, message: str = "") -> None:
+        self.events.append(Event(self.clock, kind, obj, message))
+
+    def events_of(self, kind: str) -> list[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+    # -- namespaces ----------------------------------------------------------------
+    def create_namespace(self, namespace: Namespace) -> Namespace:
+        if namespace.name in self.namespaces:
+            raise ApiError(f"namespace {namespace.name!r} already exists")
+        self.namespaces[namespace.name] = namespace
+        self.record("NamespaceCreated", namespace.name)
+        return namespace
+
+    def get_namespace(self, name: str) -> Namespace:
+        try:
+            return self.namespaces[name]
+        except KeyError as exc:
+            raise ApiError(f"namespace {name!r} not found") from exc
+
+    # -- nodes ----------------------------------------------------------------------
+    def register_node(self, node: KubeNode) -> KubeNode:
+        if node.name in self.nodes:
+            raise ApiError(f"node {node.name!r} already registered")
+        node.last_heartbeat = self.clock
+        self.nodes[node.name] = node
+        self.record("NodeRegistered", node.name)
+        return node
+
+    def get_node(self, name: str) -> KubeNode:
+        try:
+            return self.nodes[name]
+        except KeyError as exc:
+            raise ApiError(f"node {name!r} not found") from exc
+
+    def list_nodes(self, ready_only: bool = False) -> list[KubeNode]:
+        nodes = list(self.nodes.values())
+        if ready_only:
+            nodes = [n for n in nodes if n.is_ready]
+        return sorted(nodes, key=lambda n: n.name)
+
+    # -- deployments -----------------------------------------------------------------
+    def create_deployment(self, deployment: Deployment) -> Deployment:
+        key = (deployment.namespace, deployment.name)
+        if key in self.deployments:
+            raise ApiError(f"deployment {key} already exists")
+        self.get_namespace(deployment.namespace)
+        self.deployments[key] = deployment
+        self.record("DeploymentCreated", f"{deployment.namespace}/{deployment.name}")
+        return deployment
+
+    def get_deployment(self, namespace: str, name: str) -> Deployment:
+        try:
+            return self.deployments[(namespace, name)]
+        except KeyError as exc:
+            raise ApiError(f"deployment {namespace}/{name} not found") from exc
+
+    def list_deployments(
+        self,
+        namespace: str | None = None,
+        selector: Mapping[str, str] | None = None,
+    ) -> list[Deployment]:
+        items = [
+            d
+            for (ns, _), d in self.deployments.items()
+            if (namespace is None or ns == namespace) and _matches(d.labels, selector)
+        ]
+        return sorted(items, key=lambda d: (d.namespace, d.name))
+
+    def scale_deployment(self, namespace: str, name: str, replicas: int) -> Deployment:
+        if replicas < 0:
+            raise ValueError("replicas must be non-negative")
+        deployment = self.get_deployment(namespace, name)
+        if deployment.replicas != replicas:
+            self.record(
+                "DeploymentScaled",
+                f"{namespace}/{name}",
+                f"{deployment.replicas} -> {replicas}",
+            )
+        deployment.replicas = replicas
+        return deployment
+
+    # -- pods --------------------------------------------------------------------------
+    def create_pod(self, pod: Pod) -> Pod:
+        key = (pod.namespace, pod.name)
+        if key in self.pods:
+            raise ApiError(f"pod {key} already exists")
+        self.pods[key] = pod
+        self.record("PodCreated", f"{pod.namespace}/{pod.name}")
+        return pod
+
+    def get_pod(self, namespace: str, name: str) -> Pod:
+        try:
+            return self.pods[(namespace, name)]
+        except KeyError as exc:
+            raise ApiError(f"pod {namespace}/{name} not found") from exc
+
+    def list_pods(
+        self,
+        namespace: str | None = None,
+        selector: Mapping[str, str] | None = None,
+        node_name: str | None = None,
+        phases: Iterable[PodPhase] | None = None,
+        predicate: Callable[[Pod], bool] | None = None,
+    ) -> list[Pod]:
+        phase_set = set(phases) if phases is not None else None
+        items = []
+        for (ns, _), pod in self.pods.items():
+            if namespace is not None and ns != namespace:
+                continue
+            if not _matches(pod.labels, selector):
+                continue
+            if node_name is not None and pod.node_name != node_name:
+                continue
+            if phase_set is not None and pod.phase not in phase_set:
+                continue
+            if predicate is not None and not predicate(pod):
+                continue
+            items.append(pod)
+        return sorted(items, key=lambda p: (p.namespace, p.name))
+
+    def delete_pod(self, namespace: str, name: str, grace: bool = True) -> Pod:
+        """Mark a pod Terminating (graceful) or remove it immediately."""
+        pod = self.get_pod(namespace, name)
+        if not grace or pod.phase in (PodPhase.PENDING, PodPhase.FAILED):
+            pod.phase = PodPhase.DELETED
+            self.pods.pop((namespace, name), None)
+            self.record("PodDeleted", f"{namespace}/{name}", "immediate")
+        elif pod.phase is not PodPhase.TERMINATING:
+            pod.phase = PodPhase.TERMINATING
+            pod.phase_deadline = self.clock + pod.spec.termination_seconds
+            self.record("PodTerminating", f"{namespace}/{name}")
+        return pod
+
+    def remove_pod_object(self, namespace: str, name: str) -> None:
+        """Garbage-collect a pod object entirely (post-termination)."""
+        self.pods.pop((namespace, name), None)
+        self.record("PodRemoved", f"{namespace}/{name}")
+
+    # -- capacity helpers ------------------------------------------------------------------
+    def node_allocated(self, node_name: str):
+        """Resources requested by active pods on one node."""
+        from repro.cluster.resources import Resources, total
+
+        return total(
+            pod.spec.resources
+            for pod in self.pods.values()
+            if pod.node_name == node_name and pod.is_active
+        ) if self.pods else Resources.zero()
+
+    def node_free(self, node_name: str):
+        """Free capacity on a node, floored at zero.
+
+        A node can be transiently overcommitted (e.g. a replacement pod bound
+        while its predecessor is still terminating); reporting zero free
+        capacity in that window keeps the schedulers from stacking more onto
+        the node without turning the transient into an error.
+        """
+        from repro.cluster.resources import Resources
+
+        node = self.get_node(node_name)
+        allocated = self.node_allocated(node_name)
+        return Resources(
+            cpu=max(0.0, node.capacity.cpu - allocated.cpu),
+            memory=max(0.0, node.capacity.memory - allocated.memory),
+        )

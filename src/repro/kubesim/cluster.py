@@ -1,0 +1,275 @@
+"""KubeCluster facade: ties the API server, scheduler, kubelets and
+controllers together behind a simulation clock, and adapts the cluster to
+Phoenix's :class:`~repro.core.controller.ClusterBackend` protocol.
+
+This is the stand-in for the paper's 200-CPU CloudLab Kubernetes cluster:
+applications are deployed into namespaces (one namespace per application
+instance, labelled ``phoenix=enabled``), node failures are injected by
+stopping kubelets, and Phoenix drives recovery through the same primitives
+the real agent uses — deleting pods, creating pods, and scaling deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.application import Application
+from repro.cluster.node import Node
+from repro.cluster.resources import Resources
+from repro.cluster.state import ClusterState, ReplicaId
+from repro.core.plan import Action, ActionKind
+from repro.kubesim.apiserver import ApiServer
+from repro.kubesim.controller_manager import DeploymentController
+from repro.kubesim.kubelet import Kubelet, NodeLifecycleController
+from repro.kubesim.objects import (
+    APP_LABEL,
+    MICROSERVICE_LABEL,
+    PHOENIX_ENABLED_LABEL,
+    Deployment,
+    KubeNode,
+    Namespace,
+    Pod,
+    PodPhase,
+    PodSpec,
+)
+from repro.kubesim.scheduler import DefaultScheduler
+
+
+def criticality_to_priority(level: int, max_level: int = 10) -> int:
+    """Map a criticality level to a Kubernetes pod priority (higher = sooner)."""
+    return max(0, (max_level - level + 1) * 100)
+
+
+@dataclass
+class KubeClusterConfig:
+    """Tunables of the simulated cluster."""
+
+    node_count: int = 25
+    node_capacity: Resources = field(default_factory=lambda: Resources(cpu=8.0, memory=16.0))
+    tick_seconds: float = 5.0
+    heartbeat_grace: float = 40.0
+    pod_eviction_timeout: float = 60.0
+    pod_startup_seconds: float = 10.0
+    pod_termination_seconds: float = 5.0
+    enable_preemption: bool = True
+
+
+class KubeCluster:
+    """A self-contained Kubernetes-like cluster simulation."""
+
+    def __init__(self, config: KubeClusterConfig | None = None) -> None:
+        self.config = config or KubeClusterConfig()
+        self.api = ApiServer()
+        self.kubelets: dict[str, Kubelet] = {}
+        for index in range(self.config.node_count):
+            name = f"node-{index}"
+            self.api.register_node(KubeNode(name=name, capacity=self.config.node_capacity))
+            self.kubelets[name] = Kubelet(node_name=name)
+        self.scheduler = DefaultScheduler(self.api, enable_preemption=self.config.enable_preemption)
+        self.deployment_controller = DeploymentController(self.api)
+        self.node_controller = NodeLifecycleController(
+            self.api,
+            heartbeat_grace=self.config.heartbeat_grace,
+            pod_eviction_timeout=self.config.pod_eviction_timeout,
+        )
+        #: Applications registered with the cluster, keyed by namespace.
+        self.applications: dict[str, Application] = {}
+
+    # -- time ---------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.api.clock
+
+    def step(self, seconds: float) -> None:
+        """Advance simulated time, running all control loops every tick."""
+        if seconds < 0:
+            raise ValueError("cannot step backwards in time")
+        remaining = seconds
+        tick = self.config.tick_seconds
+        while remaining > 1e-9:
+            delta = min(tick, remaining)
+            self.api.clock += delta
+            for kubelet in self.kubelets.values():
+                kubelet.tick(self.api)
+            self.node_controller.tick()
+            self.deployment_controller.reconcile()
+            self.scheduler.schedule_pending()
+            remaining -= delta
+
+    # -- application deployment ----------------------------------------------------
+    def deploy_application(
+        self,
+        app: Application,
+        phoenix_enabled: bool = True,
+        use_criticality_priority: bool = False,
+    ) -> None:
+        """Create a namespace and one deployment per microservice.
+
+        ``use_criticality_priority`` maps criticality tags onto Kubernetes pod
+        priorities (the "Priority" baseline).  It is off by default: vanilla
+        Kubernetes knows nothing about criticality tags, and Phoenix performs
+        its own planning, so neither needs pod priorities.
+        """
+        labels = {PHOENIX_ENABLED_LABEL: "enabled"} if phoenix_enabled else {}
+        self.api.create_namespace(Namespace(name=app.name, labels=labels))
+        self.applications[app.name] = app
+        for ms in app:
+            spec = PodSpec(
+                app=app.name,
+                microservice=ms.name,
+                resources=ms.resources,
+                criticality_label=str(ms.criticality),
+                priority=(
+                    criticality_to_priority(ms.criticality.level)
+                    if use_criticality_priority
+                    else 0
+                ),
+                startup_seconds=self.config.pod_startup_seconds,
+                termination_seconds=self.config.pod_termination_seconds,
+            )
+            self.api.create_deployment(
+                Deployment(name=ms.name, namespace=app.name, spec=spec, replicas=ms.replicas)
+            )
+
+    # -- failure injection -----------------------------------------------------------
+    def fail_nodes(self, names: list[str]) -> None:
+        """Stop the kubelet on each node (the paper's failure methodology)."""
+        for name in names:
+            self.kubelets[name].stop()
+            self.api.record("KubeletStopped", name)
+
+    def recover_nodes(self, names: list[str]) -> None:
+        for name in names:
+            self.kubelets[name].start()
+            self.api.record("KubeletStarted", name)
+
+    def ready_nodes(self) -> list[str]:
+        return [n.name for n in self.api.list_nodes(ready_only=True)]
+
+    # -- observation -------------------------------------------------------------------
+    def serving_microservices(self, namespace: str) -> set[str]:
+        """Microservices of an application whose replicas are all Running."""
+        app = self.applications[namespace]
+        serving = set()
+        for ms in app:
+            pods = self.api.list_pods(
+                namespace=namespace,
+                selector={MICROSERVICE_LABEL: ms.name},
+                phases=[PodPhase.RUNNING],
+            )
+            ready = [p for p in pods if p.node_name and self.api.get_node(p.node_name).is_ready]
+            if len(ready) >= ms.replicas:
+                serving.add(ms.name)
+        return serving
+
+    def to_cluster_state(self) -> ClusterState:
+        """Snapshot the cluster into the planner-facing :class:`ClusterState`."""
+        state = ClusterState()
+        for node in self.api.list_nodes():
+            state.add_node(Node(node.name, node.capacity, failed=not node.is_ready))
+        for app in self.applications.values():
+            state.add_application(app)
+        #: (namespace, microservice) -> next replica index to hand out
+        counters: dict[tuple[str, str], int] = {}
+        for pod in self.api.list_pods(phases=[PodPhase.STARTING, PodPhase.RUNNING]):
+            namespace = pod.labels.get(APP_LABEL, pod.namespace)
+            if namespace not in self.applications:
+                continue
+            ms_name = pod.labels[MICROSERVICE_LABEL]
+            app = self.applications[namespace]
+            if ms_name not in app:
+                continue
+            key = (namespace, ms_name)
+            index = counters.get(key, 0)
+            if index >= app.get(ms_name).replicas:
+                continue
+            counters[key] = index + 1
+            replica = ReplicaId(namespace, ms_name, index)
+            if pod.node_name is not None:
+                node = state.node(pod.node_name)
+                if node.is_healthy:
+                    state.assign(replica, pod.node_name, enforce_capacity=False)
+        return state
+
+    # -- pod-level helpers used by the Phoenix backend -----------------------------------
+    def pods_of(self, namespace: str, microservice: str, active_only: bool = True) -> list[Pod]:
+        pods = self.api.list_pods(namespace=namespace, selector={MICROSERVICE_LABEL: microservice})
+        if active_only:
+            pods = [p for p in pods if p.phase in (PodPhase.PENDING, PodPhase.STARTING, PodPhase.RUNNING)]
+        return pods
+
+
+class PhoenixKubeBackend:
+    """Adapts :class:`KubeCluster` to Phoenix's ``ClusterBackend`` protocol.
+
+    Phoenix actions are executed with the same primitives the real agent
+    uses: graceful pod deletion, pod creation bound to a specific node
+    (Phoenix acts as the placement authority, like a scheduler extender),
+    and deployment scaling so the replica controller agrees with the target
+    state instead of fighting it.
+    """
+
+    def __init__(self, cluster: KubeCluster) -> None:
+        self.cluster = cluster
+
+    # -- ClusterBackend ------------------------------------------------------------
+    def observe(self) -> ClusterState:
+        return self.cluster.to_cluster_state()
+
+    def execute(self, actions: list[Action]) -> None:
+        api = self.cluster.api
+        target_replicas: dict[tuple[str, str], int] = {}
+        for action in actions:
+            namespace = action.replica.app
+            microservice = action.replica.microservice
+            key = (namespace, microservice)
+            if action.kind is ActionKind.DELETE:
+                self._delete_one(namespace, microservice, action.source_node)
+                target_replicas[key] = target_replicas.get(
+                    key, self._live_count(namespace, microservice)
+                )
+            elif action.kind is ActionKind.START:
+                self._start_one(namespace, microservice, action.target_node)
+                target_replicas[key] = self._live_count(namespace, microservice)
+            elif action.kind is ActionKind.MIGRATE:
+                self._delete_one(namespace, microservice, action.source_node)
+                self._start_one(namespace, microservice, action.target_node)
+                target_replicas[key] = self._live_count(namespace, microservice)
+        # Align deployment replica counts with what Phoenix just enacted so
+        # the deployment controller neither recreates deleted pods nor
+        # deletes freshly started ones.
+        for (namespace, microservice), count in target_replicas.items():
+            try:
+                api.scale_deployment(namespace, microservice, count)
+            except KeyError:
+                continue
+
+    # -- primitives -----------------------------------------------------------------
+    def _live_count(self, namespace: str, microservice: str) -> int:
+        return len(self.cluster.pods_of(namespace, microservice))
+
+    def _delete_one(self, namespace: str, microservice: str, source_node: str | None) -> None:
+        pods = self.cluster.pods_of(namespace, microservice)
+        chosen = None
+        if source_node is not None:
+            on_node = [p for p in pods if p.node_name == source_node]
+            chosen = on_node[0] if on_node else None
+        if chosen is None and pods:
+            chosen = pods[0]
+        if chosen is not None:
+            self.cluster.api.delete_pod(chosen.namespace, chosen.name)
+
+    def _start_one(self, namespace: str, microservice: str, target_node: str | None) -> None:
+        app = self.cluster.applications[namespace]
+        ms = app.get(microservice)
+        deployment = self.cluster.api.get_deployment(namespace, microservice)
+        pod = Pod.from_spec(namespace, deployment.spec, owner=deployment.name)
+        self.cluster.api.create_pod(pod)
+        if target_node is not None and self.cluster.api.get_node(target_node).is_ready:
+            pod.node_name = target_node
+            pod.phase = PodPhase.STARTING
+            pod.phase_deadline = self.cluster.api.clock + deployment.spec.startup_seconds
+            self.cluster.api.record("PodBound", f"{namespace}/{pod.name}", f"{target_node} (phoenix)")
+        # If the target node is unavailable the pod stays Pending and the
+        # default scheduler places it on the next tick.
+        del ms  # resources are carried by the deployment spec

@@ -1,0 +1,57 @@
+"""Deployment controller: reconcile desired replica counts.
+
+For every deployment the controller ensures the number of live pods matches
+``deployment.replicas`` — creating pending pods when under-replicated and
+gracefully deleting the newest pods when over-replicated.  Phoenix drives
+diagonal scaling *through* this controller by scaling deployments to zero
+(turn off) or back to their desired count (turn on), just as the real
+Phoenix agent does with the Kubernetes API.
+"""
+
+from __future__ import annotations
+
+from repro.kubesim.apiserver import ApiServer
+from repro.kubesim.objects import MICROSERVICE_LABEL, Pod, PodPhase
+
+
+class DeploymentController:
+    """Replica reconciliation loop."""
+
+    def __init__(self, api: ApiServer) -> None:
+        self.api = api
+
+    def reconcile(self) -> int:
+        """Reconcile every deployment once; returns number of changes made."""
+        changes = 0
+        for deployment in self.api.list_deployments():
+            if deployment.paused:
+                continue
+            pods = self._owned_pods(deployment.namespace, deployment.name)
+            live = [p for p in pods if p.phase not in (PodPhase.TERMINATING, PodPhase.FAILED)]
+            desired = deployment.replicas
+            if len(live) < desired:
+                for index in range(desired - len(live)):
+                    pod = Pod.from_spec(
+                        deployment.namespace,
+                        deployment.spec,
+                        owner=deployment.name,
+                        replica_index=len(live) + index,
+                    )
+                    self.api.create_pod(pod)
+                    changes += 1
+            elif len(live) > desired:
+                # Delete newest first, matching Kubernetes' default policy.
+                for pod in sorted(live, key=lambda p: p.name, reverse=True)[: len(live) - desired]:
+                    self.api.delete_pod(pod.namespace, pod.name)
+                    changes += 1
+        return changes
+
+    def _owned_pods(self, namespace: str, deployment_name: str) -> list[Pod]:
+        return [
+            p
+            for p in self.api.list_pods(namespace=namespace)
+            if p.owner == deployment_name
+        ]
+
+    def pods_for_microservice(self, namespace: str, microservice: str) -> list[Pod]:
+        return self.api.list_pods(namespace=namespace, selector={MICROSERVICE_LABEL: microservice})

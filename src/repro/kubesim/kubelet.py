@@ -1,0 +1,91 @@
+"""Kubelet and node lifecycle simulation.
+
+Each node runs a :class:`Kubelet` that posts heartbeats to the API server
+while healthy.  The evaluation's failure injection mirrors the paper's
+methodology (§6.1): "we stop the Kubelet process on the failed nodes and
+restart it after 10 minutes" — so failing a node here simply stops its
+kubelet.  The :class:`NodeLifecycleController` marks nodes NotReady once
+their heartbeat is stale and evicts their pods after an eviction timeout,
+exactly like the upstream node controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kubesim.apiserver import ApiServer
+from repro.kubesim.objects import KubeNode, NodeCondition, PodPhase
+
+
+@dataclass
+class Kubelet:
+    """A node agent.  Stopping it makes the node appear failed."""
+
+    node_name: str
+    heartbeat_interval: float = 10.0
+    running: bool = True
+
+    def stop(self) -> None:
+        self.running = False
+
+    def start(self) -> None:
+        self.running = True
+
+    def tick(self, api: ApiServer) -> None:
+        """Post a heartbeat if running; mark running pods healthy."""
+        if not self.running:
+            return
+        node = api.get_node(self.node_name)
+        node.last_heartbeat = api.clock
+        # Promote STARTING pods whose startup delay has elapsed.
+        for pod in api.list_pods(node_name=self.node_name, phases=[PodPhase.STARTING]):
+            if api.clock >= pod.phase_deadline:
+                pod.phase = PodPhase.RUNNING
+                api.record("PodRunning", f"{pod.namespace}/{pod.name}")
+        # Finish graceful terminations.
+        for pod in api.list_pods(node_name=self.node_name, phases=[PodPhase.TERMINATING]):
+            if api.clock >= pod.phase_deadline:
+                api.remove_pod_object(pod.namespace, pod.name)
+
+
+class NodeLifecycleController:
+    """Marks nodes NotReady on stale heartbeats and evicts their pods."""
+
+    def __init__(
+        self,
+        api: ApiServer,
+        heartbeat_grace: float = 40.0,
+        pod_eviction_timeout: float = 60.0,
+    ) -> None:
+        if heartbeat_grace <= 0 or pod_eviction_timeout < 0:
+            raise ValueError("timeouts must be positive")
+        self.api = api
+        self.heartbeat_grace = heartbeat_grace
+        self.pod_eviction_timeout = pod_eviction_timeout
+        #: node -> time at which it was marked NotReady
+        self._not_ready_since: dict[str, float] = {}
+
+    def tick(self) -> None:
+        for node in self.api.list_nodes():
+            stale = (self.api.clock - node.last_heartbeat) > self.heartbeat_grace
+            if stale and node.is_ready:
+                node.condition = NodeCondition.NOT_READY
+                self._not_ready_since[node.name] = self.api.clock
+                self.api.record("NodeNotReady", node.name)
+            elif not stale and not node.is_ready:
+                node.condition = NodeCondition.READY
+                self._not_ready_since.pop(node.name, None)
+                self.api.record("NodeReady", node.name)
+            if not node.is_ready:
+                self._maybe_evict(node)
+
+    def _maybe_evict(self, node: KubeNode) -> None:
+        since = self._not_ready_since.get(node.name, self.api.clock)
+        if (self.api.clock - since) < self.pod_eviction_timeout:
+            return
+        for pod in self.api.list_pods(node_name=node.name):
+            if pod.phase in (PodPhase.STARTING, PodPhase.RUNNING, PodPhase.TERMINATING):
+                # Pods on a dead node are lost; remove them so the deployment
+                # controller recreates replacements.
+                self.api.remove_pod_object(pod.namespace, pod.name)
+                self.api.record("PodEvicted", f"{pod.namespace}/{pod.name}", node.name)

@@ -1,0 +1,159 @@
+"""Kubernetes-like API objects used by the simulator.
+
+Only the fields Phoenix and the evaluation need are modelled: labels
+(criticality tags travel as labels, exactly as in the paper's deployment),
+resource requests, pod phase, node conditions and deployment replica counts.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cluster.resources import Resources
+
+#: Label key carrying the criticality tag on deployments/pods ("C1".."Cn").
+CRITICALITY_LABEL = "phoenix.io/criticality"
+#: Label key on namespaces that marks an application as Phoenix-subscribed.
+PHOENIX_ENABLED_LABEL = "phoenix"
+#: Label key carrying the application (namespace-level) name.
+APP_LABEL = "app.kubernetes.io/name"
+#: Label key carrying the microservice name.
+MICROSERVICE_LABEL = "app.kubernetes.io/component"
+
+
+class PodPhase(enum.Enum):
+    """Subset of Kubernetes pod phases relevant to the simulation."""
+
+    PENDING = "Pending"
+    STARTING = "Starting"          # scheduled, container still booting
+    RUNNING = "Running"
+    TERMINATING = "Terminating"
+    FAILED = "Failed"
+    DELETED = "Deleted"
+
+
+class NodeCondition(enum.Enum):
+    """Node readiness as reported by the node lifecycle controller."""
+
+    READY = "Ready"
+    NOT_READY = "NotReady"
+
+
+_pod_counter = itertools.count()
+
+
+def _pod_suffix() -> str:
+    return f"{next(_pod_counter):06d}"
+
+
+@dataclass
+class KubeNode:
+    """A worker node managed by a kubelet."""
+
+    name: str
+    capacity: Resources
+    condition: NodeCondition = NodeCondition.READY
+    #: Simulated timestamp of the last kubelet heartbeat.
+    last_heartbeat: float = 0.0
+    labels: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_ready(self) -> bool:
+        return self.condition is NodeCondition.READY
+
+
+@dataclass
+class PodSpec:
+    """Immutable part of a pod: what to run and what it needs."""
+
+    app: str
+    microservice: str
+    resources: Resources
+    criticality_label: str | None = None
+    priority: int = 0
+    #: Seconds a container takes to become Running after binding.
+    startup_seconds: float = 10.0
+    #: Seconds a graceful termination takes (SIGTERM -> exit).
+    termination_seconds: float = 5.0
+
+
+@dataclass
+class Pod:
+    """A pod instance tracked by the API server."""
+
+    name: str
+    namespace: str
+    spec: PodSpec
+    labels: dict[str, str] = field(default_factory=dict)
+    phase: PodPhase = PodPhase.PENDING
+    node_name: str | None = None
+    #: Simulated time at which the current phase transition completes.
+    phase_deadline: float = 0.0
+    #: Owning deployment name (for reconciliation) — None for bare pods.
+    owner: str | None = None
+    replica_index: int = 0
+
+    @classmethod
+    def from_spec(
+        cls,
+        namespace: str,
+        spec: PodSpec,
+        owner: str | None = None,
+        replica_index: int = 0,
+    ) -> "Pod":
+        labels = {
+            APP_LABEL: spec.app,
+            MICROSERVICE_LABEL: spec.microservice,
+        }
+        if spec.criticality_label is not None:
+            labels[CRITICALITY_LABEL] = spec.criticality_label
+        name = f"{spec.microservice}-{_pod_suffix()}"
+        return cls(name=name, namespace=namespace, spec=spec, labels=labels,
+                   owner=owner, replica_index=replica_index)
+
+    @property
+    def is_active(self) -> bool:
+        """Pod is consuming node resources (scheduled and not yet gone)."""
+        return self.node_name is not None and self.phase in (
+            PodPhase.STARTING,
+            PodPhase.RUNNING,
+            PodPhase.TERMINATING,
+        )
+
+    @property
+    def is_serving(self) -> bool:
+        return self.phase is PodPhase.RUNNING
+
+
+@dataclass
+class Deployment:
+    """A deployment: desired replica count for one microservice."""
+
+    name: str
+    namespace: str
+    spec: PodSpec
+    replicas: int = 1
+    labels: dict[str, str] = field(default_factory=dict)
+    paused: bool = False
+
+    def __post_init__(self) -> None:
+        if self.replicas < 0:
+            raise ValueError("replicas must be non-negative")
+        self.labels.setdefault(APP_LABEL, self.spec.app)
+        self.labels.setdefault(MICROSERVICE_LABEL, self.spec.microservice)
+        if self.spec.criticality_label is not None:
+            self.labels.setdefault(CRITICALITY_LABEL, self.spec.criticality_label)
+
+
+@dataclass
+class Namespace:
+    """A namespace groups an application instance's deployments."""
+
+    name: str
+    labels: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def phoenix_enabled(self) -> bool:
+        return self.labels.get(PHOENIX_ENABLED_LABEL) == "enabled"

@@ -1,0 +1,120 @@
+"""Default Kubernetes-like scheduler with pod priority and preemption.
+
+This models the *baseline* cluster scheduler that Phoenix sits on top of
+(and that the "Default" baseline in the evaluation uses alone).  It binds
+pending pods to ready nodes using a least-allocated spreading policy, and —
+like upstream Kubernetes — supports priority-based preemption: a pending
+pod may evict strictly-lower-priority pods from a node when nothing fits.
+It is intentionally unaware of criticality tags, dependency graphs or
+operator objectives; that is exactly the gap Phoenix fills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.resources import Resources
+from repro.kubesim.apiserver import ApiServer
+from repro.kubesim.objects import Pod, PodPhase
+
+
+@dataclass
+class SchedulingDecision:
+    """One binding (or preemption) made in a scheduling pass."""
+
+    pod: str
+    node: str | None
+    preempted: list[str] = field(default_factory=list)
+
+
+class DefaultScheduler:
+    """The vanilla scheduler: spread pods, preempt only on priority."""
+
+    def __init__(self, api: ApiServer, enable_preemption: bool = True) -> None:
+        self.api = api
+        self.enable_preemption = enable_preemption
+
+    # -- one scheduling pass -----------------------------------------------------
+    def schedule_pending(self) -> list[SchedulingDecision]:
+        """Try to bind every pending pod; returns the decisions made."""
+        decisions = []
+        pending = self.api.list_pods(phases=[PodPhase.PENDING])
+        # Higher priority pods are scheduled first, matching kube-scheduler's
+        # priority-ordered active queue.
+        pending.sort(key=lambda p: (-p.spec.priority, p.namespace, p.name))
+        for pod in pending:
+            decision = self._schedule_one(pod)
+            decisions.append(decision)
+        return decisions
+
+    def _schedule_one(self, pod: Pod) -> SchedulingDecision:
+        node_name = self._pick_node(pod.spec.resources)
+        if node_name is not None:
+            self._bind(pod, node_name)
+            return SchedulingDecision(pod.name, node_name)
+        if self.enable_preemption:
+            node_name, victims = self._preempt(pod)
+            if node_name is not None:
+                for victim in victims:
+                    # Preempted pods are removed immediately so the preemptor
+                    # can bind without transiently overcommitting the node.
+                    self.api.delete_pod(victim.namespace, victim.name, grace=False)
+                self._bind(pod, node_name)
+                return SchedulingDecision(pod.name, node_name, [v.name for v in victims])
+        self.api.record("PodUnschedulable", f"{pod.namespace}/{pod.name}")
+        return SchedulingDecision(pod.name, None)
+
+    # -- node selection ------------------------------------------------------------
+    def _pick_node(self, demand: Resources) -> str | None:
+        """Least-allocated node that fits the demand (spreading policy)."""
+        best: str | None = None
+        best_free = -1.0
+        for node in self.api.list_nodes(ready_only=True):
+            free = self.api.node_free(node.name)
+            if demand.fits_within(free) and free.cpu > best_free:
+                best = node.name
+                best_free = free.cpu
+        return best
+
+    def _preempt(self, pod: Pod) -> tuple[str | None, list[Pod]]:
+        """Find a node where evicting lower-priority pods makes room.
+
+        Victims are chosen lowest priority first; the node needing the
+        fewest victims wins.  Returns (node, victims) or (None, []).
+        """
+        best_node: str | None = None
+        best_victims: list[Pod] = []
+        for node in self.api.list_nodes(ready_only=True):
+            victims = self._victims_on(node.name, pod)
+            if victims is None:
+                continue
+            if best_node is None or len(victims) < len(best_victims):
+                best_node = node.name
+                best_victims = victims
+        return best_node, best_victims
+
+    def _victims_on(self, node_name: str, pod: Pod) -> list[Pod] | None:
+        free = self.api.node_free(node_name)
+        needed = pod.spec.resources
+        if needed.fits_within(free):
+            return []
+        candidates = [
+            p
+            for p in self.api.list_pods(node_name=node_name)
+            if p.is_active and p.spec.priority < pod.spec.priority
+        ]
+        candidates.sort(key=lambda p: (p.spec.priority, -p.spec.resources.cpu))
+        victims: list[Pod] = []
+        freed = free
+        for victim in candidates:
+            victims.append(victim)
+            freed = freed + victim.spec.resources
+            if needed.fits_within(freed):
+                return victims
+        return None
+
+    def _bind(self, pod: Pod, node_name: str) -> None:
+        pod.node_name = node_name
+        pod.phase = PodPhase.STARTING
+        pod.phase_deadline = self.api.clock + pod.spec.startup_seconds
+        self.api.record("PodBound", f"{pod.namespace}/{pod.name}", node_name)

@@ -1,0 +1,85 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptlab import build_environment, generate_alibaba_applications
+from repro.cluster import Application, Microservice, Node, Resources
+from repro.cluster.state import ClusterState
+from repro.criticality import CriticalityTag
+
+
+def make_microservice(name, cpu=2.0, memory=2.0, criticality=1, replicas=1, stateful=False):
+    """Small helper used across tests."""
+    return Microservice(
+        name=name,
+        resources=Resources(cpu=cpu, memory=memory),
+        criticality=CriticalityTag(criticality),
+        replicas=replicas,
+        stateful=stateful,
+    )
+
+
+@pytest.fixture
+def simple_app() -> Application:
+    """A 4-microservice app with a dependency graph and mixed criticalities."""
+    return Application.from_microservices(
+        "shop",
+        [
+            make_microservice("frontend", 2, 2, 1),
+            make_microservice("catalog", 2, 2, 1),
+            make_microservice("recommend", 2, 2, 5),
+            make_microservice("ads", 2, 2, 3),
+        ],
+        dependency_edges=[
+            ("frontend", "catalog"),
+            ("frontend", "recommend"),
+            ("frontend", "ads"),
+        ],
+        price_per_unit=2.0,
+        critical_service="catalog",
+    )
+
+
+@pytest.fixture
+def second_app() -> Application:
+    """A 3-microservice app without a dependency graph."""
+    return Application.from_microservices(
+        "blog",
+        [
+            make_microservice("api", 2, 2, 1),
+            make_microservice("render", 2, 2, 2),
+            make_microservice("analytics", 2, 2, 4),
+        ],
+        dependency_edges=None,
+        price_per_unit=1.0,
+        critical_service="api",
+    )
+
+
+@pytest.fixture
+def small_cluster(simple_app, second_app) -> ClusterState:
+    """Six 4-CPU nodes hosting the two small applications (nothing placed)."""
+    nodes = [Node(f"node-{i}", Resources(4, 4)) for i in range(6)]
+    return ClusterState(nodes=nodes, applications=[simple_app, second_app])
+
+
+@pytest.fixture(scope="session")
+def traced_apps():
+    """A small set of synthetic Alibaba applications (shared across tests)."""
+    return generate_alibaba_applications(n_apps=5, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_environment(traced_apps):
+    """A compact AdaptLab environment used by scheme/harness/metrics tests."""
+    return build_environment(
+        node_count=60,
+        n_apps=5,
+        applications=traced_apps,
+        tagging_scheme="service-p90",
+        resource_model="cpm",
+        target_utilization=0.7,
+        seed=7,
+    )

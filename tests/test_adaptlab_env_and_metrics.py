@@ -1,0 +1,141 @@
+"""Tests for the AdaptLab environment builder, failure injection and metrics."""
+
+import pytest
+
+from repro.adaptlab import (
+    build_environment,
+    critical_service_availability,
+    cluster_utilization,
+    evaluate_state,
+    fairness_deviation,
+    inject_capacity_failure,
+    normalized_revenue,
+    requests_served_fraction,
+    set_capacity_fraction,
+)
+
+
+class TestEnvironmentBuilder:
+    def test_all_microservices_placed(self, small_environment):
+        state = small_environment.state
+        placed = len(state.assignments)
+        total = sum(len(app) for app in state.applications.values())
+        assert placed == total
+
+    def test_initial_placement_respects_capacity(self, small_environment):
+        state = small_environment.state
+        for node in state.nodes.values():
+            assert state.used_on(node.name).fits_within(node.capacity)
+
+    def test_target_utilization_respected(self, small_environment):
+        assert small_environment.state.utilization() == pytest.approx(0.7, abs=0.05)
+
+    def test_node_capacity_fits_largest_microservice(self, small_environment):
+        largest = max(
+            ms.resources.cpu
+            for app in small_environment.applications.values()
+            for ms in app
+        )
+        assert small_environment.node_capacity >= largest
+
+    def test_fresh_state_is_independent_copy(self, small_environment):
+        fresh = small_environment.fresh_state()
+        fresh.fail_nodes(["node-0"])
+        assert small_environment.state.node("node-0").is_healthy
+
+    def test_invalid_utilization_rejected(self, traced_apps):
+        with pytest.raises(ValueError):
+            build_environment(node_count=10, applications=traced_apps, target_utilization=0.0)
+
+    def test_prices_drawn_from_levels(self, small_environment):
+        prices = {app.price_per_unit for app in small_environment.applications.values()}
+        assert prices <= {1.0, 2.0, 3.0, 4.0, 5.0}
+
+
+class TestFailureInjection:
+    def test_injection_reaches_target_fraction(self, small_environment):
+        state = small_environment.fresh_state()
+        inject_capacity_failure(state, 0.5, seed=1)
+        total = state.total_capacity(healthy_only=False).cpu
+        failed = sum(state.node(n.name).capacity.cpu for n in state.failed_nodes())
+        assert failed / total == pytest.approx(0.5, abs=0.05)
+
+    def test_zero_fraction_fails_nothing(self, small_environment):
+        state = small_environment.fresh_state()
+        assert inject_capacity_failure(state, 0.0) == []
+
+    def test_invalid_fraction_rejected(self, small_environment):
+        state = small_environment.fresh_state()
+        with pytest.raises(ValueError):
+            inject_capacity_failure(state, 1.5)
+
+    def test_injection_is_deterministic_per_seed(self, small_environment):
+        a = inject_capacity_failure(small_environment.fresh_state(), 0.3, seed=5)
+        b = inject_capacity_failure(small_environment.fresh_state(), 0.3, seed=5)
+        assert a == b
+
+    def test_set_capacity_fraction_fails_and_recovers(self, small_environment):
+        state = small_environment.fresh_state()
+        set_capacity_fraction(state, 0.4, seed=2)
+        assert state.total_capacity().cpu / state.total_capacity(healthy_only=False).cpu == pytest.approx(0.4, abs=0.05)
+        set_capacity_fraction(state, 0.9, seed=2)
+        assert state.total_capacity().cpu / state.total_capacity(healthy_only=False).cpu == pytest.approx(0.9, abs=0.05)
+
+
+class TestMetrics:
+    def test_availability_is_one_before_failure(self, small_environment):
+        availability, per_app = critical_service_availability(small_environment.state)
+        assert availability == 1.0
+        assert all(per_app.values())
+
+    def test_availability_drops_when_critical_microservice_down(self, small_environment):
+        state = small_environment.fresh_state()
+        # knock out the node hosting some C1 microservice
+        app_name, app = next(iter(state.applications.items()))
+        critical_ms = next(ms.name for ms in app if ms.criticality.level == 1)
+        node = state.node_of(next(state.iter_replicas(app_name, critical_ms)))
+        state.fail_nodes([node])
+        availability, per_app = critical_service_availability(state)
+        assert not per_app[app_name]
+        assert availability < 1.0
+
+    def test_revenue_normalized_to_one_pre_failure(self, small_environment):
+        assert normalized_revenue(small_environment.state) == pytest.approx(1.0)
+
+    def test_revenue_drops_with_failures(self, small_environment):
+        state = small_environment.fresh_state()
+        inject_capacity_failure(state, 0.6, seed=3)
+        assert normalized_revenue(state, small_environment.state) < 1.0
+
+    def test_fairness_deviation_zero_when_everything_active(self, small_environment):
+        # pre-failure every app gets its full demand, which is its fair share
+        deviation = fairness_deviation(small_environment.state)
+        assert deviation.positive == pytest.approx(0.0, abs=1e-6)
+        assert deviation.negative == pytest.approx(0.0, abs=1e-6)
+        assert deviation.total == pytest.approx(0.0, abs=1e-6)
+
+    def test_utilization_between_zero_and_one(self, small_environment):
+        assert 0.0 < cluster_utilization(small_environment.state) <= 1.0
+
+    def test_requests_served_full_before_failure(self, small_environment):
+        fraction = requests_served_fraction(small_environment.state, small_environment.traced)
+        assert fraction == pytest.approx(1.0)
+
+    def test_requests_served_drops_after_unmitigated_failure(self, small_environment):
+        state = small_environment.fresh_state()
+        inject_capacity_failure(state, 0.7, seed=9)
+        fraction = requests_served_fraction(state, small_environment.traced)
+        assert fraction < 1.0
+
+    def test_evaluate_state_bundle(self, small_environment):
+        metrics = evaluate_state(
+            small_environment.state,
+            reference=small_environment.state,
+            traced=small_environment.traced,
+            planning_seconds=1.23,
+        )
+        assert metrics.critical_service_availability == 1.0
+        assert metrics.normalized_revenue == pytest.approx(1.0)
+        assert metrics.requests_served_fraction == pytest.approx(1.0)
+        assert metrics.planning_seconds == 1.23
+        assert set(metrics.per_app_availability) == set(small_environment.applications)

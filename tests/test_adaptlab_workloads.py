@@ -1,0 +1,202 @@
+"""Tests for AdaptLab workload generation: dependency graphs, resources,
+tagging and the Appendix-G coverage optimization."""
+
+import networkx as nx
+import pytest
+
+from repro.adaptlab import (
+    ResourceModel,
+    TaggingScheme,
+    assign_resources,
+    generate_alibaba_applications,
+    greedy_coverage_curve,
+    max_coverage_with_budget,
+    minimal_microservices_for_coverage,
+    tag_application,
+    tag_applications,
+)
+from repro.adaptlab.resources import cpm_resources, long_tailed_resources, total_demand
+from repro.criticality import CriticalityTag
+
+
+class TestDependencyGraphGeneration:
+    def test_generates_requested_number_of_apps(self, traced_apps):
+        assert len(traced_apps) == 5
+
+    def test_deterministic_for_same_seed(self):
+        a = generate_alibaba_applications(n_apps=3, seed=42)
+        b = generate_alibaba_applications(n_apps=3, seed=42)
+        assert [x.size for x in a] == [y.size for y in b]
+        assert [x.total_requests for x in a] == pytest.approx([y.total_requests for y in b])
+
+    def test_different_seeds_differ(self):
+        a = generate_alibaba_applications(n_apps=3, seed=1)
+        b = generate_alibaba_applications(n_apps=3, seed=2)
+        assert [x.total_requests for x in a] != [y.total_requests for y in b]
+
+    def test_sizes_are_heavy_tailed(self):
+        apps = generate_alibaba_applications(n_apps=18, seed=5)
+        sizes = sorted((a.size for a in apps), reverse=True)
+        assert sizes[0] >= 2000        # largest app has thousands of microservices
+        assert sizes[-1] <= 50         # smallest apps have dozens
+        assert all(10 <= s <= 3200 for s in sizes)
+
+    def test_request_volume_skewed_to_top_apps(self):
+        apps = generate_alibaba_applications(n_apps=18, seed=5)
+        volumes = sorted((a.total_requests for a in apps), reverse=True)
+        assert sum(volumes[:4]) / sum(volumes) > 0.7
+
+    def test_graphs_are_dags_rooted_at_entry(self, traced_apps):
+        for app in traced_apps:
+            assert nx.is_directed_acyclic_graph(app.graph)
+            roots = [n for n in app.graph.nodes if app.graph.in_degree(n) == 0]
+            assert len(roots) == 1
+
+    def test_single_upstream_fraction_in_paper_range(self):
+        apps = generate_alibaba_applications(n_apps=18, seed=5)
+        from repro.adaptlab import single_upstream_fraction
+
+        fraction = single_upstream_fraction(apps)
+        assert 0.7 <= fraction <= 0.9
+
+    def test_call_graphs_are_subsets_of_the_graph(self, traced_apps):
+        for app in traced_apps:
+            nodes = set(app.graph.nodes)
+            for cg in app.call_graphs:
+                assert set(cg.microservices) <= nodes
+
+    def test_call_graphs_are_mostly_small(self, traced_apps):
+        biggest = max(traced_apps, key=lambda a: a.size)
+        total = biggest.total_requests
+        small = sum(cg.requests for cg in biggest.call_graphs if len(cg) <= 10)
+        assert small / total > 0.6
+
+    def test_invocation_counts_cover_called_microservices(self, traced_apps):
+        app = traced_apps[0]
+        counts = app.invocation_counts()
+        assert counts[app.entry_point()] == pytest.approx(app.total_requests)
+
+    def test_invalid_app_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_alibaba_applications(n_apps=0)
+
+
+class TestResourceModels:
+    def test_cpm_resources_track_popularity(self, traced_apps):
+        app = traced_apps[0]
+        resources = cpm_resources(app)
+        counts = app.invocation_counts()
+        most_popular = max(counts, key=counts.get)
+        least_popular = min(counts, key=counts.get)
+        assert resources[most_popular] >= resources[least_popular]
+
+    def test_cpm_minimum_enforced(self, traced_apps):
+        resources = cpm_resources(traced_apps[0], min_cpu=0.25)
+        assert min(resources.values()) >= 0.25
+
+    def test_long_tailed_resources_capped(self, traced_apps):
+        resources = long_tailed_resources(traced_apps[0], cap_cpu=4.0)
+        assert max(resources.values()) <= 4.0
+        assert min(resources.values()) > 0
+
+    def test_long_tailed_is_deterministic_per_seed(self, traced_apps):
+        a = long_tailed_resources(traced_apps[0], seed=9)
+        b = long_tailed_resources(traced_apps[0], seed=9)
+        assert a == b
+
+    def test_assign_resources_covers_all_microservices(self, traced_apps):
+        for model in (ResourceModel.CPM, ResourceModel.LONG_TAILED):
+            assignment = assign_resources(traced_apps, model=model)
+            for app in traced_apps:
+                assert set(assignment[app.name]) == set(app.microservices())
+
+    def test_model_parse(self):
+        assert ResourceModel.parse("cpm") is ResourceModel.CPM
+        assert ResourceModel.parse("long-tailed") is ResourceModel.LONG_TAILED
+        with pytest.raises(ValueError):
+            ResourceModel.parse("nonsense")
+
+    def test_total_demand_positive(self, traced_apps):
+        assignment = assign_resources(traced_apps, model="cpm")
+        assert total_demand(assignment) > 0
+
+
+class TestCoverageOptimization:
+    def test_greedy_curve_is_monotone(self, traced_apps):
+        curve = greedy_coverage_curve(traced_apps[0])
+        coverages = [c for _, c in curve]
+        assert all(b >= a - 1e-9 for a, b in zip(coverages, coverages[1:]))
+        assert coverages[-1] == pytest.approx(1.0)
+
+    def test_small_fraction_serves_most_requests(self):
+        apps = generate_alibaba_applications(n_apps=4, seed=11)
+        big = max(apps, key=lambda a: a.size)
+        budget = max(1, int(0.05 * big.size))
+        selection = max_coverage_with_budget(big, budget)
+        assert selection.coverage > 0.5
+
+    def test_minimal_set_reaches_target_coverage(self, traced_apps):
+        selection = minimal_microservices_for_coverage(traced_apps[1], 0.8)
+        assert selection.coverage >= 0.8
+        assert len(selection.microservices) < traced_apps[1].size
+
+    def test_ilp_matches_or_beats_greedy_on_small_instance(self):
+        apps = generate_alibaba_applications(n_apps=6, seed=3, templates_per_app=10)
+        small = min(apps, key=lambda a: a.size)
+        greedy = minimal_microservices_for_coverage(small, 0.7, method="greedy")
+        exact = minimal_microservices_for_coverage(small, 0.7, method="ilp")
+        assert exact.coverage >= 0.7 - 1e-9
+        assert len(exact.microservices) <= len(greedy.microservices)
+
+    def test_budget_validation(self, traced_apps):
+        with pytest.raises(ValueError):
+            max_coverage_with_budget(traced_apps[0], -1)
+        with pytest.raises(ValueError):
+            minimal_microservices_for_coverage(traced_apps[0], 1.5)
+
+
+class TestTagging:
+    @pytest.mark.parametrize("scheme", list(TaggingScheme))
+    def test_every_microservice_tagged(self, traced_apps, scheme):
+        app = traced_apps[2]
+        tags = tag_application(app, scheme)
+        assert set(tags) == set(app.microservices())
+        assert all(isinstance(t, CriticalityTag) for t in tags.values())
+
+    def test_p90_tags_more_critical_than_p50(self, traced_apps):
+        app = traced_apps[0]
+        p50 = tag_application(app, TaggingScheme.SERVICE_P50)
+        p90 = tag_application(app, TaggingScheme.SERVICE_P90)
+        c1_p50 = sum(1 for t in p50.values() if t.level == 1)
+        c1_p90 = sum(1 for t in p90.values() if t.level == 1)
+        assert c1_p90 >= c1_p50
+
+    def test_critical_set_is_a_minority(self, traced_apps):
+        app = max(traced_apps, key=lambda a: a.size)
+        tags = tag_application(app, TaggingScheme.FREQUENCY_P90)
+        c1 = sum(1 for t in tags.values() if t.level == 1)
+        assert c1 < 0.5 * app.size
+
+    def test_frequent_microservices_get_higher_criticality(self, traced_apps):
+        app = traced_apps[0]
+        tags = tag_application(app, TaggingScheme.SERVICE_P50)
+        counts = app.invocation_counts()
+        # entry point is touched by every request: it must be C1
+        assert tags[app.entry_point()].level == 1
+        del counts
+
+    def test_tag_applications_returns_all_apps(self, traced_apps):
+        tags = tag_applications(traced_apps, TaggingScheme.SERVICE_P90)
+        assert set(tags) == {a.name for a in traced_apps}
+
+    def test_scheme_parse(self):
+        assert TaggingScheme.parse("service-p90") is TaggingScheme.SERVICE_P90
+        assert TaggingScheme.parse(TaggingScheme.FREQUENCY_P50) is TaggingScheme.FREQUENCY_P50
+        with pytest.raises(ValueError):
+            TaggingScheme.parse("bogus")
+
+    def test_scheme_properties(self):
+        assert TaggingScheme.SERVICE_P50.percentile == 0.5
+        assert TaggingScheme.FREQUENCY_P90.percentile == 0.9
+        assert TaggingScheme.SERVICE_P50.is_service_level
+        assert not TaggingScheme.FREQUENCY_P90.is_service_level

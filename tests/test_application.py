@@ -1,0 +1,113 @@
+"""Tests for Microservice and Application models."""
+
+import networkx as nx
+import pytest
+
+from repro.cluster import Application, Microservice, Resources
+from repro.cluster.application import DependencyGraphError
+from repro.criticality import CriticalityTag
+
+from tests.conftest import make_microservice
+
+
+class TestMicroservice:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Microservice(name="", resources=Resources(1, 1))
+
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            make_microservice("x", replicas=0)
+
+    def test_criticality_is_parsed_from_string(self):
+        ms = Microservice(name="x", resources=Resources(1, 1), criticality="C4")
+        assert ms.criticality == CriticalityTag(4)
+
+    def test_untagged_defaults_to_highest(self):
+        ms = Microservice(name="x", resources=Resources(1, 1))
+        assert ms.criticality == CriticalityTag(1)
+
+    def test_total_resources_scales_with_replicas(self):
+        ms = make_microservice("x", cpu=2, memory=3, replicas=3)
+        assert ms.total_resources == Resources(6, 9)
+
+
+class TestApplicationConstruction:
+    def test_duplicate_microservice_rejected(self):
+        with pytest.raises(ValueError):
+            Application.from_microservices(
+                "app", [make_microservice("a"), make_microservice("a")]
+            )
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Application(name="")
+
+    def test_non_positive_price_rejected(self):
+        with pytest.raises(ValueError):
+            Application.from_microservices("app", [make_microservice("a")], price_per_unit=0)
+
+    def test_graph_with_unknown_node_rejected(self):
+        graph = nx.DiGraph()
+        graph.add_edge("a", "ghost")
+        with pytest.raises(DependencyGraphError):
+            Application(name="app", microservices={"a": make_microservice("a")}, dependency_graph=graph)
+
+    def test_microservices_missing_from_graph_become_isolated_nodes(self):
+        app = Application.from_microservices(
+            "app",
+            [make_microservice("a"), make_microservice("b"), make_microservice("lonely")],
+            dependency_edges=[("a", "b")],
+        )
+        assert "lonely" in app.dependency_graph.nodes
+        assert "lonely" in app.source_microservices()
+
+
+class TestApplicationQueries:
+    def test_len_iter_contains(self, simple_app):
+        assert len(simple_app) == 4
+        assert "frontend" in simple_app
+        assert {ms.name for ms in simple_app} == {"frontend", "catalog", "recommend", "ads"}
+
+    def test_total_demand(self, simple_app):
+        assert simple_app.total_demand() == Resources(8, 8)
+
+    def test_demand_by_criticality(self, simple_app):
+        demand = simple_app.demand_by_criticality()
+        assert demand[CriticalityTag(1)] == Resources(4, 4)
+        assert demand[CriticalityTag(5)] == Resources(2, 2)
+
+    def test_source_microservices_with_graph(self, simple_app):
+        assert simple_app.source_microservices() == ["frontend"]
+
+    def test_source_microservices_without_graph(self, second_app):
+        assert second_app.source_microservices() == ["analytics", "api", "render"]
+
+    def test_predecessors_and_successors(self, simple_app):
+        assert simple_app.predecessors("catalog") == ["frontend"]
+        assert simple_app.predecessors("frontend") == []
+        assert set(simple_app.successors("frontend")) == {"catalog", "recommend", "ads"}
+
+    def test_predecessors_without_graph_is_empty(self, second_app):
+        assert second_app.predecessors("render") == []
+
+    def test_microservices_at_or_above(self, simple_app):
+        assert simple_app.microservices_at_or_above(CriticalityTag(1)) == ["catalog", "frontend"]
+        assert simple_app.microservices_at_or_above(CriticalityTag(3)) == ["ads", "catalog", "frontend"]
+
+    def test_tags_mapping(self, simple_app):
+        tags = simple_app.tags()
+        assert tags["recommend"] == CriticalityTag(5)
+
+
+class TestWithTags:
+    def test_with_tags_reassigns_criticality(self, simple_app):
+        retagged = simple_app.with_tags({"recommend": CriticalityTag(1)})
+        assert retagged.criticality_of("recommend") == CriticalityTag(1)
+        # original untouched
+        assert simple_app.criticality_of("recommend") == CriticalityTag(5)
+
+    def test_with_tags_preserves_graph_and_price(self, simple_app):
+        retagged = simple_app.with_tags({})
+        assert retagged.price_per_unit == simple_app.price_per_unit
+        assert set(retagged.dependency_graph.edges) == set(simple_app.dependency_graph.edges)

@@ -1,0 +1,135 @@
+"""Tests for the Overleaf and HotelReservation application models."""
+
+import pytest
+
+from repro.apps import (
+    AppTemplate,
+    RequestType,
+    build_hotel_reservation,
+    build_overleaf,
+    resource_breakdown,
+    retag_for_critical_service,
+)
+from repro.criticality import CriticalityTag
+
+
+class TestRequestType:
+    def test_requires_at_least_one_microservice(self):
+        with pytest.raises(ValueError):
+            RequestType(name="x", microservices=())
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            RequestType(name="x", microservices=("a",), rate=-1)
+
+
+class TestOverleaf:
+    def test_has_fourteen_microservices(self):
+        overleaf = build_overleaf()
+        assert len(overleaf.application) == 14
+
+    def test_edit_path_is_most_critical(self):
+        overleaf = build_overleaf()
+        for ms in ("web", "real-time", "document-updater", "docstore"):
+            assert overleaf.application.criticality_of(ms) == CriticalityTag(1)
+
+    def test_chat_and_tags_are_good_to_have(self):
+        overleaf = build_overleaf()
+        assert overleaf.application.criticality_of("chat") == CriticalityTag(5)
+        assert overleaf.application.criticality_of("tags") == CriticalityTag(5)
+
+    def test_dependency_graph_rooted_at_web(self):
+        overleaf = build_overleaf()
+        assert overleaf.application.source_microservices() == ["web"]
+
+    def test_request_types_reference_known_microservices(self):
+        overleaf = build_overleaf()
+        for request in overleaf.request_types.values():
+            for ms in (*request.microservices, *request.optional_microservices):
+                assert ms in overleaf.application
+
+    def test_scale_multiplies_resources(self):
+        small = build_overleaf(scale=1.0)
+        big = build_overleaf(scale=2.0)
+        assert big.application.total_demand().cpu == pytest.approx(
+            2 * small.application.total_demand().cpu
+        )
+
+    def test_critical_request_follows_constructor_argument(self):
+        overleaf = build_overleaf(critical_service="versions")
+        assert overleaf.critical_request().name == "versions"
+
+    def test_unknown_request_reference_rejected(self):
+        overleaf = build_overleaf()
+        with pytest.raises(ValueError):
+            AppTemplate(
+                application=overleaf.application,
+                request_types={"bad": RequestType(name="bad", microservices=("nope",))},
+            )
+
+
+class TestHotelReservation:
+    def test_has_eight_microservices(self):
+        hr = build_hotel_reservation()
+        assert len(hr.application) == 8
+
+    def test_frontend_and_search_are_critical(self):
+        hr = build_hotel_reservation()
+        assert hr.application.criticality_of("frontend") == CriticalityTag(1)
+        assert hr.application.criticality_of("search") == CriticalityTag(1)
+
+    def test_recommendation_is_least_critical(self):
+        hr = build_hotel_reservation()
+        assert hr.application.criticality_of("recommendation") == CriticalityTag(5)
+
+    def test_reserve_degrades_without_user_service(self):
+        hr = build_hotel_reservation()
+        reserve = hr.request("reserve")
+        assert "user" in reserve.optional_microservices
+        assert reserve.degraded_utility == pytest.approx(0.8)
+
+    def test_p95_latencies_match_table1(self):
+        hr = build_hotel_reservation()
+        assert hr.request("reserve").latency_ms == pytest.approx(55.33)
+        assert hr.request("search").latency_ms == pytest.approx(53.26)
+        assert hr.request("login").latency_ms == pytest.approx(41.8)
+
+
+class TestTemplateHelpers:
+    def test_rename_creates_independent_instance(self):
+        overleaf = build_overleaf()
+        clone = overleaf.rename("overleaf7", price_per_unit=9.0)
+        assert clone.name == "overleaf7"
+        assert clone.application.price_per_unit == 9.0
+        assert overleaf.name == "overleaf"
+
+    def test_with_critical_service(self):
+        overleaf = build_overleaf()
+        changed = overleaf.with_critical_service("compile")
+        assert changed.critical_request().name == "compile"
+        with pytest.raises(KeyError):
+            overleaf.with_critical_service("nope")
+
+    def test_retag_promotes_critical_request_services(self):
+        overleaf = build_overleaf(critical_service="downloads")
+        retagged = retag_for_critical_service(overleaf)
+        for ms in retagged.critical_request().microservices:
+            assert retagged.application.criticality_of(ms) == CriticalityTag(1)
+
+    def test_retag_demotes_unrelated_c1_services(self):
+        overleaf = build_overleaf(critical_service="spell-check")
+        retagged = retag_for_critical_service(overleaf)
+        # real-time is C1 in the stock template but unrelated to spell-check
+        assert retagged.application.criticality_of("real-time") == CriticalityTag(2)
+
+    def test_microservices_for_union(self):
+        overleaf = build_overleaf()
+        needed = overleaf.microservices_for(["chat", "spell-check"])
+        assert needed == {"web", "chat", "spelling"}
+
+    def test_resource_breakdown_sums_to_total(self):
+        templates = {"o": build_overleaf(), "h": build_hotel_reservation()}
+        breakdown = resource_breakdown(templates)
+        total = sum(breakdown.values())
+        expected = sum(t.application.total_demand().cpu for t in templates.values())
+        assert total == pytest.approx(expected)

@@ -1,0 +1,92 @@
+"""Tests for the chaos-testing service."""
+
+import pytest
+
+from repro.apps import build_hotel_reservation, build_overleaf
+from repro.chaos import ChaosInjector, ChaosTestingService, DegradationScenario, verify_tagging
+
+
+@pytest.fixture
+def overleaf():
+    return build_overleaf()
+
+
+class TestInjector:
+    def test_criticality_level_scenarios_cover_levels(self, overleaf):
+        injector = ChaosInjector(overleaf)
+        scenarios = list(injector.criticality_level_scenarios())
+        assert scenarios  # at least one level below the highest exists
+        # The C1 scenario disables everything that is not C1.
+        c1_scenario = scenarios[0]
+        disabled = set(c1_scenario.disabled)
+        for ms in overleaf.application.microservices:
+            level = overleaf.application.criticality_of(ms).level
+            assert (ms in disabled) == (level > 1)
+
+    def test_single_service_scenarios_skip_critical(self, overleaf):
+        injector = ChaosInjector(overleaf)
+        for scenario in injector.single_service_scenarios():
+            (name,) = scenario.disabled
+            assert overleaf.application.criticality_of(name).level > 1
+
+    def test_pairwise_scenarios_respect_limit(self, overleaf):
+        injector = ChaosInjector(overleaf)
+        assert len(list(injector.pairwise_scenarios(limit=5))) == 5
+
+    def test_random_scenarios_protect_critical_by_default(self, overleaf):
+        injector = ChaosInjector(overleaf, seed=3)
+        for scenario in injector.random_scenarios(0.5, count=5):
+            for name in scenario.disabled:
+                assert overleaf.application.criticality_of(name).level > 1
+
+    def test_random_scenario_degree_validation(self, overleaf):
+        injector = ChaosInjector(overleaf)
+        with pytest.raises(ValueError):
+            list(injector.random_scenarios(1.5))
+
+    def test_serving_set_is_complement_of_disabled(self, overleaf):
+        scenario = DegradationScenario(disabled=("chat", "tags"))
+        serving = scenario.serving_set(overleaf)
+        assert "chat" not in serving and "tags" not in serving
+        assert "web" in serving
+
+
+class TestChaosService:
+    def test_overleaf_is_diagonal_scaling_compliant(self, overleaf):
+        report = verify_tagging(overleaf)
+        assert report.passed
+        assert report.summary()["failed"] == 0
+
+    def test_hotel_reservation_is_compliant_after_error_handling(self):
+        report = verify_tagging(build_hotel_reservation())
+        assert report.passed
+
+    def test_bad_tagging_is_detected(self, overleaf):
+        # Mis-tag the real-time edit pipeline as non-critical: turning it off
+        # must break the critical document-edits service and fail the test.
+        from repro.apps.base import AppTemplate
+        from repro.criticality import CriticalityTag
+
+        bad_app = overleaf.application.with_tags({"real-time": CriticalityTag(9)})
+        bad_template = AppTemplate(application=bad_app, request_types=dict(overleaf.request_types))
+        report = verify_tagging(bad_template)
+        assert not report.passed
+        assert report.failures
+
+    def test_min_utility_floor_enforced(self, overleaf):
+        service = ChaosTestingService(overleaf, min_utility=0.99)
+        scenario = DegradationScenario(disabled=("spelling",), description="drop spelling")
+        result = service.run_scenario(scenario)
+        # critical service still fine, but utility dropped below the floor
+        assert result.critical_service_available
+        assert not result.passed
+
+    def test_report_text_contains_verdict(self, overleaf):
+        report = verify_tagging(overleaf)
+        assert "Verdict: PASS" in report.to_text()
+
+    def test_custom_scenarios_run_verbatim(self, overleaf):
+        service = ChaosTestingService(overleaf)
+        report = service.run(scenarios=[DegradationScenario(disabled=("chat",), description="only chat")])
+        assert len(report.results) == 1
+        assert report.results[0].description == "only chat"

@@ -1,0 +1,224 @@
+"""Tests for Node, ClusterState and the assignment bookkeeping."""
+
+import pytest
+
+from repro.cluster import Node, Resources, build_uniform_cluster
+from repro.cluster.state import ClusterState, ReplicaId, SchedulingError
+
+from tests.conftest import make_microservice
+from repro.cluster.application import Application
+
+
+class TestNode:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Node("", Resources(1, 1))
+
+    def test_fail_and_recover(self):
+        node = Node("n1", Resources(4, 4))
+        assert node.is_healthy
+        node.fail()
+        assert node.failed and not node.is_healthy
+        node.recover()
+        assert node.is_healthy
+
+    def test_equality_by_name(self):
+        assert Node("n1", Resources(1, 1)) == Node("n1", Resources(9, 9))
+        assert Node("n1", Resources(1, 1)) != Node("n2", Resources(1, 1))
+
+
+class TestRegistration:
+    def test_duplicate_node_rejected(self, small_cluster):
+        with pytest.raises(ValueError):
+            small_cluster.add_node(Node("node-0", Resources(4, 4)))
+
+    def test_duplicate_application_rejected(self, small_cluster, simple_app):
+        with pytest.raises(ValueError):
+            small_cluster.add_application(simple_app)
+
+    def test_remove_application_unassigns_replicas(self, small_cluster):
+        replica = ReplicaId("shop", "frontend", 0)
+        small_cluster.assign(replica, "node-0")
+        small_cluster.remove_application("shop")
+        assert "shop" not in small_cluster.applications
+        assert small_cluster.used_on("node-0").is_zero()
+
+    def test_remove_unknown_application_raises(self, small_cluster):
+        with pytest.raises(KeyError):
+            small_cluster.remove_application("nope")
+
+
+class TestAssignment:
+    def test_assign_updates_usage(self, small_cluster):
+        small_cluster.assign(ReplicaId("shop", "frontend", 0), "node-0")
+        assert small_cluster.used_on("node-0") == Resources(2, 2)
+        assert small_cluster.free_on("node-0") == Resources(2, 2)
+
+    def test_assign_unknown_app_rejected(self, small_cluster):
+        with pytest.raises(SchedulingError):
+            small_cluster.assign(ReplicaId("ghost", "x", 0), "node-0")
+
+    def test_assign_unknown_microservice_rejected(self, small_cluster):
+        with pytest.raises(SchedulingError):
+            small_cluster.assign(ReplicaId("shop", "ghost", 0), "node-0")
+
+    def test_assign_unknown_node_rejected(self, small_cluster):
+        with pytest.raises(SchedulingError):
+            small_cluster.assign(ReplicaId("shop", "frontend", 0), "node-99")
+
+    def test_double_assign_rejected(self, small_cluster):
+        replica = ReplicaId("shop", "frontend", 0)
+        small_cluster.assign(replica, "node-0")
+        with pytest.raises(SchedulingError):
+            small_cluster.assign(replica, "node-1")
+
+    def test_capacity_enforced(self, small_cluster):
+        small_cluster.assign(ReplicaId("shop", "frontend", 0), "node-0")
+        small_cluster.assign(ReplicaId("shop", "catalog", 0), "node-0")
+        with pytest.raises(SchedulingError):
+            small_cluster.assign(ReplicaId("shop", "ads", 0), "node-0")
+
+    def test_capacity_enforcement_can_be_disabled(self, small_cluster):
+        small_cluster.assign(ReplicaId("shop", "frontend", 0), "node-0")
+        small_cluster.assign(ReplicaId("shop", "catalog", 0), "node-0")
+        small_cluster.assign(ReplicaId("shop", "ads", 0), "node-0", enforce_capacity=False)
+        assert small_cluster.used_on("node-0").cpu == 6
+
+    def test_assign_to_failed_node_rejected(self, small_cluster):
+        small_cluster.fail_nodes(["node-0"])
+        with pytest.raises(SchedulingError):
+            small_cluster.assign(ReplicaId("shop", "frontend", 0), "node-0")
+
+    def test_unassign_returns_node_and_frees_capacity(self, small_cluster):
+        replica = ReplicaId("shop", "frontend", 0)
+        small_cluster.assign(replica, "node-2")
+        assert small_cluster.unassign(replica) == "node-2"
+        assert small_cluster.used_on("node-2").is_zero()
+
+    def test_unassign_unknown_replica_rejected(self, small_cluster):
+        with pytest.raises(SchedulingError):
+            small_cluster.unassign(ReplicaId("shop", "frontend", 0))
+
+    def test_replicas_on_reverse_index(self, small_cluster):
+        r1 = ReplicaId("shop", "frontend", 0)
+        r2 = ReplicaId("blog", "api", 0)
+        small_cluster.assign(r1, "node-0")
+        small_cluster.assign(r2, "node-0")
+        assert set(small_cluster.replicas_on("node-0")) == {r1, r2}
+        small_cluster.unassign(r1)
+        assert small_cluster.replicas_on("node-0") == [r2]
+
+
+class TestActivity:
+    def test_is_active_requires_all_replicas(self):
+        app = Application.from_microservices(
+            "multi", [make_microservice("web", 1, 1, 1, replicas=2)]
+        )
+        state = ClusterState(nodes=[Node("n0", Resources(4, 4))], applications=[app])
+        state.assign(ReplicaId("multi", "web", 0), "n0")
+        assert not state.is_active("multi", "web")
+        state.assign(ReplicaId("multi", "web", 1), "n0")
+        assert state.is_active("multi", "web")
+
+    def test_active_microservices_matches_is_active(self, small_cluster):
+        small_cluster.assign(ReplicaId("shop", "frontend", 0), "node-0")
+        small_cluster.assign(ReplicaId("blog", "api", 0), "node-1")
+        active = small_cluster.active_microservices()
+        assert active["shop"] == {"frontend"}
+        assert active["blog"] == {"api"}
+
+    def test_activity_ignores_failed_nodes(self, small_cluster):
+        small_cluster.assign(ReplicaId("shop", "frontend", 0), "node-0")
+        small_cluster.fail_nodes(["node-0"])
+        assert not small_cluster.is_active("shop", "frontend")
+        assert small_cluster.active_microservices()["shop"] == set()
+
+    def test_running_replica_counts_single_pass(self, small_cluster):
+        small_cluster.assign(ReplicaId("shop", "frontend", 0), "node-0")
+        small_cluster.assign(ReplicaId("shop", "catalog", 0), "node-1")
+        counts = small_cluster.running_replica_counts()
+        assert counts[("shop", "frontend")] == 1
+        assert counts[("shop", "catalog")] == 1
+
+    def test_app_resource_usage(self, small_cluster):
+        small_cluster.assign(ReplicaId("shop", "frontend", 0), "node-0")
+        small_cluster.assign(ReplicaId("shop", "catalog", 0), "node-1")
+        small_cluster.assign(ReplicaId("blog", "api", 0), "node-2")
+        usage = small_cluster.app_resource_usage()
+        assert usage["shop"] == 4
+        assert usage["blog"] == 2
+
+
+class TestFailures:
+    def test_fail_nodes_reports_impacted_replicas(self, small_cluster):
+        replica = ReplicaId("shop", "frontend", 0)
+        small_cluster.assign(replica, "node-0")
+        impacted = small_cluster.fail_nodes(["node-0", "node-1"])
+        assert impacted == [replica]
+        assert small_cluster.node("node-0").failed
+
+    def test_fail_already_failed_node_is_noop(self, small_cluster):
+        small_cluster.fail_nodes(["node-0"])
+        assert small_cluster.fail_nodes(["node-0"]) == []
+
+    def test_evict_from_failed_nodes(self, small_cluster):
+        replica = ReplicaId("shop", "frontend", 0)
+        small_cluster.assign(replica, "node-0")
+        small_cluster.fail_nodes(["node-0"])
+        evicted = small_cluster.evict_from_failed_nodes()
+        assert evicted == [replica]
+        assert small_cluster.node_of(replica) is None
+
+    def test_recover_nodes(self, small_cluster):
+        small_cluster.fail_nodes(["node-0"])
+        small_cluster.recover_nodes(["node-0"])
+        assert small_cluster.node("node-0").is_healthy
+
+    def test_failed_capacity_excluded(self, small_cluster):
+        before = small_cluster.total_capacity().cpu
+        small_cluster.fail_nodes(["node-0"])
+        assert small_cluster.total_capacity().cpu == before - 4
+        assert small_cluster.total_capacity(healthy_only=False).cpu == before
+
+    def test_free_on_failed_node_is_zero(self, small_cluster):
+        small_cluster.fail_nodes(["node-3"])
+        assert small_cluster.free_on("node-3").is_zero()
+
+
+class TestCopyAndSummary:
+    def test_copy_is_independent(self, small_cluster):
+        replica = ReplicaId("shop", "frontend", 0)
+        small_cluster.assign(replica, "node-0")
+        clone = small_cluster.copy()
+        clone.unassign(replica)
+        clone.fail_nodes(["node-1"])
+        assert small_cluster.node_of(replica) == "node-0"
+        assert small_cluster.node("node-1").is_healthy
+
+    def test_copy_preserves_usage(self, small_cluster):
+        small_cluster.assign(ReplicaId("shop", "frontend", 0), "node-0")
+        clone = small_cluster.copy()
+        assert clone.used_on("node-0") == Resources(2, 2)
+
+    def test_summary_fields(self, small_cluster):
+        summary = small_cluster.summary()
+        assert summary["nodes"] == 6
+        assert summary["applications"] == 2
+        assert summary["assigned_replicas"] == 0
+
+    def test_utilization(self, small_cluster):
+        assert small_cluster.utilization() == 0.0
+        small_cluster.assign(ReplicaId("shop", "frontend", 0), "node-0")
+        assert small_cluster.utilization() == pytest.approx(2 / 24)
+
+
+class TestBuildUniformCluster:
+    def test_scalar_capacity_accepted(self):
+        state = build_uniform_cluster(3, 8.0)
+        assert len(state.nodes) == 3
+        assert state.node("node-0").capacity == Resources(8, 8)
+
+    def test_resources_capacity_accepted(self, simple_app):
+        state = build_uniform_cluster(2, Resources(16, 32), [simple_app])
+        assert state.node("node-1").capacity == Resources(16, 32)
+        assert "shop" in state.applications

@@ -1,0 +1,106 @@
+"""Tests for criticality tags."""
+
+import pytest
+
+from repro.criticality import (
+    DEFAULT_LEVELS,
+    HIGHEST_CRITICALITY,
+    LOWEST_DEFAULT_CRITICALITY,
+    CriticalityTag,
+    criticality_breakdown,
+    normalize_tags,
+)
+
+
+class TestConstruction:
+    def test_level_one_is_valid(self):
+        assert CriticalityTag(1).level == 1
+
+    def test_zero_level_rejected(self):
+        with pytest.raises(ValueError):
+            CriticalityTag(0)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            CriticalityTag(-3)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            CriticalityTag(1.5)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            CriticalityTag(True)
+
+    def test_str_representation(self):
+        assert str(CriticalityTag(3)) == "C3"
+
+
+class TestParse:
+    def test_parse_int(self):
+        assert CriticalityTag.parse(2) == CriticalityTag(2)
+
+    def test_parse_upper_string(self):
+        assert CriticalityTag.parse("C4") == CriticalityTag(4)
+
+    def test_parse_lower_string(self):
+        assert CriticalityTag.parse("c7") == CriticalityTag(7)
+
+    def test_parse_digit_string(self):
+        assert CriticalityTag.parse("5") == CriticalityTag(5)
+
+    def test_parse_existing_tag_is_identity(self):
+        tag = CriticalityTag(2)
+        assert CriticalityTag.parse(tag) is tag
+
+    def test_parse_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            CriticalityTag.parse("critical")
+
+    def test_parse_roundtrip_through_str(self):
+        for level in range(1, 12):
+            assert CriticalityTag.parse(str(CriticalityTag(level))).level == level
+
+
+class TestOrdering:
+    def test_lower_level_sorts_first(self):
+        assert CriticalityTag(1) < CriticalityTag(2)
+
+    def test_is_more_critical_than(self):
+        assert CriticalityTag(1).is_more_critical_than(CriticalityTag(5))
+        assert not CriticalityTag(5).is_more_critical_than(CriticalityTag(1))
+
+    def test_sorting_tags(self):
+        tags = [CriticalityTag(5), CriticalityTag(1), CriticalityTag(3)]
+        assert sorted(tags) == [CriticalityTag(1), CriticalityTag(3), CriticalityTag(5)]
+
+    def test_constants(self):
+        assert HIGHEST_CRITICALITY.level == 1
+        assert LOWEST_DEFAULT_CRITICALITY.level == DEFAULT_LEVELS
+
+
+class TestNormalizeTags:
+    def test_missing_entries_default_to_highest(self):
+        result = normalize_tags({"a": "C3"}, ["a", "b"])
+        assert result["a"] == CriticalityTag(3)
+        assert result["b"] == HIGHEST_CRITICALITY
+
+    def test_none_mapping_defaults_everything(self):
+        result = normalize_tags(None, ["x", "y"])
+        assert all(tag == HIGHEST_CRITICALITY for tag in result.values())
+
+    def test_mixed_input_types(self):
+        result = normalize_tags({"a": 2, "b": "C4", "c": CriticalityTag(6)}, ["a", "b", "c"])
+        assert [result[k].level for k in "abc"] == [2, 4, 6]
+
+
+class TestBreakdown:
+    def test_fractions_sum_to_one(self):
+        breakdown = criticality_breakdown({CriticalityTag(1): 60.0, CriticalityTag(5): 40.0})
+        assert breakdown["C1"] == pytest.approx(0.6)
+        assert breakdown["C5"] == pytest.approx(0.4)
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_empty_total_gives_zeros(self):
+        breakdown = criticality_breakdown({CriticalityTag(1): 0.0})
+        assert breakdown["C1"] == 0.0

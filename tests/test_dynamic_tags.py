@@ -1,0 +1,207 @@
+"""Tests for dynamic criticality tagging and the runtime tag API (§7)."""
+
+import pytest
+
+from repro.cluster import Application
+from repro.core.dynamic_tags import (
+    CriticalityTagAPI,
+    DynamicTaggingPolicy,
+    TagRule,
+    TagUpdateRejected,
+    TaggingContext,
+    business_hours_rule,
+    off_hours_rule,
+    overload_rule,
+)
+from repro.criticality import CriticalityTag
+
+from tests.conftest import make_microservice
+
+
+@pytest.fixture
+def reporting_app():
+    """An app whose reporting pipeline matters during business hours only."""
+    return Application.from_microservices(
+        "analytics",
+        [
+            make_microservice("ingest", criticality=1),
+            make_microservice("reports", criticality=6),
+            make_microservice("alerts", criticality=2),
+        ],
+        dependency_edges=[("ingest", "reports"), ("ingest", "alerts")],
+    )
+
+
+class TestTaggingContext:
+    def test_invalid_hour_rejected(self):
+        with pytest.raises(ValueError):
+            TaggingContext(hour_of_day=24.0)
+
+    def test_invalid_day_rejected(self):
+        with pytest.raises(ValueError):
+            TaggingContext(day_of_week=7)
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            TaggingContext(load_factor=-0.1)
+
+    def test_business_hours_detection(self):
+        assert TaggingContext(hour_of_day=10, day_of_week=2).is_business_hours
+        assert not TaggingContext(hour_of_day=22, day_of_week=2).is_business_hours
+        assert not TaggingContext(hour_of_day=10, day_of_week=6).is_business_hours
+
+    def test_weekend_detection(self):
+        assert TaggingContext(day_of_week=5).is_weekend
+        assert not TaggingContext(day_of_week=4).is_weekend
+
+
+class TestDynamicTaggingPolicy:
+    def test_rule_with_unknown_microservice_rejected(self, reporting_app):
+        policy = DynamicTaggingPolicy(reporting_app)
+        with pytest.raises(ValueError):
+            policy.add_rule(business_hours_rule("bad", {"ghost": 1}))
+
+    def test_no_rules_keeps_static_tags(self, reporting_app):
+        policy = DynamicTaggingPolicy(reporting_app)
+        context = TaggingContext(hour_of_day=10, day_of_week=1)
+        assert policy.tags_for(context) == reporting_app.tags()
+
+    def test_business_hours_promotion(self, reporting_app):
+        policy = DynamicTaggingPolicy(
+            reporting_app, [business_hours_rule("promote-reports", {"reports": 2})]
+        )
+        day = TaggingContext(hour_of_day=11, day_of_week=1)
+        night = TaggingContext(hour_of_day=2, day_of_week=1)
+        assert policy.tags_for(day)["reports"] == CriticalityTag(2)
+        assert policy.tags_for(night)["reports"] == CriticalityTag(6)
+
+    def test_off_hours_demotion(self, reporting_app):
+        policy = DynamicTaggingPolicy(
+            reporting_app, [off_hours_rule("demote-alerts", {"alerts": 8})]
+        )
+        night = TaggingContext(hour_of_day=2, day_of_week=1)
+        assert policy.tags_for(night)["alerts"] == CriticalityTag(8)
+
+    def test_overload_rule_uses_load_factor(self, reporting_app):
+        policy = DynamicTaggingPolicy(
+            reporting_app, [overload_rule("shed-reports", {"reports": 10}, load_threshold=1.5)]
+        )
+        calm = TaggingContext(load_factor=1.0)
+        overloaded = TaggingContext(load_factor=2.0)
+        assert policy.tags_for(calm)["reports"] == CriticalityTag(6)
+        assert policy.tags_for(overloaded)["reports"] == CriticalityTag(10)
+
+    def test_later_rules_override_earlier_ones(self, reporting_app):
+        policy = DynamicTaggingPolicy(
+            reporting_app,
+            [
+                TagRule("first", lambda ctx: True, {"reports": CriticalityTag(3)}),
+                TagRule("second", lambda ctx: True, {"reports": CriticalityTag(9)}),
+            ],
+        )
+        assert policy.tags_for(TaggingContext())["reports"] == CriticalityTag(9)
+
+    def test_retagged_returns_new_application(self, reporting_app):
+        policy = DynamicTaggingPolicy(
+            reporting_app, [business_hours_rule("promote", {"reports": 1})]
+        )
+        retagged = policy.retagged(TaggingContext(hour_of_day=10, day_of_week=0))
+        assert retagged.criticality_of("reports") == CriticalityTag(1)
+        assert reporting_app.criticality_of("reports") == CriticalityTag(6)
+
+    def test_changed_microservices_reports_old_and_new(self, reporting_app):
+        policy = DynamicTaggingPolicy(
+            reporting_app, [business_hours_rule("promote", {"reports": 2})]
+        )
+        changes = policy.changed_microservices(TaggingContext(hour_of_day=10, day_of_week=0))
+        assert changes == {"reports": (CriticalityTag(6), CriticalityTag(2))}
+
+
+class TestCriticalityTagAPI:
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            CriticalityTagAPI(max_critical_fraction=0.0)
+
+    def test_register_and_lookup(self, reporting_app):
+        api = CriticalityTagAPI()
+        api.register(reporting_app)
+        assert api.application("analytics") is reporting_app
+        assert "analytics" in api.applications()
+
+    def test_duplicate_registration_rejected(self, reporting_app):
+        api = CriticalityTagAPI()
+        api.register(reporting_app)
+        with pytest.raises(ValueError):
+            api.register(reporting_app)
+
+    def test_update_unknown_app_rejected(self, reporting_app):
+        api = CriticalityTagAPI()
+        with pytest.raises(KeyError):
+            api.update_tags("ghost", {"reports": 1})
+
+    def test_update_unknown_microservice_rejected(self, reporting_app):
+        api = CriticalityTagAPI()
+        api.register(reporting_app)
+        with pytest.raises(TagUpdateRejected):
+            api.update_tags("analytics", {"ghost": 1})
+
+    def test_update_applies_and_audits(self, reporting_app):
+        api = CriticalityTagAPI()
+        api.register(reporting_app)
+        updated = api.update_tags("analytics", {"reports": 3})
+        assert updated.criticality_of("reports") == CriticalityTag(3)
+        assert any(entry[1] == "update" for entry in api.audit_log)
+
+    def test_over_tagging_rejected_by_operator_guard(self, reporting_app):
+        api = CriticalityTagAPI(max_critical_fraction=0.5)
+        api.register(reporting_app)
+        with pytest.raises(TagUpdateRejected):
+            api.update_tags("analytics", {"reports": 1, "alerts": 1})
+
+    def test_registration_guard_rejects_all_critical_apps(self):
+        everything_critical = Application.from_microservices(
+            "greedy",
+            [make_microservice("a", criticality=1), make_microservice("b", criticality=1)],
+        )
+        api = CriticalityTagAPI(max_critical_fraction=0.6)
+        with pytest.raises(TagUpdateRejected):
+            api.register(everything_critical)
+
+    def test_apply_policy_round_trips_through_api(self, reporting_app):
+        api = CriticalityTagAPI()
+        api.register(reporting_app)
+        policy = DynamicTaggingPolicy(
+            reporting_app, [business_hours_rule("promote", {"reports": 2})]
+        )
+        updated = api.apply_policy(policy, TaggingContext(hour_of_day=10, day_of_week=0))
+        assert updated.criticality_of("reports") == CriticalityTag(2)
+        # Off hours: no change, no new audit entry beyond the previous update.
+        entries_before = len(api.audit_log)
+        api.apply_policy(policy, TaggingContext(hour_of_day=2, day_of_week=0))
+        assert len(api.audit_log) == entries_before
+
+
+class TestDynamicTagsDrivePlanning:
+    def test_planner_honours_dynamic_tags(self, reporting_app):
+        """Promoting a service at runtime changes what Phoenix keeps alive."""
+        from repro.cluster import Node, Resources
+        from repro.cluster.state import ClusterState
+        from repro.core.objectives import RevenueObjective
+        from repro.core.planner import PhoenixPlanner
+
+        policy = DynamicTaggingPolicy(
+            reporting_app, [business_hours_rule("promote-reports", {"reports": 1, "alerts": 9})]
+        )
+        planner = PhoenixPlanner(RevenueObjective())
+
+        def plan_with(app):
+            state = ClusterState(nodes=[Node("n0", Resources(4, 4))], applications=[app])
+            return planner.plan(state).activated_set()
+
+        night_plan = plan_with(policy.retagged(TaggingContext(hour_of_day=2, day_of_week=0)))
+        day_plan = plan_with(policy.retagged(TaggingContext(hour_of_day=10, day_of_week=0)))
+        # Only 4 CPU: at night ingest+alerts win, during the day ingest+reports.
+        assert ("analytics", "alerts") in night_plan
+        assert ("analytics", "reports") not in night_plan
+        assert ("analytics", "reports") in day_plan
+        assert ("analytics", "alerts") not in day_plan

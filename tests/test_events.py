@@ -1,0 +1,47 @@
+"""Tests for failure/recovery events and the event timeline."""
+
+import pytest
+
+from repro.cluster.events import EventTimeline, FailureEvent, RecoveryEvent
+
+
+class TestEvents:
+    def test_failure_event_freezes_nodes_as_tuple(self):
+        event = FailureEvent(time=10.0, nodes=["a", "b"])
+        assert event.nodes == ("a", "b")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FailureEvent(time=-1.0, nodes=["a"])
+        with pytest.raises(ValueError):
+            RecoveryEvent(time=-0.5, nodes=["a"])
+
+    def test_cause_recorded(self):
+        event = FailureEvent(time=1.0, nodes=["a"], cause="power")
+        assert event.cause == "power"
+
+
+class TestTimeline:
+    def test_events_kept_sorted(self):
+        timeline = EventTimeline()
+        timeline.add(FailureEvent(time=50, nodes=["a"]))
+        timeline.add(RecoveryEvent(time=10, nodes=["a"]))
+        assert [e.time for e in timeline] == [10, 50]
+
+    def test_between_uses_half_open_interval(self):
+        timeline = EventTimeline()
+        timeline.add(FailureEvent(time=10, nodes=["a"]))
+        timeline.add(FailureEvent(time=20, nodes=["b"]))
+        assert [e.time for e in timeline.between(10, 20)] == [20]
+        assert [e.time for e in timeline.between(0, 10)] == [10]
+
+    def test_horizon(self):
+        timeline = EventTimeline()
+        assert timeline.horizon() == 0.0
+        timeline.add(FailureEvent(time=99, nodes=["a"]))
+        assert timeline.horizon() == 99
+
+    def test_len(self):
+        timeline = EventTimeline()
+        timeline.add(FailureEvent(time=1, nodes=["a"]))
+        assert len(timeline) == 1

@@ -1,0 +1,125 @@
+"""Tests for the kubesim API server and API objects."""
+
+import pytest
+
+from repro.cluster.resources import Resources
+from repro.kubesim import (
+    ApiError,
+    ApiServer,
+    Deployment,
+    KubeNode,
+    Namespace,
+    Pod,
+    PodPhase,
+    PodSpec,
+)
+from repro.kubesim.objects import APP_LABEL, CRITICALITY_LABEL, MICROSERVICE_LABEL
+
+
+@pytest.fixture
+def api():
+    server = ApiServer()
+    server.create_namespace(Namespace(name="demo", labels={"phoenix": "enabled"}))
+    server.register_node(KubeNode(name="n0", capacity=Resources(4, 4)))
+    server.register_node(KubeNode(name="n1", capacity=Resources(4, 4)))
+    return server
+
+
+def make_spec(ms="web", cpu=1.0, criticality="C1"):
+    return PodSpec(app="demo", microservice=ms, resources=Resources(cpu, cpu), criticality_label=criticality)
+
+
+class TestNamespacesAndNodes:
+    def test_duplicate_namespace_rejected(self, api):
+        with pytest.raises(ApiError):
+            api.create_namespace(Namespace(name="demo"))
+
+    def test_missing_namespace_raises(self, api):
+        with pytest.raises(ApiError):
+            api.get_namespace("ghost")
+
+    def test_phoenix_enabled_label(self, api):
+        assert api.get_namespace("demo").phoenix_enabled
+
+    def test_duplicate_node_rejected(self, api):
+        with pytest.raises(ApiError):
+            api.register_node(KubeNode(name="n0", capacity=Resources(1, 1)))
+
+    def test_list_nodes_ready_only(self, api):
+        from repro.kubesim.objects import NodeCondition
+
+        api.get_node("n1").condition = NodeCondition.NOT_READY
+        assert [n.name for n in api.list_nodes(ready_only=True)] == ["n0"]
+
+
+class TestDeployments:
+    def test_create_requires_namespace(self, api):
+        with pytest.raises(ApiError):
+            api.create_deployment(Deployment(name="web", namespace="ghost", spec=make_spec()))
+
+    def test_labels_derived_from_spec(self, api):
+        deployment = api.create_deployment(Deployment(name="web", namespace="demo", spec=make_spec()))
+        assert deployment.labels[APP_LABEL] == "demo"
+        assert deployment.labels[MICROSERVICE_LABEL] == "web"
+        assert deployment.labels[CRITICALITY_LABEL] == "C1"
+
+    def test_negative_replicas_rejected(self, api):
+        with pytest.raises(ValueError):
+            Deployment(name="web", namespace="demo", spec=make_spec(), replicas=-1)
+
+    def test_scale_deployment(self, api):
+        api.create_deployment(Deployment(name="web", namespace="demo", spec=make_spec(), replicas=1))
+        api.scale_deployment("demo", "web", 3)
+        assert api.get_deployment("demo", "web").replicas == 3
+
+    def test_scale_negative_rejected(self, api):
+        api.create_deployment(Deployment(name="web", namespace="demo", spec=make_spec()))
+        with pytest.raises(ValueError):
+            api.scale_deployment("demo", "web", -2)
+
+    def test_list_by_selector(self, api):
+        api.create_deployment(Deployment(name="web", namespace="demo", spec=make_spec("web")))
+        api.create_deployment(Deployment(name="db", namespace="demo", spec=make_spec("db")))
+        found = api.list_deployments(selector={MICROSERVICE_LABEL: "db"})
+        assert [d.name for d in found] == ["db"]
+
+
+class TestPods:
+    def test_pod_names_are_unique(self, api):
+        pods = [Pod.from_spec("demo", make_spec()) for _ in range(3)]
+        assert len({p.name for p in pods}) == 3
+
+    def test_create_and_list_by_phase(self, api):
+        pod = Pod.from_spec("demo", make_spec())
+        api.create_pod(pod)
+        assert api.list_pods(phases=[PodPhase.PENDING]) == [pod]
+        assert api.list_pods(phases=[PodPhase.RUNNING]) == []
+
+    def test_graceful_delete_marks_terminating(self, api):
+        pod = Pod.from_spec("demo", make_spec())
+        pod.phase = PodPhase.RUNNING
+        pod.node_name = "n0"
+        api.create_pod(pod)
+        api.delete_pod("demo", pod.name)
+        assert pod.phase is PodPhase.TERMINATING
+
+    def test_delete_pending_pod_removes_immediately(self, api):
+        pod = Pod.from_spec("demo", make_spec())
+        api.create_pod(pod)
+        api.delete_pod("demo", pod.name)
+        assert api.list_pods() == []
+
+    def test_node_allocated_counts_active_pods_only(self, api):
+        running = Pod.from_spec("demo", make_spec(cpu=2.0))
+        running.phase = PodPhase.RUNNING
+        running.node_name = "n0"
+        pending = Pod.from_spec("demo", make_spec(cpu=2.0))
+        api.create_pod(running)
+        api.create_pod(pending)
+        assert api.node_allocated("n0").cpu == 2.0
+        assert api.node_free("n0").cpu == 2.0
+
+    def test_events_recorded(self, api):
+        pod = Pod.from_spec("demo", make_spec())
+        api.create_pod(pod)
+        assert api.events_of("PodCreated")

@@ -1,0 +1,211 @@
+"""Tests for the default scheduler, kubelet, node lifecycle and deployment
+controller of the Kubernetes-like simulator."""
+
+import pytest
+
+from repro.cluster.resources import Resources
+from repro.kubesim import (
+    ApiServer,
+    Deployment,
+    DefaultScheduler,
+    DeploymentController,
+    KubeNode,
+    Kubelet,
+    Namespace,
+    NodeCondition,
+    NodeLifecycleController,
+    Pod,
+    PodPhase,
+    PodSpec,
+)
+
+
+def make_api(nodes=2, capacity=4.0):
+    api = ApiServer()
+    api.create_namespace(Namespace(name="app"))
+    for i in range(nodes):
+        api.register_node(KubeNode(name=f"n{i}", capacity=Resources(capacity, capacity)))
+    return api
+
+
+def spec(ms="web", cpu=2.0, priority=0):
+    return PodSpec(app="app", microservice=ms, resources=Resources(cpu, cpu), priority=priority,
+                   startup_seconds=10, termination_seconds=5)
+
+
+class TestDefaultScheduler:
+    def test_binds_pending_pod(self):
+        api = make_api()
+        pod = Pod.from_spec("app", spec())
+        api.create_pod(pod)
+        DefaultScheduler(api).schedule_pending()
+        assert pod.node_name in {"n0", "n1"}
+        assert pod.phase is PodPhase.STARTING
+
+    def test_spreads_across_nodes(self):
+        api = make_api()
+        pods = [Pod.from_spec("app", spec(f"ms{i}")) for i in range(2)]
+        for pod in pods:
+            api.create_pod(pod)
+        DefaultScheduler(api).schedule_pending()
+        assert {p.node_name for p in pods} == {"n0", "n1"}
+
+    def test_unschedulable_pod_stays_pending(self):
+        api = make_api(nodes=1, capacity=1.0)
+        pod = Pod.from_spec("app", spec(cpu=3.0))
+        api.create_pod(pod)
+        decisions = DefaultScheduler(api).schedule_pending()
+        assert decisions[0].node is None
+        assert pod.phase is PodPhase.PENDING
+
+    def test_priority_preemption_evicts_lower_priority(self):
+        api = make_api(nodes=1, capacity=4.0)
+        low = Pod.from_spec("app", spec("low", cpu=4.0, priority=10))
+        api.create_pod(low)
+        scheduler = DefaultScheduler(api)
+        scheduler.schedule_pending()
+        high = Pod.from_spec("app", spec("high", cpu=4.0, priority=100))
+        api.create_pod(high)
+        decisions = scheduler.schedule_pending()
+        assert decisions[0].node == "n0"
+        assert decisions[0].preempted == [low.name]
+        assert high.node_name == "n0"
+
+    def test_no_preemption_for_equal_priority(self):
+        api = make_api(nodes=1, capacity=4.0)
+        first = Pod.from_spec("app", spec("first", cpu=4.0, priority=50))
+        api.create_pod(first)
+        scheduler = DefaultScheduler(api)
+        scheduler.schedule_pending()
+        second = Pod.from_spec("app", spec("second", cpu=4.0, priority=50))
+        api.create_pod(second)
+        decisions = scheduler.schedule_pending()
+        assert decisions[0].node is None
+
+    def test_preemption_can_be_disabled(self):
+        api = make_api(nodes=1, capacity=4.0)
+        low = Pod.from_spec("app", spec("low", cpu=4.0, priority=10))
+        api.create_pod(low)
+        scheduler = DefaultScheduler(api, enable_preemption=False)
+        scheduler.schedule_pending()
+        high = Pod.from_spec("app", spec("high", cpu=4.0, priority=100))
+        api.create_pod(high)
+        decisions = scheduler.schedule_pending()
+        assert decisions[0].node is None
+        assert low.node_name == "n0"
+
+
+class TestKubelet:
+    def test_heartbeat_updates_node(self):
+        api = make_api(nodes=1)
+        kubelet = Kubelet(node_name="n0")
+        api.clock = 100.0
+        kubelet.tick(api)
+        assert api.get_node("n0").last_heartbeat == 100.0
+
+    def test_stopped_kubelet_does_not_heartbeat(self):
+        api = make_api(nodes=1)
+        kubelet = Kubelet(node_name="n0")
+        kubelet.stop()
+        api.clock = 100.0
+        kubelet.tick(api)
+        assert api.get_node("n0").last_heartbeat == 0.0
+
+    def test_starting_pod_promoted_to_running_after_startup(self):
+        api = make_api(nodes=1)
+        pod = Pod.from_spec("app", spec())
+        pod.node_name = "n0"
+        pod.phase = PodPhase.STARTING
+        pod.phase_deadline = 10.0
+        api.create_pod(pod)
+        kubelet = Kubelet(node_name="n0")
+        api.clock = 5.0
+        kubelet.tick(api)
+        assert pod.phase is PodPhase.STARTING
+        api.clock = 11.0
+        kubelet.tick(api)
+        assert pod.phase is PodPhase.RUNNING
+
+    def test_terminating_pod_removed_after_grace(self):
+        api = make_api(nodes=1)
+        pod = Pod.from_spec("app", spec())
+        pod.node_name = "n0"
+        pod.phase = PodPhase.TERMINATING
+        pod.phase_deadline = 8.0
+        api.create_pod(pod)
+        kubelet = Kubelet(node_name="n0")
+        api.clock = 9.0
+        kubelet.tick(api)
+        assert api.list_pods() == []
+
+
+class TestNodeLifecycleController:
+    def test_stale_heartbeat_marks_not_ready(self):
+        api = make_api(nodes=1)
+        controller = NodeLifecycleController(api, heartbeat_grace=40, pod_eviction_timeout=60)
+        api.clock = 50.0
+        controller.tick()
+        assert api.get_node("n0").condition is NodeCondition.NOT_READY
+
+    def test_fresh_heartbeat_marks_ready_again(self):
+        api = make_api(nodes=1)
+        controller = NodeLifecycleController(api, heartbeat_grace=40, pod_eviction_timeout=60)
+        api.clock = 50.0
+        controller.tick()
+        api.get_node("n0").last_heartbeat = 50.0
+        controller.tick()
+        assert api.get_node("n0").condition is NodeCondition.READY
+
+    def test_pods_evicted_after_timeout(self):
+        api = make_api(nodes=1)
+        pod = Pod.from_spec("app", spec())
+        pod.node_name = "n0"
+        pod.phase = PodPhase.RUNNING
+        api.create_pod(pod)
+        controller = NodeLifecycleController(api, heartbeat_grace=40, pod_eviction_timeout=60)
+        api.clock = 50.0
+        controller.tick()     # NotReady at t=50
+        api.clock = 100.0
+        controller.tick()     # 50s elapsed < 60 -> not yet evicted
+        assert api.list_pods() == [pod]
+        api.clock = 115.0
+        controller.tick()
+        assert api.list_pods() == []
+
+    def test_invalid_timeouts_rejected(self):
+        api = make_api(nodes=1)
+        with pytest.raises(ValueError):
+            NodeLifecycleController(api, heartbeat_grace=0)
+
+
+class TestDeploymentController:
+    def test_creates_missing_replicas(self):
+        api = make_api()
+        api.create_deployment(Deployment(name="web", namespace="app", spec=spec(), replicas=3))
+        changes = DeploymentController(api).reconcile()
+        assert changes == 3
+        assert len(api.list_pods()) == 3
+
+    def test_reconcile_is_idempotent(self):
+        api = make_api()
+        api.create_deployment(Deployment(name="web", namespace="app", spec=spec(), replicas=2))
+        controller = DeploymentController(api)
+        controller.reconcile()
+        assert controller.reconcile() == 0
+
+    def test_scales_down_excess_replicas(self):
+        api = make_api()
+        api.create_deployment(Deployment(name="web", namespace="app", spec=spec(), replicas=2))
+        controller = DeploymentController(api)
+        controller.reconcile()
+        api.scale_deployment("app", "web", 0)
+        controller.reconcile()
+        live = [p for p in api.list_pods() if p.phase not in (PodPhase.TERMINATING,)]
+        assert live == []
+
+    def test_paused_deployment_ignored(self):
+        api = make_api()
+        api.create_deployment(
+            Deployment(name="web", namespace="app", spec=spec(), replicas=2, paused=True)
+        )
+        assert DeploymentController(api).reconcile() == 0

@@ -1,0 +1,133 @@
+"""Tests for the load generator, utility accounting and CloudLab workload."""
+
+import pytest
+
+from repro.apps import (
+    LoadGenerator,
+    MultiAppLoadRecorder,
+    ThroughputTimeline,
+    build_hotel_reservation,
+    build_overleaf,
+    cloudlab_workload,
+)
+
+
+@pytest.fixture
+def overleaf():
+    return build_overleaf()
+
+
+@pytest.fixture
+def hotel():
+    return build_hotel_reservation()
+
+
+class TestRequestEvaluation:
+    def test_full_service_serves_nominal_rate(self, overleaf):
+        generator = LoadGenerator(overleaf)
+        all_ms = set(overleaf.application.microservices)
+        report = generator.report(all_ms)
+        edits = report.sample("document-edits")
+        assert edits.served_rps == edits.offered_rps
+        assert edits.utility == 1.0
+        assert edits.success_ratio == 1.0
+
+    def test_missing_required_microservice_drops_request(self, overleaf):
+        generator = LoadGenerator(overleaf)
+        serving = set(overleaf.application.microservices) - {"clsi"}
+        report = generator.report(serving)
+        assert report.sample("compile").served_rps == 0.0
+        assert report.sample("compile").utility == 0.0
+        assert report.sample("compile").p95_latency_ms is None
+
+    def test_missing_optional_microservice_degrades_utility(self, hotel):
+        generator = LoadGenerator(hotel)
+        serving = set(hotel.application.microservices) - {"user"}
+        report = generator.report(serving)
+        reserve = report.sample("reserve")
+        assert reserve.served_rps == reserve.offered_rps
+        assert reserve.utility == pytest.approx(0.8)
+
+    def test_fail_fast_reduces_latency_when_optional_pruned(self, hotel):
+        generator = LoadGenerator(hotel)
+        full = generator.report(set(hotel.application.microservices))
+        pruned = generator.report(set(hotel.application.microservices) - {"user"})
+        assert pruned.sample("reserve").p95_latency_ms < full.sample("reserve").p95_latency_ms
+
+    def test_critical_service_availability_flag(self, overleaf):
+        generator = LoadGenerator(overleaf)
+        up = generator.report({"web", "real-time", "document-updater", "docstore"})
+        down = generator.report({"web", "spelling"})
+        assert up.critical_service_available("document-edits")
+        assert not down.critical_service_available("document-edits")
+
+    def test_total_utility_rate_counts_only_served(self, overleaf):
+        generator = LoadGenerator(overleaf)
+        partial = generator.report({"web", "real-time", "document-updater", "docstore"})
+        full = generator.report(set(overleaf.application.microservices))
+        assert 0 < partial.total_utility_rate < full.total_utility_rate
+
+
+class TestTimeline:
+    def test_series_and_downtime(self, overleaf):
+        generator = LoadGenerator(overleaf)
+        timeline = ThroughputTimeline(app="overleaf")
+        all_ms = set(overleaf.application.microservices)
+        critical = {"web", "real-time", "document-updater", "docstore"}
+        for t, serving in [(0, all_ms), (30, set()), (60, set()), (90, critical), (120, all_ms)]:
+            timeline.record(generator.report(serving, time=t))
+        rps = dict(timeline.series("document-edits"))
+        assert rps[0] > 0 and rps[30] == 0 and rps[90] > 0
+        assert timeline.downtime("document-edits") == pytest.approx(60)
+
+    def test_utility_series(self, hotel):
+        generator = LoadGenerator(hotel)
+        timeline = ThroughputTimeline(app="hr")
+        timeline.record(generator.report(set(hotel.application.microservices), time=0))
+        timeline.record(generator.report(set(hotel.application.microservices) - {"user"}, time=30))
+        utilities = dict(timeline.utility_series("reserve"))
+        assert utilities[0] == 1.0
+        assert utilities[30] == pytest.approx(0.8)
+
+
+class TestMultiAppRecorder:
+    def test_observe_and_goal_counting(self):
+        workload = cloudlab_workload()
+        recorder = MultiAppLoadRecorder(workload)
+        all_up = {name: set(t.application.microservices) for name, t in workload.items()}
+        recorder.observe(0.0, lambda name: all_up[name])
+        assert recorder.apps_meeting_goal() == len(workload)
+        nothing_up = {name: set() for name in workload}
+        recorder.observe(30.0, lambda name: nothing_up[name])
+        assert recorder.apps_meeting_goal() == 0
+
+
+class TestCloudLabWorkload:
+    def test_five_instances(self):
+        workload = cloudlab_workload()
+        assert set(workload) == {"overleaf0", "overleaf1", "overleaf2", "hr0", "hr1"}
+
+    def test_total_demand_is_about_seventy_percent(self):
+        workload = cloudlab_workload(total_capacity_cpu=200.0)
+        total = sum(t.application.total_demand().cpu for t in workload.values())
+        assert total == pytest.approx(140.0, rel=0.05)
+
+    def test_each_instance_has_distinct_critical_service(self):
+        workload = cloudlab_workload()
+        criticals = {name: t.critical_request().name for name, t in workload.items()}
+        assert criticals["overleaf0"] == "document-edits"
+        assert criticals["overleaf1"] == "versions"
+        assert criticals["overleaf2"] == "downloads"
+        assert criticals["hr0"] == "search"
+        assert criticals["hr1"] == "reserve"
+
+    def test_critical_services_are_tagged_c1(self):
+        workload = cloudlab_workload()
+        for template in workload.values():
+            for ms in template.critical_request().microservices:
+                assert template.application.criticality_of(ms).level == 1
+
+    def test_prices_differ_across_instances(self):
+        workload = cloudlab_workload()
+        prices = {t.application.price_per_unit for t in workload.values()}
+        assert len(prices) >= 3

@@ -1,0 +1,104 @@
+"""Tests for the LPCost / LPFair ILP formulations."""
+
+import pytest
+
+from repro.cluster import Application, Node, Resources
+from repro.cluster.state import ClusterState, ReplicaId
+from repro.core.lp import LPCost, LPFair, LPSizeError
+from repro.core.scheduler import apply_schedule
+
+from tests.conftest import make_microservice
+
+
+@pytest.fixture
+def two_app_state(simple_app, second_app):
+    nodes = [Node(f"n{i}", Resources(4, 4)) for i in range(4)]
+    return ClusterState(nodes=nodes, applications=[simple_app, second_app])
+
+
+class TestLPCost:
+    def test_everything_activated_when_capacity_allows(self, two_app_state):
+        solution = LPCost(time_limit=20).solve(two_app_state)
+        assert solution.status == "optimal"
+        assert len(solution.activated) == 7
+
+    def test_placement_respects_capacity(self, two_app_state):
+        solution = LPCost(time_limit=20).solve(two_app_state)
+        per_node: dict[str, float] = {}
+        for (app, ms), node in solution.placement.items():
+            per_node[node] = per_node.get(node, 0.0) + two_app_state.microservice(app, ms).resources.cpu
+        assert all(v <= 4 + 1e-6 for v in per_node.values())
+
+    def test_prefers_expensive_app_under_crunch(self, two_app_state):
+        two_app_state.fail_nodes(["n0", "n1", "n2"])  # 4 cpu left
+        solution = LPCost(time_limit=20).solve(two_app_state)
+        activated_apps = {app for app, _ in solution.activated}
+        # shop pays 2.0/unit, blog pays 1.0/unit: shop activated first.
+        assert "shop" in activated_apps
+
+    def test_criticality_constraint_holds(self, two_app_state):
+        two_app_state.fail_nodes(["n0", "n1"])
+        solution = LPCost(time_limit=20).solve(two_app_state)
+        for app_name, app in two_app_state.applications.items():
+            activated_levels = [
+                app.criticality_of(ms).level for a, ms in solution.activated if a == app_name
+            ]
+            skipped_levels = [
+                ms.criticality.level
+                for ms in app
+                if (app_name, ms.name) not in solution.activated
+            ]
+            # No skipped microservice may be strictly more critical than an
+            # activated one of the same app (Eq. 1).
+            if activated_levels and skipped_levels:
+                assert min(skipped_levels) >= max(activated_levels)
+
+    def test_dependency_constraint_holds(self, simple_app):
+        nodes = [Node("n0", Resources(4, 4))]
+        state = ClusterState(nodes=nodes, applications=[simple_app])
+        solution = LPCost(time_limit=20).solve(state)
+        activated = {ms for _, ms in solution.activated}
+        for ms in activated:
+            preds = simple_app.predecessors(ms)
+            assert not preds or any(p in activated for p in preds)
+
+    def test_schedule_plan_applies_cleanly(self, two_app_state):
+        solution = LPCost(time_limit=20).solve(two_app_state)
+        schedule = solution.to_schedule_plan(two_app_state)
+        apply_schedule(two_app_state, schedule)
+        assert len(two_app_state.assignments) == len(solution.placement)
+
+    def test_size_guard(self, two_app_state):
+        with pytest.raises(LPSizeError):
+            LPCost(max_variables=10).solve(two_app_state)
+
+    def test_activation_plan_conversion(self, two_app_state):
+        plan = LPCost(time_limit=20).plan(two_app_state)
+        assert plan.objective == "lp-cost"
+        assert len(plan.activated) == len(plan.ranked)
+
+
+class TestLPFair:
+    def test_fair_lp_respects_fair_share_caps(self, two_app_state):
+        two_app_state.fail_nodes(["n0", "n1"])  # 8 cpu left; demands are 8 and 6
+        solution = LPFair(time_limit=20).solve(two_app_state)
+        usage = {"shop": 0.0, "blog": 0.0}
+        for app, ms in solution.activated:
+            usage[app] += two_app_state.microservice(app, ms).total_resources.cpu
+        # fair shares are 4/4: no app may exceed its share
+        assert usage["shop"] <= 4 + 1e-6
+        assert usage["blog"] <= 4 + 1e-6
+
+    def test_fair_lp_activates_both_apps(self, two_app_state):
+        two_app_state.fail_nodes(["n0", "n1"])
+        solution = LPFair(time_limit=20).solve(two_app_state)
+        activated_apps = {app for app, _ in solution.activated}
+        assert activated_apps == {"shop", "blog"}
+
+    def test_full_capacity_activates_everything(self, two_app_state):
+        solution = LPFair(time_limit=20).solve(two_app_state)
+        assert len(solution.activated) == 7
+
+    def test_solve_time_recorded(self, two_app_state):
+        solution = LPFair(time_limit=20).solve(two_app_state)
+        assert solution.solve_time > 0

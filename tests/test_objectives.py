@@ -1,0 +1,127 @@
+"""Tests for operator objectives and water-filling fair shares."""
+
+import pytest
+
+from repro.cluster import Application, Resources
+from repro.core.objectives import (
+    FairnessObjective,
+    RevenueObjective,
+    WeightedObjective,
+    criticality_revenue_weight,
+    microservice_revenue_rate,
+    water_fill_shares,
+)
+
+from tests.conftest import make_microservice
+
+
+class TestWaterFill:
+    def test_paper_example(self):
+        # Appendix C example: demands 10/50/90, capacity 100 -> 10/45/45.
+        shares = water_fill_shares({"a": 10, "b": 50, "c": 90}, 100)
+        assert shares == {"a": 10.0, "b": 45.0, "c": 45.0}
+
+    def test_equal_split_when_demands_exceed_capacity(self):
+        shares = water_fill_shares({"a": 100, "b": 100}, 60)
+        assert shares["a"] == pytest.approx(30)
+        assert shares["b"] == pytest.approx(30)
+
+    def test_all_demands_satisfied_when_capacity_abundant(self):
+        shares = water_fill_shares({"a": 10, "b": 20}, 1000)
+        assert shares == {"a": 10.0, "b": 20.0}
+
+    def test_zero_capacity(self):
+        shares = water_fill_shares({"a": 10, "b": 20}, 0)
+        assert shares == {"a": 0.0, "b": 0.0}
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            water_fill_shares({"a": 10}, -1)
+
+    def test_zero_demand_app_gets_zero(self):
+        shares = water_fill_shares({"a": 0, "b": 50}, 40)
+        assert shares["a"] == 0.0
+        assert shares["b"] == pytest.approx(40)
+
+    def test_shares_never_exceed_demand(self):
+        demands = {"a": 5, "b": 17, "c": 42, "d": 3}
+        shares = water_fill_shares(demands, 50)
+        for app, share in shares.items():
+            assert share <= demands[app] + 1e-9
+
+    def test_total_share_never_exceeds_capacity(self):
+        demands = {"a": 30, "b": 40, "c": 50}
+        shares = water_fill_shares(demands, 70)
+        assert sum(shares.values()) <= 70 + 1e-9
+
+
+class TestRevenueObjective:
+    def test_weight_decreases_with_level(self):
+        assert criticality_revenue_weight(1) > criticality_revenue_weight(5)
+
+    def test_weight_rejects_invalid_level(self):
+        with pytest.raises(ValueError):
+            criticality_revenue_weight(0)
+
+    def test_score_scales_with_price_and_criticality(self, simple_app, second_app):
+        objective = RevenueObjective()
+        frontend = simple_app.get("frontend")          # C1, price 2.0
+        recommend = simple_app.get("recommend")        # C5, price 2.0
+        api = second_app.get("api")                    # C1, price 1.0
+        assert objective.score(simple_app, frontend, {}) > objective.score(simple_app, recommend, {})
+        assert objective.score(simple_app, frontend, {}) > objective.score(second_app, api, {})
+
+    def test_cheap_critical_beats_expensive_noncritical(self, simple_app, second_app):
+        objective = RevenueObjective()
+        recommend = simple_app.get("recommend")        # C5 of the pricey app
+        api = second_app.get("api")                    # C1 of the cheap app
+        assert objective.score(second_app, api, {}) > objective.score(simple_app, recommend, {})
+
+    def test_microservice_revenue_rate(self, simple_app):
+        frontend = simple_app.get("frontend")
+        assert microservice_revenue_rate(simple_app, frontend) == pytest.approx(2.0 * 2.0 * 1.0)
+
+
+class TestFairnessObjective:
+    def test_prepare_computes_fair_shares(self, simple_app, second_app):
+        objective = FairnessObjective()
+        objective.prepare({"shop": simple_app, "blog": second_app}, capacity=10)
+        shares = objective.fair_shares
+        assert shares["shop"] + shares["blog"] <= 10 + 1e-9
+        assert shares["blog"] <= second_app.total_demand().cpu + 1e-9
+
+    def test_underserved_app_scores_higher(self, simple_app, second_app):
+        objective = FairnessObjective()
+        objective.prepare({"shop": simple_app, "blog": second_app}, capacity=12)
+        ms_shop = simple_app.get("frontend")
+        ms_blog = second_app.get("api")
+        # blog already consumed a lot, shop nothing: shop scores higher.
+        score_shop = objective.score(simple_app, ms_shop, {"shop": 0.0, "blog": 6.0})
+        score_blog = objective.score(second_app, ms_blog, {"shop": 0.0, "blog": 6.0})
+        assert score_shop > score_blog
+
+
+class TestWeightedObjective:
+    def test_empty_components_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedObjective({})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedObjective({RevenueObjective(): -1.0})
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedObjective({RevenueObjective(): 0.0})
+
+    def test_single_component_equals_component(self, simple_app):
+        revenue = RevenueObjective()
+        weighted = WeightedObjective({revenue: 3.0})
+        ms = simple_app.get("frontend")
+        assert weighted.score(simple_app, ms, {}) == pytest.approx(revenue.score(simple_app, ms, {}))
+
+    def test_blend_prepares_all_components(self, simple_app, second_app):
+        fairness = FairnessObjective()
+        weighted = WeightedObjective({RevenueObjective(): 0.5, fairness: 0.5})
+        weighted.prepare({"shop": simple_app, "blog": second_app}, capacity=10)
+        assert fairness.fair_shares  # prepared through the wrapper

@@ -1,0 +1,201 @@
+"""Tests for the packing heuristic (Algorithm 2)."""
+
+import pytest
+
+from repro.cluster import Application, Node, Resources
+from repro.cluster.state import ClusterState, ReplicaId
+from repro.core.objectives import RevenueObjective
+from repro.core.packing import PackingHeuristic
+from repro.core.plan import ActivationPlan, RankedMicroservice
+from repro.core.planner import PhoenixPlanner
+
+from tests.conftest import make_microservice
+
+
+def plan_for(state):
+    return PhoenixPlanner(RevenueObjective()).plan(state)
+
+
+def entry(app, ms, cpu):
+    return RankedMicroservice(app, ms, cpu)
+
+
+class TestBestFit:
+    def test_places_on_tightest_node(self):
+        app = Application.from_microservices("a", [make_microservice("m", cpu=2, memory=2)])
+        state = ClusterState(
+            nodes=[Node("big", Resources(10, 10)), Node("small", Resources(3, 3))],
+            applications=[app],
+        )
+        plan = ActivationPlan(ranked=[entry("a", "m", 2)], activated=[entry("a", "m", 2)])
+        result = PackingHeuristic().pack(state.copy(), plan)
+        assert result.assignment[ReplicaId("a", "m", 0)] == "small"
+
+    def test_keeps_already_running_replicas_in_place(self, simple_app):
+        state = ClusterState(
+            nodes=[Node("n0", Resources(8, 8)), Node("n1", Resources(8, 8))],
+            applications=[simple_app],
+        )
+        state.assign(ReplicaId("shop", "frontend", 0), "n1")
+        plan = plan_for(state)
+        result = PackingHeuristic().pack(state.copy(), plan)
+        assert result.assignment[ReplicaId("shop", "frontend", 0)] == "n1"
+
+    def test_unplaced_when_nothing_fits(self):
+        app = Application.from_microservices("a", [make_microservice("huge", cpu=10, memory=10)])
+        state = ClusterState(nodes=[Node("n0", Resources(4, 4))], applications=[app])
+        plan = ActivationPlan(ranked=[entry("a", "huge", 10)], activated=[entry("a", "huge", 10)])
+        result = PackingHeuristic().pack(state.copy(), plan)
+        assert ("a", "huge") in result.unplaced
+        assert ReplicaId("a", "huge", 0) not in result.assignment
+
+
+class TestDiagonalScaling:
+    def test_non_activated_running_containers_are_deleted(self, simple_app):
+        state = ClusterState(
+            nodes=[Node("n0", Resources(8, 8))],
+            applications=[simple_app],
+        )
+        state.assign(ReplicaId("shop", "recommend", 0), "n0")
+        plan = ActivationPlan(
+            ranked=[entry("shop", "frontend", 2)],
+            activated=[entry("shop", "frontend", 2)],
+        )
+        result = PackingHeuristic().pack(state.copy(), plan)
+        assert ReplicaId("shop", "recommend", 0) in result.deleted
+        assert ReplicaId("shop", "recommend", 0) not in result.assignment
+
+    def test_replicas_on_failed_nodes_are_rescheduled(self, simple_app):
+        state = ClusterState(
+            nodes=[Node("n0", Resources(8, 8)), Node("n1", Resources(8, 8))],
+            applications=[simple_app],
+        )
+        state.assign(ReplicaId("shop", "frontend", 0), "n0")
+        state.fail_nodes(["n0"])
+        plan = plan_for(state)
+        result = PackingHeuristic().pack(state.copy(), plan)
+        assert result.assignment[ReplicaId("shop", "frontend", 0)] == "n1"
+
+
+class TestMigration:
+    def _fragmented_state(self):
+        """Two nodes, each half full, so a large container needs migration.
+
+        Each node has 6 CPU with a 3-CPU filler on it: 3 CPU free per node,
+        while the new container needs 5 — only consolidating the fillers
+        onto one node makes room.
+        """
+        filler0 = make_microservice("filler0", cpu=3, memory=3, criticality=2)
+        filler1 = make_microservice("filler1", cpu=3, memory=3, criticality=2)
+        big = make_microservice("big", cpu=5, memory=5, criticality=1)
+        app = Application.from_microservices("a", [filler0, filler1, big])
+        state = ClusterState(
+            nodes=[Node("n0", Resources(6, 6)), Node("n1", Resources(6, 6))],
+            applications=[app],
+        )
+        state.assign(ReplicaId("a", "filler0", 0), "n0")
+        state.assign(ReplicaId("a", "filler1", 0), "n1")
+        return state
+
+    def test_migration_frees_a_node(self):
+        state = self._fragmented_state()
+        plan = ActivationPlan(
+            ranked=[entry("a", "filler0", 3), entry("a", "filler1", 3), entry("a", "big", 5)],
+            activated=[entry("a", "filler0", 3), entry("a", "filler1", 3), entry("a", "big", 5)],
+        )
+        result = PackingHeuristic().pack(state.copy(), plan)
+        assert ReplicaId("a", "big", 0) in result.assignment
+        assert result.migrated  # something moved to make room
+
+    def test_migration_disabled_falls_back_to_deletion_or_unplaced(self):
+        state = self._fragmented_state()
+        plan = ActivationPlan(
+            ranked=[entry("a", "filler0", 3), entry("a", "filler1", 3), entry("a", "big", 5)],
+            activated=[entry("a", "filler0", 3), entry("a", "filler1", 3), entry("a", "big", 5)],
+        )
+        result = PackingHeuristic(allow_migration=False, allow_deletion=False).pack(state.copy(), plan)
+        assert ("a", "big") in result.unplaced
+
+    def test_capacity_invariant_after_migration(self):
+        state = self._fragmented_state()
+        plan = ActivationPlan(
+            ranked=[entry("a", "filler0", 3), entry("a", "filler1", 3), entry("a", "big", 5)],
+            activated=[entry("a", "filler0", 3), entry("a", "filler1", 3), entry("a", "big", 5)],
+        )
+        working = state.copy()
+        PackingHeuristic().pack(working, plan)
+        for node in working.nodes.values():
+            assert working.used_on(node.name).fits_within(node.capacity)
+
+
+class TestDeletion:
+    def test_lower_ranked_deleted_for_higher_ranked(self):
+        low = make_microservice("low", cpu=4, memory=4, criticality=5)
+        high = make_microservice("high", cpu=4, memory=4, criticality=1)
+        app = Application.from_microservices("a", [high, low])
+        state = ClusterState(nodes=[Node("n0", Resources(4, 4))], applications=[app])
+        state.assign(ReplicaId("a", "low", 0), "n0")
+        plan = ActivationPlan(
+            ranked=[entry("a", "high", 4), entry("a", "low", 4)],
+            activated=[entry("a", "high", 4), entry("a", "low", 4)],
+        )
+        result = PackingHeuristic().pack(state.copy(), plan)
+        assert result.assignment.get(ReplicaId("a", "high", 0)) == "n0"
+        assert ReplicaId("a", "low", 0) in result.deleted
+
+    def test_deletion_disabled_keeps_lower_ranked(self):
+        low = make_microservice("low", cpu=4, memory=4, criticality=5)
+        high = make_microservice("high", cpu=4, memory=4, criticality=1)
+        app = Application.from_microservices("a", [high, low])
+        state = ClusterState(nodes=[Node("n0", Resources(4, 4))], applications=[app])
+        state.assign(ReplicaId("a", "low", 0), "n0")
+        plan = ActivationPlan(
+            ranked=[entry("a", "high", 4), entry("a", "low", 4)],
+            activated=[entry("a", "high", 4), entry("a", "low", 4)],
+        )
+        result = PackingHeuristic(allow_migration=False, allow_deletion=False).pack(state.copy(), plan)
+        assert ReplicaId("a", "low", 0) in result.assignment
+        assert ("a", "high") in result.unplaced
+
+    def test_higher_ranked_never_deleted_for_lower_ranked(self):
+        high = make_microservice("high", cpu=4, memory=4, criticality=1)
+        low = make_microservice("low", cpu=4, memory=4, criticality=5)
+        app = Application.from_microservices("a", [high, low])
+        state = ClusterState(nodes=[Node("n0", Resources(4, 4))], applications=[app])
+        state.assign(ReplicaId("a", "high", 0), "n0")
+        plan = ActivationPlan(
+            ranked=[entry("a", "high", 4), entry("a", "low", 4)],
+            activated=[entry("a", "high", 4), entry("a", "low", 4)],
+        )
+        result = PackingHeuristic().pack(state.copy(), plan)
+        assert result.assignment.get(ReplicaId("a", "high", 0)) == "n0"
+        assert ReplicaId("a", "high", 0) not in result.deleted
+
+
+class TestReplicas:
+    def test_all_replicas_placed_or_none(self):
+        app = Application.from_microservices(
+            "a", [make_microservice("web", cpu=3, memory=3, replicas=3)]
+        )
+        # Only two 4-cpu nodes: the third replica cannot fit anywhere.
+        state = ClusterState(
+            nodes=[Node("n0", Resources(4, 4)), Node("n1", Resources(4, 4))],
+            applications=[app],
+        )
+        plan = ActivationPlan(ranked=[entry("a", "web", 9)], activated=[entry("a", "web", 9)])
+        result = PackingHeuristic().pack(state.copy(), plan)
+        assert ("a", "web") in result.unplaced
+        assert not any(r.app == "a" for r in result.assignment)
+
+    def test_multiple_replicas_spread_across_nodes(self):
+        app = Application.from_microservices(
+            "a", [make_microservice("web", cpu=3, memory=3, replicas=2)]
+        )
+        state = ClusterState(
+            nodes=[Node("n0", Resources(4, 4)), Node("n1", Resources(4, 4))],
+            applications=[app],
+        )
+        plan = ActivationPlan(ranked=[entry("a", "web", 6)], activated=[entry("a", "web", 6)])
+        result = PackingHeuristic().pack(state.copy(), plan)
+        nodes_used = {result.assignment[ReplicaId("a", "web", i)] for i in range(2)}
+        assert nodes_used == {"n0", "n1"}

@@ -1,0 +1,190 @@
+"""Tests for the Phoenix planner (Algorithm 1)."""
+
+import pytest
+
+from repro.cluster import Application, Node, Resources
+from repro.cluster.state import ClusterState
+from repro.core.objectives import FairnessObjective, RevenueObjective
+from repro.core.planner import GlobalRanker, PhoenixPlanner, PriorityEstimator
+
+from tests.conftest import make_microservice
+
+
+@pytest.fixture
+def estimator():
+    return PriorityEstimator()
+
+
+class TestPriorityEstimatorWithoutGraph:
+    def test_orders_by_criticality_then_name(self, estimator, second_app):
+        assert estimator.rank(second_app) == ["api", "render", "analytics"]
+
+    def test_all_microservices_included(self, estimator, second_app):
+        assert set(estimator.rank(second_app)) == set(second_app.microservices)
+
+
+class TestPriorityEstimatorWithGraph:
+    def test_root_comes_first(self, estimator, simple_app):
+        order = estimator.rank(simple_app)
+        assert order[0] == "frontend"
+
+    def test_critical_children_before_non_critical(self, estimator, simple_app):
+        order = estimator.rank(simple_app)
+        assert order.index("catalog") < order.index("ads") < order.index("recommend")
+
+    def test_every_node_has_a_ranked_predecessor(self, estimator):
+        # Deep chain where a low-criticality node guards a high-criticality one.
+        app = Application.from_microservices(
+            "chain",
+            [
+                make_microservice("root", criticality=1),
+                make_microservice("middle", criticality=5),
+                make_microservice("leaf", criticality=1),
+            ],
+            dependency_edges=[("root", "middle"), ("middle", "leaf")],
+        )
+        order = estimator.rank(app)
+        assert order.index("root") < order.index("middle") < order.index("leaf")
+
+    def test_prefix_is_always_dependency_closed(self, estimator, simple_app):
+        order = estimator.rank(simple_app)
+        seen = set()
+        for name in order:
+            preds = simple_app.predecessors(name)
+            assert not preds or any(p in seen for p in preds)
+            seen.add(name)
+
+    def test_unreachable_nodes_are_appended(self, estimator):
+        # A two-node cycle is unreachable from any source; it must still rank.
+        app = Application.from_microservices(
+            "cyclic",
+            [
+                make_microservice("entry", criticality=1),
+                make_microservice("a", criticality=2),
+                make_microservice("b", criticality=2),
+            ],
+            dependency_edges=[("a", "b"), ("b", "a")],
+        )
+        order = estimator.rank(app)
+        assert set(order) == {"entry", "a", "b"}
+
+    def test_multiple_sources_ranked_by_criticality(self, estimator):
+        app = Application.from_microservices(
+            "multi-src",
+            [
+                make_microservice("low-root", criticality=4),
+                make_microservice("high-root", criticality=1),
+                make_microservice("child", criticality=2),
+            ],
+            dependency_edges=[("low-root", "child"), ("high-root", "child")],
+        )
+        order = estimator.rank(app)
+        assert order[0] == "high-root"
+
+
+class TestGlobalRanker:
+    def test_revenue_ranker_prefers_expensive_app(self, simple_app, second_app):
+        ranker = GlobalRanker(RevenueObjective())
+        apps = {"shop": simple_app, "blog": second_app}
+        ranks = {"shop": ["frontend", "catalog", "ads", "recommend"], "blog": ["api", "render", "analytics"]}
+        plan = ranker.rank(apps, ranks, capacity=100)
+        first = plan.ranked[0]
+        assert first.app == "shop"  # price 2.0 and C1 beats blog's C1 at price 1.0
+
+    def test_capacity_limits_activation(self, simple_app, second_app):
+        ranker = GlobalRanker(RevenueObjective())
+        apps = {"shop": simple_app, "blog": second_app}
+        ranks = {"shop": ["frontend", "catalog", "ads", "recommend"], "blog": ["api", "render", "analytics"]}
+        plan = ranker.rank(apps, ranks, capacity=6)
+        total = sum(e.cpu for e in plan.activated)
+        assert total <= 6
+        assert len(plan.ranked) == 7  # everything still ranked
+
+    def test_blocked_app_never_activates_later_containers(self, simple_app, second_app):
+        ranker = GlobalRanker(RevenueObjective())
+        apps = {"shop": simple_app, "blog": second_app}
+        ranks = {"shop": ["frontend", "catalog", "ads", "recommend"], "blog": ["api", "render", "analytics"]}
+        plan = ranker.rank(apps, ranks, capacity=5)
+        activated_shop = plan.activated_for("shop")
+        # shop activates frontend (2 cpu); catalog would exceed what's left after
+        # blog's api competes... verify prefix property: the activated list for
+        # each app is a prefix of its per-app rank.
+        for app_name, rank in ranks.items():
+            activated = plan.activated_for(app_name)
+            assert activated == rank[: len(activated)]
+        assert activated_shop == ranks["shop"][: len(activated_shop)]
+
+    def test_zero_capacity_activates_nothing(self, simple_app):
+        ranker = GlobalRanker(RevenueObjective())
+        plan = ranker.rank({"shop": simple_app}, {"shop": ["frontend"]}, capacity=0)
+        assert len(plan.activated) == 0
+        assert len(plan.ranked) == 1
+
+    def test_fairness_ranker_balances_apps(self, simple_app, second_app):
+        ranker = GlobalRanker(FairnessObjective())
+        apps = {"shop": simple_app, "blog": second_app}
+        ranks = {"shop": ["frontend", "catalog", "ads", "recommend"], "blog": ["api", "render", "analytics"]}
+        plan = ranker.rank(apps, ranks, capacity=8)
+        allocated = {"shop": 0.0, "blog": 0.0}
+        for entry in plan.activated:
+            allocated[entry.app] += entry.cpu
+        # With 8 units and demands 8/6, fair share is 4/4: both apps get close.
+        assert allocated["shop"] >= 2
+        assert allocated["blog"] >= 2
+
+
+class TestPhoenixPlanner:
+    def _state(self, apps, node_count=4, capacity=4):
+        nodes = [Node(f"node-{i}", Resources(capacity, capacity)) for i in range(node_count)]
+        return ClusterState(nodes=nodes, applications=apps)
+
+    def test_plan_activates_everything_when_capacity_allows(self, simple_app, second_app):
+        state = self._state([simple_app, second_app], node_count=6)
+        plan = PhoenixPlanner(RevenueObjective()).plan(state)
+        assert len(plan.activated) == 7
+
+    def test_plan_prefers_critical_under_crunch(self, simple_app, second_app):
+        state = self._state([simple_app, second_app], node_count=6)
+        state.fail_nodes(["node-0", "node-1", "node-2", "node-3"])  # 8 cpu left
+        plan = PhoenixPlanner(RevenueObjective()).plan(state)
+        activated = plan.activated_set()
+        assert ("shop", "frontend") in activated
+        assert ("shop", "catalog") in activated
+        assert ("shop", "recommend") not in activated
+
+    def test_plan_objective_recorded(self, simple_app):
+        state = self._state([simple_app])
+        plan = PhoenixPlanner(FairnessObjective()).plan(state)
+        assert plan.objective == "fairness"
+
+    def test_stateful_microservices_are_pinned(self):
+        app = Application.from_microservices(
+            "mixed",
+            [
+                make_microservice("api", criticality=1),
+                make_microservice("db", criticality=5, stateful=True),
+            ],
+        )
+        state = self._state([app], node_count=1)
+        plan = PhoenixPlanner(RevenueObjective()).plan(state)
+        assert ("mixed", "db") in plan.activated_set()
+
+    def test_stateful_pinning_consumes_capacity_first(self):
+        app = Application.from_microservices(
+            "mixed",
+            [
+                make_microservice("api", cpu=3, memory=3, criticality=1),
+                make_microservice("db", cpu=3, memory=3, criticality=5, stateful=True),
+            ],
+        )
+        state = self._state([app], node_count=1, capacity=4)
+        plan = PhoenixPlanner(RevenueObjective()).plan(state)
+        # only 4 cpu total: db (stateful) is pinned, api no longer fits.
+        assert ("mixed", "db") in plan.activated_set()
+        assert ("mixed", "api") not in plan.activated_set()
+
+    def test_app_ranks_exposed(self, simple_app, second_app):
+        planner = PhoenixPlanner(RevenueObjective())
+        ranks = planner.app_ranks({"shop": simple_app, "blog": second_app})
+        assert ranks["shop"][0] == "frontend"
+        assert ranks["blog"][0] == "api"

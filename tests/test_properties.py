@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Application, Node, Resources
+from repro.cluster.state import ClusterState
+from repro.core.objectives import RevenueObjective, water_fill_shares
+from repro.core.packing import PackingHeuristic
+from repro.core.planner import PhoenixPlanner, PriorityEstimator
+from repro.criticality import CriticalityTag
+
+from tests.conftest import make_microservice
+
+# -- strategies -------------------------------------------------------------------
+
+resource_values = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+demands_strategy = st.dictionaries(
+    keys=st.text(alphabet="abcdefgh", min_size=1, max_size=3),
+    values=st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    min_size=1,
+    max_size=8,
+)
+
+
+@st.composite
+def applications(draw):
+    """Random applications with a random forest-shaped dependency graph."""
+    count = draw(st.integers(min_value=1, max_value=10))
+    microservices = []
+    for index in range(count):
+        microservices.append(
+            make_microservice(
+                f"ms{index}",
+                cpu=draw(st.floats(min_value=0.5, max_value=4.0)),
+                memory=draw(st.floats(min_value=0.5, max_value=4.0)),
+                criticality=draw(st.integers(min_value=1, max_value=10)),
+            )
+        )
+    edges = []
+    for index in range(1, count):
+        parent = draw(st.integers(min_value=0, max_value=index - 1))
+        edges.append((f"ms{parent}", f"ms{index}"))
+    use_graph = draw(st.booleans())
+    return Application.from_microservices(
+        "prop-app", microservices, dependency_edges=edges if use_graph else None
+    )
+
+
+# -- Resources ---------------------------------------------------------------------
+
+
+class TestResourceProperties:
+    @given(a=resource_values, b=resource_values, c=resource_values, d=resource_values)
+    def test_addition_is_commutative(self, a, b, c, d):
+        x, y = Resources(a, b), Resources(c, d)
+        assert x + y == y + x
+
+    @given(a=resource_values, b=resource_values, c=resource_values, d=resource_values)
+    def test_add_then_subtract_is_identity(self, a, b, c, d):
+        x, y = Resources(a, b), Resources(c, d)
+        roundtrip = (x + y) - y
+        assert abs(roundtrip.cpu - x.cpu) < 1e-6 * max(1.0, x.cpu)
+        assert abs(roundtrip.memory - x.memory) < 1e-6 * max(1.0, x.memory)
+
+    @given(a=resource_values, b=resource_values)
+    def test_anything_fits_within_itself(self, a, b):
+        r = Resources(a, b)
+        assert r.fits_within(r)
+
+    @given(a=resource_values, b=resource_values, c=resource_values, d=resource_values)
+    def test_fits_within_is_monotone(self, a, b, c, d):
+        small, extra = Resources(a, b), Resources(c, d)
+        assert small.fits_within(small + extra)
+
+
+# -- criticality tags -----------------------------------------------------------------
+
+
+class TestCriticalityProperties:
+    @given(level=st.integers(min_value=1, max_value=1000))
+    def test_parse_roundtrip(self, level):
+        tag = CriticalityTag(level)
+        assert CriticalityTag.parse(str(tag)) == tag
+        assert CriticalityTag.parse(level) == tag
+
+    @given(a=st.integers(min_value=1, max_value=100), b=st.integers(min_value=1, max_value=100))
+    def test_ordering_matches_levels(self, a, b):
+        assert (CriticalityTag(a) < CriticalityTag(b)) == (a < b)
+        assert CriticalityTag(a).is_more_critical_than(CriticalityTag(b)) == (a < b)
+
+
+# -- water-filling fairness --------------------------------------------------------------
+
+
+class TestWaterFillProperties:
+    @given(demands=demands_strategy, capacity=st.floats(min_value=0.0, max_value=5000.0))
+    def test_shares_bounded_by_demand_and_capacity(self, demands, capacity):
+        shares = water_fill_shares(demands, capacity)
+        assert set(shares) == set(demands)
+        for app, share in shares.items():
+            assert share <= demands[app] + 1e-6
+            assert share >= -1e-9
+        assert sum(shares.values()) <= capacity + 1e-6
+
+    @given(demands=demands_strategy, capacity=st.floats(min_value=0.0, max_value=5000.0))
+    def test_capacity_fully_used_when_demand_exceeds_it(self, demands, capacity):
+        shares = water_fill_shares(demands, capacity)
+        total_demand = sum(demands.values())
+        if total_demand >= capacity:
+            assert sum(shares.values()) >= capacity - max(1e-6, 1e-9 * capacity)
+        else:
+            assert sum(shares.values()) <= total_demand + 1e-6
+
+    @given(demands=demands_strategy, capacity=st.floats(min_value=1.0, max_value=5000.0))
+    def test_max_min_property(self, demands, capacity):
+        """No application below its demand receives less than an equal split."""
+        shares = water_fill_shares(demands, capacity)
+        unsatisfied = [a for a in demands if shares[a] < demands[a] - 1e-6]
+        if unsatisfied:
+            floor = min(shares[a] for a in unsatisfied)
+            assert floor >= capacity / len(demands) - 1e-6
+
+
+# -- planner ---------------------------------------------------------------------------------
+
+
+class TestPlannerProperties:
+    @settings(max_examples=50, suppress_health_check=[HealthCheck.too_slow])
+    @given(app=applications())
+    def test_priority_estimator_is_a_permutation(self, app):
+        order = PriorityEstimator().rank(app)
+        assert sorted(order) == sorted(app.microservices)
+
+    @settings(max_examples=50, suppress_health_check=[HealthCheck.too_slow])
+    @given(app=applications())
+    def test_priority_estimator_prefix_dependency_closed(self, app):
+        order = PriorityEstimator().rank(app)
+        seen = set()
+        for name in order:
+            preds = app.predecessors(name)
+            assert not preds or any(p in seen for p in preds)
+            seen.add(name)
+
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    @given(app=applications(), node_count=st.integers(min_value=1, max_value=6))
+    def test_plan_activation_never_exceeds_capacity(self, app, node_count):
+        nodes = [Node(f"n{i}", Resources(6, 6)) for i in range(node_count)]
+        state = ClusterState(nodes=nodes, applications=[app])
+        plan = PhoenixPlanner(RevenueObjective()).plan(state)
+        activated_cpu = sum(e.cpu for e in plan.activated)
+        assert activated_cpu <= state.total_capacity().cpu + 1e-6
+
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    @given(app=applications(), node_count=st.integers(min_value=1, max_value=6))
+    def test_activated_is_prefix_of_per_app_rank(self, app, node_count):
+        nodes = [Node(f"n{i}", Resources(6, 6)) for i in range(node_count)]
+        state = ClusterState(nodes=nodes, applications=[app])
+        planner = PhoenixPlanner(RevenueObjective())
+        plan = planner.plan(state)
+        rank = planner.app_ranks({app.name: app})[app.name]
+        activated = plan.activated_for(app.name)
+        assert activated == rank[: len(activated)]
+
+
+# -- packing ------------------------------------------------------------------------------------
+
+
+class TestPackingProperties:
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    @given(app=applications(), node_count=st.integers(min_value=1, max_value=8))
+    def test_packing_never_violates_capacity(self, app, node_count):
+        nodes = [Node(f"n{i}", Resources(5, 5)) for i in range(node_count)]
+        state = ClusterState(nodes=nodes, applications=[app])
+        planner = PhoenixPlanner(RevenueObjective())
+        plan = planner.plan(state)
+        working = state.copy()
+        PackingHeuristic().pack(working, plan)
+        for node in working.nodes.values():
+            assert working.used_on(node.name).fits_within(node.capacity)
+
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    @given(app=applications(), node_count=st.integers(min_value=2, max_value=8))
+    def test_packed_microservices_are_subset_of_activated(self, app, node_count):
+        nodes = [Node(f"n{i}", Resources(5, 5)) for i in range(node_count)]
+        state = ClusterState(nodes=nodes, applications=[app])
+        plan = PhoenixPlanner(RevenueObjective()).plan(state)
+        working = state.copy()
+        result = PackingHeuristic().pack(working, plan)
+        activated = {(e.app, e.microservice) for e in plan.activated}
+        placed = {(r.app, r.microservice) for r in result.assignment}
+        assert placed <= activated

@@ -1,0 +1,88 @@
+"""Tests for the Resources vector."""
+
+import pytest
+
+from repro.cluster.resources import Resources, total
+
+
+class TestConstruction:
+    def test_defaults_to_zero(self):
+        assert Resources() == Resources(0.0, 0.0)
+
+    def test_negative_cpu_rejected(self):
+        with pytest.raises(ValueError):
+            Resources(cpu=-1.0, memory=0.0)
+
+    def test_negative_memory_rejected(self):
+        with pytest.raises(ValueError):
+            Resources(cpu=0.0, memory=-2.0)
+
+    def test_tiny_negative_roundoff_clamped_to_zero(self):
+        r = Resources(cpu=-1e-12, memory=-1e-12)
+        assert r.cpu == 0.0
+        assert r.memory == 0.0
+
+    def test_cpu_only_constructor(self):
+        r = Resources.cpu_only(3.5)
+        assert r.cpu == 3.5
+        assert r.memory == 0.0
+
+    def test_zero_constructor(self):
+        assert Resources.zero().is_zero()
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert Resources(1, 2) + Resources(3, 4) == Resources(4, 6)
+
+    def test_subtraction(self):
+        assert Resources(3, 4) - Resources(1, 2) == Resources(2, 2)
+
+    def test_subtraction_below_zero_raises(self):
+        with pytest.raises(ValueError):
+            Resources(1, 1) - Resources(2, 2)
+
+    def test_scalar_multiplication(self):
+        assert Resources(1, 2) * 3 == Resources(3, 6)
+
+    def test_right_multiplication(self):
+        assert 2 * Resources(1, 2) == Resources(2, 4)
+
+    def test_repeated_add_subtract_stays_at_zero(self):
+        acc = Resources.zero()
+        delta = Resources(0.1, 0.3)
+        for _ in range(100):
+            acc = acc + delta
+        for _ in range(100):
+            acc = acc - delta
+        assert acc.cpu == pytest.approx(0.0, abs=1e-6)
+        assert acc.memory == pytest.approx(0.0, abs=1e-6)
+
+
+class TestComparisons:
+    def test_fits_within_true(self):
+        assert Resources(1, 1).fits_within(Resources(2, 2))
+
+    def test_fits_within_equal(self):
+        assert Resources(2, 2).fits_within(Resources(2, 2))
+
+    def test_fits_within_false_on_cpu(self):
+        assert not Resources(3, 1).fits_within(Resources(2, 2))
+
+    def test_fits_within_false_on_memory(self):
+        assert not Resources(1, 3).fits_within(Resources(2, 2))
+
+    def test_dominant_dimension(self):
+        assert Resources(1, 5).dominant == 5
+        assert Resources(7, 5).dominant == 7
+
+    def test_scalar_view_is_cpu(self):
+        assert Resources(3, 9).scalar() == 3
+
+
+class TestTotal:
+    def test_total_of_empty_iterable(self):
+        assert total([]) == Resources.zero()
+
+    def test_total_sums_elementwise(self):
+        assert total([Resources(1, 2), Resources(3, 4), Resources(5, 6)]) == Resources(9, 12)

@@ -1,0 +1,155 @@
+"""Tests for the Phoenix scheduler (action diffing) and apply_schedule."""
+
+import pytest
+
+from repro.cluster import Application, Node, Resources
+from repro.cluster.state import ClusterState, ReplicaId
+from repro.core.objectives import RevenueObjective
+from repro.core.plan import ActionKind, ActivationPlan, RankedMicroservice
+from repro.core.planner import PhoenixPlanner
+from repro.core.scheduler import PhoenixScheduler, apply_schedule
+
+from tests.conftest import make_microservice
+
+
+def entry(app, ms, cpu):
+    return RankedMicroservice(app, ms, cpu)
+
+
+@pytest.fixture
+def scheduler():
+    return PhoenixScheduler()
+
+
+@pytest.fixture
+def planner():
+    return PhoenixPlanner(RevenueObjective())
+
+
+class TestDiff:
+    def test_fresh_cluster_generates_only_starts(self, scheduler, planner, simple_app):
+        state = ClusterState(
+            nodes=[Node(f"n{i}", Resources(8, 8)) for i in range(2)], applications=[simple_app]
+        )
+        schedule = scheduler.schedule(state, planner.plan(state))
+        assert len(schedule.starts) == 4
+        assert not schedule.deletions and not schedule.migrations
+
+    def test_running_on_healthy_node_produces_no_action(self, scheduler, planner, simple_app):
+        state = ClusterState(
+            nodes=[Node("n0", Resources(8, 8)), Node("n1", Resources(8, 8))],
+            applications=[simple_app],
+        )
+        for ms in ["frontend", "catalog"]:
+            state.assign(ReplicaId("shop", ms, 0), "n0")
+        for ms in ["ads", "recommend"]:
+            state.assign(ReplicaId("shop", ms, 0), "n1")
+        schedule = scheduler.schedule(state, planner.plan(state))
+        assert len(schedule.ordered_actions()) == 0
+
+    def test_failed_node_replicas_become_starts_not_migrations(self, scheduler, planner, simple_app):
+        state = ClusterState(
+            nodes=[Node("n0", Resources(8, 8)), Node("n1", Resources(8, 8))],
+            applications=[simple_app],
+        )
+        state.assign(ReplicaId("shop", "frontend", 0), "n0")
+        state.fail_nodes(["n0"])
+        schedule = scheduler.schedule(state, planner.plan(state))
+        kinds = {a.replica.microservice: a.kind for a in schedule.ordered_actions()}
+        assert kinds["frontend"] is ActionKind.START
+
+    def test_deactivated_containers_become_deletions(self, scheduler):
+        app = Application.from_microservices(
+            "a",
+            [make_microservice("keep", criticality=1), make_microservice("drop", criticality=5)],
+        )
+        state = ClusterState(nodes=[Node("n0", Resources(8, 8))], applications=[app])
+        state.assign(ReplicaId("a", "keep", 0), "n0")
+        state.assign(ReplicaId("a", "drop", 0), "n0")
+        plan = ActivationPlan(
+            ranked=[entry("a", "keep", 2), entry("a", "drop", 2)],
+            activated=[entry("a", "keep", 2)],
+        )
+        schedule = scheduler.schedule(state, plan)
+        deletions = [a.replica.microservice for a in schedule.deletions]
+        assert deletions == ["drop"]
+
+    def test_no_delete_issued_for_pod_on_failed_node(self, scheduler):
+        app = Application.from_microservices(
+            "a",
+            [make_microservice("keep", criticality=1), make_microservice("drop", criticality=5)],
+        )
+        state = ClusterState(
+            nodes=[Node("n0", Resources(8, 8)), Node("n1", Resources(8, 8))], applications=[app]
+        )
+        state.assign(ReplicaId("a", "keep", 0), "n0")
+        state.assign(ReplicaId("a", "drop", 0), "n1")
+        state.fail_nodes(["n1"])
+        plan = ActivationPlan(
+            ranked=[entry("a", "keep", 2), entry("a", "drop", 2)],
+            activated=[entry("a", "keep", 2)],
+        )
+        schedule = scheduler.schedule(state, plan)
+        assert schedule.deletions == []
+
+    def test_action_order_is_delete_migrate_start(self, scheduler):
+        ordered = [ActionKind.DELETE, ActionKind.MIGRATE, ActionKind.START]
+        app = Application.from_microservices(
+            "a",
+            [
+                make_microservice("keep", cpu=3, memory=3, criticality=1),
+                make_microservice("drop", cpu=2, memory=2, criticality=5),
+                make_microservice("new", cpu=2, memory=2, criticality=2),
+            ],
+        )
+        state = ClusterState(
+            nodes=[Node("n0", Resources(4, 4)), Node("n1", Resources(4, 4))],
+            applications=[app],
+        )
+        state.assign(ReplicaId("a", "drop", 0), "n0")
+        state.assign(ReplicaId("a", "keep", 0), "n1")
+        plan = ActivationPlan(
+            ranked=[entry("a", "keep", 3), entry("a", "new", 2), entry("a", "drop", 2)],
+            activated=[entry("a", "keep", 3), entry("a", "new", 2)],
+        )
+        schedule = scheduler.schedule(state, plan)
+        kinds = [a.kind for a in schedule.ordered_actions()]
+        assert kinds == sorted(kinds, key=ordered.index)
+
+    def test_target_assignment_respects_capacity(self, scheduler, planner, simple_app, second_app):
+        state = ClusterState(
+            nodes=[Node(f"n{i}", Resources(4, 4)) for i in range(4)],
+            applications=[simple_app, second_app],
+        )
+        schedule = scheduler.schedule(state, planner.plan(state))
+        per_node: dict[str, float] = {}
+        for replica, node in schedule.target_assignment.items():
+            app = simple_app if replica.app == "shop" else second_app
+            per_node[node] = per_node.get(node, 0.0) + app.get(replica.microservice).resources.cpu
+        assert all(used <= 4 + 1e-9 for used in per_node.values())
+
+
+class TestApplySchedule:
+    def test_apply_schedule_reaches_target(self, scheduler, planner, simple_app):
+        state = ClusterState(
+            nodes=[Node(f"n{i}", Resources(8, 8)) for i in range(2)], applications=[simple_app]
+        )
+        schedule = scheduler.schedule(state, planner.plan(state))
+        apply_schedule(state, schedule)
+        assert state.assignments == schedule.target_assignment
+
+    def test_apply_schedule_is_idempotent_on_reschedule(self, scheduler, planner, simple_app):
+        state = ClusterState(
+            nodes=[Node(f"n{i}", Resources(8, 8)) for i in range(2)], applications=[simple_app]
+        )
+        schedule = scheduler.schedule(state, planner.plan(state))
+        apply_schedule(state, schedule)
+        second = scheduler.schedule(state, planner.plan(state))
+        assert len(second.ordered_actions()) == 0
+
+    def test_does_not_mutate_input_state(self, scheduler, planner, simple_app):
+        state = ClusterState(
+            nodes=[Node(f"n{i}", Resources(8, 8)) for i in range(2)], applications=[simple_app]
+        )
+        scheduler.schedule(state, planner.plan(state))
+        assert len(state.assignments) == 0

@@ -1,0 +1,112 @@
+"""Tests for static criticality-tag validation (§7, adversarial/incorrect tags)."""
+
+import pytest
+
+from repro.apps import build_hotel_reservation, build_overleaf
+from repro.chaos.validation import AnomalyKind, validate_tags
+from repro.cluster import Application
+
+from tests.conftest import make_microservice
+
+
+class TestInvertedDependencies:
+    def test_detects_critical_caller_of_non_critical_only_callee(self):
+        app = Application.from_microservices(
+            "inverted",
+            [
+                make_microservice("gateway", criticality=1),
+                make_microservice("backend", criticality=7),
+            ],
+            dependency_edges=[("gateway", "backend")],
+        )
+        report = validate_tags(app)
+        findings = report.of_kind(AnomalyKind.INVERTED_DEPENDENCY)
+        assert findings and findings[0].microservice == "gateway"
+        # advisory: the caller may tolerate the missing callee (chaos tests decide)
+        assert report.ok and findings[0] in report.warnings
+
+    def test_fan_out_callers_are_not_flagged(self):
+        app = Application.from_microservices(
+            "fanout",
+            [
+                make_microservice("gateway", criticality=1),
+                make_microservice("core", criticality=1),
+                make_microservice("extras", criticality=7),
+            ],
+            dependency_edges=[("gateway", "core"), ("gateway", "extras")],
+        )
+        report = validate_tags(app)
+        assert report.of_kind(AnomalyKind.INVERTED_DEPENDENCY) == []
+
+
+class TestUnreachableCritical:
+    def test_detects_critical_service_behind_non_critical_caller(self):
+        app = Application.from_microservices(
+            "unreachable",
+            [
+                make_microservice("frontend", criticality=5),
+                make_microservice("payments", criticality=1),
+            ],
+            dependency_edges=[("frontend", "payments")],
+        )
+        report = validate_tags(app)
+        findings = report.of_kind(AnomalyKind.UNREACHABLE_CRITICAL)
+        assert findings and findings[0].microservice == "payments"
+        assert not report.ok
+        assert findings[0] in report.errors
+
+    def test_critical_root_is_fine(self, simple_app):
+        report = validate_tags(simple_app)
+        assert report.of_kind(AnomalyKind.UNREACHABLE_CRITICAL) == []
+
+
+class TestOverTagging:
+    def test_everything_critical_is_flagged(self):
+        app = Application.from_microservices(
+            "greedy",
+            [make_microservice("a", criticality=1), make_microservice("b", criticality=1)],
+        )
+        report = validate_tags(app, max_critical_fraction=0.6)
+        assert report.of_kind(AnomalyKind.OVER_TAGGED)
+        # over-tagging is advisory, not an error
+        assert report.ok
+
+    def test_threshold_validation(self, simple_app):
+        with pytest.raises(ValueError):
+            validate_tags(simple_app, max_critical_fraction=0.0)
+
+
+class TestDowngradeCandidates:
+    def test_single_upstream_critical_leaf_is_flagged(self):
+        app = Application.from_microservices(
+            "stubby",
+            [
+                make_microservice("api", criticality=3),
+                make_microservice("thumbnailer", criticality=1),
+            ],
+            dependency_edges=[("api", "thumbnailer")],
+        )
+        report = validate_tags(app)
+        findings = report.of_kind(AnomalyKind.DOWNGRADE_CANDIDATE)
+        assert findings and findings[0].microservice == "thumbnailer"
+
+
+class TestRealApplications:
+    def test_overleaf_tags_have_no_errors(self):
+        report = validate_tags(build_overleaf().application)
+        assert report.ok, report.to_text()
+
+    def test_hotel_reservation_tags_have_no_errors(self):
+        report = validate_tags(build_hotel_reservation().application)
+        assert report.ok, report.to_text()
+        # The validator surfaces the paper's §5 observation: reservation's only
+        # downstream call (user) is less critical, which HR tolerates thanks to
+        # the error handling added for diagonal-scaling compliance.
+        inverted = report.of_kind(AnomalyKind.INVERTED_DEPENDENCY)
+        assert any(a.microservice == "reservation" for a in inverted)
+
+    def test_report_text_lists_kind_and_verdict(self):
+        report = validate_tags(build_overleaf().application)
+        text = report.to_text()
+        assert "Tag validation for overleaf" in text
+        assert "OK" in text
