@@ -1,0 +1,82 @@
+"""Write/update ``BENCH_hotpath.json`` from the hot-path microbenchmarks.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/save_baseline.py [--nodes 1000 5000]
+        [--repeats 3] [--output BENCH_hotpath.json] [--note "..."]
+
+The file records, per cluster size and per stage (rank / pack / diff), the
+seconds taken by the *reference* (seed) implementation and the current
+optimized implementation, plus the speedup.  Future PRs should re-run this
+script and gate on the recorded trajectory (see ``bench_hotpath.py``'s
+regression gate for the CI smoke version).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_hotpath import DEFAULT_NODE_COUNTS, DEFAULT_REPEATS, measure_hotpath, print_rows  # noqa: E402
+
+
+def build_baseline(rows, repeats: int, note: str | None) -> dict:
+    results = []
+    node_counts = sorted({r["nodes"] for r in rows})
+    for nodes in node_counts:
+        for stage in ("rank", "pack", "diff"):
+            before = next(
+                r["seconds"] for r in rows if r["nodes"] == nodes and r["stage"] == stage and r["impl"] == "before"
+            )
+            after = next(
+                r["seconds"] for r in rows if r["nodes"] == nodes and r["stage"] == stage and r["impl"] == "after"
+            )
+            results.append(
+                {
+                    "nodes": nodes,
+                    "stage": stage,
+                    "before_seconds": round(before, 6),
+                    "after_seconds": round(after, 6),
+                    "speedup": round(before / after, 2),
+                }
+            )
+    return {
+        "schema": 1,
+        "generated": datetime.date.today().isoformat(),
+        "methodology": (
+            "best-of-N wall time per stage with GC paused; 'before' runs the seed "
+            "algorithms retained in repro.core.reference on the same inputs "
+            "(alibaba-like workload, 6 apps, 50% capacity failure, seed 2025)"
+        ),
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "note": note,
+        "results": results,
+    }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, nargs="+", default=list(DEFAULT_NODE_COUNTS))
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--output", default=str(Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"))
+    parser.add_argument("--note", default=None)
+    args = parser.parse_args(argv)
+
+    rows = measure_hotpath(node_counts=args.nodes, repeats=args.repeats)
+    print_rows(rows)
+    baseline = build_baseline(rows, args.repeats, args.note)
+    output = Path(args.output)
+    output.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"\nwrote {output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,7 @@ from abc import ABC, abstractmethod
 from typing import Mapping
 
 import networkx as nx
+import numpy as np
 
 from repro.cluster.application import Application
 from repro.cluster.microservice import Microservice
@@ -236,17 +237,30 @@ class DefaultScheme(ResilienceScheme):
         new_state = state.copy()
         evicted = new_state.evict_from_failed_nodes()
         evicted.sort(key=lambda r: (r.app, r.microservice, r.replica))
+        # Vectorized least-allocated scan: one row per healthy node (in node
+        # registration order, matching the per-replica scan it replaces);
+        # the chosen row is refreshed from the state after each assignment so
+        # selections are identical to recomputing free capacity every time.
+        names = [node.name for node in new_state.healthy_nodes()]
+        free_cpu = np.empty(len(names))
+        free_mem = np.empty(len(names))
+        for i, name in enumerate(names):
+            free = new_state.free_on(name)
+            free_cpu[i] = free.cpu
+            free_mem[i] = free.memory
         for replica in evicted:
-            demand = new_state.microservice(replica.app, replica.microservice).resources
-            target = None
-            best_free = -1.0
-            for node in new_state.healthy_nodes():
-                free = new_state.free_on(node.name)
-                if demand.fits_within(free) and free.cpu > best_free:
-                    target = node.name
-                    best_free = free.cpu
-            if target is not None:
-                new_state.assign(replica, target)
+            demand = new_state.demand_of(replica.app, replica.microservice)
+            fits = (demand.cpu <= free_cpu + 1e-9) & (demand.memory <= free_mem + 1e-9)
+            if not fits.any():
+                continue
+            # np.argmax returns the first maximum, matching the strict
+            # "free.cpu > best" scan order over healthy nodes.
+            index = int(np.argmax(np.where(fits, free_cpu, -np.inf)))
+            target = names[index]
+            new_state.assign(replica, target)
+            free = new_state.free_on(target)
+            free_cpu[index] = free.cpu
+            free_mem[index] = free.memory
         elapsed = time.perf_counter() - started
         return new_state, elapsed
 

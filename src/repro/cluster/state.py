@@ -5,12 +5,31 @@ simulator operate on.  The Phoenix planner and scheduler always work on a
 *copy* of the state (``state.copy()``) and hand back a plan; only the agent
 applies changes to the live state, mirroring the paper's separation between
 the packing module (dry-run) and the agent (execution).
+
+The state keeps several incremental indexes so that the planner/packer hot
+path stays flat as clusters grow to the paper's 100k-node scale:
+
+* per-node used resources (float pairs, no ``Resources`` churn in mutators),
+* a node -> replicas reverse index,
+* a per-(app, microservice) running-replica counter over healthy nodes,
+  making :meth:`running_replicas` / :meth:`is_active` O(1),
+* cached aggregate capacity/used totals, maintained by :meth:`assign`,
+  :meth:`unassign`, :meth:`fail_nodes` and :meth:`recover_nodes`, making
+  :meth:`total_capacity` / :meth:`total_used` / :meth:`utilization` O(1).
+  Incremental +=/-= maintenance can differ from a fresh sum by float
+  round-off (last-ulp); consumers already use epsilon comparisons, and the
+  golden-equivalence suite pins optimized and reference pipelines to the
+  same values by construction.
+
+Node health must only be changed through :meth:`fail_nodes` /
+:meth:`recover_nodes` (never via ``node.fail()`` directly on a registered
+node) so the cached aggregates stay consistent.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping
+from types import MappingProxyType
+from typing import Iterable, Iterator, Mapping, NamedTuple
 
 from repro.cluster.application import Application
 from repro.cluster.microservice import Microservice
@@ -18,9 +37,23 @@ from repro.cluster.node import Node
 from repro.cluster.resources import Resources
 
 
-@dataclass(frozen=True, slots=True)
-class ReplicaId:
-    """Identifies a single replica of a microservice of an application."""
+def _clamped_free(cpu: float, memory: float) -> tuple[float, float]:
+    """Negative-free rounding guard shared by every free-capacity computation.
+
+    Routes through the :class:`Resources` constructor so the clamp (and the
+    beyond-tolerance ValueError) stay byte-identical to ``free_on``'s fields.
+    """
+    free = Resources(cpu, memory)
+    return (free.cpu, free.memory)
+
+
+class ReplicaId(NamedTuple):
+    """Identifies a single replica of a microservice of an application.
+
+    A named tuple rather than a dataclass: replica ids are hashed on every
+    assignment-map operation and sorted in bulk on the hot path, and tuples
+    get C-speed hashing, equality and field-order comparison for free.
+    """
 
     app: str
     microservice: str
@@ -46,10 +79,22 @@ class ClusterState:
         self._apps: dict[str, Application] = {}
         #: replica -> node name
         self._assignments: dict[ReplicaId, str] = {}
-        #: node name -> used resources (cache, kept consistent by mutators)
-        self._used: dict[str, Resources] = {}
-        #: node name -> replicas on it (reverse index, kept by the mutators)
+        #: node name -> (used cpu, used memory); kept consistent by mutators
+        self._used: dict[str, tuple[float, float]] = {}
+        #: node name -> replicas on it (reverse index, kept by the mutators).
+        #: Sets may be shared with copies; ``_by_node_owned`` tracks which
+        #: sets this instance owns (None = owns all, the fresh-state default).
         self._by_node: dict[str, set[ReplicaId]] = {}
+        self._by_node_owned: set[str] | None = None
+        #: (app, microservice) -> replicas assigned to healthy nodes
+        self._running: dict[tuple[str, str], int] = {}
+        #: (app, microservice) -> per-replica Resources (lookup cache)
+        self._demand: dict[tuple[str, str], Resources] = {}
+        # Cached aggregates (cpu, memory), maintained incrementally.
+        self._cap_all = [0.0, 0.0]
+        self._cap_healthy = [0.0, 0.0]
+        self._used_all = [0.0, 0.0]
+        self._used_healthy = [0.0, 0.0]
         for node in nodes:
             self.add_node(node)
         for app in applications:
@@ -60,8 +105,26 @@ class ClusterState:
         if node.name in self._nodes:
             raise ValueError(f"duplicate node {node.name!r}")
         self._nodes[node.name] = node
-        self._used[node.name] = Resources.zero()
+        self._used[node.name] = (0.0, 0.0)
         self._by_node[node.name] = set()
+        if self._by_node_owned is not None:
+            self._by_node_owned.add(node.name)
+        capacity = node.capacity
+        self._cap_all[0] += capacity.cpu
+        self._cap_all[1] += capacity.memory
+        if not node.failed:
+            self._cap_healthy[0] += capacity.cpu
+            self._cap_healthy[1] += capacity.memory
+
+    def _owned_replicas(self, node_name: str) -> set[ReplicaId]:
+        """The node's replica set, copied on first write after a copy()."""
+        owned = self._by_node_owned
+        if owned is None or node_name in owned:
+            return self._by_node[node_name]
+        replicas = set(self._by_node[node_name])
+        self._by_node[node_name] = replicas
+        owned.add(node_name)
+        return replicas
 
     def add_application(self, app: Application) -> None:
         if app.name in self._apps:
@@ -74,6 +137,8 @@ class ClusterState:
         for replica in [r for r in self._assignments if r.app == name]:
             self.unassign(replica)
         del self._apps[name]
+        self._demand = {k: v for k, v in self._demand.items() if k[0] != name}
+        self._running = {k: v for k, v in self._running.items() if k[0] != name}
 
     # -- accessors ------------------------------------------------------------
     @property
@@ -85,7 +150,13 @@ class ClusterState:
         return self._apps
 
     @property
-    def assignments(self) -> dict[ReplicaId, str]:
+    def assignments(self) -> Mapping[ReplicaId, str]:
+        """Read-only live view of replica -> node (no copy; snapshot with
+        ``dict(state.assignments)`` before mutating the state mid-iteration)."""
+        return MappingProxyType(self._assignments)
+
+    def assignments_snapshot(self) -> dict[ReplicaId, str]:
+        """A mutable copy of the assignment map (C-speed dict clone)."""
         return dict(self._assignments)
 
     def node(self, name: str) -> Node:
@@ -97,8 +168,17 @@ class ClusterState:
     def microservice(self, app: str, name: str) -> Microservice:
         return self._apps[app].get(name)
 
+    def demand_of(self, app: str, microservice: str) -> Resources:
+        """Per-replica resource demand of a microservice (cached lookup)."""
+        key = (app, microservice)
+        demand = self._demand.get(key)
+        if demand is None:
+            demand = self._apps[app].get(microservice).resources
+            self._demand[key] = demand
+        return demand
+
     def healthy_nodes(self) -> list[Node]:
-        return [n for n in self._nodes.values() if n.is_healthy]
+        return [n for n in self._nodes.values() if not n.failed]
 
     def failed_nodes(self) -> list[Node]:
         return [n for n in self._nodes.values() if n.failed]
@@ -110,36 +190,64 @@ class ClusterState:
 
     # -- capacity accounting ---------------------------------------------------
     def used_on(self, node_name: str) -> Resources:
-        return self._used[node_name]
+        cpu, memory = self._used[node_name]
+        return Resources(cpu, memory)
 
     def free_on(self, node_name: str) -> Resources:
         node = self._nodes[node_name]
         if node.failed:
             return Resources.zero()
-        return node.capacity - self._used[node_name]
+        capacity = node.capacity
+        cpu, memory = self._used[node_name]
+        return Resources(capacity.cpu - cpu, capacity.memory - memory)
+
+    def free_pair(self, node_name: str) -> tuple[float, float]:
+        """``free_on`` as a plain (cpu, memory) tuple — no object churn.
+
+        Applies the same rounding guard as the :class:`Resources`
+        constructor, so the values are identical to ``free_on``'s fields.
+        """
+        node = self._nodes[node_name]
+        if node.failed:
+            return (0.0, 0.0)
+        capacity = node.capacity
+        used_cpu, used_mem = self._used[node_name]
+        cpu = capacity.cpu - used_cpu
+        memory = capacity.memory - used_mem
+        if cpu < 0.0 or memory < 0.0:
+            return _clamped_free(cpu, memory)
+        return (cpu, memory)
+
+    def free_table(self) -> list[tuple[float, str, float]]:
+        """(free cpu, name, free memory) for every healthy node, in one pass."""
+        table: list[tuple[float, str, float]] = []
+        used = self._used
+        for name, node in self._nodes.items():
+            if node.failed:
+                continue
+            capacity = node.capacity
+            used_cpu, used_mem = used[name]
+            cpu = capacity.cpu - used_cpu
+            memory = capacity.memory - used_mem
+            if cpu < 0.0 or memory < 0.0:
+                cpu, memory = _clamped_free(cpu, memory)
+            table.append((cpu, name, memory))
+        return table
 
     def total_capacity(self, healthy_only: bool = True) -> Resources:
-        acc = Resources.zero()
-        for node in self._nodes.values():
-            if healthy_only and node.failed:
-                continue
-            acc = acc + node.capacity
-        return acc
+        acc = self._cap_healthy if healthy_only else self._cap_all
+        return Resources(acc[0], acc[1])
 
     def total_used(self, healthy_only: bool = True) -> Resources:
-        acc = Resources.zero()
-        for name, used in self._used.items():
-            if healthy_only and self._nodes[name].failed:
-                continue
-            acc = acc + used
-        return acc
+        acc = self._used_healthy if healthy_only else self._used_all
+        return Resources(acc[0], acc[1])
 
     def utilization(self) -> float:
         """Fraction of healthy capacity currently in use (CPU view)."""
-        capacity = self.total_capacity().cpu
+        capacity = self._cap_healthy[0]
         if capacity <= 0:
             return 0.0
-        return self.total_used().cpu / capacity
+        return self._used_healthy[0] / capacity
 
     # -- assignment mutators ---------------------------------------------------
     def assign(self, replica: ReplicaId, node_name: str, *, enforce_capacity: bool = True) -> None:
@@ -149,80 +257,186 @@ class ClusterState:
         the node's capacity raises :class:`SchedulingError`; Phoenix's packing
         heuristic relies on this to detect infeasible placements.
         """
-        if replica.app not in self._apps:
+        app = self._apps.get(replica.app)
+        if app is None:
             raise SchedulingError(f"unknown application {replica.app!r}")
-        if replica.microservice not in self._apps[replica.app]:
+        if replica.microservice not in app:
             raise SchedulingError(f"unknown microservice {replica.microservice!r}")
-        if node_name not in self._nodes:
+        node = self._nodes.get(node_name)
+        if node is None:
             raise SchedulingError(f"unknown node {node_name!r}")
-        node = self._nodes[node_name]
         if node.failed:
             raise SchedulingError(f"cannot assign {replica} to failed node {node_name!r}")
         if replica in self._assignments:
             raise SchedulingError(f"{replica} is already assigned")
-        demand = self._apps[replica.app].get(replica.microservice).resources
-        if enforce_capacity and not (self._used[node_name] + demand).fits_within(node.capacity):
+        key = (replica.app, replica.microservice)
+        demand = self._demand.get(key)
+        if demand is None:
+            demand = app.get(replica.microservice).resources
+            self._demand[key] = demand
+        demand_cpu = demand.cpu
+        demand_mem = demand.memory
+        used_cpu, used_mem = self._used[node_name]
+        new_cpu = used_cpu + demand_cpu
+        new_mem = used_mem + demand_mem
+        capacity = node.capacity
+        if enforce_capacity and not (new_cpu <= capacity.cpu + 1e-9 and new_mem <= capacity.memory + 1e-9):
             raise SchedulingError(
                 f"{replica} ({demand}) does not fit on {node_name!r} "
-                f"(used={self._used[node_name]}, capacity={node.capacity})"
+                f"(used={Resources(used_cpu, used_mem)}, capacity={capacity})"
             )
         self._assignments[replica] = node_name
-        self._used[node_name] = self._used[node_name] + demand
-        self._by_node[node_name].add(replica)
+        self._used[node_name] = (new_cpu, new_mem)
+        self._owned_replicas(node_name).add(replica)
+        running = self._running
+        running[key] = running.get(key, 0) + 1
+        used_all = self._used_all
+        used_all[0] += demand_cpu
+        used_all[1] += demand_mem
+        used_healthy = self._used_healthy
+        used_healthy[0] += demand_cpu
+        used_healthy[1] += demand_mem
 
     def unassign(self, replica: ReplicaId) -> str:
         """Remove ``replica`` from its node; returns the node it ran on."""
-        if replica not in self._assignments:
+        node_name = self._assignments.pop(replica, None)
+        if node_name is None:
             raise SchedulingError(f"{replica} is not assigned")
-        node_name = self._assignments.pop(replica)
-        demand = self._apps[replica.app].get(replica.microservice).resources
-        self._used[node_name] = self._used[node_name] - demand
-        self._by_node[node_name].discard(replica)
+        key = (replica.app, replica.microservice)
+        demand = self._demand.get(key)
+        if demand is None:
+            demand = self._apps[replica.app].get(replica.microservice).resources
+            self._demand[key] = demand
+        demand_cpu = demand.cpu
+        demand_mem = demand.memory
+        used_cpu, used_mem = self._used[node_name]
+        self._used[node_name] = (used_cpu - demand_cpu, used_mem - demand_mem)
+        self._owned_replicas(node_name).discard(replica)
+        used_all = self._used_all
+        used_all[0] -= demand_cpu
+        used_all[1] -= demand_mem
+        if not self._nodes[node_name].failed:
+            used_healthy = self._used_healthy
+            used_healthy[0] -= demand_cpu
+            used_healthy[1] -= demand_mem
+            self._running[key] -= 1
         return node_name
+
+    def assign_packed(self, replica: ReplicaId, node_name: str) -> tuple[float, float]:
+        """Trusted fast-path assign for the packing hot loop.
+
+        The caller must guarantee what :meth:`assign` verifies: the replica
+        is known and unassigned, and the node exists, is healthy and was
+        confirmed to fit through the packing node index (which evaluates the
+        same fit predicate ``assign`` enforces).  All validation is skipped.
+        Returns the node's new free (cpu, memory) pair — identical to a
+        subsequent :meth:`free_pair` call — so the caller can re-key its
+        node index without a second lookup round.
+        """
+        key = replica[:2]
+        demand = self._demand.get(key)
+        if demand is None:
+            demand = self._apps[key[0]].get(key[1]).resources
+            self._demand[key] = demand
+        demand_cpu = demand.cpu
+        demand_mem = demand.memory
+        used_cpu, used_mem = self._used[node_name]
+        new_cpu = used_cpu + demand_cpu
+        new_mem = used_mem + demand_mem
+        self._used[node_name] = (new_cpu, new_mem)
+        self._assignments[replica] = node_name
+        self._owned_replicas(node_name).add(replica)
+        running = self._running
+        running[key] = running.get(key, 0) + 1
+        used_all = self._used_all
+        used_all[0] += demand_cpu
+        used_all[1] += demand_mem
+        used_healthy = self._used_healthy
+        used_healthy[0] += demand_cpu
+        used_healthy[1] += demand_mem
+        capacity = self._nodes[node_name].capacity
+        free_cpu = capacity.cpu - new_cpu
+        free_mem = capacity.memory - new_mem
+        if free_cpu < 0.0 or free_mem < 0.0:
+            return _clamped_free(free_cpu, free_mem)
+        return (free_cpu, free_mem)
+
+    def unassign_packed(self, replica: ReplicaId) -> tuple[str, tuple[float, float]]:
+        """Trusted fast-path unassign (replica known to run on a healthy node).
+
+        Returns ``(node name, new free pair)``; see :meth:`assign_packed`.
+        """
+        node_name = self._assignments.pop(replica)
+        key = replica[:2]
+        demand = self._demand.get(key)
+        if demand is None:
+            demand = self._apps[key[0]].get(key[1]).resources
+            self._demand[key] = demand
+        demand_cpu = demand.cpu
+        demand_mem = demand.memory
+        used_cpu, used_mem = self._used[node_name]
+        new_cpu = used_cpu - demand_cpu
+        new_mem = used_mem - demand_mem
+        self._used[node_name] = (new_cpu, new_mem)
+        self._owned_replicas(node_name).discard(replica)
+        used_all = self._used_all
+        used_all[0] -= demand_cpu
+        used_all[1] -= demand_mem
+        used_healthy = self._used_healthy
+        used_healthy[0] -= demand_cpu
+        used_healthy[1] -= demand_mem
+        self._running[key] -= 1
+        capacity = self._nodes[node_name].capacity
+        free_cpu = capacity.cpu - new_cpu
+        free_mem = capacity.memory - new_mem
+        if free_cpu < 0.0 or free_mem < 0.0:
+            return node_name, _clamped_free(free_cpu, free_mem)
+        return node_name, (free_cpu, free_mem)
 
     def node_of(self, replica: ReplicaId) -> str | None:
         return self._assignments.get(replica)
 
     def replicas_on(self, node_name: str) -> list[ReplicaId]:
-        return sorted(self._by_node.get(node_name, ()), key=lambda r: (r.app, r.microservice, r.replica))
+        # Plain sorted(): named-tuple field order == (app, microservice, replica)
+        return sorted(self._by_node.get(node_name, ()))
+
+    def iter_replicas_on(self, node_name: str) -> Iterable[ReplicaId]:
+        """Replicas on a node in unspecified order (no sort; hot-path view).
+
+        Do not mutate assignments while iterating; snapshot first if needed.
+        """
+        return self._by_node.get(node_name, ())
 
     # -- microservice activity -------------------------------------------------
     def running_replica_counts(self) -> dict[tuple[str, str], int]:
         """Replicas per (app, microservice) assigned to healthy nodes.
 
-        Single pass over the assignment map; metrics and baselines that need
-        the activity of many microservices should use this (or
-        :meth:`active_microservices`) instead of calling :meth:`is_active`
-        in a loop.
+        Maintained incrementally by the assignment/failure mutators; only
+        positive counts are reported.
         """
-        counts: dict[tuple[str, str], int] = {}
-        for replica, node_name in self._assignments.items():
-            if self._nodes[node_name].is_healthy:
-                key = (replica.app, replica.microservice)
-                counts[key] = counts.get(key, 0) + 1
-        return counts
+        return {key: count for key, count in self._running.items() if count > 0}
 
     def running_replicas(self, app: str, microservice: str) -> int:
         """Count replicas of a microservice that are assigned to healthy nodes."""
-        count = 0
-        for replica, node_name in self._assignments.items():
-            if (
-                replica.app == app
-                and replica.microservice == microservice
-                and self._nodes[node_name].is_healthy
-            ):
-                count += 1
-        return count
+        return self._running.get((app, microservice), 0)
+
+    def running_view(self) -> Mapping[tuple[str, str], int]:
+        """Live read-only view of the running-replica counters.
+
+        Counts may include zeros for microservices that no longer run; use
+        :meth:`running_replica_counts` for a filtered snapshot.
+        """
+        return MappingProxyType(self._running)
 
     def is_active(self, app: str, microservice: str) -> bool:
         """A microservice is active when **all** replicas run on healthy nodes."""
         ms = self._apps[app].get(microservice)
-        return self.running_replicas(app, microservice) >= ms.replicas
+        return self._running.get((app, microservice), 0) >= ms.replicas
 
     def active_microservices(self, app: str | None = None) -> dict[str, set[str]]:
         """Mapping of application -> set of fully active microservices."""
         apps = [app] if app is not None else list(self._apps)
-        counts = self.running_replica_counts()
+        counts = self._running
         return {
             a: {
                 name
@@ -236,10 +450,9 @@ class ClusterState:
         """CPU usage per application on healthy nodes (for fairness metrics)."""
         usage: dict[str, float] = {a: 0.0 for a in self._apps}
         for replica, node_name in self._assignments.items():
-            if not self._nodes[node_name].is_healthy:
+            if self._nodes[node_name].failed:
                 continue
-            demand = self._apps[replica.app].get(replica.microservice).resources
-            usage[replica.app] += demand.cpu
+            usage[replica.app] += self.demand_of(replica.app, replica.microservice).cpu
         return usage
 
     # -- failure handling --------------------------------------------------------
@@ -257,37 +470,110 @@ class ClusterState:
             if node.failed:
                 continue
             node.fail()
+            capacity = node.capacity
+            self._cap_healthy[0] -= capacity.cpu
+            self._cap_healthy[1] -= capacity.memory
+            used_cpu, used_mem = self._used[name]
+            self._used_healthy[0] -= used_cpu
+            self._used_healthy[1] -= used_mem
+            running = self._running
+            for replica in self._by_node[name]:
+                running[(replica.app, replica.microservice)] -= 1
             impacted.extend(self.replicas_on(name))
         return impacted
 
     def recover_nodes(self, names: Iterable[str]) -> None:
         for name in names:
-            self._nodes[name].recover()
+            node = self._nodes[name]
+            if not node.failed:
+                continue
+            node.recover()
+            capacity = node.capacity
+            self._cap_healthy[0] += capacity.cpu
+            self._cap_healthy[1] += capacity.memory
+            used_cpu, used_mem = self._used[name]
+            self._used_healthy[0] += used_cpu
+            self._used_healthy[1] += used_mem
+            running = self._running
+            for replica in self._by_node[name]:
+                key = (replica.app, replica.microservice)
+                running[key] = running.get(key, 0) + 1
 
     def evict_from_failed_nodes(self) -> list[ReplicaId]:
         """Unassign every replica currently placed on a failed node."""
-        evicted = []
-        for node in self.failed_nodes():
-            for replica in self.replicas_on(node.name):
-                self.unassign(replica)
+        evicted: list[ReplicaId] = []
+        assignments = self._assignments
+        used = self._used
+        used_all = self._used_all
+        demand_cache = self._demand
+        apps = self._apps
+        for node in self._nodes.values():
+            if not node.failed:
+                continue
+            name = node.name
+            by_node = self._by_node[name]
+            if not by_node:
+                continue
+            # Bulk unassign: replicas on a failed node are not counted in the
+            # running index or the healthy-used totals, so only the per-node
+            # usage, the assignment map and the all-nodes totals change.
+            replicas = sorted(by_node)
+            used_cpu, used_mem = used[name]
+            for replica in replicas:
+                del assignments[replica]
+                key = replica[:2]
+                demand = demand_cache.get(key)
+                if demand is None:
+                    demand = apps[key[0]].get(key[1]).resources
+                    demand_cache[key] = demand
+                demand_cpu = demand.cpu
+                demand_mem = demand.memory
+                used_cpu -= demand_cpu
+                used_mem -= demand_mem
+                used_all[0] -= demand_cpu
+                used_all[1] -= demand_mem
                 evicted.append(replica)
+            used[name] = (used_cpu, used_mem)
+            self._by_node[name] = set()
+            if self._by_node_owned is not None:
+                self._by_node_owned.add(name)
         return evicted
 
     # -- copying -------------------------------------------------------------------
-    def copy(self) -> "ClusterState":
+    def copy(self, *, share_nodes: bool = False) -> "ClusterState":
         """Deep-enough copy: nodes are copied, applications are shared.
 
         Applications are immutable from the scheduler's point of view, so
         sharing them keeps copies cheap even for 100k-node clusters.
+
+        With ``share_nodes`` the :class:`Node` objects themselves are shared
+        too.  That is only safe for callers that never change node health or
+        labels on the copy — the packing dry-run inside
+        :meth:`repro.core.scheduler.PhoenixScheduler.schedule` qualifies,
+        simulators that inject failures do not.
         """
-        clone = ClusterState()
-        for node in self._nodes.values():
-            clone.add_node(Node(node.name, node.capacity, node.failed, dict(node.labels)))
-        for app in self._apps.values():
-            clone.add_application(app)
+        clone = ClusterState.__new__(ClusterState)
+        if share_nodes:
+            clone._nodes = dict(self._nodes)
+        else:
+            clone._nodes = {
+                name: Node(node.name, node.capacity, node.failed, dict(node.labels))
+                for name, node in self._nodes.items()
+            }
+        clone._apps = dict(self._apps)
         clone._assignments = dict(self._assignments)
         clone._used = dict(self._used)
-        clone._by_node = {name: set(replicas) for name, replicas in self._by_node.items()}
+        # Share the per-node replica sets copy-on-write: whichever side
+        # mutates a node's set first clones just that set.
+        clone._by_node = dict(self._by_node)
+        clone._by_node_owned = set()
+        self._by_node_owned = set()
+        clone._running = dict(self._running)
+        clone._demand = dict(self._demand)
+        clone._cap_all = list(self._cap_all)
+        clone._cap_healthy = list(self._cap_healthy)
+        clone._used_all = list(self._used_all)
+        clone._used_healthy = list(self._used_healthy)
         return clone
 
     # -- misc ------------------------------------------------------------------------

@@ -70,6 +70,16 @@ class OperatorObjective(ABC):
     #: human-readable name used in results tables (e.g. "revenue", "fairness")
     name: str = "objective"
 
+    #: Declare that ``score(app, ms, allocated)`` depends only on the
+    #: candidate's *own* application entry in ``allocated`` (plus state fixed
+    #: at :meth:`prepare` time).  The planner's lazy-rescore heap relies on
+    #: this: activating a container only re-scores the application whose
+    #: allocation changed.  Objectives that couple applications (reading
+    #: other apps' allocations in ``score``) must leave this ``False``; the
+    #: planner then falls back to the exact O(containers x apps) rescan loop
+    #: in :mod:`repro.core.reference`.
+    independent_scores: bool = False
+
     def prepare(self, applications: Mapping[str, Application], capacity: float) -> None:
         """Hook called once per planning round before any scoring.
 
@@ -137,6 +147,7 @@ class RevenueObjective(OperatorObjective):
     """
 
     name = "revenue"
+    independent_scores = True
 
     def score(
         self,
@@ -144,7 +155,11 @@ class RevenueObjective(OperatorObjective):
         microservice: Microservice,
         allocated: Mapping[str, float],
     ) -> float:
-        return app.price_per_unit * criticality_revenue_weight(microservice.criticality.level)
+        # Inlined criticality_revenue_weight (hot path: once per container).
+        level = microservice.criticality.level
+        if level < 1:
+            raise ValueError("criticality level must be >= 1")
+        return app.price_per_unit * (1.0 / (level * level))
 
 
 class FairnessObjective(OperatorObjective):
@@ -158,6 +173,7 @@ class FairnessObjective(OperatorObjective):
     """
 
     name = "fairness"
+    independent_scores = True
 
     def __init__(self) -> None:
         self._fair_shares: dict[str, float] = {}
@@ -167,7 +183,12 @@ class FairnessObjective(OperatorObjective):
         return dict(self._fair_shares)
 
     def prepare(self, applications: Mapping[str, Application], capacity: float) -> None:
-        demands = {name: app.total_demand().cpu for name, app in applications.items()}
+        # Same accumulation order as Application.total_demand().cpu, without
+        # materializing a Resources object per microservice.
+        demands = {
+            name: sum(ms.resources.cpu * ms.replicas for ms in app)
+            for name, app in applications.items()
+        }
         self._fair_shares = water_fill_shares(demands, capacity)
 
     def score(
@@ -178,7 +199,7 @@ class FairnessObjective(OperatorObjective):
     ) -> float:
         fair_share = self._fair_shares.get(app.name, 0.0)
         current = allocated.get(app.name, 0.0)
-        demand = microservice.total_resources.cpu
+        demand = microservice.resources.cpu * microservice.replicas
         headroom_after = fair_share - (current + demand)
         return headroom_after
 
@@ -202,6 +223,9 @@ class WeightedObjective(OperatorObjective):
         if total <= 0:
             raise ValueError("weights must not all be zero")
         self._components = {obj: weight / total for obj, weight in components.items()}
+        self.independent_scores = all(
+            getattr(obj, "independent_scores", False) for obj in self._components
+        )
 
     def prepare(self, applications: Mapping[str, Application], capacity: float) -> None:
         for objective in self._components:

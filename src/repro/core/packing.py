@@ -13,6 +13,23 @@ healthy nodes using a three-pronged strategy:
 
 All work happens on a *copy* of the cluster state; the agent later applies
 the resulting action list to the real cluster.
+
+Scalability notes (100k-node hot path):
+
+* :class:`_NodeIndex` is a blocked sorted structure keyed by
+  ``(free cpu, node name)`` with a per-block *maximum free memory*.  Best-fit
+  lookups skip whole blocks whose memory cannot possibly fit the demand, so
+  the "CPU fits but memory does not" pathology no longer degrades to an
+  O(nodes) scan, and the index snapshots each node's free resources so scans
+  never recompute them.  Removal uses the exact stored key — no tolerance
+  scan, no linear fallback.
+* :class:`_VictimIndex` keeps the delete-lower-ranks victim order (rank
+  descending, assignment order within a rank) incrementally, instead of
+  re-sorting every assignment on each unplaced container.
+
+Both structures are behaviour-preserving: packings are byte-identical to
+the naive implementation retained in :mod:`repro.core.reference`, which the
+golden-equivalence tests enforce.
 """
 
 from __future__ import annotations
@@ -21,51 +38,249 @@ import bisect
 from dataclasses import dataclass, field
 
 from repro.cluster.resources import Resources
-from repro.cluster.state import ClusterState, ReplicaId, SchedulingError
+from repro.cluster.state import ClusterState, ReplicaId, SchedulingError  # noqa: F401  (re-export)
 from repro.core.plan import ActivationPlan, RankedMicroservice
 
 
 class _NodeIndex:
-    """Nodes indexed by free CPU so best-fit lookups avoid linear scans.
+    """Healthy nodes indexed by ``(free cpu, name)`` in sorted blocks.
 
-    This mirrors the paper's use of sorted containers in the packing module.
-    The index is maintained incrementally as replicas are placed or removed.
+    The index is maintained incrementally as replicas are placed or removed:
+    every mutation of a node's usage is bracketed by :meth:`remove` /
+    :meth:`reinsert`, so the ``(free cpu, free memory)`` snapshot in
+    ``_free`` always equals the state's live ``free_on`` value.
+
+    Each block caches its maximum free memory as a ``[value, multiplicity]``
+    pair: removing one of several equal-max entries just decrements the
+    multiplicity, so homogeneous-memory workloads never rescan a block.
     """
+
+    #: Target block size; blocks split at twice this length.
+    BLOCK = 384
 
     def __init__(self, state: ClusterState) -> None:
         self._state = state
-        self._entries: list[tuple[float, str]] = []
-        for node in state.healthy_nodes():
-            free = state.free_on(node.name)
-            bisect.insort(self._entries, (free.cpu, node.name))
+        self._free_pair = state.free_pair
+        entries = state.free_table()
+        #: node name -> (free cpu, free memory), authoritative inside the index
+        self._free: dict[str, tuple[float, float]] = {
+            name: (cpu, mem) for cpu, name, mem in entries
+        }
+        entries.sort()
+        block = self.BLOCK
+        self._blocks: list[list[tuple[float, str, float]]] = [
+            entries[i : i + block] for i in range(0, len(entries), block)
+        ]
+        self._maxmem: list[list[float]] = [self._block_max(b) for b in self._blocks]
+        #: (cpu, name) of each block's last entry, for block bisection
+        self._tails: list[tuple[float, str]] = [(b[-1][0], b[-1][1]) for b in self._blocks]
+
+    @staticmethod
+    def _block_max(block: list[tuple[float, str, float]]) -> list[float]:
+        top = max(e[2] for e in block)
+        count = 0
+        for e in block:
+            if e[2] == top:
+                count += 1
+        return [top, count]
+
+    def __len__(self) -> int:
+        return len(self._free)
 
     def remove(self, node_name: str) -> None:
-        free = self._state.free_on(node_name).cpu
-        index = bisect.bisect_left(self._entries, (free, node_name))
-        while index < len(self._entries):
-            if self._entries[index][1] == node_name:
-                del self._entries[index]
-                return
-            if self._entries[index][0] > free:
-                break
-            index += 1
-        # Fallback (should not happen): linear removal.
-        self._entries = [e for e in self._entries if e[1] != node_name]
+        """Remove a node using its exact stored key (raises if absent)."""
+        cpu, mem = self._free.pop(node_name)
+        key = (cpu, node_name)
+        i = bisect.bisect_left(self._tails, key)
+        block = self._blocks[i]
+        j = bisect.bisect_left(block, key)
+        if block[j][1] != node_name:  # pragma: no cover - index corruption guard
+            raise KeyError(f"node {node_name!r} not at its indexed position")
+        del block[j]
+        if not block:
+            del self._blocks[i]
+            del self._maxmem[i]
+            del self._tails[i]
+            return
+        self._tails[i] = (block[-1][0], block[-1][1])
+        top = self._maxmem[i]
+        if mem == top[0]:
+            top[1] -= 1
+            if top[1] == 0:
+                self._maxmem[i] = self._block_max(block)
+
+    def update(self, node_name: str, new_pair: tuple[float, float] | None = None) -> None:
+        """Re-key a node after its usage changed (fused remove + reinsert).
+
+        ``new_pair`` is the node's new free (cpu, memory) when the caller
+        already knows it (the trusted state mutators return it); otherwise it
+        is recomputed from the state.  When the new key lands in the same
+        block the entry is moved with a single block edit; otherwise it falls
+        back to remove + reinsert.
+        """
+        pair = self._free.get(node_name)
+        if pair is None:  # pragma: no cover - index corruption guard
+            raise KeyError(node_name)
+        cpu, mem = pair
+        if new_pair is None:
+            new_pair = self._free_pair(node_name)
+        ncpu, nmem = new_pair
+        key = (cpu, node_name)
+        new_key = (ncpu, node_name)
+        i = bisect.bisect_left(self._tails, key)
+        blocks = self._blocks
+        block = blocks[i]
+        if (i == 0 or self._tails[i - 1] < new_key) and (
+            i == len(blocks) - 1 or new_key < (blocks[i + 1][0][0], blocks[i + 1][0][1])
+        ):
+            j = bisect.bisect_left(block, key)
+            if block[j][1] != node_name:  # pragma: no cover - corruption guard
+                raise KeyError(f"node {node_name!r} not at its indexed position")
+            del block[j]
+            bisect.insort(block, (ncpu, node_name, nmem))
+            self._free[node_name] = new_pair
+            self._tails[i] = (block[-1][0], block[-1][1])
+            if nmem != mem:  # unchanged memory leaves the block max as-is
+                top = self._maxmem[i]
+                if mem == top[0]:
+                    top[1] -= 1
+                if nmem > top[0]:
+                    self._maxmem[i] = [nmem, 1]
+                elif nmem == top[0]:
+                    top[1] += 1
+                elif top[1] == 0:
+                    self._maxmem[i] = self._block_max(block)
+            return
+        self.remove(node_name)
+        self.reinsert(node_name)
 
     def reinsert(self, node_name: str) -> None:
-        free = self._state.free_on(node_name).cpu
-        bisect.insort(self._entries, (free, node_name))
+        cpu, mem = self._free_pair(node_name)
+        self._free[node_name] = (cpu, mem)
+        entry = (cpu, node_name, mem)
+        blocks = self._blocks
+        if not blocks:
+            blocks.append([entry])
+            self._maxmem.append([mem, 1])
+            self._tails.append((cpu, node_name))
+            return
+        i = bisect.bisect_left(self._tails, (cpu, node_name))
+        if i == len(blocks):
+            i -= 1
+        block = blocks[i]
+        bisect.insort(block, entry)
+        top = self._maxmem[i]
+        if mem > top[0]:
+            self._maxmem[i] = [mem, 1]
+        elif mem == top[0]:
+            top[1] += 1
+        self._tails[i] = (block[-1][0], block[-1][1])
+        if len(block) > 2 * self.BLOCK:
+            self._split(i)
+
+    def _split(self, i: int) -> None:
+        block = self._blocks[i]
+        mid = len(block) // 2
+        right = block[mid:]
+        del block[mid:]
+        self._blocks.insert(i + 1, right)
+        self._maxmem[i] = self._block_max(block)
+        self._maxmem.insert(i + 1, self._block_max(right))
+        self._tails[i] = (block[-1][0], block[-1][1])
+        self._tails.insert(i + 1, (right[-1][0], right[-1][1]))
 
     def best_fit(self, demand: Resources) -> str | None:
         """Healthy node with the smallest free capacity >= demand, or None."""
-        start = bisect.bisect_left(self._entries, (demand.cpu - 1e-9, ""))
-        for free_cpu, node_name in self._entries[start:]:
-            if demand.fits_within(self._state.free_on(node_name)):
-                return node_name
+        demand_cpu = demand.cpu
+        demand_mem = demand.memory
+        start_key = (demand_cpu - 1e-9, "")
+        blocks = self._blocks
+        maxmem = self._maxmem
+        first = bisect.bisect_left(self._tails, start_key)
+        for bi in range(first, len(blocks)):
+            # Skip blocks where no entry can satisfy the memory dimension.
+            if demand_mem > maxmem[bi][0] + 1e-9:
+                continue
+            block = blocks[bi]
+            j = bisect.bisect_left(block, start_key) if bi == first else 0
+            for k in range(j, len(block)):
+                entry = block[k]
+                # Same fit predicate as Resources.fits_within on the node's
+                # live free capacity (cpu is >= demand - 1e-9 by construction
+                # of the scan start, but kept for exactness on ties).
+                if demand_cpu <= entry[0] + 1e-9 and demand_mem <= entry[2] + 1e-9:
+                    return entry[1]
         return None
 
-    def nodes_by_free_desc(self) -> list[str]:
-        return [name for _, name in reversed(self._entries)]
+    def nodes_by_free_desc(self, limit: int | None = None) -> list[str]:
+        """Node names by free CPU descending, optionally only the top few."""
+        out: list[str] = []
+        for bi in range(len(self._blocks) - 1, -1, -1):
+            block = self._blocks[bi]
+            for k in range(len(block) - 1, -1, -1):
+                out.append(block[k][1])
+                if limit is not None and len(out) >= limit:
+                    return out
+        return out
+
+
+class _VictimIndex:
+    """Assigned replicas grouped by global rank, for delete-lower-ranks.
+
+    Victims are consumed lowest-priority first: highest rank, and within a
+    rank in assignment order (matching the stable reverse sort over the
+    assignment map that the naive implementation performs per call — a
+    replica that is unassigned and re-assigned moves to the back of its rank
+    bucket, exactly like a re-inserted key moves to the back of a dict).
+
+    The index is built lazily on the first delete-lower-ranks call (many
+    packs never reach that strategy) and maintained incrementally afterwards.
+    """
+
+    def __init__(self, rank_of: dict[tuple[str, str], int]) -> None:
+        self._rank_of = rank_of
+        self._default = len(rank_of)
+        #: rank -> insertion-ordered replica set (dict keys used as a set)
+        self._buckets: dict[int, dict[ReplicaId, None]] = {}
+        #: sorted list of ranks that currently have victims
+        self._ranks: list[int] = []
+        self.built = False
+
+    def build(self, assignments) -> None:
+        """Populate from the current assignment map (insertion order)."""
+        for replica in assignments:
+            self.add(replica)
+        self.built = True
+
+    def add(self, replica: ReplicaId) -> None:
+        rank = self._rank_of.get((replica.app, replica.microservice), self._default)
+        bucket = self._buckets.get(rank)
+        if bucket is None:
+            self._buckets[rank] = {replica: None}
+            bisect.insort(self._ranks, rank)
+        else:
+            bucket[replica] = None
+
+    def discard(self, replica: ReplicaId) -> None:
+        rank = self._rank_of.get((replica.app, replica.microservice), self._default)
+        bucket = self._buckets.get(rank)
+        if bucket is None or replica not in bucket:
+            return
+        del bucket[replica]
+        if not bucket:
+            del self._buckets[rank]
+            i = bisect.bisect_left(self._ranks, rank)
+            del self._ranks[i]
+
+    def peek_lowest(self, above_rank: int) -> ReplicaId | None:
+        """Next victim with rank strictly greater than ``above_rank``."""
+        ranks = self._ranks
+        if not ranks:
+            return None
+        rank = ranks[-1]
+        if rank <= above_rank:
+            return None
+        return next(iter(self._buckets[rank]))
 
 
 @dataclass
@@ -114,24 +329,31 @@ class PackingHeuristic:
         state.evict_from_failed_nodes()
 
         activated = list(plan.activated)
-        activated_set = {(e.app, e.microservice) for e in activated}
-        rank_of = {(e.app, e.microservice): i for i, e in enumerate(plan.ranked)}
+        activated_set = plan.activated_set()
+        rank_of = plan.rank_index()
 
         # Delete running replicas of microservices the planner chose NOT to
         # activate (diagonal scaling: turning off non-critical containers).
-        for replica, node_name in list(state.assignments.items()):
-            if (replica.app, replica.microservice) not in activated_set:
-                state.unassign(replica)
+        # replica[:2] == (app, microservice); after eviction every assigned
+        # replica runs on a healthy node, so the trusted unassign applies.
+        for replica in list(state.assignments):
+            if replica[:2] not in activated_set:
+                state.unassign_packed(replica)
                 result.deleted.append(replica)
 
         index = _NodeIndex(state)
+        victims = _VictimIndex(rank_of) if self.allow_deletion else None
 
+        applications = state.applications
+        running = state.running_view()
         for entry in activated:
-            placed = self._place_microservice(state, index, entry, rank_of, result)
+            placed = self._place_microservice(
+                state, index, victims, entry, rank_of, result, applications, running
+            )
             if not placed:
                 result.unplaced.append((entry.app, entry.microservice))
 
-        result.assignment = state.assignments
+        result.assignment = state.assignments_snapshot()
         return result
 
     # -- internal steps --------------------------------------------------------
@@ -139,53 +361,91 @@ class PackingHeuristic:
         self,
         state: ClusterState,
         index: _NodeIndex,
+        victims: _VictimIndex | None,
         entry: RankedMicroservice,
         rank_of: dict[tuple[str, str], int],
         result: PackingResult,
+        applications=None,
+        running=None,
     ) -> bool:
         """Place every replica of one microservice; all-or-nothing (Appendix D)."""
-        ms = state.microservice(entry.app, entry.microservice)
+        app_name = entry.app
+        ms_name = entry.microservice
+        if applications is None:
+            applications = state.applications
+        if running is None:
+            running = state.running_view()
+        ms = applications[app_name].microservices[ms_name]
+        replica_count = ms.replicas
+        if running.get((app_name, ms_name), 0) >= replica_count:
+            return True  # every replica already runs on a healthy node
+        resources = ms.resources
+        node_of = state.node_of
+        best_fit = index.best_fit
+        tuple_new = tuple.__new__
         placed_now: list[ReplicaId] = []
-        for replica in state.iter_replicas(entry.app, entry.microservice):
-            if state.node_of(replica) is not None:
+        for idx in range(replica_count):
+            # tuple.__new__ skips the generated NamedTuple __new__ wrapper
+            replica = tuple_new(ReplicaId, (app_name, ms_name, idx))
+            if node_of(replica) is not None:
                 continue  # already running on a healthy node — keep in place
-            node_name = self._find_node(state, index, ms.resources, entry, rank_of, result)
+            node_name = best_fit(resources)
+            if node_name is None:
+                node_name = self._find_node_slow(
+                    state, index, victims, resources, entry, rank_of, result
+                )
             if node_name is None:
                 # Roll back replicas of this microservice placed in this round.
                 for done in placed_now:
-                    node = state.node_of(done)
-                    assert node is not None
-                    index.remove(node)
-                    state.unassign(done)
-                    index.reinsert(node)
+                    self._unassign(state, index, victims, done)
                 return False
-            self._assign(state, index, replica, node_name)
+            self._assign(state, index, victims, replica, node_name)
             placed_now.append(replica)
         return True
 
-    def _assign(self, state: ClusterState, index: _NodeIndex, replica: ReplicaId, node_name: str) -> None:
-        index.remove(node_name)
-        state.assign(replica, node_name)
-        index.reinsert(node_name)
-
-    def _find_node(
+    def _assign(
         self,
         state: ClusterState,
         index: _NodeIndex,
+        victims: _VictimIndex | None,
+        replica: ReplicaId,
+        node_name: str,
+    ) -> None:
+        new_free = state.assign_packed(replica, node_name)
+        index.update(node_name, new_free)
+        if victims is not None and victims.built:
+            victims.add(replica)
+
+    def _unassign(
+        self,
+        state: ClusterState,
+        index: _NodeIndex,
+        victims: _VictimIndex | None,
+        replica: ReplicaId,
+    ) -> str:
+        node_name, new_free = state.unassign_packed(replica)
+        index.update(node_name, new_free)
+        if victims is not None and victims.built:
+            victims.discard(replica)
+        return node_name
+
+    def _find_node_slow(
+        self,
+        state: ClusterState,
+        index: _NodeIndex,
+        victims: _VictimIndex | None,
         demand: Resources,
         entry: RankedMicroservice,
         rank_of: dict[tuple[str, str], int],
         result: PackingResult,
     ) -> str | None:
-        node_name = index.best_fit(demand)
-        if node_name is not None:
-            return node_name
+        """Fallback strategies once best-fit found no node (Alg. 2 steps 2-3)."""
         if self.allow_migration:
-            node_name = self._repack_to_fit(state, index, demand, result)
+            node_name = self._repack_to_fit(state, index, victims, demand, result)
             if node_name is not None:
                 return node_name
         if self.allow_deletion:
-            node_name = self._delete_lower_ranks_to_fit(state, index, demand, entry, rank_of, result)
+            node_name = self._delete_lower_ranks_to_fit(state, index, victims, demand, entry, rank_of, result)
             if node_name is not None:
                 return node_name
         return None
@@ -194,6 +454,7 @@ class PackingHeuristic:
         self,
         state: ClusterState,
         index: _NodeIndex,
+        victims: _VictimIndex | None,
         demand: Resources,
         result: PackingResult,
     ) -> str | None:
@@ -205,13 +466,16 @@ class PackingHeuristic:
         the demand the moves are kept (they only improve packing) and the
         next candidate is tried, matching the heuristic's greedy character.
         """
-        candidates = index.nodes_by_free_desc()[: self.repack_candidate_nodes]
+        candidates = index.nodes_by_free_desc(self.repack_candidate_nodes)
+        demand_of = state.demand_of
         for node_name in candidates:
             if demand.fits_within(state.free_on(node_name)):
                 return node_name
+            # Single sort on (cpu, replica id) == the naive cpu-keyed stable
+            # sort over the name-sorted resident list.
             residents = sorted(
-                state.replicas_on(node_name),
-                key=lambda r: state.microservice(r.app, r.microservice).resources.cpu,
+                state.iter_replicas_on(node_name),
+                key=lambda r: (demand_of(r.app, r.microservice).cpu, r.app, r.microservice, r.replica),
             )
             # Exclude the candidate from the index while we migrate off it so
             # that best-fit lookups for its residents never pick it again.
@@ -219,12 +483,14 @@ class PackingHeuristic:
             for resident in residents:
                 if demand.fits_within(state.free_on(node_name)):
                     break
-                resident_demand = state.microservice(resident.app, resident.microservice).resources
+                resident_demand = demand_of(resident.app, resident.microservice)
                 target = index.best_fit(resident_demand)
                 if target is None:
                     continue
-                state.unassign(resident)
-                self._assign(state, index, resident, target)
+                state.unassign_packed(resident)
+                if victims is not None and victims.built:
+                    victims.discard(resident)
+                self._assign(state, index, victims, resident, target)
                 result.migrated[resident] = (node_name, target)
             index.reinsert(node_name)
             if demand.fits_within(state.free_on(node_name)):
@@ -235,30 +501,24 @@ class PackingHeuristic:
         self,
         state: ClusterState,
         index: _NodeIndex,
+        victims: _VictimIndex | None,
         demand: Resources,
         entry: RankedMicroservice,
         rank_of: dict[tuple[str, str], int],
         result: PackingResult,
     ) -> str | None:
         """Delete lower-priority running replicas until the demand fits."""
+        if victims is None:
+            return None
+        if not victims.built:
+            victims.build(state.assignments)
         my_rank = rank_of.get((entry.app, entry.microservice), len(rank_of))
-        victims = sorted(
-            (
-                replica
-                for replica in state.assignments
-                if rank_of.get((replica.app, replica.microservice), len(rank_of)) > my_rank
-            ),
-            key=lambda r: rank_of.get((r.app, r.microservice), len(rank_of)),
-            reverse=True,
-        )
-        for victim in victims:
-            node_name = state.node_of(victim)
-            assert node_name is not None
-            index.remove(node_name)
-            state.unassign(victim)
-            index.reinsert(node_name)
+        while True:
+            victim = victims.peek_lowest(my_rank)
+            if victim is None:
+                return None
+            self._unassign(state, index, victims, victim)
             result.deleted.append(victim)
             candidate = index.best_fit(demand)
             if candidate is not None:
                 return candidate
-        return None

@@ -4,14 +4,17 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, NamedTuple
 
 from repro.cluster.state import ReplicaId
 
 
-@dataclass(frozen=True, slots=True)
-class RankedMicroservice:
-    """One entry of the planner's globally ordered activation list."""
+class RankedMicroservice(NamedTuple):
+    """One entry of the planner's globally ordered activation list.
+
+    A named tuple: the planner creates one per container per round, so
+    C-speed construction matters at 100k-node scale.
+    """
 
     app: str
     microservice: str
@@ -33,7 +36,22 @@ class ActivationPlan:
     objective: str = "unspecified"
 
     def activated_set(self) -> set[tuple[str, str]]:
-        return {(entry.app, entry.microservice) for entry in self.activated}
+        # entry[:2] == (app, microservice): C-speed tuple slice
+        return {entry[:2] for entry in self.activated}
+
+    def rank_index(self) -> dict[tuple[str, str], int]:
+        """(app, microservice) -> position in the global ranked list.
+
+        The index is cached against the identity of the ``ranked`` list, so
+        callers that rebind or rebuild ``ranked`` (the planner prepends
+        pinned entries after ranking) always get a consistent mapping.
+        In-place mutation of the same list object is not tracked.
+        """
+        ranked = self.ranked
+        if getattr(self, "_rank_index_source", None) is not ranked:
+            self._rank_index = {e[:2]: i for i, e in enumerate(ranked)}
+            self._rank_index_source = ranked
+        return self._rank_index
 
     def activated_for(self, app: str) -> list[str]:
         return [e.microservice for e in self.activated if e.app == app]
@@ -69,6 +87,25 @@ class Action:
             raise ValueError(f"{self.kind.value} action requires a target node")
         if self.kind is ActionKind.DELETE and self.target_node is not None:
             raise ValueError("delete action must not carry a target node")
+
+
+def make_action(
+    kind: ActionKind,
+    replica: ReplicaId,
+    target_node: str | None = None,
+    source_node: str | None = None,
+) -> Action:
+    """Construct an :class:`Action` without re-validating the kind/node rules.
+
+    For hot emitters (the scheduler differ) that build actions whose shape is
+    correct by construction; everyone else should use ``Action(...)``.
+    """
+    action = object.__new__(Action)
+    object.__setattr__(action, "kind", kind)
+    object.__setattr__(action, "replica", replica)
+    object.__setattr__(action, "target_node", target_node)
+    object.__setattr__(action, "source_node", source_node)
+    return action
 
 
 @dataclass

@@ -15,19 +15,30 @@ The planner has two sub-modules:
 
 ``PhoenixPlanner`` wires the two together and is what the controller and the
 AdaptLab harness call.
+
+Scalability: the global merge is a *lazy-rescore heap*.  Activating a
+container only changes the selecting application's own allocation, so only
+that application's head container needs re-scoring — every other heap entry
+stays valid.  This turns the merge from O(containers x applications) into
+O(containers x log(applications)) while producing byte-identical output to
+the naive rescan loop (retained in :mod:`repro.core.reference` and enforced
+by the golden-equivalence tests).  Objectives whose scores couple
+applications (``independent_scores = False``) automatically fall back to the
+reference loop.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass
+
 from typing import Mapping
 
 from repro.cluster.application import Application
 from repro.cluster.state import ClusterState
 from repro.core.objectives import OperatorObjective
 from repro.core.plan import ActivationPlan, RankedMicroservice
+from repro.core.reference import reference_rank
 
 
 class PriorityEstimator:
@@ -42,7 +53,10 @@ class PriorityEstimator:
     @staticmethod
     def _rank_by_criticality(app: Application) -> list[str]:
         """No dependency graph: order purely by criticality, then name."""
-        return sorted(app.microservices, key=lambda n: (app.criticality_of(n).level, n))
+        entries = sorted(
+            (ms.criticality.level, name) for name, ms in app.microservices.items()
+        )
+        return [name for _, name in entries]
 
     @staticmethod
     def _rank_with_dependencies(app: Application) -> list[str]:
@@ -55,57 +69,54 @@ class PriorityEstimator:
         """
         graph = app.dependency_graph
         assert graph is not None
+        microservices = app.microservices
+        # One pass over the adjacency extracts plain dicts, avoiding the
+        # networkx view-object overhead on every node visit.
+        adjacency = dict(graph.adjacency())
+        in_degree = dict.fromkeys(adjacency, 0)
+        for neighbors in adjacency.values():
+            for child in neighbors:
+                in_degree[child] += 1
+
         ranked: list[str] = []
         visited: set[str] = set()
         queued: set[str] = set()
         counter = itertools.count()
         heap: list[tuple[int, int, str]] = []
+        push = heapq.heappush
+        pop = heapq.heappop
 
-        def push(name: str) -> None:
-            if name in visited or name in queued:
-                return
-            queued.add(name)
-            heapq.heappush(heap, (app.criticality_of(name).level, next(counter), name))
-
-        for source in app.source_microservices():
-            push(source)
+        for source in sorted(n for n, degree in in_degree.items() if degree == 0):
+            queued.add(source)
+            push(heap, (microservices[source].criticality.level, next(counter), source))
 
         while heap:
-            _, _, name = heapq.heappop(heap)
+            _, _, name = pop(heap)
             queued.discard(name)
             if name in visited:
                 continue
             visited.add(name)
             ranked.append(name)
-            for child in app.successors(name):
-                push(child)
+            neighbors = adjacency[name]
+            if not neighbors:
+                continue
+            for child in sorted(neighbors):
+                if child in visited or child in queued:
+                    continue
+                queued.add(child)
+                push(heap, (microservices[child].criticality.level, next(counter), child))
 
         # Microservices unreachable from any source (e.g. nodes inside a cycle
         # with no external entry) are appended by criticality so the planner
         # never silently drops containers.
-        leftovers = sorted(
-            (n for n in app.microservices if n not in visited),
-            key=lambda n: (app.criticality_of(n).level, n),
-        )
-        ranked.extend(leftovers)
+        if len(visited) < len(microservices):
+            leftovers = sorted(
+                (ms.criticality.level, name)
+                for name, ms in microservices.items()
+                if name not in visited
+            )
+            ranked.extend(name for _, name in leftovers)
         return ranked
-
-
-@dataclass
-class _AppCursor:
-    """Iteration state over one application's priority list."""
-
-    app: Application
-    order: list[str]
-    index: int = 0
-
-    def current(self) -> str | None:
-        if self.index >= len(self.order):
-            return None
-        return self.order[self.index]
-
-    def advance(self) -> None:
-        self.index += 1
 
 
 class GlobalRanker:
@@ -129,63 +140,78 @@ class GlobalRanker:
         ``capacity`` is the aggregate CPU capacity of healthy nodes; the
         activated prefix never exceeds it.  The full ranked list is also
         recorded so the scheduler can use it for deletion ordering.
+
+        Each round selects the highest-scoring head container across all
+        applications (ties break toward the lexicographically smaller
+        application name).  Because only the selected application's
+        allocation changes, only its next head needs re-scoring; the heap
+        keeps exactly one live entry per application, so every pop is the
+        exact argmax the naive rescan loop would have found.
         """
-        self._objective.prepare(applications, capacity)
+        objective = self._objective
+        if not getattr(objective, "independent_scores", False):
+            # Scores may couple applications; the lazy heap would go stale.
+            return reference_rank(objective, applications, app_rank, capacity)
+
+        objective.prepare(applications, capacity)
         allocated = {name: 0.0 for name in applications}
-        cursors = {
-            name: _AppCursor(applications[name], list(app_rank.get(name, [])))
-            for name in applications
-        }
+        score = objective.score
+
+        #: app name -> [priority list, cursor position, Application, ms dict]
+        cursors: dict[str, list] = {}
+        heap: list[tuple[float, str]] = []
+        for name, app in applications.items():
+            order = app_rank.get(name, [])
+            cursors[name] = [order, 0, app, app.microservices]
+            if order:
+                heap.append((-score(app, app.microservices[order[0]], allocated), name))
+        heapq.heapify(heap)
 
         ranked: list[RankedMicroservice] = []
         activated: list[RankedMicroservice] = []
+        ranked_append = ranked.append
+        activated_append = activated.append
         remaining = capacity
         #: Applications whose next container did not fit.  Further containers
         #: of a blocked application are still *ranked* (the scheduler uses the
         #: full order for deletions) but never *activated*, which preserves the
         #: intra-application criticality and dependency constraints (Eq. 1/2).
         blocked: set[str] = set()
+        pop = heapq.heappop
+        push = heapq.heappush
+        tuple_new = tuple.__new__
 
-        while True:
-            best_app: str | None = None
-            best_score = float("-inf")
-            for name, cursor in cursors.items():
-                ms_name = cursor.current()
-                if ms_name is None:
-                    continue
-                ms = cursor.app.get(ms_name)
-                score = self._objective.score(cursor.app, ms, allocated)
-                if score > best_score or (score == best_score and (best_app is None or name < best_app)):
-                    best_score = score
-                    best_app = name
-            if best_app is None:
-                break
-
-            cursor = cursors[best_app]
-            ms_name = cursor.current()
-            assert ms_name is not None
-            ms = cursor.app.get(ms_name)
-            demand = ms.total_resources.cpu
-            entry = RankedMicroservice(best_app, ms_name, demand)
-            ranked.append(entry)
-            if best_app not in blocked and demand <= remaining + 1e-9:
-                activated.append(entry)
+        while heap:
+            _, name = pop(heap)
+            cursor = cursors[name]
+            order, index, app, microservices = cursor
+            ms = microservices[order[index]]
+            # == ms.total_resources.cpu without materializing a Resources
+            demand = ms.resources.cpu * ms.replicas
+            # tuple.__new__ skips the generated NamedTuple __new__ wrapper
+            entry = tuple_new(RankedMicroservice, (name, ms.name, demand))
+            ranked_append(entry)
+            if name not in blocked and demand <= remaining + 1e-9:
+                activated_append(entry)
                 remaining -= demand
-                allocated[best_app] += demand
+                allocated[name] += demand
             else:
                 # Capacity exhausted for this application.  Unlike the paper's
                 # pseudo-code, which breaks out of the loop entirely, we keep
                 # scanning other applications so that smaller containers can
                 # still use leftover capacity; this strictly increases
                 # utilization and never violates per-application ordering.
-                blocked.add(best_app)
-            cursor.advance()
+                blocked.add(name)
+            index += 1
+            cursor[1] = index
+            if index < len(order):
+                push(heap, (-score(app, microservices[order[index]], allocated), name))
 
         return ActivationPlan(
             ranked=ranked,
             activated=activated,
             capacity=capacity,
-            objective=self._objective.name,
+            objective=objective.name,
         )
 
 
@@ -195,6 +221,11 @@ class PhoenixPlanner:
     def __init__(self, objective: OperatorObjective) -> None:
         self._estimator = PriorityEstimator()
         self._ranker = GlobalRanker(objective)
+        #: app name -> (source Application, degradable Application,
+        #:              pinned cpu, pinned entries); identity-validated cache
+        #: of the stateful/stateless split so repeated planning rounds over
+        #: unchanged applications skip the per-round subgraph rebuild.
+        self._split_cache: dict[str, tuple[Application, Application, float, tuple[RankedMicroservice, ...]]] = {}
 
     @property
     def objective(self) -> OperatorObjective:
@@ -203,6 +234,43 @@ class PhoenixPlanner:
     def app_ranks(self, applications: Mapping[str, Application]) -> dict[str, list[str]]:
         """Per-application priority lists (exposed for tests and tooling)."""
         return {name: self._estimator.rank(app) for name, app in applications.items()}
+
+    def _split_stateful(
+        self, name: str, app: Application
+    ) -> tuple[Application, float, tuple[RankedMicroservice, ...]]:
+        """Split one application into pinned (stateful) and degradable parts.
+
+        The split is cached per application *object*: the cache hit requires
+        the exact same Application instance, so re-tagged or re-registered
+        applications never reuse stale entries.
+        """
+        cached = self._split_cache.get(name)
+        if cached is not None and cached[0] is app:
+            return cached[1], cached[2], cached[3]
+
+        stateful = [ms for ms in app if ms.stateful]
+        if not stateful:
+            self._split_cache[name] = (app, app, 0.0, ())
+            return app, 0.0, ()
+
+        stateless = [ms for ms in app if not ms.stateful]
+        pinned = sum(ms.total_resources.cpu for ms in stateful)
+        pinned_entries = tuple(
+            RankedMicroservice(name, ms.name, ms.total_resources.cpu) for ms in stateful
+        )
+        degradable = Application(
+            name=app.name,
+            microservices={ms.name: ms for ms in stateless},
+            dependency_graph=(
+                app.dependency_graph.subgraph(ms.name for ms in stateless).copy()
+                if app.dependency_graph is not None
+                else None
+            ),
+            price_per_unit=app.price_per_unit,
+            critical_service=app.critical_service,
+        )
+        self._split_cache[name] = (app, degradable, pinned, pinned_entries)
+        return degradable, pinned, pinned_entries
 
     def plan(self, state: ClusterState) -> ActivationPlan:
         """Plan activations for the current cluster state.
@@ -218,26 +286,10 @@ class PhoenixPlanner:
         degradable: dict[str, Application] = {}
         pinned_entries: list[RankedMicroservice] = []
         for name, app in applications.items():
-            stateless = [ms for ms in app if not ms.stateful]
-            stateful = [ms for ms in app if ms.stateful]
-            pinned += sum(ms.total_resources.cpu for ms in stateful)
-            pinned_entries.extend(
-                RankedMicroservice(name, ms.name, ms.total_resources.cpu) for ms in stateful
-            )
-            if stateful:
-                degradable[name] = Application(
-                    name=app.name,
-                    microservices={ms.name: ms for ms in stateless},
-                    dependency_graph=(
-                        app.dependency_graph.subgraph(ms.name for ms in stateless).copy()
-                        if app.dependency_graph is not None
-                        else None
-                    ),
-                    price_per_unit=app.price_per_unit,
-                    critical_service=app.critical_service,
-                )
-            else:
-                degradable[name] = app
+            degradable_app, pinned_cpu, entries = self._split_stateful(name, app)
+            degradable[name] = degradable_app
+            pinned += pinned_cpu
+            pinned_entries.extend(entries)
 
         available = max(0.0, capacity - pinned)
         app_rank = self.app_ranks(degradable)

@@ -9,9 +9,11 @@ actions against the underlying cluster scheduler.
 
 from __future__ import annotations
 
+from operator import itemgetter
+
 from repro.cluster.state import ClusterState, ReplicaId
 from repro.core.packing import PackingHeuristic, PackingResult
-from repro.core.plan import Action, ActionKind, ActivationPlan, SchedulePlan
+from repro.core.plan import Action, ActionKind, ActivationPlan, SchedulePlan, make_action
 
 
 class PhoenixScheduler:
@@ -30,65 +32,87 @@ class PhoenixScheduler:
     def schedule(self, state: ClusterState, plan: ActivationPlan) -> SchedulePlan:
         """Produce a :class:`SchedulePlan` for ``plan`` on ``state``.
 
-        ``state`` is not mutated; all packing happens on a copy.
+        ``state`` is not mutated; all packing happens on a copy.  Packing
+        never changes node health or labels, so the working copy shares the
+        node objects with the live state.
         """
-        working = state.copy()
+        working = state.copy(share_nodes=True)
         packing = self._packer.pack(working, plan)
         actions = self._diff(state, packing)
+        # ``packing`` is local to this call, so the SchedulePlan can take
+        # ownership of its assignment/unplaced containers without copying.
         return SchedulePlan(
-            target_assignment=dict(packing.assignment),
+            target_assignment=packing.assignment,
             actions=actions,
-            unplaced=list(packing.unplaced),
+            unplaced=packing.unplaced,
         )
 
     @staticmethod
     def _diff(live: ClusterState, packing: PackingResult) -> list[Action]:
-        """Compute actions that transform the live assignment into the target."""
+        """Compute actions that transform the live assignment into the target.
+
+        The per-node failed flag is looked up once per node (not once per
+        replica), and each action list is sorted by a key tuple precomputed
+        at append time instead of per-comparison attribute access.
+        """
         live_assignment = live.assignments
         target = packing.assignment
+        failed = {name for name, node in live.nodes.items() if node.failed}
 
-        deletions: list[Action] = []
-        migrations: list[Action] = []
-        starts: list[Action] = []
+        # ReplicaId is a named tuple whose field order is exactly the action
+        # sort key (app, microservice, replica), so the replica itself is the
+        # precomputed key — no per-comparison attribute tuples.
+        deletions: list[tuple[ReplicaId, Action]] = []
+        migrations: list[tuple[ReplicaId, Action]] = []
+        starts: list[tuple[ReplicaId, Action]] = []
+        target_get = target.get
+        DELETE = ActionKind.DELETE
+        MIGRATE = ActionKind.MIGRATE
+        START = ActionKind.START
 
         for replica, live_node in live_assignment.items():
-            target_node = target.get(replica)
-            node_failed = live.node(live_node).failed
+            target_node = target_get(replica)
             if target_node is None:
                 # Replica should not run any more.  If its node failed there
                 # is nothing to delete (Kubernetes garbage-collects it when
                 # the node returns); otherwise issue an explicit deletion.
-                if not node_failed:
+                if live_node not in failed:
                     deletions.append(
-                        Action(ActionKind.DELETE, replica, source_node=live_node)
+                        (replica, make_action(DELETE, replica, source_node=live_node))
                     )
             elif target_node != live_node:
-                if node_failed:
+                if live_node in failed:
                     # The old copy is gone with its node: a plain restart.
                     starts.append(
-                        Action(ActionKind.START, replica, target_node=target_node)
+                        (replica, make_action(START, replica, target_node=target_node))
                     )
                 else:
                     migrations.append(
-                        Action(
-                            ActionKind.MIGRATE,
+                        (
                             replica,
-                            target_node=target_node,
-                            source_node=live_node,
+                            make_action(
+                                MIGRATE,
+                                replica,
+                                target_node=target_node,
+                                source_node=live_node,
+                            ),
                         )
                     )
 
         for replica, target_node in target.items():
             if replica not in live_assignment:
-                starts.append(Action(ActionKind.START, replica, target_node=target_node))
+                starts.append(
+                    (replica, make_action(START, replica, target_node=target_node))
+                )
 
-        def sort_key(action: Action) -> tuple[str, str, int]:
-            return (action.replica.app, action.replica.microservice, action.replica.replica)
-
-        deletions.sort(key=sort_key)
-        migrations.sort(key=sort_key)
-        starts.sort(key=sort_key)
-        return [*deletions, *migrations, *starts]
+        first = itemgetter(0)
+        deletions.sort(key=first)
+        migrations.sort(key=first)
+        starts.sort(key=first)
+        actions = [action for _, action in deletions]
+        actions.extend(action for _, action in migrations)
+        actions.extend(action for _, action in starts)
+        return actions
 
 
 def apply_schedule(state: ClusterState, schedule: SchedulePlan) -> None:
