@@ -4,7 +4,11 @@
 Builds a cluster running synthetic Alibaba-trace-like applications, sweeps
 failure levels from 10 % to 90 % of capacity, and compares PhoenixCost,
 PhoenixFair and the non-cooperative baselines on critical-service
-availability, revenue and fairness — a small-scale Figure 7.  Run with:
+availability, revenue and fairness — a small-scale Figure 7.  Every scheme
+is a ``SchemeAdapter`` over the one Phoenix engine; to prove it, the sweep
+also runs a "phoenix-cost-ref" engine wired to the golden reference stages
+(``implementation="reference"``), whose rows must match phoenix-cost
+exactly.  Run with:
 
     python examples/adaptlab_sweep.py [node_count]
 """
@@ -13,7 +17,9 @@ from __future__ import annotations
 
 import sys
 
-from repro.adaptlab import build_environment, run_failure_sweep, summarize
+import repro.api as api
+from repro import default_scheme_suite, run_failure_sweep, summarize
+from repro.adaptlab import build_environment
 
 
 def main() -> None:
@@ -32,7 +38,15 @@ def main() -> None:
           f"{sum(len(a) for a in env.applications.values())} microservices, "
           f"node capacity {env.node_capacity:.1f} cpu")
 
-    result = run_failure_sweep(env, failure_levels=(0.1, 0.3, 0.5, 0.7, 0.9), trials=1)
+    # The paper's five schemes, plus a golden-reference engine for
+    # verification: same policy, seed algorithms, identical rows expected.
+    schemes = [
+        *default_scheme_suite(),
+        api.SchemeAdapter(
+            api.engine("revenue", implementation="reference"), name="phoenix-cost-ref"
+        ),
+    ]
+    result = run_failure_sweep(env, schemes, failure_levels=(0.1, 0.3, 0.5, 0.7, 0.9), trials=1)
 
     for metric, title in [
         ("availability", "critical service availability"),
@@ -41,16 +55,25 @@ def main() -> None:
     ]:
         print(f"\n=== {title} ===")
         series = summarize(result, metric)
-        schemes = sorted(series)
-        print("failed%  " + "".join(f"{s:<15}" for s in schemes))
-        for index, (level, _) in enumerate(series[schemes[0]]):
+        schemes_sorted = sorted(series)
+        print("failed%  " + "".join(f"{s:<17}" for s in schemes_sorted))
+        for index, (level, _) in enumerate(series[schemes_sorted[0]]):
             row = f"{level * 100:<9.0f}"
-            for scheme in schemes:
-                row += f"{series[scheme][index][1]:<15.3f}"
+            for scheme in schemes_sorted:
+                row += f"{series[scheme][index][1]:<17.3f}"
             print(row)
 
-    print("\nExpected shape: phoenix-* dominate availability, phoenix-cost wins "
+    mismatches = sum(
+        1
+        for level in (0.1, 0.3, 0.5, 0.7, 0.9)
+        if result.point("phoenix-cost", level).availability
+        != result.point("phoenix-cost-ref", level).availability
+    )
+    print(f"\nfast vs reference engine mismatch rows: {mismatches} (expected 0)")
+    print("Expected shape: phoenix-* dominate availability, phoenix-cost wins "
           "revenue, phoenix-fair has the smallest fairness deviation.")
+    if mismatches:
+        raise SystemExit("fast and reference engines diverged — golden equivalence broken")
 
 
 if __name__ == "__main__":

@@ -4,8 +4,11 @@
 Runs the chaos-testing service (§5 of the paper) against the Overleaf and
 HotelReservation models: every degradation scenario turns off tagged
 microservices and verifies that the application's critical service keeps
-serving.  Also demonstrates how a *bad* tagging (marking the edit pipeline
-as non-critical) is caught before deployment.  Run with:
+serving.  Then closes the loop through the Phoenix engine itself
+(``repro.api.engine``): the same templates are deployed on a simulated
+cluster, nodes are failed, and the engine's degradation decisions are
+checked against the critical request — which also catches a *bad* tagging
+(marking the edit pipeline as non-critical) before deployment.  Run with:
 
     python examples/chaos_testing.py
 """
@@ -14,14 +17,23 @@ from __future__ import annotations
 
 from repro.apps import build_hotel_reservation, build_overleaf
 from repro.apps.base import AppTemplate
-from repro.chaos import ChaosTestingService, verify_tagging
+from repro.chaos import ChaosTestingService, verify_tagging, verify_tagging_on_cluster
 from repro.criticality import CriticalityTag
 
 
 def main() -> None:
-    for template in (build_overleaf(), build_hotel_reservation()):
+    templates = (build_overleaf(), build_hotel_reservation())
+    for template in templates:
         report = verify_tagging(template)
         print(report.to_text())
+        print()
+
+    # Close the loop through the engine: deploy on a cluster, fail nodes,
+    # let Phoenix degrade, and check the critical request survives whenever
+    # it can.  (Template-level chaos disables services by decree; this runs
+    # the actual planner.)
+    for template in templates:
+        print(verify_tagging_on_cluster(template).to_text())
         print()
 
     # Now deliberately mis-tag Overleaf: real-time (the websocket edit
@@ -34,6 +46,12 @@ def main() -> None:
     print(report.to_text())
     failing = [r.description for r in report.failures]
     print(f"\n{len(failing)} scenario(s) caught the bad tag, e.g.: {failing[0]}")
+
+    # The engine-driven check catches it too — Phoenix itself turns the
+    # mis-tagged edit pipeline off while capacity for it still exists.
+    cluster_report = verify_tagging_on_cluster(bad_template)
+    print("\nengine-driven check on the broken tagging:")
+    print(cluster_report.to_text())
 
 
 if __name__ == "__main__":

@@ -2,21 +2,22 @@
 """Compare Phoenix's heuristic planner against the exact ILP formulations.
 
 On a small cluster the ILP (LPCost / LPFair) is tractable and provides the
-optimal activation set; this example shows that Phoenix's planner+scheduler
-reach near-identical activations orders of magnitude faster — the reason the
-paper uses the LP only as a design guide (§4, Figure 8b).  Run with:
+optimal activation set; this example shows that Phoenix's engine reaches
+near-identical activations orders of magnitude faster — the reason the
+paper uses the LP only as a design guide (§4, Figure 8b).  Both sides are
+driven through the same ``PhoenixEngine`` facade: the heuristic uses the
+stock plan → pack → diff pipeline, the ILP plugs in as an ``LPPipeline``.
+Run with:
 
     python examples/lp_vs_phoenix.py
 """
 
 from __future__ import annotations
 
-import time
-
+import repro.api as api
 from repro.adaptlab import build_environment, generate_alibaba_applications, inject_capacity_failure
 from repro.adaptlab.metrics import critical_service_availability, normalized_revenue
-from repro.core import LPCost, PhoenixPlanner, PhoenixScheduler, RevenueObjective
-from repro.core.scheduler import apply_schedule
+from repro.core import LPCost
 
 
 def main() -> None:
@@ -37,21 +38,13 @@ def main() -> None:
     print(f"cluster: {len(state.nodes)} nodes, "
           f"{sum(len(a) for a in state.applications.values())} microservices, 50% capacity lost")
 
-    # Phoenix heuristic.
-    started = time.perf_counter()
-    planner = PhoenixPlanner(RevenueObjective())
-    scheduler = PhoenixScheduler()
-    schedule = scheduler.schedule(state, planner.plan(state))
-    phoenix_time = time.perf_counter() - started
-    phoenix_state = state.copy()
-    apply_schedule(phoenix_state, schedule)
+    # Phoenix heuristic: the stock engine.
+    phoenix = api.engine("revenue")
+    phoenix_state, phoenix_time = phoenix.respond(state)
 
-    # Exact ILP.
-    started = time.perf_counter()
-    solution = LPCost(time_limit=60).solve(state)
-    lp_time = time.perf_counter() - started
-    lp_state = state.copy()
-    apply_schedule(lp_state, solution.to_schedule_plan(state))
+    # Exact ILP: same facade, LP pipeline plugged in.
+    lp = api.PhoenixEngine.from_pipeline(api.LPPipeline(LPCost(time_limit=60), name="lp-cost"))
+    lp_state, lp_time = lp.respond(state)
 
     for name, target, seconds in [
         ("Phoenix (heuristic)", phoenix_state, phoenix_time),

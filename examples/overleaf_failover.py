@@ -12,10 +12,10 @@ non-critical services come back.  Run with:
 
 from __future__ import annotations
 
+import repro.api as api
 from repro.apps import MultiAppLoadRecorder, cloudlab_workload
 from repro.cluster.resources import Resources
-from repro.core import PhoenixController, RevenueObjective
-from repro.kubesim import KubeCluster, KubeClusterConfig, PhoenixKubeBackend
+from repro.kubesim import KubeCluster, KubeClusterConfig
 
 NODE_COUNT = 25
 CPU_PER_NODE = 8.0
@@ -44,8 +44,10 @@ def main() -> None:
     cluster.step(120)
     print_status(cluster, recorder, "steady state")
 
-    controller = PhoenixController(PhoenixKubeBackend(cluster), RevenueObjective())
-    controller.reconcile()
+    # The engine drives the Kubernetes-like cluster directly: backend_for
+    # asks the cluster for its Phoenix backend under the hood.
+    engine = api.engine("revenue")
+    engine.reconcile(cluster)
 
     failed = [f"node-{i}" for i in range(15)]
     cluster.fail_nodes(failed)
@@ -53,7 +55,7 @@ def main() -> None:
     cluster.step(180)
     print_status(cluster, recorder, "after failure, before Phoenix")
 
-    report = controller.reconcile()
+    report = engine.reconcile(cluster)
     print(f"\nPhoenix planned in {report.planning_seconds * 1000:.0f} ms, "
           f"executed {report.actions_executed} actions "
           f"({len(report.schedule.deletions)} deletions, {len(report.schedule.migrations)} migrations, "
@@ -64,7 +66,7 @@ def main() -> None:
     cluster.recover_nodes(failed)
     print("\n*** kubelets restarted ***")
     cluster.step(180)
-    controller.reconcile()
+    engine.reconcile(cluster)
     cluster.step(180)
     print_status(cluster, recorder, "after recovery")
 

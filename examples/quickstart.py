@@ -2,22 +2,20 @@
 """Quickstart: plan a graceful degradation for a tiny application.
 
 Builds a four-microservice application with criticality tags and a
-dependency graph, places it on a small cluster, fails half the nodes, and
-asks Phoenix for a recovery plan.  Run with:
+dependency graph, places it on a small cluster through the Phoenix engine,
+fails half the nodes, and lets the engine reconcile.  Run with:
 
     python examples/quickstart.py
 """
 
 from __future__ import annotations
 
+import repro.api as api
 from repro import (
     Application,
     CriticalityTag,
     Microservice,
-    PhoenixPlanner,
-    PhoenixScheduler,
     Resources,
-    RevenueObjective,
     build_uniform_cluster,
 )
 
@@ -45,32 +43,28 @@ def main() -> None:
     # 2. Build a cluster and register the application.
     state = build_uniform_cluster(node_count=4, node_capacity=Resources(4, 4), applications=[app])
 
-    # 3. Place everything (steady state), then fail half the cluster.
-    planner = PhoenixPlanner(RevenueObjective())
-    scheduler = PhoenixScheduler()
-    schedule = scheduler.schedule(state, planner.plan(state))
-    from repro.core.scheduler import apply_schedule
-
-    apply_schedule(state, schedule)
+    # 3. One engine drives everything: reconcile places the steady state
+    #    (a bare ClusterState is auto-wrapped into a backend).
+    engine = api.engine("revenue")
+    engine.reconcile(state, force=True)
     print("steady state:", sorted(state.active_microservices()["webshop"]))
 
     state.fail_nodes(["node-0", "node-1"])
     print("\nnodes failed: node-0, node-1 (only 8 CPU left for 8 CPU of demand)")
 
-    # 4. Ask Phoenix for a new plan: it keeps the critical path and turns the
-    #    recommendations container off (diagonal scaling).
-    plan = planner.plan(state)
-    schedule = scheduler.schedule(state, plan)
+    # 4. The next round detects the failures and degrades: Phoenix keeps the
+    #    critical path and turns the recommendations container off
+    #    (diagonal scaling).
+    report = engine.reconcile(state)
     print("\nactivation order:")
-    for entry in plan.ranked:
-        marker = "ON " if entry in plan.activated else "off"
+    for entry in report.plan.ranked:
+        marker = "ON " if entry in report.plan.activated else "off"
         print(f"  [{marker}] {entry.microservice} ({entry.cpu} cpu)")
 
-    print("\nactions to execute:")
-    for action in schedule.ordered_actions():
+    print("\nactions executed:")
+    for action in report.schedule.ordered_actions():
         print(f"  {action.kind.value:<8} {action.replica} -> {action.target_node or '-'}")
 
-    apply_schedule(state, schedule)
     print("\nafter degradation:", sorted(state.active_microservices()["webshop"]))
 
 

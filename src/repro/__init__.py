@@ -3,6 +3,9 @@ Clouds" (Phoenix + AdaptLab, ASPLOS 2025).
 
 Public API highlights
 ---------------------
+* :mod:`repro.api` — **the** public API: the :class:`PhoenixEngine` facade,
+  :class:`EngineConfig`, pluggable pipeline stages and the typed event
+  stream.  Start here: ``repro.api.engine("revenue")``.
 * :mod:`repro.core` — the Phoenix planner, scheduler, LP formulations and
   controller, plus criticality tags and operator objectives.
 * :mod:`repro.cluster` — the cluster substrate (nodes, microservices,
@@ -15,6 +18,8 @@ Public API highlights
 * :mod:`repro.chaos` — the chaos-testing service for criticality tags.
 """
 
+from repro.adaptlab import default_scheme_suite, run_failure_sweep, summarize
+from repro.api import EngineConfig, PhoenixEngine, SchemeAdapter, backend_for, engine
 from repro.cluster import (
     Application,
     ClusterState,
@@ -33,9 +38,17 @@ from repro.core import (
     RevenueObjective,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "default_scheme_suite",
+    "run_failure_sweep",
+    "summarize",
+    "EngineConfig",
+    "PhoenixEngine",
+    "SchemeAdapter",
+    "backend_for",
+    "engine",
     "Application",
     "ClusterState",
     "Microservice",

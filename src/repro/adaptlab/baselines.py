@@ -2,8 +2,8 @@
 
 Cooperative schemes (the paper's contribution):
 
-* :class:`PhoenixCostScheme` — Phoenix planner + scheduler, revenue objective.
-* :class:`PhoenixFairScheme` — Phoenix planner + scheduler, fairness objective.
+* :class:`PhoenixCostScheme` — Phoenix engine, revenue objective.
+* :class:`PhoenixFairScheme` — Phoenix engine, fairness objective.
 * :class:`LPCostScheme` / :class:`LPFairScheme` — the exact ILP formulations.
 
 Non-cooperative baselines:
@@ -21,25 +21,33 @@ Non-cooperative baselines:
 
 Every scheme consumes a post-failure :class:`ClusterState` and returns a new
 state (the enacted target) plus the planning time it took to compute it.
+
+Since the engine redesign the planner-driven schemes are
+:class:`~repro.api.adapters.SchemeAdapter` wrappers around a
+:class:`~repro.api.engine.PhoenixEngine`: the Phoenix schemes use the stock
+pipeline, the LP schemes use an :class:`~repro.api.engine.LPPipeline`, and
+the Fair/Priority baselines plug their policy in as a custom
+:class:`~repro.api.stages.Ranker` — same engine, different stage.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from abc import ABC, abstractmethod
-from typing import Mapping
 
 import networkx as nx
 import numpy as np
 
+from repro.api.adapters import SchemeAdapter
+from repro.api.config import EngineConfig
+from repro.api.engine import LPPipeline, PhoenixEngine
 from repro.cluster.application import Application
-from repro.cluster.microservice import Microservice
-from repro.cluster.state import ClusterState, ReplicaId
+from repro.cluster.state import ClusterState
 from repro.core.lp import LPCost, LPFair
 from repro.core.objectives import FairnessObjective, OperatorObjective, RevenueObjective
 from repro.core.plan import ActivationPlan, RankedMicroservice
-from repro.core.planner import GlobalRanker, PhoenixPlanner, PriorityEstimator
-from repro.core.scheduler import PhoenixScheduler, apply_schedule
+from repro.core.planner import GlobalRanker, PriorityEstimator
 
 
 class ResilienceScheme(ABC):
@@ -61,57 +69,85 @@ class ResilienceScheme(ABC):
 # -- Phoenix --------------------------------------------------------------------
 
 
-class PhoenixScheme(ResilienceScheme):
-    """Phoenix planner + scheduler under a configurable operator objective."""
+class PhoenixScheme(SchemeAdapter, ResilienceScheme):
+    """Phoenix engine under a configurable operator objective.
 
-    def __init__(self, objective: OperatorObjective, name: str | None = None) -> None:
-        self.planner = PhoenixPlanner(objective)
-        self.scheduler = PhoenixScheduler()
-        self.name = name or f"phoenix-{objective.name}"
+    New code passes a fully configured engine (``PhoenixScheme(engine=...)``
+    or plain :class:`~repro.api.adapters.SchemeAdapter`); the pre-engine
+    ``PhoenixScheme(objective)`` form keeps working as a deprecation shim.
+    """
 
-    def respond(self, state: ClusterState) -> tuple[ClusterState, float]:
-        started = time.perf_counter()
-        plan = self.planner.plan(state)
-        schedule = self.scheduler.schedule(state, plan)
-        elapsed = time.perf_counter() - started
-        new_state = state.copy()
-        apply_schedule(new_state, schedule)
-        return new_state, elapsed
+    def __init__(
+        self,
+        objective: OperatorObjective | None = None,
+        name: str | None = None,
+        *,
+        engine: PhoenixEngine | None = None,
+    ) -> None:
+        if (engine is None) == (objective is None):
+            raise TypeError("pass exactly one of `objective` (deprecated) or `engine`")
+        if engine is None:
+            warnings.warn(
+                "PhoenixScheme(objective) is deprecated; build an engine with "
+                "repro.api.engine(objective) and wrap it: PhoenixScheme(engine=...) "
+                "or SchemeAdapter(engine)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            engine = PhoenixEngine(EngineConfig(objective=objective))
+        super().__init__(engine, name=name)
+
+    # Legacy component views (the pre-engine scheme exposed both).
+    @property
+    def planner(self):
+        """The engine's ranking stage (a ``PhoenixPlanner``)."""
+        return self.engine.ranker
+
+    @property
+    def scheduler(self):
+        """Schedule-capable view of the engine (``schedule(state, plan)``)."""
+        return self.engine
 
 
 class PhoenixCostScheme(PhoenixScheme):
     """PhoenixCost: revenue-maximizing operator objective."""
 
     def __init__(self) -> None:
-        super().__init__(RevenueObjective(), name="phoenix-cost")
+        super().__init__(
+            engine=PhoenixEngine(EngineConfig(objective=RevenueObjective())),
+            name="phoenix-cost",
+        )
 
 
 class PhoenixFairScheme(PhoenixScheme):
     """PhoenixFair: water-filling max-min fairness operator objective."""
 
     def __init__(self) -> None:
-        super().__init__(FairnessObjective(), name="phoenix-fair")
+        super().__init__(
+            engine=PhoenixEngine(EngineConfig(objective=FairnessObjective())),
+            name="phoenix-fair",
+        )
 
 
 # -- exact LP baselines ------------------------------------------------------------
 
 
-class LPCostScheme(ResilienceScheme):
+class LPCostScheme(SchemeAdapter, ResilienceScheme):
     """Exact revenue-maximizing ILP (does not scale beyond ~1000 nodes)."""
 
     name = "lp-cost"
 
     def __init__(self, time_limit: float = 60.0) -> None:
-        self._lp = LPCost(time_limit=time_limit)
+        super().__init__(
+            PhoenixEngine.from_pipeline(
+                LPPipeline(LPCost(time_limit=time_limit), name="lp-cost")
+            )
+        )
 
-    def respond(self, state: ClusterState) -> tuple[ClusterState, float]:
-        started = time.perf_counter()
-        solution = self._lp.solve(state)
-        schedule = solution.to_schedule_plan(state)
-        elapsed = time.perf_counter() - started
-        new_state = state.copy()
-        apply_schedule(new_state, schedule)
-        return new_state, elapsed
+    @property
+    def _lp(self):
+        """Legacy view of the underlying solver."""
+        return self.engine.pipeline.solver
 
 
 class LPFairScheme(LPCostScheme):
@@ -120,8 +156,12 @@ class LPFairScheme(LPCostScheme):
     name = "lp-fair"
 
     def __init__(self, time_limit: float = 60.0) -> None:
-        super().__init__(time_limit)
-        self._lp = LPFair(time_limit=time_limit)
+        SchemeAdapter.__init__(
+            self,
+            PhoenixEngine.from_pipeline(
+                LPPipeline(LPFair(time_limit=time_limit), name="lp-fair")
+            ),
+        )
 
 
 # -- non-cooperative baselines --------------------------------------------------------
@@ -142,30 +182,40 @@ class _CriticalityBlindEstimator(PriorityEstimator):
         return order + missing
 
 
-class FairScheme(ResilienceScheme):
+class _CriticalityBlindRanker:
+    """Fair-share :class:`~repro.api.stages.Ranker`, blind to criticality.
+
+    A fresh fairness objective is prepared per plan (matching the pre-engine
+    scheme, which rebuilt its objective every ``respond`` call).
+    """
+
+    def __init__(self) -> None:
+        self._estimator = _CriticalityBlindEstimator()
+
+    def plan(self, state: ClusterState) -> ActivationPlan:
+        ranker = GlobalRanker(FairnessObjective())
+        app_rank = {
+            name: self._estimator.rank(app) for name, app in state.applications.items()
+        }
+        return ranker.rank(state.applications, app_rank, state.total_capacity().cpu)
+
+
+class FairScheme(SchemeAdapter, ResilienceScheme):
     """Fair-share redistribution without criticality awareness."""
 
     name = "fair"
 
     def __init__(self) -> None:
-        self._estimator = _CriticalityBlindEstimator()
-        self._scheduler = PhoenixScheduler()
-
-    def respond(self, state: ClusterState) -> tuple[ClusterState, float]:
-        started = time.perf_counter()
-        objective = FairnessObjective()
-        ranker = GlobalRanker(objective)
-        app_rank = {name: self._estimator.rank(app) for name, app in state.applications.items()}
-        plan = ranker.rank(state.applications, app_rank, state.total_capacity().cpu)
-        schedule = self._scheduler.schedule(state, plan)
-        elapsed = time.perf_counter() - started
-        new_state = state.copy()
-        apply_schedule(new_state, schedule)
-        return new_state, elapsed
+        super().__init__(
+            PhoenixEngine(
+                EngineConfig(objective="fairness"), ranker=_CriticalityBlindRanker()
+            ),
+            name="fair",
+        )
 
 
-class PriorityScheme(ResilienceScheme):
-    """Criticality tags without operator-level inter-application policy.
+class _PriorityQueueRanker:
+    """Per-application criticality order with no inter-application policy.
 
     Each application restores its own containers in criticality order, but
     the operator applies no per-application quota and no inter-application
@@ -177,14 +227,10 @@ class PriorityScheme(ResilienceScheme):
     traffic), which is what makes the behaviour pathological.
     """
 
-    name = "priority"
-
     def __init__(self) -> None:
         self._estimator = PriorityEstimator()
-        self._scheduler = PhoenixScheduler()
 
-    def respond(self, state: ClusterState) -> tuple[ClusterState, float]:
-        started = time.perf_counter()
+    def plan(self, state: ClusterState) -> ActivationPlan:
         capacity = state.total_capacity().cpu
 
         def c1_demand(app: Application) -> float:
@@ -210,14 +256,20 @@ class PriorityScheme(ResilienceScheme):
                     remaining -= demand
                 else:
                     blocked = True
-        plan = ActivationPlan(
-            ranked=ranked, activated=activated, capacity=capacity, objective=self.name
+        return ActivationPlan(
+            ranked=ranked, activated=activated, capacity=capacity, objective="priority"
         )
-        schedule = self._scheduler.schedule(state, plan)
-        elapsed = time.perf_counter() - started
-        new_state = state.copy()
-        apply_schedule(new_state, schedule)
-        return new_state, elapsed
+
+
+class PriorityScheme(SchemeAdapter, ResilienceScheme):
+    """Criticality tags without operator-level inter-application policy."""
+
+    name = "priority"
+
+    def __init__(self) -> None:
+        super().__init__(
+            PhoenixEngine(ranker=_PriorityQueueRanker()), name="priority"
+        )
 
 
 class DefaultScheme(ResilienceScheme):
@@ -227,7 +279,7 @@ class DefaultScheme(ResilienceScheme):
     rescheduled in name order using a least-allocated (spreading) policy.
     Nothing is ever turned off to make room, so under a capacity crunch the
     reschedule queue simply stalls — exactly the behaviour Phoenix improves
-    on.
+    on.  (Not engine-shaped: there is no planning pipeline to speak of.)
     """
 
     name = "default"

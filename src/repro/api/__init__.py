@@ -1,0 +1,73 @@
+"""``repro.api`` — the composable public API over the Phoenix engine.
+
+One engine, many frontends.  Everything that plans, packs, schedules or
+reconciles goes through :class:`PhoenixEngine`:
+
+>>> import repro.api as api
+>>> eng = api.engine("revenue")                  # the one entrypoint
+>>> report = eng.reconcile(state, force=True)    # controller-style round
+>>> new_state, seconds = eng.respond(state)      # AdaptLab-scheme semantics
+
+Building blocks:
+
+* :class:`EngineConfig` — declarative engine description (objective,
+  fast/reference implementation, packing flags).
+* :class:`Ranker` / :class:`Packer` / :class:`Differ` — pluggable pipeline
+  stage protocols; stock fast and golden-reference implementations ship.
+* :class:`StagePipeline` / :class:`LPPipeline` — pipeline composition.
+* Events — :class:`FailureDetected`, :class:`RecoveryDetected`,
+  :class:`PlanComputed`, :class:`ActionsExecuted` via ``engine.events``.
+* :class:`SchemeAdapter` — present an engine as an AdaptLab resilience
+  scheme.
+* :func:`backend_for` — auto-wrap cluster states / kubesim clusters into
+  the ``ClusterBackend`` protocol.
+"""
+
+from repro.api.adapters import SchemeAdapter
+from repro.api.config import EngineConfig, resolve_objective
+from repro.api.engine import (
+    LPPipeline,
+    PhoenixEngine,
+    SchedulePipeline,
+    StagePipeline,
+    backend_for,
+    engine,
+)
+from repro.api.events import (
+    ActionsExecuted,
+    EngineEvent,
+    EventBus,
+    FailureDetected,
+    PlanComputed,
+    RecoveryDetected,
+)
+from repro.api.stages import (
+    Differ,
+    Packer,
+    Ranker,
+    ReferencePlanner,
+    build_stages,
+)
+
+__all__ = [
+    "SchemeAdapter",
+    "EngineConfig",
+    "resolve_objective",
+    "LPPipeline",
+    "PhoenixEngine",
+    "SchedulePipeline",
+    "StagePipeline",
+    "backend_for",
+    "engine",
+    "ActionsExecuted",
+    "EngineEvent",
+    "EventBus",
+    "FailureDetected",
+    "PlanComputed",
+    "RecoveryDetected",
+    "Differ",
+    "Packer",
+    "Ranker",
+    "ReferencePlanner",
+    "build_stages",
+]

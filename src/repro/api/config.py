@@ -1,0 +1,103 @@
+"""Engine configuration: one dataclass that describes a Phoenix pipeline.
+
+:class:`EngineConfig` is the single knob surface shared by every frontend —
+the controller loop, the AdaptLab schemes, kubesim glue and the examples all
+build their engines from it.  The config is declarative: it names an
+operator objective, picks the stage *implementation* ("fast" for the
+optimized hot path, "reference" for the golden seed algorithms retained in
+:mod:`repro.core.reference`), and carries the packing policy flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.objectives import (
+    FairnessObjective,
+    OperatorObjective,
+    RevenueObjective,
+)
+
+#: Accepted values for :attr:`EngineConfig.implementation`.
+IMPLEMENTATIONS = ("fast", "reference")
+
+#: Objective spellings accepted by :func:`resolve_objective`.
+_OBJECTIVES = {
+    "revenue": RevenueObjective,
+    "cost": RevenueObjective,  # the paper's "PhoenixCost" spelling
+    "fairness": FairnessObjective,
+    "fair": FairnessObjective,
+}
+
+
+def resolve_objective(objective: OperatorObjective | str) -> OperatorObjective:
+    """Turn an objective spec (instance or name) into an objective instance.
+
+    Accepted names: ``"revenue"`` / ``"cost"`` (revenue-maximizing) and
+    ``"fairness"`` / ``"fair"`` (water-filling max-min fairness).  Passing an
+    :class:`OperatorObjective` instance returns it unchanged, so custom
+    objectives plug in directly.
+    """
+    if isinstance(objective, OperatorObjective):
+        return objective
+    if isinstance(objective, str):
+        try:
+            return _OBJECTIVES[objective.lower()]()
+        except KeyError:
+            raise ValueError(
+                f"unknown objective {objective!r}; expected one of "
+                f"{sorted(set(_OBJECTIVES))} or an OperatorObjective instance"
+            ) from None
+    raise TypeError(
+        f"objective must be an OperatorObjective or a name, got {type(objective).__name__}"
+    )
+
+
+@dataclass
+class EngineConfig:
+    """Declarative description of a Phoenix engine.
+
+    Parameters
+    ----------
+    objective:
+        Operator objective for global ranking — an
+        :class:`~repro.core.objectives.OperatorObjective` instance or one of
+        the names accepted by :func:`resolve_objective`.
+    implementation:
+        ``"fast"`` (default) wires the optimized plan → pack → diff stages;
+        ``"reference"`` wires the golden seed implementations from
+        :mod:`repro.core.reference` — byte-identical output, useful for
+        verification runs and A/B debugging.
+    allow_migration / allow_deletion:
+        Packing policy flags, passed to the packer (Algorithm 2's repack and
+        delete-lower-ranks prongs).
+    monitor_interval:
+        Seconds between observations in a real deployment (15 s in the
+        paper); informational for simulated backends, which drive the loop
+        explicitly.
+    """
+
+    objective: OperatorObjective | str = "revenue"
+    implementation: str = "fast"
+    allow_migration: bool = True
+    allow_deletion: bool = True
+    monitor_interval: float = field(default=15.0)
+
+    def __post_init__(self) -> None:
+        if self.implementation not in IMPLEMENTATIONS:
+            raise ValueError(
+                f"implementation must be one of {IMPLEMENTATIONS}, got {self.implementation!r}"
+            )
+        if self.monitor_interval <= 0:
+            raise ValueError("monitor_interval must be positive")
+        # Fail fast on bad objective specs (instances pass through untouched).
+        resolve_objective(self.objective)
+
+    def resolved_objective(self) -> OperatorObjective:
+        """The objective instance this config describes.
+
+        Name specs (``"revenue"``) produce a fresh instance per call;
+        instance specs return the exact instance, preserving any state the
+        caller attached to it.
+        """
+        return resolve_objective(self.objective)

@@ -1,0 +1,125 @@
+"""Typed event stream emitted by :class:`~repro.api.engine.PhoenixEngine`.
+
+Observers subscribe to the engine's :class:`EventBus` and receive immutable
+event objects as the engine moves through its monitor → plan → execute loop:
+
+* :class:`FailureDetected` / :class:`RecoveryDetected` — the failure detector
+  saw the set of failed nodes change between observations.
+* :class:`PlanComputed` — a plan → pack → diff round finished (carries the
+  activation plan, the schedule and the wall-clock planning time).
+* :class:`ActionsExecuted` — the engine pushed an action list to a backend.
+
+Events are plain frozen dataclasses so observers can pattern-match on type,
+log them, or forward them to external systems without touching engine
+internals.  Subscribing is cheap; an engine with no observers pays one empty
+list iteration per event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.plan import Action, ActivationPlan, SchedulePlan
+
+
+class EngineEvent:
+    """Base class for everything the engine emits."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class FailureDetected(EngineEvent):
+    """Nodes that newly entered the failed set since the last observation.
+
+    On the engine's *first* observation every already-failed node is reported
+    here (first-observation semantics: there is no previous set to diff
+    against, so pre-existing failures count as new).
+    """
+
+    nodes: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class RecoveryDetected(EngineEvent):
+    """Nodes that left the failed set since the last observation."""
+
+    nodes: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class PlanComputed(EngineEvent):
+    """One planning round finished.
+
+    ``plan`` is ``None`` for pipelines that do not produce an activation plan
+    (e.g. the exact-LP pipeline, which emits a schedule directly).
+    """
+
+    plan: ActivationPlan | None
+    schedule: SchedulePlan
+    planning_seconds: float
+
+
+@dataclass(frozen=True)
+class ActionsExecuted(EngineEvent):
+    """The engine executed an action list against a backend."""
+
+    actions: tuple[Action, ...]
+
+    @property
+    def count(self) -> int:
+        return len(self.actions)
+
+
+#: An observer is any callable taking one event.
+Observer = Callable[[EngineEvent], None]
+
+
+class EventBus:
+    """Minimal synchronous pub/sub used by the engine.
+
+    Handlers run inline, in subscription order, on the thread that emitted
+    the event; a handler that raises aborts the emit (the engine treats
+    observer failures as programming errors, not data).
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: list[tuple[type | None, Observer]] = []
+
+    def subscribe(
+        self, handler: Observer, event_type: type | None = None
+    ) -> Callable[[], None]:
+        """Register ``handler`` for ``event_type`` (or every event).
+
+        Returns a zero-argument unsubscribe callable.
+        """
+        if not callable(handler):
+            raise TypeError("event handler must be callable")
+        if event_type is not None and not (
+            isinstance(event_type, type) and issubclass(event_type, EngineEvent)
+        ):
+            raise TypeError("event_type must be an EngineEvent subclass")
+        entry = (event_type, handler)
+        self._subscribers.append(entry)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(entry)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def unsubscribe(self, handler: Observer) -> None:
+        """Remove every subscription of ``handler`` (any event type)."""
+        self._subscribers = [e for e in self._subscribers if e[1] is not handler]
+
+    def emit(self, event: EngineEvent) -> None:
+        """Deliver ``event`` to every matching subscriber."""
+        for event_type, handler in list(self._subscribers):
+            if event_type is None or isinstance(event, event_type):
+                handler(event)
+
+    def __len__(self) -> int:
+        return len(self._subscribers)

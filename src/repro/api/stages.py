@@ -1,0 +1,124 @@
+"""Pluggable pipeline-stage protocols and their stock implementations.
+
+The Phoenix pipeline has three stages — **rank** (order containers by
+criticality under an operator objective), **pack** (map the activated prefix
+onto nodes) and **diff** (turn the packed target into an executable action
+list).  :class:`~repro.api.engine.PhoenixEngine` composes one implementation
+of each; anything satisfying the protocols below plugs in:
+
+* :class:`Ranker` — ``plan(state) -> ActivationPlan``.  The stock fast
+  implementation is :class:`~repro.core.planner.PhoenixPlanner`;
+  :class:`ReferencePlanner` swaps the lazy-rescore heap merge for the golden
+  seed loop retained in :mod:`repro.core.reference`.
+* :class:`Packer` — ``pack(state, plan) -> PackingResult``.  Stock:
+  :class:`~repro.core.packing.PackingHeuristic` (fast) and
+  :class:`~repro.core.reference.ReferencePackingHeuristic` (golden).
+* :class:`Differ` — ``(live, packing) -> list[Action]``.  Stock:
+  :func:`~repro.core.scheduler.diff_actions` (fast) and
+  :func:`~repro.core.reference.reference_diff` (golden).
+
+Both stage sets are byte-identical by construction (enforced by the
+golden-equivalence suite), so ``implementation="reference"`` is a drop-in
+verification mode, not a different policy.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol, runtime_checkable
+
+from repro.cluster.application import Application
+from repro.cluster.state import ClusterState
+from repro.core.objectives import OperatorObjective
+from repro.core.packing import PackingHeuristic, PackingResult
+from repro.core.plan import Action, ActivationPlan
+from repro.core.planner import PhoenixPlanner
+from repro.core.reference import (
+    ReferencePackingHeuristic,
+    reference_diff,
+    reference_rank,
+)
+from repro.core.scheduler import diff_actions
+
+from repro.api.config import EngineConfig
+
+
+@runtime_checkable
+class Ranker(Protocol):
+    """Stage 1: produce the globally ordered activation plan for a state."""
+
+    def plan(self, state: ClusterState) -> ActivationPlan: ...
+
+
+@runtime_checkable
+class Packer(Protocol):
+    """Stage 2: place the activated prefix onto nodes (mutates ``state``).
+
+    ``state`` is a working copy owned by the pipeline; the live cluster is
+    never packed directly.
+    """
+
+    def pack(self, state: ClusterState, plan: ActivationPlan) -> PackingResult: ...
+
+
+class Differ(Protocol):
+    """Stage 3: actions that transform the live assignment into the packed one."""
+
+    def __call__(self, live: ClusterState, packing: PackingResult) -> list[Action]: ...
+
+
+class _ReferenceGlobalRanker:
+    """Golden drop-in for :class:`~repro.core.planner.GlobalRanker`.
+
+    Always runs the seed's O(containers × applications) rescan loop instead
+    of the lazy-rescore heap.
+    """
+
+    def __init__(self, objective: OperatorObjective) -> None:
+        self._objective = objective
+
+    @property
+    def objective(self) -> OperatorObjective:
+        return self._objective
+
+    def rank(
+        self,
+        applications: Mapping[str, Application],
+        app_rank: Mapping[str, list[str]],
+        capacity: float,
+    ) -> ActivationPlan:
+        return reference_rank(self._objective, applications, app_rank, capacity)
+
+
+class ReferencePlanner(PhoenixPlanner):
+    """Phoenix planner whose global merge is the golden reference loop.
+
+    Priority estimation and stateful pinning are shared with the fast
+    planner (they were never part of the hot-path rewrite); only the global
+    merge differs, which is exactly what the equivalence suite exercises.
+    """
+
+    def __init__(self, objective: OperatorObjective) -> None:
+        super().__init__(objective)
+        self._ranker = _ReferenceGlobalRanker(objective)
+
+
+def build_stages(config: EngineConfig) -> tuple[Ranker, Packer, Differ]:
+    """Construct the (ranker, packer, differ) triple a config describes."""
+    objective = config.resolved_objective()
+    if config.implementation == "reference":
+        return (
+            ReferencePlanner(objective),
+            ReferencePackingHeuristic(
+                allow_migration=config.allow_migration,
+                allow_deletion=config.allow_deletion,
+            ),
+            reference_diff,
+        )
+    return (
+        PhoenixPlanner(objective),
+        PackingHeuristic(
+            allow_migration=config.allow_migration,
+            allow_deletion=config.allow_deletion,
+        ),
+        diff_actions,
+    )

@@ -1,11 +1,19 @@
 """Chaos-testing service for validating criticality tags."""
 
+from repro.chaos.cluster_check import (
+    ClusterChaosReport,
+    ClusterScenarioResult,
+    verify_tagging_on_cluster,
+)
 from repro.chaos.injector import ChaosInjector, DegradationScenario
 from repro.chaos.report import ChaosReport, ScenarioResult
 from repro.chaos.suite import ChaosTestingService, normalized_utility, verify_tagging
 from repro.chaos.validation import AnomalyKind, TagAnomaly, ValidationReport, validate_tags
 
 __all__ = [
+    "ClusterChaosReport",
+    "ClusterScenarioResult",
+    "verify_tagging_on_cluster",
     "ChaosInjector",
     "DegradationScenario",
     "ChaosReport",

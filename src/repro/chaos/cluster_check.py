@@ -1,0 +1,165 @@
+"""Engine-driven chaos testing: degrade a real cluster, not just a template.
+
+The template-level chaos suite (:mod:`repro.chaos.suite`) turns microservices
+off *by decree* and replays load.  This module closes the loop through the
+actual Phoenix pipeline: deploy the template on a simulated cluster, fail
+nodes, let a :class:`~repro.api.engine.PhoenixEngine` reconcile, and verify
+that the microservices backing the critical request survive whenever their
+demand still fits the surviving capacity.
+
+A tagging that passes the template suite but fails here is mis-tagged in a
+way only the planner can see — e.g. a critical-path microservice tagged so
+low that Phoenix legitimately turns it off under pressure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import repro.api as api
+from repro.apps.base import AppTemplate
+from repro.cluster.resources import Resources
+from repro.cluster.state import build_uniform_cluster
+
+#: Fractions of the cluster to fail, by default.
+DEFAULT_FAILURE_FRACTIONS: tuple[float, ...] = (0.25, 0.5, 0.75)
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterScenarioResult:
+    """Outcome of one failure level driven through the engine."""
+
+    failure_fraction: float
+    failed_nodes: tuple[str, ...]
+    surviving_cpu: float
+    critical_demand_cpu: float
+    #: Whether the critical set must fit: demand (cpu *and* memory) within
+    #: the surviving capacity scaled by the packing-slack factor.  Near-100%
+    #: bin-packing utilization legitimately fails on fragmentation, so only
+    #: clear violations are counted.
+    critical_fits: bool
+    #: Critical microservices actually active after reconciliation.
+    critical_active: tuple[str, ...]
+    #: Critical microservices missing after reconciliation.
+    critical_missing: tuple[str, ...]
+
+    @property
+    def passed(self) -> bool:
+        """Pass iff the critical set survived — or provably could not fit."""
+        return not self.critical_missing or not self.critical_fits
+
+
+@dataclass
+class ClusterChaosReport:
+    """All failure levels for one template."""
+
+    app: str
+    critical_microservices: tuple[str, ...]
+    results: list[ClusterScenarioResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    @property
+    def failures(self) -> list[ClusterScenarioResult]:
+        return [r for r in self.results if not r.passed]
+
+    def to_text(self) -> str:
+        lines = [
+            f"Engine-driven chaos for {self.app}: "
+            f"{'OK' if self.passed else 'FAILURES'} "
+            f"(critical set: {', '.join(self.critical_microservices)})"
+        ]
+        for r in self.results:
+            verdict = "ok  " if r.passed else "FAIL"
+            detail = (
+                f"critical set not guaranteed to pack ({r.critical_demand_cpu:.0f} cpu "
+                f"demand vs {r.surviving_cpu:.0f} cpu survived, pre-slack)"
+                if not r.critical_fits
+                else f"missing: {', '.join(r.critical_missing) or '-'}"
+            )
+            lines.append(
+                f"  [{verdict}] fail {r.failure_fraction:.0%} of nodes "
+                f"({len(r.failed_nodes)} nodes) — {detail}"
+            )
+        return "\n".join(lines)
+
+
+def verify_tagging_on_cluster(
+    template: AppTemplate,
+    node_count: int = 8,
+    failure_fractions: tuple[float, ...] = DEFAULT_FAILURE_FRACTIONS,
+    objective: str = "revenue",
+    headroom: float = 1.25,
+    packing_slack: float = 0.9,
+) -> ClusterChaosReport:
+    """Chaos-test a template's tags through the full Phoenix pipeline.
+
+    For each failure fraction, a fresh uniform cluster sized to hold the
+    template (total capacity = ``headroom`` × demand) is deployed through
+    ``repro.api.engine(...)``, the first ``fraction`` of nodes are failed,
+    the engine reconciles, and the critical request's microservices are
+    checked against the surviving activation.  A scenario only *requires*
+    the critical set to survive when its demand fits within
+    ``packing_slack`` × the surviving capacity on both resources — beyond
+    that, bin-packing fragmentation makes "unplaced" an honest outcome
+    rather than a tagging error.
+    """
+    if node_count < 2:
+        raise ValueError("node_count must be at least 2")
+    if not 1.0 <= headroom:
+        raise ValueError("headroom must be >= 1")
+    if not 0.0 < packing_slack <= 1.0:
+        raise ValueError("packing_slack must be in (0, 1]")
+    app = template.application
+    critical = tuple(sorted(template.critical_request().microservices))
+    demand = app.total_demand()
+    # Uniform nodes big enough that the whole app fits with headroom, and no
+    # single microservice replica exceeds one node.
+    per_replica_cpu = max(ms.resources.cpu for ms in app)
+    per_replica_mem = max(ms.resources.memory for ms in app)
+    node_cpu = max(demand.cpu * headroom / node_count, per_replica_cpu * headroom)
+    node_mem = max(demand.memory * headroom / node_count, per_replica_mem * headroom, 1.0)
+    critical_demand_cpu = sum(
+        app.get(name).total_resources.cpu for name in critical if name in app
+    )
+    critical_demand_mem = sum(
+        app.get(name).total_resources.memory for name in critical if name in app
+    )
+
+    report = ClusterChaosReport(app=app.name, critical_microservices=critical)
+    for fraction in failure_fractions:
+        if not 0.0 <= fraction < 1.0:
+            raise ValueError("failure fractions must be within [0, 1)")
+        state = build_uniform_cluster(
+            node_count, Resources(cpu=node_cpu, memory=node_mem), applications=[app]
+        )
+        eng = api.engine(objective)
+        eng.reconcile(state, force=True)  # steady-state placement
+
+        failed = tuple(f"node-{i}" for i in range(math.floor(fraction * node_count)))
+        if failed:
+            state.fail_nodes(list(failed))
+        eng.reconcile(state)  # failure detected -> degrade
+
+        active = state.active_microservices().get(app.name, set())
+        missing = tuple(name for name in critical if name not in active)
+        surviving = state.total_capacity()
+        fits = (
+            critical_demand_cpu <= surviving.cpu * packing_slack + 1e-9
+            and critical_demand_mem <= surviving.memory * packing_slack + 1e-9
+        )
+        report.results.append(
+            ClusterScenarioResult(
+                failure_fraction=fraction,
+                failed_nodes=failed,
+                surviving_cpu=surviving.cpu,
+                critical_demand_cpu=critical_demand_cpu,
+                critical_fits=fits,
+                critical_active=tuple(name for name in critical if name in active),
+                critical_missing=missing,
+            )
+        )
+    return report

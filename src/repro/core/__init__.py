@@ -35,7 +35,7 @@ from repro.core.plan import (
     SchedulePlan,
 )
 from repro.core.planner import GlobalRanker, PhoenixPlanner, PriorityEstimator
-from repro.core.scheduler import PhoenixScheduler, apply_schedule
+from repro.core.scheduler import PhoenixScheduler, apply_actions, apply_schedule, diff_actions
 
 __all__ = [
     "ClusterBackend",
@@ -75,5 +75,7 @@ __all__ = [
     "PhoenixPlanner",
     "PriorityEstimator",
     "PhoenixScheduler",
+    "apply_actions",
     "apply_schedule",
+    "diff_actions",
 ]

@@ -1,24 +1,32 @@
 """Phoenix controller: monitor the cluster, plan, schedule and execute.
 
-The controller ties the planner and scheduler to an underlying cluster
-through a small :class:`ClusterBackend` protocol, so the same controller
-drives both the Kubernetes-like simulator (:mod:`repro.kubesim`) and the
-pure-state AdaptLab environments.  It mirrors the Phoenix agent described in
-§4.2/§5: the agent polls the cluster state on a fixed interval, detects node
-failures or recoveries, and pushes a new target state when anything changed.
+Since the engine redesign the controller is a *thin loop* over
+:meth:`repro.api.engine.PhoenixEngine.reconcile`: it keeps the per-round
+history and the run loop, while observation, failure detection, planning and
+execution live in the engine — the same code path AdaptLab schemes and the
+kubesim/chaos glue use.  It mirrors the Phoenix agent described in §4.2/§5:
+the agent polls the cluster state on a fixed interval, detects node failures
+or recoveries, and pushes a new target state when anything changed.
+
+The pre-engine constructor (``PhoenixController(backend, objective, ...)``)
+keeps working as a deprecation shim; new code should build a
+:class:`~repro.api.engine.PhoenixEngine` and either call ``reconcile``
+directly or pass it via ``PhoenixController(backend, engine=engine)``.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
 from repro.cluster.state import ClusterState
 from repro.core.objectives import OperatorObjective
 from repro.core.plan import Action, ActivationPlan, SchedulePlan
-from repro.core.planner import PhoenixPlanner
-from repro.core.scheduler import PhoenixScheduler
+from repro.core.scheduler import apply_actions
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api imports core)
+    from repro.api.engine import PhoenixEngine
 
 
 class ClusterBackend(Protocol):
@@ -47,75 +55,86 @@ class ReconcileReport:
 
 
 class PhoenixController:
-    """Automated resilience management loop.
+    """Automated resilience management loop over a :class:`PhoenixEngine`.
 
     Parameters
     ----------
     backend:
-        The cluster integration to observe and act on.
+        The cluster integration to observe and act on (anything
+        :func:`repro.api.engine.backend_for` accepts).
     objective:
-        Operator objective used for global ranking.
+        Operator objective used for global ranking.  **Deprecated**: build a
+        :class:`~repro.api.engine.PhoenixEngine` and pass ``engine=``
+        instead; the objective form keeps working as a shim.
     monitor_interval:
         Seconds between state observations (15 s in the paper's deployment;
         purely informational here — callers drive the loop explicitly or via
         :meth:`run` with a simulated clock).
     allow_migration / allow_deletion:
-        Passed through to the packing heuristic.
+        Passed through to the packing heuristic (legacy form only).
+    engine:
+        A fully configured engine; mutually exclusive with ``objective`` and
+        the packing flags.
     """
 
     def __init__(
         self,
         backend: ClusterBackend,
-        objective: OperatorObjective,
+        objective: OperatorObjective | None = None,
         monitor_interval: float = 15.0,
         allow_migration: bool = True,
         allow_deletion: bool = True,
+        *,
+        engine: "PhoenixEngine | None" = None,
     ) -> None:
         if monitor_interval <= 0:
             raise ValueError("monitor_interval must be positive")
+        if (engine is None) == (objective is None):
+            raise TypeError("pass exactly one of `objective` (deprecated) or `engine`")
+        if engine is None:
+            warnings.warn(
+                "PhoenixController(backend, objective, ...) is deprecated; build a "
+                "repro.api.PhoenixEngine (e.g. repro.api.engine(objective)) and pass "
+                "engine=..., or call engine.reconcile(backend) directly",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            from repro.api.config import EngineConfig
+            from repro.api.engine import PhoenixEngine
+
+            engine = PhoenixEngine(
+                EngineConfig(
+                    objective=objective,
+                    allow_migration=allow_migration,
+                    allow_deletion=allow_deletion,
+                    monitor_interval=monitor_interval,
+                )
+            )
         self.backend = backend
+        self.engine = engine
         self.monitor_interval = monitor_interval
-        self.planner = PhoenixPlanner(objective)
-        self.scheduler = PhoenixScheduler(
-            allow_migration=allow_migration, allow_deletion=allow_deletion
-        )
-        self._known_failed: set[str] | None = None
         self.history: list[ReconcileReport] = []
 
-    # -- failure detection -----------------------------------------------------
-    def _detect_changes(self, state: ClusterState) -> tuple[list[str], list[str]]:
-        current_failed = {n.name for n in state.failed_nodes()}
-        if self._known_failed is None:
-            self._known_failed = current_failed
-            return sorted(current_failed), []
-        newly_failed = sorted(current_failed - self._known_failed)
-        recovered = sorted(self._known_failed - current_failed)
-        self._known_failed = current_failed
-        return newly_failed, recovered
+    # -- legacy component views --------------------------------------------------------
+    @property
+    def planner(self):
+        """The engine's ranking stage (a ``PhoenixPlanner`` by default)."""
+        return self.engine.ranker
+
+    @property
+    def scheduler(self):
+        """Legacy view: a ``PhoenixScheduler``-shaped facade over the engine.
+
+        The engine's pipeline owns the actual packer/differ; this view exists
+        so pre-engine code poking ``controller.scheduler.packer`` keeps
+        working.
+        """
+        return _SchedulerView(self.engine)
 
     # -- single round ------------------------------------------------------------
     def reconcile(self, force: bool = False) -> ReconcileReport:
         """Observe, detect changes, and (if anything changed) plan + execute."""
-        state = self.backend.observe()
-        failed, recovered = self._detect_changes(state)
-        triggered = force or bool(failed) or bool(recovered)
-        report = ReconcileReport(
-            triggered=triggered, failed_nodes=failed, recovered_nodes=recovered
-        )
-        if not triggered:
-            self.history.append(report)
-            return report
-
-        started = time.perf_counter()
-        plan = self.planner.plan(state)
-        schedule = self.scheduler.schedule(state, plan)
-        report.planning_seconds = time.perf_counter() - started
-        report.plan = plan
-        report.schedule = schedule
-
-        actions = schedule.ordered_actions()
-        self.backend.execute(actions)
-        report.actions_executed = len(actions)
+        report = self.engine.reconcile(self.backend, force=force)
         self.history.append(report)
         return report
 
@@ -132,15 +151,31 @@ class PhoenixController:
 
     def reset(self) -> None:
         """Forget detection state and history (used when re-running scenarios)."""
-        self._known_failed = None
+        self.engine.reset()
         self.history.clear()
+
+
+class _SchedulerView:
+    """``PhoenixScheduler``-compatible facade over an engine's pipeline."""
+
+    def __init__(self, engine: "PhoenixEngine") -> None:
+        self._engine = engine
+
+    @property
+    def packer(self):
+        return self._engine.packer
+
+    def schedule(self, state: ClusterState, plan: ActivationPlan) -> SchedulePlan:
+        return self._engine.schedule(state, plan)
 
 
 class StateBackend:
     """A trivial backend over a bare :class:`ClusterState`.
 
     AdaptLab uses this when action latencies do not matter: actions are
-    applied to the state instantaneously.
+    applied to the state instantaneously through
+    :func:`repro.core.scheduler.apply_actions` — the same code path the
+    engine's default executor uses.
     """
 
     def __init__(self, state: ClusterState) -> None:
@@ -150,19 +185,4 @@ class StateBackend:
         return self.state
 
     def execute(self, actions: list[Action]) -> None:
-        from repro.core.plan import ActionKind
-
-        for action in actions:
-            if action.kind is ActionKind.DELETE:
-                if self.state.node_of(action.replica) is not None:
-                    self.state.unassign(action.replica)
-            elif action.kind is ActionKind.MIGRATE:
-                if self.state.node_of(action.replica) is not None:
-                    self.state.unassign(action.replica)
-                self.state.assign(action.replica, action.target_node)
-            elif action.kind is ActionKind.START:
-                current = self.state.node_of(action.replica)
-                if current is not None:
-                    # Stale placement on a failed node: drop it first.
-                    self.state.unassign(action.replica)
-                self.state.assign(action.replica, action.target_node)
+        apply_actions(self.state, actions)

@@ -38,7 +38,7 @@ class PhoenixScheduler:
         """
         working = state.copy(share_nodes=True)
         packing = self._packer.pack(working, plan)
-        actions = self._diff(state, packing)
+        actions = diff_actions(state, packing)
         # ``packing`` is local to this call, so the SchedulePlan can take
         # ownership of its assignment/unplaced containers without copying.
         return SchedulePlan(
@@ -47,72 +47,79 @@ class PhoenixScheduler:
             unplaced=packing.unplaced,
         )
 
-    @staticmethod
-    def _diff(live: ClusterState, packing: PackingResult) -> list[Action]:
-        """Compute actions that transform the live assignment into the target.
 
-        The per-node failed flag is looked up once per node (not once per
-        replica), and each action list is sorted by a key tuple precomputed
-        at append time instead of per-comparison attribute access.
-        """
-        live_assignment = live.assignments
-        target = packing.assignment
-        failed = {name for name, node in live.nodes.items() if node.failed}
+def diff_actions(live: ClusterState, packing: PackingResult) -> list[Action]:
+    """Compute actions that transform the live assignment into the target.
 
-        # ReplicaId is a named tuple whose field order is exactly the action
-        # sort key (app, microservice, replica), so the replica itself is the
-        # precomputed key — no per-comparison attribute tuples.
-        deletions: list[tuple[ReplicaId, Action]] = []
-        migrations: list[tuple[ReplicaId, Action]] = []
-        starts: list[tuple[ReplicaId, Action]] = []
-        target_get = target.get
-        DELETE = ActionKind.DELETE
-        MIGRATE = ActionKind.MIGRATE
-        START = ActionKind.START
+    The stock fast :class:`~repro.api.stages.Differ` stage (golden
+    counterpart: :func:`repro.core.reference.reference_diff`).  The per-node
+    failed flag is looked up once per node (not once per replica), and each
+    action list is sorted by a key tuple precomputed at append time instead
+    of per-comparison attribute access.
+    """
+    live_assignment = live.assignments
+    target = packing.assignment
+    failed = {name for name, node in live.nodes.items() if node.failed}
 
-        for replica, live_node in live_assignment.items():
-            target_node = target_get(replica)
-            if target_node is None:
-                # Replica should not run any more.  If its node failed there
-                # is nothing to delete (Kubernetes garbage-collects it when
-                # the node returns); otherwise issue an explicit deletion.
-                if live_node not in failed:
-                    deletions.append(
-                        (replica, make_action(DELETE, replica, source_node=live_node))
-                    )
-            elif target_node != live_node:
-                if live_node in failed:
-                    # The old copy is gone with its node: a plain restart.
-                    starts.append(
-                        (replica, make_action(START, replica, target_node=target_node))
-                    )
-                else:
-                    migrations.append(
-                        (
-                            replica,
-                            make_action(
-                                MIGRATE,
-                                replica,
-                                target_node=target_node,
-                                source_node=live_node,
-                            ),
-                        )
-                    )
+    # ReplicaId is a named tuple whose field order is exactly the action
+    # sort key (app, microservice, replica), so the replica itself is the
+    # precomputed key — no per-comparison attribute tuples.
+    deletions: list[tuple[ReplicaId, Action]] = []
+    migrations: list[tuple[ReplicaId, Action]] = []
+    starts: list[tuple[ReplicaId, Action]] = []
+    target_get = target.get
+    DELETE = ActionKind.DELETE
+    MIGRATE = ActionKind.MIGRATE
+    START = ActionKind.START
 
-        for replica, target_node in target.items():
-            if replica not in live_assignment:
+    for replica, live_node in live_assignment.items():
+        target_node = target_get(replica)
+        if target_node is None:
+            # Replica should not run any more.  If its node failed there
+            # is nothing to delete (Kubernetes garbage-collects it when
+            # the node returns); otherwise issue an explicit deletion.
+            if live_node not in failed:
+                deletions.append(
+                    (replica, make_action(DELETE, replica, source_node=live_node))
+                )
+        elif target_node != live_node:
+            if live_node in failed:
+                # The old copy is gone with its node: a plain restart.
                 starts.append(
                     (replica, make_action(START, replica, target_node=target_node))
                 )
+            else:
+                migrations.append(
+                    (
+                        replica,
+                        make_action(
+                            MIGRATE,
+                            replica,
+                            target_node=target_node,
+                            source_node=live_node,
+                        ),
+                    )
+                )
 
-        first = itemgetter(0)
-        deletions.sort(key=first)
-        migrations.sort(key=first)
-        starts.sort(key=first)
-        actions = [action for _, action in deletions]
-        actions.extend(action for _, action in migrations)
-        actions.extend(action for _, action in starts)
-        return actions
+    for replica, target_node in target.items():
+        if replica not in live_assignment:
+            starts.append(
+                (replica, make_action(START, replica, target_node=target_node))
+            )
+
+    first = itemgetter(0)
+    deletions.sort(key=first)
+    migrations.sort(key=first)
+    starts.sort(key=first)
+    actions = [action for _, action in deletions]
+    actions.extend(action for _, action in migrations)
+    actions.extend(action for _, action in starts)
+    return actions
+
+
+#: Backwards-compatible alias: pre-engine code (and the equivalence suite)
+#: reaches the differ as ``PhoenixScheduler._diff``.
+PhoenixScheduler._diff = staticmethod(diff_actions)
 
 
 def apply_schedule(state: ClusterState, schedule: SchedulePlan) -> None:
@@ -121,8 +128,43 @@ def apply_schedule(state: ClusterState, schedule: SchedulePlan) -> None:
     This is the "instantaneous" execution path used by AdaptLab simulations
     (where action latencies are not modelled); the Kubernetes-backed agent in
     :mod:`repro.core.controller` executes actions one by one instead.
+
+    ``apply_schedule`` enacts the *target assignment* wholesale — replicas
+    absent from the target (e.g. stranded on failed nodes, where the differ
+    deliberately emits no DELETE) end up unassigned.  :func:`apply_actions`
+    is the incremental counterpart that replays an action list.
     """
     for replica in list(state.assignments):
         state.unassign(replica)
     for replica, node_name in schedule.target_assignment.items():
         state.assign(replica, node_name)
+
+
+def apply_actions(state: ClusterState, actions: list[Action]) -> None:
+    """Replay an action list against a bare cluster state, instantaneously.
+
+    The one shared code path for incremental action application: the
+    engine's default executor reaches it through
+    :class:`repro.core.controller.StateBackend`, which used to carry its own
+    copy of this logic.  Semantics mirror a real agent executing against a
+    cluster scheduler:
+
+    * DELETE of an already-gone replica is a no-op (the node failed and the
+      cluster garbage-collected the pod);
+    * MIGRATE/START of a replica with a stale placement drops the old
+      placement first.
+    """
+    for action in actions:
+        kind = action.kind
+        if kind is ActionKind.DELETE:
+            if state.node_of(action.replica) is not None:
+                state.unassign(action.replica)
+        elif kind is ActionKind.MIGRATE:
+            if state.node_of(action.replica) is not None:
+                state.unassign(action.replica)
+            state.assign(action.replica, action.target_node)
+        elif kind is ActionKind.START:
+            if state.node_of(action.replica) is not None:
+                # Stale placement on a failed node: drop it first.
+                state.unassign(action.replica)
+            state.assign(action.replica, action.target_node)

@@ -191,6 +191,15 @@ class KubeCluster:
                     state.assign(replica, pod.node_name, enforce_capacity=False)
         return state
 
+    def phoenix_backend(self) -> "PhoenixKubeBackend":
+        """The Phoenix-facing backend for this cluster.
+
+        ``repro.api.backend_for`` (and therefore ``engine.reconcile``) calls
+        this, so a ``KubeCluster`` can be handed to the engine directly:
+        ``repro.api.engine("revenue").reconcile(cluster)``.
+        """
+        return PhoenixKubeBackend(self)
+
     # -- pod-level helpers used by the Phoenix backend -----------------------------------
     def pods_of(self, namespace: str, microservice: str, active_only: bool = True) -> list[Pod]:
         pods = self.api.list_pods(namespace=namespace, selector={MICROSERVICE_LABEL: microservice})

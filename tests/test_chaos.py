@@ -90,3 +90,61 @@ class TestChaosService:
         report = service.run(scenarios=[DegradationScenario(disabled=("chat",), description="only chat")])
         assert len(report.results) == 1
         assert report.results[0].description == "only chat"
+
+
+class TestEngineDrivenClusterCheck:
+    """The engine-backed chaos check (repro.chaos.cluster_check)."""
+
+    def test_well_tagged_templates_pass(self):
+        from repro.chaos import verify_tagging_on_cluster
+
+        for template in (build_overleaf(), build_hotel_reservation()):
+            report = verify_tagging_on_cluster(template)
+            assert report.passed, report.to_text()
+            assert report.critical_microservices
+            assert len(report.results) == 3
+
+    def test_bad_tagging_is_caught_through_the_engine(self):
+        from repro.apps.base import AppTemplate
+        from repro.chaos import verify_tagging_on_cluster
+        from repro.criticality import CriticalityTag
+
+        overleaf = build_overleaf()
+        bad_app = overleaf.application.with_tags({"real-time": CriticalityTag(9)})
+        template = AppTemplate(
+            application=bad_app, request_types=dict(overleaf.request_types)
+        )
+        report = verify_tagging_on_cluster(template)
+        assert not report.passed
+        # The engine legitimately turned off the mis-tagged critical-path
+        # service while capacity for it still existed.
+        assert any("real-time" in r.critical_missing for r in report.failures)
+
+    def test_scenarios_report_fit_information(self):
+        from repro.chaos import verify_tagging_on_cluster
+
+        report = verify_tagging_on_cluster(build_overleaf())
+        for result in report.results:
+            assert result.surviving_cpu >= 0
+            assert result.critical_demand_cpu > 0
+        # At 75% failure the critical set cannot be guaranteed to pack.
+        assert not report.results[-1].critical_fits
+
+    def test_parameter_validation(self):
+        from repro.chaos import verify_tagging_on_cluster
+
+        with pytest.raises(ValueError):
+            verify_tagging_on_cluster(build_overleaf(), node_count=1)
+        with pytest.raises(ValueError):
+            verify_tagging_on_cluster(build_overleaf(), headroom=0.5)
+        with pytest.raises(ValueError):
+            verify_tagging_on_cluster(build_overleaf(), packing_slack=0.0)
+        with pytest.raises(ValueError):
+            verify_tagging_on_cluster(build_overleaf(), failure_fractions=(1.0,))
+
+    def test_text_report_mentions_each_level(self):
+        from repro.chaos import verify_tagging_on_cluster
+
+        report = verify_tagging_on_cluster(build_overleaf())
+        text = report.to_text()
+        assert "fail 25%" in text and "fail 50%" in text and "fail 75%" in text

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster import Application, Resources
 from repro.core import PhoenixController, RevenueObjective
-from repro.kubesim import KubeCluster, KubeClusterConfig, PhoenixKubeBackend, PodPhase
+from repro.kubesim import KubeCluster, KubeClusterConfig, PhoenixKubeBackend
 from repro.kubesim.cluster import criticality_to_priority
 
 from tests.conftest import make_microservice

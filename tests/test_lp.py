@@ -2,12 +2,11 @@
 
 import pytest
 
-from repro.cluster import Application, Node, Resources
-from repro.cluster.state import ClusterState, ReplicaId
+from repro.cluster import Node, Resources
+from repro.cluster.state import ClusterState
 from repro.core.lp import LPCost, LPFair, LPSizeError
 from repro.core.scheduler import apply_schedule
 
-from tests.conftest import make_microservice
 
 
 @pytest.fixture

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cluster import Application, Resources
 from repro.core.objectives import (
     FairnessObjective,
     RevenueObjective,
@@ -12,7 +11,6 @@ from repro.core.objectives import (
     water_fill_shares,
 )
 
-from tests.conftest import make_microservice
 
 
 class TestWaterFill:

@@ -1,7 +1,5 @@
 """Tests for the packing heuristic (Algorithm 2)."""
 
-import pytest
-
 from repro.cluster import Application, Node, Resources
 from repro.cluster.state import ClusterState, ReplicaId
 from repro.core.objectives import RevenueObjective
