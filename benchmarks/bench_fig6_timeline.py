@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import pytest
 
+import repro.api as api
 from repro.apps import MultiAppLoadRecorder, cloudlab_workload
 from repro.cluster.resources import Resources
-from repro.core import PhoenixController, RevenueObjective
+from repro.core import PhoenixController
 from repro.kubesim import KubeCluster, KubeClusterConfig, PhoenixKubeBackend
 
 NODE_COUNT = 25
@@ -41,7 +42,7 @@ def run_timeline(use_phoenix: bool) -> dict[str, object]:
     recorder = MultiAppLoadRecorder(workload)
     controller = None
     if use_phoenix:
-        controller = PhoenixController(PhoenixKubeBackend(cluster), RevenueObjective())
+        controller = PhoenixController(PhoenixKubeBackend(cluster), engine=api.engine("revenue"))
         controller.reconcile()
 
     recovery_time = FAILURE_AT + RECOVERY_AFTER

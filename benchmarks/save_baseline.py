@@ -27,11 +27,16 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from bench_hotpath import DEFAULT_NODE_COUNTS, DEFAULT_REPEATS, measure_hotpath, print_rows  # noqa: E402
 
 
-def build_baseline(rows, repeats: int, note: str | None) -> dict:
+#: Stages this script measures; entries with other stages (e.g. the engine
+#: "facade" entry maintained by bench_engine.py) are carried over untouched.
+HOTPATH_STAGES = ("rank", "pack", "diff")
+
+
+def build_baseline(rows, repeats: int, note: str | None, previous: dict | None = None) -> dict:
     results = []
     node_counts = sorted({r["nodes"] for r in rows})
     for nodes in node_counts:
-        for stage in ("rank", "pack", "diff"):
+        for stage in HOTPATH_STAGES:
             before = next(
                 r["seconds"] for r in rows if r["nodes"] == nodes and r["stage"] == stage and r["impl"] == "before"
             )
@@ -47,6 +52,14 @@ def build_baseline(rows, repeats: int, note: str | None) -> dict:
                     "speedup": round(before / after, 2),
                 }
             )
+    if previous:
+        results.extend(
+            entry
+            for entry in previous.get("results", ())
+            if entry.get("stage") not in HOTPATH_STAGES
+        )
+        if note is None:
+            note = previous.get("note")
     return {
         "schema": 1,
         "generated": datetime.date.today().isoformat(),
@@ -70,10 +83,14 @@ def main(argv=None) -> None:
     parser.add_argument("--note", default=None)
     args = parser.parse_args(argv)
 
+    # Read the previous baseline before the (slow) measurement so a corrupt
+    # file fails fast instead of discarding minutes of benchmarking.
+    output = Path(args.output)
+    previous = json.loads(output.read_text()) if output.exists() else None
+
     rows = measure_hotpath(node_counts=args.nodes, repeats=args.repeats)
     print_rows(rows)
-    baseline = build_baseline(rows, args.repeats, args.note)
-    output = Path(args.output)
+    baseline = build_baseline(rows, args.repeats, args.note, previous=previous)
     output.write_text(json.dumps(baseline, indent=2) + "\n")
     print(f"\nwrote {output}")
 

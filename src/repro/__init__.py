@@ -16,6 +16,10 @@ Public API highlights
   with load generators and utility accounting.
 * :mod:`repro.adaptlab` — the AdaptLab resilience benchmarking platform.
 * :mod:`repro.chaos` — the chaos-testing service for criticality tags.
+* :mod:`repro.traces` — the scenario subsystem: versioned JSONL traces,
+  seeded generators and the :class:`TraceReplayer`.
+* :mod:`repro.cli` — the ``python -m repro`` command line (sweeps, trace
+  replay, chaos checks, figure benchmarks).
 """
 
 from repro.adaptlab import default_scheme_suite, run_failure_sweep, summarize
@@ -37,8 +41,9 @@ from repro.core import (
     PhoenixScheduler,
     RevenueObjective,
 )
+from repro.traces import Trace, TraceReplayer
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "default_scheme_suite",
@@ -62,5 +67,7 @@ __all__ = [
     "PhoenixPlanner",
     "PhoenixScheduler",
     "RevenueObjective",
+    "Trace",
+    "TraceReplayer",
     "__version__",
 ]

@@ -4,6 +4,14 @@ Failures are expressed as a target fraction of *capacity* lost (the x-axis
 of Figures 7 and 10-16).  Nodes are failed uniformly at random until the
 failed capacity reaches the target, which models sub-data-center failures
 such as losing racks/rows to a power or cooling event.
+
+Since the trace subsystem landed this module is also a *trace producer*:
+:func:`select_capacity_failure` is the pure (non-mutating) selection shared
+by the in-place injector and :func:`capacity_failure_trace`, which expresses
+the same failure as a replayable :class:`repro.traces.schema.Trace`.  The
+consumer side — applying ``capacity`` events during replay — lives in
+:class:`repro.traces.replayer.TraceReplayer`, which calls
+:func:`set_capacity_fraction` here.
 """
 
 from __future__ import annotations
@@ -13,16 +21,19 @@ import numpy as np
 from repro.cluster.state import ClusterState
 
 
-def inject_capacity_failure(
+def select_capacity_failure(
     state: ClusterState,
     capacity_fraction: float,
     seed: int = 0,
 ) -> list[str]:
-    """Fail random nodes until ``capacity_fraction`` of capacity is lost.
+    """Choose the nodes whose failure loses ``capacity_fraction`` of capacity.
 
-    Returns the names of the failed nodes.  The state is mutated in place
-    (nodes marked failed; replicas on them remain assigned, as in Kubernetes
-    before eviction — schemes decide how to handle them).
+    Pure selection (the state is not touched): healthy nodes are shuffled
+    with ``seed`` and taken until the failed capacity — counting nodes that
+    are already down — reaches the target.  Both
+    :func:`inject_capacity_failure` and :func:`capacity_failure_trace` build
+    on this, so injecting in place and replaying the produced trace fail the
+    exact same nodes.
     """
     if not 0.0 <= capacity_fraction <= 1.0:
         raise ValueError("capacity_fraction must be within [0, 1]")
@@ -40,8 +51,51 @@ def inject_capacity_failure(
             break
         lost += state.node(name).capacity.cpu
         failed.append(name)
+    return failed
+
+
+def inject_capacity_failure(
+    state: ClusterState,
+    capacity_fraction: float,
+    seed: int = 0,
+) -> list[str]:
+    """Fail random nodes until ``capacity_fraction`` of capacity is lost.
+
+    Returns the names of the failed nodes.  The state is mutated in place
+    (nodes marked failed; replicas on them remain assigned, as in Kubernetes
+    before eviction — schemes decide how to handle them).
+    """
+    failed = select_capacity_failure(state, capacity_fraction, seed=seed)
     state.fail_nodes(failed)
     return failed
+
+
+def capacity_failure_trace(
+    state: ClusterState,
+    capacity_fraction: float,
+    seed: int = 0,
+    at: float = 0.0,
+):
+    """The same capacity failure as a replayable trace (producer form).
+
+    Returns a :class:`repro.traces.schema.Trace` with one ``node_failure``
+    event at ``at`` naming exactly the nodes
+    :func:`inject_capacity_failure` would fail on this state with this
+    seed.  An empty selection produces an empty (but valid) trace.
+    """
+    from repro.traces.schema import NodeFailure, Trace
+
+    failed = select_capacity_failure(state, capacity_fraction, seed=seed)
+    events = [NodeFailure(time=float(at), nodes=tuple(failed))] if failed else []
+    return Trace(
+        events=events,
+        metadata={
+            "generator": "adaptlab.capacity_failure_trace",
+            "capacity_fraction": capacity_fraction,
+            "seed": seed,
+            "at": at,
+        },
+    ).validate()
 
 
 def restore_capacity(state: ClusterState, node_names: list[str]) -> None:
@@ -57,7 +111,9 @@ def set_capacity_fraction(
     """Fail or recover nodes so that ``available_fraction`` of capacity is healthy.
 
     Used by the trace-replay experiment (Figure 8a) where available capacity
-    varies over time.  Returns the currently failed node names.
+    varies over time — this is also how
+    :class:`repro.traces.replayer.TraceReplayer` applies ``capacity``
+    events.  Returns the currently failed node names.
     """
     if not 0.0 <= available_fraction <= 1.0:
         raise ValueError("available_fraction must be within [0, 1]")

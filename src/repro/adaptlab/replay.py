@@ -3,9 +3,16 @@
 The paper replays Alibaba traces on a 10,000-node cluster while the
 available capacity varies over a ten-minute window, and shows Phoenix
 serving roughly 2× the requests of the non-cooperative baselines.  This
-module reproduces that experiment: a capacity trace (fraction of the cluster
-available at each timestep) is applied to the environment, each scheme
-responds at every step, and the requests-served fraction is recorded.
+module reproduces that experiment as a thin *consumer* of the trace
+subsystem: the capacity profile is a :class:`repro.traces.schema.Trace` of
+``capacity`` events and each scheme is driven through
+:class:`repro.traces.replayer.TraceReplayer`.
+
+:class:`CapacityTrace` is the legacy in-memory form of a capacity profile;
+it round-trips to the schema via :meth:`CapacityTrace.to_trace` /
+:meth:`CapacityTrace.from_trace`, and its :meth:`paper_profile` shares its
+math with :func:`repro.traces.alibaba.paper_capacity_trace` so the two
+representations can never drift.
 """
 
 from __future__ import annotations
@@ -13,12 +20,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-import numpy as np
-
 from repro.adaptlab.baselines import ResilienceScheme
 from repro.adaptlab.cluster_env import AdaptLabEnvironment
-from repro.adaptlab.failures import set_capacity_fraction
-from repro.adaptlab.metrics import requests_served_fraction
+from repro.traces.alibaba import (
+    from_capacity_points,
+    paper_profile_fractions,
+    to_capacity_points,
+)
+from repro.traces.replayer import TraceReplayer
+from repro.traces.schema import Trace
 
 
 @dataclass(frozen=True, slots=True)
@@ -31,7 +41,13 @@ class CapacityTracePoint:
 
 @dataclass
 class CapacityTrace:
-    """A time series of available capacity fractions."""
+    """A time series of available capacity fractions.
+
+    The legacy, capacity-only trace form.  New code should prefer the
+    versioned schema (:class:`repro.traces.schema.Trace`, which also
+    carries node-level and load events); this class remains the convenient
+    in-memory view and converts losslessly in both directions.
+    """
 
     points: list[CapacityTracePoint] = field(default_factory=list)
 
@@ -54,18 +70,25 @@ class CapacityTrace:
     def paper_profile(cls, steps: int = 20, seed: int = 3, step_seconds: float = 30.0) -> "CapacityTrace":
         """A ten-minute profile shaped like Figure 8a: a deep failure trough
         followed by staged recovery, with small jitter."""
-        rng = np.random.default_rng(seed)
-        base = np.concatenate(
-            [
-                np.full(steps // 4, 1.0),
-                np.linspace(1.0, 0.35, steps // 4),
-                np.full(steps // 4, 0.35),
-                np.linspace(0.35, 1.0, steps - 3 * (steps // 4)),
+        return cls.from_fractions(
+            paper_profile_fractions(steps=steps, seed=seed), step_seconds=step_seconds
+        )
+
+    def to_trace(self) -> Trace:
+        """This profile as a schema trace of ``capacity`` events (lossless)."""
+        return from_capacity_points(
+            self.points, metadata={"generator": "adaptlab.CapacityTrace"}
+        )
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "CapacityTrace":
+        """The ``capacity`` events of a schema trace as a legacy profile."""
+        return cls(
+            points=[
+                CapacityTracePoint(time=t, available_fraction=f)
+                for t, f in to_capacity_points(trace)
             ]
         )
-        jitter = rng.uniform(-0.03, 0.03, size=base.shape)
-        fractions = np.clip(base + jitter, 0.2, 1.0)
-        return cls.from_fractions(list(map(float, fractions)), step_seconds=step_seconds)
 
 
 @dataclass
@@ -100,29 +123,34 @@ class ReplayResult:
 def replay_capacity_trace(
     env: AdaptLabEnvironment,
     schemes: Iterable[ResilienceScheme],
-    trace: CapacityTrace | None = None,
+    trace: CapacityTrace | Trace | None = None,
     seed: int = 0,
 ) -> ReplayResult:
     """Replay a capacity trace against each scheme independently.
 
     Every scheme starts from the same pre-failure state and reacts to the
     same capacity trace; at each step the requests-served fraction is
-    recorded (Figure 8a's y-axis).
+    recorded (Figure 8a's y-axis).  ``trace`` may be the legacy
+    :class:`CapacityTrace` or any schema :class:`~repro.traces.schema.Trace`
+    (its ``capacity`` events are replayed); each scheme runs through a
+    :class:`~repro.traces.replayer.TraceReplayer` in AdaptLab (``respond``)
+    mode.
     """
-    trace = trace or CapacityTrace.paper_profile()
+    if trace is None:
+        trace = CapacityTrace.paper_profile()
+    schema_trace = trace if isinstance(trace, Trace) else trace.to_trace()
+    requested = dict(to_capacity_points(schema_trace))
     result = ReplayResult()
     for scheme in schemes:
-        state = env.fresh_state()
-        for point in trace:
-            set_capacity_fraction(state, point.available_fraction, seed=seed)
-            state, _ = scheme.respond(state)
-            served = requests_served_fraction(state, env.traced)
+        replayer = TraceReplayer(scheme, traced=env.traced, seed=seed)
+        metrics = replayer.run(env.fresh_state(), schema_trace)
+        for step in metrics:
             result.points.append(
                 ReplayPoint(
                     scheme=scheme.name,
-                    time=point.time,
-                    available_fraction=point.available_fraction,
-                    requests_served=served,
+                    time=step.time,
+                    available_fraction=requested.get(step.time, step.available_fraction),
+                    requests_served=step.requests_served,
                 )
             )
     return result

@@ -16,7 +16,10 @@ Building blocks:
   stage protocols; stock fast and golden-reference implementations ship.
 * :class:`StagePipeline` / :class:`LPPipeline` — pipeline composition.
 * Events — :class:`FailureDetected`, :class:`RecoveryDetected`,
-  :class:`PlanComputed`, :class:`ActionsExecuted` via ``engine.events``.
+  :class:`PlanComputed`, :class:`ActionsExecuted` via ``engine.events``,
+  plus the replay hooks :class:`TraceEventApplied` /
+  :class:`ReplayStepCompleted` emitted when :mod:`repro.traces` drives the
+  engine through a scenario.
 * :class:`SchemeAdapter` — present an engine as an AdaptLab resilience
   scheme.
 * :func:`backend_for` — auto-wrap cluster states / kubesim clusters into
@@ -40,6 +43,8 @@ from repro.api.events import (
     FailureDetected,
     PlanComputed,
     RecoveryDetected,
+    ReplayStepCompleted,
+    TraceEventApplied,
 )
 from repro.api.stages import (
     Differ,
@@ -65,6 +70,8 @@ __all__ = [
     "FailureDetected",
     "PlanComputed",
     "RecoveryDetected",
+    "ReplayStepCompleted",
+    "TraceEventApplied",
     "Differ",
     "Packer",
     "Ranker",

@@ -9,6 +9,14 @@ event objects as the engine moves through its monitor → plan → execute loop:
   activation plan, the schedule and the wall-clock planning time).
 * :class:`ActionsExecuted` — the engine pushed an action list to a backend.
 
+Replay hooks (emitted by :class:`repro.traces.replayer.TraceReplayer` when
+it drives an engine through a scenario):
+
+* :class:`TraceEventApplied` — one scenario event (node failure/recovery,
+  capacity target, load change) was applied to the cluster state.
+* :class:`ReplayStepCompleted` — a full trace step (events + reconcile +
+  metric evaluation) finished; carries the step's metric record.
+
 Events are plain frozen dataclasses so observers can pattern-match on type,
 log them, or forward them to external systems without touching engine
 internals.  Subscribing is cheap; an engine with no observers pays one empty
@@ -17,8 +25,8 @@ list iteration per event.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
 
 from repro.core.plan import Action, ActivationPlan, SchedulePlan
 
@@ -70,6 +78,32 @@ class ActionsExecuted(EngineEvent):
     @property
     def count(self) -> int:
         return len(self.actions)
+
+
+@dataclass(frozen=True)
+class TraceEventApplied(EngineEvent):
+    """A trace replayer applied one scenario event to the cluster state.
+
+    ``payload`` is the event's JSONL record (kind-specific fields included),
+    so observers can log or forward scenario context without importing the
+    trace schema.
+    """
+
+    time: float
+    kind: str
+    payload: Mapping[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ReplayStepCompleted(EngineEvent):
+    """A trace replayer finished one step: events applied, engine reacted.
+
+    ``payload`` is the step's metric record (availability, revenue,
+    utilization, …) as emitted into the replay-metrics JSONL.
+    """
+
+    time: float
+    payload: Mapping[str, object] = field(default_factory=dict)
 
 
 #: An observer is any callable taking one event.

@@ -7,6 +7,7 @@ from repro.chaos.cluster_check import (
 )
 from repro.chaos.injector import ChaosInjector, DegradationScenario
 from repro.chaos.report import ChaosReport, ScenarioResult
+from repro.chaos.storm import StormReport, run_storm_check
 from repro.chaos.suite import ChaosTestingService, normalized_utility, verify_tagging
 from repro.chaos.validation import AnomalyKind, TagAnomaly, ValidationReport, validate_tags
 
@@ -18,6 +19,8 @@ __all__ = [
     "DegradationScenario",
     "ChaosReport",
     "ScenarioResult",
+    "StormReport",
+    "run_storm_check",
     "ChaosTestingService",
     "normalized_utility",
     "verify_tagging",

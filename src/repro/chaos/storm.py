@@ -1,0 +1,105 @@
+"""Trace-driven chaos: survive a failure storm, recover completely.
+
+The template suite (:mod:`repro.chaos.suite`) degrades by decree and the
+cluster check (:mod:`repro.chaos.cluster_check`) degrades at fixed failure
+levels.  This module adds the *temporal* dimension: a seeded failure-storm
+trace (burst of node failures, staged recovery — the Figure-6 timeline
+shape) is replayed through a :class:`~repro.api.engine.PhoenixEngine` via
+:class:`~repro.traces.replayer.TraceReplayer`, and the report checks two
+engine behaviours no single-snapshot check can see:
+
+* the engine reacts to every step that changes the failed set (liveness of
+  the failure detector across a burst of changes), and
+* after the staged recovery completes, the application returns to full
+  availability (no replicas stranded by the storm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import repro.api as api
+from repro.apps.base import AppTemplate
+from repro.cluster.resources import Resources
+from repro.cluster.state import build_uniform_cluster
+from repro.traces.generators import failure_storm
+from repro.traces.replayer import ReplayMetrics, TraceReplayer
+from repro.traces.schema import Trace
+
+
+@dataclass
+class StormReport:
+    """Outcome of one storm replay for one template."""
+
+    app: str
+    trace_metadata: dict
+    metrics: ReplayMetrics
+    min_availability: float
+    final_availability: float
+    recovered: bool
+
+    @property
+    def passed(self) -> bool:
+        """Pass iff full availability returned once the storm ended."""
+        return self.recovered
+
+    def to_text(self) -> str:
+        verdict = "OK" if self.passed else "FAIL"
+        return (
+            f"Storm chaos for {self.app}: {verdict} — trough availability "
+            f"{self.min_availability:.2f}, final {self.final_availability:.2f} "
+            f"({len(self.metrics)} steps, "
+            f"{self.trace_metadata.get('fraction', '?')} of nodes hit)"
+        )
+
+
+def run_storm_check(
+    template: AppTemplate,
+    node_count: int = 12,
+    storm_fraction: float = 0.5,
+    objective: str = "revenue",
+    headroom: float = 1.3,
+    seed: int = 0,
+    trace: Trace | None = None,
+) -> StormReport:
+    """Replay a failure storm through the engine and check full recovery.
+
+    A fresh uniform cluster sized to hold ``template`` with ``headroom`` is
+    placed by an engine round, then a :func:`repro.traces.generators.failure_storm`
+    trace (or the caller's ``trace``) is replayed with reconcile semantics.
+    The check passes when the last replay step reports availability 1.0 —
+    every criticality level back up after the staged recovery.
+    """
+    if not 0.0 < storm_fraction < 1.0:
+        raise ValueError("storm_fraction must be within (0, 1)")
+    app = template.application
+    demand = app.total_demand()
+    per_replica_cpu = max(ms.resources.cpu for ms in app)
+    per_replica_mem = max(ms.resources.memory for ms in app)
+    node_cpu = max(demand.cpu * headroom / node_count, per_replica_cpu * headroom)
+    node_mem = max(demand.memory * headroom / node_count, per_replica_mem * headroom, 1.0)
+    state = build_uniform_cluster(
+        node_count, Resources(cpu=node_cpu, memory=node_mem), applications=[app]
+    )
+    engine = api.engine(objective)
+    engine.reconcile(state, force=True)  # steady-state placement
+
+    if trace is None:
+        trace = failure_storm(
+            [n.name for n in state.nodes.values()],
+            at=60.0,
+            fraction=storm_fraction,
+            recovery_after=600.0,
+            recovery_steps=3,
+            seed=seed,
+        )
+    metrics = TraceReplayer(engine, seed=seed).run(state, trace)
+    final = metrics.final()
+    return StormReport(
+        app=app.name,
+        trace_metadata=dict(trace.metadata),
+        metrics=metrics,
+        min_availability=metrics.min("availability"),
+        final_availability=final.availability,
+        recovered=final.availability >= 1.0 - 1e-9 and final.failed_nodes == 0,
+    )

@@ -1,0 +1,24 @@
+"""``repro.cli`` — the ``python -m repro`` command line.
+
+One command per evaluation workflow, each a thin wrapper over the public
+library API (the benchmarks and examples use the same calls):
+
+* ``repro sweep`` — failure-level sweeps across resilience schemes
+  (:func:`repro.adaptlab.run_failure_sweep`, the Figure-7 shape).
+* ``repro replay`` — replay a JSONL scenario trace through a
+  :class:`~repro.api.engine.PhoenixEngine`
+  (:class:`repro.traces.TraceReplayer`) and emit deterministic per-step
+  metrics JSONL.
+* ``repro chaos`` — chaos-test the bundled application templates: tag
+  validation, engine-driven degradation, optional failure-storm recovery.
+* ``repro bench`` — run a paper-figure benchmark through pytest.
+* ``repro trace gen`` / ``repro trace validate`` — generate seeded scenario
+  traces (byte-identical for identical arguments) and validate trace files.
+
+Exit codes: 0 on success, 1 when a check ran and failed, 2 on usage or
+input errors (always a one-line ``error: ...``, never a traceback).
+"""
+
+from repro.cli.main import CliError, build_parser, main
+
+__all__ = ["CliError", "build_parser", "main"]

@@ -1,0 +1,508 @@
+"""Argument parsing and subcommand implementations for ``python -m repro``.
+
+Every subcommand is a thin call into the library — the CLI owns argument
+parsing, file I/O and exit codes, nothing else.  Expected failures (bad
+arguments, missing or malformed trace files) surface as a one-line
+``error: ...`` on stderr with a non-zero exit code, never a traceback; see
+:func:`main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.traces.schema import TraceError
+
+#: Exit code for usage/input errors (argparse uses 2 for bad flags too).
+EXIT_USAGE = 2
+#: Exit code for a check that ran and failed (chaos verdicts, bench gates).
+EXIT_FAILED = 1
+
+
+class CliError(Exception):
+    """An expected CLI failure, reported as a one-line error message."""
+
+
+# -- helpers ------------------------------------------------------------------
+
+
+def _write_text(out: str | None, text: str) -> None:
+    """Write ``text`` to the ``--out`` target (``None``/``-`` = stdout)."""
+    if out is None or out == "-":
+        sys.stdout.write(text)
+    else:
+        Path(out).write_text(text, encoding="utf-8")
+
+
+def _read_trace(path: str):
+    from repro.traces.schema import Trace
+
+    if path == "-":
+        return Trace.load(sys.stdin)
+    target = Path(path)
+    if not target.exists():
+        raise CliError(f"trace file not found: {target}")
+    return Trace.read(target)
+
+
+def _build_environment(args):
+    from repro.adaptlab import build_environment
+
+    return build_environment(
+        node_count=args.nodes,
+        n_apps=args.apps,
+        tagging_scheme=args.tagging,
+        resource_model=args.resource_model,
+        target_utilization=args.utilization,
+        seed=args.env_seed,
+    )
+
+
+def _add_environment_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("environment", "AdaptLab cluster to build")
+    group.add_argument("--nodes", type=int, default=300, help="cluster size (default: 300)")
+    group.add_argument("--apps", type=int, default=8, help="number of Alibaba-like apps (default: 8)")
+    group.add_argument(
+        "--tagging", default="service-p90", help="criticality tagging scheme (default: service-p90)"
+    )
+    group.add_argument(
+        "--resource-model", default="cpm", help="resource assignment model (default: cpm)"
+    )
+    group.add_argument(
+        "--utilization", type=float, default=0.7, help="pre-failure utilization (default: 0.7)"
+    )
+    group.add_argument(
+        "--env-seed", type=int, default=2025, help="environment build seed (default: 2025)"
+    )
+
+
+def _select_schemes(names: str | None):
+    from repro.adaptlab import default_scheme_suite
+
+    suite = {scheme.name: scheme for scheme in default_scheme_suite()}
+    if not names:
+        return list(suite.values())
+    chosen = []
+    for name in names.split(","):
+        name = name.strip()
+        if name not in suite:
+            raise CliError(
+                f"unknown scheme {name!r}; available: {', '.join(sorted(suite))}"
+            )
+        chosen.append(suite[name])
+    return chosen
+
+
+# -- sweep --------------------------------------------------------------------
+
+
+def cmd_sweep(args) -> int:
+    """Failure-level sweep across resilience schemes (Figure 7 shape)."""
+    from repro.adaptlab import run_failure_sweep
+
+    try:
+        levels = [float(level) for level in args.levels.split(",") if level.strip()]
+    except ValueError:
+        raise CliError(f"--levels must be comma-separated numbers, got {args.levels!r}") from None
+    if not levels:
+        raise CliError("--levels must name at least one failure level")
+    env = _build_environment(args)
+    schemes = _select_schemes(args.schemes)
+    result = run_failure_sweep(
+        env,
+        schemes,
+        failure_levels=levels,
+        trials=args.trials,
+        seed=args.seed,
+        include_requests_served=args.requests_served,
+    )
+    metrics = ["availability", "revenue", "fairness_total", "utilization"]
+    if args.requests_served:
+        metrics.append("requests_served")
+    header = f"{'scheme':<18}{'level':<8}" + "".join(m.ljust(16) for m in metrics)
+    print(header)
+    for point in sorted(result.points, key=lambda p: (p.failure_level, p.scheme)):
+        row = f"{point.scheme:<18}{point.failure_level:<8.2f}"
+        for metric in metrics:
+            value = getattr(point, metric)
+            row += (f"{value:<16.4f}" if value is not None else "-".ljust(16))
+        print(row)
+    return 0
+
+
+# -- replay -------------------------------------------------------------------
+
+
+def cmd_replay(args) -> int:
+    """Replay a JSONL trace through the engine; emit per-step metrics JSONL."""
+    import repro.api as api
+    from repro.traces.replayer import TraceReplayer
+
+    trace = _read_trace(args.trace)
+    env = _build_environment(args)
+    known = {node.name for node in env.state.nodes.values()}
+    unknown = sorted(trace.node_names() - known)
+    if unknown:
+        raise CliError(
+            f"trace names {len(unknown)} node(s) outside the {args.nodes}-node cluster "
+            f"(first: {unknown[0]}); regenerate with matching --nodes"
+        )
+    engine = api.engine(args.objective, implementation=args.implementation)
+    replayer = TraceReplayer(
+        engine,
+        traced=env.traced if args.requests_served else None,
+        seed=args.seed,
+        force_each_step=args.force_each_step,
+    )
+    metrics = replayer.run(env.fresh_state(), trace)
+    _write_text(args.out, metrics.to_jsonl(include_timing=args.timing))
+    return 0
+
+
+# -- chaos --------------------------------------------------------------------
+
+
+def cmd_chaos(args) -> int:
+    """Chaos-test application templates (tag validation + storm recovery)."""
+    from repro.apps import build_hotel_reservation, build_overleaf
+    from repro.chaos import run_storm_check, verify_tagging, verify_tagging_on_cluster
+
+    builders = {"overleaf": build_overleaf, "hotel": build_hotel_reservation}
+    if args.template == "all":
+        names = sorted(builders)
+    elif args.template in builders:
+        names = [args.template]
+    else:
+        raise CliError(
+            f"unknown template {args.template!r}; available: all, {', '.join(sorted(builders))}"
+        )
+    all_passed = True
+    for name in names:
+        template = builders[name]()
+        report = verify_tagging(template, seed=args.seed)
+        print(report.to_text())
+        all_passed &= report.passed
+        cluster_report = verify_tagging_on_cluster(
+            template, node_count=args.nodes, objective=args.objective
+        )
+        print(cluster_report.to_text())
+        all_passed &= cluster_report.passed
+        if args.storm:
+            storm_report = run_storm_check(
+                template,
+                node_count=args.nodes,
+                storm_fraction=args.storm_fraction,
+                objective=args.objective,
+                seed=args.seed,
+            )
+            print(storm_report.to_text())
+            all_passed &= storm_report.passed
+    return 0 if all_passed else EXIT_FAILED
+
+
+# -- bench --------------------------------------------------------------------
+
+#: Short name -> benchmark file glob, for ``repro bench <name>``.
+BENCH_ALIASES = {
+    "fig5": "bench_fig5_cloudlab.py",
+    "fig6": "bench_fig6_timeline.py",
+    "fig7": "bench_fig7_adaptlab.py",
+    "fig8a": "bench_fig8a_replay.py",
+    "fig8b": "bench_fig8b_scalability.py",
+    "fig8c": "bench_fig8c_utilization.py",
+    "fig9": "bench_fig9_resource_breakdown.py",
+    "fig17": "bench_fig17_alibaba.py",
+    "table1": "bench_table1_latency.py",
+    "appendix-f2": "bench_appendix_f2.py",
+    "ablations": "bench_ablations.py",
+    "hotpath": "bench_hotpath.py",
+    "engine": "bench_engine.py",
+}
+
+
+def cmd_bench(args) -> int:
+    """Run one of the figure benchmarks through pytest."""
+    import os
+    import subprocess
+
+    bench_dir = Path(args.dir)
+    if args.list:
+        for name in sorted(BENCH_ALIASES):
+            print(f"{name:<14}{BENCH_ALIASES[name]}")
+        return 0
+    if not args.name:
+        raise CliError("name a benchmark (see `repro bench --list`)")
+    filename = BENCH_ALIASES.get(args.name, args.name)
+    target = bench_dir / filename
+    if not target.exists():
+        raise CliError(
+            f"benchmark file not found: {target} "
+            f"(run from the repository root or pass --dir; see `repro bench --list`)"
+        )
+    env = os.environ.copy()
+    env["REPRO_BENCH_SCALE"] = args.scale
+    return subprocess.call(
+        [sys.executable, "-m", "pytest", str(target), "-q", "-s"], env=env
+    )
+
+
+# -- trace gen / validate -----------------------------------------------------
+
+
+def cmd_trace_gen(args) -> int:
+    """Generate a seeded scenario trace as JSONL."""
+    from repro.traces import generators
+    from repro.traces.alibaba import paper_capacity_trace
+
+    if args.kind == "poisson":
+        trace = generators.poisson_failures(
+            args.nodes, horizon=args.horizon, mtbf=args.mtbf, mttr=args.mttr, seed=args.seed
+        )
+    elif args.kind == "rack":
+        trace = generators.correlated_failures(
+            args.nodes,
+            rack_size=args.rack_size,
+            horizon=args.horizon,
+            rack_mtbf=args.mtbf,
+            mttr=args.mttr,
+            seed=args.seed,
+        )
+    elif args.kind == "diurnal":
+        trace = generators.diurnal_load(
+            horizon=args.horizon,
+            step_seconds=args.step_seconds,
+            base=args.base,
+            amplitude=args.amplitude,
+            period=args.period,
+            seed=args.seed,
+        )
+    elif args.kind == "storm":
+        trace = generators.failure_storm(
+            args.nodes,
+            at=args.at,
+            fraction=args.fraction,
+            recovery_after=args.recovery_after,
+            recovery_steps=args.recovery_steps,
+            seed=args.seed,
+        )
+    elif args.kind == "alibaba":
+        trace = paper_capacity_trace(
+            steps=args.steps, seed=args.seed, step_seconds=args.step_seconds
+        )
+    else:  # pragma: no cover - argparse choices guard this
+        raise CliError(f"unknown trace kind {args.kind!r}")
+    _write_text(args.out, trace.dumps())
+    return 0
+
+
+def cmd_trace_validate(args) -> int:
+    """Parse + validate a trace file and print a one-line summary."""
+    trace = _read_trace(args.file)
+    kinds = ", ".join(f"{kind}×{count}" for kind, count in sorted(trace.kinds().items()))
+    generator = trace.metadata.get("generator", "unknown")
+    print(
+        f"ok: {len(trace)} events over {trace.duration:.1f}s "
+        f"({kinds or 'no events'}; generator: {generator})"
+    )
+    return 0
+
+
+# -- parser -------------------------------------------------------------------
+
+
+class _VersionAction(argparse.Action):
+    """``--version`` that imports the (heavy) package only when asked."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        kwargs.setdefault("nargs", 0)
+        kwargs.setdefault("help", "show program's version number and exit")
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        from repro import __version__
+
+        print(f"repro {__version__}")
+        parser.exit(0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Phoenix reproduction command line: failure sweeps, trace replay, "
+            "chaos checks and figure benchmarks over the one PhoenixEngine."
+        ),
+    )
+    parser.add_argument("--version", action=_VersionAction)
+    sub = parser.add_subparsers(dest="command", metavar="command")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="failure-level sweep across resilience schemes (Figure 7 shape)",
+        description="Sweep failure levels across schemes and print the metric table.",
+    )
+    _add_environment_options(sweep)
+    sweep.add_argument(
+        "--levels", default="0.1,0.3,0.5,0.7,0.9", help="comma-separated capacity-loss fractions"
+    )
+    sweep.add_argument("--trials", type=int, default=1, help="trials per point (default: 1)")
+    sweep.add_argument("--seed", type=int, default=0, help="failure-injection seed (default: 0)")
+    sweep.add_argument(
+        "--schemes", default=None, help="comma-separated scheme names (default: the paper's five)"
+    )
+    sweep.add_argument(
+        "--requests-served", action="store_true", help="also evaluate requests served (slower)"
+    )
+    sweep.set_defaults(func=cmd_sweep)
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay a JSONL trace through the engine, emit per-step metrics",
+        description=(
+            "Replay a scenario trace (see `repro trace gen`) through a PhoenixEngine "
+            "and write deterministic per-step metrics JSONL."
+        ),
+    )
+    replay.add_argument("--trace", required=True, help="trace file (JSONL; '-' for stdin)")
+    _add_environment_options(replay)
+    replay.add_argument("--seed", type=int, default=0, help="replay seed for capacity events")
+    replay.add_argument("--objective", default="revenue", help="engine objective (default: revenue)")
+    replay.add_argument(
+        "--implementation",
+        default="fast",
+        choices=("fast", "reference"),
+        help="engine stages: fast or golden reference",
+    )
+    replay.add_argument(
+        "--requests-served", action="store_true", help="also evaluate requests served per step"
+    )
+    replay.add_argument(
+        "--force-each-step", action="store_true", help="force a planning round on every step"
+    )
+    replay.add_argument(
+        "--timing", action="store_true",
+        help="include wall-clock planning seconds (breaks byte-reproducibility)",
+    )
+    replay.add_argument("--out", default=None, help="output file (default: stdout)")
+    replay.set_defaults(func=cmd_replay)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos-test application templates (tags + engine + storms)",
+        description=(
+            "Run the chaos suite for the bundled templates: template-level tag "
+            "validation, engine-driven cluster degradation, and optionally a "
+            "failure-storm recovery check. Exits 1 if any check fails."
+        ),
+    )
+    chaos.add_argument(
+        "--template", default="all", help="overleaf, hotel, or all (default: all)"
+    )
+    chaos.add_argument("--nodes", type=int, default=12, help="cluster size (default: 12)")
+    chaos.add_argument("--objective", default="revenue", help="engine objective (default: revenue)")
+    chaos.add_argument("--seed", type=int, default=0, help="scenario seed (default: 0)")
+    chaos.add_argument("--storm", action="store_true", help="also run the failure-storm check")
+    chaos.add_argument(
+        "--storm-fraction", type=float, default=0.5, help="fraction of nodes the storm fails"
+    )
+    chaos.set_defaults(func=cmd_chaos)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run a figure benchmark through pytest",
+        description="Run one of the paper-figure benchmarks (pytest wrapper).",
+    )
+    bench.add_argument("name", nargs="?", help="benchmark name (see --list) or a file name")
+    bench.add_argument("--list", action="store_true", help="list available benchmarks")
+    bench.add_argument(
+        "--scale", default="small", choices=("small", "paper"), help="REPRO_BENCH_SCALE value"
+    )
+    bench.add_argument(
+        "--dir", default="benchmarks", help="benchmarks directory (default: ./benchmarks)"
+    )
+    bench.set_defaults(func=cmd_bench)
+
+    trace = sub.add_parser(
+        "trace",
+        help="generate or validate scenario traces",
+        description="Scenario trace tooling: seeded generators and schema validation.",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", metavar="subcommand")
+    trace.set_defaults(func=lambda args: trace.print_help() or 0)
+
+    gen = trace_sub.add_parser(
+        "gen",
+        help="generate a seeded scenario trace (JSONL)",
+        description=(
+            "Generate a deterministic scenario trace. Same arguments + same seed "
+            "produce a byte-identical file."
+        ),
+    )
+    gen.add_argument(
+        "--kind",
+        required=True,
+        choices=("poisson", "rack", "diurnal", "storm", "alibaba"),
+        help="scenario shape",
+    )
+    gen.add_argument("--nodes", type=int, default=100, help="cluster size (default: 100)")
+    gen.add_argument("--seed", type=int, default=0, help="generator seed (default: 0)")
+    gen.add_argument("--horizon", type=float, default=3600.0, help="trace length in seconds")
+    gen.add_argument("--mtbf", type=float, default=1800.0, help="poisson/rack: mean time between failures")
+    gen.add_argument("--mttr", type=float, default=300.0, help="poisson/rack: mean time to repair")
+    gen.add_argument("--rack-size", type=int, default=8, help="rack: nodes per rack")
+    gen.add_argument("--base", type=float, default=1.0, help="diurnal: base load multiplier")
+    gen.add_argument("--amplitude", type=float, default=0.5, help="diurnal: sine amplitude")
+    gen.add_argument("--period", type=float, default=86400.0, help="diurnal: sine period seconds")
+    gen.add_argument("--at", type=float, default=300.0, help="storm: burst start time")
+    gen.add_argument("--fraction", type=float, default=0.5, help="storm: fraction of nodes hit")
+    gen.add_argument(
+        "--recovery-after", type=float, default=600.0, help="storm: seconds until recovery starts"
+    )
+    gen.add_argument("--recovery-steps", type=int, default=4, help="storm: staged recovery groups")
+    gen.add_argument("--steps", type=int, default=20, help="alibaba: number of capacity steps")
+    gen.add_argument(
+        "--step-seconds", type=float, default=30.0, help="alibaba/diurnal: seconds per step"
+    )
+    gen.add_argument("--out", default=None, help="output file (default: stdout)")
+    gen.set_defaults(func=cmd_trace_gen)
+
+    validate = trace_sub.add_parser(
+        "validate",
+        help="parse + validate a trace file",
+        description="Validate a JSONL trace against the schema and summarize it.",
+    )
+    validate.add_argument("file", help="trace file (JSONL; '-' for stdin)")
+    validate.set_defaults(func=cmd_trace_validate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entrypoint: parse, dispatch, and map failures to exit codes.
+
+    Expected failures — bad arguments, missing or malformed input files —
+    print a single ``error: ...`` line on stderr and return :data:`EXIT_USAGE`
+    (argparse's own usage errors exit with the same code).  Checks that run
+    and fail (chaos, bench) return :data:`EXIT_FAILED`.
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 0
+    try:
+        return args.func(args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except (TraceError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except KeyboardInterrupt:
+        print("error: interrupted", file=sys.stderr)
+        return 130

@@ -153,18 +153,22 @@ def apply_actions(state: ClusterState, actions: list[Action]) -> None:
       cluster garbage-collected the pod);
     * MIGRATE/START of a replica with a stale placement drops the old
       placement first.
+
+    Application is two-phase — every removal (deletes, migration sources,
+    stale placements) lands before any placement.  Migrations within one
+    plan may swap capacity between nodes (A moves onto the node B vacates);
+    replaying them strictly in list order can transiently over-commit a node
+    and raise a spurious :class:`~repro.cluster.state.SchedulingError` even
+    though the target assignment is feasible.  A real agent migrates by
+    delete-then-start anyway, and the end state is identical whenever the
+    in-order replay would have succeeded.
     """
+    placements: list[tuple[ReplicaId, str]] = []
     for action in actions:
         kind = action.kind
-        if kind is ActionKind.DELETE:
-            if state.node_of(action.replica) is not None:
-                state.unassign(action.replica)
-        elif kind is ActionKind.MIGRATE:
-            if state.node_of(action.replica) is not None:
-                state.unassign(action.replica)
-            state.assign(action.replica, action.target_node)
-        elif kind is ActionKind.START:
-            if state.node_of(action.replica) is not None:
-                # Stale placement on a failed node: drop it first.
-                state.unassign(action.replica)
-            state.assign(action.replica, action.target_node)
+        if state.node_of(action.replica) is not None:
+            state.unassign(action.replica)
+        if kind is not ActionKind.DELETE:
+            placements.append((action.replica, action.target_node))
+    for replica, target_node in placements:
+        state.assign(replica, target_node)

@@ -1,0 +1,86 @@
+"""``repro.traces`` — the scenario/trace subsystem.
+
+Scenarios-as-data: a versioned JSONL schema for cluster timelines (node
+failures and recoveries, capacity targets, load changes), deterministic
+seeded generators for the classic failure/load shapes, an Alibaba-style
+adapter for the paper's Figure-8a replay, and a :class:`TraceReplayer` that
+drives a :class:`~repro.api.engine.PhoenixEngine` (or an AdaptLab scheme)
+through a scenario and records per-step metrics.
+
+Typical round trip::
+
+    from repro.traces import failure_storm, Trace, TraceReplayer
+    import repro.api as api
+
+    trace = failure_storm(node_names=100, fraction=0.5, seed=7)
+    trace.write("storm.jsonl")                  # shareable artifact
+    trace = Trace.read("storm.jsonl")           # lossless, validated
+
+    metrics = TraceReplayer(api.engine("revenue"), seed=7).run(state, trace)
+    print(metrics.min("availability"), metrics.final().availability)
+
+The same machinery powers the command line: ``python -m repro trace gen``
+writes traces, ``python -m repro replay`` runs them (see :mod:`repro.cli`).
+"""
+
+from repro.traces.alibaba import (
+    alibaba_scenario,
+    from_capacity_points,
+    paper_capacity_trace,
+    paper_profile_fractions,
+    to_capacity_points,
+)
+from repro.traces.generators import (
+    capacity_schedule,
+    correlated_failures,
+    default_node_names,
+    diurnal_load,
+    failure_storm,
+    poisson_failures,
+)
+from repro.traces.replayer import (
+    REPLAY_METRICS_VERSION,
+    ReplayMetrics,
+    ReplayStep,
+    TraceReplayer,
+)
+from repro.traces.schema import (
+    EVENT_TYPES,
+    TRACE_VERSION,
+    CapacityTarget,
+    LoadChange,
+    NodeFailure,
+    NodeRecovery,
+    Trace,
+    TraceError,
+    TraceEvent,
+    merge_traces,
+)
+
+__all__ = [
+    "alibaba_scenario",
+    "from_capacity_points",
+    "paper_capacity_trace",
+    "paper_profile_fractions",
+    "to_capacity_points",
+    "capacity_schedule",
+    "correlated_failures",
+    "default_node_names",
+    "diurnal_load",
+    "failure_storm",
+    "poisson_failures",
+    "REPLAY_METRICS_VERSION",
+    "ReplayMetrics",
+    "ReplayStep",
+    "TraceReplayer",
+    "EVENT_TYPES",
+    "TRACE_VERSION",
+    "CapacityTarget",
+    "LoadChange",
+    "NodeFailure",
+    "NodeRecovery",
+    "Trace",
+    "TraceError",
+    "TraceEvent",
+    "merge_traces",
+]

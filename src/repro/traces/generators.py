@@ -1,0 +1,307 @@
+"""Deterministic seeded scenario generators.
+
+Every generator returns a validated :class:`~repro.traces.schema.Trace`
+whose metadata records the generator name, its parameters and the seed —
+running a generator twice with the same arguments produces a byte-identical
+JSONL file (``Trace.dumps``), which is what makes generated scenarios
+shareable artifacts rather than throwaway benchmark glue.
+
+Available generators:
+
+* :func:`poisson_failures` — independent node failures (memoryless MTBF)
+  with exponential repair times, the classic availability model.
+* :func:`correlated_failures` — whole racks/zones fail together (power or
+  cooling events; the paper's sub-datacenter failure model, §6).
+* :func:`diurnal_load` — a day/night load sine with jitter, the load shape
+  of production traces.
+* :func:`failure_storm` — one deep failure burst followed by staged
+  recovery, the Figure-6 CloudLab timeline shape.
+* :func:`capacity_schedule` — explicit available-capacity targets over time
+  (the Figure-8a trace-replay shape; see also :mod:`repro.traces.alibaba`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.traces.schema import (
+    CapacityTarget,
+    LoadChange,
+    NodeFailure,
+    NodeRecovery,
+    Trace,
+    TraceEvent,
+)
+
+
+def default_node_names(node_count: int) -> list[str]:
+    """``node-0`` … ``node-N-1`` — the naming every builder in the repo uses."""
+    if node_count <= 0:
+        raise ValueError("node_count must be positive")
+    return [f"node-{i}" for i in range(node_count)]
+
+
+def _round_time(t: float) -> float:
+    # Microsecond resolution keeps JSONL lines short and diff-friendly
+    # without ever colliding distinct events in practice.
+    return round(float(t), 6)
+
+
+def poisson_failures(
+    node_names: Sequence[str] | int,
+    horizon: float = 3600.0,
+    mtbf: float = 1800.0,
+    mttr: float = 300.0,
+    seed: int = 0,
+) -> Trace:
+    """Independent Poisson node failures with exponential repair.
+
+    Each healthy node fails with rate ``1/mtbf`` (so the cluster-wide
+    failure rate is ``healthy/mtbf``) and recovers after an exponential
+    repair time with mean ``mttr``.  Sampling is event-driven and fully
+    determined by ``seed``.
+    """
+    if isinstance(node_names, int):
+        node_names = default_node_names(node_names)
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if mtbf <= 0 or mttr <= 0:
+        raise ValueError("mtbf and mttr must be positive")
+    rng = np.random.default_rng(seed)
+    healthy: list[str] = list(node_names)
+    repairs: list[tuple[float, str]] = []  # min-heap of (recovery time, node)
+    events: list[TraceEvent] = []
+    t = 0.0
+    while True:
+        next_fail = t + rng.exponential(mtbf / len(healthy)) if healthy else math.inf
+        next_repair = repairs[0][0] if repairs else math.inf
+        if min(next_fail, next_repair) > horizon:
+            break
+        if next_repair <= next_fail:
+            t, node = heapq.heappop(repairs)
+            healthy.append(node)
+            events.append(NodeRecovery(time=_round_time(t), nodes=(node,)))
+        else:
+            t = next_fail
+            node = healthy.pop(int(rng.integers(len(healthy))))
+            heapq.heappush(repairs, (t + float(rng.exponential(mttr)), node))
+            events.append(NodeFailure(time=_round_time(t), nodes=(node,)))
+    return Trace(
+        events=events,
+        metadata={
+            "generator": "poisson_failures",
+            "nodes": len(node_names),
+            "horizon": horizon,
+            "mtbf": mtbf,
+            "mttr": mttr,
+            "seed": seed,
+        },
+    ).validate()
+
+
+def correlated_failures(
+    node_names: Sequence[str] | int,
+    rack_size: int = 8,
+    horizon: float = 3600.0,
+    rack_mtbf: float = 7200.0,
+    mttr: float = 600.0,
+    seed: int = 0,
+) -> Trace:
+    """Correlated rack/zone failures: whole racks go down together.
+
+    Nodes are grouped into racks of ``rack_size`` (by position in
+    ``node_names``, matching physical adjacency in the builders).  Racks
+    fail as a Poisson process with per-rack MTBF ``rack_mtbf`` and the whole
+    rack recovers together after an exponential repair with mean ``mttr`` —
+    the power/cooling sub-datacenter failure model behind the paper's
+    capacity-loss sweeps.
+    """
+    if isinstance(node_names, int):
+        node_names = default_node_names(node_names)
+    if rack_size <= 0:
+        raise ValueError("rack_size must be positive")
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if rack_mtbf <= 0 or mttr <= 0:
+        raise ValueError("rack_mtbf and mttr must be positive")
+    racks = [
+        tuple(node_names[i : i + rack_size]) for i in range(0, len(node_names), rack_size)
+    ]
+    rng = np.random.default_rng(seed)
+    up = list(range(len(racks)))
+    repairs: list[tuple[float, int]] = []
+    events: list[TraceEvent] = []
+    t = 0.0
+    while True:
+        next_fail = t + rng.exponential(rack_mtbf / len(up)) if up else math.inf
+        next_repair = repairs[0][0] if repairs else math.inf
+        if min(next_fail, next_repair) > horizon:
+            break
+        if next_repair <= next_fail:
+            t, rack = heapq.heappop(repairs)
+            up.append(rack)
+            events.append(NodeRecovery(time=_round_time(t), nodes=racks[rack]))
+        else:
+            t = next_fail
+            rack = up.pop(int(rng.integers(len(up))))
+            heapq.heappush(repairs, (t + float(rng.exponential(mttr)), rack))
+            events.append(NodeFailure(time=_round_time(t), nodes=racks[rack]))
+    return Trace(
+        events=events,
+        metadata={
+            "generator": "correlated_failures",
+            "nodes": len(node_names),
+            "rack_size": rack_size,
+            "horizon": horizon,
+            "rack_mtbf": rack_mtbf,
+            "mttr": mttr,
+            "seed": seed,
+        },
+    ).validate()
+
+
+def diurnal_load(
+    horizon: float = 86400.0,
+    step_seconds: float = 3600.0,
+    base: float = 1.0,
+    amplitude: float = 0.5,
+    period: float = 86400.0,
+    jitter: float = 0.05,
+    app: str | None = None,
+    seed: int = 0,
+) -> Trace:
+    """A day/night load sine: multiplier ``base + amplitude·sin(2πt/period)``.
+
+    Emits one :class:`LoadChange` per ``step_seconds``, with uniform jitter
+    of ``±jitter`` added to each sample and the result clamped to stay
+    non-negative.  ``app=None`` means cluster-wide load.
+    """
+    if horizon <= 0 or step_seconds <= 0 or period <= 0:
+        raise ValueError("horizon, step_seconds and period must be positive")
+    if amplitude < 0 or jitter < 0:
+        raise ValueError("amplitude and jitter must be non-negative")
+    rng = np.random.default_rng(seed)
+    events: list[TraceEvent] = []
+    steps = int(horizon // step_seconds) + 1
+    for index in range(steps):
+        t = index * step_seconds
+        if t > horizon:
+            break
+        multiplier = base + amplitude * math.sin(2.0 * math.pi * t / period)
+        multiplier += float(rng.uniform(-jitter, jitter))
+        events.append(
+            LoadChange(time=_round_time(t), multiplier=round(max(0.0, multiplier), 6), app=app)
+        )
+    return Trace(
+        events=events,
+        metadata={
+            "generator": "diurnal_load",
+            "horizon": horizon,
+            "step_seconds": step_seconds,
+            "base": base,
+            "amplitude": amplitude,
+            "period": period,
+            "jitter": jitter,
+            "app": app,
+            "seed": seed,
+        },
+    ).validate()
+
+
+def failure_storm(
+    node_names: Sequence[str] | int,
+    at: float = 300.0,
+    fraction: float = 0.5,
+    burst_seconds: float = 10.0,
+    burst_waves: int = 4,
+    recovery_after: float = 600.0,
+    recovery_steps: int = 4,
+    recovery_step_seconds: float = 60.0,
+    seed: int = 0,
+) -> Trace:
+    """One deep failure burst followed by staged recovery.
+
+    At ``at`` a randomly chosen ``fraction`` of the nodes fails in
+    ``burst_waves`` quick waves spread over ``burst_seconds`` (storms hit in
+    surges, not instantaneously).  Starting ``recovery_after`` seconds after
+    the *last* burst wave the failed nodes return in ``recovery_steps``
+    staged groups, ``recovery_step_seconds`` apart — the Figure-6 timeline
+    shape (fail ~60 % at t₁, staged return ten minutes later).  Anchoring
+    recovery to the end of the burst guarantees every node's recovery event
+    follows its failure event, whatever the parameters.
+    """
+    if isinstance(node_names, int):
+        node_names = default_node_names(node_names)
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be within (0, 1]")
+    if at < 0 or burst_seconds < 0 or recovery_after <= 0:
+        raise ValueError("at/burst_seconds must be >= 0 and recovery_after > 0")
+    if burst_waves <= 0 or recovery_steps <= 0:
+        raise ValueError("burst_waves and recovery_steps must be positive")
+    if recovery_step_seconds < 0:
+        raise ValueError("recovery_step_seconds must be non-negative")
+    rng = np.random.default_rng(seed)
+    count = max(1, round(fraction * len(node_names)))
+    victims = [node_names[i] for i in rng.permutation(len(node_names))[:count]]
+
+    events: list[TraceEvent] = []
+    waves = np.array_split(np.arange(count), min(burst_waves, count))
+    for wave_index, wave in enumerate(waves):
+        if len(wave) == 0:
+            continue
+        t = at + (burst_seconds * wave_index / max(1, len(waves) - 1) if len(waves) > 1 else 0.0)
+        events.append(
+            NodeFailure(time=_round_time(t), nodes=tuple(victims[i] for i in wave))
+        )
+    recovery_start = at + burst_seconds + recovery_after
+    groups = np.array_split(np.arange(count), min(recovery_steps, count))
+    for group_index, group in enumerate(groups):
+        if len(group) == 0:
+            continue
+        t = recovery_start + group_index * recovery_step_seconds
+        events.append(
+            NodeRecovery(time=_round_time(t), nodes=tuple(victims[i] for i in group))
+        )
+    return Trace(
+        events=events,
+        metadata={
+            "generator": "failure_storm",
+            "nodes": len(node_names),
+            "at": at,
+            "fraction": fraction,
+            "burst_seconds": burst_seconds,
+            "burst_waves": burst_waves,
+            "recovery_after": recovery_after,
+            "recovery_steps": recovery_steps,
+            "recovery_step_seconds": recovery_step_seconds,
+            "seed": seed,
+        },
+    ).validate()
+
+
+def capacity_schedule(
+    fractions: Sequence[float],
+    step_seconds: float = 30.0,
+    metadata: dict[str, object] | None = None,
+) -> Trace:
+    """Explicit available-capacity targets, one per ``step_seconds``.
+
+    The generic form behind the Figure-8a replay:
+    ``capacity_schedule([1.0, 0.6, 0.35, ...])`` produces one
+    :class:`CapacityTarget` per step.  See
+    :func:`repro.traces.alibaba.paper_capacity_trace` for the paper's
+    profile.
+    """
+    if step_seconds <= 0:
+        raise ValueError("step_seconds must be positive")
+    events: list[TraceEvent] = [
+        CapacityTarget(time=_round_time(i * step_seconds), available_fraction=round(float(f), 6))
+        for i, f in enumerate(fractions)
+    ]
+    if metadata is None:
+        metadata = {"generator": "capacity_schedule", "step_seconds": step_seconds}
+    return Trace(events=events, metadata=metadata).validate()

@@ -1,0 +1,369 @@
+"""Versioned JSONL trace schema for cluster scenarios.
+
+A *trace* is the repository's portable scenario format: an ordered stream of
+timestamped events — node failures and recoveries, load changes and capacity
+targets — that a :class:`~repro.traces.replayer.TraceReplayer` drives through
+the Phoenix engine.  Traces are what turn the paper's evaluation timelines
+(CloudLab failure/recovery windows of Figure 6, the Alibaba capacity replay
+of Figure 8a, AdaptLab failure levels of Figure 7) into data instead of
+hand-wired benchmark glue.
+
+On disk a trace is JSON Lines:
+
+* the first line is a header record
+  ``{"record": "trace", "version": 1, "metadata": {...}}``,
+* every following line is one event record
+  ``{"record": "event", "time": 120.0, "kind": "node_failure",
+  "nodes": ["node-3"]}``.
+
+Serialization is canonical (sorted keys, fixed separators), so a trace
+generated twice from the same seed is **byte-identical** — the property the
+round-trip tests and the ``python -m repro trace gen`` CLI rely on.
+
+Event kinds (the ``kind`` field):
+
+``node_failure``
+    The named nodes go down (replicas linger until evicted, as in
+    Kubernetes).
+``node_recovery``
+    The named nodes come back.
+``capacity``
+    Fail/recover whichever nodes are needed so that ``available_fraction``
+    of the total capacity is healthy (the Figure-8a x-axis; selection is
+    seeded by the replayer).
+``load_change``
+    The offered load multiplier changes, either for one application
+    (``app``) or cluster-wide (``app: null``).
+
+The schema is versioned: :data:`TRACE_VERSION` is written into every header
+and :func:`Trace.loads` rejects versions it does not understand, so future
+record changes stay detectable.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar, Iterable, Iterator, Mapping, TextIO
+
+#: Current schema version, written into every trace header.
+TRACE_VERSION = 1
+
+
+class TraceError(ValueError):
+    """Raised when a trace file or record is malformed."""
+
+
+def _canonical(record: Mapping[str, object]) -> str:
+    """One canonical JSON line (sorted keys, no whitespace)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def _require(record: Mapping[str, object], key: str, kinds: type | tuple) -> object:
+    if key not in record:
+        raise TraceError(f"event record missing {key!r}: {record!r}")
+    value = record[key]
+    if not isinstance(value, kinds):
+        raise TraceError(f"field {key!r} has wrong type in {record!r}")
+    return value
+
+
+def _node_tuple(record: Mapping[str, object]) -> tuple[str, ...]:
+    nodes = _require(record, "nodes", list)
+    if not nodes or not all(isinstance(n, str) for n in nodes):
+        raise TraceError(f"'nodes' must be a non-empty list of names: {record!r}")
+    return tuple(nodes)
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """Base class for every trace event: a timestamped scenario change."""
+
+    #: Simulated seconds since the start of the trace.
+    time: float
+
+    kind: ClassVar[str] = "event"
+
+    def validate(self) -> None:
+        """Raise :class:`TraceError` when the event is malformed."""
+        if not isinstance(self.time, (int, float)) or not math.isfinite(self.time):
+            raise TraceError(f"event time must be a finite number, got {self.time!r}")
+        if self.time < 0:
+            raise TraceError(f"event time must be non-negative, got {self.time!r}")
+
+    def to_record(self) -> dict[str, object]:
+        """The JSONL record for this event."""
+        return {"record": "event", "kind": self.kind, "time": float(self.time)}
+
+
+@dataclass(frozen=True, slots=True)
+class NodeFailure(TraceEvent):
+    """The named nodes fail (Kubernetes semantics: replicas linger)."""
+
+    nodes: tuple[str, ...] = ()
+
+    kind: ClassVar[str] = "node_failure"
+
+    def validate(self) -> None:
+        TraceEvent.validate(self)
+        if not self.nodes or not all(isinstance(n, str) for n in self.nodes):
+            raise TraceError(f"node_failure needs at least one node name at t={self.time}")
+
+    def to_record(self) -> dict[str, object]:
+        return TraceEvent.to_record(self) | {"nodes": list(self.nodes)}
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, object]) -> "NodeFailure":
+        return cls(time=float(_require(record, "time", (int, float))), nodes=_node_tuple(record))
+
+
+@dataclass(frozen=True, slots=True)
+class NodeRecovery(TraceEvent):
+    """The named nodes recover."""
+
+    nodes: tuple[str, ...] = ()
+
+    kind: ClassVar[str] = "node_recovery"
+
+    def validate(self) -> None:
+        TraceEvent.validate(self)
+        if not self.nodes or not all(isinstance(n, str) for n in self.nodes):
+            raise TraceError(f"node_recovery needs at least one node name at t={self.time}")
+
+    def to_record(self) -> dict[str, object]:
+        return TraceEvent.to_record(self) | {"nodes": list(self.nodes)}
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, object]) -> "NodeRecovery":
+        return cls(time=float(_require(record, "time", (int, float))), nodes=_node_tuple(record))
+
+
+@dataclass(frozen=True, slots=True)
+class CapacityTarget(TraceEvent):
+    """Set the healthy capacity to ``available_fraction`` of the total.
+
+    The replayer fails or recovers randomly chosen nodes (with its own seed)
+    until the target is met — the semantics of
+    :func:`repro.adaptlab.failures.set_capacity_fraction`, which backs the
+    Figure-8a Alibaba replay.
+    """
+
+    available_fraction: float = 1.0
+
+    kind: ClassVar[str] = "capacity"
+
+    def validate(self) -> None:
+        TraceEvent.validate(self)
+        fraction = self.available_fraction
+        if not isinstance(fraction, (int, float)) or not 0.0 <= fraction <= 1.0:
+            raise TraceError(
+                f"capacity available_fraction must be within [0, 1], got {fraction!r}"
+            )
+
+    def to_record(self) -> dict[str, object]:
+        return TraceEvent.to_record(self) | {"available_fraction": float(self.available_fraction)}
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, object]) -> "CapacityTarget":
+        return cls(
+            time=float(_require(record, "time", (int, float))),
+            available_fraction=float(_require(record, "available_fraction", (int, float))),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class LoadChange(TraceEvent):
+    """The offered load multiplier changes (diurnal patterns, flash crowds).
+
+    ``app`` is the application the multiplier applies to, or ``None`` for a
+    cluster-wide change.  The replayer records the multiplier in its per-step
+    metrics; load-aware frontends scale their generators by it.
+    """
+
+    multiplier: float = 1.0
+    app: str | None = None
+
+    kind: ClassVar[str] = "load_change"
+
+    def validate(self) -> None:
+        TraceEvent.validate(self)
+        if not isinstance(self.multiplier, (int, float)) or not (
+            math.isfinite(self.multiplier) and self.multiplier >= 0.0
+        ):
+            raise TraceError(f"load_change multiplier must be >= 0, got {self.multiplier!r}")
+        if self.app is not None and not isinstance(self.app, str):
+            raise TraceError(f"load_change app must be a name or null, got {self.app!r}")
+
+    def to_record(self) -> dict[str, object]:
+        return TraceEvent.to_record(self) | {"multiplier": float(self.multiplier), "app": self.app}
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, object]) -> "LoadChange":
+        app = record.get("app")
+        if app is not None and not isinstance(app, str):
+            raise TraceError(f"load_change app must be a name or null: {record!r}")
+        return cls(
+            time=float(_require(record, "time", (int, float))),
+            multiplier=float(_require(record, "multiplier", (int, float))),
+            app=app,
+        )
+
+
+#: kind -> parser, the dispatch table for :func:`Trace.loads`.
+EVENT_TYPES: dict[str, Callable[[Mapping[str, object]], TraceEvent]] = {
+    NodeFailure.kind: NodeFailure.from_record,
+    NodeRecovery.kind: NodeRecovery.from_record,
+    CapacityTarget.kind: CapacityTarget.from_record,
+    LoadChange.kind: LoadChange.from_record,
+}
+
+
+@dataclass
+class Trace:
+    """An ordered scenario: header metadata plus timestamped events.
+
+    Events are kept sorted by time (stable, so same-time events preserve
+    their authored order).  ``metadata`` is free-form and round-trips through
+    JSONL; generators record their name, parameters and seed there.
+    """
+
+    events: list[TraceEvent] = field(default_factory=list)
+    metadata: dict[str, object] = field(default_factory=dict)
+    version: int = TRACE_VERSION
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.events, key=lambda e: e.time)
+
+    # -- container protocol ----------------------------------------------------
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def duration(self) -> float:
+        """Time of the last event (0.0 for an empty trace)."""
+        return self.events[-1].time if self.events else 0.0
+
+    def kinds(self) -> dict[str, int]:
+        """Event count per kind (validation summaries, CLI output)."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def steps(self) -> list[tuple[float, list[TraceEvent]]]:
+        """Events grouped by timestamp, in time order.
+
+        A replayer applies all events of one step, then runs a single
+        reconcile round — so simultaneous failures are seen as one change.
+        """
+        grouped: list[tuple[float, list[TraceEvent]]] = []
+        for event in self.events:
+            if grouped and grouped[-1][0] == event.time:
+                grouped[-1][1].append(event)
+            else:
+                grouped.append((event.time, [event]))
+        return grouped
+
+    def node_names(self) -> set[str]:
+        """Every node name referenced by failure/recovery events."""
+        names: set[str] = set()
+        for event in self.events:
+            nodes = getattr(event, "nodes", ())
+            names.update(nodes)
+        return names
+
+    # -- validation ------------------------------------------------------------
+    def validate(self) -> "Trace":
+        """Validate every event; returns ``self`` for chaining."""
+        if self.version != TRACE_VERSION:
+            raise TraceError(
+                f"unsupported trace version {self.version!r} (this build reads {TRACE_VERSION})"
+            )
+        for event in self.events:
+            event.validate()
+        return self
+
+    # -- serialization ---------------------------------------------------------
+    def header(self) -> dict[str, object]:
+        return {"record": "trace", "version": self.version, "metadata": self.metadata}
+
+    def dumps(self) -> str:
+        """Canonical JSONL text (same trace ⇒ byte-identical output)."""
+        lines = [_canonical(self.header())]
+        lines.extend(_canonical(event.to_record()) for event in self.events)
+        return "\n".join(lines) + "\n"
+
+    def dump(self, fp: TextIO) -> None:
+        fp.write(self.dumps())
+
+    def write(self, path) -> None:
+        """Write the trace to ``path`` as JSONL."""
+        with open(path, "w", encoding="utf-8") as fp:
+            self.dump(fp)
+
+    @classmethod
+    def loads(cls, text: str) -> "Trace":
+        """Parse JSONL text into a validated :class:`Trace`."""
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise TraceError("empty trace: expected a header line")
+        try:
+            records = [json.loads(line) for line in lines]
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"trace is not valid JSONL: {exc}") from None
+        header = records[0]
+        if not isinstance(header, dict) or header.get("record") != "trace":
+            raise TraceError("first line must be the trace header record")
+        version = header.get("version")
+        if version != TRACE_VERSION:
+            raise TraceError(
+                f"unsupported trace version {version!r} (this build reads {TRACE_VERSION})"
+            )
+        metadata = header.get("metadata", {})
+        if not isinstance(metadata, dict):
+            raise TraceError("trace header metadata must be an object")
+        events: list[TraceEvent] = []
+        for record in records[1:]:
+            if not isinstance(record, dict) or record.get("record") != "event":
+                raise TraceError(f"expected an event record, got: {record!r}")
+            kind = record.get("kind")
+            parser = EVENT_TYPES.get(kind)  # type: ignore[arg-type]
+            if parser is None:
+                raise TraceError(
+                    f"unknown event kind {kind!r}; known kinds: {sorted(EVENT_TYPES)}"
+                )
+            events.append(parser(record))
+        return cls(events=events, metadata=metadata, version=version).validate()
+
+    @classmethod
+    def load(cls, fp: TextIO) -> "Trace":
+        return cls.loads(fp.read())
+
+    @classmethod
+    def read(cls, path) -> "Trace":
+        """Read and validate a JSONL trace file."""
+        with open(path, "r", encoding="utf-8") as fp:
+            return cls.load(fp)
+
+
+def merge_traces(traces: Iterable[Trace], metadata: dict[str, object] | None = None) -> Trace:
+    """Merge several traces into one time-ordered scenario.
+
+    Useful for composing e.g. a diurnal load pattern with a failure storm.
+    Metadata defaults to a ``{"generator": "merge", "sources": [...]}``
+    summary of the inputs.
+    """
+    traces = list(traces)
+    events: list[TraceEvent] = []
+    for trace in traces:
+        events.extend(trace.events)
+    if metadata is None:
+        metadata = {
+            "generator": "merge",
+            "sources": [t.metadata.get("generator", "unknown") for t in traces],
+        }
+    return Trace(events=events, metadata=metadata)

@@ -1,0 +1,199 @@
+"""Smoke and error-path tests for the ``python -m repro`` command line."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def run_module(*argv: str) -> subprocess.CompletedProcess:
+    """Run ``python -m repro ...`` as a real subprocess."""
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": REPO_SRC, "PATH": "/usr/bin:/bin"},
+        timeout=300,
+    )
+
+
+@pytest.fixture
+def storm_trace(tmp_path) -> Path:
+    path = tmp_path / "storm.jsonl"
+    code = main(
+        ["trace", "gen", "--kind", "storm", "--nodes", "60", "--seed", "7", "--out", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+class TestTraceCommands:
+    def test_gen_writes_valid_trace(self, storm_trace, capsys):
+        assert main(["trace", "validate", str(storm_trace)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("ok:")
+        assert "failure_storm" in out
+
+    def test_gen_same_seed_byte_identical(self, tmp_path):
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            assert (
+                main(["trace", "gen", "--kind", "poisson", "--nodes", "40", "--seed", "3", "--out", str(path)])
+                == 0
+            )
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    @pytest.mark.parametrize("kind", ["poisson", "rack", "diurnal", "storm", "alibaba"])
+    def test_gen_every_kind_validates(self, tmp_path, kind, capsys):
+        path = tmp_path / f"{kind}.jsonl"
+        assert main(["trace", "gen", "--kind", kind, "--nodes", "32", "--out", str(path)]) == 0
+        assert main(["trace", "validate", str(path)]) == 0
+
+    def test_gen_to_stdout(self, capsys):
+        assert main(["trace", "gen", "--kind", "alibaba", "--steps", "4"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith('{"metadata"')
+
+    def test_validate_missing_file_is_one_line_error(self, capsys):
+        assert main(["trace", "validate", "/no/such/trace.jsonl"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_validate_malformed_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json at all\n")
+        assert main(["trace", "validate", str(bad)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestReplayCommand:
+    def test_replay_is_byte_identical_across_runs(self, storm_trace, tmp_path):
+        outputs = []
+        for name in ("one.jsonl", "two.jsonl"):
+            out = tmp_path / name
+            code = main(
+                [
+                    "replay", "--trace", str(storm_trace),
+                    "--nodes", "60", "--apps", "4", "--seed", "42", "--out", str(out),
+                ]
+            )
+            assert code == 0
+            outputs.append(out.read_bytes())
+        assert outputs[0] == outputs[1]
+        assert b'"record":"replay"' in outputs[0]
+        assert b'"record":"step"' in outputs[0]
+
+    def test_replay_missing_trace_errors(self, capsys):
+        assert main(["replay", "--trace", "/no/such.jsonl"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_replay_node_mismatch_errors(self, storm_trace, capsys):
+        # The storm was generated for 60 nodes; a 10-node cluster cannot host it.
+        assert main(["replay", "--trace", str(storm_trace), "--nodes", "10", "--apps", "4"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--nodes" in err
+
+
+class TestSweepCommand:
+    def test_sweep_prints_scheme_rows(self, capsys):
+        code = main(
+            ["sweep", "--nodes", "60", "--apps", "4", "--levels", "0.5", "--trials", "1",
+             "--schemes", "phoenix-cost,default"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phoenix-cost" in out and "default" in out
+        assert "availability" in out
+
+    def test_sweep_unknown_scheme_errors(self, capsys):
+        assert main(["sweep", "--schemes", "nope"]) == 2
+        assert "unknown scheme" in capsys.readouterr().err
+
+    def test_sweep_bad_levels_errors(self, capsys):
+        assert main(["sweep", "--levels", "abc"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestChaosCommand:
+    def test_chaos_overleaf_passes(self, capsys):
+        assert main(["chaos", "--template", "overleaf"]) == 0
+        out = capsys.readouterr().out
+        assert "Verdict: PASS" in out
+        assert "Engine-driven chaos" in out
+
+    def test_chaos_unknown_template_errors(self, capsys):
+        assert main(["chaos", "--template", "nope"]) == 2
+        assert "unknown template" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def test_bench_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8a" in out and "hotpath" in out
+
+    def test_bench_without_name_errors(self, capsys):
+        assert main(["bench"]) == 2
+        assert "repro bench --list" in capsys.readouterr().err
+
+    def test_bench_missing_dir_errors(self, tmp_path, capsys):
+        assert main(["bench", "fig8a", "--dir", str(tmp_path / "nope")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestEntrypoint:
+    def test_module_help(self):
+        result = run_module("--help")
+        assert result.returncode == 0
+        assert "sweep" in result.stdout and "replay" in result.stdout
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ("sweep", "--help"),
+            ("replay", "--help"),
+            ("chaos", "--help"),
+            ("bench", "--help"),
+            ("trace", "--help"),
+            ("trace", "gen", "--help"),
+            ("trace", "validate", "--help"),
+        ],
+    )
+    def test_every_subcommand_help(self, argv):
+        result = run_module(*argv)
+        assert result.returncode == 0
+        assert "usage:" in result.stdout
+
+    def test_no_arguments_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "usage:" in capsys.readouterr().out
+
+    def test_trace_without_subcommand_prints_help(self, capsys):
+        assert main(["trace"]) == 0
+        assert "usage:" in capsys.readouterr().out
+
+    def test_missing_trace_file_has_no_traceback(self):
+        result = run_module("replay", "--trace", "/no/such.jsonl")
+        assert result.returncode == 2
+        assert "Traceback" not in result.stderr
+        assert result.stderr.startswith("error:")
+        assert len(result.stderr.strip().splitlines()) == 1
+
+    def test_unknown_subcommand_exits_nonzero(self):
+        result = run_module("frobnicate")
+        assert result.returncode == 2
+        assert "Traceback" not in result.stderr
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Markdown link check: every relative link in the repo's docs must resolve.
+
+Scans the given markdown files (default: every tracked ``*.md`` outside
+hidden directories) for inline links/images ``[text](target)`` and verifies
+that relative targets exist on disk.  External links (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#...``) are skipped — CI must not
+depend on the network.
+
+Exit codes: 0 when every link resolves, 1 otherwise (one line per broken
+link).  Used by the ``docs`` CI job; run locally with::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links/images. Good enough for this repo's docs: no
+#: reference-style links, no angle-bracket destinations.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_markdown_files(root: Path) -> list[Path]:
+    return sorted(
+        path
+        for path in root.rglob("*.md")
+        if not any(part.startswith(".") or part == "node_modules" for part in path.parts)
+    )
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    errors = []
+    in_code_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                rel = path.relative_to(root) if path.is_relative_to(root) else path
+                errors.append(f"{rel}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(__file__).resolve().parent.parent
+    files = [Path(a).resolve() for a in argv] if argv else iter_markdown_files(root)
+    errors = []
+    for path in files:
+        errors.extend(check_file(path, root))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} markdown file(s): {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
