@@ -1,0 +1,159 @@
+"""Replay-throughput benchmark: incremental vs. full-recompute reconcile.
+
+Measures end-to-end trace-replay throughput (steps/second, wall clock) for
+the same Poisson-churn scenario driven through two engines that differ only
+in ``EngineConfig.incremental``:
+
+* **full** — the classic path: every reconcile copies the live state,
+  rescans it for eviction and rebuilds the packing node index
+  (O(cluster) per step);
+* **incremental** — the delta-scaled path: a persistent scratch state and
+  node index are realigned from the dirty set (O(churn) per step).
+
+Both replays must produce byte-identical metrics JSONL — the benchmark
+asserts it, so every run doubles as an equivalence check.  The trace's
+event count is held roughly constant across cluster sizes (the MTBF scales
+with the node count), so the speedup isolates per-step cost, not scenario
+size.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_replay.py [--nodes 1000 10000] \
+        [--steps 120] [--save] [--json out.json]
+
+or via pytest (CI perf-smoke gate: incremental >= 2x at 2k nodes)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_replay.py -q -s
+
+``--save`` records the rows into ``BENCH_replay.json`` at the repository
+root (the committed trajectory the docs reference).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import time
+from pathlib import Path
+
+import repro.api as api
+from repro.adaptlab import build_environment
+from repro.traces import generators
+from repro.traces.replayer import TraceReplayer
+
+DEFAULT_NODE_COUNTS = (1000, 10000, 100000)
+#: Quick-gate configuration (CI perf-smoke): small cluster, generous ratio.
+QUICK_NODES = 2000
+QUICK_MIN_SPEEDUP = 2.0
+DEFAULT_STEPS = 120
+N_APPS = 8
+ENV_SEED = 2025
+TRACE_SEED = 7
+REPLAY_SEED = 3
+
+
+def _prepare(node_count: int, steps: int):
+    """Environment plus a Poisson-churn trace with ~``steps`` events."""
+    env = build_environment(node_count=node_count, n_apps=N_APPS, seed=ENV_SEED)
+    horizon = 3600.0
+    # Poisson event count ~= node_count * horizon / mtbf; solve for mtbf so
+    # the trace length stays flat as the cluster grows.
+    mtbf = node_count * horizon / max(1, steps)
+    trace = generators.poisson_failures(
+        node_count, horizon=horizon, mtbf=mtbf, mttr=300.0, seed=TRACE_SEED
+    )
+    return env, trace
+
+
+def _replay(env, trace, incremental: bool) -> tuple[str, int, float]:
+    """(metrics JSONL, steps, wall seconds) for one replay.
+
+    Unlike the stage microbenchmarks, the collector stays *enabled*: this
+    is an end-to-end throughput number, and the allocation churn of the
+    full-recompute path (state copies, index rebuilds) is part of its real
+    per-step cost.  A collection right before timing levels the start line.
+    """
+    engine = api.engine("revenue", incremental=incremental)
+    replayer = TraceReplayer(engine, seed=REPLAY_SEED)
+    state = env.fresh_state()
+    gc.collect()
+    started = time.perf_counter()
+    metrics = replayer.run(state, trace)
+    elapsed = time.perf_counter() - started
+    return metrics.to_jsonl(), len(metrics), elapsed
+
+
+def measure_replay(node_count: int, steps: int = DEFAULT_STEPS) -> dict:
+    """One benchmark row: full vs. incremental replay on the same scenario."""
+    env, trace = _prepare(node_count, steps)
+    full_jsonl, n_steps, full_seconds = _replay(env, trace, incremental=False)
+    inc_jsonl, inc_steps, inc_seconds = _replay(env, trace, incremental=True)
+    if full_jsonl != inc_jsonl:  # equivalence is part of the benchmark contract
+        raise AssertionError(
+            f"incremental replay diverged from full recompute at {node_count} nodes"
+        )
+    return {
+        "nodes": node_count,
+        "steps": n_steps,
+        "events": len(trace.events),
+        "full_steps_per_sec": round(n_steps / full_seconds, 2),
+        "incremental_steps_per_sec": round(inc_steps / inc_seconds, 2),
+        "speedup": round(full_seconds / inc_seconds, 2),
+        "identical_output": True,
+    }
+
+
+def print_rows(rows: list[dict]) -> None:
+    print("\n=== Trace replay throughput (steps/sec; identical output enforced) ===")
+    print(f"{'nodes':<9}{'steps':>7}{'full':>12}{'incremental':>14}{'speedup':>10}")
+    for row in rows:
+        print(
+            f"{row['nodes']:<9}{row['steps']:>7}{row['full_steps_per_sec']:>12.1f}"
+            f"{row['incremental_steps_per_sec']:>14.1f}{row['speedup']:>9.2f}x"
+        )
+
+
+def main(argv=None) -> list[dict]:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, nargs="+", default=list(DEFAULT_NODE_COUNTS))
+    parser.add_argument("--steps", type=int, default=DEFAULT_STEPS)
+    parser.add_argument("--quick", action="store_true", help="one small-cluster row only")
+    parser.add_argument("--save", action="store_true", help="write BENCH_replay.json")
+    parser.add_argument("--json", default=None, help="also write rows as JSON ('-' = stdout)")
+    args = parser.parse_args(argv)
+    node_counts = [QUICK_NODES] if args.quick else args.nodes
+    steps = min(args.steps, 60) if args.quick else args.steps
+    rows = [measure_replay(nodes, steps=steps) for nodes in node_counts]
+    print_rows(rows)
+    payload = json.dumps({"benchmark": "replay_throughput", "rows": rows}, indent=2) + "\n"
+    if args.save:
+        target = Path(__file__).resolve().parent.parent / "BENCH_replay.json"
+        target.write_text(payload, encoding="utf-8")
+        print(f"saved {target}")
+    if args.json == "-":
+        print(payload, end="")
+    elif args.json:
+        Path(args.json).write_text(payload, encoding="utf-8")
+    return rows
+
+
+def test_incremental_replay_speedup_quick():
+    """CI gate: incremental replay >= 2x full recompute at 2k nodes.
+
+    The 10k-node target in BENCH_replay.json is >= 5x; the CI gate is
+    deliberately smaller-cluster and ratio-based so shared-runner noise
+    cannot flake it.  One re-measure damps scheduler noise further.
+    """
+    row = measure_replay(QUICK_NODES, steps=60)
+    if row["speedup"] < QUICK_MIN_SPEEDUP:
+        row = measure_replay(QUICK_NODES, steps=60)
+    print_rows([row])
+    assert row["speedup"] >= QUICK_MIN_SPEEDUP, (
+        f"incremental replay speedup {row['speedup']}x at {QUICK_NODES} nodes "
+        f"is below the {QUICK_MIN_SPEEDUP}x gate"
+    )
+
+
+if __name__ == "__main__":
+    main()

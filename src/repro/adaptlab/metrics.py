@@ -3,14 +3,25 @@ deviation, cluster utilization and requests served.
 
 All metrics operate on a :class:`ClusterState`; "active" means every replica
 of a microservice is assigned to a healthy node.
+
+The per-application inputs the metrics need — revenue rate and CPU size per
+microservice, total demand, the C1 microservice list — are pure functions of
+the (immutable) :class:`Application` objects, so they are computed once per
+application instance and cached (identity-validated, like the planner's
+split cache).  Metric *values* are bit-identical with or without the cache:
+every sum accumulates the same floats in the same order.  This keeps the
+per-step cost of trace replay proportional to the number of microservices,
+with no per-step :class:`Resources` object churn.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.adaptlab.dependency_graphs import TracedApplication
+from repro.cluster.application import Application
 from repro.cluster.state import ClusterState
 from repro.core.objectives import microservice_revenue_rate, water_fill_shares
 
@@ -40,58 +51,141 @@ class SchemeMetrics:
     per_app_availability: dict[str, bool] = field(default_factory=dict)
 
 
+# -- cached per-application statics ----------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class _AppStatics:
+    """Pure-function-of-the-application inputs the metrics reuse every step.
+
+    Dicts preserve the application's microservice iteration order, so sums
+    over them accumulate in exactly the order the uncached loops used.
+    """
+
+    #: ms name -> revenue per unit time while active (microservice_revenue_rate)
+    revenue_rates: dict[str, float]
+    #: ms name -> total CPU of the microservice (all replicas)
+    cpu_totals: dict[str, float]
+    #: names of C1-tagged microservices, in application order
+    critical: tuple[str, ...]
+    #: app.total_demand().cpu
+    total_demand_cpu: float
+
+
+#: id(app) -> (weakref to the app, statics); identity-validated so replaced
+#: Application objects (re-tagging, re-registration) never reuse stale data.
+_APP_STATICS: dict[int, tuple["weakref.ref[Application]", _AppStatics]] = {}
+
+
+def _statics_for(app: Application) -> _AppStatics:
+    key = id(app)
+    hit = _APP_STATICS.get(key)
+    if hit is not None and hit[0]() is app:
+        return hit[1]
+    revenue_rates: dict[str, float] = {}
+    cpu_totals: dict[str, float] = {}
+    critical: list[str] = []
+    for ms in app:
+        revenue_rates[ms.name] = microservice_revenue_rate(app, ms)
+        cpu_totals[ms.name] = ms.total_resources.cpu
+        if ms.criticality.level == 1:
+            critical.append(ms.name)
+    statics = _AppStatics(
+        revenue_rates=revenue_rates,
+        cpu_totals=cpu_totals,
+        critical=tuple(critical),
+        total_demand_cpu=app.total_demand().cpu,
+    )
+    if len(_APP_STATICS) > 4096:  # drop entries whose application died
+        for stale in [k for k, (ref, _) in _APP_STATICS.items() if ref() is None]:
+            del _APP_STATICS[stale]
+    _APP_STATICS[key] = (weakref.ref(app), statics)
+    return statics
+
+
+#: reference state -> (generation at evaluation, revenue); reference states
+#: are frozen during a replay, and the generation counter catches mutation.
+_REFERENCE_REVENUE: "weakref.WeakKeyDictionary[ClusterState, tuple[int, float]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 # -- individual metrics ----------------------------------------------------------
 
 
-def critical_service_availability(state: ClusterState) -> tuple[float, dict[str, bool]]:
+def critical_service_availability(
+    state: ClusterState,
+    active_by_app: dict[str, set[str]] | None = None,
+) -> tuple[float, dict[str, bool]]:
     """Fraction of applications whose C1 microservices are all active.
 
     Matches the paper's AdaptLab definition: an application's critical
     service goal is met when *all* of its C1-tagged microservices run.
+    ``active_by_app`` lets callers share one ``state.active_microservices()``
+    snapshot across several metrics.
     """
-    active = state.active_microservices()
+    active = active_by_app if active_by_app is not None else state.active_microservices()
     per_app: dict[str, bool] = {}
     for name, app in state.applications.items():
-        critical = [ms.name for ms in app if ms.criticality.level == 1]
+        critical = _statics_for(app).critical
         per_app[name] = all(ms in active[name] for ms in critical) if critical else True
     if not per_app:
         return 1.0, per_app
     return sum(per_app.values()) / len(per_app), per_app
 
 
-def normalized_revenue(state: ClusterState, reference: ClusterState | None = None) -> float:
+def _revenue(target: ClusterState, active_by_app: dict[str, set[str]] | None = None) -> float:
+    active = active_by_app if active_by_app is not None else target.active_microservices()
+    value = 0.0
+    for name, app in target.applications.items():
+        rates = _statics_for(app).revenue_rates
+        active_here = active[name]
+        for ms_name, rate in rates.items():
+            if ms_name in active_here:
+                value += rate
+    return value
+
+
+def normalized_revenue(
+    state: ClusterState,
+    reference: ClusterState | None = None,
+    active_by_app: dict[str, set[str]] | None = None,
+) -> float:
     """Revenue from active microservices, normalized to the pre-failure state.
 
     Revenue of a microservice = willingness-to-pay × CPU × criticality
     weight (see :func:`microservice_revenue_rate`), earned only while it is
     active (§6 "Revenue is computed based on whether a microservice is
-    activated or not when failures strike").
+    activated or not when failures strike").  The reference state's revenue
+    is cached per (state, generation) — replay loops evaluate against the
+    same frozen pre-failure state thousands of times.
     """
-
-    def revenue(target: ClusterState) -> float:
-        active = target.active_microservices()
-        value = 0.0
-        for name, app in target.applications.items():
-            for ms in app:
-                if ms.name in active[name]:
-                    value += microservice_revenue_rate(app, ms)
-        return value
-
-    achieved = revenue(state)
+    achieved = _revenue(state, active_by_app)
     if reference is None:
+        # Flat sum in (application, microservice) order — the same float
+        # accumulation sequence as summing microservice_revenue_rate live.
         baseline = sum(
-            microservice_revenue_rate(app, ms)
+            rate
             for app in state.applications.values()
-            for ms in app
+            for rate in _statics_for(app).revenue_rates.values()
         )
     else:
-        baseline = revenue(reference)
+        cached = _REFERENCE_REVENUE.get(reference)
+        generation = reference.generation
+        if cached is not None and cached[0] == generation:
+            baseline = cached[1]
+        else:
+            baseline = _revenue(reference)
+            _REFERENCE_REVENUE[reference] = (generation, baseline)
     if baseline <= 0:
         return 0.0
     return achieved / baseline
 
 
-def fairness_deviation(state: ClusterState) -> FairnessDeviation:
+def fairness_deviation(
+    state: ClusterState,
+    active_by_app: dict[str, set[str]] | None = None,
+) -> FairnessDeviation:
     """Positive/negative deviation from the water-filling fair share.
 
     Shares are computed over the *healthy* capacity at measurement time, so
@@ -99,14 +193,21 @@ def fairness_deviation(state: ClusterState) -> FairnessDeviation:
     components are normalized by the healthy capacity.
     """
     capacity = state.total_capacity().cpu
-    demands = {name: app.total_demand().cpu for name, app in state.applications.items()}
+    demands = {
+        name: _statics_for(app).total_demand_cpu
+        for name, app in state.applications.items()
+    }
     shares = water_fill_shares(demands, capacity)
-    active = state.active_microservices()
+    active = active_by_app if active_by_app is not None else state.active_microservices()
     usage = {name: 0.0 for name in state.applications}
     for name, app in state.applications.items():
-        for ms in app:
-            if ms.name in active[name]:
-                usage[name] += ms.total_resources.cpu
+        cpu_totals = _statics_for(app).cpu_totals
+        active_here = active[name]
+        used = 0.0
+        for ms_name, cpu in cpu_totals.items():
+            if ms_name in active_here:
+                used += cpu
+        usage[name] = used
     positive = sum(max(0.0, usage[a] - shares[a]) for a in usage)
     negative = sum(max(0.0, shares[a] - usage[a]) for a in usage)
     if capacity <= 0:
@@ -122,6 +223,7 @@ def cluster_utilization(state: ClusterState) -> float:
 def requests_served_fraction(
     state: ClusterState,
     traced: Mapping[str, TracedApplication],
+    active_by_app: dict[str, set[str]] | None = None,
 ) -> float:
     """Fraction of user requests fully servable given the active microservices.
 
@@ -131,7 +233,8 @@ def requests_served_fraction(
     """
     total = 0.0
     served = 0.0
-    active_by_app = state.active_microservices()
+    if active_by_app is None:
+        active_by_app = state.active_microservices()
     for name, app in traced.items():
         if name not in state.applications:
             continue
@@ -151,15 +254,22 @@ def evaluate_state(
     traced: Mapping[str, TracedApplication] | None = None,
     planning_seconds: float = 0.0,
 ) -> SchemeMetrics:
-    """Compute the full metric bundle for one post-response cluster state."""
-    availability, per_app = critical_service_availability(state)
+    """Compute the full metric bundle for one post-response cluster state.
+
+    The active-microservice snapshot is computed once and shared across the
+    individual metrics (it is by far their most expensive common input).
+    """
+    active = state.active_microservices()
+    availability, per_app = critical_service_availability(state, active_by_app=active)
     return SchemeMetrics(
         critical_service_availability=availability,
-        normalized_revenue=normalized_revenue(state, reference),
-        fairness=fairness_deviation(state),
+        normalized_revenue=normalized_revenue(state, reference, active_by_app=active),
+        fairness=fairness_deviation(state, active_by_app=active),
         utilization=cluster_utilization(state),
         requests_served_fraction=(
-            requests_served_fraction(state, traced) if traced is not None else None
+            requests_served_fraction(state, traced, active_by_app=active)
+            if traced is not None
+            else None
         ),
         planning_seconds=planning_seconds,
         per_app_availability=per_app,

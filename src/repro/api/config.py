@@ -75,6 +75,19 @@ class EngineConfig:
         Seconds between observations in a real deployment (15 s in the
         paper); informational for simulated backends, which drive the loop
         explicitly.
+    incremental:
+        Keep a persistent scratch state and node index across reconcile
+        rounds so per-round cost follows churn rather than cluster size
+        (see :mod:`repro.core.incremental`).  On by default — incremental
+        rounds are byte-identical to full recomputes; set ``False`` to
+        force the classic copy-and-repack path every round (the A/B
+        baseline the replay benchmark measures against).  Only the fast
+        stages support it; ``implementation="reference"`` always recomputes
+        fully.
+    incremental_dirty_threshold:
+        Fraction of the cluster that may be dirty in one round before the
+        incremental path falls back to a full recompute (large capacity
+        moves make rebuilding cheaper than resyncing).
     """
 
     objective: OperatorObjective | str = "revenue"
@@ -82,6 +95,8 @@ class EngineConfig:
     allow_migration: bool = True
     allow_deletion: bool = True
     monitor_interval: float = field(default=15.0)
+    incremental: bool = True
+    incremental_dirty_threshold: float = 0.25
 
     def __post_init__(self) -> None:
         if self.implementation not in IMPLEMENTATIONS:
@@ -90,6 +105,8 @@ class EngineConfig:
             )
         if self.monitor_interval <= 0:
             raise ValueError("monitor_interval must be positive")
+        if not 0.0 < self.incremental_dirty_threshold <= 1.0:
+            raise ValueError("incremental_dirty_threshold must be in (0, 1]")
         # Fail fast on bad objective specs (instances pass through untouched).
         resolve_objective(self.objective)
 

@@ -25,7 +25,9 @@ from typing import Iterable, Protocol, runtime_checkable
 
 from repro.cluster.state import ClusterState
 from repro.core.controller import ClusterBackend, ReconcileReport, StateBackend
+from repro.core.incremental import DEFAULT_DIRTY_NODE_THRESHOLD, IncrementalScheduler
 from repro.core.objectives import OperatorObjective
+from repro.core.packing import PackingHeuristic
 from repro.core.plan import Action, ActivationPlan, SchedulePlan
 from repro.core.scheduler import apply_schedule
 
@@ -62,18 +64,51 @@ class StagePipeline:
     ``schedule`` reproduces :meth:`repro.core.scheduler.PhoenixScheduler.schedule`
     exactly: packing runs on a node-sharing copy of the live state, and the
     differ compares the live assignment against the packed target.
+
+    With ``incremental`` (and the stock fast packer) the per-round copy is
+    replaced by the persistent scratch state of
+    :class:`repro.core.incremental.IncrementalScheduler`, so reconcile
+    rounds against the same live state cost O(churn) instead of O(cluster)
+    while producing byte-identical schedules.  Custom packers and the
+    golden reference stages silently keep the classic path.
     """
 
-    def __init__(self, ranker: Ranker, packer: Packer, differ: Differ, name: str = "phoenix") -> None:
+    def __init__(
+        self,
+        ranker: Ranker,
+        packer: Packer,
+        differ: Differ,
+        name: str = "phoenix",
+        *,
+        incremental: bool = False,
+        dirty_node_threshold: float = DEFAULT_DIRTY_NODE_THRESHOLD,
+    ) -> None:
         self.ranker = ranker
         self.packer = packer
         self.differ = differ
         self.name = name
+        self._incremental: IncrementalScheduler | None = None
+        if incremental and isinstance(packer, PackingHeuristic):
+            self._incremental = IncrementalScheduler(
+                packer, differ, dirty_node_threshold=dirty_node_threshold
+            )
+
+    @property
+    def incremental(self) -> IncrementalScheduler | None:
+        """The incremental scheduler, when this pipeline runs one."""
+        return self._incremental
+
+    def invalidate(self) -> None:
+        """Drop incremental caches; the next round recomputes fully."""
+        if self._incremental is not None:
+            self._incremental.invalidate()
 
     def plan(self, state: ClusterState) -> ActivationPlan:
         return self.ranker.plan(state)
 
     def schedule(self, state: ClusterState, plan: ActivationPlan) -> SchedulePlan:
+        if self._incremental is not None:
+            return self._incremental.schedule(state, plan)
         working = state.copy(share_nodes=True)
         packing = self.packer.pack(working, plan)
         actions = self.differ(state, packing)
@@ -183,6 +218,8 @@ class PhoenixEngine:
                 packer=packer if packer is not None else default_packer,
                 differ=differ if differ is not None else default_differ,
                 name=f"phoenix-{self._objective.name}",
+                incremental=self.config.incremental,
+                dirty_node_threshold=self.config.incremental_dirty_threshold,
             )
         self._name = name
         self.events = EventBus()
@@ -266,7 +303,7 @@ class PhoenixEngine:
         First observation: every already-failed node is reported as newly
         failed and nothing as recovered.
         """
-        current_failed = {n.name for n in state.failed_nodes()}
+        current_failed = state.failed_names()
         if self._known_failed is None:
             self._known_failed = current_failed
             return sorted(current_failed), []
@@ -280,9 +317,15 @@ class PhoenixEngine:
 
         ``backend`` may be anything :func:`backend_for` accepts.  Planning
         and execution only happen when the failed set changed (or ``force``).
+        ``force`` also drops the pipeline's incremental caches, so a forced
+        round is always a full recompute.
         """
         backend = backend_for(backend)
         state = backend.observe()
+        if force:
+            invalidate = getattr(self.pipeline, "invalidate", None)
+            if callable(invalidate):
+                invalidate()
         failed, recovered = self._detect_changes(state)
         if failed:
             self.events.emit(FailureDetected(nodes=tuple(failed)))
@@ -331,6 +374,7 @@ def engine(
     allow_migration: bool = True,
     allow_deletion: bool = True,
     monitor_interval: float = 15.0,
+    incremental: bool = True,
     observers: Iterable[Observer] = (),
     ranker: Ranker | None = None,
     packer: Packer | None = None,
@@ -351,6 +395,7 @@ def engine(
         allow_migration=allow_migration,
         allow_deletion=allow_deletion,
         monitor_interval=monitor_interval,
+        incremental=incremental,
     )
     return PhoenixEngine(
         config, ranker=ranker, packer=packer, differ=differ, observers=observers

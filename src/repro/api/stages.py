@@ -97,17 +97,24 @@ class ReferencePlanner(PhoenixPlanner):
     merge differs, which is exactly what the equivalence suite exercises.
     """
 
-    def __init__(self, objective: OperatorObjective) -> None:
-        super().__init__(objective)
+    def __init__(self, objective: OperatorObjective, cache_plans: bool = False) -> None:
+        super().__init__(objective, cache_plans=cache_plans)
         self._ranker = _ReferenceGlobalRanker(objective)
 
 
 def build_stages(config: EngineConfig) -> tuple[Ranker, Packer, Differ]:
-    """Construct the (ranker, packer, differ) triple a config describes."""
+    """Construct the (ranker, packer, differ) triple a config describes.
+
+    Plan memoization follows ``config.incremental``: engine-built planners
+    reuse the previous round's plan when applications and capacity are
+    unchanged (a pure-function cache, byte-identical output), while
+    directly constructed planners — e.g. in microbenchmarks — measure every
+    round for real.
+    """
     objective = config.resolved_objective()
     if config.implementation == "reference":
         return (
-            ReferencePlanner(objective),
+            ReferencePlanner(objective, cache_plans=config.incremental),
             ReferencePackingHeuristic(
                 allow_migration=config.allow_migration,
                 allow_deletion=config.allow_deletion,
@@ -115,7 +122,7 @@ def build_stages(config: EngineConfig) -> tuple[Ranker, Packer, Differ]:
             reference_diff,
         )
     return (
-        PhoenixPlanner(objective),
+        PhoenixPlanner(objective, cache_plans=config.incremental),
         PackingHeuristic(
             allow_migration=config.allow_migration,
             allow_deletion=config.allow_deletion,

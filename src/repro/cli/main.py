@@ -1,10 +1,24 @@
 """Argument parsing and subcommand implementations for ``python -m repro``.
 
 Every subcommand is a thin call into the library — the CLI owns argument
-parsing, file I/O and exit codes, nothing else.  Expected failures (bad
-arguments, missing or malformed trace files) surface as a one-line
-``error: ...`` on stderr with a non-zero exit code, never a traceback; see
-:func:`main`.
+parsing, file I/O, exit codes and worker-process fan-out, nothing else.
+Expected failures (bad arguments, missing or malformed trace files) surface
+as a one-line ``error: ...`` on stderr with a non-zero exit code, never a
+traceback; see :func:`main`.
+
+Exit codes
+----------
+* ``0`` — success (for ``bench``: the benchmark ran and every gate passed).
+* ``1`` (:data:`EXIT_FAILED`) — a check ran and failed: chaos verdicts,
+  benchmark regression gates (``bench`` forwards pytest's failure code).
+* ``2`` (:data:`EXIT_USAGE`) — usage or input error: unknown flags, missing
+  or malformed files (argparse's own usage errors share this code).
+* ``130`` — interrupted (SIGINT).
+
+Parallelism: ``sweep`` and ``replay`` accept ``--workers N`` and shard
+their independent jobs (sweep: one per failure level × scheme; replay: one
+per trace × seed) across worker *processes*.  Results are merged in
+deterministic job order, so the output is byte-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -47,17 +61,44 @@ def _read_trace(path: str):
     return Trace.read(target)
 
 
-def _build_environment(args):
+def _env_params(args) -> dict:
+    """The environment-defining arguments as a plain (picklable) dict."""
+    return {
+        "node_count": args.nodes,
+        "n_apps": args.apps,
+        "tagging_scheme": args.tagging,
+        "resource_model": args.resource_model,
+        "target_utilization": args.utilization,
+        "seed": args.env_seed,
+    }
+
+
+#: Per-process environment cache: worker processes (and the serial path)
+#: reuse one built environment across the jobs that share its parameters.
+_ENV_CACHE: dict[tuple, object] = {}
+
+
+def _cached_environment(params: dict):
     from repro.adaptlab import build_environment
 
-    return build_environment(
-        node_count=args.nodes,
-        n_apps=args.apps,
-        tagging_scheme=args.tagging,
-        resource_model=args.resource_model,
-        target_utilization=args.utilization,
-        seed=args.env_seed,
-    )
+    key = tuple(sorted(params.items()))
+    env = _ENV_CACHE.get(key)
+    if env is None:
+        env = build_environment(**params)
+        _ENV_CACHE.clear()  # one environment at a time; they are big
+        _ENV_CACHE[key] = env
+    return env
+
+
+def _build_environment(args):
+    return _cached_environment(_env_params(args))
+
+
+def _worker_count(args, jobs: int) -> int:
+    workers = args.workers
+    if workers < 1:
+        raise CliError("--workers must be >= 1")
+    return min(workers, jobs)
 
 
 def _add_environment_options(parser: argparse.ArgumentParser) -> None:
@@ -98,9 +139,32 @@ def _select_schemes(names: str | None):
 # -- sweep --------------------------------------------------------------------
 
 
+def _sweep_job(params: dict) -> list:
+    """One (failure level, scheme) sweep cell, run in a worker process.
+
+    Rebuilds the environment from its defining arguments (cached per
+    process) and reuses :func:`repro.adaptlab.run_failure_sweep` for a
+    single level × scheme, so trial seeding is exactly the serial formula.
+    """
+    from repro.adaptlab import run_failure_sweep
+
+    env = _cached_environment(params["env"])
+    scheme = _select_schemes(params["scheme"])[0]
+    result = run_failure_sweep(
+        env,
+        [scheme],
+        failure_levels=[params["level"]],
+        trials=params["trials"],
+        seed=params["seed"],
+        include_requests_served=params["requests_served"],
+    )
+    return result.points
+
+
 def cmd_sweep(args) -> int:
     """Failure-level sweep across resilience schemes (Figure 7 shape)."""
     from repro.adaptlab import run_failure_sweep
+    from repro.adaptlab.harness import SweepResult
 
     try:
         levels = [float(level) for level in args.levels.split(",") if level.strip()]
@@ -108,16 +172,39 @@ def cmd_sweep(args) -> int:
         raise CliError(f"--levels must be comma-separated numbers, got {args.levels!r}") from None
     if not levels:
         raise CliError("--levels must name at least one failure level")
-    env = _build_environment(args)
     schemes = _select_schemes(args.schemes)
-    result = run_failure_sweep(
-        env,
-        schemes,
-        failure_levels=levels,
-        trials=args.trials,
-        seed=args.seed,
-        include_requests_served=args.requests_served,
-    )
+    jobs = [
+        {
+            "env": _env_params(args),
+            "level": level,
+            "scheme": scheme.name,
+            "trials": args.trials,
+            "seed": args.seed,
+            "requests_served": args.requests_served,
+        }
+        for level in levels
+        for scheme in schemes
+    ]
+    workers = _worker_count(args, len(jobs))
+    if workers <= 1:
+        env = _build_environment(args)
+        result = run_failure_sweep(
+            env,
+            schemes,
+            failure_levels=levels,
+            trials=args.trials,
+            seed=args.seed,
+            include_requests_served=args.requests_served,
+        )
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        result = SweepResult()
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # map() preserves job order, so the merged point list (and the
+            # sorted table below) is identical to the serial run's.
+            for points in pool.map(_sweep_job, jobs):
+                result.points.extend(points)
     metrics = ["availability", "revenue", "fairness_total", "utilization"]
     if args.requests_served:
         metrics.append("requests_served")
@@ -135,29 +222,86 @@ def cmd_sweep(args) -> int:
 # -- replay -------------------------------------------------------------------
 
 
-def cmd_replay(args) -> int:
-    """Replay a JSONL trace through the engine; emit per-step metrics JSONL."""
+def _replay_job(params: dict) -> str:
+    """One (trace, seed) replay, run in a worker process; returns JSONL."""
+    import io
+
     import repro.api as api
     from repro.traces.replayer import TraceReplayer
+    from repro.traces.schema import Trace
 
-    trace = _read_trace(args.trace)
-    env = _build_environment(args)
+    trace = Trace.load(io.StringIO(params["trace_text"]))
+    env = _cached_environment(params["env"])
     known = {node.name for node in env.state.nodes.values()}
     unknown = sorted(trace.node_names() - known)
     if unknown:
         raise CliError(
-            f"trace names {len(unknown)} node(s) outside the {args.nodes}-node cluster "
-            f"(first: {unknown[0]}); regenerate with matching --nodes"
+            f"trace {params['label']} names {len(unknown)} node(s) outside the "
+            f"{params['env']['node_count']}-node cluster (first: {unknown[0]}); "
+            f"regenerate with matching --nodes"
         )
-    engine = api.engine(args.objective, implementation=args.implementation)
+    engine = api.engine(
+        params["objective"],
+        implementation=params["implementation"],
+        incremental=params["incremental"],
+    )
     replayer = TraceReplayer(
         engine,
-        traced=env.traced if args.requests_served else None,
-        seed=args.seed,
-        force_each_step=args.force_each_step,
+        traced=env.traced if params["requests_served"] else None,
+        seed=params["seed"],
+        force_each_step=params["force_each_step"],
     )
     metrics = replayer.run(env.fresh_state(), trace)
-    _write_text(args.out, metrics.to_jsonl(include_timing=args.timing))
+    return metrics.to_jsonl(include_timing=params["timing"])
+
+
+def cmd_replay(args) -> int:
+    """Replay JSONL trace(s) through the engine; emit per-step metrics JSONL."""
+    if args.seeds is not None:
+        try:
+            seeds = [int(seed) for seed in args.seeds.split(",") if seed.strip()]
+        except ValueError:
+            raise CliError(f"--seeds must be comma-separated integers, got {args.seeds!r}") from None
+        if not seeds:
+            raise CliError("--seeds must name at least one seed")
+    else:
+        seeds = [args.seed]
+    trace_texts: list[tuple[str, str]] = []
+    for path in args.trace:
+        if path == "-":
+            trace_texts.append(("<stdin>", sys.stdin.read()))
+            continue
+        target = Path(path)
+        if not target.exists():
+            raise CliError(f"trace file not found: {target}")
+        trace_texts.append((path, target.read_text(encoding="utf-8")))
+    jobs = [
+        {
+            "env": _env_params(args),
+            "label": label,
+            "trace_text": text,
+            "seed": seed,
+            "objective": args.objective,
+            "implementation": args.implementation,
+            "incremental": not args.full_recompute,
+            "requests_served": args.requests_served,
+            "force_each_step": args.force_each_step,
+            "timing": args.timing,
+        }
+        for label, text in trace_texts
+        for seed in seeds
+    ]
+    workers = _worker_count(args, len(jobs))
+    if workers <= 1:
+        chunks = [_replay_job(job) for job in jobs]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # map() yields in job order: (trace, seed), traces outermost —
+            # the merged stream is byte-identical to the serial run.
+            chunks = list(pool.map(_replay_job, jobs))
+    _write_text(args.out, "".join(chunks))
     return 0
 
 
@@ -219,13 +363,35 @@ BENCH_ALIASES = {
     "ablations": "bench_ablations.py",
     "hotpath": "bench_hotpath.py",
     "engine": "bench_engine.py",
+    "replay-throughput": "bench_replay.py",
 }
 
 
+def _profile_summary(profile_path: Path, limit: int = 20) -> str:
+    """Top ``limit`` functions by cumulative time from a cProfile dump."""
+    import io
+    import pstats
+
+    stream = io.StringIO()
+    stats = pstats.Stats(str(profile_path), stream=stream)
+    stats.sort_stats("cumulative").print_stats(limit)
+    return stream.getvalue()
+
+
 def cmd_bench(args) -> int:
-    """Run one of the figure benchmarks through pytest."""
+    """Run one of the figure benchmarks through pytest.
+
+    Exit code 0 means the benchmark ran and its gates passed; a non-zero
+    code is pytest's own failure code (a tripped regression gate exits 1).
+    ``--json`` captures the run into a machine-readable record; ``--profile``
+    runs it under cProfile and reports the top 20 functions by cumulative
+    time.
+    """
+    import json
     import os
     import subprocess
+    import tempfile
+    import time
 
     bench_dir = Path(args.dir)
     if args.list:
@@ -243,9 +409,70 @@ def cmd_bench(args) -> int:
         )
     env = os.environ.copy()
     env["REPRO_BENCH_SCALE"] = args.scale
-    return subprocess.call(
-        [sys.executable, "-m", "pytest", str(target), "-q", "-s"], env=env
-    )
+
+    profile_path: Path | None = None
+    if args.profile:
+        handle = tempfile.NamedTemporaryFile(suffix=".prof", delete=False)
+        handle.close()
+        profile_path = Path(handle.name)
+        # A tiny driver rather than `python -m cProfile -m pytest`: the
+        # cProfile CLI swallows pytest's SystemExit, which would report a
+        # tripped gate as success.  pytest.main returns the exit code, so
+        # the driver can both dump the stats and forward the code.
+        driver = (
+            "import sys, cProfile, pytest\n"
+            "dump, argv = sys.argv[1], sys.argv[2:]\n"
+            "profile = cProfile.Profile()\n"
+            "profile.enable()\n"
+            "code = pytest.main(argv)\n"
+            "profile.disable()\n"
+            "profile.dump_stats(dump)\n"
+            "sys.exit(int(code))\n"
+        )
+        command = [
+            sys.executable, "-c", driver, str(profile_path), str(target), "-q", "-s",
+        ]
+    else:
+        command = [sys.executable, "-m", "pytest", str(target), "-q", "-s"]
+
+    started = time.perf_counter()
+    try:
+        if args.json is not None:
+            proc = subprocess.run(command, env=env, capture_output=True, text=True)
+            returncode, stdout, stderr = proc.returncode, proc.stdout, proc.stderr
+        else:
+            returncode = subprocess.call(command, env=env)
+            stdout = stderr = None
+        duration = time.perf_counter() - started
+
+        profile_text = None
+        if profile_path is not None and profile_path.stat().st_size > 0:
+            profile_text = _profile_summary(profile_path)
+            if args.json is None:
+                print(profile_text, end="")
+    finally:
+        if profile_path is not None:
+            profile_path.unlink(missing_ok=True)
+
+    if args.json is not None:
+        record = {
+            "record": "bench",
+            "bench": args.name,
+            "file": str(target),
+            "scale": args.scale,
+            "command": command,
+            "returncode": returncode,
+            "duration_seconds": round(duration, 3),
+            "stdout": stdout,
+            "stderr": stderr,
+        }
+        if profile_text is not None:
+            record["profile_top"] = profile_text
+        _write_text(args.json, json.dumps(record, sort_keys=True) + "\n")
+        if args.json != "-" and stdout:
+            # JSON went to a file: still echo the benchmark's own output.
+            sys.stdout.write(stdout)
+    return returncode
 
 
 # -- trace gen / validate -----------------------------------------------------
@@ -355,6 +582,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--requests-served", action="store_true", help="also evaluate requests served (slower)"
     )
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes sharding level×scheme cells (deterministic merge; default: 1)",
+    )
     sweep.set_defaults(func=cmd_sweep)
 
     replay = sub.add_parser(
@@ -365,9 +596,16 @@ def build_parser() -> argparse.ArgumentParser:
             "and write deterministic per-step metrics JSONL."
         ),
     )
-    replay.add_argument("--trace", required=True, help="trace file (JSONL; '-' for stdin)")
+    replay.add_argument(
+        "--trace", required=True, action="append",
+        help="trace file (JSONL; '-' for stdin); repeatable — traces replay in order",
+    )
     _add_environment_options(replay)
     replay.add_argument("--seed", type=int, default=0, help="replay seed for capacity events")
+    replay.add_argument(
+        "--seeds", default=None,
+        help="comma-separated replay seeds (each trace replays once per seed; overrides --seed)",
+    )
     replay.add_argument("--objective", default="revenue", help="engine objective (default: revenue)")
     replay.add_argument(
         "--implementation",
@@ -376,10 +614,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine stages: fast or golden reference",
     )
     replay.add_argument(
+        "--full-recompute", action="store_true",
+        help="disable incremental reconciliation (EngineConfig(incremental=False) A/B baseline)",
+    )
+    replay.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes sharding trace×seed replays (deterministic merge; default: 1)",
+    )
+    replay.add_argument(
         "--requests-served", action="store_true", help="also evaluate requests served per step"
     )
     replay.add_argument(
-        "--force-each-step", action="store_true", help="force a planning round on every step"
+        "--force-each-step", action="store_true",
+        help="force a planning round on every step (always a full recompute)",
     )
     replay.add_argument(
         "--timing", action="store_true",
@@ -412,7 +659,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench",
         help="run a figure benchmark through pytest",
-        description="Run one of the paper-figure benchmarks (pytest wrapper).",
+        description=(
+            "Run one of the paper-figure benchmarks (pytest wrapper). "
+            "Exit codes: 0 = ran and all gates passed; 1 = a benchmark or "
+            "regression gate failed (pytest failure code is forwarded); "
+            "2 = usage error."
+        ),
     )
     bench.add_argument("name", nargs="?", help="benchmark name (see --list) or a file name")
     bench.add_argument("--list", action="store_true", help="list available benchmarks")
@@ -421,6 +673,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--dir", default="benchmarks", help="benchmarks directory (default: ./benchmarks)"
+    )
+    bench.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="write a machine-readable run record as JSON (default target: stdout)",
+    )
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and report the top 20 functions by cumulative time",
     )
     bench.set_defaults(func=cmd_bench)
 

@@ -5,7 +5,13 @@ from repro.cluster.events import EventTimeline, FailureEvent, RecoveryEvent
 from repro.cluster.microservice import Microservice
 from repro.cluster.node import Node
 from repro.cluster.resources import Resources, total
-from repro.cluster.state import ClusterState, ReplicaId, SchedulingError, build_uniform_cluster
+from repro.cluster.state import (
+    ClusterState,
+    DirtySet,
+    ReplicaId,
+    SchedulingError,
+    build_uniform_cluster,
+)
 
 __all__ = [
     "Application",
@@ -18,6 +24,7 @@ __all__ = [
     "Resources",
     "total",
     "ClusterState",
+    "DirtySet",
     "ReplicaId",
     "SchedulingError",
     "build_uniform_cluster",

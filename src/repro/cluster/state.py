@@ -23,11 +23,20 @@ path stays flat as clusters grow to the paper's 100k-node scale:
 
 Node health must only be changed through :meth:`fail_nodes` /
 :meth:`recover_nodes` (never via ``node.fail()`` directly on a registered
-node) so the cached aggregates stay consistent.
+node) so the cached aggregates, the failed-node registry and the dirty
+tracking stay consistent.
+
+Dirty tracking: every mutation records which nodes and applications it
+affected (plus a monotonically increasing generation counter).
+:meth:`drain_dirty` hands the accumulated :class:`DirtySet` to a consumer —
+the incremental scheduler in :mod:`repro.core.incremental` — and resets the
+accumulator.  Tracking is a few set-adds per mutation, cheap enough to stay
+always-on.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Iterable, Iterator, Mapping, NamedTuple
 
@@ -67,6 +76,29 @@ class SchedulingError(RuntimeError):
     """Raised when an assignment would violate capacity or consistency."""
 
 
+@dataclass(frozen=True, slots=True)
+class DirtySet:
+    """What changed on a :class:`ClusterState` between two drains.
+
+    ``nodes`` are nodes whose usage, assignments or health changed; ``apps``
+    are applications whose placement changed.  ``structural`` flags changes
+    that invalidate any cached view wholesale (nodes or applications added
+    or removed).  ``base_generation`` is the state's generation at the
+    previous drain and ``end_generation`` the generation at this drain, so a
+    consumer can detect that another consumer drained in between (its own
+    remembered end-generation will not match the next drain's base).
+    """
+
+    nodes: frozenset[str]
+    apps: frozenset[str]
+    structural: bool
+    base_generation: int
+    end_generation: int
+
+    def __bool__(self) -> bool:
+        return bool(self.nodes) or bool(self.apps) or self.structural
+
+
 class ClusterState:
     """Mutable cluster state shared by planners, schedulers and simulators."""
 
@@ -90,15 +122,70 @@ class ClusterState:
         self._running: dict[tuple[str, str], int] = {}
         #: (app, microservice) -> per-replica Resources (lookup cache)
         self._demand: dict[tuple[str, str], Resources] = {}
+        #: (app, microservice) -> ms.replicas (lookup cache, like _demand)
+        self._replica_target: dict[tuple[str, str], int] = {}
+        #: app -> microservice names with running < replicas (the "deficit"
+        #: index).  Maintained O(1) per mutation; lets the packer skip
+        #: fully-running containers and active_microservices() run on set
+        #: arithmetic instead of per-microservice counter lookups.
+        self._deficit: dict[str, set[str]] = {}
+        #: app name -> (Application, all ms names); identity-validated cache
+        self._ms_names: dict[str, tuple[Application, set[str]]] = {}
         # Cached aggregates (cpu, memory), maintained incrementally.
         self._cap_all = [0.0, 0.0]
         self._cap_healthy = [0.0, 0.0]
         self._used_all = [0.0, 0.0]
         self._used_healthy = [0.0, 0.0]
+        #: currently failed nodes, in failure order (dict used as ordered set)
+        self._failed: dict[str, None] = {}
+        # Dirty tracking (see module docstring / DirtySet).
+        self._generation = 0
+        self._dirty_nodes: set[str] = set()
+        self._dirty_apps: set[str] = set()
+        self._dirty_structural = False
+        self._dirty_base = 0
         for node in nodes:
             self.add_node(node)
         for app in applications:
             self.add_application(app)
+
+    # -- dirty tracking ------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter (bumped by every tracked mutator)."""
+        return self._generation
+
+    def drain_dirty(self) -> DirtySet:
+        """Return everything dirtied since the last drain, and reset.
+
+        Draining is destructive: the accumulator restarts empty with
+        ``base_generation`` set to the current generation.  A consumer that
+        remembered the previous drain's ``end_generation`` can therefore
+        detect a competing consumer (mismatching ``base_generation``) and
+        fall back to a full rebuild.
+        """
+        drained = DirtySet(
+            nodes=frozenset(self._dirty_nodes),
+            apps=frozenset(self._dirty_apps),
+            structural=self._dirty_structural,
+            base_generation=self._dirty_base,
+            end_generation=self._generation,
+        )
+        self._dirty_nodes = set()
+        self._dirty_apps = set()
+        self._dirty_structural = False
+        self._dirty_base = self._generation
+        return drained
+
+    def peek_dirty(self) -> DirtySet:
+        """The accumulated dirty set without resetting it (for tooling)."""
+        return DirtySet(
+            nodes=frozenset(self._dirty_nodes),
+            apps=frozenset(self._dirty_apps),
+            structural=self._dirty_structural,
+            base_generation=self._dirty_base,
+            end_generation=self._generation,
+        )
 
     # -- registration --------------------------------------------------------
     def add_node(self, node: Node) -> None:
@@ -115,6 +202,11 @@ class ClusterState:
         if not node.failed:
             self._cap_healthy[0] += capacity.cpu
             self._cap_healthy[1] += capacity.memory
+        else:
+            self._failed[node.name] = None
+        self._generation += 1
+        self._dirty_structural = True
+        self._dirty_nodes.add(node.name)
 
     def _owned_replicas(self, node_name: str) -> set[ReplicaId]:
         """The node's replica set, copied on first write after a copy()."""
@@ -130,6 +222,12 @@ class ClusterState:
         if app.name in self._apps:
             raise ValueError(f"duplicate application {app.name!r}")
         self._apps[app.name] = app
+        lacking = {name for name, ms in app.microservices.items() if ms.replicas > 0}
+        if lacking:
+            self._deficit[app.name] = lacking
+        self._generation += 1
+        self._dirty_structural = True
+        self._dirty_apps.add(app.name)
 
     def remove_application(self, name: str) -> None:
         if name not in self._apps:
@@ -139,6 +237,29 @@ class ClusterState:
         del self._apps[name]
         self._demand = {k: v for k, v in self._demand.items() if k[0] != name}
         self._running = {k: v for k, v in self._running.items() if k[0] != name}
+        self._replica_target = {
+            k: v for k, v in self._replica_target.items() if k[0] != name
+        }
+        self._deficit.pop(name, None)
+        self._ms_names.pop(name, None)
+        self._generation += 1
+        self._dirty_structural = True
+        self._dirty_apps.add(name)
+
+    def _update_deficit(self, key: tuple[str, str]) -> None:
+        """Re-derive one microservice's deficit membership from its count."""
+        target = self._replica_target.get(key)
+        if target is None:
+            target = self._apps[key[0]].get(key[1]).replicas
+            self._replica_target[key] = target
+        bucket = self._deficit.get(key[0])
+        if self._running.get(key, 0) >= target:
+            if bucket is not None:
+                bucket.discard(key[1])
+        elif bucket is None:
+            self._deficit[key[0]] = {key[1]}
+        else:
+            bucket.add(key[1])
 
     # -- accessors ------------------------------------------------------------
     @property
@@ -182,6 +303,19 @@ class ClusterState:
 
     def failed_nodes(self) -> list[Node]:
         return [n for n in self._nodes.values() if n.failed]
+
+    @property
+    def failed_count(self) -> int:
+        """Number of currently failed nodes — O(1) via the failed registry."""
+        return len(self._failed)
+
+    def failed_names(self) -> set[str]:
+        """Names of currently failed nodes — O(failed), not O(cluster).
+
+        Backed by the registry the health mutators maintain; callers get a
+        fresh set they may keep or mutate.
+        """
+        return set(self._failed)
 
     def iter_replicas(self, app: str, microservice: str) -> Iterator[ReplicaId]:
         count = self._apps[app].get(microservice).replicas
@@ -290,12 +424,16 @@ class ClusterState:
         self._owned_replicas(node_name).add(replica)
         running = self._running
         running[key] = running.get(key, 0) + 1
+        self._update_deficit(key)
         used_all = self._used_all
         used_all[0] += demand_cpu
         used_all[1] += demand_mem
         used_healthy = self._used_healthy
         used_healthy[0] += demand_cpu
         used_healthy[1] += demand_mem
+        self._generation += 1
+        self._dirty_nodes.add(node_name)
+        self._dirty_apps.add(key[0])
 
     def unassign(self, replica: ReplicaId) -> str:
         """Remove ``replica`` from its node; returns the node it ran on."""
@@ -320,6 +458,10 @@ class ClusterState:
             used_healthy[0] -= demand_cpu
             used_healthy[1] -= demand_mem
             self._running[key] -= 1
+            self._update_deficit(key)
+        self._generation += 1
+        self._dirty_nodes.add(node_name)
+        self._dirty_apps.add(key[0])
         return node_name
 
     def assign_packed(self, replica: ReplicaId, node_name: str) -> tuple[float, float]:
@@ -348,12 +490,16 @@ class ClusterState:
         self._owned_replicas(node_name).add(replica)
         running = self._running
         running[key] = running.get(key, 0) + 1
+        self._update_deficit(key)
         used_all = self._used_all
         used_all[0] += demand_cpu
         used_all[1] += demand_mem
         used_healthy = self._used_healthy
         used_healthy[0] += demand_cpu
         used_healthy[1] += demand_mem
+        self._generation += 1
+        self._dirty_nodes.add(node_name)
+        self._dirty_apps.add(key[0])
         capacity = self._nodes[node_name].capacity
         free_cpu = capacity.cpu - new_cpu
         free_mem = capacity.memory - new_mem
@@ -386,6 +532,10 @@ class ClusterState:
         used_healthy[0] -= demand_cpu
         used_healthy[1] -= demand_mem
         self._running[key] -= 1
+        self._update_deficit(key)
+        self._generation += 1
+        self._dirty_nodes.add(node_name)
+        self._dirty_apps.add(key[0])
         capacity = self._nodes[node_name].capacity
         free_cpu = capacity.cpu - new_cpu
         free_mem = capacity.memory - new_mem
@@ -434,17 +584,27 @@ class ClusterState:
         return self._running.get((app, microservice), 0) >= ms.replicas
 
     def active_microservices(self, app: str | None = None) -> dict[str, set[str]]:
-        """Mapping of application -> set of fully active microservices."""
+        """Mapping of application -> set of fully active microservices.
+
+        Derived from the deficit index with one set difference per
+        application — O(microservices) set arithmetic rather than a counter
+        lookup per microservice, which matters when metrics are evaluated
+        every replay step.  The returned sets are fresh (callers may keep
+        or mutate them).
+        """
         apps = [app] if app is not None else list(self._apps)
-        counts = self._running
-        return {
-            a: {
-                name
-                for name, ms in self._apps[a].microservices.items()
-                if counts.get((a, name), 0) >= ms.replicas
-            }
-            for a in apps
-        }
+        deficit = self._deficit
+        cache = self._ms_names
+        out: dict[str, set[str]] = {}
+        for a in apps:
+            application = self._apps[a]
+            hit = cache.get(a)
+            if hit is None or hit[0] is not application:
+                hit = (application, set(application.microservices))
+                cache[a] = hit
+            lacking = deficit.get(a)
+            out[a] = hit[1] - lacking if lacking else set(hit[1])
+        return out
 
     def app_resource_usage(self) -> dict[str, float]:
         """CPU usage per application on healthy nodes (for fairness metrics)."""
@@ -470,6 +630,7 @@ class ClusterState:
             if node.failed:
                 continue
             node.fail()
+            self._failed[name] = None
             capacity = node.capacity
             self._cap_healthy[0] -= capacity.cpu
             self._cap_healthy[1] -= capacity.memory
@@ -477,8 +638,14 @@ class ClusterState:
             self._used_healthy[0] -= used_cpu
             self._used_healthy[1] -= used_mem
             running = self._running
+            dirty_apps = self._dirty_apps
             for replica in self._by_node[name]:
-                running[(replica.app, replica.microservice)] -= 1
+                key = (replica.app, replica.microservice)
+                running[key] -= 1
+                self._update_deficit(key)
+                dirty_apps.add(replica.app)
+            self._generation += 1
+            self._dirty_nodes.add(name)
             impacted.extend(self.replicas_on(name))
         return impacted
 
@@ -488,6 +655,7 @@ class ClusterState:
             if not node.failed:
                 continue
             node.recover()
+            self._failed.pop(name, None)
             capacity = node.capacity
             self._cap_healthy[0] += capacity.cpu
             self._cap_healthy[1] += capacity.memory
@@ -495,22 +663,29 @@ class ClusterState:
             self._used_healthy[0] += used_cpu
             self._used_healthy[1] += used_mem
             running = self._running
+            dirty_apps = self._dirty_apps
             for replica in self._by_node[name]:
                 key = (replica.app, replica.microservice)
                 running[key] = running.get(key, 0) + 1
+                self._update_deficit(key)
+                dirty_apps.add(key[0])
+            self._generation += 1
+            self._dirty_nodes.add(name)
 
     def evict_from_failed_nodes(self) -> list[ReplicaId]:
-        """Unassign every replica currently placed on a failed node."""
+        """Unassign every replica currently placed on a failed node.
+
+        Iterates the failed-node registry (failure order), so the scan is
+        O(failed nodes + evicted replicas), not O(cluster).
+        """
         evicted: list[ReplicaId] = []
         assignments = self._assignments
         used = self._used
         used_all = self._used_all
         demand_cache = self._demand
         apps = self._apps
-        for node in self._nodes.values():
-            if not node.failed:
-                continue
-            name = node.name
+        dirty_apps = self._dirty_apps
+        for name in self._failed:
             by_node = self._by_node[name]
             if not by_node:
                 continue
@@ -533,10 +708,13 @@ class ClusterState:
                 used_all[0] -= demand_cpu
                 used_all[1] -= demand_mem
                 evicted.append(replica)
+                dirty_apps.add(key[0])
             used[name] = (used_cpu, used_mem)
             self._by_node[name] = set()
             if self._by_node_owned is not None:
                 self._by_node_owned.add(name)
+            self._generation += 1
+            self._dirty_nodes.add(name)
         return evicted
 
     # -- copying -------------------------------------------------------------------
@@ -570,11 +748,60 @@ class ClusterState:
         self._by_node_owned = set()
         clone._running = dict(self._running)
         clone._demand = dict(self._demand)
+        clone._replica_target = dict(self._replica_target)
+        clone._deficit = {name: set(lacking) for name, lacking in self._deficit.items()}
+        clone._ms_names = dict(self._ms_names)
         clone._cap_all = list(self._cap_all)
         clone._cap_healthy = list(self._cap_healthy)
         clone._used_all = list(self._used_all)
         clone._used_healthy = list(self._used_healthy)
+        clone._failed = dict(self._failed)
+        # A copy is a fresh snapshot: its dirty accumulator starts empty.
+        clone._generation = 0
+        clone._dirty_nodes = set()
+        clone._dirty_apps = set()
+        clone._dirty_structural = False
+        clone._dirty_base = 0
         return clone
+
+    def resync_from(self, source: "ClusterState", node_names: Iterable[str]) -> None:
+        """Realign this scratch copy with ``source`` (trusted, incremental).
+
+        Used by :class:`repro.core.incremental.IncrementalScheduler`: this
+        state must have been created as ``source.copy(share_nodes=True)``
+        and ``node_names`` must cover every node whose usage or resident set
+        changed on *either* state since the last resync (plus every
+        currently failed node, whose eviction is re-derived each round).
+
+        After the call this state is decision-equivalent to a fresh
+        ``source.copy(share_nodes=True)``: the assignment map is an exact
+        (order-preserving) clone, per-node usage floats are byte-identical
+        for every resynced node, and the running counters, demand cache,
+        failed registry and aggregate caches match the source.  Nothing is
+        marked dirty — a resync is a snapshot, not a mutation.
+        """
+        self._assignments = dict(source._assignments)
+        self._running = dict(source._running)
+        self._apps = source._apps
+        self._demand = source._demand
+        self._replica_target = source._replica_target
+        self._deficit = {name: set(lacking) for name, lacking in source._deficit.items()}
+        self._ms_names = source._ms_names
+        self._failed = dict(source._failed)
+        self._cap_all = list(source._cap_all)
+        self._cap_healthy = list(source._cap_healthy)
+        self._used_all = list(source._used_all)
+        self._used_healthy = list(source._used_healthy)
+        owned = self._by_node_owned
+        source_used = source._used
+        source_by_node = source._by_node
+        used = self._used
+        by_node = self._by_node
+        for name in node_names:
+            used[name] = source_used[name]
+            by_node[name] = set(source_by_node[name])
+            if owned is not None:
+                owned.add(name)
 
     # -- misc ------------------------------------------------------------------------
     def summary(self) -> dict[str, object]:

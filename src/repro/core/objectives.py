@@ -80,6 +80,16 @@ class OperatorObjective(ABC):
     #: in :mod:`repro.core.reference`.
     independent_scores: bool = False
 
+    #: Stronger declaration: ``score`` depends *only* on the application and
+    #: microservice — neither on ``allocated`` nor on any state installed by
+    #: :meth:`prepare` (the planner additionally requires ``prepare`` to be
+    #: un-overridden before trusting this).  With static scores the global
+    #: merge order is a pure function of the applications, so the planner
+    #: caches the merged ranked list across rounds and only recomputes the
+    #: capacity-bounded activation prefix — byte-identical output, O(C) per
+    #: round instead of O(C log A) heap work.
+    static_scores: bool = False
+
     def prepare(self, applications: Mapping[str, Application], capacity: float) -> None:
         """Hook called once per planning round before any scoring.
 
@@ -148,6 +158,7 @@ class RevenueObjective(OperatorObjective):
 
     name = "revenue"
     independent_scores = True
+    static_scores = True  # price and criticality never depend on allocations
 
     def score(
         self,

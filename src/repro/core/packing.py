@@ -154,6 +154,25 @@ class _NodeIndex:
         self.remove(node_name)
         self.reinsert(node_name)
 
+    def refresh(self, node_name: str) -> None:
+        """Reconcile one node's entry after out-of-band state changes.
+
+        Used by the incremental scheduler when re-using a persistent index
+        across rounds: a node that failed leaves the index, a node that
+        recovered (re)enters it, and a healthy node whose usage changed is
+        re-keyed.  The resulting entry set is exactly what a fresh
+        ``_NodeIndex(state)`` build would contain for this node.
+        """
+        present = node_name in self._free
+        if self._state.nodes[node_name].failed:
+            if present:
+                self.remove(node_name)
+            return
+        if present:
+            self.update(node_name)
+        else:
+            self.reinsert(node_name)
+
     def reinsert(self, node_name: str) -> None:
         cpu, mem = self._free_pair(node_name)
         self._free[node_name] = (cpu, mem)
@@ -324,9 +343,30 @@ class PackingHeuristic:
         mutated; replicas already running on healthy nodes are kept in place
         whenever possible.
         """
+        return self.pack_onto(state, plan)[0]
+
+    def pack_onto(
+        self,
+        state: ClusterState,
+        plan: ActivationPlan,
+        node_index: _NodeIndex | None = None,
+    ) -> tuple[PackingResult, _NodeIndex]:
+        """Like :meth:`pack`, but exposing the node index for reuse.
+
+        Without ``node_index`` this is the classic pack: evict failed-node
+        replicas, then build a fresh index.  With ``node_index`` the caller
+        provides a persistent index already synchronized to ``state`` (and
+        has performed the eviction itself); the pack keeps the index
+        up to date through every mutation, so the returned index can be
+        carried into the next round by the incremental scheduler.  Both
+        modes produce byte-identical packings — index block layout never
+        affects best-fit or free-descending scans, only the entry set does.
+        """
         result = PackingResult()
-        # Remove replicas stranded on failed nodes; they must be restarted.
-        state.evict_from_failed_nodes()
+        prebuilt = node_index is not None
+        if not prebuilt:
+            # Remove replicas stranded on failed nodes; they must be restarted.
+            state.evict_from_failed_nodes()
 
         activated = list(plan.activated)
         activated_set = plan.activated_set()
@@ -336,25 +376,44 @@ class PackingHeuristic:
         # activate (diagonal scaling: turning off non-critical containers).
         # replica[:2] == (app, microservice); after eviction every assigned
         # replica runs on a healthy node, so the trusted unassign applies.
-        for replica in list(state.assignments):
-            if replica[:2] not in activated_set:
-                state.unassign_packed(replica)
-                result.deleted.append(replica)
-
-        index = _NodeIndex(state)
+        if prebuilt:
+            index = node_index
+            for replica in list(state.assignments):
+                if replica[:2] not in activated_set:
+                    node_name, new_free = state.unassign_packed(replica)
+                    index.update(node_name, new_free)
+                    result.deleted.append(replica)
+        else:
+            for replica in list(state.assignments):
+                if replica[:2] not in activated_set:
+                    state.unassign_packed(replica)
+                    result.deleted.append(replica)
+            index = _NodeIndex(state)
         victims = _VictimIndex(rank_of) if self.allow_deletion else None
 
         applications = state.applications
         running = state.running_view()
+        # The fully-running early-out runs on the state's deficit index: at
+        # production scale almost every activated entry is already running,
+        # and even a per-entry counter lookup would dominate the loop.  The
+        # index is consulted live (not snapshotted) because deletions
+        # (delete-lower-ranks, all-or-nothing rollback) may change counts
+        # mid-loop.
+        deficit_get = state._deficit.get
+        unplaced_append = result.unplaced.append
         for entry in activated:
+            app_name = entry[0]
+            lacking = deficit_get(app_name)
+            if lacking is None or entry[1] not in lacking:
+                continue  # every replica already runs on a healthy node
             placed = self._place_microservice(
                 state, index, victims, entry, rank_of, result, applications, running
             )
             if not placed:
-                result.unplaced.append((entry.app, entry.microservice))
+                unplaced_append((app_name, entry[1]))
 
         result.assignment = state.assignments_snapshot()
-        return result
+        return result, index
 
     # -- internal steps --------------------------------------------------------
     def _place_microservice(

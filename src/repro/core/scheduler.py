@@ -17,13 +17,31 @@ from repro.core.plan import Action, ActionKind, ActivationPlan, SchedulePlan, ma
 
 
 class PhoenixScheduler:
-    """Maps the planner's activation list to nodes and emits actions."""
+    """Maps the planner's activation list to nodes and emits actions.
 
-    def __init__(self, allow_migration: bool = True, allow_deletion: bool = True) -> None:
+    With ``incremental`` the scheduler keeps a persistent scratch state and
+    node index across calls (see :mod:`repro.core.incremental`) so repeated
+    scheduling rounds against the *same* live state cost O(churn) instead of
+    O(cluster) — byte-identical output either way.  Off by default here;
+    the engine pipeline enables it through
+    :class:`repro.api.config.EngineConfig`.
+    """
+
+    def __init__(
+        self,
+        allow_migration: bool = True,
+        allow_deletion: bool = True,
+        incremental: bool = False,
+    ) -> None:
         self._packer = PackingHeuristic(
             allow_migration=allow_migration,
             allow_deletion=allow_deletion,
         )
+        self._incremental = None
+        if incremental:
+            from repro.core.incremental import IncrementalScheduler
+
+            self._incremental = IncrementalScheduler(self._packer, diff_actions)
 
     @property
     def packer(self) -> PackingHeuristic:
@@ -32,10 +50,13 @@ class PhoenixScheduler:
     def schedule(self, state: ClusterState, plan: ActivationPlan) -> SchedulePlan:
         """Produce a :class:`SchedulePlan` for ``plan`` on ``state``.
 
-        ``state`` is not mutated; all packing happens on a copy.  Packing
+        ``state`` is not mutated; all packing happens on a copy (classic
+        mode) or on the persistent scratch (incremental mode).  Packing
         never changes node health or labels, so the working copy shares the
         node objects with the live state.
         """
+        if self._incremental is not None:
+            return self._incremental.schedule(state, plan)
         working = state.copy(share_nodes=True)
         packing = self._packer.pack(working, plan)
         actions = diff_actions(state, packing)
@@ -57,9 +78,11 @@ def diff_actions(live: ClusterState, packing: PackingResult) -> list[Action]:
     action list is sorted by a key tuple precomputed at append time instead
     of per-comparison attribute access.
     """
-    live_assignment = live.assignments
+    # Raw dict access (not the read-only proxy): the differ only reads, and
+    # proxy dispatch is measurable at one iteration per replica per round.
+    live_assignment = live._assignments
     target = packing.assignment
-    failed = {name for name, node in live.nodes.items() if node.failed}
+    failed = live.failed_names()
 
     # ReplicaId is a named tuple whose field order is exactly the action
     # sort key (app, microservice, replica), so the replica itself is the

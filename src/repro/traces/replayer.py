@@ -255,7 +255,10 @@ class TraceReplayer:
                 self._apply(current, event)
                 if isinstance(event, LoadChange):
                     load[event.app] = event.multiplier
-                if bus is not None:
+                # Truthiness, not identity: an EventBus with zero
+                # subscribers is falsy, so the payload record is never
+                # built when nobody is listening (the common replay case).
+                if bus:
                     from repro.api.events import TraceEventApplied
 
                     bus.emit(
@@ -281,7 +284,7 @@ class TraceReplayer:
             step = ReplayStep(
                 time=time_point,
                 events=tuple(e.kind for e in events),
-                failed_nodes=len(current.failed_nodes()),
+                failed_nodes=current.failed_count,
                 available_fraction=(
                     current.total_capacity().cpu / total if total > 0 else 0.0
                 ),
@@ -295,7 +298,7 @@ class TraceReplayer:
                 planning_seconds=planning,
             )
             metrics.steps.append(step)
-            if bus is not None:
+            if bus:  # no-subscriber fast path: skip the payload record too
                 from repro.api.events import ReplayStepCompleted
 
                 bus.emit(ReplayStepCompleted(time=time_point, payload=step.to_record()))

@@ -102,6 +102,44 @@ class TestReplayCommand:
         assert err.startswith("error:")
         assert "--nodes" in err
 
+    def test_replay_full_recompute_matches_incremental(self, storm_trace, tmp_path):
+        outputs = []
+        for flag in ([], ["--full-recompute"]):
+            out = tmp_path / f"m{len(flag)}.jsonl"
+            code = main(
+                ["replay", "--trace", str(storm_trace), "--nodes", "60", "--apps", "4",
+                 "--seed", "42", "--out", str(out), *flag]
+            )
+            assert code == 0
+            outputs.append(out.read_bytes())
+        assert outputs[0] == outputs[1]
+
+    def test_replay_workers_output_identical_to_serial(self, storm_trace, tmp_path):
+        outputs = []
+        for workers in ("1", "3"):
+            out = tmp_path / f"w{workers}.jsonl"
+            code = main(
+                ["replay", "--trace", str(storm_trace), "--trace", str(storm_trace),
+                 "--seeds", "0,5", "--nodes", "60", "--apps", "4",
+                 "--workers", workers, "--out", str(out)]
+            )
+            assert code == 0
+            outputs.append(out.read_bytes())
+        assert outputs[0] == outputs[1]
+        # two traces x two seeds = four replay headers in input order
+        assert outputs[0].count(b'"record":"replay"') == 4
+
+    def test_replay_bad_seeds_errors(self, storm_trace, capsys):
+        code = main(["replay", "--trace", str(storm_trace), "--seeds", "1,x"])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_replay_bad_workers_errors(self, storm_trace, capsys):
+        code = main(["replay", "--trace", str(storm_trace), "--workers", "0",
+                     "--nodes", "60", "--apps", "4"])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
 
 class TestSweepCommand:
     def test_sweep_prints_scheme_rows(self, capsys):
@@ -120,6 +158,23 @@ class TestSweepCommand:
 
     def test_sweep_bad_levels_errors(self, capsys):
         assert main(["sweep", "--levels", "abc"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_sweep_workers_output_identical_to_serial(self, capsys):
+        outputs = []
+        for workers in ("1", "2"):
+            code = main(
+                ["sweep", "--nodes", "60", "--apps", "4", "--levels", "0.3,0.5",
+                 "--schemes", "phoenix-cost,default", "--workers", workers]
+            )
+            assert code == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_sweep_bad_workers_errors(self, capsys):
+        code = main(["sweep", "--nodes", "60", "--apps", "4", "--levels", "0.5",
+                     "--workers", "-1"])
+        assert code == 2
         assert capsys.readouterr().err.startswith("error:")
 
 
@@ -148,6 +203,70 @@ class TestBenchCommand:
     def test_bench_missing_dir_errors(self, tmp_path, capsys):
         assert main(["bench", "fig8a", "--dir", str(tmp_path / "nope")]) == 2
         assert capsys.readouterr().err.startswith("error:")
+
+    def test_bench_replay_alias_registered(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        assert "replay-throughput" in capsys.readouterr().out
+
+    @pytest.fixture
+    def tiny_bench_dir(self, tmp_path) -> Path:
+        """A benchmarks directory with one instant pytest benchmark."""
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir()
+        (bench_dir / "bench_tiny.py").write_text(
+            "def test_tiny_gate():\n"
+            "    print('tiny-bench-ran')\n"
+            "    assert 1 + 1 == 2\n",
+            encoding="utf-8",
+        )
+        return bench_dir
+
+    def test_bench_json_record(self, tiny_bench_dir, tmp_path):
+        import json
+
+        out = tmp_path / "bench.json"
+        code = main(
+            ["bench", "bench_tiny.py", "--dir", str(tiny_bench_dir), "--json", str(out)]
+        )
+        assert code == 0
+        record = json.loads(out.read_text(encoding="utf-8"))
+        assert record["record"] == "bench"
+        assert record["returncode"] == 0
+        assert record["duration_seconds"] > 0
+        assert "tiny-bench-ran" in record["stdout"]
+
+    def test_bench_json_to_stdout(self, tiny_bench_dir, capsys):
+        import json
+
+        code = main(["bench", "bench_tiny.py", "--dir", str(tiny_bench_dir), "--json"])
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["record"] == "bench" and record["returncode"] == 0
+
+    def test_bench_profile_reports_top_functions(self, tiny_bench_dir, tmp_path):
+        import json
+
+        out = tmp_path / "bench.json"
+        code = main(
+            ["bench", "bench_tiny.py", "--dir", str(tiny_bench_dir),
+             "--json", str(out), "--profile"]
+        )
+        assert code == 0
+        record = json.loads(out.read_text(encoding="utf-8"))
+        assert "cumulative" in record.get("profile_top", "")
+
+    def test_bench_failure_forwards_exit_code(self, tmp_path):
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir()
+        (bench_dir / "bench_fail.py").write_text(
+            "def test_gate():\n    assert False, 'gate tripped'\n", encoding="utf-8"
+        )
+        assert main(["bench", "bench_fail.py", "--dir", str(bench_dir), "--json"]) == 1
+        # --profile must forward the failure code too (the cProfile CLI
+        # would swallow pytest's SystemExit; the driver avoids that).
+        assert (
+            main(["bench", "bench_fail.py", "--dir", str(bench_dir), "--profile"]) == 1
+        )
 
 
 class TestEntrypoint:
