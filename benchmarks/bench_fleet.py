@@ -1,0 +1,206 @@
+"""Fleet replay throughput: serial vs. sharded worker processes.
+
+Measures end-to-end fleet-replay throughput (global steps/second, wall
+clock) for the same scenario — per-cell Poisson churn plus one mid-run cell
+outage, so the spillover protocol is exercised too — driven twice through
+:class:`repro.fleet.FleetReplayer`:
+
+* **serial** — every cell reconciles in the parent process;
+* **workers=4** — cells sharded onto persistent worker processes; states
+  cross the process boundary once, then only trace events and compact
+  summaries travel per step.
+
+Both replays must produce byte-identical metrics JSONL — the benchmark
+asserts it, so every run doubles as an equivalence check of the sharded
+control plane.  Speedup tracks the machine: sharding cannot beat the core
+count, so rows record ``cpu_count`` alongside the ratio (the committed
+``BENCH_fleet.json`` documents its measurement host's).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py [--cells 4] \
+        [--nodes-per-cell 25000] [--steps 120] [--save] [--json out.json]
+
+or via pytest (CI fleet-smoke gate: byte-identity always; >=1.8x with 4
+workers when the host has >= 4 cores)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fleet.py -q -s
+
+``--save`` records the rows into ``BENCH_fleet.json`` at the repository
+root (the committed trajectory the docs reference).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.adaptlab import build_environment
+from repro.fleet import FleetConfig, FleetEngine, FleetReplayer
+from repro.traces import fleet_scenario
+
+DEFAULT_CELLS = 4
+DEFAULT_NODES_PER_CELL = 25000
+DEFAULT_STEPS = 120
+#: Quick-gate configuration (CI fleet-smoke): small cells, generous ratio.
+QUICK_NODES_PER_CELL = 4000
+QUICK_STEPS = 60
+QUICK_MIN_SPEEDUP = 1.8
+QUICK_WORKERS = 4
+N_APPS = 6
+ENV_SEED = 2025
+SCENARIO_SEED = 7
+REPLAY_SEED = 3
+
+
+def _scenario(cells: int, nodes_per_cell: int, steps: int):
+    """Per-cell Poisson churn (~``steps`` fleet steps total) + one outage."""
+    horizon = 3600.0
+    per_cell_steps = max(1, steps // cells)
+    mtbf = nodes_per_cell * horizon / per_cell_steps
+    return fleet_scenario(
+        cells,
+        nodes_per_cell,
+        horizon=horizon,
+        mtbf=mtbf,
+        mttr=300.0,
+        outage_cell=cells - 1,
+        outage_at=horizon / 2,
+        outage_recovery_after=horizon / 4,
+        seed=SCENARIO_SEED,
+    )
+
+
+def _build_fleet(cells: int, nodes_per_cell: int) -> FleetEngine:
+    states = [
+        build_environment(
+            node_count=nodes_per_cell, n_apps=N_APPS, seed=ENV_SEED + i
+        ).fresh_state()
+        for i in range(cells)
+    ]
+    fleet = FleetEngine(FleetConfig(cells=cells), states=states)
+    fleet.reconcile(force=True)  # converge before the clock starts
+    return fleet
+
+
+def _replay(cells: int, nodes_per_cell: int, scenario, workers: int):
+    """(metrics JSONL, steps, wall seconds) for one full fleet replay.
+
+    The fleet is rebuilt per run (sharded replays hand their states to the
+    workers); only the replay itself is timed.  The collector stays enabled
+    — allocation churn is part of the real per-step cost.
+    """
+    fleet = _build_fleet(cells, nodes_per_cell)
+    replayer = FleetReplayer(fleet, seed=REPLAY_SEED, workers=workers)
+    gc.collect()
+    started = time.perf_counter()
+    metrics = replayer.run(scenario)
+    elapsed = time.perf_counter() - started
+    return metrics.to_jsonl(), len(metrics), elapsed
+
+
+def measure_fleet_replay(
+    cells: int, nodes_per_cell: int, steps: int = DEFAULT_STEPS, workers: int = 4
+) -> dict:
+    """One benchmark row: serial vs. sharded replay of the same scenario."""
+    scenario = _scenario(cells, nodes_per_cell, steps)
+    serial_jsonl, n_steps, serial_seconds = _replay(cells, nodes_per_cell, scenario, 1)
+    sharded_jsonl, _, sharded_seconds = _replay(cells, nodes_per_cell, scenario, workers)
+    if serial_jsonl != sharded_jsonl:  # equivalence is part of the contract
+        raise AssertionError(
+            f"sharded fleet replay diverged from serial at "
+            f"{cells}x{nodes_per_cell} nodes"
+        )
+    return {
+        "cells": cells,
+        "nodes_per_cell": nodes_per_cell,
+        "steps": n_steps,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "serial_steps_per_sec": round(n_steps / serial_seconds, 2),
+        "sharded_steps_per_sec": round(n_steps / sharded_seconds, 2),
+        "speedup": round(serial_seconds / sharded_seconds, 2),
+        "identical_output": True,
+    }
+
+
+def print_rows(rows: list[dict]) -> None:
+    print("\n=== Fleet replay throughput (steps/sec; identical output enforced) ===")
+    print(
+        f"{'cells':<7}{'nodes/cell':<12}{'steps':>7}{'serial':>10}"
+        f"{'workers=4':>12}{'speedup':>10}{'cores':>7}"
+    )
+    for row in rows:
+        print(
+            f"{row['cells']:<7}{row['nodes_per_cell']:<12}{row['steps']:>7}"
+            f"{row['serial_steps_per_sec']:>10.2f}{row['sharded_steps_per_sec']:>12.2f}"
+            f"{row['speedup']:>9.2f}x{row['cpu_count']:>7}"
+        )
+
+
+def main(argv=None) -> list[dict]:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cells", type=int, default=DEFAULT_CELLS)
+    parser.add_argument("--nodes-per-cell", type=int, default=DEFAULT_NODES_PER_CELL)
+    parser.add_argument("--steps", type=int, default=DEFAULT_STEPS)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--quick", action="store_true", help="small-cell row only")
+    parser.add_argument("--save", action="store_true", help="write BENCH_fleet.json")
+    parser.add_argument("--json", default=None, help="also write rows as JSON ('-' = stdout)")
+    args = parser.parse_args(argv)
+    if args.quick:
+        rows = [
+            measure_fleet_replay(
+                DEFAULT_CELLS, QUICK_NODES_PER_CELL, QUICK_STEPS, workers=args.workers
+            )
+        ]
+    else:
+        rows = [
+            measure_fleet_replay(
+                args.cells, args.nodes_per_cell, args.steps, workers=args.workers
+            )
+        ]
+    print_rows(rows)
+    payload = json.dumps({"benchmark": "fleet_replay_throughput", "rows": rows}, indent=2) + "\n"
+    if args.save:
+        target = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+        target.write_text(payload, encoding="utf-8")
+        print(f"saved {target}")
+    if args.json == "-":
+        print(payload, end="")
+    elif args.json:
+        Path(args.json).write_text(payload, encoding="utf-8")
+    return rows
+
+
+def test_fleet_sharded_identity_and_speedup_quick():
+    """CI gate: sharded replay byte-identical, and >=1.8x on >=4 cores.
+
+    Byte-identity is asserted unconditionally (measure_fleet_replay raises
+    on divergence).  The speedup gate only applies when the host actually
+    has the cores to parallelize over — sharding cannot beat ``cpu_count``,
+    so single- and dual-core hosts check identity only.  One re-measure
+    damps shared-runner scheduler noise.
+    """
+    row = measure_fleet_replay(DEFAULT_CELLS, QUICK_NODES_PER_CELL, QUICK_STEPS)
+    cores = os.cpu_count() or 1
+    if cores >= QUICK_WORKERS and row["speedup"] < QUICK_MIN_SPEEDUP:
+        row = measure_fleet_replay(DEFAULT_CELLS, QUICK_NODES_PER_CELL, QUICK_STEPS)
+    print_rows([row])
+    assert row["identical_output"]
+    if cores >= QUICK_WORKERS:
+        assert row["speedup"] >= QUICK_MIN_SPEEDUP, (
+            f"sharded fleet replay speedup {row['speedup']}x at "
+            f"{DEFAULT_CELLS}x{QUICK_NODES_PER_CELL} nodes is below the "
+            f"{QUICK_MIN_SPEEDUP}x gate on a {cores}-core host"
+        )
+    else:  # pragma: no cover - depends on host shape
+        print(f"(speedup gate skipped: {cores} core(s) < {QUICK_WORKERS} workers)")
+
+
+if __name__ == "__main__":
+    main()

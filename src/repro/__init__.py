@@ -17,13 +17,17 @@ Public API highlights
 * :mod:`repro.adaptlab` — the AdaptLab resilience benchmarking platform.
 * :mod:`repro.chaos` — the chaos-testing service for criticality tags.
 * :mod:`repro.traces` — the scenario subsystem: versioned JSONL traces,
-  seeded generators and the :class:`TraceReplayer`.
+  seeded generators, fleet scenarios and the :class:`TraceReplayer`.
+* :mod:`repro.fleet` — the federation layer: :class:`FleetEngine` composes
+  many per-cell engines into one sharded, parallel control plane with
+  cross-cell capacity spillover.
 * :mod:`repro.cli` — the ``python -m repro`` command line (sweeps, trace
-  replay, chaos checks, figure benchmarks).
+  replay, fleet scenarios, chaos checks, figure benchmarks).
 """
 
 from repro.adaptlab import default_scheme_suite, run_failure_sweep, summarize
 from repro.api import EngineConfig, PhoenixEngine, SchemeAdapter, backend_for, engine
+from repro.fleet import FleetConfig, FleetEngine, FleetReplayer
 from repro.cluster import (
     Application,
     ClusterState,
@@ -41,9 +45,9 @@ from repro.core import (
     PhoenixScheduler,
     RevenueObjective,
 )
-from repro.traces import Trace, TraceReplayer
+from repro.traces import Trace, TraceReplayer, fleet_scenario
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "default_scheme_suite",
@@ -54,6 +58,9 @@ __all__ = [
     "SchemeAdapter",
     "backend_for",
     "engine",
+    "FleetConfig",
+    "FleetEngine",
+    "FleetReplayer",
     "Application",
     "ClusterState",
     "Microservice",
@@ -69,5 +76,6 @@ __all__ = [
     "RevenueObjective",
     "Trace",
     "TraceReplayer",
+    "fleet_scenario",
     "__version__",
 ]

@@ -146,6 +146,32 @@ def _revenue(target: ClusterState, active_by_app: dict[str, set[str]] | None = N
     return value
 
 
+def cluster_revenue(
+    state: ClusterState, active_by_app: dict[str, set[str]] | None = None
+) -> float:
+    """Absolute revenue earned by the currently active microservices.
+
+    The un-normalized form of :func:`normalized_revenue`, used by the fleet
+    layer to aggregate revenue across cells before normalizing against the
+    fleet-wide reference.  Same accumulation order as the normalized path.
+    """
+    return _revenue(state, active_by_app)
+
+
+def potential_revenue(state: ClusterState) -> float:
+    """Revenue the cluster would earn with every microservice active.
+
+    The reference denominator :func:`normalized_revenue` uses when no
+    reference state is given — a flat sum of every microservice's revenue
+    rate in (application, microservice) order.
+    """
+    return sum(
+        rate
+        for app in state.applications.values()
+        for rate in _statics_for(app).revenue_rates.values()
+    )
+
+
 def normalized_revenue(
     state: ClusterState,
     reference: ClusterState | None = None,

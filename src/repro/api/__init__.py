@@ -10,8 +10,12 @@ reconciles goes through :class:`PhoenixEngine`:
 
 Building blocks:
 
-* :class:`EngineConfig` — declarative engine description (objective,
-  fast/reference implementation, packing flags).
+* :class:`EngineConfig` — declarative engine description: objective,
+  fast/reference implementation, packing flags, and the incremental
+  reconciliation knobs (``incremental`` keeps a persistent scratch state so
+  per-round cost follows churn — on by default and byte-identical to full
+  recomputes; ``incremental_dirty_threshold`` bounds the dirty fraction
+  before a round falls back to a full rebuild).
 * :class:`Ranker` / :class:`Packer` / :class:`Differ` — pluggable pipeline
   stage protocols; stock fast and golden-reference implementations ship.
 * :class:`StagePipeline` / :class:`LPPipeline` — pipeline composition.
@@ -24,6 +28,13 @@ Building blocks:
   scheme.
 * :func:`backend_for` — auto-wrap cluster states / kubesim clusters into
   the ``ClusterBackend`` protocol.
+
+Fleet re-exports: the federation layer over many engines lives in
+:mod:`repro.fleet`; its headline names — :class:`FleetEngine`,
+:class:`FleetConfig`, :class:`FleetReplayer` — are re-exported here lazily
+(``repro.api.FleetEngine``), so frontends depending only on ``repro.api``
+can federate without a second import root.  The import is deferred because
+:mod:`repro.fleet` itself builds on this package.
 """
 
 from repro.api.adapters import SchemeAdapter
@@ -54,6 +65,10 @@ from repro.api.stages import (
     build_stages,
 )
 
+#: Names re-exported lazily from :mod:`repro.fleet` (which imports this
+#: package, so an eager import here would be circular).
+_FLEET_REEXPORTS = ("FleetConfig", "FleetEngine", "FleetReplayer")
+
 __all__ = [
     "SchemeAdapter",
     "EngineConfig",
@@ -77,4 +92,17 @@ __all__ = [
     "Ranker",
     "ReferencePlanner",
     "build_stages",
+    *_FLEET_REEXPORTS,
 ]
+
+
+def __getattr__(name: str):
+    if name in _FLEET_REEXPORTS:
+        import repro.fleet as fleet
+
+        return getattr(fleet, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

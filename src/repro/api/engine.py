@@ -366,6 +366,21 @@ class PhoenixEngine:
         """Forget failure-detection state (when replaying scenarios)."""
         self._known_failed = None
 
+    @property
+    def known_failed(self) -> set[str] | None:
+        """The failure detector's last observed failed set (None = virgin).
+
+        Exposed for federating frontends (:mod:`repro.fleet`) that run
+        reconcile rounds in worker processes: the detector state is
+        checkpointed out of one engine and restored into its successor so
+        change detection stays continuous across process boundaries.
+        """
+        return None if self._known_failed is None else set(self._known_failed)
+
+    @known_failed.setter
+    def known_failed(self, value: Iterable[str] | None) -> None:
+        self._known_failed = None if value is None else set(value)
+
 
 def engine(
     objective: OperatorObjective | str = "revenue",

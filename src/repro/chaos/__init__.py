@@ -1,5 +1,6 @@
-"""Chaos-testing service for validating criticality tags."""
+"""Chaos-testing service: criticality tags, storms, and fleet cell outages."""
 
+from repro.chaos.cell_outage import CellOutageReport, run_cell_outage_check
 from repro.chaos.cluster_check import (
     ClusterChaosReport,
     ClusterScenarioResult,
@@ -12,6 +13,8 @@ from repro.chaos.suite import ChaosTestingService, normalized_utility, verify_ta
 from repro.chaos.validation import AnomalyKind, TagAnomaly, ValidationReport, validate_tags
 
 __all__ = [
+    "CellOutageReport",
+    "run_cell_outage_check",
     "ClusterChaosReport",
     "ClusterScenarioResult",
     "verify_tagging_on_cluster",

@@ -1,0 +1,172 @@
+"""Fleet chaos: lose an entire cell, recover availability via spillover.
+
+The storm check (:mod:`repro.chaos.storm`) exercises one engine through a
+temporal failure burst; this check exercises the *federation* layer through
+the scenario it exists for — a whole failure domain going dark at once:
+
+* build an N-cell fleet, each cell hosting one copy of the template
+  application, and converge it;
+* kill every node of one cell and reconcile the fleet;
+* assert the fleet **recovers availability through spillover** (the victim
+  cell's critical set runs in donor cells), that the spillover was planned
+  two-phase (the fleet-level plan→pack round never overshoots a donor's
+  free capacity, and the donors' own engines enforce per-node capacity on
+  apply — the check re-verifies every node's usage against its capacity),
+  and that recovering the victim releases the spillover cleanly (no clone
+  applications left behind).
+
+Exercised by ``python -m repro chaos --cell-outage`` and the fleet tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.base import AppTemplate
+from repro.cluster.resources import Resources
+from repro.cluster.state import ClusterState, build_uniform_cluster
+from repro.fleet.config import FleetConfig
+from repro.fleet.engine import FleetEngine
+from repro.fleet.events import SpilloverPlanned, SpilloverReleased
+from repro.fleet.summary import is_clone
+
+
+@dataclass
+class CellOutageReport:
+    """Outcome of one cell-outage chaos run for one template."""
+
+    app: str
+    cells: int
+    victim: str
+    baseline_availability: float
+    outage_availability: float
+    recovered_availability: float
+    spillovers_planned: int
+    spillovers_released: int
+    capacity_respected: bool
+    clones_released: bool
+
+    #: Failure explanations collected along the way (empty = passed).
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.problems
+
+    def to_text(self) -> str:
+        verdict = "OK" if self.passed else "FAIL"
+        lines = [
+            f"Cell-outage chaos for {self.app}: {verdict} — "
+            f"availability {self.baseline_availability:.2f} → "
+            f"{self.outage_availability:.2f} (cell {self.victim} dark, "
+            f"{self.spillovers_planned} spillover(s)) → "
+            f"{self.recovered_availability:.2f} after recovery "
+            f"({self.spillovers_released} released)"
+        ]
+        lines.extend(f"  - {problem}" for problem in self.problems)
+        return "\n".join(lines)
+
+
+def _capacity_violations(state: ClusterState) -> list[str]:
+    """Nodes whose used resources exceed capacity (beyond float tolerance)."""
+    violations = []
+    for name, node in state.nodes.items():
+        used = state.used_on(name)
+        if used.cpu > node.capacity.cpu + 1e-6 or used.memory > node.capacity.memory + 1e-6:
+            violations.append(
+                f"node {name}: used {used} exceeds capacity {node.capacity}"
+            )
+    return violations
+
+
+def run_cell_outage_check(
+    template: AppTemplate,
+    cells: int = 4,
+    node_count: int = 8,
+    objective: str = "revenue",
+    headroom: float = 1.6,
+    victim: int = 0,
+    workers: int = 1,
+) -> CellOutageReport:
+    """Kill one cell of a fleet; assert spillover recovery and clean release.
+
+    Each cell is a fresh uniform cluster sized to hold one copy of
+    ``template`` with ``headroom`` (so N-1 donors hold enough spare for one
+    refugee critical set).  The check passes when (1) the fleet returns to
+    full critical availability while the victim cell is dark, (2) no node
+    in any cell ever exceeds its capacity — the two-phase apply contract —
+    and (3) recovering the victim releases every spillover clone.
+    """
+    if cells < 2:
+        raise ValueError("cell-outage chaos needs at least 2 cells")
+    app = template.application
+    demand = app.total_demand()
+    per_replica_cpu = max(ms.resources.cpu for ms in app)
+    per_replica_mem = max(ms.resources.memory for ms in app)
+    node_cpu = max(demand.cpu * headroom / node_count, per_replica_cpu * headroom)
+    node_mem = max(demand.memory * headroom / node_count, per_replica_mem * headroom, 1.0)
+    states = [
+        build_uniform_cluster(
+            node_count, Resources(cpu=node_cpu, memory=node_mem), applications=[app]
+        )
+        for _ in range(cells)
+    ]
+    fleet = FleetEngine(
+        FleetConfig(cells=cells, objective=objective, workers=workers), states=states
+    )
+    planned: list[SpilloverPlanned] = []
+    released: list[SpilloverReleased] = []
+    fleet.events.subscribe(planned.append, SpilloverPlanned)
+    fleet.events.subscribe(released.append, SpilloverReleased)
+
+    problems: list[str] = []
+    fleet.reconcile(force=True)
+    baseline = fleet.availability()
+    if baseline < 1.0 - 1e-9:
+        problems.append(f"fleet did not converge before the outage ({baseline:.3f})")
+
+    victim_cell = fleet.cells[victim]
+    victim_cell.state.fail_nodes(list(victim_cell.state.nodes))
+    outage_report = fleet.reconcile()
+    outage = outage_report.availability
+    if not planned:
+        problems.append("no spillover was planned for the dark cell")
+    if outage < 1.0 - 1e-9:
+        problems.append(
+            f"availability did not recover via spillover ({outage:.3f}); "
+            f"unplaced residuals: {list(outage_report.unplaced)}"
+        )
+    for cell in fleet.cells:
+        for violation in _capacity_violations(cell.state):
+            problems.append(f"cell {cell.name}: {violation}")
+
+    victim_cell.state.recover_nodes(list(victim_cell.state.nodes))
+    recovery_report = fleet.reconcile()
+    recovered = recovery_report.availability
+    if recovered < 1.0 - 1e-9:
+        problems.append(f"availability did not return after recovery ({recovered:.3f})")
+    leftovers = [
+        name
+        for cell in fleet.cells
+        for name in cell.state.applications
+        if is_clone(name)
+    ]
+    clones_released = not leftovers
+    if leftovers:
+        problems.append(f"spillover clones left behind after recovery: {leftovers}")
+    if planned and not released:
+        problems.append("spillover was never released after the victim recovered")
+
+    return CellOutageReport(
+        app=app.name,
+        cells=cells,
+        victim=victim_cell.name,
+        baseline_availability=baseline,
+        outage_availability=outage,
+        recovered_availability=recovered,
+        spillovers_planned=len(planned),
+        spillovers_released=len(released),
+        capacity_respected=not any("exceeds capacity" in p for p in problems),
+        clones_released=clones_released,
+        problems=problems,
+    )

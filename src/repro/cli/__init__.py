@@ -9,8 +9,13 @@ library API (the benchmarks and examples use the same calls):
   :class:`~repro.api.engine.PhoenixEngine`
   (:class:`repro.traces.TraceReplayer`) and emit deterministic per-step
   metrics JSONL.
+* ``repro fleet replay`` / ``repro fleet sweep`` — federated scenarios over
+  a :class:`~repro.fleet.engine.FleetEngine` (per-cell churn, correlated
+  storms, whole-cell outages with spillover recovery); ``--workers N``
+  shards cells across processes with byte-identical output.
 * ``repro chaos`` — chaos-test the bundled application templates: tag
-  validation, engine-driven degradation, optional failure-storm recovery.
+  validation, engine-driven degradation, optional failure-storm recovery
+  and the fleet cell-outage check (``--cell-outage``).
 * ``repro bench`` — run a paper-figure benchmark through pytest.
 * ``repro trace gen`` / ``repro trace validate`` — generate seeded scenario
   traces (byte-identical for identical arguments) and validate trace files.

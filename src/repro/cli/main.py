@@ -17,8 +17,10 @@ Exit codes
 
 Parallelism: ``sweep`` and ``replay`` accept ``--workers N`` and shard
 their independent jobs (sweep: one per failure level × scheme; replay: one
-per trace × seed) across worker *processes*.  Results are merged in
-deterministic job order, so the output is byte-identical to a serial run.
+per trace × seed) across worker *processes*; ``fleet replay`` shards whole
+cells onto persistent worker shards instead.  Results are merged in
+deterministic order either way, so the output is byte-identical to a
+serial run.
 """
 
 from __future__ import annotations
@@ -305,13 +307,181 @@ def cmd_replay(args) -> int:
     return 0
 
 
+# -- fleet --------------------------------------------------------------------
+
+
+def _fleet_environments(args) -> list:
+    """One AdaptLab environment per cell, built once per command.
+
+    Cell ``i`` gets its own environment built with ``env-seed + i`` so the
+    fleet is heterogeneous (different app mixes per cell) yet fully
+    deterministic.  The per-process ``_ENV_CACHE`` holds a single entry, so
+    N distinct per-cell environments are built directly and held here —
+    callers that need several fleets (the sweep) reuse this list and take
+    ``fresh_state()`` per fleet instead of rebuilding environments.
+    """
+    from repro.adaptlab import build_environment
+
+    if args.cells < 1:
+        raise CliError("--cells must be >= 1")
+    return [
+        build_environment(
+            node_count=args.nodes_per_cell,
+            n_apps=args.apps,
+            tagging_scheme=args.tagging,
+            resource_model=args.resource_model,
+            target_utilization=args.utilization,
+            seed=args.env_seed + index,
+        )
+        for index in range(args.cells)
+    ]
+
+
+def _build_fleet(args, environments):
+    """A converged fleet over fresh per-cell states of ``environments``."""
+    from repro.fleet import FleetConfig, FleetEngine
+
+    config = FleetConfig(
+        cells=args.cells,
+        objective=args.objective,
+        spillover=args.spillover,
+        workers=args.workers,
+    )
+    fleet = FleetEngine(config, states=[env.fresh_state() for env in environments])
+    # Converge the pre-scenario placement serially: convergence output is
+    # identical either way, and shipping whole states to a pool for one
+    # round costs more than it saves.
+    fleet.reconcile(force=True, workers=1)
+    return fleet
+
+
+def _fleet_scenario(args):
+    from repro.traces import fleet_scenario
+
+    if args.scenario == "poisson":
+        return fleet_scenario(
+            args.cells,
+            args.nodes_per_cell,
+            horizon=args.horizon,
+            mtbf=args.mtbf,
+            mttr=args.mttr,
+            seed=args.seed,
+        )
+    if args.scenario == "storm":
+        return fleet_scenario(
+            args.cells,
+            args.nodes_per_cell,
+            horizon=args.horizon,
+            mtbf=args.mtbf,
+            mttr=args.mttr,
+            storm_at=args.storm_at,
+            storm_fraction=args.storm_fraction,
+            storm_cells=min(args.storm_cells, args.cells),
+            seed=args.seed,
+        )
+    if args.scenario == "outage":
+        if not 0 <= args.outage_cell < args.cells:
+            raise CliError(
+                f"--outage-cell must be within [0, {args.cells - 1}], got {args.outage_cell}"
+            )
+        return fleet_scenario(
+            args.cells,
+            args.nodes_per_cell,
+            horizon=args.horizon,
+            mtbf=None,  # clean outage: no background churn
+            outage_cell=args.outage_cell,
+            outage_at=args.outage_at,
+            outage_recovery_after=args.outage_recovery_after,
+            seed=args.seed,
+        )
+    raise CliError(f"unknown scenario {args.scenario!r}")  # pragma: no cover
+
+
+def cmd_fleet_replay(args) -> int:
+    """Replay a fleet scenario; emit deterministic per-step metrics JSONL."""
+    from repro.fleet import FleetReplayer
+
+    fleet = _build_fleet(args, _fleet_environments(args))
+    scenario = _fleet_scenario(args)
+    replayer = FleetReplayer(fleet, seed=args.seed, workers=args.workers)
+    metrics = replayer.run(scenario)
+    _write_text(args.out, metrics.to_jsonl())
+    return 0
+
+
+def cmd_fleet_sweep(args) -> int:
+    """Sweep cells-lost levels × spillover policies; print the fleet table."""
+    try:
+        losses = [int(level) for level in args.lost.split(",") if level.strip()]
+    except ValueError:
+        raise CliError(f"--lost must be comma-separated integers, got {args.lost!r}") from None
+    if not losses:
+        raise CliError("--lost must name at least one cells-lost level")
+    if any(level < 0 or level >= args.cells for level in losses):
+        raise CliError(f"--lost levels must be within [0, {args.cells - 1}]")
+    policies = [name.strip() for name in args.policies.split(",") if name.strip()]
+    if not policies:
+        raise CliError("--policies must name at least one spillover policy")
+
+    environments = _fleet_environments(args)
+    print(f"{'policy':<10}{'cells_lost':<12}{'availability':<14}{'revenue':<10}{'spillovers':<12}")
+    for policy in policies:
+        for lost in losses:
+            args.spillover = policy
+            fleet = _build_fleet(args, environments)
+            for cell in fleet.cells[:lost]:
+                cell.state.fail_nodes(list(cell.state.nodes))
+            report = fleet.reconcile(workers=args.workers)
+            print(
+                f"{policy:<10}{lost:<12}{report.availability:<14.4f}"
+                f"{report.revenue:<10.4f}{len(report.planned):<12}"
+            )
+    return 0
+
+
+def _add_fleet_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("fleet", "fleet shape and engines")
+    group.add_argument("--cells", type=int, default=4, help="number of cells (default: 4)")
+    group.add_argument(
+        "--nodes-per-cell", type=int, default=100, help="cluster size per cell (default: 100)"
+    )
+    group.add_argument("--apps", type=int, default=4, help="applications per cell (default: 4)")
+    group.add_argument(
+        "--tagging", default="service-p90", help="criticality tagging scheme (default: service-p90)"
+    )
+    group.add_argument(
+        "--resource-model", default="cpm", help="resource assignment model (default: cpm)"
+    )
+    group.add_argument(
+        "--utilization", type=float, default=0.7, help="pre-failure utilization (default: 0.7)"
+    )
+    group.add_argument(
+        "--env-seed", type=int, default=2025,
+        help="environment build seed; cell i uses env-seed+i (default: 2025)",
+    )
+    group.add_argument("--objective", default="revenue", help="engine objective (default: revenue)")
+    group.add_argument(
+        "--spillover", default="packed", choices=("packed", "none"),
+        help="cross-cell spillover policy (default: packed)",
+    )
+    group.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes sharding cells (byte-identical to serial; default: 1)",
+    )
+
+
 # -- chaos --------------------------------------------------------------------
 
 
 def cmd_chaos(args) -> int:
     """Chaos-test application templates (tag validation + storm recovery)."""
     from repro.apps import build_hotel_reservation, build_overleaf
-    from repro.chaos import run_storm_check, verify_tagging, verify_tagging_on_cluster
+    from repro.chaos import (
+        run_cell_outage_check,
+        run_storm_check,
+        verify_tagging,
+        verify_tagging_on_cluster,
+    )
 
     builders = {"overleaf": build_overleaf, "hotel": build_hotel_reservation}
     if args.template == "all":
@@ -343,6 +513,15 @@ def cmd_chaos(args) -> int:
             )
             print(storm_report.to_text())
             all_passed &= storm_report.passed
+        if args.cell_outage:
+            outage_report = run_cell_outage_check(
+                template,
+                cells=args.fleet_cells,
+                node_count=args.nodes,
+                objective=args.objective,
+            )
+            print(outage_report.to_text())
+            all_passed &= outage_report.passed
     return 0 if all_passed else EXIT_FAILED
 
 
@@ -635,6 +814,74 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--out", default=None, help="output file (default: stdout)")
     replay.set_defaults(func=cmd_replay)
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="federated fleet scenarios: replay and cells-lost sweeps",
+        description=(
+            "Drive a FleetEngine — many per-cell PhoenixEngines with cross-cell "
+            "spillover — through fleet scenarios. Parallel runs (--workers) are "
+            "byte-identical to serial ones."
+        ),
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", metavar="subcommand")
+    fleet.set_defaults(func=lambda args: fleet.print_help() or 0)
+
+    fleet_replay = fleet_sub.add_parser(
+        "replay",
+        help="replay a fleet scenario, emit per-step fleet metrics JSONL",
+        description=(
+            "Build a fleet of per-cell AdaptLab environments, generate a seeded "
+            "fleet scenario (per-cell churn, correlated storms, or a full cell "
+            "outage) and replay it. Output JSONL is byte-identical for every "
+            "--workers value."
+        ),
+    )
+    _add_fleet_options(fleet_replay)
+    fleet_replay.add_argument("--seed", type=int, default=0, help="scenario seed (default: 0)")
+    fleet_replay.add_argument(
+        "--scenario", default="outage", choices=("poisson", "storm", "outage"),
+        help="scenario shape (default: outage)",
+    )
+    fleet_replay.add_argument("--horizon", type=float, default=3600.0, help="trace length in seconds")
+    fleet_replay.add_argument("--mtbf", type=float, default=1800.0, help="per-cell churn MTBF")
+    fleet_replay.add_argument("--mttr", type=float, default=300.0, help="per-cell churn MTTR")
+    fleet_replay.add_argument("--storm-at", type=float, default=600.0, help="storm: burst timestamp")
+    fleet_replay.add_argument(
+        "--storm-fraction", type=float, default=0.4, help="storm: fraction of each hit cell"
+    )
+    fleet_replay.add_argument(
+        "--storm-cells", type=int, default=2, help="storm: cells hit simultaneously"
+    )
+    fleet_replay.add_argument(
+        "--outage-cell", type=int, default=0, help="outage: index of the cell lost"
+    )
+    fleet_replay.add_argument("--outage-at", type=float, default=600.0, help="outage: timestamp")
+    fleet_replay.add_argument(
+        "--outage-recovery-after", type=float, default=1800.0,
+        help="outage: seconds until the cell returns",
+    )
+    fleet_replay.add_argument("--out", default=None, help="output file (default: stdout)")
+    fleet_replay.set_defaults(func=cmd_fleet_replay)
+
+    fleet_sweep = fleet_sub.add_parser(
+        "sweep",
+        help="sweep cells-lost levels across spillover policies",
+        description=(
+            "For each (policy, cells lost) pair: build a fresh fleet, fail that "
+            "many whole cells, reconcile once and print fleet availability, "
+            "revenue and planned spillovers."
+        ),
+    )
+    _add_fleet_options(fleet_sweep)
+    fleet_sweep.add_argument(
+        "--lost", default="0,1,2", help="comma-separated cells-lost levels (default: 0,1,2)"
+    )
+    fleet_sweep.add_argument(
+        "--policies", default="packed,none",
+        help="comma-separated spillover policies to compare (default: packed,none)",
+    )
+    fleet_sweep.set_defaults(func=cmd_fleet_sweep)
+
     chaos = sub.add_parser(
         "chaos",
         help="chaos-test application templates (tags + engine + storms)",
@@ -653,6 +900,13 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--storm", action="store_true", help="also run the failure-storm check")
     chaos.add_argument(
         "--storm-fraction", type=float, default=0.5, help="fraction of nodes the storm fails"
+    )
+    chaos.add_argument(
+        "--cell-outage", action="store_true",
+        help="also run the fleet cell-outage check (spillover recovery)",
+    )
+    chaos.add_argument(
+        "--fleet-cells", type=int, default=4, help="cell-outage check: fleet size (default: 4)"
     )
     chaos.set_defaults(func=cmd_chaos)
 

@@ -1,0 +1,113 @@
+"""``repro.fleet`` — many PhoenixEngines, one sharded, parallel control plane.
+
+The paper's recovery planner is per-cluster; production fleets are many
+failure domains (*cells*).  This package federates N per-cell engines —
+each one a ``(PhoenixEngine, StateBackend)`` pair built through the
+standard :mod:`repro.api` machinery — behind one reconcile surface with
+cross-cell capacity spillover:
+
+>>> from repro.fleet import FleetConfig, FleetEngine
+>>> fleet = FleetEngine(FleetConfig(cells=4), states=cell_states)  # doctest: +SKIP
+>>> report = fleet.reconcile(workers=4)                            # doctest: +SKIP
+>>> report.availability, report.planned                            # doctest: +SKIP
+
+Building blocks:
+
+* :class:`FleetConfig` — :class:`~repro.api.config.EngineConfig` plus the
+  federation surface (cell count, partitioner, spillover policy, per-cell
+  overrides, default worker count).
+* :class:`Partitioner` protocol with stock :class:`HashPartitioner` and
+  :class:`RackAwarePartitioner` — deterministic node/application → cell
+  mapping (stable across processes and ``PYTHONHASHSEED``).
+* :class:`SpilloverPolicy` protocol with stock :class:`PackedSpillover` —
+  a second, fleet-level plan→pack round over a synthetic cell-as-node
+  state — and :class:`NoSpillover` (strict isolation).
+* :class:`FleetEngine` — per-cell rounds (serial or ``workers=N``,
+  byte-identical either way), residual-demand detection, two-phase
+  spillover application, and a fleet-level event bus
+  (:class:`CellEvent`-wrapped engine events plus :class:`CellDegraded`,
+  :class:`SpilloverPlanned`, :class:`SpilloverReleased`).
+* :class:`FleetReplayer` — drives a fleet through a per-cell scenario
+  mapping (see :func:`repro.traces.fleet_scenario`), serially or with a
+  persistent worker shard per cell group; metrics JSONL is byte-identical
+  across worker counts.
+"""
+
+from repro.fleet.config import FleetConfig, default_cell_names
+from repro.fleet.engine import (
+    Cell,
+    FleetEngine,
+    FleetReport,
+    RoundPlan,
+    SpilloverEntry,
+)
+from repro.fleet.events import (
+    CellDegraded,
+    CellEvent,
+    CellReconciled,
+    SpilloverPlanned,
+    SpilloverReleased,
+)
+from repro.fleet.partition import (
+    HashPartitioner,
+    Partitioner,
+    RackAwarePartitioner,
+    partition_state,
+    resolve_partitioner,
+    stable_cell,
+)
+from repro.fleet.replay import FleetReplayer, FleetReplayMetrics, FleetReplayStep
+from repro.fleet.spillover import (
+    DonorCapacity,
+    MsSpec,
+    NoSpillover,
+    PackedSpillover,
+    ResidualDemand,
+    SpilloverAssignment,
+    SpilloverPolicy,
+    resolve_spillover,
+)
+from repro.fleet.summary import (
+    CellSummary,
+    fleet_availability,
+    fleet_revenue,
+    fleet_utilization,
+    summarize_cell,
+)
+
+__all__ = [
+    "FleetConfig",
+    "default_cell_names",
+    "Cell",
+    "FleetEngine",
+    "FleetReport",
+    "RoundPlan",
+    "SpilloverEntry",
+    "CellDegraded",
+    "CellEvent",
+    "CellReconciled",
+    "SpilloverPlanned",
+    "SpilloverReleased",
+    "HashPartitioner",
+    "Partitioner",
+    "RackAwarePartitioner",
+    "partition_state",
+    "resolve_partitioner",
+    "stable_cell",
+    "FleetReplayer",
+    "FleetReplayMetrics",
+    "FleetReplayStep",
+    "DonorCapacity",
+    "MsSpec",
+    "NoSpillover",
+    "PackedSpillover",
+    "ResidualDemand",
+    "SpilloverAssignment",
+    "SpilloverPolicy",
+    "resolve_spillover",
+    "CellSummary",
+    "fleet_availability",
+    "fleet_revenue",
+    "fleet_utilization",
+    "summarize_cell",
+]

@@ -1,0 +1,124 @@
+"""Fleet configuration: one declarative description of a federated fleet.
+
+:class:`FleetConfig` extends :class:`~repro.api.config.EngineConfig` — every
+engine-level knob (objective, implementation, packing flags, incremental
+reconciliation) applies fleet-wide as the per-cell default — and adds the
+federation surface: how many cells, how nodes and applications partition
+onto them, which spillover policy covers cross-cell residual demand, and
+per-cell overrides for heterogeneous fleets (e.g. one cell on the golden
+reference stages, another on a fairness objective).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from repro.api.config import EngineConfig
+from repro.traces.fleet import default_fleet_cells
+
+from repro.fleet.partition import resolve_partitioner
+
+
+def default_cell_names(cells: int) -> tuple[str, ...]:
+    """``cell-0`` … ``cell-N-1`` — the naming the whole fleet layer uses.
+
+    Delegates to :func:`repro.traces.fleet.default_fleet_cells`, so fleets
+    and the scenarios generated for them can never disagree on the default
+    cell naming.
+    """
+    return tuple(default_fleet_cells(cells))
+
+
+#: EngineConfig field names a per-cell override may set.
+_ENGINE_FIELDS = tuple(f.name for f in fields(EngineConfig))
+
+
+@dataclass
+class FleetConfig(EngineConfig):
+    """Declarative description of a :class:`~repro.fleet.engine.FleetEngine`.
+
+    Parameters (on top of every :class:`EngineConfig` field)
+    ----------
+    cells:
+        Number of failure domains the fleet federates.
+    cell_names:
+        Explicit cell names; defaults to ``cell-0`` … ``cell-N-1``.
+    partitioner:
+        How nodes/applications map onto cells when a fleet is built from one
+        whole-cluster state — a :class:`~repro.fleet.partition.Partitioner`
+        instance or one of ``"hash"`` / ``"rack"``.
+    partition_seed:
+        Seed for the stable partition hash (byte-identical mapping across
+        runs and processes for the same seed).
+    spillover:
+        Cross-cell capacity policy — a
+        :class:`~repro.fleet.spillover.SpilloverPolicy` instance, ``"packed"``
+        (stock: fleet-level plan→pack over a cell-as-node state) or
+        ``"none"`` (cells are strictly isolated).
+    workers:
+        Default worker-process count for :meth:`FleetEngine.reconcile`;
+        ``1`` = serial.  Parallel rounds are byte-identical to serial ones.
+    cell_overrides:
+        Mapping of cell name (or index) to a dict of :class:`EngineConfig`
+        field overrides for that cell only.
+    """
+
+    cells: int = 1
+    cell_names: tuple[str, ...] | None = None
+    partitioner: object = "hash"
+    partition_seed: int = 0
+    spillover: object = "packed"
+    workers: int = 1
+    cell_overrides: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.cells < 1:
+            raise ValueError("cells must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.cell_names is not None:
+            self.cell_names = tuple(self.cell_names)
+            if len(self.cell_names) != self.cells:
+                raise ValueError(
+                    f"cell_names has {len(self.cell_names)} entries for {self.cells} cells"
+                )
+            if len(set(self.cell_names)) != self.cells:
+                raise ValueError("cell_names must be unique")
+        # Fail fast on bad specs (instances pass through untouched).
+        resolve_partitioner(self.partitioner, seed=self.partition_seed)
+        for key, overrides in self.cell_overrides.items():
+            unknown = set(overrides) - set(_ENGINE_FIELDS)
+            if unknown:
+                raise ValueError(
+                    f"cell_overrides[{key!r}] names unknown EngineConfig "
+                    f"fields: {sorted(unknown)}"
+                )
+
+    def resolved_cell_names(self) -> tuple[str, ...]:
+        """The cell names this config describes."""
+        if self.cell_names is not None:
+            return self.cell_names
+        return default_cell_names(self.cells)
+
+    def resolved_partitioner(self):
+        return resolve_partitioner(self.partitioner, seed=self.partition_seed)
+
+    def engine_config_for(self, cell: str | int) -> EngineConfig:
+        """The per-cell :class:`EngineConfig`: fleet defaults + overrides.
+
+        ``cell`` may be a cell name or index; overrides keyed either way
+        apply (name wins when both are present).
+        """
+        base = {name: getattr(self, name) for name in _ENGINE_FIELDS}
+        names = self.resolved_cell_names()
+        if isinstance(cell, int):
+            index, name = cell, names[cell]
+        else:
+            name = cell
+            index = names.index(cell)
+        for key in (index, name):
+            overrides = self.cell_overrides.get(key)
+            if overrides:
+                base.update(overrides)
+        return EngineConfig(**base)

@@ -1,0 +1,79 @@
+"""Fleet-level events: per-cell engine events re-tagged, plus federation news.
+
+The fleet owns one :class:`~repro.api.events.EventBus`.  Per-cell engine
+events (failure detection, plans, executed actions) are re-emitted on it
+wrapped in :class:`CellEvent` — the ``cell=`` tag — in deterministic cell
+order, identically whether the round ran serially or across worker
+processes.  On top of that the federation layer emits its own vocabulary:
+
+* :class:`CellDegraded` — a cell's surviving capacity cannot satisfy part of
+  its critical set (new, uncovered residual demand appeared).
+* :class:`SpilloverPlanned` — the fleet-level plan→pack round assigned a
+  cell's residual critical demand to a donor cell.
+* :class:`SpilloverReleased` — the source cell recovered (or the plan was
+  superseded) and the donor's spillover clone was withdrawn.
+* :class:`CellReconciled` — lightweight per-cell round summary used by the
+  replay path, where full plan/schedule payloads are not shipped back from
+  worker processes.
+
+All events subclass :class:`~repro.api.events.EngineEvent`, so one observer
+type serves engines and fleets alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.events import EngineEvent
+
+
+@dataclass(frozen=True)
+class CellEvent(EngineEvent):
+    """A per-cell engine event re-emitted on the fleet bus with its cell tag."""
+
+    cell: str
+    event: EngineEvent
+
+
+@dataclass(frozen=True)
+class CellReconciled(EngineEvent):
+    """One cell finished its reconcile round (replay-path summary event)."""
+
+    cell: str
+    triggered: bool
+    actions: int
+
+
+@dataclass(frozen=True)
+class CellDegraded(EngineEvent):
+    """A cell cannot satisfy part of its critical set from surviving capacity.
+
+    ``missing`` lists the affected ``(app, microservice)`` pairs — C1-tagged
+    microservices not fully running in the cell and not yet covered by an
+    active spillover.
+    """
+
+    cell: str
+    missing: tuple[tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class SpilloverPlanned(EngineEvent):
+    """Residual critical demand of one application migrates to a donor cell."""
+
+    source_cell: str
+    donor_cell: str
+    app: str
+    microservices: tuple[str, ...]
+    cpu: float
+    memory: float
+
+
+@dataclass(frozen=True)
+class SpilloverReleased(EngineEvent):
+    """A spillover clone was withdrawn from its donor cell."""
+
+    source_cell: str
+    donor_cell: str
+    app: str
+    microservices: tuple[str, ...]

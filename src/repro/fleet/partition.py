@@ -1,0 +1,159 @@
+"""Deterministic partitioners: map nodes and applications onto fleet cells.
+
+A partitioner decides which cell of a fleet owns each node and each
+application.  Determinism is the whole contract: the mapping must be a pure
+function of the names, the seed and the cell count — byte-identical across
+runs, across processes and across ``PYTHONHASHSEED`` values — because fleet
+construction happens independently in the CLI's worker processes and a
+partition disagreement would silently split one application across two
+cells' planners.
+
+Python's built-in ``hash`` is salted per process, so every partitioner here
+routes through :func:`stable_cell`, a keyed BLAKE2 digest of the name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Protocol, runtime_checkable
+
+from repro.cluster.application import Application
+from repro.cluster.node import Node
+from repro.cluster.state import ClusterState
+
+
+def stable_cell(token: str, cells: int, seed: int = 0) -> int:
+    """Deterministic cell index for ``token`` — stable across processes.
+
+    A keyed 8-byte BLAKE2s digest reduced modulo ``cells``; unlike ``hash``
+    it does not depend on ``PYTHONHASHSEED``, so the same (token, seed,
+    cells) triple yields the same cell everywhere, always.
+    """
+    if cells <= 0:
+        raise ValueError("cells must be positive")
+    key = (seed & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+    digest = hashlib.blake2s(token.encode("utf-8"), key=key, digest_size=8).digest()
+    return int.from_bytes(digest, "little") % cells
+
+
+@runtime_checkable
+class Partitioner(Protocol):
+    """Maps nodes and applications to cell indexes, deterministically.
+
+    Implementations must be pure functions of their construction arguments
+    and the inputs — no process-local state, no salted hashing — so that a
+    fleet rebuilt in another process partitions identically.
+    """
+
+    name: str
+
+    def cell_of_node(self, node: Node, cells: int) -> int: ...
+
+    def cell_of_app(self, app: Application, cells: int) -> int: ...
+
+
+class HashPartitioner:
+    """Stock partitioner: stable keyed hash of the node/application name."""
+
+    name = "hash"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def cell_of_node(self, node: Node, cells: int) -> int:
+        return stable_cell(node.name, cells, self.seed)
+
+    def cell_of_app(self, app: Application, cells: int) -> int:
+        return stable_cell(app.name, cells, self.seed)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(seed={self.seed})"
+
+
+class RackAwarePartitioner(HashPartitioner):
+    """Keep failure domains together: nodes sharing a rack label co-locate.
+
+    Nodes carrying the ``label`` (default ``"rack"``) are partitioned by the
+    label *value*, so a whole rack lands in one cell and a rack-level outage
+    stays a single-cell event.  Unlabeled nodes fall back to the name hash.
+    Applications are partitioned by name, as in :class:`HashPartitioner`.
+    """
+
+    name = "rack"
+
+    def __init__(self, label: str = "rack", seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        self.label = label
+
+    def cell_of_node(self, node: Node, cells: int) -> int:
+        token = node.labels.get(self.label)
+        if token is None:
+            return stable_cell(node.name, cells, self.seed)
+        return stable_cell(f"{self.label}={token}", cells, self.seed)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(label={self.label!r}, seed={self.seed})"
+
+
+#: Partitioner spellings accepted by :func:`resolve_partitioner`.
+PARTITIONERS = {
+    "hash": HashPartitioner,
+    "rack": RackAwarePartitioner,
+}
+
+
+def resolve_partitioner(spec, seed: int = 0) -> Partitioner:
+    """Turn a partitioner spec (instance or name) into a partitioner.
+
+    Accepted names: ``"hash"`` and ``"rack"``; instances pass through
+    unchanged (their own seed wins over ``seed``).
+    """
+    if isinstance(spec, str):
+        try:
+            return PARTITIONERS[spec.lower()](seed=seed)
+        except KeyError:
+            raise ValueError(
+                f"unknown partitioner {spec!r}; expected one of "
+                f"{sorted(PARTITIONERS)} or a Partitioner instance"
+            ) from None
+    if isinstance(spec, Partitioner):
+        return spec
+    raise TypeError(
+        f"partitioner must be a Partitioner or a name, got {type(spec).__name__}"
+    )
+
+
+def partition_state(
+    state: ClusterState,
+    cells: int,
+    partitioner: Partitioner | str = "hash",
+    seed: int = 0,
+) -> list[ClusterState]:
+    """Split one cluster state into ``cells`` per-cell states.
+
+    Nodes are copied (each cell owns its health), applications are shared
+    (immutable).  Existing assignments are preserved when a replica's
+    application and node land in the same cell; replicas split across cells
+    by the partition are dropped — the fleet's first forced reconcile
+    re-places them inside their owning cell.  Iteration follows the source
+    state's registration order, so the result is deterministic.
+    """
+    partitioner = resolve_partitioner(partitioner, seed=seed)
+    states = [ClusterState() for _ in range(cells)]
+    node_cell: dict[str, int] = {}
+    for node in state.nodes.values():
+        index = partitioner.cell_of_node(node, cells)
+        node_cell[node.name] = index
+        states[index].add_node(
+            Node(node.name, node.capacity, node.failed, dict(node.labels))
+        )
+    app_cell: dict[str, int] = {}
+    for app in state.applications.values():
+        index = partitioner.cell_of_app(app, cells)
+        app_cell[app.name] = index
+        states[index].add_application(app)
+    for replica, node_name in state.assignments.items():
+        index = app_cell[replica.app]
+        if node_cell[node_name] == index and not state.nodes[node_name].failed:
+            states[index].assign(replica, node_name)
+    return states

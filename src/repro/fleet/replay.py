@@ -1,0 +1,432 @@
+"""Fleet scenario replay: one timeline, many cells, optional worker shards.
+
+:class:`FleetReplayer` drives a :class:`~repro.fleet.engine.FleetEngine`
+through a *fleet scenario* — a mapping of cell name to
+:class:`~repro.traces.schema.Trace` (see :func:`repro.traces.fleet_scenario`)
+— and records one :class:`FleetReplayStep` per global timestamp.  Events at
+the same timestamp across cells form one step (that is what makes
+correlated cross-cell storms a single fleet round), followed by per-cell
+reconciles and the fleet's spillover phase.
+
+Two executors implement the per-cell work behind one protocol:
+
+* serial — the fleet's own cells, in process;
+* ``workers=N`` — persistent worker processes, each *owning* a round-robin
+  shard of the cells for the whole replay.  States cross the process
+  boundary once (at start); afterwards only trace events travel out and
+  compact :class:`~repro.fleet.summary.CellSummary` objects travel back,
+  so per-step communication is O(churn), not O(cluster).
+
+All federation decisions (spillover planning, release, events, metrics)
+happen in the parent from the summaries, which both executors build with
+the same code over the same states — the replay JSONL is therefore
+**byte-identical** for every worker count, the property the fleet CI gate
+asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.api.engine import PhoenixEngine
+from repro.api.events import FailureDetected, RecoveryDetected
+from repro.core.controller import StateBackend
+from repro.traces.schema import Trace, TraceError
+
+from repro.fleet.engine import Cell, adjust_cells, step_cells
+from repro.fleet.events import CellEvent, CellReconciled
+from repro.fleet.summary import (
+    CellSummary,
+    clone_name,
+    fleet_availability,
+    fleet_revenue,
+    fleet_utilization,
+    is_clone,
+)
+
+#: Schema version of the fleet replay-metrics JSONL.
+FLEET_REPLAY_METRICS_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class FleetReplayStep:
+    """Metrics for one fleet step (all events at one timestamp + reaction)."""
+
+    time: float
+    events: tuple[str, ...]
+    failed_nodes: int
+    available_fraction: float
+    availability: float
+    revenue: float
+    utilization: float
+    degraded_cells: tuple[str, ...]
+    spillovers_planned: int
+    spillovers_released: int
+    spillovers_active: int
+    triggered: int
+    actions: int
+
+    def to_record(self) -> dict[str, object]:
+        """The JSONL record for this step (no wall-clock fields: byte-stable)."""
+        return {
+            "record": "step",
+            "time": self.time,
+            "events": list(self.events),
+            "failed_nodes": self.failed_nodes,
+            "available_fraction": round(self.available_fraction, 9),
+            "availability": round(self.availability, 9),
+            "revenue": round(self.revenue, 9),
+            "utilization": round(self.utilization, 9),
+            "degraded_cells": list(self.degraded_cells),
+            "spillovers_planned": self.spillovers_planned,
+            "spillovers_released": self.spillovers_released,
+            "spillovers_active": self.spillovers_active,
+            "triggered": self.triggered,
+            "actions": self.actions,
+        }
+
+
+@dataclass
+class FleetReplayMetrics:
+    """The full per-step metric series of one fleet replay."""
+
+    steps: list[FleetReplayStep] = field(default_factory=list)
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def series(self, metric: str) -> list[tuple[float, float]]:
+        return [(s.time, getattr(s, metric)) for s in self.steps]
+
+    def min(self, metric: str) -> float:
+        return min(getattr(s, metric) for s in self.steps)
+
+    def final(self) -> FleetReplayStep:
+        if not self.steps:
+            raise ValueError("empty fleet replay: no steps recorded")
+        return self.steps[-1]
+
+    def to_jsonl(self) -> str:
+        """Canonical JSONL: one header record plus one record per step."""
+        header = {
+            "record": "fleet-replay",
+            "version": FLEET_REPLAY_METRICS_VERSION,
+            "metadata": self.metadata,
+        }
+        lines = [json.dumps(header, sort_keys=True, separators=(",", ":"))]
+        lines.extend(
+            json.dumps(s.to_record(), sort_keys=True, separators=(",", ":"))
+            for s in self.steps
+        )
+        return "\n".join(lines) + "\n"
+
+
+# -- executors -----------------------------------------------------------------
+
+
+class _LocalExecutor:
+    """Serial executor: the fleet's own cells, in process.
+
+    Thin delegation to the shared cell-ops helpers in
+    :mod:`repro.fleet.engine` — the worker shards run the *same* helpers,
+    so serial-vs-sharded byte-identity is structural, not a discipline.
+    """
+
+    def __init__(self, fleet, seed: int) -> None:
+        self._fleet = fleet
+        self._seed = seed
+
+    def step(self, events_by_cell: Mapping[str, list], force: bool) -> list[CellSummary]:
+        return step_cells(self._fleet.cells, events_by_cell, self._seed, force)
+
+    def adjust(self, plan) -> tuple[dict[str, CellSummary], list]:
+        updated, _reports, failed = self._fleet.apply_spillover(plan)
+        return updated, failed
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_main(conn, payload: list, seed: int) -> None:
+    """Worker process: owns a shard of cells for the whole replay.
+
+    Protocol (parent → worker): ``("step", events_by_cell, force)``,
+    ``("adjust", removes, adds)``, ``("stop",)``.  Every reply is
+    ``("ok", data)`` or ``("error", message)``.  The per-cell work is the
+    shared :func:`repro.fleet.engine.step_cells` /
+    :func:`repro.fleet.engine.adjust_cells` helpers — the exact code the
+    serial executor runs, so summaries match byte for byte.
+    """
+    cells = []
+    for name, state, config, known_failed, reference_revenue in payload:
+        engine = PhoenixEngine(config)
+        engine.known_failed = known_failed
+        cells.append(Cell(name, engine, StateBackend(state), reference_revenue))
+    try:
+        while True:
+            message = conn.recv()
+            command = message[0]
+            if command == "stop":
+                break
+            if command == "step":
+                events_by_cell, force = message[1], message[2]
+                conn.send(("ok", step_cells(cells, events_by_cell, seed, force)))
+            elif command == "adjust":
+                removes, adds = message[1], message[2]
+                summaries, _reports, failed = adjust_cells(cells, removes, adds)
+                conn.send(("ok", (summaries, failed)))
+            else:
+                conn.send(("error", f"unknown command {command!r}"))
+    except Exception as exc:  # surface worker failures to the parent
+        import traceback
+
+        try:
+            conn.send(("error", f"{exc!r}\n{traceback.format_exc()}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class _ProcessExecutor:
+    """Sharded executor: persistent worker processes own the cell states."""
+
+    def __init__(self, fleet, seed: int, workers: int) -> None:
+        import multiprocessing as mp
+
+        context = mp.get_context()
+        self._fleet = fleet
+        self._order = [cell.name for cell in fleet.cells]
+        self._workers = []
+        shards = [fleet.cells[w::workers] for w in range(workers)]
+        for shard in shards:
+            if not shard:
+                continue
+            parent_conn, child_conn = context.Pipe()
+            payload = [
+                (
+                    cell.name,
+                    cell.state,
+                    cell.engine.config,
+                    cell.engine.known_failed,
+                    cell.reference_revenue,
+                )
+                for cell in shard
+            ]
+            process = context.Process(
+                target=_shard_main, args=(child_conn, payload, seed), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append((process, parent_conn, [c.name for c in shard]))
+
+    def _gather(self):
+        replies = []
+        for process, conn, _names in self._workers:
+            status, data = conn.recv()
+            if status != "ok":
+                self.close()
+                raise RuntimeError(f"fleet shard worker failed: {data}")
+            replies.append(data)
+        return replies
+
+    def step(self, events_by_cell: Mapping[str, list], force: bool) -> list[CellSummary]:
+        for _process, conn, names in self._workers:
+            shard_events = {n: events_by_cell[n] for n in names if n in events_by_cell}
+            conn.send(("step", shard_events, force))
+        by_cell: dict[str, CellSummary] = {}
+        for reply in self._gather():
+            for summary in reply:
+                by_cell[summary.cell] = summary
+        return [by_cell[name] for name in self._order]
+
+    def adjust(self, plan) -> tuple[dict[str, CellSummary], list]:
+        removes = [
+            (entry.donor, clone_name(app, cell))
+            for (cell, app), entry in plan.releases
+        ]
+        adds = list(plan.assignments)
+        for _process, conn, _names in self._workers:
+            conn.send(("adjust", removes, adds))
+        updated: dict[str, CellSummary] = {}
+        failed: list = []
+        for reply in self._gather():
+            summaries, shard_failed = reply
+            updated.update(summaries)
+            failed.extend(shard_failed)
+        return updated, failed
+
+    def close(self) -> None:
+        for process, conn, _names in self._workers:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        for process, _conn, _names in self._workers:
+            process.join(timeout=10)
+            if process.is_alive():
+                process.terminate()
+        self._workers = []
+
+
+# -- the replayer --------------------------------------------------------------
+
+
+class FleetReplayer:
+    """Replays a per-cell scenario mapping through a :class:`FleetEngine`.
+
+    Parameters
+    ----------
+    fleet:
+        The fleet to drive.  The replay mutates the fleet's cell states in
+        serial mode; with ``workers`` > 1 the states are shipped to the
+        worker shards once and the parent copies go stale (the metrics are
+        the product — rebuild the fleet to reuse it afterwards).
+    seed:
+        Seed for randomized ``capacity`` events, per cell.
+    workers:
+        Worker shard count; defaults to the fleet config's ``workers``.
+        Metrics JSONL is byte-identical for every value.
+    force_each_step:
+        Force a planning round in every cell on every step.
+    """
+
+    def __init__(
+        self,
+        fleet,
+        *,
+        seed: int = 0,
+        workers: int | None = None,
+        force_each_step: bool = False,
+    ) -> None:
+        self.fleet = fleet
+        self.seed = seed
+        self.workers = fleet.config.workers if workers is None else workers
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.force_each_step = force_each_step
+
+    @property
+    def events(self):
+        """The fleet's event bus (summary-level events during replay)."""
+        return self.fleet.events
+
+    def _timeline(
+        self, scenario: Mapping[str, Trace]
+    ) -> list[tuple[float, dict[str, list]]]:
+        """Merge per-cell traces into one [(time, {cell: events})] timeline."""
+        names = set(self.fleet.cell_names)
+        unknown = sorted(set(scenario) - names)
+        if unknown:
+            raise TraceError(
+                f"scenario names unknown cells {unknown}; fleet has "
+                f"{sorted(names)}"
+            )
+        merged: dict[float, dict[str, list]] = {}
+        for cell in self.fleet.cell_names:
+            trace = scenario.get(cell)
+            if trace is None:
+                continue
+            trace.validate()
+            for time_point, events in trace.steps():
+                merged.setdefault(time_point, {})[cell] = list(events)
+        return sorted(merged.items())
+
+    def run(self, scenario: Mapping[str, Trace]) -> FleetReplayMetrics:
+        """Replay the scenario and return per-step fleet metrics."""
+        fleet = self.fleet
+        timeline = self._timeline(scenario)
+        fleet.reset()
+        if self.workers > 1 and len(fleet.cells) > 1:
+            executor = _ProcessExecutor(
+                fleet, self.seed, min(self.workers, len(fleet.cells))
+            )
+        else:
+            executor = _LocalExecutor(fleet, self.seed)
+        bus = fleet.events
+        metrics = FleetReplayMetrics(
+            metadata={
+                "driver": "fleet",
+                "cells": list(fleet.cell_names),
+                "policy": fleet.policy.name,
+                "seed": self.seed,
+                "traces": {
+                    cell: dict(trace.metadata) for cell, trace in sorted(scenario.items())
+                },
+            }
+        )
+        try:
+            for time_point, events_by_cell in timeline:
+                summaries = executor.step(events_by_cell, self.force_each_step)
+                if bus:
+                    for summary in summaries:
+                        if summary.failed_nodes:
+                            bus.emit(
+                                CellEvent(
+                                    summary.cell,
+                                    FailureDetected(nodes=summary.failed_nodes),
+                                )
+                            )
+                        if summary.recovered_nodes:
+                            bus.emit(
+                                CellEvent(
+                                    summary.cell,
+                                    RecoveryDetected(nodes=summary.recovered_nodes),
+                                )
+                            )
+                        bus.emit(
+                            CellReconciled(
+                                cell=summary.cell,
+                                triggered=summary.triggered,
+                                actions=summary.actions,
+                            )
+                        )
+                plan = fleet.plan_spillover(summaries)
+                updated: dict[str, CellSummary] = {}
+                failed: list = []
+                if plan:
+                    updated, failed = executor.adjust(plan)
+                fleet.commit_spillover(plan, failed)
+                final = {s.cell: s for s in summaries}
+                final.update(updated)
+                ordered = [final[name] for name in fleet.cell_names]
+                capacity = sum(s.capacity_cpu for s in ordered)
+                healthy = sum(s.healthy_cpu for s in ordered)
+                step = FleetReplayStep(
+                    time=time_point,
+                    events=tuple(
+                        f"{cell}:{event.kind}"
+                        for cell in fleet.cell_names
+                        for event in events_by_cell.get(cell, ())
+                    ),
+                    failed_nodes=sum(s.failed_count for s in ordered),
+                    available_fraction=(healthy / capacity if capacity > 0 else 0.0),
+                    availability=fleet_availability(ordered, fleet.spillovers),
+                    revenue=fleet_revenue(ordered),
+                    utilization=fleet_utilization(ordered),
+                    degraded_cells=tuple(
+                        s.cell
+                        for s in ordered
+                        if any(
+                            not is_clone(app) and (s.cell, app) not in fleet.spillovers
+                            for app, _ in s.missing_critical
+                        )
+                    ),
+                    spillovers_planned=len(plan.assignments) - len(failed),
+                    spillovers_released=len(plan.releases),
+                    spillovers_active=len(fleet.spillovers),
+                    triggered=sum(1 for s in summaries if s.triggered),
+                    actions=sum(s.actions for s in summaries)
+                    + sum(s.actions for s in updated.values()),
+                )
+                metrics.steps.append(step)
+        finally:
+            executor.close()
+        return metrics

@@ -1,0 +1,229 @@
+"""Spillover policies: where does residual critical demand go?
+
+When a cell's surviving capacity cannot satisfy its critical set, the fleet
+asks a :class:`SpilloverPolicy` to place the *residual demand* — the
+C1-tagged microservices the cell could not keep running — onto donor cells.
+The stock :class:`PackedSpillover` answers with a second, fleet-level
+plan→pack round: every donor cell becomes a synthetic **node** whose
+capacity is the cell's free healthy capacity, every residual application
+becomes a synthetic one-microservice application carrying its aggregate
+demand, and the stock :class:`~repro.api.stages.Ranker` /
+:class:`~repro.api.stages.Packer` stages run over that cell-as-node state —
+the same Algorithm-1/2 machinery that places containers on nodes decides
+which cells host which refugees, under the same operator objective.
+
+Policies only *plan*; the fleet applies assignments in a second phase
+(register the clone application on the donor, then one forced engine round)
+so that no cross-cell action can ever overshoot a donor's capacity — the
+donor's own engine enforces it.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Protocol, Sequence, runtime_checkable
+
+from repro.api.config import EngineConfig
+from repro.api.engine import PhoenixEngine
+from repro.cluster.application import Application
+from repro.cluster.microservice import Microservice
+from repro.cluster.node import Node
+from repro.cluster.resources import Resources
+from repro.cluster.state import ClusterState, ReplicaId
+from repro.criticality import CriticalityTag
+
+from repro.fleet.summary import clone_name
+
+
+class MsSpec(NamedTuple):
+    """Picklable description of one microservice of a residual application."""
+
+    name: str
+    cpu: float
+    memory: float
+    replicas: int
+    criticality: int
+    stateful: bool = False
+
+
+class DonorCapacity(NamedTuple):
+    """One donor cell's free healthy capacity, as seen by the policy."""
+
+    cell: str
+    free_cpu: float
+    free_mem: float
+
+
+class ResidualDemand(NamedTuple):
+    """One application's uncovered critical demand in one cell."""
+
+    cell: str
+    app: str
+    price_per_unit: float
+    microservices: tuple[MsSpec, ...]
+
+    @property
+    def cpu(self) -> float:
+        return sum(ms.cpu * ms.replicas for ms in self.microservices)
+
+    @property
+    def memory(self) -> float:
+        return sum(ms.memory * ms.replicas for ms in self.microservices)
+
+
+class SpilloverAssignment(NamedTuple):
+    """A planned migration: one residual application to one donor cell."""
+
+    source_cell: str
+    app: str
+    donor_cell: str
+    price_per_unit: float
+    microservices: tuple[MsSpec, ...]
+    cpu: float
+    memory: float
+
+
+@runtime_checkable
+class SpilloverPolicy(Protocol):
+    """Plans donor placements for residual critical demand.
+
+    Implementations must be deterministic functions of their inputs — the
+    fleet calls them with identical inputs from the serial and parallel
+    paths and requires identical plans back.
+    """
+
+    name: str
+
+    def plan(
+        self,
+        donors: Sequence[DonorCapacity],
+        residuals: Sequence[ResidualDemand],
+    ) -> list[SpilloverAssignment]: ...
+
+
+class NoSpillover:
+    """Cells are strictly isolated; residual demand stays where it is."""
+
+    name = "none"
+
+    def plan(self, donors, residuals) -> list[SpilloverAssignment]:
+        return []
+
+
+class PackedSpillover:
+    """Stock policy: a fleet-level plan→pack round over a cell-as-node state.
+
+    Builds a synthetic :class:`ClusterState` (donor cells as nodes, residual
+    applications as single aggregate microservices), runs the stock engine
+    pipeline on it, and reads donor assignments off the packed target.
+    Whole applications move: each residual lands in exactly one donor, which
+    keeps the clone lifecycle (register / release) atomic per application.
+    Residuals the fleet-level round cannot activate or place stay home —
+    the cell simply remains degraded and is re-planned when its residual
+    set changes.
+    """
+
+    name = "packed"
+
+    def __init__(self, objective="revenue", implementation: str = "fast") -> None:
+        # One pipeline per plan() call would be correct too; the engine is
+        # cheap, but the config is validated once here, fail-fast.
+        self._config = EngineConfig(
+            objective=objective, implementation=implementation, incremental=False
+        )
+
+    def plan(
+        self,
+        donors: Sequence[DonorCapacity],
+        residuals: Sequence[ResidualDemand],
+    ) -> list[SpilloverAssignment]:
+        if not donors or not residuals:
+            return []
+        nodes = [
+            Node(donor.cell, Resources(donor.free_cpu, donor.free_mem))
+            for donor in donors
+        ]
+        apps = []
+        labels: list[tuple[ResidualDemand, str]] = []
+        for residual in residuals:
+            label = f"{residual.cell}:{residual.app}"
+            aggregate = Microservice(
+                name="residual",
+                resources=Resources(residual.cpu, residual.memory),
+                criticality=CriticalityTag(
+                    min(ms.criticality for ms in residual.microservices)
+                ),
+                replicas=1,
+            )
+            apps.append(
+                Application.from_microservices(
+                    label, [aggregate], price_per_unit=residual.price_per_unit
+                )
+            )
+            labels.append((residual, label))
+        synthetic = ClusterState(nodes=nodes, applications=apps)
+        engine = PhoenixEngine(self._config)
+        _, schedule = engine.pipeline.compute(synthetic)
+        assignments: list[SpilloverAssignment] = []
+        for residual, label in labels:
+            donor = schedule.target_assignment.get(ReplicaId(label, "residual", 0))
+            if donor is None:
+                continue
+            assignments.append(
+                SpilloverAssignment(
+                    source_cell=residual.cell,
+                    app=residual.app,
+                    donor_cell=donor,
+                    price_per_unit=residual.price_per_unit,
+                    microservices=residual.microservices,
+                    cpu=residual.cpu,
+                    memory=residual.memory,
+                )
+            )
+        return assignments
+
+
+def build_clone_application(assignment: SpilloverAssignment) -> Application:
+    """The donor-side clone application for one planned spillover.
+
+    Carries the *actual* residual microservices (original per-replica
+    resources, replica counts and criticality tags), so the donor's own
+    planner ranks and places them exactly like native tenants.
+    """
+    microservices = [
+        Microservice(
+            name=ms.name,
+            resources=Resources(ms.cpu, ms.memory),
+            criticality=CriticalityTag(ms.criticality),
+            replicas=ms.replicas,
+            stateful=ms.stateful,
+        )
+        for ms in assignment.microservices
+    ]
+    return Application.from_microservices(
+        clone_name(assignment.app, assignment.source_cell),
+        microservices,
+        price_per_unit=assignment.price_per_unit,
+    )
+
+
+#: Policy spellings accepted by :func:`resolve_spillover`.
+SPILLOVER_POLICIES = ("packed", "none")
+
+
+def resolve_spillover(spec, objective="revenue", implementation: str = "fast"):
+    """Turn a spillover spec (instance or name) into a policy instance."""
+    if isinstance(spec, str):
+        lowered = spec.lower()
+        if lowered == "packed":
+            return PackedSpillover(objective=objective, implementation=implementation)
+        if lowered == "none":
+            return NoSpillover()
+        raise ValueError(
+            f"unknown spillover policy {spec!r}; expected one of "
+            f"{sorted(SPILLOVER_POLICIES)} or a SpilloverPolicy instance"
+        )
+    if isinstance(spec, SpilloverPolicy):
+        return spec
+    raise TypeError(
+        f"spillover must be a SpilloverPolicy or a name, got {type(spec).__name__}"
+    )

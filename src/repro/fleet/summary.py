@@ -1,0 +1,188 @@
+"""Per-cell round summaries: the compact, picklable fleet coordination unit.
+
+Every fleet decision that spans cells — spillover planning, release,
+degradation events, fleet-level metrics — is computed from
+:class:`CellSummary` objects rather than from the cell states themselves.
+That is what makes the parallel paths byte-identical to the serial ones: a
+summary is a pure function of ``(cell state, reconcile outcome)``, it is
+cheap to ship across a process boundary, and both the in-process and the
+worker-process executors build it with the same code, so the coordinator
+sees identical inputs (and therefore makes identical decisions) regardless
+of where the per-cell rounds ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.adaptlab.metrics import cluster_revenue
+from repro.cluster.state import ClusterState
+
+#: Marker splitting a spillover clone's name into (source app, source cell).
+SPILL_MARKER = "@spill:"
+
+
+def clone_name(app: str, source_cell: str) -> str:
+    """Name of the spillover clone of ``app`` from ``source_cell``."""
+    return f"{app}{SPILL_MARKER}{source_cell}"
+
+
+def is_clone(app_name: str) -> bool:
+    return SPILL_MARKER in app_name
+
+
+def clone_source(app_name: str) -> tuple[str, str]:
+    """(source app, source cell) encoded in a clone name."""
+    app, _, cell = app_name.partition(SPILL_MARKER)
+    return app, cell
+
+
+@dataclass(frozen=True, slots=True)
+class CellSummary:
+    """What the fleet coordinator needs to know about one cell's round.
+
+    ``missing_critical`` lists, per application (clones included), the
+    C1-tagged microservices not fully running in the cell — the residual
+    demand signal.  Revenue is absolute (same units as the reference) so
+    fleet aggregation can weight cells by their pre-failure revenue.
+    """
+
+    cell: str
+    triggered: bool
+    failed_nodes: tuple[str, ...]
+    recovered_nodes: tuple[str, ...]
+    actions: int
+    failed_count: int
+    capacity_cpu: float
+    healthy_cpu: float
+    healthy_mem: float
+    used_cpu: float
+    used_mem: float
+    free_cpu: float
+    free_mem: float
+    revenue: float
+    reference_revenue: float
+    app_count: int
+    missing_critical: tuple[tuple[str, tuple[str, ...]], ...]
+
+    def missing_by_app(self) -> dict[str, tuple[str, ...]]:
+        return dict(self.missing_critical)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any non-clone application misses critical capacity."""
+        return any(not is_clone(app) for app, _ in self.missing_critical)
+
+
+def summarize_cell(
+    cell: str,
+    state: ClusterState,
+    reference_revenue: float,
+    *,
+    triggered: bool = False,
+    failed_nodes: Sequence[str] = (),
+    recovered_nodes: Sequence[str] = (),
+    actions: int = 0,
+) -> CellSummary:
+    """Build the :class:`CellSummary` for one cell after one round.
+
+    Pure function of the state and the round outcome: iteration follows the
+    state's registration order, so two processes summarizing equal states
+    produce equal summaries (float accumulation order included).
+    """
+    active = state.active_microservices()
+    missing: list[tuple[str, tuple[str, ...]]] = []
+    app_count = 0
+    for name, app in state.applications.items():
+        if not is_clone(name):
+            app_count += 1
+        active_here = active[name]
+        lacking = tuple(
+            ms.name
+            for ms in app
+            if ms.criticality.level == 1 and ms.name not in active_here
+        )
+        if lacking:
+            missing.append((name, lacking))
+    capacity_all = state.total_capacity(healthy_only=False)
+    capacity = state.total_capacity()
+    used = state.total_used()
+    return CellSummary(
+        cell=cell,
+        triggered=triggered,
+        failed_nodes=tuple(failed_nodes),
+        recovered_nodes=tuple(recovered_nodes),
+        actions=actions,
+        failed_count=state.failed_count,
+        capacity_cpu=capacity_all.cpu,
+        healthy_cpu=capacity.cpu,
+        healthy_mem=capacity.memory,
+        used_cpu=used.cpu,
+        used_mem=used.memory,
+        free_cpu=max(0.0, capacity.cpu - used.cpu),
+        free_mem=max(0.0, capacity.memory - used.memory),
+        revenue=cluster_revenue(state, active_by_app=active),
+        reference_revenue=reference_revenue,
+        app_count=app_count,
+        missing_critical=tuple(missing),
+    )
+
+
+def fleet_availability(
+    summaries: Sequence[CellSummary],
+    spillovers: Mapping[tuple[str, str], object],
+) -> float:
+    """Fraction of fleet applications whose critical set runs *somewhere*.
+
+    An application counts as available when its cell runs every C1
+    microservice, or when an active spillover clone runs them in its donor
+    cell.  ``spillovers`` maps ``(source cell, app)`` to a ledger entry with
+    a ``donor`` attribute (see :class:`repro.fleet.engine.SpilloverEntry`).
+    """
+    by_cell = {summary.cell: summary for summary in summaries}
+    total = 0
+    available = 0
+    for summary in summaries:
+        missing = summary.missing_by_app()
+        total += summary.app_count
+        for name in missing:
+            if is_clone(name):
+                continue
+            entry = spillovers.get((summary.cell, name))
+            if entry is None:
+                continue
+            donor = by_cell.get(entry.donor)
+            if donor is None:
+                continue
+            if clone_name(name, summary.cell) not in donor.missing_by_app():
+                available += 1  # covered by the running clone
+        degraded_here = sum(1 for name in missing if not is_clone(name))
+        available += summary.app_count - degraded_here
+    if total == 0:
+        return 1.0
+    return available / total
+
+
+def fleet_revenue(summaries: Sequence[CellSummary]) -> float:
+    """Fleet revenue normalized to the pre-failure fleet reference.
+
+    Absolute revenues (spillover clones included — capacity a donor spends
+    on a guest earns the guest's revenue) summed over cells, divided by the
+    summed reference.  During the hand-back window after a source cell
+    recovers, clone and source may briefly both earn; the release in the
+    same round bounds the overlap to one step.
+    """
+    achieved = sum(summary.revenue for summary in summaries)
+    baseline = sum(summary.reference_revenue for summary in summaries)
+    if baseline <= 0:
+        return 0.0
+    return achieved / baseline
+
+
+def fleet_utilization(summaries: Sequence[CellSummary]) -> float:
+    """Used fraction of the fleet's healthy CPU capacity."""
+    capacity = sum(summary.healthy_cpu for summary in summaries)
+    if capacity <= 0:
+        return 0.0
+    return sum(summary.used_cpu for summary in summaries) / capacity

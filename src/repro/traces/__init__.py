@@ -19,8 +19,14 @@ Typical round trip::
     metrics = TraceReplayer(api.engine("revenue"), seed=7).run(state, trace)
     print(metrics.min("availability"), metrics.final().availability)
 
+Fleet scenarios: :func:`fleet_scenario` builds a ``{cell: Trace}`` mapping
+(per-cell churn, correlated cross-cell storms, full cell outages) that a
+:class:`repro.fleet.FleetReplayer` — or ``TraceReplayer`` given a
+:class:`~repro.fleet.engine.FleetEngine` driver — replays fleet-wide.
+
 The same machinery powers the command line: ``python -m repro trace gen``
-writes traces, ``python -m repro replay`` runs them (see :mod:`repro.cli`).
+writes traces, ``python -m repro replay`` runs them, and ``python -m repro
+fleet sweep|replay`` runs the federated variants (see :mod:`repro.cli`).
 """
 
 from repro.traces.alibaba import (
@@ -30,6 +36,7 @@ from repro.traces.alibaba import (
     paper_profile_fractions,
     to_capacity_points,
 )
+from repro.traces.fleet import default_fleet_cells, fleet_scenario
 from repro.traces.generators import (
     capacity_schedule,
     correlated_failures,
@@ -43,6 +50,7 @@ from repro.traces.replayer import (
     ReplayMetrics,
     ReplayStep,
     TraceReplayer,
+    apply_trace_event,
 )
 from repro.traces.schema import (
     EVENT_TYPES,
@@ -63,6 +71,8 @@ __all__ = [
     "paper_capacity_trace",
     "paper_profile_fractions",
     "to_capacity_points",
+    "default_fleet_cells",
+    "fleet_scenario",
     "capacity_schedule",
     "correlated_failures",
     "default_node_names",
@@ -73,6 +83,7 @@ __all__ = [
     "ReplayMetrics",
     "ReplayStep",
     "TraceReplayer",
+    "apply_trace_event",
     "EVENT_TYPES",
     "TRACE_VERSION",
     "CapacityTarget",

@@ -1,0 +1,171 @@
+"""Fleet scenarios: per-cell traces plus correlated cross-cell events.
+
+A *fleet scenario* is a mapping of cell name to
+:class:`~repro.traces.schema.Trace` — the input shape of
+:class:`repro.fleet.replay.FleetReplayer` (and of ``python -m repro fleet
+replay``).  :func:`fleet_scenario` composes the classic per-cell shapes into
+fleet-level ones:
+
+* independent Poisson churn per cell (every cell lives its own life),
+* a **correlated storm** hitting several cells at the same timestamp — the
+  region-outage shape single-cluster traces cannot express (the replayer
+  folds same-time events across cells into one fleet round),
+* a full **cell outage**: one cell loses every node at once, with optional
+  staged-free recovery later — the scenario the spillover policy exists
+  for.
+
+Determinism matches the rest of the trace subsystem: same arguments + same
+seed ⇒ byte-identical per-cell JSONL (each per-cell trace dumps canonically
+on its own).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.traces.generators import (
+    default_node_names,
+    failure_storm,
+    poisson_failures,
+)
+from repro.traces.schema import (
+    NodeFailure,
+    NodeRecovery,
+    Trace,
+    merge_traces,
+)
+
+
+def default_fleet_cells(cells: int) -> list[str]:
+    """``cell-0`` … ``cell-N-1`` — the fleet layer's default cell naming."""
+    if cells <= 0:
+        raise ValueError("cells must be positive")
+    return [f"cell-{i}" for i in range(cells)]
+
+
+def fleet_scenario(
+    cells: int | Sequence[str] = 4,
+    nodes_per_cell: int | Mapping[str, Sequence[str]] = 100,
+    *,
+    horizon: float = 3600.0,
+    mtbf: float | None = 1800.0,
+    mttr: float = 300.0,
+    storm_at: float | None = None,
+    storm_fraction: float = 0.4,
+    storm_cells: int = 2,
+    outage_cell: str | int | None = None,
+    outage_at: float = 600.0,
+    outage_recovery_after: float | None = 1800.0,
+    seed: int = 0,
+) -> dict[str, Trace]:
+    """Build a per-cell scenario mapping for a fleet replay.
+
+    Parameters
+    ----------
+    cells:
+        Cell count (named ``cell-0`` …) or explicit cell names.
+    nodes_per_cell:
+        Node count per cell (names ``node-0`` … per cell, matching every
+        builder in the repo), or an explicit mapping of cell name to its
+        node names.
+    mtbf / mttr:
+        Per-cell independent Poisson churn; ``mtbf=None`` disables the
+        background churn entirely (outage/storm-only scenarios).
+    storm_at:
+        When set, a correlated storm hits ``storm_cells`` cells (chosen by
+        the seeded permutation) at this timestamp: each hit cell loses
+        ``storm_fraction`` of its nodes in one burst and recovers in staged
+        groups, all cells on the same clock — one fleet round sees them all.
+    outage_cell:
+        When set (name or index), that cell loses **every** node at
+        ``outage_at``; with ``outage_recovery_after`` the nodes return,
+        together, that many seconds later (``None`` = never).
+    seed:
+        Master seed; per-cell generator seeds are derived deterministically.
+
+    Returns a ``{cell name: Trace}`` mapping; cells without events map to an
+    empty trace so the replayer still reports their metrics each step.
+    """
+    if isinstance(cells, int):
+        cell_names = default_fleet_cells(cells)
+    else:
+        cell_names = list(cells)
+        if len(set(cell_names)) != len(cell_names):
+            raise ValueError("cell names must be unique")
+        if not cell_names:
+            raise ValueError("cells must name at least one cell")
+    if isinstance(nodes_per_cell, int):
+        node_names = {cell: default_node_names(nodes_per_cell) for cell in cell_names}
+    else:
+        node_names = {cell: list(nodes_per_cell[cell]) for cell in cell_names}
+    if isinstance(outage_cell, int):
+        outage_cell = cell_names[outage_cell]
+    if outage_cell is not None and outage_cell not in node_names:
+        raise ValueError(f"outage_cell {outage_cell!r} is not one of {cell_names}")
+    if storm_at is not None and not 0 < storm_cells <= len(cell_names):
+        raise ValueError("storm_cells must be within [1, number of cells]")
+
+    rng = np.random.default_rng(seed)
+    hit: tuple[str, ...] = ()
+    if storm_at is not None:
+        order = rng.permutation(len(cell_names))
+        hit = tuple(cell_names[i] for i in order[:storm_cells])
+
+    scenario: dict[str, Trace] = {}
+    for index, cell in enumerate(cell_names):
+        cell_seed = seed * 1_000_003 + index
+        parts: list[Trace] = []
+        if mtbf is not None:
+            parts.append(
+                poisson_failures(
+                    node_names[cell],
+                    horizon=horizon,
+                    mtbf=mtbf,
+                    mttr=mttr,
+                    seed=cell_seed,
+                )
+            )
+        if cell in hit:
+            parts.append(
+                failure_storm(
+                    node_names[cell],
+                    at=storm_at,
+                    fraction=storm_fraction,
+                    seed=cell_seed,
+                )
+            )
+        if cell == outage_cell:
+            events = [NodeFailure(time=float(outage_at), nodes=tuple(node_names[cell]))]
+            if outage_recovery_after is not None:
+                events.append(
+                    NodeRecovery(
+                        time=float(outage_at + outage_recovery_after),
+                        nodes=tuple(node_names[cell]),
+                    )
+                )
+            parts.append(
+                Trace(
+                    events=events,
+                    metadata={"generator": "cell_outage", "at": outage_at},
+                ).validate()
+            )
+        metadata = {
+            "generator": "fleet_scenario",
+            "cell": cell,
+            "nodes": len(node_names[cell]),
+            "horizon": horizon,
+            "mtbf": mtbf,
+            "mttr": mttr,
+            "storm": cell in hit,
+            "outage": cell == outage_cell,
+            "seed": seed,
+            "cell_seed": cell_seed,
+        }
+        if len(parts) == 1:
+            trace = Trace(events=list(parts[0].events), metadata=metadata)
+        else:
+            trace = merge_traces(parts, metadata=metadata)
+        scenario[cell] = trace.validate()
+    return scenario

@@ -43,6 +43,40 @@ from repro.traces.schema import (
 REPLAY_METRICS_VERSION = 1
 
 
+def apply_trace_event(state: ClusterState, event, *, seed: int = 0) -> None:
+    """Apply one scenario event to ``state`` (shared by every replay path).
+
+    Node failures/recoveries validate node names against the state;
+    ``capacity`` events delegate to the seeded
+    :func:`repro.adaptlab.failures.set_capacity_fraction`; ``load_change``
+    events carry no state mutation (the caller records the multiplier).
+    """
+    if isinstance(event, NodeFailure):
+        missing = [n for n in event.nodes if n not in state.nodes]
+        if missing:
+            raise TraceError(
+                f"trace refers to unknown nodes {missing} at t={event.time} "
+                f"(cluster has {len(state.nodes)} nodes)"
+            )
+        state.fail_nodes(list(event.nodes))
+    elif isinstance(event, NodeRecovery):
+        missing = [n for n in event.nodes if n not in state.nodes]
+        if missing:
+            raise TraceError(
+                f"trace refers to unknown nodes {missing} at t={event.time} "
+                f"(cluster has {len(state.nodes)} nodes)"
+            )
+        state.recover_nodes(list(event.nodes))
+    elif isinstance(event, CapacityTarget):
+        from repro.adaptlab.failures import set_capacity_fraction
+
+        set_capacity_fraction(state, event.available_fraction, seed=seed)
+    elif isinstance(event, LoadChange):
+        pass  # recorded by the caller; state carries no load model
+    else:
+        raise TraceError(f"replayer cannot apply event kind {event.kind!r}")
+
+
 @dataclass(frozen=True, slots=True)
 class ReplayStep:
     """Metrics for one trace step (all events at one timestamp + reaction).
@@ -170,7 +204,10 @@ class TraceReplayer:
         seed: int = 0,
         force_each_step: bool = False,
     ) -> None:
-        if callable(getattr(driver, "reconcile", None)):
+        if hasattr(driver, "cells") and callable(getattr(driver, "plan_spillover", None)):
+            # A FleetEngine (or compatible): delegate to the fleet replayer.
+            self._mode = "fleet"
+        elif callable(getattr(driver, "reconcile", None)):
             self._mode = "reconcile"
         elif callable(getattr(driver, "respond", None)):
             self._mode = "respond"
@@ -195,30 +232,7 @@ class TraceReplayer:
 
     # -- event application ----------------------------------------------------
     def _apply(self, state: ClusterState, event) -> None:
-        if isinstance(event, NodeFailure):
-            missing = [n for n in event.nodes if n not in state.nodes]
-            if missing:
-                raise TraceError(
-                    f"trace refers to unknown nodes {missing} at t={event.time} "
-                    f"(cluster has {len(state.nodes)} nodes)"
-                )
-            state.fail_nodes(list(event.nodes))
-        elif isinstance(event, NodeRecovery):
-            missing = [n for n in event.nodes if n not in state.nodes]
-            if missing:
-                raise TraceError(
-                    f"trace refers to unknown nodes {missing} at t={event.time} "
-                    f"(cluster has {len(state.nodes)} nodes)"
-                )
-            state.recover_nodes(list(event.nodes))
-        elif isinstance(event, CapacityTarget):
-            from repro.adaptlab.failures import set_capacity_fraction
-
-            set_capacity_fraction(state, event.available_fraction, seed=self.seed)
-        elif isinstance(event, LoadChange):
-            pass  # recorded by the caller; state carries no load model
-        else:
-            raise TraceError(f"replayer cannot apply event kind {event.kind!r}")
+        apply_trace_event(state, event, seed=self.seed)
 
     # -- the run loop ----------------------------------------------------------
     def run(self, state: ClusterState, trace: Trace) -> ReplayMetrics:
@@ -228,7 +242,24 @@ class TraceReplayer:
         engine executes its actions against that copy through the standard
         ``StateBackend`` path).  The pre-replay state is the revenue
         reference, matching the AdaptLab convention.
+
+        Fleet drivers: when the driver is a
+        :class:`~repro.fleet.engine.FleetEngine`, ``trace`` is a mapping of
+        cell name to :class:`Trace` (see :func:`repro.traces.fleet_scenario`)
+        and ``state`` must be ``None`` — the fleet owns its cell states.
+        Returns the fleet replayer's metrics instead.
         """
+        if self._mode == "fleet":
+            from repro.fleet.replay import FleetReplayer
+
+            if state is not None:
+                raise TypeError(
+                    "fleet drivers own their cell states; call run(None, scenario) "
+                    "with a {cell name: Trace} mapping"
+                )
+            return FleetReplayer(
+                self.driver, seed=self.seed, force_each_step=self.force_each_step
+            ).run(trace)
         from repro.adaptlab.metrics import evaluate_state
 
         trace.validate()
