@@ -8,20 +8,26 @@ outage, so the spillover protocol is exercised too — driven twice through
 * **serial** — every cell reconciles in the parent process;
 * **workers=4** — cells sharded onto persistent worker processes; states
   cross the process boundary once, then only trace events and compact
-  summaries travel per step.
+  summaries travel per step (batched K steps per round trip, wire codec).
 
 Both replays must produce byte-identical metrics JSONL — the benchmark
 asserts it, so every run doubles as an equivalence check of the sharded
-control plane.  Speedup tracks the machine: sharding cannot beat the core
-count, so rows record ``cpu_count`` alongside the ratio (the committed
-``BENCH_fleet.json`` documents its measurement host's).
+control plane.  Rows break the sharded wall clock into per-phase timings
+(``ship`` = encode+send, ``compute`` = blocked on worker replies, ``fold``
+= parent-side fold-back) so regressions attribute to the right layer.
+
+Speedup tracks the machine: sharding cannot beat the core count, so rows
+record ``cpu_count`` alongside the ratio and tag themselves
+``"underprovisioned": true`` whenever ``cpu_count < workers`` — an
+underprovisioned row documents identity and phase split, not speedup (the
+committed ``BENCH_fleet.json`` notes its measurement host's shape).
 
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_fleet.py [--cells 4] \
         [--nodes-per-cell 25000] [--steps 120] [--save] [--json out.json]
 
-or via pytest (CI fleet-smoke gate: byte-identity always; >=1.8x with 4
+or via pytest (CI fleet-smoke gate: byte-identity always; >=2.0x with 4
 workers when the host has >= 4 cores)::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_fleet.py -q -s
@@ -49,7 +55,7 @@ DEFAULT_STEPS = 120
 #: Quick-gate configuration (CI fleet-smoke): small cells, generous ratio.
 QUICK_NODES_PER_CELL = 4000
 QUICK_STEPS = 60
-QUICK_MIN_SPEEDUP = 1.8
+QUICK_MIN_SPEEDUP = 2.0
 QUICK_WORKERS = 4
 N_APPS = 6
 ENV_SEED = 2025
@@ -88,7 +94,7 @@ def _build_fleet(cells: int, nodes_per_cell: int) -> FleetEngine:
 
 
 def _replay(cells: int, nodes_per_cell: int, scenario, workers: int):
-    """(metrics JSONL, steps, wall seconds) for one full fleet replay.
+    """(metrics JSONL, steps, wall seconds, phase split) for one replay.
 
     The fleet is rebuilt per run (sharded replays hand their states to the
     workers); only the replay itself is timed.  The collector stays enabled
@@ -100,7 +106,9 @@ def _replay(cells: int, nodes_per_cell: int, scenario, workers: int):
     started = time.perf_counter()
     metrics = replayer.run(scenario)
     elapsed = time.perf_counter() - started
-    return metrics.to_jsonl(), len(metrics), elapsed
+    phases = dict(replayer.phase_seconds)
+    fleet.close()
+    return metrics.to_jsonl(), len(metrics), elapsed, phases
 
 
 def measure_fleet_replay(
@@ -108,22 +116,31 @@ def measure_fleet_replay(
 ) -> dict:
     """One benchmark row: serial vs. sharded replay of the same scenario."""
     scenario = _scenario(cells, nodes_per_cell, steps)
-    serial_jsonl, n_steps, serial_seconds = _replay(cells, nodes_per_cell, scenario, 1)
-    sharded_jsonl, _, sharded_seconds = _replay(cells, nodes_per_cell, scenario, workers)
+    serial_jsonl, n_steps, serial_seconds, _ = _replay(
+        cells, nodes_per_cell, scenario, 1
+    )
+    sharded_jsonl, _, sharded_seconds, phases = _replay(
+        cells, nodes_per_cell, scenario, workers
+    )
     if serial_jsonl != sharded_jsonl:  # equivalence is part of the contract
         raise AssertionError(
             f"sharded fleet replay diverged from serial at "
             f"{cells}x{nodes_per_cell} nodes"
         )
+    cores = os.cpu_count() or 1
     return {
         "cells": cells,
         "nodes_per_cell": nodes_per_cell,
         "steps": n_steps,
         "workers": workers,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cores,
+        "underprovisioned": cores < workers,
         "serial_steps_per_sec": round(n_steps / serial_seconds, 2),
         "sharded_steps_per_sec": round(n_steps / sharded_seconds, 2),
         "speedup": round(serial_seconds / sharded_seconds, 2),
+        "ship_seconds": round(phases.get("ship", 0.0), 3),
+        "compute_seconds": round(phases.get("compute", 0.0), 3),
+        "fold_seconds": round(phases.get("fold", 0.0), 3),
         "identical_output": True,
     }
 
@@ -132,13 +149,16 @@ def print_rows(rows: list[dict]) -> None:
     print("\n=== Fleet replay throughput (steps/sec; identical output enforced) ===")
     print(
         f"{'cells':<7}{'nodes/cell':<12}{'steps':>7}{'serial':>10}"
-        f"{'workers=4':>12}{'speedup':>10}{'cores':>7}"
+        f"{'sharded':>10}{'speedup':>10}{'ship':>8}{'compute':>9}{'fold':>8}{'cores':>7}"
     )
     for row in rows:
+        tag = " (underprovisioned)" if row.get("underprovisioned") else ""
         print(
             f"{row['cells']:<7}{row['nodes_per_cell']:<12}{row['steps']:>7}"
-            f"{row['serial_steps_per_sec']:>10.2f}{row['sharded_steps_per_sec']:>12.2f}"
-            f"{row['speedup']:>9.2f}x{row['cpu_count']:>7}"
+            f"{row['serial_steps_per_sec']:>10.2f}{row['sharded_steps_per_sec']:>10.2f}"
+            f"{row['speedup']:>9.2f}x{row['ship_seconds']:>8.3f}"
+            f"{row['compute_seconds']:>9.3f}{row['fold_seconds']:>8.3f}"
+            f"{row['cpu_count']:>7}{tag}"
         )
 
 
@@ -178,28 +198,30 @@ def main(argv=None) -> list[dict]:
 
 
 def test_fleet_sharded_identity_and_speedup_quick():
-    """CI gate: sharded replay byte-identical, and >=1.8x on >=4 cores.
+    """CI gate: sharded replay byte-identical, and >=2x on >=4 cores.
 
     Byte-identity is asserted unconditionally (measure_fleet_replay raises
     on divergence).  The speedup gate only applies when the host actually
     has the cores to parallelize over — sharding cannot beat ``cpu_count``,
-    so single- and dual-core hosts check identity only.  One re-measure
-    damps shared-runner scheduler noise.
+    so underprovisioned hosts check identity only.  One re-measure damps
+    shared-runner scheduler noise.
     """
     row = measure_fleet_replay(DEFAULT_CELLS, QUICK_NODES_PER_CELL, QUICK_STEPS)
-    cores = os.cpu_count() or 1
-    if cores >= QUICK_WORKERS and row["speedup"] < QUICK_MIN_SPEEDUP:
+    if not row["underprovisioned"] and row["speedup"] < QUICK_MIN_SPEEDUP:
         row = measure_fleet_replay(DEFAULT_CELLS, QUICK_NODES_PER_CELL, QUICK_STEPS)
     print_rows([row])
     assert row["identical_output"]
-    if cores >= QUICK_WORKERS:
+    if not row["underprovisioned"]:
         assert row["speedup"] >= QUICK_MIN_SPEEDUP, (
             f"sharded fleet replay speedup {row['speedup']}x at "
             f"{DEFAULT_CELLS}x{QUICK_NODES_PER_CELL} nodes is below the "
-            f"{QUICK_MIN_SPEEDUP}x gate on a {cores}-core host"
+            f"{QUICK_MIN_SPEEDUP}x gate on a {row['cpu_count']}-core host"
         )
     else:  # pragma: no cover - depends on host shape
-        print(f"(speedup gate skipped: {cores} core(s) < {QUICK_WORKERS} workers)")
+        print(
+            f"(speedup gate skipped: {row['cpu_count']} core(s) < "
+            f"{QUICK_WORKERS} workers)"
+        )
 
 
 if __name__ == "__main__":

@@ -398,13 +398,44 @@ def _fleet_scenario(args):
 
 
 def cmd_fleet_replay(args) -> int:
-    """Replay a fleet scenario; emit deterministic per-step metrics JSONL."""
+    """Replay a fleet scenario; emit deterministic per-step metrics JSONL.
+
+    ``--profile`` runs the replay under cProfile and prints the top 20
+    functions by cumulative time (same report as ``repro bench --profile``)
+    plus the replayer's per-phase wall-clock split, to stderr so the
+    metrics JSONL on stdout stays machine-readable.
+    """
     from repro.fleet import FleetReplayer
 
     fleet = _build_fleet(args, _fleet_environments(args))
     scenario = _fleet_scenario(args)
     replayer = FleetReplayer(fleet, seed=args.seed, workers=args.workers)
-    metrics = replayer.run(scenario)
+    try:
+        if args.profile:
+            import cProfile
+            import tempfile
+
+            profile = cProfile.Profile()
+            profile.enable()
+            metrics = replayer.run(scenario)
+            profile.disable()
+            handle = tempfile.NamedTemporaryFile(suffix=".prof", delete=False)
+            handle.close()
+            profile_path = Path(handle.name)
+            try:
+                profile.dump_stats(profile_path)
+                print(_profile_summary(profile_path), end="", file=sys.stderr)
+            finally:
+                profile_path.unlink(missing_ok=True)
+            phases = " ".join(
+                f"{name}={seconds:.3f}s"
+                for name, seconds in replayer.phase_seconds.items()
+            )
+            print(f"replay phases: {phases}", file=sys.stderr)
+        else:
+            metrics = replayer.run(scenario)
+    finally:
+        fleet.close()
     _write_text(args.out, metrics.to_jsonl())
     return 0
 
@@ -861,6 +892,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="outage: seconds until the cell returns",
     )
     fleet_replay.add_argument("--out", default=None, help="output file (default: stdout)")
+    fleet_replay.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile; print top-20 cumulative functions and the "
+        "replay's per-phase timings to stderr",
+    )
     fleet_replay.set_defaults(func=cmd_fleet_replay)
 
     fleet_sweep = fleet_sub.add_parser(

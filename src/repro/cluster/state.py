@@ -317,6 +317,46 @@ class ClusterState:
         """
         return set(self._failed)
 
+    def failure_order(self) -> tuple[str, ...]:
+        """Currently failed node names, in the order they failed.
+
+        The registry order drives :meth:`evict_from_failed_nodes` and hence
+        the byte order of every downstream schedule — consumers replicating
+        this state across a process boundary must reproduce it exactly, so
+        they diff against this tuple rather than :meth:`failed_names`.
+        """
+        return tuple(self._failed)
+
+    def health_aggregates(self) -> tuple[tuple[float, float], tuple[float, float]]:
+        """Bit-exact ``((healthy cap cpu, mem), (healthy used cpu, mem))``.
+
+        These two accumulators are the only floats :meth:`fail_nodes` /
+        :meth:`recover_nodes` touch, and float addition is not associative:
+        two states that failed and recovered the same node *sets* through
+        different call sequences can disagree in the last bit.  A replica of
+        this state (a fleet worker shard applying a health delta) therefore
+        overwrites its accumulators with these values after the diff — see
+        :meth:`set_health_aggregates`.
+        """
+        return (
+            (self._cap_healthy[0], self._cap_healthy[1]),
+            (self._used_healthy[0], self._used_healthy[1]),
+        )
+
+    def set_health_aggregates(
+        self,
+        capacity: tuple[float, float],
+        used: tuple[float, float],
+    ) -> None:
+        """Overwrite the healthy-capacity/usage accumulators bit-for-bit.
+
+        Only meaningful right after replaying a health delta whose source
+        shipped :meth:`health_aggregates`; any other use desynchronizes the
+        accumulators from the node registry.
+        """
+        self._cap_healthy[0], self._cap_healthy[1] = capacity
+        self._used_healthy[0], self._used_healthy[1] = used
+
     def iter_replicas(self, app: str, microservice: str) -> Iterator[ReplicaId]:
         count = self._apps[app].get(microservice).replicas
         for index in range(count):

@@ -163,20 +163,17 @@ class FleetReport:
         )
 
 
-def _cell_round(payload: tuple) -> tuple[ClusterState, ReconcileReport, set[str] | None]:
-    """One cell's reconcile round, run in a worker process.
+def state_signature(state: ClusterState) -> tuple:
+    """Cheap drift check for the pooled reconcile's delta protocol.
 
-    Rebuilds the engine from its config, restores the failure detector's
-    checkpoint, reconciles the shipped state in place and returns it with
-    the report and the new detector state.  Incremental caches do not
-    survive the round, but incremental and full recomputes are
-    byte-identical by construction, so parallel output equals serial.
+    Assignment count plus the all-nodes capacity/usage accumulators, all
+    bit-exact: node health changes touch none of them, so a mismatch means
+    the parent state mutated in a way a health delta cannot express and the
+    worker shard needs a full resync.
     """
-    state, config, known_failed, force = payload
-    engine = PhoenixEngine(config)
-    engine.known_failed = known_failed
-    report = engine.reconcile(state, force=force)
-    return state, report, engine.known_failed
+    used = state.total_used(healthy_only=False)
+    capacity = state.total_capacity(healthy_only=False)
+    return (len(state.assignments), used.cpu, used.memory, capacity.cpu, capacity.memory)
 
 
 def step_cells(
@@ -184,6 +181,8 @@ def step_cells(
     events_by_cell: Mapping[str, Sequence],
     seed: int,
     force: bool,
+    *,
+    with_events: bool = True,
 ) -> list[CellSummary]:
     """Apply trace events and run one reconcile round per cell, in order.
 
@@ -191,6 +190,14 @@ def step_cells(
     in-process one and the worker shards): one copy of the step logic is
     what makes the serial-vs-sharded byte-identity contract structural
     rather than a discipline three call sites must each uphold.
+
+    ``with_events=False`` is the observer fast path: the per-node
+    failure/recovery name tuples exist *only* to feed fleet-bus event
+    payloads, so when the replay's bus has no subscribers the summaries
+    skip building (and, sharded, shipping) them — a whole-cell outage
+    otherwise drags tens of thousands of node names through the pipe per
+    step that nobody reads.  Federation decisions and metrics never touch
+    those tuples, so the replay output is byte-identical either way.
     """
     from repro.traces.replayer import apply_trace_event
 
@@ -205,8 +212,8 @@ def step_cells(
                 cell.state,
                 cell.reference_revenue,
                 triggered=report.triggered,
-                failed_nodes=report.failed_nodes,
-                recovered_nodes=report.recovered_nodes,
+                failed_nodes=report.failed_nodes if with_events else (),
+                recovered_nodes=report.recovered_nodes if with_events else (),
                 actions=report.actions_executed,
             )
         )
@@ -362,6 +369,17 @@ class FleetEngine:
         for cell in self.cells:
             for app_name in cell.state.applications:
                 self._spec_for(cell.name, app_name)
+        #: Persistent shard pool for reconcile(workers>1); created lazily on
+        #: the first parallel round and reused across rounds (ship states
+        #: once, then per-round deltas).
+        self._pool = None
+        self._pool_workers = 0
+        #: cell name -> (failure order, state signature, dirty generation)
+        #: at last worker sync.
+        self._sync: dict[str, tuple[tuple[str, ...], tuple, int]] = {}
+        #: Test hook: (shard index, nth command) worker-death injection,
+        #: handed to the pool at creation (see repro.fleet.pool.ShardPool).
+        self._shard_fault: tuple[int, int] | None = None
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -395,16 +413,22 @@ class FleetEngine:
     def reconcile(self, force: bool = False, workers: int | None = None) -> FleetReport:
         """One fleet round: per-cell reconciles, then cross-cell spillover.
 
-        ``workers`` > 1 shards the per-cell rounds across a process pool;
-        the merged outcome is byte-identical to a serial round (worker
-        results are folded back in cell order, and the federation phase
-        always runs in the parent).  ``force`` forces every cell's round.
+        ``workers`` > 1 shards the per-cell rounds across persistent worker
+        processes (or threads, with ``config.executor="thread"``); the
+        merged outcome is byte-identical to a serial round (worker results
+        are folded back in cell order, and the federation phase always runs
+        in the parent).  ``force`` forces every cell's round.
 
-        Each parallel call pays pool startup plus per-cell state shipping
-        in both directions, so it wins only when per-cell planning work
-        dwarfs serialization (very large cells).  For sustained parallel
-        scenario driving use :class:`repro.fleet.replay.FleetReplayer`,
-        whose persistent worker shards ship states once.
+        The process pool is created on the first parallel call and **kept**:
+        workers own their cells' engines and states across rounds, the
+        parent ships only per-round health deltas (derived from the states'
+        dirty sets) and mirrors the workers' actions onto its own copies —
+        so steady-state IPC is O(churn + report), not O(cluster).  Parent
+        states stay authoritative: mutate them freely between rounds (node
+        health and structural changes are picked up; structural ones cost a
+        one-off state resync).  A dead worker raises
+        :exc:`repro.fleet.pool.ShardFailure` *before* any fold-back, leaving
+        the fleet state unchanged; the next call rebuilds the pool.
         """
         workers = self.config.workers if workers is None else workers
         if workers < 1:
@@ -452,23 +476,119 @@ class FleetEngine:
         )
 
     def _phase_cells(self, force: bool, workers: int) -> list[ReconcileReport]:
-        """Per-cell rounds, serial or sharded; results in cell order."""
+        """Per-cell rounds, serial, threaded or sharded; results in cell order."""
         if workers <= 1 or len(self.cells) == 1:
             return [cell.engine.reconcile(cell.backend, force=force) for cell in self.cells]
-        from concurrent.futures import ProcessPoolExecutor
+        if self.config.executor == "thread":
+            from concurrent.futures import ThreadPoolExecutor
 
-        payloads = [
-            (cell.state, cell.engine.config, cell.engine.known_failed, force)
-            for cell in self.cells
-        ]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            # map() preserves cell order, so the fold-back (and every event
-            # emitted from it) is identical to the serial loop's.
-            results = list(pool.map(_cell_round, payloads))
+            # In-process: no serialization, no mirroring, each task owns one
+            # cell.  map() preserves cell order, so the fold-back is
+            # identical to the serial loop's.
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(
+                    pool.map(
+                        lambda cell: cell.engine.reconcile(cell.backend, force=force),
+                        self.cells,
+                    )
+                )
+        return self._phase_cells_pooled(force, workers)
+
+    def _ensure_pool(self, workers: int):
+        """The persistent shard pool, (re)built when absent or resized."""
+        from repro.fleet.pool import ShardPool
+
+        if self._pool is not None and self._pool_workers != workers:
+            self.close()
+        if self._pool is None:
+            self._pool = ShardPool(
+                self.cells,
+                workers=workers,
+                codec=self.config.codec,
+                fault=self._shard_fault,
+            )
+            self._pool_workers = workers
+            # The pool just shipped the current states; baseline the delta
+            # tracking against them (drain discards pre-existing dirt).
+            for cell in self.cells:
+                drained = cell.state.drain_dirty()
+                self._sync[cell.name] = (
+                    cell.state.failure_order(),
+                    state_signature(cell.state),
+                    drained.end_generation,
+                )
+        return self._pool
+
+    def _cell_delta(self, cell: Cell) -> tuple:
+        """What one worker shard needs to catch up to the parent's state.
+
+        Health-only churn (the supported between-rounds mutation, and the
+        only kind trace replays produce) ships as an O(churn) diff against
+        the failure registry *in failure order* — that order drives
+        eviction order and therefore every downstream byte — plus the
+        parent's healthy-capacity float accumulators, which the worker
+        adopts bit-for-bit (the diff may reach the same failed set through
+        a different op sequence, and float addition is not associative).
+        Structural changes (applications or nodes added/removed, e.g. by a
+        spillover adjustment), signature drift, and competing dirty-set
+        consumers (a serial engine round drained dirt this tracker never
+        saw — detected via the generation token, PR 4's discipline) all
+        fall back to shipping the whole state.
+        """
+        state = cell.state
+        dirty = state.drain_dirty()
+        synced = self._sync.get(cell.name)
+        current = state.failure_order()
+        signature = state_signature(state)
+        if (
+            synced is None
+            or dirty.structural
+            or dirty.base_generation != synced[2]
+            or signature != synced[1]
+        ):
+            return ("full", state, cell.engine.known_failed)
+        last = synced[0]
+        common = 0
+        for a, b in zip(last, current):
+            if a != b:
+                break
+            common += 1
+        return ("delta", last[common:], current[common:], state.health_aggregates())
+
+    def _phase_cells_pooled(self, force: bool, workers: int) -> list[ReconcileReport]:
+        """One pooled round: ship deltas, gather reports, mirror actions.
+
+        The workers' engines run the round; the parent replays each
+        triggered cell's ordered action list onto its own state through
+        :func:`repro.core.scheduler.apply_actions` — the *same* single
+        mutation path a serial round uses — so parent and worker states
+        stay bit-identical without shipping states back.  All replies are
+        gathered before any mirroring, so a worker failure leaves the
+        fleet state untouched.
+        """
+        from repro.core.scheduler import apply_actions
+        from repro.fleet.pool import ShardFailure
+
+        pool = self._ensure_pool(workers)
+        deltas = {cell.name: self._cell_delta(cell) for cell in self.cells}
+        try:
+            replies = pool.round(deltas, force)
+        except ShardFailure:
+            self._pool = None
+            self._sync.clear()
+            raise
         reports: list[ReconcileReport] = []
-        for cell, (new_state, report, known) in zip(self.cells, results):
-            cell.backend.state = new_state
+        for cell, (report, known) in zip(self.cells, replies):
+            if report.triggered and report.schedule is not None:
+                apply_actions(cell.state, report.schedule.ordered_actions())
             cell.engine.known_failed = known
+            # Absorb the mirror's dirt and re-baseline for the next delta.
+            drained = cell.state.drain_dirty()
+            self._sync[cell.name] = (
+                cell.state.failure_order(),
+                state_signature(cell.state),
+                drained.end_generation,
+            )
             reports.append(report)
         return reports
 
@@ -738,6 +858,29 @@ class FleetEngine:
         self._last_residuals = snapshot
 
     def reset(self) -> None:
-        """Forget detection state in every cell engine (scenario replays)."""
+        """Forget detection state in every cell engine (scenario replays).
+
+        Also tears down the persistent reconcile pool: worker shards hold
+        detector checkpoints that a reset must not survive.  The next
+        parallel round rebuilds the pool from the current states.
+        """
+        self.close()
         for cell in self.cells:
             cell.engine.reset()
+
+    def close(self) -> None:
+        """Stop the persistent reconcile worker pool, if one is running.
+
+        Idempotent; the fleet stays fully usable (serial rounds need no
+        pool, and the next parallel round builds a fresh one).
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._sync.clear()
+
+    def __enter__(self) -> "FleetEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,381 @@
+"""Persistent worker shards for the fleet: ship states once, then deltas.
+
+:class:`ShardPool` is the one process-backed executor behind both parallel
+fleet surfaces — :meth:`repro.fleet.engine.FleetEngine.reconcile` and
+:class:`repro.fleet.replay.FleetReplayer`.  Each worker process *owns* a
+round-robin shard of the fleet's cells (``cells[w::workers]``) for the
+pool's whole lifetime: engines, backends and cluster states are shipped
+exactly once, at start.  Afterwards only compact per-round payloads cross
+the pipe, encoded by the :mod:`repro.fleet.wire` codec (or pickle, by
+config):
+
+* **replay protocol** — trace events out, summaries back (``step``), with
+  optional multi-step batching (``batch`` / ``rewind``) and the spillover
+  adjustment round (``adjust``);
+* **reconcile protocol** — dirty-set-derived health deltas out, full
+  reconcile reports and detector checkpoints back (``round``), with a
+  full-state resync frame for mutations a delta cannot express.
+
+Every parent→worker exchange is strictly request/reply, and the parent
+gathers **all** shard replies before acting on any of them — a shard
+process dying mid-round therefore surfaces as one clear
+:exc:`ShardFailure` naming the lost cells, never as a hang or a partial
+fold-back.  ``fault`` injects exactly that death deterministically for the
+failure tests.
+
+The pool keeps cumulative per-phase wall-clock in :attr:`phase_seconds`
+(``ship`` = encode+send, ``wait`` = blocked on replies) so benchmarks can
+attribute where parallel rounds spend their time.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Mapping, Sequence
+
+from repro.api.engine import PhoenixEngine
+from repro.core.controller import StateBackend
+
+from repro.fleet.engine import Cell, adjust_cells, step_cells
+from repro.fleet.wire import resolve_codec
+
+
+class ShardFailure(RuntimeError):
+    """A worker shard died or errored mid-round; the round did not land."""
+
+
+def _snapshot_state(state):
+    """Cheap batch checkpoint: a ``share_nodes`` copy + the failed set.
+
+    Every mid-batch mutation of :class:`~repro.cluster.node.Node` objects is
+    a health flag flip through ``fail_nodes``/``recover_nodes`` (trace and
+    capacity events; reconcile actions only touch assignment maps), so the
+    snapshot can share node objects — skipping the O(nodes) re-allocation a
+    full copy pays on every batch — and repair the flags from the recorded
+    failed set if a rewind actually restores it.
+    """
+    return state.copy(share_nodes=True), frozenset(state.failure_order())
+
+
+def _restore_state(snapshot):
+    """Reinstate a :func:`_snapshot_state` checkpoint (repairs node health)."""
+    state, failed = snapshot
+    for name, node in state.nodes.items():
+        node.failed = name in failed
+    return state
+
+
+def _shard_main(conn, payload: list, seed: int, codec: str, fault_after: int | None) -> None:
+    """Worker process: owns a shard of cells for the pool's lifetime.
+
+    Protocol: every parent message is a tuple whose first element is the
+    command; every reply is ``("ok", data)`` or ``("error", message)``.
+    The per-cell work is the shared :func:`repro.fleet.engine.step_cells` /
+    :func:`repro.fleet.engine.adjust_cells` helpers and the cells' own
+    ``engine.reconcile`` — the exact code the serial paths run, so results
+    match the parent's byte for byte.
+
+    ``fault_after`` (tests only) hard-kills the process on the Nth
+    received command, simulating an external shard death.
+    """
+    dumps, loads = resolve_codec(codec)
+    cells = []
+    for name, state, config, known_failed, reference_revenue in payload:
+        engine = PhoenixEngine(config)
+        engine.known_failed = known_failed
+        cells.append(Cell(name, engine, StateBackend(state), reference_revenue))
+    # Last batch checkpoint: (states, detector checkpoints, step events,
+    # force, with_events) — enough to rewind when the parent's fold finds a
+    # spillover round mid-batch (see FleetReplayer).
+    snapshot = None
+    commands = 0
+    try:
+        while True:
+            message = loads(conn.recv_bytes())
+            commands += 1
+            if fault_after is not None and commands >= fault_after:
+                os._exit(13)
+            command = message[0]
+            if command == "stop":
+                break
+            if command == "step":
+                _, events_by_cell, force, with_events = message
+                snapshot = None
+                summaries = step_cells(
+                    cells, events_by_cell, seed, force, with_events=with_events
+                )
+                conn.send_bytes(dumps(("ok", summaries)))
+            elif command == "batch":
+                _, step_events, force, with_events = message
+                snapshot = (
+                    [_snapshot_state(cell.state) for cell in cells],
+                    [cell.engine.known_failed for cell in cells],
+                    step_events,
+                    force,
+                    with_events,
+                )
+                out = [
+                    step_cells(cells, events, seed, force, with_events=with_events)
+                    for events in step_events
+                ]
+                conn.send_bytes(dumps(("ok", out)))
+            elif command == "rewind":
+                # Roll the shard back to just after batch step ``keep - 1``:
+                # restore the pre-batch checkpoint and re-run the first
+                # ``keep`` steps.  Replay is deterministic (same states, same
+                # events, same seed), and engine caches going cold against
+                # the restored states cannot change output — incremental and
+                # full recomputes are byte-identical by construction.
+                keep = message[1]
+                states, knowns, step_events, force, with_events = snapshot
+                snapshot = None
+                for cell, checkpoint, known in zip(cells, states, knowns):
+                    cell.backend.state = _restore_state(checkpoint)
+                    cell.engine.known_failed = known
+                for events in step_events[:keep]:
+                    step_cells(cells, events, seed, force, with_events=with_events)
+                conn.send_bytes(dumps(("ok", None)))
+            elif command == "adjust":
+                _, removes, adds = message
+                snapshot = None
+                summaries, _reports, failed = adjust_cells(cells, removes, adds)
+                conn.send_bytes(dumps(("ok", (summaries, failed))))
+            elif command == "round":
+                _, deltas, force = message
+                snapshot = None
+                replies = []
+                for cell in cells:
+                    delta = deltas[cell.name]
+                    if delta[0] == "full":
+                        # Resync: the parent's mutations were not expressible
+                        # as a health delta; replace state and detector.
+                        cell.backend.state = delta[1]
+                        cell.engine.known_failed = delta[2]
+                    else:
+                        _, recover, fail, aggregates = delta
+                        state = cell.state
+                        if recover:
+                            state.recover_nodes(recover)
+                        if fail:
+                            state.fail_nodes(fail)
+                        # The diff reaches the parent's failed *set* through a
+                        # possibly different op sequence; restore the float
+                        # accumulators bit-for-bit (see health_aggregates).
+                        state.set_health_aggregates(*aggregates)
+                    report = cell.engine.reconcile(cell.backend, force=force)
+                    replies.append((report, cell.engine.known_failed))
+                conn.send_bytes(dumps(("ok", replies)))
+            else:
+                conn.send_bytes(dumps(("error", f"unknown command {command!r}")))
+    except Exception as exc:  # surface worker failures to the parent
+        import traceback
+
+        try:
+            conn.send_bytes(dumps(("error", f"{exc!r}\n{traceback.format_exc()}")))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class ShardPool:
+    """Persistent worker processes, each owning a round-robin cell shard.
+
+    Parameters
+    ----------
+    cells:
+        The fleet's cells, in fleet order.  States, engine configs and
+        detector checkpoints ship to the workers once, here.
+    seed:
+        Seed for randomized ``capacity`` trace events (replay protocol).
+    workers:
+        Shard count; capped at the cell count by the caller.
+    codec:
+        Message encoding — ``"wire"`` (compact, default) or ``"pickle"``.
+    fault:
+        Test hook: ``(shard index, nth command)`` hard-kills that shard's
+        process on its Nth received command (``os._exit``), driving the
+        worker-death paths deterministically.
+    """
+
+    def __init__(
+        self,
+        cells: Sequence[Cell],
+        *,
+        seed: int = 0,
+        workers: int,
+        codec: str = "wire",
+        fault: tuple[int, int] | None = None,
+    ) -> None:
+        import multiprocessing as mp
+
+        self._dumps, self._loads = resolve_codec(codec)  # fail fast on bad names
+        context = mp.get_context()
+        self.codec = codec
+        self.order = [cell.name for cell in cells]
+        self.phase_seconds = {"ship": 0.0, "wait": 0.0}
+        self.last_reply_bytes = 0
+        self._workers = []
+        for index in range(workers):
+            shard = cells[index::workers]
+            if not shard:
+                continue
+            parent_conn, child_conn = context.Pipe()
+            payload = [
+                (
+                    cell.name,
+                    cell.state,
+                    cell.engine.config,
+                    cell.engine.known_failed,
+                    cell.reference_revenue,
+                )
+                for cell in shard
+            ]
+            fault_after = fault[1] if fault is not None and fault[0] == index else None
+            process = context.Process(
+                target=_shard_main,
+                args=(child_conn, payload, seed, codec, fault_after),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append((process, parent_conn, [c.name for c in shard]))
+
+    # -- plumbing --------------------------------------------------------------
+    def _send_all(self, messages: list) -> None:
+        """One encoded message per live shard, in shard order."""
+        started = time.perf_counter()
+        try:
+            for (_process, conn, _names), message in zip(self._workers, messages):
+                conn.send_bytes(self._dumps(message))
+        except (BrokenPipeError, OSError) as exc:
+            self._fail(f"shard pipe closed while sending: {exc!r}")
+        finally:
+            self.phase_seconds["ship"] += time.perf_counter() - started
+
+    def _gather(self) -> list:
+        """All shard replies, in shard order; raises before any fold-back.
+
+        Collecting *every* reply before returning is what makes worker
+        death atomic for the caller: either the whole round is available,
+        or :exc:`ShardFailure` fires and no partial result escapes.
+        """
+        started = time.perf_counter()
+        replies = []
+        reply_bytes = 0
+        try:
+            for process, conn, names in self._workers:
+                try:
+                    raw = conn.recv_bytes()
+                except (EOFError, OSError) as exc:
+                    self._fail(
+                        f"fleet shard worker died mid-round (cells {names}): {exc!r}"
+                    )
+                reply_bytes += len(raw)
+                status, data = self._loads(raw)
+                if status != "ok":
+                    self._fail(f"fleet shard worker failed: {data}")
+                replies.append(data)
+        finally:
+            self.phase_seconds["wait"] += time.perf_counter() - started
+        self.last_reply_bytes = reply_bytes
+        return replies
+
+    def _fail(self, message: str) -> None:
+        self.close()
+        raise ShardFailure(message)
+
+    # -- replay protocol -------------------------------------------------------
+    def step(self, events_by_cell: Mapping[str, list], force: bool, with_events: bool):
+        """One trace step on every shard; summaries merged to fleet order."""
+        self._send_all(
+            [
+                ("step", {n: events_by_cell[n] for n in names if n in events_by_cell},
+                 force, with_events)
+                for _process, _conn, names in self._workers
+            ]
+        )
+        by_cell = {}
+        for reply in self._gather():
+            for summary in reply:
+                by_cell[summary.cell] = summary
+        return [by_cell[name] for name in self.order]
+
+    def step_batch(self, step_events: list, force: bool, with_events: bool):
+        """K trace steps in one round trip; K summary lists, fleet order.
+
+        Workers checkpoint their states before running the batch, so the
+        caller may :meth:`rewind` if its per-step fold discovers a spillover
+        round partway through.
+        """
+        self._send_all(
+            [
+                (
+                    "batch",
+                    [
+                        {n: events[n] for n in names if n in events}
+                        for events in step_events
+                    ],
+                    force,
+                    with_events,
+                )
+                for _process, _conn, names in self._workers
+            ]
+        )
+        merged = [dict() for _ in step_events]
+        for reply in self._gather():
+            for step_index, summaries in enumerate(reply):
+                for summary in summaries:
+                    merged[step_index][summary.cell] = summary
+        return [[by_cell[name] for name in self.order] for by_cell in merged]
+
+    def rewind(self, keep_steps: int) -> None:
+        """Roll every shard back to just after batch step ``keep_steps - 1``."""
+        self._send_all([("rewind", keep_steps)] * len(self._workers))
+        self._gather()
+
+    def adjust(self, removes: list, adds: list):
+        """Spillover phase two on every shard; merged summaries + failures."""
+        self._send_all([("adjust", removes, adds)] * len(self._workers))
+        updated: dict = {}
+        failed: list = []
+        for reply in self._gather():
+            summaries, shard_failed = reply
+            updated.update(summaries)
+            failed.extend(shard_failed)
+        return updated, failed
+
+    # -- reconcile protocol ----------------------------------------------------
+    def round(self, deltas: Mapping[str, tuple], force: bool) -> list:
+        """One reconcile round from per-cell deltas; replies in fleet order.
+
+        ``deltas[cell]`` is either ``("delta", recover, fail, aggregates)``
+        or ``("full", state, known_failed)``.  Returns one
+        ``(report, known_failed)`` pair per cell.
+        """
+        self._send_all(
+            [
+                ("round", {n: deltas[n] for n in names}, force)
+                for _process, _conn, names in self._workers
+            ]
+        )
+        by_cell = {}
+        for (_process, _conn, names), reply in zip(self._workers, self._gather()):
+            for name, pair in zip(names, reply):
+                by_cell[name] = pair
+        return [by_cell[name] for name in self.order]
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        for process, conn, _names in self._workers:
+            try:
+                conn.send_bytes(self._dumps(("stop",)))
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        for process, _conn, _names in self._workers:
+            process.join(timeout=10)
+            if process.is_alive():
+                process.terminate()
+        self._workers = []

@@ -8,35 +8,41 @@ the same timestamp across cells form one step (that is what makes
 correlated cross-cell storms a single fleet round), followed by per-cell
 reconciles and the fleet's spillover phase.
 
-Two executors implement the per-cell work behind one protocol:
+Three executors implement the per-cell work behind one protocol:
 
 * serial — the fleet's own cells, in process;
-* ``workers=N`` — persistent worker processes, each *owning* a round-robin
-  shard of the cells for the whole replay.  States cross the process
-  boundary once (at start); afterwards only trace events travel out and
-  compact :class:`~repro.fleet.summary.CellSummary` objects travel back,
-  so per-step communication is O(churn), not O(cluster).
+* ``executor="thread"`` — a thread pool over the fleet's own cells: no
+  serialization at all, for small fleets where process overhead dominates;
+* ``executor="process"`` (default for ``workers`` > 1) — a persistent
+  :class:`~repro.fleet.pool.ShardPool`: each worker process *owns* a
+  round-robin shard of the cells for the whole replay.  States cross the
+  process boundary once (at start); afterwards only trace events travel
+  out and compact :class:`~repro.fleet.summary.CellSummary` objects travel
+  back — wire-encoded (:mod:`repro.fleet.wire`) and **batched**: quiet
+  stretches of the timeline ship K steps per round trip, with K auto-tuned
+  from observed payload sizes (or pinned via ``batch_steps``).  When the
+  parent's per-step fold finds a spillover round mid-batch, the shards
+  rewind to that step before adjusting, so batching never changes output.
 
 All federation decisions (spillover planning, release, events, metrics)
-happen in the parent from the summaries, which both executors build with
+happen in the parent from the summaries, which every executor builds with
 the same code over the same states — the replay JSONL is therefore
-**byte-identical** for every worker count, the property the fleet CI gate
-asserts.
+**byte-identical** for every (executor, worker count, codec, batch size)
+combination, the property the fleet CI gate asserts.
 """
 
 from __future__ import annotations
 
 import json
+import time as _time
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.api.engine import PhoenixEngine
-from repro.api.events import FailureDetected, RecoveryDetected
-from repro.core.controller import StateBackend
 from repro.traces.schema import Trace, TraceError
 
-from repro.fleet.engine import Cell, adjust_cells, step_cells
+from repro.fleet.engine import adjust_cells, step_cells
 from repro.fleet.events import CellEvent, CellReconciled
+from repro.fleet.pool import ShardPool
 from repro.fleet.summary import (
     CellSummary,
     clone_name,
@@ -45,9 +51,16 @@ from repro.fleet.summary import (
     fleet_utilization,
     is_clone,
 )
+from repro.api.events import FailureDetected, RecoveryDetected
 
 #: Schema version of the fleet replay-metrics JSONL.
 FLEET_REPLAY_METRICS_VERSION = 1
+
+#: Auto-tuned batching aims at roughly this many reply bytes per round trip.
+BATCH_TARGET_BYTES = 64 * 1024
+
+#: Hard cap on auto-tuned batch size (steps per IPC round trip).
+BATCH_MAX_STEPS = 32
 
 
 @dataclass(frozen=True, slots=True)
@@ -138,12 +151,18 @@ class _LocalExecutor:
     so serial-vs-sharded byte-identity is structural, not a discipline.
     """
 
+    batching = False
+
     def __init__(self, fleet, seed: int) -> None:
         self._fleet = fleet
         self._seed = seed
 
-    def step(self, events_by_cell: Mapping[str, list], force: bool) -> list[CellSummary]:
-        return step_cells(self._fleet.cells, events_by_cell, self._seed, force)
+    def step(
+        self, events_by_cell: Mapping[str, list], force: bool, with_events: bool
+    ) -> list[CellSummary]:
+        return step_cells(
+            self._fleet.cells, events_by_cell, self._seed, force, with_events=with_events
+        )
 
     def adjust(self, plan) -> tuple[dict[str, CellSummary], list]:
         updated, _reports, failed = self._fleet.apply_spillover(plan)
@@ -153,98 +172,44 @@ class _LocalExecutor:
         pass
 
 
-def _shard_main(conn, payload: list, seed: int) -> None:
-    """Worker process: owns a shard of cells for the whole replay.
+class _ThreadExecutor:
+    """Thread-pool executor over the fleet's own cells (opt-in).
 
-    Protocol (parent → worker): ``("step", events_by_cell, force)``,
-    ``("adjust", removes, adds)``, ``("stop",)``.  Every reply is
-    ``("ok", data)`` or ``("error", message)``.  The per-cell work is the
-    shared :func:`repro.fleet.engine.step_cells` /
-    :func:`repro.fleet.engine.adjust_cells` helpers — the exact code the
-    serial executor runs, so summaries match byte for byte.
+    Each task owns a disjoint round-robin cell shard, so there is no shared
+    mutable state between tasks; results fold back in fleet cell order.  No
+    IPC, no codec, no state shipping — the executor for fleets whose cells
+    are too small to amortize process overhead.  Summaries come from the
+    same :func:`step_cells` / :func:`adjust_cells` helpers, so output is
+    byte-identical to the serial and process paths.
     """
-    cells = []
-    for name, state, config, known_failed, reference_revenue in payload:
-        engine = PhoenixEngine(config)
-        engine.known_failed = known_failed
-        cells.append(Cell(name, engine, StateBackend(state), reference_revenue))
-    try:
-        while True:
-            message = conn.recv()
-            command = message[0]
-            if command == "stop":
-                break
-            if command == "step":
-                events_by_cell, force = message[1], message[2]
-                conn.send(("ok", step_cells(cells, events_by_cell, seed, force)))
-            elif command == "adjust":
-                removes, adds = message[1], message[2]
-                summaries, _reports, failed = adjust_cells(cells, removes, adds)
-                conn.send(("ok", (summaries, failed)))
-            else:
-                conn.send(("error", f"unknown command {command!r}"))
-    except Exception as exc:  # surface worker failures to the parent
-        import traceback
 
-        try:
-            conn.send(("error", f"{exc!r}\n{traceback.format_exc()}"))
-        except Exception:
-            pass
-    finally:
-        conn.close()
-
-
-class _ProcessExecutor:
-    """Sharded executor: persistent worker processes own the cell states."""
+    batching = False
 
     def __init__(self, fleet, seed: int, workers: int) -> None:
-        import multiprocessing as mp
+        from concurrent.futures import ThreadPoolExecutor
 
-        context = mp.get_context()
         self._fleet = fleet
-        self._order = [cell.name for cell in fleet.cells]
-        self._workers = []
-        shards = [fleet.cells[w::workers] for w in range(workers)]
-        for shard in shards:
-            if not shard:
-                continue
-            parent_conn, child_conn = context.Pipe()
-            payload = [
-                (
-                    cell.name,
-                    cell.state,
-                    cell.engine.config,
-                    cell.engine.known_failed,
-                    cell.reference_revenue,
-                )
-                for cell in shard
-            ]
-            process = context.Process(
-                target=_shard_main, args=(child_conn, payload, seed), daemon=True
+        self._seed = seed
+        self._shards = [fleet.cells[w::workers] for w in range(workers)]
+        self._shards = [shard for shard in self._shards if shard]
+        self._pool = ThreadPoolExecutor(max_workers=len(self._shards))
+
+    def step(
+        self, events_by_cell: Mapping[str, list], force: bool, with_events: bool
+    ) -> list[CellSummary]:
+        futures = [
+            self._pool.submit(
+                step_cells,
+                shard,
+                {c.name: events_by_cell[c.name] for c in shard if c.name in events_by_cell},
+                self._seed,
+                force,
+                with_events=with_events,
             )
-            process.start()
-            child_conn.close()
-            self._workers.append((process, parent_conn, [c.name for c in shard]))
-
-    def _gather(self):
-        replies = []
-        for process, conn, _names in self._workers:
-            status, data = conn.recv()
-            if status != "ok":
-                self.close()
-                raise RuntimeError(f"fleet shard worker failed: {data}")
-            replies.append(data)
-        return replies
-
-    def step(self, events_by_cell: Mapping[str, list], force: bool) -> list[CellSummary]:
-        for _process, conn, names in self._workers:
-            shard_events = {n: events_by_cell[n] for n in names if n in events_by_cell}
-            conn.send(("step", shard_events, force))
-        by_cell: dict[str, CellSummary] = {}
-        for reply in self._gather():
-            for summary in reply:
-                by_cell[summary.cell] = summary
-        return [by_cell[name] for name in self._order]
+            for shard in self._shards
+        ]
+        by_cell = {s.cell: s for future in futures for s in future.result()}
+        return [by_cell[cell.name] for cell in self._fleet.cells]
 
     def adjust(self, plan) -> tuple[dict[str, CellSummary], list]:
         removes = [
@@ -252,28 +217,58 @@ class _ProcessExecutor:
             for (cell, app), entry in plan.releases
         ]
         adds = list(plan.assignments)
-        for _process, conn, _names in self._workers:
-            conn.send(("adjust", removes, adds))
+        futures = [
+            self._pool.submit(adjust_cells, shard, removes, adds)
+            for shard in self._shards
+        ]
         updated: dict[str, CellSummary] = {}
         failed: list = []
-        for reply in self._gather():
-            summaries, shard_failed = reply
+        for future in futures:
+            summaries, _reports, shard_failed = future.result()
             updated.update(summaries)
             failed.extend(shard_failed)
         return updated, failed
 
     def close(self) -> None:
-        for process, conn, _names in self._workers:
-            try:
-                conn.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
-            conn.close()
-        for process, _conn, _names in self._workers:
-            process.join(timeout=10)
-            if process.is_alive():
-                process.terminate()
-        self._workers = []
+        self._pool.shutdown()
+
+
+class _PoolExecutor:
+    """Sharded executor over a persistent :class:`ShardPool` (see pool.py)."""
+
+    batching = True
+
+    def __init__(self, fleet, seed: int, workers: int, codec: str) -> None:
+        self.pool = ShardPool(
+            fleet.cells,
+            seed=seed,
+            workers=workers,
+            codec=codec,
+            fault=getattr(fleet, "_shard_fault", None),
+        )
+
+    def step(
+        self, events_by_cell: Mapping[str, list], force: bool, with_events: bool
+    ) -> list[CellSummary]:
+        return self.pool.step(events_by_cell, force, with_events)
+
+    def step_batch(
+        self, step_events: list, force: bool, with_events: bool
+    ) -> list[list[CellSummary]]:
+        return self.pool.step_batch(step_events, force, with_events)
+
+    def rewind(self, keep_steps: int) -> None:
+        self.pool.rewind(keep_steps)
+
+    def adjust(self, plan) -> tuple[dict[str, CellSummary], list]:
+        removes = [
+            (entry.donor, clone_name(app, cell))
+            for (cell, app), entry in plan.releases
+        ]
+        return self.pool.adjust(removes, list(plan.assignments))
+
+    def close(self) -> None:
+        self.pool.close()
 
 
 # -- the replayer --------------------------------------------------------------
@@ -286,16 +281,33 @@ class FleetReplayer:
     ----------
     fleet:
         The fleet to drive.  The replay mutates the fleet's cell states in
-        serial mode; with ``workers`` > 1 the states are shipped to the
-        worker shards once and the parent copies go stale (the metrics are
-        the product — rebuild the fleet to reuse it afterwards).
+        serial and thread modes; with the process executor the states are
+        shipped to the worker shards once and the parent copies go stale
+        (the metrics are the product — rebuild the fleet to reuse it
+        afterwards).
     seed:
         Seed for randomized ``capacity`` events, per cell.
     workers:
         Worker shard count; defaults to the fleet config's ``workers``.
         Metrics JSONL is byte-identical for every value.
+    executor:
+        ``"process"`` or ``"thread"``; defaults to the fleet config's
+        ``executor``.  Ignored when ``workers`` is 1.
+    codec:
+        IPC encoding for the process executor (``"wire"``/``"pickle"``);
+        defaults to the fleet config's ``codec``.
+    batch_steps:
+        Steps per IPC round trip for the process executor; defaults to the
+        fleet config's ``batch_steps`` (``0`` = auto-tune from payload
+        size, ``1`` = no batching, ``N`` = cap at N).
     force_each_step:
         Force a planning round in every cell on every step.
+
+    After :meth:`run`, :attr:`phase_seconds` holds the wall-clock split of
+    the replay — ``ship`` (encoding + sending IPC payloads), ``compute``
+    (waiting on per-cell rounds) and ``fold`` (federation planning, event
+    re-emission and metric building in the parent).  Serial and thread
+    executors report zero ``ship``.
     """
 
     def __init__(
@@ -304,6 +316,9 @@ class FleetReplayer:
         *,
         seed: int = 0,
         workers: int | None = None,
+        executor: str | None = None,
+        codec: str | None = None,
+        batch_steps: int | None = None,
         force_each_step: bool = False,
     ) -> None:
         self.fleet = fleet
@@ -311,7 +326,19 @@ class FleetReplayer:
         self.workers = fleet.config.workers if workers is None else workers
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        self.executor = fleet.config.executor if executor is None else executor
+        if self.executor not in ("process", "thread"):
+            raise ValueError(
+                f"executor must be 'process' or 'thread', got {self.executor!r}"
+            )
+        self.codec = fleet.config.codec if codec is None else codec
+        self.batch_steps = (
+            fleet.config.batch_steps if batch_steps is None else batch_steps
+        )
+        if self.batch_steps < 0:
+            raise ValueError("batch_steps must be >= 0 (0 = auto-tune)")
         self.force_each_step = force_each_step
+        self.phase_seconds = {"ship": 0.0, "compute": 0.0, "fold": 0.0}
 
     @property
     def events(self):
@@ -339,18 +366,46 @@ class FleetReplayer:
                 merged.setdefault(time_point, {})[cell] = list(events)
         return sorted(merged.items())
 
+    def _make_executor(self):
+        fleet = self.fleet
+        workers = min(self.workers, len(fleet.cells))
+        if workers > 1 and len(fleet.cells) > 1:
+            if self.executor == "thread":
+                return _ThreadExecutor(fleet, self.seed, workers)
+            return _PoolExecutor(fleet, self.seed, workers, self.codec)
+        return _LocalExecutor(fleet, self.seed)
+
+    def _next_batch(self, current: int, adjusted: bool, last_step_bytes: float) -> int:
+        """Batch size for the next IPC round trip.
+
+        Resets to 1 whenever a spillover round interrupted the last batch
+        (turbulent stretches plan federation every step — batching would
+        just rewind), then ramps exponentially through quiet stretches up
+        to the configured cap, or to an auto-tuned cap that keeps replies
+        near :data:`BATCH_TARGET_BYTES`.
+        """
+        if adjusted:
+            return 1
+        if self.batch_steps == 1:
+            return 1
+        if self.batch_steps > 1:
+            cap = self.batch_steps
+        else:
+            per_step = max(1.0, last_step_bytes)
+            cap = max(1, min(BATCH_MAX_STEPS, int(BATCH_TARGET_BYTES / per_step)))
+        return min(current * 2, cap)
+
     def run(self, scenario: Mapping[str, Trace]) -> FleetReplayMetrics:
         """Replay the scenario and return per-step fleet metrics."""
         fleet = self.fleet
         timeline = self._timeline(scenario)
         fleet.reset()
-        if self.workers > 1 and len(fleet.cells) > 1:
-            executor = _ProcessExecutor(
-                fleet, self.seed, min(self.workers, len(fleet.cells))
-            )
-        else:
-            executor = _LocalExecutor(fleet, self.seed)
+        executor = self._make_executor()
         bus = fleet.events
+        # Observer fast path: decided once per run.  With no subscribers the
+        # per-event payloads (failure/recovery node-name tuples) are neither
+        # built nor shipped — subscribe before run(), not during it.
+        with_events = bool(bus)
         metrics = FleetReplayMetrics(
             metadata={
                 "driver": "fleet",
@@ -362,71 +417,127 @@ class FleetReplayer:
                 },
             }
         )
+        executor_seconds = 0.0
+        loop_started = _time.perf_counter()
+        batch = 1
+        index = 0
         try:
-            for time_point, events_by_cell in timeline:
-                summaries = executor.step(events_by_cell, self.force_each_step)
-                if bus:
-                    for summary in summaries:
-                        if summary.failed_nodes:
+            while index < len(timeline):
+                size = batch if executor.batching else 1
+                chunk = timeline[index : index + size]
+                started = _time.perf_counter()
+                if len(chunk) > 1:
+                    summaries_list = executor.step_batch(
+                        [events for _, events in chunk], self.force_each_step, with_events
+                    )
+                else:
+                    summaries_list = [
+                        executor.step(chunk[0][1], self.force_each_step, with_events)
+                    ]
+                executor_seconds += _time.perf_counter() - started
+                step_bytes = getattr(
+                    getattr(executor, "pool", None), "last_reply_bytes", 0
+                ) / len(chunk)
+                consumed = len(chunk)
+                adjusted = False
+                for position, ((time_point, events_by_cell), summaries) in enumerate(
+                    zip(chunk, summaries_list)
+                ):
+                    if bus:
+                        for summary in summaries:
+                            if summary.failed_nodes:
+                                bus.emit(
+                                    CellEvent(
+                                        summary.cell,
+                                        FailureDetected(nodes=summary.failed_nodes),
+                                    )
+                                )
+                            if summary.recovered_nodes:
+                                bus.emit(
+                                    CellEvent(
+                                        summary.cell,
+                                        RecoveryDetected(nodes=summary.recovered_nodes),
+                                    )
+                                )
                             bus.emit(
-                                CellEvent(
-                                    summary.cell,
-                                    FailureDetected(nodes=summary.failed_nodes),
+                                CellReconciled(
+                                    cell=summary.cell,
+                                    triggered=summary.triggered,
+                                    actions=summary.actions,
                                 )
                             )
-                        if summary.recovered_nodes:
-                            bus.emit(
-                                CellEvent(
-                                    summary.cell,
-                                    RecoveryDetected(nodes=summary.recovered_nodes),
-                                )
+                    plan = fleet.plan_spillover(summaries)
+                    updated: dict[str, CellSummary] = {}
+                    failed: list = []
+                    if plan:
+                        started = _time.perf_counter()
+                        if position + 1 < len(chunk):
+                            # The batch speculated past a spillover round:
+                            # roll the shards back to this step before
+                            # adjusting, discarding the overrun.  Output is
+                            # unchanged — only the speculation is.
+                            executor.rewind(position + 1)
+                        updated, failed = executor.adjust(plan)
+                        executor_seconds += _time.perf_counter() - started
+                        adjusted = True
+                    fleet.commit_spillover(plan, failed)
+                    final = {s.cell: s for s in summaries}
+                    final.update(updated)
+                    ordered = [final[name] for name in fleet.cell_names]
+                    capacity = sum(s.capacity_cpu for s in ordered)
+                    healthy = sum(s.healthy_cpu for s in ordered)
+                    step = FleetReplayStep(
+                        time=time_point,
+                        events=tuple(
+                            f"{cell}:{event.kind}"
+                            for cell in fleet.cell_names
+                            for event in events_by_cell.get(cell, ())
+                        ),
+                        failed_nodes=sum(s.failed_count for s in ordered),
+                        available_fraction=(
+                            healthy / capacity if capacity > 0 else 0.0
+                        ),
+                        availability=fleet_availability(ordered, fleet.spillovers),
+                        revenue=fleet_revenue(ordered),
+                        utilization=fleet_utilization(ordered),
+                        degraded_cells=tuple(
+                            s.cell
+                            for s in ordered
+                            if any(
+                                not is_clone(app)
+                                and (s.cell, app) not in fleet.spillovers
+                                for app, _ in s.missing_critical
                             )
-                        bus.emit(
-                            CellReconciled(
-                                cell=summary.cell,
-                                triggered=summary.triggered,
-                                actions=summary.actions,
-                            )
-                        )
-                plan = fleet.plan_spillover(summaries)
-                updated: dict[str, CellSummary] = {}
-                failed: list = []
-                if plan:
-                    updated, failed = executor.adjust(plan)
-                fleet.commit_spillover(plan, failed)
-                final = {s.cell: s for s in summaries}
-                final.update(updated)
-                ordered = [final[name] for name in fleet.cell_names]
-                capacity = sum(s.capacity_cpu for s in ordered)
-                healthy = sum(s.healthy_cpu for s in ordered)
-                step = FleetReplayStep(
-                    time=time_point,
-                    events=tuple(
-                        f"{cell}:{event.kind}"
-                        for cell in fleet.cell_names
-                        for event in events_by_cell.get(cell, ())
-                    ),
-                    failed_nodes=sum(s.failed_count for s in ordered),
-                    available_fraction=(healthy / capacity if capacity > 0 else 0.0),
-                    availability=fleet_availability(ordered, fleet.spillovers),
-                    revenue=fleet_revenue(ordered),
-                    utilization=fleet_utilization(ordered),
-                    degraded_cells=tuple(
-                        s.cell
-                        for s in ordered
-                        if any(
-                            not is_clone(app) and (s.cell, app) not in fleet.spillovers
-                            for app, _ in s.missing_critical
-                        )
-                    ),
-                    spillovers_planned=len(plan.assignments) - len(failed),
-                    spillovers_released=len(plan.releases),
-                    spillovers_active=len(fleet.spillovers),
-                    triggered=sum(1 for s in summaries if s.triggered),
-                    actions=sum(s.actions for s in summaries)
-                    + sum(s.actions for s in updated.values()),
-                )
-                metrics.steps.append(step)
+                        ),
+                        spillovers_planned=len(plan.assignments) - len(failed),
+                        spillovers_released=len(plan.releases),
+                        spillovers_active=len(fleet.spillovers),
+                        triggered=sum(1 for s in summaries if s.triggered),
+                        actions=sum(s.actions for s in summaries)
+                        + sum(s.actions for s in updated.values()),
+                    )
+                    metrics.steps.append(step)
+                    if adjusted:
+                        consumed = position + 1
+                        break
+                index += consumed
+                batch = self._next_batch(max(1, len(chunk)), adjusted, step_bytes)
         finally:
             executor.close()
+        total = _time.perf_counter() - loop_started
+        pool = getattr(executor, "pool", None)
+        if pool is not None:
+            ship = pool.phase_seconds["ship"]
+            wait = pool.phase_seconds["wait"]
+            self.phase_seconds = {
+                "ship": ship,
+                "compute": wait,
+                "fold": (total - executor_seconds) + max(0.0, executor_seconds - ship - wait),
+            }
+        else:
+            self.phase_seconds = {
+                "ship": 0.0,
+                "compute": executor_seconds,
+                "fold": total - executor_seconds,
+            }
         return metrics

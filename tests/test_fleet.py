@@ -278,43 +278,96 @@ class TestSingleCellEquivalence:
 # -- parallel byte-identity ------------------------------------------------------
 
 
-class TestWorkerEquivalence:
-    """workers=4 == workers=1, byte for byte, reports and states."""
+def _tiny_app(name: str):
+    from repro.cluster import Application, Microservice
+    from repro.criticality import CriticalityTag
 
-    @pytest.mark.parametrize("seed", [0, 1])
-    def test_reconcile_lockstep_fuzz(self, seed):
+    return Application.from_microservices(
+        name, [Microservice("svc", Resources(0.05, 0.05), CriticalityTag(3))]
+    )
+
+
+class TestWorkerEquivalence:
+    """workers=4 == workers=1, byte for byte, reports and states.
+
+    The persistent shard pool only ships per-round health deltas, so the
+    fuzz also injects structural mutations (``add_application`` between
+    rounds) to exercise the full-resync guard, and interleaves a serial
+    round mid-run to exercise the competing-dirty-consumer guard.
+    """
+
+    @pytest.mark.parametrize(
+        "seed,executor,codec",
+        [
+            (0, "process", "wire"),
+            (1, "process", "wire"),
+            (0, "process", "pickle"),
+            (0, "thread", "wire"),
+        ],
+    )
+    def test_reconcile_lockstep_fuzz(self, seed, executor, codec):
         rng = random.Random(seed)
         serial = _three_cell_fleet()
-        parallel = _three_cell_fleet()
-        serial.reconcile(force=True)
-        parallel.reconcile(force=True, workers=4)
-        for step in range(30):
-            for index in range(3):
-                probe = serial.cells[index].state
-                shadow = parallel.cells[index].state
-                healthy = sorted(n for n, node in probe.nodes.items() if not node.failed)
-                failed = sorted(probe.failed_names())
-                roll = rng.random()
-                if roll < 0.4 and healthy:
-                    picked = rng.sample(healthy, min(len(healthy), rng.randint(1, 4)))
-                    probe.fail_nodes(picked)
-                    shadow.fail_nodes(picked)
-                elif roll < 0.7 and failed:
-                    picked = rng.sample(failed, 1)
-                    probe.recover_nodes(picked)
-                    shadow.recover_nodes(picked)
-            force = rng.random() < 0.1
-            serial_report = serial.reconcile(force=force)
-            parallel_report = parallel.reconcile(force=force, workers=4)
-            assert _fleet_fingerprint(serial_report) == _fleet_fingerprint(
-                parallel_report
-            ), f"step {step}"
-            for a, b in zip(serial.cells, parallel.cells):
-                assert _state_fingerprint(a.state) == _state_fingerprint(b.state), (
-                    f"step {step} cell {a.name}"
-                )
+        parallel = _three_cell_fleet(executor=executor, codec=codec)
+        try:
+            serial.reconcile(force=True)
+            parallel.reconcile(force=True, workers=4)
+            for step in range(30):
+                for index in range(3):
+                    probe = serial.cells[index].state
+                    shadow = parallel.cells[index].state
+                    healthy = sorted(
+                        n for n, node in probe.nodes.items() if not node.failed
+                    )
+                    failed = sorted(probe.failed_names())
+                    roll = rng.random()
+                    if roll < 0.4 and healthy:
+                        picked = rng.sample(healthy, min(len(healthy), rng.randint(1, 4)))
+                        probe.fail_nodes(picked)
+                        shadow.fail_nodes(picked)
+                    elif roll < 0.7 and failed:
+                        picked = rng.sample(failed, 1)
+                        probe.recover_nodes(picked)
+                        shadow.recover_nodes(picked)
+                if step in (10, 20):
+                    # Structural dirt a health delta cannot express: the
+                    # pooled round must fall back to a full state resync.
+                    app = _tiny_app(f"fuzz-extra-{step}")
+                    serial.cells[step % 3].state.add_application(app)
+                    parallel.cells[step % 3].state.add_application(
+                        _tiny_app(f"fuzz-extra-{step}")
+                    )
+                if step == 15:
+                    # A serial round drains the dirty sets behind the pool's
+                    # back; the generation token must force a resync.
+                    a = serial.reconcile()
+                    b = parallel.reconcile(workers=1)
+                    assert _fleet_fingerprint(a) == _fleet_fingerprint(b)
+                force = rng.random() < 0.1
+                serial_report = serial.reconcile(force=force)
+                parallel_report = parallel.reconcile(force=force, workers=4)
+                assert _fleet_fingerprint(serial_report) == _fleet_fingerprint(
+                    parallel_report
+                ), f"step {step}"
+                for a, b in zip(serial.cells, parallel.cells):
+                    assert _state_fingerprint(a.state) == _state_fingerprint(b.state), (
+                        f"step {step} cell {a.name}"
+                    )
+        finally:
+            serial.close()
+            parallel.close()
 
-    def test_replayer_serial_equals_sharded(self):
+    @pytest.mark.parametrize(
+        "executor,codec,batch_steps",
+        [
+            ("process", "wire", 0),  # auto-tuned batching (the default)
+            ("process", "wire", 1),  # batching off
+            ("process", "wire", 3),  # fixed small batches
+            ("process", "pickle", 0),
+            ("thread", "wire", 0),
+        ],
+    )
+    def test_replayer_serial_equals_sharded(self, executor, codec, batch_steps):
         scenario = fleet_scenario(
             3,
             24,
@@ -329,19 +382,86 @@ class TestWorkerEquivalence:
             seed=6,
         )
 
-        def run(workers):
+        def run(workers, **kwargs):
             states = [
                 build_environment(node_count=24, n_apps=3, seed=21 + i).fresh_state()
                 for i in range(3)
             ]
             fleet = FleetEngine(FleetConfig(cells=3), states=states)
             fleet.reconcile(force=True)
-            return FleetReplayer(fleet, seed=2, workers=workers).run(scenario)
+            try:
+                return FleetReplayer(fleet, seed=2, workers=workers, **kwargs).run(
+                    scenario
+                )
+            finally:
+                fleet.close()
 
         serial = run(1)
-        sharded = run(3)
+        sharded = run(
+            3, executor=executor, codec=codec, batch_steps=batch_steps
+        )
         assert serial.to_jsonl() == sharded.to_jsonl()
         assert len(serial) > 0
+
+
+# -- worker-shard failure --------------------------------------------------------
+
+
+class TestShardFailure:
+    """A dying shard surfaces one clear error, never a hang or a torn round."""
+
+    def test_reconcile_worker_death_is_atomic(self):
+        from repro.fleet.pool import ShardFailure
+
+        fleet = _three_cell_fleet()
+        try:
+            fleet._shard_fault = (0, 2)  # shard 0 dies on its 2nd command
+            fleet.reconcile(force=True, workers=2)  # command 1: survives
+            before = [_state_fingerprint(cell.state) for cell in fleet.cells]
+            with pytest.raises(ShardFailure, match="died mid-round"):
+                fleet.reconcile(workers=2)
+            after = [_state_fingerprint(cell.state) for cell in fleet.cells]
+            assert after == before, "failed round mutated fleet state"
+            # The next parallel round rebuilds the pool and completes.
+            fleet._shard_fault = None
+            report = fleet.reconcile(workers=2)
+            assert set(report.cell_reports) == set(fleet.cell_names)
+        finally:
+            fleet.close()
+
+    def test_replay_worker_death_raises_cleanly(self):
+        from repro.fleet.pool import ShardFailure
+
+        scenario = fleet_scenario(3, 16, horizon=1500.0, mtbf=300.0, seed=4)
+        states = [
+            build_environment(node_count=16, n_apps=2, seed=61 + i).fresh_state()
+            for i in range(3)
+        ]
+        fleet = FleetEngine(FleetConfig(cells=3), states=states)
+        fleet.reconcile(force=True)
+        fleet._shard_fault = (0, 3)
+        try:
+            with pytest.raises(ShardFailure, match="died mid-round|pipe closed"):
+                FleetReplayer(fleet, seed=2, workers=2).run(scenario)
+        finally:
+            fleet.close()
+
+    def test_pool_fault_hook_targets_one_shard(self):
+        from repro.fleet.pool import ShardFailure, ShardPool
+
+        fleet = _three_cell_fleet()
+        fleet.reconcile(force=True)
+        pool = ShardPool(fleet.cells, workers=2, fault=(1, 1))
+        try:
+            deltas = {
+                cell.name: ("delta", (), (), cell.state.health_aggregates())
+                for cell in fleet.cells
+            }
+            with pytest.raises(ShardFailure, match="died mid-round"):
+                pool.round(deltas, False)
+        finally:
+            pool.close()
+            fleet.close()
 
 
 # -- spillover -------------------------------------------------------------------
@@ -534,6 +654,44 @@ class TestFleetReplay:
         )
         with pytest.raises(TypeError, match="fleet drivers own"):
             TraceReplayer(fleet, seed=5).run(states[0], scenario)
+
+    def test_observer_fast_path_keeps_output_and_events(self):
+        """No subscribers: node-name payloads are skipped, output unchanged.
+
+        With a subscriber the sharded replay must still deliver named
+        failure events — the fast path may only drop work nobody observes.
+        """
+        from repro.api.events import FailureDetected
+        from repro.fleet.events import CellEvent
+
+        scenario = fleet_scenario(
+            2, 16, horizon=1200.0, mtbf=None, outage_cell=1, outage_at=300.0, seed=8
+        )
+
+        def run(workers, subscribe):
+            states = [
+                build_environment(node_count=16, n_apps=2, seed=71 + i).fresh_state()
+                for i in range(2)
+            ]
+            fleet = FleetEngine(FleetConfig(cells=2), states=states)
+            fleet.reconcile(force=True)
+            captured = []
+            if subscribe:
+                fleet.events.subscribe(captured.append, CellEvent)
+            try:
+                metrics = FleetReplayer(fleet, seed=2, workers=workers).run(scenario)
+            finally:
+                fleet.close()
+            return metrics.to_jsonl(), captured
+
+        quiet, none_captured = run(2, subscribe=False)
+        observed, captured = run(2, subscribe=True)
+        assert quiet == observed  # metrics never depend on the event payloads
+        assert not none_captured
+        failures = [
+            event for event in captured if isinstance(event.event, FailureDetected)
+        ]
+        assert failures and all(event.event.nodes for event in failures)
 
     def test_unknown_cell_in_scenario_rejected(self):
         from repro.traces.schema import TraceError

@@ -1,0 +1,207 @@
+"""Wire codec: round-trips, string interning, versioning and corruption.
+
+The codec carries every fleet IPC payload, so the contract is strict:
+``loads(dumps(x))`` must reproduce ``x`` exactly (float bits included),
+unknown versions must be refused loudly (never mis-decoded), and truncated
+or trailing bytes must raise :class:`~repro.fleet.wire.WireError` rather
+than returning a partial object.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import pytest
+
+from repro.api.config import EngineConfig
+from repro.core.controller import ReconcileReport
+from repro.core.plan import ActionKind, ActivationPlan, RankedMicroservice, SchedulePlan, make_action
+from repro.fleet import wire
+from repro.fleet.spillover import DonorCapacity, MsSpec, SpilloverAssignment
+from repro.fleet.summary import CellSummary
+from repro.fleet.wire import WireError, dumps, loads, resolve_codec
+from repro.traces.schema import CapacityTarget, LoadChange, NodeFailure, NodeRecovery
+
+
+def roundtrip(obj):
+    return loads(dumps(obj))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            1,
+            -1,
+            63,
+            64,
+            -65,
+            2**40,
+            -(2**40),
+            2**70,
+            0.0,
+            1.5,
+            -2.25,
+            "",
+            "node-17",
+            "unicode: ✓ ß 日本",
+            b"",
+            b"\x00\xffraw",
+            [],
+            (),
+            {},
+            set(),
+            [1, "two", 3.0, None, True],
+            ("nested", (1, (2, (3,)))),
+            {"key": [1, 2], "other": {"inner": ()}},
+            {frozenset, "sets"} - {frozenset},
+        ],
+    )
+    def test_primitives(self, value):
+        result = roundtrip(value)
+        assert result == value
+        assert type(result) is type(value)
+
+    def test_float_bits_survive(self):
+        for value in (0.1 + 0.2, -0.0, 1e-308, float("inf"), float("-inf")):
+            out = roundtrip(value)
+            assert struct.pack("<d", out) == struct.pack("<d", value)
+        assert math.isnan(roundtrip(float("nan")))
+
+    def test_dict_order_preserved(self):
+        ordered = {"z": 1, "a": 2, "m": 3}
+        assert list(roundtrip(ordered)) == ["z", "a", "m"]
+
+    def test_int_keys_and_tuple_values(self):
+        payload = {1: ("a", 2.0), -7: None}
+        assert roundtrip(payload) == payload
+
+    def test_string_interning_shrinks_repeats(self):
+        """Repeated strings encode as references, not repeated bodies."""
+        name = "some-rather-long-node-name-0001"
+        once = len(dumps([name]))
+        many = len(dumps([name] * 100))
+        assert many < once + 100 * 3  # ~2 bytes per reference, not ~30
+
+    def test_actions_and_plans(self):
+        actions = [
+            make_action(ActionKind.START, ("app", "ms", 0), "node-1", None),
+            make_action(ActionKind.MIGRATE, ("app", "ms", 1), "node-2", "node-1"),
+            make_action(ActionKind.DELETE, ("app", "ms", 2), None, "node-3"),
+        ]
+        for action in actions:
+            back = roundtrip(action)
+            assert back == action
+            assert back.kind is action.kind
+        ranked = RankedMicroservice("app", "ms", 1.25)
+        plan = ActivationPlan(ranked=[ranked], activated=[ranked])
+        assert roundtrip(plan) == plan
+
+    def test_reconcile_report(self):
+        # Field shapes mirror what the controller actually produces (lists),
+        # which is what the decoder normalizes to.
+        ranked = RankedMicroservice("app", "front", 2.0)
+        plan = ActivationPlan(ranked=[ranked], activated=[ranked])
+        schedule = SchedulePlan(
+            target_assignment={("app", "front", 0): "node-1"},
+            actions=[make_action(ActionKind.START, ("app", "front", 0), "node-1", None)],
+            unplaced=[("app", "back")],
+        )
+        report = ReconcileReport(
+            triggered=True,
+            failed_nodes=["node-9"],
+            recovered_nodes=[],
+            plan=plan,
+            schedule=schedule,
+            planning_seconds=0.125,
+            actions_executed=1,
+        )
+        back = roundtrip(report)
+        assert back == report
+        assert dict(back.schedule.target_assignment) == dict(
+            schedule.target_assignment
+        )
+
+    def test_cell_summary(self):
+        summary = CellSummary(
+            cell="cell-1",
+            triggered=True,
+            failed_nodes=("n1", "n2"),
+            recovered_nodes=(),
+            actions=3,
+            failed_count=2,
+            capacity_cpu=100.0,
+            healthy_cpu=80.0,
+            healthy_mem=90.0,
+            used_cpu=40.0,
+            used_mem=45.0,
+            free_cpu=40.0,
+            free_mem=45.0,
+            revenue=0.75,
+            reference_revenue=1.0,
+            app_count=4,
+            missing_critical=(("app", "ms"),),
+        )
+        assert roundtrip(summary) == summary
+
+    def test_spillover_and_trace_records(self):
+        spec = MsSpec("front", 1.0, 2.0, 3, 1, False)
+        assignment = SpilloverAssignment("cell-0", "app", "cell-1", 0.5, (spec,), 3.0, 6.0)
+        donor = DonorCapacity("cell-1", 10.0, 20.0)
+        events = (
+            NodeFailure(time=10.0, nodes=("n1",)),
+            NodeRecovery(time=20.0, nodes=("n1",)),
+            CapacityTarget(time=30.0, available_fraction=0.75),
+            LoadChange(time=40.0, multiplier=1.5),
+        )
+        for record in (spec, assignment, donor, *events):
+            assert roundtrip(record) == record
+
+    def test_pickle_escape_for_unknown_types(self):
+        """Types outside the schema still travel (resync frames need it)."""
+        config = EngineConfig()
+        assert roundtrip(config) == config
+        assert roundtrip({"mixed": [config, 1, "x"]}) == {"mixed": [config, 1, "x"]}
+
+
+class TestVersioningAndCorruption:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(WireError, match="magic"):
+            loads(b"XX" + dumps(1)[2:])
+
+    def test_future_version_rejected(self):
+        payload = dumps(["versioned"])
+        future = wire.MAGIC + bytes([wire.WIRE_VERSION + 1]) + payload[3:]
+        with pytest.raises(WireError, match="version"):
+            loads(future)
+
+    def test_truncation_rejected(self):
+        payload = dumps({"key": ["value", 1, 2.0]})
+        for cut in (4, len(payload) // 2, len(payload) - 1):
+            with pytest.raises(WireError):
+                loads(payload[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(WireError, match="trailing"):
+            loads(dumps([1, 2]) + b"\x00")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(WireError):
+            loads(b"")
+
+
+class TestResolveCodec:
+    def test_known_codecs(self):
+        wire_dumps, wire_loads = resolve_codec("wire")
+        assert wire_loads(wire_dumps(("ok", 1))) == ("ok", 1)
+        pickle_dumps, pickle_loads = resolve_codec("pickle")
+        assert pickle_loads(pickle_dumps(("ok", 1))) == ("ok", 1)
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError, match="codec"):
+            resolve_codec("msgpack")
