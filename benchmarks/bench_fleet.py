@@ -185,7 +185,15 @@ def main(argv=None) -> list[dict]:
             )
         ]
     print_rows(rows)
-    payload = json.dumps({"benchmark": "fleet_replay_throughput", "rows": rows}, indent=2) + "\n"
+    document = {"benchmark": "fleet_replay_throughput", "rows": rows}
+    if any(row.get("underprovisioned") for row in rows):
+        document["note"] = (
+            "Measured on a host with cpu_count < workers: sharded rows "
+            "document byte-identity and the ship/compute/fold phase split, "
+            "not speedup. Regenerate with --save on a >=4-core host to "
+            "record a meaningful speedup row."
+        )
+    payload = json.dumps(document, indent=2) + "\n"
     if args.save:
         target = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
         target.write_text(payload, encoding="utf-8")

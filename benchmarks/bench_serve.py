@@ -1,0 +1,221 @@
+"""Serve-layer benchmark: admission and round latency under open-loop load.
+
+Boots a :class:`~repro.serve.app.ControlPlane` over a multi-cell fleet on a
+real localhost socket, attaches a WebSocket subscriber (so the event-bus
+fan-out cost is part of what is measured), and drives it with the open-loop
+generator at a fixed mutations/sec rate.  Reported per row:
+
+* **admission latency** — client-side, scheduled-send to committed-response
+  (p50/p90/p99/p999; coordinated-omission-free, see
+  :mod:`repro.serve.loadgen`);
+* **round latency** — server-side, one batcher drain + fleet round
+  (p50/p99);
+* **sustained throughput** — admitted mutations/sec over the run.
+
+Determinism is part of the benchmark contract, exactly as byte-identity is
+for the replay benchmarks: after the load run, the recorded session trace
+is replayed offline through a fresh identically-built fleet and the end
+state digests must match — a benchmark run that serves fast but diverges
+fails loudly.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--rate 1000] \
+        [--duration 5] [--save] [--json out.json]
+
+or via pytest (CI serve-smoke gate: modest rate, zero errors, identity)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -q -s
+
+``--save`` records the rows into ``BENCH_serve.json`` at the repository
+root (the committed trajectory the docs reference).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.fleet import FleetReplayer
+from repro.serve import (
+    ControlPlane,
+    HttpConnection,
+    WebSocketClient,
+    build_fleet,
+    fleet_digest,
+    run_load,
+)
+from repro.traces.schema import Trace
+
+#: The served fleet: multi-cell, small cells — round cost is the subject,
+#: not per-cell scale (bench_fleet.py owns that axis).
+FLEET_PARAMS = dict(cells=3, nodes_per_cell=30, apps=3)
+SERVE_SEED = 0
+LOAD_SEED = 7
+DEFAULT_RATE = 1000.0
+DEFAULT_DURATION = 5.0
+#: Quick-gate configuration (CI serve-smoke): low rate, short run, and a
+#: floor far under the committed rows so shared 1-core runners cannot flake.
+QUICK_RATE = 300.0
+QUICK_DURATION = 1.5
+QUICK_MIN_RATE = 50.0
+
+
+async def _measure(rate: float, duration: float, connections: int, batch: int) -> dict:
+    fleet = build_fleet(**FLEET_PARAMS)
+    plane = ControlPlane(
+        fleet,
+        seed=SERVE_SEED,
+        queue_limit=65536,  # measure latency, not back-pressure rejections
+        fleet_params=FLEET_PARAMS,
+    )
+    host, port = await plane.start()
+    ws_events = 0
+    try:
+        async with WebSocketClient(host, port) as subscriber:
+            await subscriber.recv_text(timeout=5)  # Hello
+
+            async def drain() -> int:
+                count = 0
+                while True:
+                    message = await subscriber.recv_text()
+                    if message is None:
+                        return count
+                    count += 1
+
+            drainer = asyncio.create_task(drain())
+            report = await run_load(
+                host,
+                port,
+                rate=rate,
+                duration=duration,
+                connections=connections,
+                batch=batch,
+                seed=LOAD_SEED,
+            )
+            async with HttpConnection(host, port) as connection:
+                digest = (await connection.get_json("/digest"))["digest"]
+                traces = (await connection.get_json("/trace"))["cells"]
+            drainer.cancel()
+            try:
+                ws_events = await drainer
+            except asyncio.CancelledError:
+                pass
+    finally:
+        await plane.shutdown()
+
+    scenario = {cell: Trace.loads(text) for cell, text in traces.items()}
+    offline = build_fleet(**FLEET_PARAMS)
+    try:
+        started = time.perf_counter()
+        FleetReplayer(offline, seed=SERVE_SEED, workers=1).run(scenario)
+        replay_seconds = time.perf_counter() - started
+        identical = fleet_digest(offline) == digest
+    finally:
+        offline.close()
+    if not identical:  # determinism is part of the benchmark contract
+        raise AssertionError("served fleet state diverged from offline replay")
+
+    admission = report["admission_seconds"]
+    rounds = report["server"]["round_seconds"]
+    return {
+        "cells": FLEET_PARAMS["cells"],
+        "nodes_per_cell": FLEET_PARAMS["nodes_per_cell"],
+        "cpu_count": os.cpu_count(),
+        "offered_rate": rate,
+        "duration_seconds": report["duration_seconds"],
+        "admitted": report["admitted"],
+        "admitted_rate": report["admitted_rate"],
+        "connections": report["connections"],
+        "batch": report["batch"],
+        "rejected_429": report["rejected_429"],
+        "errors": report["errors"],
+        "rounds": report["server"]["rounds"],
+        "admission_p50_ms": round(1000 * admission.get("p50", 0.0), 3),
+        "admission_p90_ms": round(1000 * admission.get("p90", 0.0), 3),
+        "admission_p99_ms": round(1000 * admission.get("p99", 0.0), 3),
+        "admission_p999_ms": round(1000 * admission.get("p999", 0.0), 3),
+        "round_p50_ms": round(1000 * rounds.get("p50", 0.0), 3),
+        "round_p99_ms": round(1000 * rounds.get("p99", 0.0), 3),
+        "ws_events": ws_events,
+        "offline_replay_seconds": round(replay_seconds, 3),
+        "identical_end_state": True,
+    }
+
+
+def measure_serve(
+    rate: float, duration: float, connections: int = 8, batch: int = 32
+) -> dict:
+    return asyncio.run(_measure(rate, duration, connections, batch))
+
+
+def print_rows(rows: list[dict]) -> None:
+    print("\n=== Serve admission/round latency (open loop; identity enforced) ===")
+    print(
+        f"{'rate':<8}{'admitted/s':>11}{'rounds':>8}{'adm p50':>9}{'adm p99':>9}"
+        f"{'rnd p50':>9}{'rnd p99':>9}{'429s':>6}"
+    )
+    for row in rows:
+        print(
+            f"{row['offered_rate']:<8.0f}{row['admitted_rate']:>11.1f}{row['rounds']:>8}"
+            f"{row['admission_p50_ms']:>8.1f}m{row['admission_p99_ms']:>8.1f}m"
+            f"{row['round_p50_ms']:>8.1f}m{row['round_p99_ms']:>8.1f}m"
+            f"{row['rejected_429']:>6}"
+        )
+
+
+def main(argv=None) -> list[dict]:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rate", type=float, nargs="+", default=[DEFAULT_RATE])
+    parser.add_argument("--duration", type=float, default=DEFAULT_DURATION)
+    parser.add_argument("--connections", type=int, default=8)
+    parser.add_argument("--batch", type=int, default=32)
+    parser.add_argument("--quick", action="store_true", help="one low-rate short row only")
+    parser.add_argument("--save", action="store_true", help="write BENCH_serve.json")
+    parser.add_argument("--json", default=None, help="also write rows as JSON ('-' = stdout)")
+    args = parser.parse_args(argv)
+    if args.quick:
+        rows = [measure_serve(QUICK_RATE, QUICK_DURATION, args.connections, args.batch)]
+    else:
+        rows = [
+            measure_serve(rate, args.duration, args.connections, args.batch)
+            for rate in args.rate
+        ]
+    print_rows(rows)
+    payload = json.dumps({"benchmark": "serve_latency", "rows": rows}, indent=2) + "\n"
+    if args.save:
+        target = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+        target.write_text(payload, encoding="utf-8")
+        print(f"saved {target}")
+    if args.json == "-":
+        print(payload, end="")
+    elif args.json:
+        Path(args.json).write_text(payload, encoding="utf-8")
+    return rows
+
+
+def test_serve_quick():
+    """CI gate: low-rate open-loop run — zero errors, identity, sane floor.
+
+    Rate and floor are deliberately far below the committed BENCH_serve.json
+    rows (measured at 1k/s locally) so shared-runner noise cannot flake the
+    gate; the end-state identity assertion inside :func:`measure_serve` is
+    the part that must never be weakened.
+    """
+    row = measure_serve(QUICK_RATE, QUICK_DURATION)
+    print_rows([row])
+    assert row["errors"] == 0, f"load generator saw transport errors: {row}"
+    assert row["identical_end_state"]
+    assert row["admitted"] > 0
+    assert row["admitted_rate"] >= QUICK_MIN_RATE, (
+        f"admitted rate {row['admitted_rate']}/s is below the "
+        f"{QUICK_MIN_RATE}/s quick floor"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -362,6 +362,31 @@ class PhoenixEngine:
         """
         backend_for(backend).execute(actions)
 
+    def summary(
+        self,
+        backend,
+        *,
+        name: str = "cluster",
+        reference_revenue: float | None = None,
+    ):
+        """Public snapshot of ``backend``'s observed state as a ``CellSummary``.
+
+        The single-engine twin of :meth:`repro.fleet.FleetEngine.summary`:
+        a picklable, JSON-serializable (via ``to_record``) view of the
+        cluster — capacity, usage, failure counts, revenue, missing critical
+        microservices — so frontends never reach into state internals.
+        ``reference_revenue`` defaults to the state's *current* revenue
+        potential; pass the pre-failure value to normalize like the fleet
+        does.  Pure read: no round runs, no detector state moves.
+        """
+        from repro.adaptlab.metrics import potential_revenue
+        from repro.fleet.summary import summarize_cell
+
+        state = backend_for(backend).observe()
+        if reference_revenue is None:
+            reference_revenue = potential_revenue(state)
+        return summarize_cell(name, state, reference_revenue)
+
     def reset(self) -> None:
         """Forget failure-detection state (when replaying scenarios)."""
         self._known_failed = None

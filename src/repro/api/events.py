@@ -25,6 +25,7 @@ list iteration per event.
 
 from __future__ import annotations
 
+import threading as _threading
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
@@ -116,10 +117,18 @@ class EventBus:
     Handlers run inline, in subscription order, on the thread that emitted
     the event; a handler that raises aborts the emit (the engine treats
     observer failures as programming errors, not data).
+
+    Emission is safe under concurrent subscribe/unsubscribe: the subscriber
+    list is an immutable tuple swapped under a lock, so every emit walks a
+    consistent snapshot — a subscription added or removed mid-emit takes
+    effect from the next emit on, and two threads mutating the bus can never
+    lose each other's updates.  Handlers themselves still run unlocked (a
+    handler may subscribe or unsubscribe without deadlocking).
     """
 
     def __init__(self) -> None:
-        self._subscribers: list[tuple[type | None, Observer]] = []
+        self._subscribers: tuple[tuple[type | None, Observer], ...] = ()
+        self._lock = _threading.Lock()
 
     def subscribe(
         self, handler: Observer, event_type: type | None = None
@@ -135,23 +144,34 @@ class EventBus:
         ):
             raise TypeError("event_type must be an EngineEvent subclass")
         entry = (event_type, handler)
-        self._subscribers.append(entry)
+        with self._lock:
+            self._subscribers = self._subscribers + (entry,)
 
         def unsubscribe() -> None:
-            try:
-                self._subscribers.remove(entry)
-            except ValueError:
-                pass
+            with self._lock:
+                found = False
+                kept = []
+                for existing in self._subscribers:
+                    # Remove one occurrence, like list.remove; identity on
+                    # the handler so equal-but-distinct callables survive.
+                    if not found and existing[0] is entry[0] and existing[1] is entry[1]:
+                        found = True
+                        continue
+                    kept.append(existing)
+                self._subscribers = tuple(kept)
 
         return unsubscribe
 
     def unsubscribe(self, handler: Observer) -> None:
         """Remove every subscription of ``handler`` (any event type)."""
-        self._subscribers = [e for e in self._subscribers if e[1] is not handler]
+        with self._lock:
+            self._subscribers = tuple(
+                e for e in self._subscribers if e[1] is not handler
+            )
 
     def emit(self, event: EngineEvent) -> None:
-        """Deliver ``event`` to every matching subscriber."""
-        for event_type, handler in list(self._subscribers):
+        """Deliver ``event`` to every subscriber of the current snapshot."""
+        for event_type, handler in self._subscribers:
             if event_type is None or isinstance(event, event_type):
                 handler(event)
 

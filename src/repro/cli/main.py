@@ -440,6 +440,92 @@ def cmd_fleet_replay(args) -> int:
     return 0
 
 
+def _serve_fleet_params(args) -> dict:
+    """The ``build_fleet`` kwargs for ``serve``, echoed verbatim by /config.
+
+    A client that wants to verify a served session offline rebuilds the
+    fleet from exactly this dict (see ``repro.serve.app.build_fleet``), so
+    the mapping must stay 1:1 with the builder's signature.
+    """
+    return {
+        "cells": args.cells,
+        "nodes_per_cell": args.nodes_per_cell,
+        "apps": args.apps,
+        "tagging": args.tagging,
+        "resource_model": args.resource_model,
+        "utilization": args.utilization,
+        "env_seed": args.env_seed,
+        "objective": args.objective,
+        "spillover": args.spillover,
+    }
+
+
+def cmd_serve(args) -> int:
+    """Boot the live control plane and serve until interrupted.
+
+    Prints one JSON ``Serving`` line to stdout once the socket is bound
+    (machine-readable: the smoke driver and tests parse the port from it),
+    then blocks.  Ctrl-C is a clean exit (0), not an error.
+    """
+    import asyncio
+    import json
+
+    from repro.serve import ControlPlane, build_fleet
+
+    params = _serve_fleet_params(args)
+    fleet = build_fleet(**params)
+    plane = ControlPlane(
+        fleet,
+        seed=args.seed,
+        force_each_step=args.force_each_step,
+        queue_limit=args.queue_limit,
+        fleet_params=params,
+    )
+
+    async def _run() -> None:
+        host, port = await plane.start(args.host, args.port)
+        print(
+            json.dumps(
+                {"event": "Serving", "host": host, "port": port, "cells": args.cells},
+                sort_keys=True,
+            ),
+            flush=True,
+        )
+        try:
+            await plane.serve_forever()
+        finally:
+            await plane.shutdown()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_serve_load(args) -> int:
+    """Drive a running control plane open-loop; print the latency report."""
+    import asyncio
+    import json
+
+    from repro.serve import run_load
+
+    report = asyncio.run(
+        run_load(
+            args.host,
+            args.port,
+            rate=args.rate,
+            duration=args.duration,
+            connections=args.connections,
+            batch=args.batch,
+            seed=args.seed,
+            nodes_per_cell=args.pool,
+        )
+    )
+    _write_text(args.out, json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return 0
+
+
 def cmd_fleet_sweep(args) -> int:
     """Sweep cells-lost levels × spillover policies; print the fleet table."""
     try:
@@ -917,6 +1003,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated spillover policies to compare (default: packed,none)",
     )
     fleet_sweep.set_defaults(func=cmd_fleet_sweep)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a live fleet control plane (HTTP + WebSocket, stdlib only)",
+        description=(
+            "Build a fleet and serve it: POST /mutations admits trace-event "
+            "records through a deterministic batcher (one reconcile round per "
+            "batch, canonical order, 429 back-pressure), GET endpoints expose "
+            "summaries/metrics/config/trace/digest, and /ws streams the typed "
+            "event bus as JSON. '/' is a live dashboard. Prints one JSON "
+            "'Serving' line with the bound port, then blocks until Ctrl-C."
+        ),
+    )
+    _add_fleet_options(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8642, help="bind port; 0 = ephemeral (default: 8642)")
+    serve.add_argument("--seed", type=int, default=0, help="capacity-event seed (default: 0)")
+    serve.add_argument(
+        "--queue-limit", type=int, default=1024,
+        help="max pending mutations before 429 back-pressure (default: 1024)",
+    )
+    serve.add_argument(
+        "--force-each-step", action="store_true",
+        help="force a planning round in every cell on every admitted batch",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    serve_load = sub.add_parser(
+        "serve-load",
+        help="open-loop load generator against a running 'repro serve'",
+        description=(
+            "Submit seeded node-churn mutations at a fixed open-loop rate and "
+            "report admission-latency percentiles (p50/p90/p99/p999), 429 "
+            "counts, and the server's round-latency view, as JSON."
+        ),
+    )
+    serve_load.add_argument("--host", default="127.0.0.1", help="server address (default: 127.0.0.1)")
+    serve_load.add_argument("--port", type=int, required=True, help="server port")
+    serve_load.add_argument("--rate", type=float, default=1000.0, help="mutations/sec offered (default: 1000)")
+    serve_load.add_argument("--duration", type=float, default=5.0, help="seconds of load (default: 5)")
+    serve_load.add_argument(
+        "--connections", type=int, default=8, help="concurrent keep-alive connections (default: 8)"
+    )
+    serve_load.add_argument(
+        "--batch", type=int, default=1,
+        help="max already-due mutations coalesced per POST (default: 1)",
+    )
+    serve_load.add_argument("--seed", type=int, default=0, help="workload seed (default: 0)")
+    serve_load.add_argument(
+        "--pool", type=int, default=16, help="nodes sampled per cell for churn (default: 16)"
+    )
+    serve_load.add_argument("--out", default=None, help="report file (default: stdout)")
+    serve_load.set_defaults(func=cmd_serve_load)
 
     chaos = sub.add_parser(
         "chaos",

@@ -405,6 +405,15 @@ class FleetEngine:
             for cell in self.cells
         ]
 
+    def summary(self) -> dict[str, CellSummary]:
+        """Public per-cell snapshot: cell name → picklable :class:`CellSummary`.
+
+        The supported way for frontends (the serve layer, the CLI, external
+        observers) to read fleet state without touching cell internals.
+        Pure read: no round runs, no detector state moves.
+        """
+        return {cell.name: summary for cell, summary in zip(self.cells, self.summarize())}
+
     def availability(self) -> float:
         """Fleet-wide critical availability (spillover coverage included)."""
         return fleet_availability(self.summarize(), self._ledger)

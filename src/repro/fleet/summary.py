@@ -74,6 +74,39 @@ class CellSummary:
         """True when any non-clone application misses critical capacity."""
         return any(not is_clone(app) for app, _ in self.missing_critical)
 
+    def to_record(self) -> dict[str, object]:
+        """JSON-ready snapshot of this summary (stable field set).
+
+        The public serialization the serve layer and the CLI expose; field
+        names and types are a compatibility surface (tested), so observers
+        and dashboards can rely on them across versions.  Floats are
+        rounded to 9 places like every other canonical record in the repo,
+        so equal summaries serialize byte-identically.
+        """
+        return {
+            "record": "cell-summary",
+            "cell": self.cell,
+            "triggered": self.triggered,
+            "failed_nodes": list(self.failed_nodes),
+            "recovered_nodes": list(self.recovered_nodes),
+            "actions": self.actions,
+            "failed_count": self.failed_count,
+            "capacity_cpu": round(self.capacity_cpu, 9),
+            "healthy_cpu": round(self.healthy_cpu, 9),
+            "healthy_mem": round(self.healthy_mem, 9),
+            "used_cpu": round(self.used_cpu, 9),
+            "used_mem": round(self.used_mem, 9),
+            "free_cpu": round(self.free_cpu, 9),
+            "free_mem": round(self.free_mem, 9),
+            "revenue": round(self.revenue, 9),
+            "reference_revenue": round(self.reference_revenue, 9),
+            "app_count": self.app_count,
+            "missing_critical": [
+                [app, list(names)] for app, names in self.missing_critical
+            ],
+            "degraded": self.degraded,
+        }
+
 
 def summarize_cell(
     cell: str,

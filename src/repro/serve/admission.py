@@ -1,0 +1,129 @@
+"""The admission batcher: concurrent writers, one deterministic round.
+
+The correctness core of the serve layer.  Any number of HTTP handlers
+enqueue mutations concurrently; a single round-driver coroutine drains the
+queue, applies the whole batch in **canonical order** — sorted by
+``(cell, canonical JSON of the event record)`` — runs exactly one fleet
+reconcile round, and resolves every waiter with the round's outcome.
+Because the applied order is a pure function of the batch *contents*, any
+interleaving of clients that admits the same set of mutations produces
+byte-identical fleet state and byte-identical session trace to a serial
+script submitting them one round at a time.
+
+Back-pressure is explicit: the queue is bounded, and a submit against a
+full queue raises :class:`AdmissionFull` — the server answers 429 with a
+``Retry-After`` hint instead of buffering unboundedly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.traces.schema import TraceEvent
+
+
+class AdmissionFull(Exception):
+    """The pending queue is at capacity; the client should retry later."""
+
+    def __init__(self, limit: int, retry_after: float = 1.0) -> None:
+        super().__init__(f"admission queue full ({limit} pending mutations)")
+        self.limit = limit
+        self.retry_after = retry_after
+
+
+def canonical_key(cell: str, record: Mapping[str, object]) -> tuple[str, str]:
+    """The batch sort key: applied order depends only on batch contents."""
+    return (cell, json.dumps(record, sort_keys=True, separators=(",", ":")))
+
+
+@dataclass
+class PendingMutation:
+    """One admitted-but-unapplied mutation waiting for its round."""
+
+    cell: str
+    event: TraceEvent
+    record: dict[str, object]
+    future: asyncio.Future = field(repr=False)
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return canonical_key(self.cell, self.record)
+
+
+class AdmissionBatcher:
+    """Bounded mutation queue drained in canonical batches.
+
+    Writers call :meth:`submit` (synchronous — either the mutation is in
+    the queue with a future attached, or :class:`AdmissionFull` is raised).
+    The single round driver awaits :meth:`next_batch`, which blocks until
+    at least one mutation is pending, then drains **everything** pending in
+    canonical order.  Whatever accumulated while the previous round ran
+    becomes the next round's batch — batch boundaries are a performance
+    artifact; batch *order* never is.
+    """
+
+    def __init__(self, *, queue_limit: int = 1024, retry_after: float = 1.0) -> None:
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.queue_limit = queue_limit
+        self.retry_after = retry_after
+        self._pending: list[PendingMutation] = []
+        self._wakeup = asyncio.Event()
+        self._closed = False
+        #: Cumulative counters for /metrics and the load generator.
+        self.admitted = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def submit(
+        self, cell: str, event: TraceEvent, record: dict[str, object]
+    ) -> asyncio.Future:
+        """Enqueue one mutation; the future resolves after its round commits.
+
+        Raises :class:`AdmissionFull` when the queue is at capacity and
+        :class:`RuntimeError` after :meth:`close`.
+        """
+        if self._closed:
+            raise RuntimeError("admission batcher is closed")
+        if len(self._pending) >= self.queue_limit:
+            self.rejected += 1
+            raise AdmissionFull(self.queue_limit, self.retry_after)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending.append(
+            PendingMutation(cell=cell, event=event, record=record, future=future)
+        )
+        self.admitted += 1
+        self._wakeup.set()
+        return future
+
+    async def next_batch(self) -> list[PendingMutation]:
+        """Wait for pending mutations, drain them all in canonical order.
+
+        Returns an empty list exactly once, after :meth:`close` — the round
+        driver's signal to exit.
+        """
+        while not self._pending:
+            if self._closed:
+                return []
+            self._wakeup.clear()
+            await self._wakeup.wait()
+        batch = sorted(self._pending, key=lambda m: m.key)
+        self._pending.clear()
+        return batch
+
+    def close(self) -> None:
+        """Stop accepting mutations and wake the driver so it can exit."""
+        self._closed = True
+        self._wakeup.set()
+
+    def fail_pending(self, exc: BaseException) -> None:
+        """Reject every queued mutation (server teardown path)."""
+        for mutation in self._pending:
+            if not mutation.future.done():
+                mutation.future.set_exception(exc)
+        self._pending.clear()

@@ -1,0 +1,122 @@
+"""The single-file dashboard served at ``/`` — no build step, no assets.
+
+One HTML string: connects to ``/ws``, renders the live event feed and
+per-cell healthy-capacity bars from ``Hello``/``RoundCommitted`` messages
+(which carry full cell-summary records), and shows the admission counters
+polled from ``/metrics``.  Deliberately plain: the dashboard is an
+observability window onto the control plane, not a product surface.
+"""
+
+from __future__ import annotations
+
+DASHBOARD_HTML = """<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro serve — fleet control plane</title>
+<style>
+  body { font: 13px/1.45 ui-monospace, SFMono-Regular, Menlo, monospace;
+         margin: 0; background: #111418; color: #d8dee4; }
+  header { padding: 10px 16px; background: #1b2026; display: flex;
+           gap: 24px; align-items: baseline; border-bottom: 1px solid #2a313a; }
+  header h1 { font-size: 14px; margin: 0; color: #8fd3ff; }
+  header .stat b { color: #ffd479; }
+  main { display: grid; grid-template-columns: 340px 1fr; gap: 0; }
+  #cells { padding: 12px 16px; border-right: 1px solid #2a313a; }
+  .cell { margin-bottom: 14px; }
+  .cell .name { color: #9ecbff; }
+  .bar { height: 10px; background: #30363d; border-radius: 3px;
+         overflow: hidden; margin: 3px 0; }
+  .bar span { display: block; height: 100%; background: #3fb950; }
+  .bar.degraded span { background: #f85149; }
+  .cell small { color: #8b949e; }
+  #feed { padding: 12px 16px; max-height: calc(100vh - 60px); overflow-y: auto; }
+  #feed div { white-space: pre-wrap; border-bottom: 1px solid #1b2026;
+              padding: 2px 0; }
+  #feed .kind { color: #d2a8ff; }
+  .off { color: #f85149; }
+</style>
+</head>
+<body>
+<header>
+  <h1>repro serve</h1>
+  <span class="stat">round <b id="round">–</b></span>
+  <span class="stat">admitted <b id="admitted">–</b></span>
+  <span class="stat">rejected <b id="rejected">–</b></span>
+  <span class="stat" id="link">connecting…</span>
+</header>
+<main>
+  <section id="cells"></section>
+  <section id="feed"></section>
+</main>
+<script>
+"use strict";
+const feed = document.getElementById("feed");
+const cells = document.getElementById("cells");
+const FEED_LIMIT = 200;
+
+function renderCells(records) {
+  cells.innerHTML = "";
+  for (const cell of records) {
+    const frac = cell.capacity_cpu > 0 ? cell.healthy_cpu / cell.capacity_cpu : 0;
+    const div = document.createElement("div");
+    div.className = "cell";
+    div.innerHTML =
+      '<span class="name"></span> ' +
+      '<small></small>' +
+      '<div class="bar' + (cell.degraded ? " degraded" : "") +
+      '"><span style="width:' + (100 * frac).toFixed(1) + '%"></span></div>' +
+      '<small>failed ' + cell.failed_count + ' · revenue ' +
+      cell.revenue.toFixed(3) + ' · actions ' + cell.actions + '</small>';
+    div.querySelector(".name").textContent = cell.cell;
+    div.querySelector("small").textContent = (100 * frac).toFixed(1) + "% healthy";
+    cells.appendChild(div);
+  }
+}
+
+function pushFeed(message) {
+  const div = document.createElement("div");
+  const kind = message.event || "?";
+  const rest = Object.entries(message)
+    .filter(([k]) => k !== "event" && k !== "cells")
+    .map(([k, v]) => k + "=" + JSON.stringify(v)).join(" ");
+  div.innerHTML = '<span class="kind"></span> ';
+  div.querySelector(".kind").textContent = kind;
+  div.appendChild(document.createTextNode(rest));
+  feed.prepend(div);
+  while (feed.childNodes.length > FEED_LIMIT) feed.removeChild(feed.lastChild);
+}
+
+function connect() {
+  const ws = new WebSocket("ws://" + location.host + "/ws");
+  const link = document.getElementById("link");
+  ws.onopen = () => { link.textContent = "live"; link.className = "stat"; };
+  ws.onclose = () => {
+    link.textContent = "disconnected — retrying";
+    link.className = "stat off";
+    setTimeout(connect, 2000);
+  };
+  ws.onmessage = (frame) => {
+    const message = JSON.parse(frame.data);
+    if (message.cells) renderCells(message.cells);
+    if (message.round !== undefined)
+      document.getElementById("round").textContent = message.round;
+    pushFeed(message);
+  };
+}
+
+async function pollMetrics() {
+  try {
+    const metrics = await (await fetch("/metrics")).json();
+    document.getElementById("admitted").textContent = metrics.admitted;
+    document.getElementById("rejected").textContent = metrics.rejected;
+  } catch (err) { /* server restarting; the ws handler drives reconnect */ }
+  setTimeout(pollMetrics, 2000);
+}
+
+connect();
+pollMetrics();
+</script>
+</body>
+</html>
+"""

@@ -1,0 +1,304 @@
+"""Minimal HTTP/1.1 over asyncio streams (stdlib only).
+
+The serve layer's transport floor: just enough HTTP to run a JSON control
+plane and a WebSocket upgrade on one port — request-line + header parsing,
+``Content-Length`` bodies, keep-alive, and canonical response writing.  The
+same helpers back the server (:mod:`repro.serve.app`) and the client used
+by the load generator (:mod:`repro.serve.loadgen`), the discipline the
+fleet's wire codec set: one hand-rolled protocol module, exercised from
+both ends, zero new dependencies.
+
+Deliberately *not* a general HTTP implementation: no chunked bodies, no
+multipart, no compression, no TLS.  Requests it cannot parse raise
+:class:`HttpError` with the status the server should answer before closing
+the connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Upper bounds keeping a malformed or hostile peer from ballooning memory.
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Reason phrases for the statuses the control plane actually emits.
+REASONS = {
+    101: "Switching Protocols",
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    426: "Upgrade Required",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """A request the server refuses; carries the HTTP status to answer."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: line, lower-cased headers, raw body."""
+
+    method: str
+    target: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return "close" not in connection
+
+    def json(self):
+        """The body parsed as JSON (:class:`HttpError` 400 on failure)."""
+        if not self.body:
+            raise HttpError(400, "expected a JSON body")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"body is not valid JSON: {exc}") from None
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Read one request from ``reader``; ``None`` on clean EOF (peer closed).
+
+    Raises :class:`HttpError` on malformed input and
+    :class:`asyncio.IncompleteReadError` when the peer dies mid-request.
+    """
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HttpError(400, "connection closed mid request line") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, "request line too long") from None
+    if len(line) > MAX_REQUEST_LINE:
+        raise HttpError(431, "request line too long")
+    parts = line.decode("latin-1").rstrip("\r\n").split(" ")
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line: {line!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, f"unsupported HTTP version {version!r}")
+
+    headers: dict[str, str] = {}
+    total = 0
+    while True:
+        try:
+            raw = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise HttpError(400, "connection closed inside headers") from None
+        if raw == b"\r\n":
+            break
+        total += len(raw)
+        if total > MAX_HEADER_BYTES:
+            raise HttpError(431, "headers too large")
+        text = raw.decode("latin-1").rstrip("\r\n")
+        name, sep, value = text.partition(":")
+        if not sep or not name.strip():
+            raise HttpError(400, f"malformed header line: {text!r}")
+        # Last occurrence wins; the control plane has no multi-valued needs.
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "content-length is not an integer") from None
+        if length < 0:
+            raise HttpError(400, "content-length is negative")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"body larger than {MAX_BODY_BYTES} bytes")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, "connection closed inside body") from None
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked transfer encoding is not supported")
+
+    split = urlsplit(target)
+    query = {key: value for key, value in parse_qsl(split.query, keep_blank_values=True)}
+    return HttpRequest(
+        method=method.upper(),
+        target=target,
+        path=unquote(split.path) or "/",
+        query=query,
+        headers=headers,
+        body=body,
+        version=version,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes | str = b"",
+    *,
+    content_type: str = "application/json",
+    headers: dict[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one full HTTP/1.1 response (status line, headers, body)."""
+    if isinstance(body, str):
+        body = body.encode("utf-8")
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    base = {
+        "Content-Type": content_type,
+        "Content-Length": str(len(body)),
+        "Connection": "keep-alive" if keep_alive else "close",
+    }
+    if headers:
+        base.update(headers)
+    lines.extend(f"{name}: {value}" for name, value in base.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_body(payload, *, sort_keys: bool = True) -> str:
+    """Canonical JSON body text (sorted keys, compact separators)."""
+    return json.dumps(payload, sort_keys=sort_keys, separators=(",", ":")) + "\n"
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes | str = b"",
+    *,
+    content_type: str = "application/json",
+    headers: dict[str, str] | None = None,
+    keep_alive: bool = True,
+) -> None:
+    writer.write(
+        render_response(
+            status,
+            body,
+            content_type=content_type,
+            headers=headers,
+            keep_alive=keep_alive,
+        )
+    )
+    await writer.drain()
+
+
+# -- the client half (used by the load generator and the smoke tests) ----------
+
+
+class HttpConnection:
+    """One keep-alive client connection to the control plane."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def _ensure(self) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+        assert self._reader is not None and self._writer is not None
+        return self._reader, self._writer
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: bytes | str | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """Send one request, read one response: (status, headers, body).
+
+        Retries once on a stale keep-alive connection (server closed it
+        between requests); any other transport failure propagates.
+        """
+        if isinstance(body, str):
+            body = body.encode("utf-8")
+        for attempt in (0, 1):
+            reader, writer = await self._ensure()
+            try:
+                base = {"Host": f"{self.host}:{self.port}"}
+                if body is not None:
+                    base["Content-Length"] = str(len(body))
+                    base.setdefault("Content-Type", "application/json")
+                if headers:
+                    base.update(headers)
+                lines = [f"{method} {path} HTTP/1.1"]
+                lines.extend(f"{name}: {value}" for name, value in base.items())
+                writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+                if body:
+                    writer.write(body)
+                await writer.drain()
+                return await self._read_response(reader)
+            except (ConnectionError, asyncio.IncompleteReadError):
+                await self.close()
+                if attempt:
+                    raise
+        raise RuntimeError("unreachable")  # pragma: no cover
+
+    async def _read_response(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict[str, str], bytes]:
+        line = await reader.readuntil(b"\r\n")
+        parts = line.decode("latin-1").rstrip("\r\n").split(" ", 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise HttpError(500, f"malformed status line from server: {line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readuntil(b"\r\n")
+            if raw == b"\r\n":
+                break
+            name, _, value = raw.decode("latin-1").rstrip("\r\n").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length", "0") or "0")
+        if length:
+            body = await reader.readexactly(length)
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return status, headers, body
+
+    async def get_json(self, path: str):
+        status, _headers, body = await self.request("GET", path)
+        if status != 200:
+            raise HttpError(status, body.decode("utf-8", "replace"))
+        return json.loads(body.decode("utf-8"))
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "HttpConnection":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

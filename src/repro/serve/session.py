@@ -1,0 +1,130 @@
+"""Session recording and canonical digests for served fleets.
+
+Two jobs, both in service of the serve layer's determinism contract:
+
+* :class:`SessionRecorder` — every admitted mutation batch is appended to
+  per-cell traces (schema v1, one round = one integer timestamp), so a
+  served session *is* a fleet scenario: feed ``recorder.scenario()`` to an
+  offline :class:`~repro.fleet.replay.FleetReplayer` over an identically
+  built fleet and the replay reproduces the served run byte-for-byte.
+
+* :func:`state_digest` / :func:`fleet_digest` — canonical SHA-256 over the
+  observable cluster state (nodes, health, failure order, assignments,
+  per-node usage floats via exact JSON repr, plus the spillover ledger),
+  the value the determinism gate compares between served and replayed
+  fleets.  Digests read only public accessors, so they hold across process
+  boundaries and engine internals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Iterable
+
+from repro.traces.schema import Trace, TraceEvent
+
+
+class SessionRecorder:
+    """Accumulates admitted mutations into per-cell schema-v1 traces.
+
+    Round index ``r`` becomes event time ``float(r)``; within a round the
+    events keep the canonical admission order (the trace sort is stable),
+    so the recorded scenario replays each admitted batch as one step — the
+    exact shape :meth:`FleetReplayer.run` folds.
+    """
+
+    def __init__(self, cell_names: Iterable[str], metadata: dict | None = None) -> None:
+        self.cell_names = tuple(cell_names)
+        self.metadata = dict(metadata or {})
+        self._events: dict[str, list[TraceEvent]] = {name: [] for name in self.cell_names}
+        self.rounds = 0
+        self.mutations = 0
+
+    def record_batch(self, batch: Iterable[tuple[str, TraceEvent]]) -> int:
+        """Append one admitted batch; returns the round index it was given."""
+        round_index = self.rounds
+        for cell, event in batch:
+            stamped = dataclasses.replace(event, time=float(round_index))
+            self._events[cell].append(stamped)
+            self.mutations += 1
+        self.rounds += 1
+        return round_index
+
+    def scenario(self) -> dict[str, Trace]:
+        """The recorded session as a fleet scenario (cells with events only)."""
+        scenario: dict[str, Trace] = {}
+        for name in self.cell_names:
+            events = self._events[name]
+            if events:
+                scenario[name] = Trace(
+                    events=list(events),
+                    metadata=dict(self.metadata) | {"cell": name},
+                )
+        return scenario
+
+    def traces_jsonl(self) -> dict[str, str]:
+        """Canonical JSONL text per recorded cell (the ``/trace`` payload)."""
+        return {name: trace.dumps() for name, trace in self.scenario().items()}
+
+
+# -- canonical digests ----------------------------------------------------------
+
+
+def _canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def state_record(state) -> dict[str, object]:
+    """Canonical JSON-able snapshot of one cluster state's observables.
+
+    Node health, capacities, per-node usage floats (exact ``repr`` through
+    JSON), the replica->node assignment map, and the failure *order* — the
+    one piece of hidden sequencing that drives downstream byte order
+    (:meth:`ClusterState.evict_from_failed_nodes` walks it).
+    """
+    nodes = [
+        [name, node.failed, node.capacity.cpu, node.capacity.memory]
+        for name, node in sorted(state.nodes.items())
+    ]
+    used = []
+    for name in sorted(state.nodes):
+        pair = state.used_on(name)
+        used.append([name, pair.cpu, pair.memory])
+    assignments = sorted(
+        [[replica.app, replica.microservice, replica.replica, node]
+         for replica, node in state.assignments.items()]
+    )
+    return {
+        "nodes": nodes,
+        "used": used,
+        "assignments": assignments,
+        "failure_order": list(state.failure_order()),
+        "applications": sorted(state.applications),
+    }
+
+
+def state_digest(state) -> str:
+    """SHA-256 hex digest of :func:`state_record`."""
+    return hashlib.sha256(_canonical(state_record(state)).encode("utf-8")).hexdigest()
+
+
+def fleet_digest(fleet) -> str:
+    """One SHA-256 hex digest covering every cell state plus the ledger.
+
+    Equal digests mean the fleets are observably identical: same per-cell
+    node health and failure order, same assignments and usage bits, same
+    active spillovers.  This is the value the served ``/digest`` endpoint
+    returns and the offline-replay equivalence gate compares.
+    """
+    payload = {
+        "cells": {cell.name: state_record(cell.state) for cell in fleet.cells},
+        "spillovers": sorted(
+            [
+                [cell, app, entry.donor, list(entry.microservices)]
+                for (cell, app), entry in fleet.spillovers.items()
+            ]
+        ),
+    }
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()

@@ -1,0 +1,203 @@
+"""Hand-rolled WebSocket framing (RFC 6455), server and client halves.
+
+Covers exactly what the event stream needs: the HTTP upgrade handshake,
+text/binary/ping/pong/close frames, client-to-server masking (required by
+the RFC; the server never masks), and 16/64-bit extended lengths.  No
+extensions, no fragmentation (frames are sent FIN-flagged and a fragmented
+peer frame is refused loudly) — the stream carries small JSON event records,
+so one frame per message is the honest shape.
+
+Shared by :mod:`repro.serve.app` (server side) and the subscriber client
+used by the load generator, the smoke script and the tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import os
+import struct
+
+#: RFC 6455 §1.3 magic GUID appended to the client key before hashing.
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+#: Frame opcodes.
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+#: Refuse absurd frames instead of allocating for them.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+class WebSocketError(Exception):
+    """A protocol violation on the WebSocket layer."""
+
+
+def accept_key(client_key: str) -> str:
+    """``Sec-WebSocket-Accept`` value for a client's ``Sec-WebSocket-Key``."""
+    digest = hashlib.sha1((client_key + WS_GUID).encode("latin-1")).digest()
+    return base64.b64encode(digest).decode("latin-1")
+
+
+def encode_frame(
+    opcode: int, payload: bytes = b"", *, mask: bool = False
+) -> bytes:
+    """One FIN-flagged frame; ``mask=True`` for the client side."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WebSocketError(f"frame larger than {MAX_FRAME_BYTES} bytes")
+    head = bytearray([0x80 | (opcode & 0x0F)])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < 1 << 16:
+        head.append(mask_bit | 126)
+        head += struct.pack(">H", length)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack(">Q", length)
+    if mask:
+        key = os.urandom(4)
+        head += key
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(head) + payload
+
+
+def text_frame(text: str, *, mask: bool = False) -> bytes:
+    return encode_frame(OP_TEXT, text.encode("utf-8"), mask=mask)
+
+
+def close_frame(code: int = 1000, *, mask: bool = False) -> bytes:
+    return encode_frame(OP_CLOSE, struct.pack(">H", code), mask=mask)
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, *, require_mask: bool | None = None
+) -> tuple[int, bytes]:
+    """Read one frame: ``(opcode, unmasked payload)``.
+
+    ``require_mask=True`` enforces the server-side rule that every client
+    frame is masked; ``False`` enforces the client-side rule that server
+    frames are not.  Raises :class:`asyncio.IncompleteReadError` on EOF.
+    """
+    first, second = await reader.readexactly(2)
+    if not first & 0x80:
+        raise WebSocketError("fragmented frames are not supported")
+    if first & 0x70:
+        raise WebSocketError("reserved frame bits set (no extensions negotiated)")
+    opcode = first & 0x0F
+    masked = bool(second & 0x80)
+    if require_mask is True and not masked:
+        raise WebSocketError("client frames must be masked")
+    if require_mask is False and masked:
+        raise WebSocketError("server frames must not be masked")
+    length = second & 0x7F
+    if length == 126:
+        (length,) = struct.unpack(">H", await reader.readexactly(2))
+    elif length == 127:
+        (length,) = struct.unpack(">Q", await reader.readexactly(8))
+    if length > MAX_FRAME_BYTES:
+        raise WebSocketError(f"frame larger than {MAX_FRAME_BYTES} bytes")
+    key = await reader.readexactly(4) if masked else b""
+    payload = await reader.readexactly(length) if length else b""
+    if masked:
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return opcode, payload
+
+
+class WebSocketClient:
+    """Minimal subscriber client for the control plane's ``/ws`` stream."""
+
+    def __init__(self, host: str, port: int, path: str = "/ws") -> None:
+        self.host = host
+        self.port = port
+        self.path = path
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        key = base64.b64encode(os.urandom(16)).decode("latin-1")
+        request = (
+            f"GET {self.path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\n"
+            "Sec-WebSocket-Version: 13\r\n\r\n"
+        )
+        writer.write(request.encode("latin-1"))
+        await writer.drain()
+        status_line = await reader.readuntil(b"\r\n")
+        if b" 101 " not in status_line:
+            writer.close()
+            raise WebSocketError(f"upgrade refused: {status_line!r}")
+        accept = None
+        while True:
+            raw = await reader.readuntil(b"\r\n")
+            if raw == b"\r\n":
+                break
+            name, _, value = raw.decode("latin-1").rstrip("\r\n").partition(":")
+            if name.strip().lower() == "sec-websocket-accept":
+                accept = value.strip()
+        if accept != accept_key(key):
+            writer.close()
+            raise WebSocketError("Sec-WebSocket-Accept mismatch")
+        self._reader, self._writer = reader, writer
+
+    async def recv_text(self, timeout: float | None = None) -> str | None:
+        """Next text message; ``None`` when the server closed the stream."""
+        if self._reader is None or self._writer is None:
+            raise WebSocketError("not connected")
+        while True:
+            task = read_frame(self._reader, require_mask=False)
+            try:
+                opcode, payload = await (
+                    asyncio.wait_for(task, timeout) if timeout is not None else task
+                )
+            except asyncio.IncompleteReadError:
+                return None
+            if opcode == OP_TEXT:
+                return payload.decode("utf-8")
+            if opcode == OP_PING:
+                self._writer.write(encode_frame(OP_PONG, payload, mask=True))
+                await self._writer.drain()
+                continue
+            if opcode == OP_CLOSE:
+                return None
+            if opcode == OP_PONG:
+                continue
+            raise WebSocketError(f"unexpected opcode {opcode:#x}")
+
+    async def send_text(self, text: str) -> None:
+        if self._writer is None:
+            raise WebSocketError("not connected")
+        self._writer.write(text_frame(text, mask=True))
+        await self._writer.drain()
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.write(close_frame(mask=True))
+                await self._writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "WebSocketClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

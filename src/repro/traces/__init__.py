@@ -63,6 +63,7 @@ from repro.traces.schema import (
     TraceError,
     TraceEvent,
     merge_traces,
+    parse_event,
 )
 
 __all__ = [
@@ -94,4 +95,5 @@ __all__ = [
     "TraceError",
     "TraceEvent",
     "merge_traces",
+    "parse_event",
 ]

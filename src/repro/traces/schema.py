@@ -219,6 +219,33 @@ EVENT_TYPES: dict[str, Callable[[Mapping[str, object]], TraceEvent]] = {
 }
 
 
+def parse_event(
+    record: Mapping[str, object], *, default_time: float | None = None
+) -> TraceEvent:
+    """Parse one event record (schema v1) into a validated :class:`TraceEvent`.
+
+    The single-record twin of :meth:`Trace.loads`, for frontends that
+    receive events one at a time — the serve layer's mutation request
+    bodies are exactly these records.  ``default_time`` supplies the
+    ``time`` field when the record omits it (a server assigns admission
+    times itself, so clients need not send one); without a default, a
+    missing ``time`` is an error as in the file format.
+    """
+    if not isinstance(record, Mapping):
+        raise TraceError(f"event record must be an object, got {type(record).__name__}")
+    kind = record.get("kind")
+    parser = EVENT_TYPES.get(kind)  # type: ignore[arg-type]
+    if parser is None:
+        raise TraceError(
+            f"unknown event kind {kind!r}; known kinds: {sorted(EVENT_TYPES)}"
+        )
+    if "time" not in record and default_time is not None:
+        record = dict(record) | {"time": float(default_time)}
+    event = parser(record)
+    event.validate()
+    return event
+
+
 @dataclass
 class Trace:
     """An ordered scenario: header metadata plus timestamped events.

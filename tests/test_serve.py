@@ -1,0 +1,615 @@
+"""Tests for the serve layer: protocols, admission, determinism, back-pressure.
+
+The heart of the file is the determinism gate: N concurrent clients
+submitting a fixed mutation set produce a fleet state (canonical digest),
+a recorded trace, and step records that are byte-identical to a serial
+offline replay of that trace — the serve layer's core contract.  Around
+it: unit tests for the hand-rolled HTTP/1.1 and WebSocket framing, the
+admission batcher's canonical ordering and 429 back-pressure, the
+EventBus's concurrent-subscription safety, and the public ``summary()``
+snapshots' field stability.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro.api.config import EngineConfig
+from repro.api.engine import PhoenixEngine
+from repro.api.events import EventBus, FailureDetected
+from repro.fleet import FleetReplayer
+from repro.serve import (
+    AdmissionBatcher,
+    AdmissionFull,
+    ControlPlane,
+    HttpConnection,
+    WebSocketClient,
+    build_fleet,
+    canonical_key,
+    fleet_digest,
+)
+from repro.serve.http1 import HttpError, read_request, render_response
+from repro.serve.websocket import (
+    OP_BINARY,
+    WebSocketError,
+    accept_key,
+    encode_frame,
+    read_frame,
+    text_frame,
+)
+from repro.traces.schema import Trace, TraceError, parse_event
+
+FLEET_PARAMS = dict(cells=2, nodes_per_cell=12, apps=2)
+
+
+def build_plane(**overrides) -> ControlPlane:
+    fleet = build_fleet(**FLEET_PARAMS)
+    return ControlPlane(fleet, fleet_params=FLEET_PARAMS, **overrides)
+
+
+def mutation(cell: str, kind: str, **fields) -> dict:
+    return {"cell": cell, "event": {"record": "event", "kind": kind, **fields}}
+
+
+async def post(conn: HttpConnection, payload) -> tuple[int, dict, dict]:
+    status, headers, body = await conn.request(
+        "POST", "/mutations", body=json.dumps(payload)
+    )
+    return status, headers, json.loads(body)
+
+
+# -- HTTP/1.1 parsing ----------------------------------------------------------
+
+
+def parse_bytes(raw: bytes):
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(run())
+
+
+class TestHttp1:
+    def test_parses_request_line_headers_and_body(self):
+        request = parse_bytes(
+            b"POST /mutations?a=1&b=x%20y HTTP/1.1\r\n"
+            b"Host: h\r\nContent-Length: 4\r\nX-Thing: v\r\n\r\nbody"
+        )
+        assert request.method == "POST"
+        assert request.path == "/mutations"
+        assert request.query == {"a": "1", "b": "x y"}
+        assert request.headers["x-thing"] == "v"
+        assert request.body == b"body"
+        assert request.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert parse_bytes(b"") is None
+
+    def test_malformed_request_line_raises_400(self):
+        with pytest.raises(HttpError) as err:
+            parse_bytes(b"NONSENSE\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_bad_content_length_raises_400(self):
+        with pytest.raises(HttpError) as err:
+            parse_bytes(b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_connection_close_disables_keep_alive(self):
+        request = parse_bytes(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_render_response_roundtrips_status_and_body(self):
+        raw = render_response(429, b'{"e":1}', headers={"Retry-After": "1.0"})
+        text = raw.decode("latin-1")
+        assert text.startswith("HTTP/1.1 429 Too Many Requests\r\n")
+        assert "Retry-After: 1.0" in text
+        assert text.endswith('{"e":1}')
+
+
+# -- WebSocket framing ---------------------------------------------------------
+
+
+class TestWebSocketFraming:
+    def test_accept_key_matches_rfc6455_example(self):
+        assert (
+            accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+            == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        )
+
+    @pytest.mark.parametrize("size", [0, 1, 125, 126, 65535, 65536])
+    @pytest.mark.parametrize("mask", [False, True])
+    def test_frame_roundtrip_all_length_encodings(self, size, mask):
+        payload = bytes(range(256)) * (size // 256) + bytes(range(size % 256))
+
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame(OP_BINARY, payload, mask=mask))
+            return await read_frame(reader, require_mask=mask)
+
+        opcode, decoded = asyncio.run(run())
+        assert opcode == OP_BINARY
+        assert decoded == payload
+
+    def test_unmasked_client_frame_rejected(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(text_frame("x", mask=False))
+            return await read_frame(reader, require_mask=True)
+
+        with pytest.raises(WebSocketError):
+            asyncio.run(run())
+
+
+# -- parse_event (schema v1 single records) ------------------------------------
+
+
+class TestParseEvent:
+    def test_parses_and_validates(self):
+        event = parse_event(
+            {"record": "event", "kind": "node_failure", "time": 3.0, "nodes": ["n1"]}
+        )
+        assert event.kind == "node_failure"
+        assert event.nodes == ("n1",)
+
+    def test_default_time_fills_missing_time(self):
+        event = parse_event(
+            {"record": "event", "kind": "load_change", "multiplier": 2.0, "app": None},
+            default_time=7.0,
+        )
+        assert event.time == 7.0
+
+    def test_missing_time_without_default_raises(self):
+        with pytest.raises(TraceError):
+            parse_event({"record": "event", "kind": "node_failure", "nodes": ["n1"]})
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(TraceError, match="unknown event kind"):
+            parse_event({"record": "event", "kind": "meteor", "time": 0.0})
+
+
+# -- EventBus concurrency (satellite: emission-safe subscribe/unsubscribe) -----
+
+
+class TestEventBusConcurrency:
+    def test_emit_with_concurrent_subscribe_unsubscribe(self):
+        """Threaded fuzz: emits never crash or miss registered handlers."""
+        bus = EventBus()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def churn():
+            try:
+                while not stop.is_set():
+                    cancels = [bus.subscribe(lambda e: None) for _ in range(5)]
+                    for cancel in cancels:
+                        cancel()
+            except BaseException as exc:  # pragma: no cover - the failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        seen = []
+        bus.subscribe(seen.append)
+        try:
+            for index in range(2000):
+                bus.emit(FailureDetected(nodes=(f"n{index}",)))
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        assert len(seen) == 2000
+
+    def test_unsubscribe_during_emit_takes_effect_next_emit(self):
+        bus = EventBus()
+        calls = []
+        cancel = bus.subscribe(lambda e: calls.append(e))
+        bus.emit(FailureDetected(nodes=("a",)))
+        cancel()
+        bus.emit(FailureDetected(nodes=("b",)))
+        assert len(calls) == 1
+
+    def test_duplicate_handler_unsubscribes_one_registration(self):
+        bus = EventBus()
+        calls = []
+        handler = calls.append
+        first = bus.subscribe(handler)
+        bus.subscribe(handler)
+        first()
+        bus.emit(FailureDetected(nodes=("a",)))
+        assert len(calls) == 1
+
+
+# -- public summary() snapshots (satellite) ------------------------------------
+
+SUMMARY_FIELDS = {
+    "record",
+    "cell",
+    "triggered",
+    "failed_nodes",
+    "recovered_nodes",
+    "actions",
+    "failed_count",
+    "capacity_cpu",
+    "healthy_cpu",
+    "healthy_mem",
+    "used_cpu",
+    "used_mem",
+    "free_cpu",
+    "free_mem",
+    "revenue",
+    "reference_revenue",
+    "app_count",
+    "missing_critical",
+    "degraded",
+}
+
+
+class TestSummarySnapshots:
+    def test_fleet_summary_shape_and_pickle(self):
+        fleet = build_fleet(**FLEET_PARAMS)
+        try:
+            summary = fleet.summary()
+            assert set(summary) == set(fleet.cell_names)
+            for name, cell_summary in summary.items():
+                record = cell_summary.to_record()
+                assert set(record) == SUMMARY_FIELDS
+                assert record["record"] == "cell-summary"
+                assert record["cell"] == name
+                clone = pickle.loads(pickle.dumps(cell_summary))
+                assert clone.to_record() == record
+                json.dumps(record)  # JSON-able end to end
+        finally:
+            fleet.close()
+
+    def test_engine_summary_matches_backend_state(self):
+        from repro.adaptlab import build_environment
+
+        env = build_environment(node_count=10, n_apps=2, seed=4)
+        state = env.fresh_state()
+        engine = PhoenixEngine(EngineConfig())
+        engine.reconcile(state, force=True)
+        summary = engine.summary(state, name="solo")
+        record = summary.to_record()
+        assert set(record) == SUMMARY_FIELDS
+        assert record["cell"] == "solo"
+        assert record["failed_count"] == 0
+        assert record["capacity_cpu"] > 0
+
+
+# -- admission batcher ---------------------------------------------------------
+
+
+class TestAdmissionBatcher:
+    def test_batch_order_is_canonical_regardless_of_submit_order(self):
+        async def run(order):
+            batcher = AdmissionBatcher()
+            for cell, record in order:
+                batcher.submit(cell, object(), record)
+            batch = await batcher.next_batch()
+            return [m.key for m in batch]
+
+        records = [
+            ("cell-1", {"kind": "node_failure", "nodes": ["b"]}),
+            ("cell-0", {"kind": "node_failure", "nodes": ["z"]}),
+            ("cell-0", {"kind": "node_failure", "nodes": ["a"]}),
+        ]
+        forward = asyncio.run(run(records))
+        backward = asyncio.run(run(list(reversed(records))))
+        assert forward == backward == sorted(
+            canonical_key(cell, record) for cell, record in records
+        )
+
+    def test_queue_limit_rejects_with_retry_after(self):
+        async def run():
+            batcher = AdmissionBatcher(queue_limit=2, retry_after=3.5)
+            batcher.submit("c", object(), {"i": 0})
+            batcher.submit("c", object(), {"i": 1})
+            with pytest.raises(AdmissionFull) as err:
+                batcher.submit("c", object(), {"i": 2})
+            assert err.value.retry_after == 3.5
+            assert batcher.rejected == 1
+            assert len(batcher) == 2
+
+        asyncio.run(run())
+
+    def test_close_wakes_driver_with_empty_batch(self):
+        async def run():
+            batcher = AdmissionBatcher()
+            waiter = asyncio.ensure_future(batcher.next_batch())
+            await asyncio.sleep(0)
+            batcher.close()
+            assert await waiter == []
+            with pytest.raises(RuntimeError):
+                batcher.submit("c", object(), {})
+
+        asyncio.run(run())
+
+
+# -- the served control plane --------------------------------------------------
+
+
+class TestControlPlane:
+    def test_mutations_queries_and_trace_roundtrip(self):
+        async def run():
+            plane = build_plane()
+            host, port = await plane.start()
+            try:
+                async with HttpConnection(host, port) as conn:
+                    health = await conn.get_json("/healthz")
+                    assert health["status"] == "ok"
+                    config = await conn.get_json("/config")
+                    assert config["fleet"] == FLEET_PARAMS
+                    assert config["cells"] == ["cell-0", "cell-1"]
+
+                    status, _, result = await post(
+                        conn, mutation("cell-0", "node_failure", nodes=["node-0", "node-1"])
+                    )
+                    assert status == 200
+                    assert result["round"] == 0
+                    assert result["step"]["failed_nodes"] == 2
+
+                    status, _, result = await post(
+                        conn, mutation("cell-0", "node_recovery", nodes=["node-0", "node-1"])
+                    )
+                    assert status == 200
+                    assert result["round"] == 1
+
+                    cells = await conn.get_json("/cells")
+                    assert {c["cell"] for c in cells["cells"]} == {"cell-0", "cell-1"}
+                    nodes = await conn.get_json("/cells/cell-1/nodes")
+                    assert len(nodes["nodes"]) == FLEET_PARAMS["nodes_per_cell"]
+                    metrics = await conn.get_json("/metrics")
+                    assert metrics["admitted"] == 2
+                    assert metrics["rounds"] == 2
+
+                    trace = await conn.get_json("/trace")
+                    recorded = Trace.loads(trace["cells"]["cell-0"])
+                    assert [e.kind for e in recorded] == ["node_failure", "node_recovery"]
+                    assert [e.time for e in recorded] == [0.0, 1.0]
+            finally:
+                await plane.shutdown()
+
+        asyncio.run(run())
+
+    def test_error_paths(self):
+        async def run():
+            plane = build_plane()
+            host, port = await plane.start()
+            try:
+                async with HttpConnection(host, port) as conn:
+                    status, _, body = await conn.request("GET", "/nope")
+                    assert status == 404
+                    status, _, body = await conn.request("DELETE", "/cells")
+                    assert status == 405
+                    status, _, body = await post(conn, {"cell": "mars", "event": {}})
+                    assert status == 400
+                    status, _, body = await post(
+                        conn,
+                        {"cell": "cell-0", "event": {"record": "event", "kind": "meteor"}},
+                    )
+                    assert status == 400
+                    assert "unknown event kind" in body["error"]
+                    status, _, _ = await conn.request("GET", "/cells/unknown")
+                    assert status == 404
+            finally:
+                await plane.shutdown()
+
+        asyncio.run(run())
+
+    def test_back_pressure_answers_429_with_retry_after(self):
+        async def run():
+            plane = build_plane(queue_limit=1, retry_after=2.0)
+            host, port = await plane.start()
+            try:
+                # Park the driver behind one slow-ish round, then overfill the
+                # queue within a single event-loop tick so the second submit
+                # sees it at capacity.
+                loop = asyncio.get_running_loop()
+                event = parse_event(
+                    {"record": "event", "kind": "node_failure", "nodes": ["node-2"]},
+                    default_time=0.0,
+                )
+                recovery = parse_event(
+                    {"record": "event", "kind": "node_recovery", "nodes": ["node-2"]},
+                    default_time=0.0,
+                )
+                first = plane.batcher.submit("cell-0", event, {"k": 1})
+                with pytest.raises(AdmissionFull):
+                    plane.batcher.submit("cell-0", recovery, {"k": 2})
+                await first
+
+                # The HTTP surface maps the same condition to 429 + Retry-After.
+                plane.batcher.submit("cell-0", recovery, {"k": 3})  # refill
+                async with HttpConnection(host, port) as conn:
+                    status, headers, body = await post(
+                        conn, mutation("cell-1", "node_failure", nodes=["node-3"])
+                    )
+                    if status == 429:  # race: driver may drain first
+                        assert headers["retry-after"] == "2.0"
+                        assert "full" in body["error"]
+                metrics_conn = HttpConnection(host, port)
+                metrics = await metrics_conn.get_json("/metrics")
+                await metrics_conn.close()
+                assert metrics["rejected"] >= 1
+                assert loop is asyncio.get_running_loop()
+            finally:
+                await plane.shutdown()
+
+        asyncio.run(run())
+
+    def test_websocket_streams_typed_events(self):
+        async def run():
+            plane = build_plane()
+            host, port = await plane.start()
+            try:
+                async with WebSocketClient(host, port) as ws:
+                    hello = json.loads(await ws.recv_text(timeout=5))
+                    assert hello["event"] == "Hello"
+                    assert len(hello["cells"]) == 2
+                    async with HttpConnection(host, port) as conn:
+                        await post(
+                            conn, mutation("cell-0", "node_failure", nodes=["node-4"])
+                        )
+                    records = []
+                    while not any(r["event"] == "RoundCommitted" for r in records):
+                        message = await ws.recv_text(timeout=5)
+                        assert message is not None
+                        records.append(json.loads(message))
+                    kinds = [r["event"] for r in records]
+                    assert "FailureDetected" in kinds
+                    detected = records[kinds.index("FailureDetected")]
+                    assert detected["cell"] == "cell-0"  # cell-tagged, flattened
+                    assert detected["nodes"] == ["node-4"]
+                    assert "CellReconciled" in kinds
+            finally:
+                await plane.shutdown()
+
+        asyncio.run(run())
+
+    def test_dashboard_served_at_root(self):
+        async def run():
+            plane = build_plane()
+            host, port = await plane.start()
+            try:
+                async with HttpConnection(host, port) as conn:
+                    status, headers, body = await conn.request("GET", "/")
+                    assert status == 200
+                    assert headers["content-type"].startswith("text/html")
+                    assert b"repro serve" in body
+                    assert b"/ws" in body
+            finally:
+                await plane.shutdown()
+
+        asyncio.run(run())
+
+
+# -- the determinism gate ------------------------------------------------------
+
+
+class TestDeterminismGate:
+    """N concurrent clients == serial offline replay, byte for byte."""
+
+    MUTATIONS = [
+        mutation("cell-0", "node_failure", nodes=["node-0", "node-3"]),
+        mutation("cell-1", "node_failure", nodes=["node-5"]),
+        mutation("cell-0", "load_change", multiplier=1.5, app=None),
+        mutation("cell-0", "node_recovery", nodes=["node-0"]),
+        mutation("cell-1", "node_recovery", nodes=["node-5"]),
+        mutation("cell-0", "node_recovery", nodes=["node-3"]),
+        mutation("cell-1", "capacity", available_fraction=0.8),
+        mutation("cell-1", "capacity", available_fraction=1.0),
+    ]
+
+    async def _serve_fixed_set(self, clients: int) -> tuple[str, dict, list]:
+        """Serve MUTATIONS split across ``clients`` concurrent connections."""
+        plane = build_plane()
+        host, port = await plane.start()
+        try:
+            async def submit(shard: list) -> None:
+                async with HttpConnection(host, port) as conn:
+                    for payload in shard:
+                        status, _, _ = await post(conn, payload)
+                        assert status == 200
+
+            shards = [self.MUTATIONS[i::clients] for i in range(clients)]
+            await asyncio.gather(*[submit(shard) for shard in shards if shard])
+            async with HttpConnection(host, port) as conn:
+                digest = await conn.get_json("/digest")
+                trace = await conn.get_json("/trace")
+                steps = await conn.get_json("/steps")
+            return digest["digest"], trace["cells"], steps["steps"]
+        finally:
+            await plane.shutdown()
+
+    def test_concurrent_clients_equal_offline_replay(self):
+        digest, traces, steps = asyncio.run(self._serve_fixed_set(clients=4))
+
+        scenario = {cell: Trace.loads(text) for cell, text in traces.items()}
+        fleet = build_fleet(**FLEET_PARAMS)
+        try:
+            metrics = FleetReplayer(fleet, seed=0, workers=1).run(scenario)
+            offline_steps = [step.to_record() for step in metrics.steps]
+            assert fleet_digest(fleet) == digest
+        finally:
+            fleet.close()
+        assert json.dumps(steps, sort_keys=True) == json.dumps(
+            offline_steps, sort_keys=True
+        )
+
+    @pytest.mark.parametrize("clients", [1, 3])
+    def test_every_session_equals_its_offline_replay(self, clients):
+        """The contract holds for any client count, not just the fan-out case.
+
+        Round *boundaries* may differ between client counts (a lone client
+        gets one round per submit, concurrent submits coalesce) — what is
+        invariant is that each session's recorded trace replays to the
+        session's exact end state and step records.
+        """
+        digest, traces, steps = asyncio.run(self._serve_fixed_set(clients=clients))
+        if clients == 1:
+            assert len(steps) == len(self.MUTATIONS)  # one round per submit
+        scenario = {cell: Trace.loads(text) for cell, text in traces.items()}
+        fleet = build_fleet(**FLEET_PARAMS)
+        try:
+            metrics = FleetReplayer(fleet, seed=0, workers=1).run(scenario)
+            assert fleet_digest(fleet) == digest
+            assert [step.to_record() for step in metrics.steps] == steps
+        finally:
+            fleet.close()
+
+
+class TestServeSubprocess:
+    """The CLI boots a real server process that a client can talk to."""
+
+    def test_boot_announce_healthz_sigint(self, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(root / "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--cells", "2", "--nodes-per-cell", "10", "--apps", "2",
+                "--port", "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+            cwd=str(root),
+        )
+        try:
+            info = json.loads(proc.stdout.readline())
+            assert info["event"] == "Serving"
+            assert info["cells"] == 2
+
+            async def probe():
+                async with HttpConnection(info["host"], info["port"]) as conn:
+                    health = await conn.get_json("/healthz")
+                    config = await conn.get_json("/config")
+                return health, config
+
+            health, config = asyncio.run(probe())
+            assert health["status"] == "ok"
+            assert config["fleet"]["nodes_per_cell"] == 10
+        except BaseException:
+            proc.kill()
+            proc.wait()
+            raise
+        proc.send_signal(signal.SIGINT)
+        assert proc.wait(timeout=30) == 0

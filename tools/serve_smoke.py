@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""End-to-end smoke for ``python -m repro serve`` as a real subprocess.
+
+What it proves, in one run:
+
+1. the CLI boots, binds an ephemeral port, and announces it on stdout as a
+   machine-readable ``Serving`` line;
+2. scripted mutations (single and batched POSTs) are admitted over HTTP
+   while a live WebSocket subscriber watches the typed event stream — the
+   subscriber must see every committed round;
+3. the served end state is **identical** to an offline
+   :class:`~repro.fleet.replay.FleetReplayer` run over the session trace
+   the server recorded, with the offline fleet rebuilt purely from what
+   ``/config`` echoes — i.e. a served session is a replayable artifact;
+4. SIGINT shuts the server down cleanly (exit code 0).
+
+Run from the repository root (CI serve-smoke does)::
+
+    python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = str(ROOT / "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.fleet import FleetReplayer  # noqa: E402
+from repro.serve import (  # noqa: E402
+    HttpConnection,
+    WebSocketClient,
+    build_fleet,
+    fleet_digest,
+)
+from repro.traces.schema import Trace  # noqa: E402
+
+SERVE_ARGS = [
+    "--cells", "2", "--nodes-per-cell", "12", "--apps", "2",
+    "--port", "0", "--seed", "0",
+]
+BOOT_TIMEOUT = 60.0
+
+
+def _failure(cell: str, node: str) -> dict:
+    return {
+        "cell": cell,
+        "event": {"record": "event", "kind": "node_failure", "nodes": [node]},
+    }
+
+
+def _recovery(cell: str, node: str) -> dict:
+    return {
+        "cell": cell,
+        "event": {"record": "event", "kind": "node_recovery", "nodes": [node]},
+    }
+
+
+async def drive(host: str, port: int) -> dict:
+    """Scripted session: mutate over HTTP with a live WS subscriber."""
+    async with WebSocketClient(host, port) as subscriber:
+        hello = json.loads(await subscriber.recv_text(timeout=10))
+        assert hello.get("event") == "Hello", f"unexpected first WS message: {hello}"
+
+        async with HttpConnection(host, port) as connection:
+            config = await connection.get_json("/config")
+            cells = config["cells"]
+            nodes = {}
+            for cell in cells:
+                listing = await connection.get_json(f"/cells/{cell}/nodes")
+                nodes[cell] = [entry["node"] for entry in listing["nodes"]]
+
+            # Round-per-POST singles, then one multi-cell batched POST.
+            singles = [
+                _failure(cells[0], nodes[cells[0]][0]),
+                _failure(cells[1], nodes[cells[1]][1]),
+                {
+                    "cell": cells[0],
+                    "event": {
+                        "record": "event", "kind": "load_change",
+                        "multiplier": 1.4, "app": None,
+                    },
+                },
+            ]
+            for mutation in singles:
+                status, _headers, body = await connection.request(
+                    "POST", "/mutations", body=json.dumps(mutation)
+                )
+                assert status == 200, (status, body)
+            batched = {
+                "mutations": [
+                    _recovery(cells[0], nodes[cells[0]][0]),
+                    _failure(cells[0], nodes[cells[0]][2]),
+                    _recovery(cells[1], nodes[cells[1]][1]),
+                ]
+            }
+            status, _headers, body = await connection.request(
+                "POST", "/mutations", body=json.dumps(batched)
+            )
+            assert status == 200, (status, body)
+            admitted = json.loads(body.decode())
+            assert admitted["admitted"] == 3, admitted
+
+            health = await connection.get_json("/healthz")
+            rounds = health["rounds"]
+            assert rounds >= 4, health  # 3 singles + >=1 batched round
+
+            committed = 0
+            while committed < rounds:
+                message = await subscriber.recv_text(timeout=10)
+                assert message is not None, "WS closed before all rounds streamed"
+                event = json.loads(message)
+                if event.get("event") == "RoundCommitted":
+                    committed += 1
+
+            digest = (await connection.get_json("/digest"))["digest"]
+            traces = (await connection.get_json("/trace"))["cells"]
+            steps = (await connection.get_json("/steps"))["steps"]
+    return {
+        "config": config,
+        "digest": digest,
+        "traces": traces,
+        "rounds": rounds,
+        "steps": steps,
+        "ws_rounds": committed,
+    }
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", *SERVE_ARGS],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+        cwd=str(ROOT),
+    )
+    try:
+        line = proc.stdout.readline()
+        info = json.loads(line)
+        assert info.get("event") == "Serving", f"unexpected boot line: {line!r}"
+        session = asyncio.run(drive(info["host"], info["port"]))
+    except BaseException:
+        proc.kill()
+        proc.wait()
+        stderr = proc.stderr.read()
+        if stderr:
+            print(stderr, file=sys.stderr)
+        raise
+    proc.send_signal(signal.SIGINT)
+    code = proc.wait(timeout=30)
+    assert code == 0, f"server exited {code}: {proc.stderr.read()}"
+
+    # Offline replay from nothing but what the server echoed back.
+    scenario = {
+        cell: Trace.loads(text) for cell, text in session["traces"].items()
+    }
+    fleet = build_fleet(**session["config"]["fleet"])
+    try:
+        steps = FleetReplayer(
+            fleet, seed=session["config"]["seed"], workers=1
+        ).run(scenario)
+        offline_digest = fleet_digest(fleet)
+    finally:
+        fleet.close()
+
+    assert offline_digest == session["digest"], (
+        f"served end state {session['digest'][:16]}… diverged from offline "
+        f"replay {offline_digest[:16]}…"
+    )
+    served_steps = json.dumps(session["steps"], sort_keys=True)
+    offline_steps = json.dumps(
+        [step.to_record() for step in steps], sort_keys=True
+    )
+    assert served_steps == offline_steps, "per-round step records diverged"
+    assert session["ws_rounds"] == session["rounds"]
+
+    print(
+        "serve smoke: OK — "
+        f"{session['rounds']} rounds served, {session['ws_rounds']} streamed, "
+        f"offline replay digest matches ({session['digest'][:16]}…)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
