@@ -1,6 +1,34 @@
-"""Chaos-testing service: criticality tags, storms, and fleet cell outages."""
+"""Chaos-testing service: criticality tags, storms, fleet cell outages,
+the invariant oracle, and the property-based chaos fuzzer."""
 
 from repro.chaos.cell_outage import CellOutageReport, run_cell_outage_check
+from repro.chaos.fuzz import (
+    DriveResult,
+    FuzzConfig,
+    FuzzReport,
+    FuzzViolation,
+    drive_trace,
+    random_program,
+    refail_interleaving,
+    replay_reproducer,
+    run_fuzz,
+    shrink_trace,
+)
+from repro.chaos.invariants import (
+    INVARIANTS,
+    InvariantError,
+    InvariantViolation,
+    check_capacity,
+    check_equivalence,
+    check_fleet,
+    check_full_recovery,
+    check_identity,
+    check_invariants,
+    check_placement,
+    check_spillover_conservation,
+    check_state,
+    verify_invariants,
+)
 from repro.chaos.cluster_check import (
     ClusterChaosReport,
     ClusterScenarioResult,
@@ -15,6 +43,29 @@ from repro.chaos.validation import AnomalyKind, TagAnomaly, ValidationReport, va
 __all__ = [
     "CellOutageReport",
     "run_cell_outage_check",
+    "DriveResult",
+    "FuzzConfig",
+    "FuzzReport",
+    "FuzzViolation",
+    "drive_trace",
+    "random_program",
+    "refail_interleaving",
+    "replay_reproducer",
+    "run_fuzz",
+    "shrink_trace",
+    "INVARIANTS",
+    "InvariantError",
+    "InvariantViolation",
+    "check_capacity",
+    "check_equivalence",
+    "check_fleet",
+    "check_full_recovery",
+    "check_identity",
+    "check_invariants",
+    "check_placement",
+    "check_spillover_conservation",
+    "check_state",
+    "verify_invariants",
     "ClusterChaosReport",
     "ClusterScenarioResult",
     "verify_tagging_on_cluster",

@@ -1,0 +1,550 @@
+"""Seeded property-based chaos fuzzer: search for invariant violations.
+
+The storm and cell-outage checks replay *fixed* scenarios; this module turns
+the chaos layer into a search.  A seeded case generator composes random
+event programs from the existing trace generators (Poisson churn, rack
+storms, diurnal load, capacity schedules, refail-before-recovery
+interleavings), drives a :class:`~repro.api.engine.PhoenixEngine` through
+each program with the invariant oracle (:mod:`repro.chaos.invariants`)
+checked after every reconcile round — optionally in lockstep with a
+full-recompute twin engine for the ``incremental-equivalence`` invariant —
+and, on a violation, **shrinks** the failing trace to a minimal reproducer.
+
+Everything is a pure function of the seeds: the same :class:`FuzzConfig`
+produces byte-identical event programs, byte-identical shrunk reproducers
+(``Trace.dumps``) and a byte-identical report.  Reproducers are ordinary
+schema-v1 JSONL traces whose metadata records the fuzz seed, case index and
+violated invariant, so ``python -m repro replay --trace`` and
+:func:`replay_reproducer` can re-trigger the failure.
+
+Entry points: :func:`run_fuzz` (the search loop, also behind
+``python -m repro fuzz``), :func:`random_program` (one seeded case),
+:func:`drive_trace` (one oracle-checked replay, shared with
+:mod:`repro.corpus`), :func:`shrink_trace` (delta-debugging minimizer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.chaos.invariants import (
+    InvariantViolation,
+    check_equivalence,
+    check_full_recovery,
+    check_state,
+)
+from repro.traces.generators import (
+    capacity_schedule,
+    correlated_failures,
+    diurnal_load,
+    failure_storm,
+    poisson_failures,
+)
+from repro.traces.replayer import apply_trace_event
+from repro.traces.schema import NodeFailure, NodeRecovery, Trace, TraceEvent, merge_traces
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One fuzz campaign: environment shape, budget, and the master seed."""
+
+    #: Random event programs to generate and check.
+    cases: int = 20
+    #: AdaptLab environment shape the programs run against.
+    node_count: int = 24
+    n_apps: int = 2
+    target_utilization: float = 0.6
+    env_seed: int = 2025
+    #: Scenario horizon in simulated seconds (programs end fully recovered).
+    horizon: float = 1800.0
+    objective: str = "revenue"
+    #: Master seed; case ``i`` derives its own seed from it.
+    seed: int = 0
+    #: Drive a full-recompute twin and check ``incremental-equivalence``.
+    lockstep: bool = True
+    #: Budget for the shrinking predicate (re-replays of the failing case).
+    max_shrink_attempts: int = 400
+
+    def case_seed(self, case: int) -> int:
+        """The seed of case ``case`` — a pure function of the master seed."""
+        return self.seed * 100_003 + case
+
+
+# -- event-program generation --------------------------------------------------
+
+
+def refail_interleaving(
+    node_names: Sequence[str], horizon: float = 1800.0, seed: int = 0
+) -> Trace:
+    """Failures re-announced while down, and re-failures mid-recovery.
+
+    The adversarial interleaving for failure *detectors*: a victim group
+    fails, is failed again together with fresh victims before anyone
+    recovered, half of it recovers and immediately fails again, and only
+    then does everything return.  Idempotent ``fail_nodes``/``recover_nodes``
+    semantics make the double announcements legal trace-wise; the oracle
+    checks the engine never double-books the churned replicas.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    rng = np.random.default_rng(seed)
+    count = max(2, int(len(node_names) * 0.25))
+    picked = [node_names[i] for i in rng.permutation(len(node_names))[: 2 * count]]
+    group_a, group_b = picked[:count], picked[count : 2 * count]
+    t = sorted(float(x) for x in rng.uniform(0.05 * horizon, 0.9 * horizon, size=5))
+    half = group_a[: max(1, count // 2)]
+    events: list[TraceEvent] = [
+        NodeFailure(time=round(t[0], 6), nodes=tuple(group_a)),
+        NodeFailure(time=round(t[1], 6), nodes=tuple(group_a + group_b)),
+        NodeRecovery(time=round(t[2], 6), nodes=tuple(half)),
+        NodeFailure(time=round(t[3], 6), nodes=tuple(half)),
+        NodeRecovery(time=round(t[4], 6), nodes=tuple(group_a + group_b)),
+    ]
+    return Trace(
+        events=events,
+        metadata={
+            "generator": "refail_interleaving",
+            "nodes": len(node_names),
+            "horizon": horizon,
+            "seed": seed,
+        },
+    ).validate()
+
+
+def _random_walk_fractions(rng: np.random.Generator) -> list[float]:
+    steps = int(rng.integers(3, 8))
+    level = 1.0
+    fractions = []
+    for _ in range(steps):
+        level = float(np.clip(level + rng.uniform(-0.35, 0.25), 0.3, 1.0))
+        fractions.append(round(level, 6))
+    return fractions
+
+
+#: name -> segment builder(node_names, horizon, rng-derived seed, rng).
+_SEGMENTS: dict[str, Callable] = {
+    "poisson": lambda names, horizon, seed, rng: poisson_failures(
+        names,
+        horizon=horizon,
+        mtbf=horizon * float(rng.uniform(0.5, 2.0)),
+        mttr=horizon * float(rng.uniform(0.05, 0.25)),
+        seed=seed,
+    ),
+    "rack": lambda names, horizon, seed, rng: correlated_failures(
+        names,
+        rack_size=int(rng.integers(2, max(3, len(names) // 4))),
+        horizon=horizon,
+        rack_mtbf=horizon * float(rng.uniform(1.0, 3.0)),
+        mttr=horizon * float(rng.uniform(0.1, 0.3)),
+        seed=seed,
+    ),
+    "storm": lambda names, horizon, seed, rng: failure_storm(
+        names,
+        at=horizon * float(rng.uniform(0.05, 0.4)),
+        fraction=float(rng.uniform(0.2, 0.7)),
+        burst_waves=int(rng.integers(1, 5)),
+        recovery_after=horizon * float(rng.uniform(0.1, 0.3)),
+        recovery_steps=int(rng.integers(1, 5)),
+        recovery_step_seconds=horizon * 0.02,
+        seed=seed,
+    ),
+    "diurnal": lambda names, horizon, seed, rng: diurnal_load(
+        horizon=horizon,
+        step_seconds=horizon / int(rng.integers(6, 16)),
+        amplitude=float(rng.uniform(0.1, 0.8)),
+        period=horizon,
+        seed=seed,
+    ),
+    "capacity": lambda names, horizon, seed, rng: capacity_schedule(
+        _random_walk_fractions(rng),
+        step_seconds=horizon / 8.0,
+        metadata={"generator": "capacity_schedule", "seed": seed},
+    ),
+    "refail": lambda names, horizon, seed, rng: refail_interleaving(
+        names, horizon=horizon * 0.9, seed=seed
+    ),
+}
+
+
+def random_program(
+    node_names: Sequence[str], *, horizon: float = 1800.0, seed: int = 0
+) -> Trace:
+    """One seeded random event program composed from the trace generators.
+
+    Picks 1–3 generator segments (Poisson churn, rack storms, failure
+    storms, diurnal load, capacity schedules, refail interleavings) with
+    seeded parameters, merges them, and appends a closing full recovery so
+    the ``full-recovery-availability`` invariant is always exercised.  A
+    pure function of ``(node_names, horizon, seed)`` — byte-identical on
+    every call.
+    """
+    rng = np.random.default_rng(seed)
+    names = sorted(_SEGMENTS)
+    count = int(rng.integers(1, 4))
+    chosen = [names[int(i)] for i in rng.integers(0, len(names), size=count)]
+    segments = [
+        _SEGMENTS[name](node_names, horizon, int(rng.integers(2**31)), rng)
+        for name in chosen
+    ]
+    closing = Trace(
+        events=[NodeRecovery(time=round(horizon + 60.0, 6), nodes=tuple(node_names))],
+        metadata={"generator": "closing_recovery"},
+    )
+    return merge_traces(
+        segments + [closing],
+        metadata={
+            "generator": "fuzz_program",
+            "seed": seed,
+            "segments": chosen,
+            "nodes": len(node_names),
+            "horizon": horizon,
+        },
+    ).validate()
+
+
+# -- oracle-checked replay -----------------------------------------------------
+
+
+@dataclass
+class DriveResult:
+    """Outcome of one oracle-checked replay of one trace."""
+
+    #: Reconcile rounds driven (one per trace step, plus convergence).
+    steps: int = 0
+    #: ``(time, violation)`` pairs, in discovery order.
+    violations: list[tuple[float, InvariantViolation]] = field(default_factory=list)
+    #: Events applied, per kind.
+    event_kinds: dict[str, int] = field(default_factory=dict)
+    final_failed_nodes: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def drive_trace(
+    engine,
+    state,
+    trace: Trace,
+    *,
+    seed: int = 0,
+    lockstep_engine=None,
+    stop_on_violation: bool = True,
+) -> DriveResult:
+    """Replay ``trace`` through ``engine`` with the oracle after every round.
+
+    ``state`` is mutated (pass a fresh one).  A convergence round runs
+    first, as in production.  After every reconcile round the per-state
+    invariants are checked; whenever the failed set is empty the
+    full-recovery invariant is checked too.  With ``lockstep_engine`` a
+    twin copy of the state is driven through it and
+    ``incremental-equivalence`` is checked per round.
+    """
+    trace.validate()
+    result = DriveResult()
+    engine.reset()
+    engine.reconcile(state, force=True)  # converge the pre-scenario placement
+    twin = None
+    if lockstep_engine is not None:
+        twin = state.copy()
+        lockstep_engine.reset()
+        lockstep_engine.reconcile(twin, force=True)
+
+    def record(time: float, found: list[InvariantViolation]) -> bool:
+        result.violations.extend((time, violation) for violation in found)
+        return stop_on_violation and bool(found)
+
+    if record(0.0, check_state(state, recovered=True)):
+        result.final_failed_nodes = state.failed_count
+        return result
+
+    for time_point, events in trace.steps():
+        for event in events:
+            result.event_kinds[event.kind] = result.event_kinds.get(event.kind, 0) + 1
+            apply_trace_event(state, event, seed=seed)
+            if twin is not None:
+                apply_trace_event(twin, event, seed=seed)
+        engine.reconcile(state)
+        result.steps += 1
+        found = check_state(state, recovered=True)
+        if twin is not None:
+            lockstep_engine.reconcile(twin)
+            found.extend(check_equivalence(state, twin))
+        if record(time_point, found):
+            break
+    result.final_failed_nodes = state.failed_count
+    return result
+
+
+# -- shrinking -----------------------------------------------------------------
+
+
+def shrink_trace(
+    trace: Trace,
+    predicate: Callable[[list[TraceEvent]], bool],
+    *,
+    max_attempts: int = 400,
+) -> Trace:
+    """Minimize ``trace`` while ``predicate`` (still fails) holds.
+
+    Deterministic ddmin-style delta debugging over the event list: remove
+    chunks at halving granularity, keeping any removal that still fails,
+    down to single events.  ``predicate`` receives a candidate event list
+    and must return ``True`` when the candidate still reproduces the
+    original violation (callers pin the invariant name so shrinking cannot
+    drift onto a different bug).  The result carries the input's metadata.
+    """
+    events = list(trace.events)
+    attempts = 0
+    chunk = max(1, len(events) // 2)
+    while attempts < max_attempts:
+        removed = False
+        index = 0
+        while index < len(events) and attempts < max_attempts:
+            candidate = events[:index] + events[index + chunk :]
+            attempts += 1
+            if candidate and predicate(candidate):
+                events = candidate
+                removed = True
+            else:
+                index += chunk
+        if chunk == 1 and not removed:
+            break
+        chunk = max(1, chunk // 2)
+    return Trace(events=events, metadata=dict(trace.metadata))
+
+
+# -- the search loop -----------------------------------------------------------
+
+
+@dataclass
+class FuzzViolation:
+    """A found-and-shrunk invariant violation with its reproducer."""
+
+    case: int
+    seed: int
+    invariant: str
+    message: str
+    time: float
+    #: Minimal schema-v1 reproducer (metadata carries seed + invariant).
+    reproducer: Trace
+    events_before_shrink: int = 0
+
+    def write(self, path) -> None:
+        self.reproducer.write(path)
+
+
+@dataclass
+class FuzzReport:
+    """The outcome of one fuzz campaign."""
+
+    config: FuzzConfig
+    cases: int = 0
+    steps: int = 0
+    violation: FuzzViolation | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    def to_text(self) -> str:
+        if self.ok:
+            return (
+                f"fuzz: OK — {self.cases} case(s), {self.steps} oracle-checked "
+                f"round(s), no invariant violations (seed {self.config.seed})"
+            )
+        v = self.violation
+        return (
+            f"fuzz: FAIL — case {v.case} (seed {v.seed}) violated "
+            f"{v.invariant!r} at t={v.time}: {v.message}\n"
+            f"  reproducer: {len(v.reproducer)} event(s) "
+            f"(shrunk from {v.events_before_shrink})"
+        )
+
+
+def _default_engine_factory(config: FuzzConfig):
+    import repro.api as api
+
+    return api.engine(config.objective, incremental=True)
+
+
+def _lockstep_engine_factory(config: FuzzConfig):
+    import repro.api as api
+
+    return api.engine(config.objective, incremental=False)
+
+
+def _first_violation(
+    config: FuzzConfig,
+    environment,
+    events: list[TraceEvent],
+    *,
+    engine_factory,
+    case_seed: int,
+) -> tuple[float, InvariantViolation] | None:
+    """Replay one candidate event list with fresh engines; first violation."""
+    trace = Trace(events=list(events), metadata={"generator": "fuzz_candidate"})
+    engine = engine_factory(config)
+    lockstep = _lockstep_engine_factory(config) if config.lockstep else None
+    result = drive_trace(
+        engine,
+        environment.fresh_state(),
+        trace,
+        seed=case_seed,
+        lockstep_engine=lockstep,
+    )
+    return result.violations[0] if result.violations else None
+
+
+def run_fuzz(
+    config: FuzzConfig | None = None,
+    *,
+    engine_factory: Callable[[FuzzConfig], object] | None = None,
+    environment=None,
+    on_case: Callable[[int, int], None] | None = None,
+) -> FuzzReport:
+    """Search ``config.cases`` random event programs for invariant violations.
+
+    ``engine_factory`` builds the engine under test per replay (the
+    ``fault=`` hook for planted-defect tests: hand it a factory with a
+    deliberately broken stage and the oracle will find it); the default is
+    the stock incremental engine.  On the first violation the failing trace
+    is shrunk to a minimal reproducer — re-checked to still trip the *same*
+    invariant — and returned in the report; remaining cases are skipped.
+    The whole run is a pure function of ``config``.
+    """
+    config = config if config is not None else FuzzConfig()
+    factory = engine_factory if engine_factory is not None else _default_engine_factory
+    if environment is None:
+        from repro.adaptlab import build_environment
+
+        environment = build_environment(
+            node_count=config.node_count,
+            n_apps=config.n_apps,
+            target_utilization=config.target_utilization,
+            seed=config.env_seed,
+        )
+    node_names = list(environment.state.nodes)
+    report = FuzzReport(config=config)
+    for case in range(config.cases):
+        case_seed = config.case_seed(case)
+        program = random_program(node_names, horizon=config.horizon, seed=case_seed)
+        engine = factory(config)
+        lockstep = _lockstep_engine_factory(config) if config.lockstep else None
+        result = drive_trace(
+            engine,
+            environment.fresh_state(),
+            program,
+            seed=case_seed,
+            lockstep_engine=lockstep,
+        )
+        report.cases += 1
+        report.steps += result.steps
+        if on_case is not None:
+            on_case(case, result.steps)
+        if result.ok:
+            continue
+
+        time_point, violation = result.violations[0]
+        invariant = violation.invariant
+
+        def still_fails(events: list[TraceEvent]) -> bool:
+            found = _first_violation(
+                config,
+                environment,
+                events,
+                engine_factory=factory,
+                case_seed=case_seed,
+            )
+            return found is not None and found[1].invariant == invariant
+
+        shrunk = shrink_trace(
+            program, still_fails, max_attempts=config.max_shrink_attempts
+        )
+        shrunk.metadata = {
+            "generator": "fuzz_reproducer",
+            "seed": case_seed,
+            "fuzz_seed": config.seed,
+            "case": case,
+            "invariant": invariant,
+            "nodes": config.node_count,
+            "apps": config.n_apps,
+            "env_seed": config.env_seed,
+            "objective": config.objective,
+            "lockstep": config.lockstep,
+            "events_before_shrink": len(program),
+        }
+        report.violation = FuzzViolation(
+            case=case,
+            seed=case_seed,
+            invariant=invariant,
+            message=violation.message,
+            time=time_point,
+            reproducer=shrunk.validate(),
+            events_before_shrink=len(program),
+        )
+        break
+    return report
+
+
+def replay_reproducer(
+    trace: Trace,
+    config: FuzzConfig | None = None,
+    *,
+    engine_factory: Callable[[FuzzConfig], object] | None = None,
+    environment=None,
+) -> list[tuple[float, InvariantViolation]]:
+    """Re-run a reproducer trace under the oracle; return its violations.
+
+    ``config`` defaults to one rebuilt from the reproducer's metadata (the
+    environment shape and seeds :func:`run_fuzz` recorded), so a reproducer
+    file is self-contained: load it, replay it, observe the same violation.
+    """
+    meta = trace.metadata
+    if config is None:
+        config = FuzzConfig(
+            node_count=int(meta.get("nodes", FuzzConfig.node_count)),
+            n_apps=int(meta.get("apps", FuzzConfig.n_apps)),
+            env_seed=int(meta.get("env_seed", FuzzConfig.env_seed)),
+            objective=str(meta.get("objective", FuzzConfig.objective)),
+            lockstep=bool(meta.get("lockstep", True)),
+            seed=int(meta.get("fuzz_seed", 0)),
+        )
+    factory = engine_factory if engine_factory is not None else _default_engine_factory
+    if environment is None:
+        from repro.adaptlab import build_environment
+
+        environment = build_environment(
+            node_count=config.node_count,
+            n_apps=config.n_apps,
+            target_utilization=config.target_utilization,
+            seed=config.env_seed,
+        )
+    case_seed = int(meta.get("seed", config.seed))
+    engine = factory(config)
+    lockstep = _lockstep_engine_factory(config) if config.lockstep else None
+    result = drive_trace(
+        engine,
+        environment.fresh_state(),
+        trace,
+        seed=case_seed,
+        lockstep_engine=lockstep,
+    )
+    return result.violations
+
+
+__all__ = [
+    "FuzzConfig",
+    "FuzzReport",
+    "FuzzViolation",
+    "DriveResult",
+    "drive_trace",
+    "random_program",
+    "refail_interleaving",
+    "replay_reproducer",
+    "run_fuzz",
+    "shrink_trace",
+]

@@ -1,0 +1,459 @@
+"""Reusable invariant oracle: what must hold after *every* reconcile round.
+
+The chaos checks (:mod:`repro.chaos.storm`, :mod:`repro.chaos.cell_outage`)
+each assert a scenario-specific outcome.  This module factors the
+scenario-independent part out into one oracle the property-based fuzzer
+(:mod:`repro.chaos.fuzz`), the corpus runner (:mod:`repro.corpus`) and the
+lockstep equivalence tests all share.  The invariants, checkable against any
+:class:`~repro.cluster.state.ClusterState` or
+:class:`~repro.fleet.engine.FleetEngine` after any reconcile round:
+
+``capacity-overcommit``
+    No node's used resources ever exceed its capacity (beyond float
+    tolerance) — the packing contract, healthy or failed.
+``placement-consistency``
+    The assignment map, the per-node reverse index, the usage accounting
+    and the running-replica counters all agree with a brute-force
+    re-derivation; in particular no replica is placed on two nodes.
+``identity-consistency``
+    Every assigned replica references a known application/microservice with
+    a valid replica index and a sane criticality tag, and the active-set
+    view matches its definition (*all* replicas on healthy nodes).
+``full-recovery-availability``
+    Once every node has recovered and the engine has reconciled, critical
+    service availability is 1.0 — nothing stays stranded (the paper's
+    bottom-line recovery claim).
+``incremental-equivalence``
+    Two engines driven through the same scenario — one incremental, one
+    full-recompute — end every round with identical failed sets and
+    identical replica assignments (the incremental scheduler's byte-identity
+    contract, checked via :func:`check_equivalence`).
+``spillover-conservation``
+    Fleet only: the spillover ledger and the clone applications actually
+    present in donor cells are a bijection — every clone is accounted for
+    by exactly one ledger entry on its recorded donor, so clones are
+    planned and released exactly once.
+
+``check_*`` functions return a list of :class:`InvariantViolation` (empty =
+holds); ``verify_*`` wrappers raise :class:`InvariantError` instead, for
+use as test assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.state import ClusterState
+
+#: Every invariant name the oracle can report, in documentation order.
+INVARIANTS = (
+    "capacity-overcommit",
+    "placement-consistency",
+    "identity-consistency",
+    "full-recovery-availability",
+    "incremental-equivalence",
+    "spillover-conservation",
+)
+
+#: Resource-accounting tolerance (matches the packer's assign tolerance).
+CAPACITY_TOLERANCE = 1e-6
+#: Availability tolerance for the full-recovery invariant.
+AVAILABILITY_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class InvariantViolation:
+    """One broken invariant, anchored to the object that broke it."""
+
+    invariant: str
+    message: str
+    #: Node / cell / application the violation anchors to (display only).
+    subject: str | None = None
+
+    def __str__(self) -> str:
+        anchor = f" ({self.subject})" if self.subject else ""
+        return f"[{self.invariant}]{anchor} {self.message}"
+
+
+class InvariantError(AssertionError):
+    """Raised by the ``verify_*`` wrappers when any invariant is violated."""
+
+    def __init__(self, violations: list[InvariantViolation]) -> None:
+        self.violations = list(violations)
+        super().__init__("; ".join(str(v) for v in self.violations))
+
+
+def _violation(invariant: str, message: str, subject: str | None = None) -> InvariantViolation:
+    return InvariantViolation(invariant=invariant, message=message, subject=subject)
+
+
+# -- per-state invariants ------------------------------------------------------
+
+
+def check_capacity(
+    state: ClusterState, *, tolerance: float = CAPACITY_TOLERANCE
+) -> list[InvariantViolation]:
+    """``capacity-overcommit``: no node uses more than it has."""
+    out: list[InvariantViolation] = []
+    for name, node in state.nodes.items():
+        used = state.used_on(name)
+        cap = node.capacity
+        if used.cpu > cap.cpu + tolerance or used.memory > cap.memory + tolerance:
+            out.append(
+                _violation(
+                    "capacity-overcommit",
+                    f"node {name} uses {used} of capacity {cap}",
+                    subject=name,
+                )
+            )
+    return out
+
+
+def check_placement(
+    state: ClusterState, *, tolerance: float = CAPACITY_TOLERANCE
+) -> list[InvariantViolation]:
+    """``placement-consistency``: indexes and counters match brute force."""
+    out: list[InvariantViolation] = []
+    assignments = dict(state.assignments)
+
+    # Reverse index vs assignment map: every replica on exactly one node.
+    seen: dict = {}
+    for name in state.nodes:
+        for replica in state.replicas_on(name):
+            if replica in seen:
+                out.append(
+                    _violation(
+                        "placement-consistency",
+                        f"replica {replica} is placed on both {seen[replica]} and {name}",
+                        subject=name,
+                    )
+                )
+            seen[replica] = name
+    if seen != assignments:
+        missing = sorted(set(assignments) - set(seen))[:3]
+        extra = sorted(set(seen) - set(assignments))[:3]
+        moved = sorted(
+            r for r in set(seen) & set(assignments) if seen[r] != assignments[r]
+        )[:3]
+        out.append(
+            _violation(
+                "placement-consistency",
+                "assignment map and per-node index disagree "
+                f"(missing from index: {missing}; extra: {extra}; moved: {moved})",
+            )
+        )
+
+    # Usage accounting: recompute per-node used resources from assignments.
+    # Replicas with unresolvable identities are skipped here — they are the
+    # identity check's findings, and crashing the oracle on them would hide
+    # every other violation of a corrupt state.
+    used_cpu: dict[str, float] = {}
+    used_mem: dict[str, float] = {}
+    for replica, node_name in assignments.items():
+        try:
+            demand = state.demand_of(replica.app, replica.microservice)
+        except (KeyError, AttributeError):
+            continue
+        used_cpu[node_name] = used_cpu.get(node_name, 0.0) + demand.cpu
+        used_mem[node_name] = used_mem.get(node_name, 0.0) + demand.memory
+    for name in state.nodes:
+        cached = state.used_on(name)
+        cpu = used_cpu.get(name, 0.0)
+        mem = used_mem.get(name, 0.0)
+        if abs(cached.cpu - cpu) > tolerance or abs(cached.memory - mem) > tolerance:
+            out.append(
+                _violation(
+                    "placement-consistency",
+                    f"node {name} usage counter {cached} != recomputed "
+                    f"({cpu:.6f}, {mem:.6f})",
+                    subject=name,
+                )
+            )
+
+    # Running counters: recompute replicas-on-healthy-nodes per microservice.
+    recounted: dict[tuple[str, str], int] = {}
+    for replica, node_name in assignments.items():
+        if not state.node(node_name).failed:
+            key = (replica.app, replica.microservice)
+            recounted[key] = recounted.get(key, 0) + 1
+    cached_counts = state.running_replica_counts()
+    if recounted != cached_counts:
+        diff = sorted(
+            key
+            for key in set(recounted) | set(cached_counts)
+            if recounted.get(key, 0) != cached_counts.get(key, 0)
+        )[:3]
+        out.append(
+            _violation(
+                "placement-consistency",
+                f"running-replica counters drifted from brute-force recount "
+                f"(first differing microservices: {diff})",
+            )
+        )
+    return out
+
+
+def check_identity(state: ClusterState) -> list[InvariantViolation]:
+    """``identity-consistency``: assignments reference real, sanely tagged work."""
+    out: list[InvariantViolation] = []
+    apps = state.applications
+    for replica in state.assignments:
+        app = apps.get(replica.app)
+        if app is None:
+            out.append(
+                _violation(
+                    "identity-consistency",
+                    f"replica {replica} references unknown application {replica.app!r}",
+                    subject=replica.app,
+                )
+            )
+            continue
+        if replica.microservice not in app.microservices:
+            out.append(
+                _violation(
+                    "identity-consistency",
+                    f"replica {replica} references unknown microservice "
+                    f"{replica.microservice!r} of {replica.app}",
+                    subject=replica.app,
+                )
+            )
+            continue
+        ms = app.get(replica.microservice)
+        if not 0 <= replica.replica < ms.replicas:
+            out.append(
+                _violation(
+                    "identity-consistency",
+                    f"replica index {replica.replica} out of range "
+                    f"[0, {ms.replicas}) for {replica.app}/{replica.microservice}",
+                    subject=replica.app,
+                )
+            )
+    for app_name, app in apps.items():
+        for ms in app:
+            level = ms.criticality.level
+            if not isinstance(level, int) or level < 1:
+                out.append(
+                    _violation(
+                        "identity-consistency",
+                        f"{app_name}/{ms.name} carries invalid criticality "
+                        f"level {level!r}",
+                        subject=app_name,
+                    )
+                )
+    # Active-set view must match its definition: all replicas healthy.
+    active = state.active_microservices()
+    for app_name, app in apps.items():
+        active_set = active.get(app_name, set())
+        for ms in app:
+            expected = state.running_replicas(app_name, ms.name) >= ms.replicas
+            if (ms.name in active_set) != expected:
+                out.append(
+                    _violation(
+                        "identity-consistency",
+                        f"active-set view disagrees with running counters for "
+                        f"{app_name}/{ms.name} (view: {ms.name in active_set}, "
+                        f"counters: {expected})",
+                        subject=app_name,
+                    )
+                )
+    return out
+
+
+def check_full_recovery(
+    state: ClusterState,
+    *,
+    reference: ClusterState | None = None,
+    tolerance: float = AVAILABILITY_TOLERANCE,
+) -> list[InvariantViolation]:
+    """``full-recovery-availability``: no failures left => availability 1.0.
+
+    A no-op (vacuously true) while any node is still failed; call it after
+    the final reconcile of a scenario that ends fully recovered.
+    """
+    if state.failed_count:
+        return []
+    from repro.adaptlab.metrics import evaluate_state
+
+    evaluated = evaluate_state(state, reference=reference if reference is not None else state)
+    availability = evaluated.critical_service_availability
+    if availability < 1.0 - tolerance:
+        lacking = sorted(
+            (app, ms)
+            for app, active in state.active_microservices().items()
+            for ms in set(state.applications[app].microservices) - active
+        )[:3]
+        return [
+            _violation(
+                "full-recovery-availability",
+                f"availability {availability:.6f} < 1.0 with zero failed nodes "
+                f"(first inactive microservices: {lacking})",
+            )
+        ]
+    return []
+
+
+def check_state(
+    state: ClusterState,
+    *,
+    reference: ClusterState | None = None,
+    tolerance: float = CAPACITY_TOLERANCE,
+    recovered: bool = False,
+) -> list[InvariantViolation]:
+    """Every per-state invariant; ``recovered=True`` adds the recovery check."""
+    out = check_capacity(state, tolerance=tolerance)
+    out.extend(check_placement(state, tolerance=tolerance))
+    out.extend(check_identity(state))
+    if recovered:
+        out.extend(check_full_recovery(state, reference=reference))
+    return out
+
+
+def check_equivalence(
+    state_a: ClusterState,
+    state_b: ClusterState,
+    *,
+    labels: tuple[str, str] = ("incremental", "full"),
+) -> list[InvariantViolation]:
+    """``incremental-equivalence``: two lockstep states are byte-identical.
+
+    Compares the failed sets and the full replica->node assignment maps of
+    two states that were driven through the same scenario by different
+    engine configurations (incremental vs full recompute, serial vs
+    sharded).  Assignment equality plus each state's own
+    ``placement-consistency`` implies every derived view agrees too.
+    """
+    out: list[InvariantViolation] = []
+    failed_a, failed_b = state_a.failed_names(), state_b.failed_names()
+    if failed_a != failed_b:
+        out.append(
+            _violation(
+                "incremental-equivalence",
+                f"failed sets diverged: only-{labels[0]}="
+                f"{sorted(failed_a - failed_b)[:3]}, only-{labels[1]}="
+                f"{sorted(failed_b - failed_a)[:3]}",
+            )
+        )
+    assignments_a = dict(state_a.assignments)
+    assignments_b = dict(state_b.assignments)
+    if assignments_a != assignments_b:
+        diff = sorted(
+            replica
+            for replica in set(assignments_a) | set(assignments_b)
+            if assignments_a.get(replica) != assignments_b.get(replica)
+        )[:3]
+        out.append(
+            _violation(
+                "incremental-equivalence",
+                f"assignments diverged between {labels[0]} and {labels[1]} "
+                f"engines (first differing replicas: {diff})",
+            )
+        )
+    return out
+
+
+# -- fleet invariants ----------------------------------------------------------
+
+
+def check_spillover_conservation(fleet) -> list[InvariantViolation]:
+    """``spillover-conservation``: ledger <-> hosted clones is a bijection."""
+    from repro.fleet.summary import clone_source, is_clone
+
+    out: list[InvariantViolation] = []
+    ledger = fleet.spillovers
+    hosted: dict[tuple[str, str], list[str]] = {}
+    for cell in fleet.cells:
+        for app_name in cell.state.applications:
+            if not is_clone(app_name):
+                continue
+            app, source_cell = clone_source(app_name)
+            hosted.setdefault((source_cell, app), []).append(cell.name)
+    for key, cells in sorted(hosted.items()):
+        source_cell, app = key
+        if len(cells) > 1:
+            out.append(
+                _violation(
+                    "spillover-conservation",
+                    f"clone of {app} (from {source_cell}) hosted in "
+                    f"{len(cells)} cells at once: {sorted(cells)}",
+                    subject=app,
+                )
+            )
+        entry = ledger.get(key)
+        if entry is None:
+            out.append(
+                _violation(
+                    "spillover-conservation",
+                    f"clone of {app} (from {source_cell}) hosted in "
+                    f"{cells[0]} without a ledger entry — released or never "
+                    f"planned",
+                    subject=app,
+                )
+            )
+        elif entry.donor not in cells:
+            out.append(
+                _violation(
+                    "spillover-conservation",
+                    f"ledger records donor {entry.donor} for {app} (from "
+                    f"{source_cell}) but the clone lives in {sorted(cells)}",
+                    subject=app,
+                )
+            )
+    for key, entry in sorted(ledger.items()):
+        if key not in hosted:
+            source_cell, app = key
+            out.append(
+                _violation(
+                    "spillover-conservation",
+                    f"ledger entry for {app} (from {source_cell}, donor "
+                    f"{entry.donor}) has no hosted clone — double release",
+                    subject=app,
+                )
+            )
+    return out
+
+
+def check_fleet(
+    fleet, *, tolerance: float = CAPACITY_TOLERANCE, recovered: bool = False
+) -> list[InvariantViolation]:
+    """Every invariant over a :class:`~repro.fleet.engine.FleetEngine`.
+
+    Per-cell state invariants plus spillover conservation; with
+    ``recovered=True`` the recovery check runs per cell (only meaningful
+    when every cell ended with zero failed nodes).
+    """
+    out: list[InvariantViolation] = []
+    for cell in fleet.cells:
+        for violation in check_state(
+            cell.state, tolerance=tolerance, recovered=recovered
+        ):
+            out.append(
+                _violation(
+                    violation.invariant,
+                    f"cell {cell.name}: {violation.message}",
+                    subject=cell.name,
+                )
+            )
+    out.extend(check_spillover_conservation(fleet))
+    return out
+
+
+# -- dispatch + assertion wrappers --------------------------------------------
+
+
+def check_invariants(target, **kwargs) -> list[InvariantViolation]:
+    """Check whatever ``target`` is: a cluster state or a fleet engine."""
+    if hasattr(target, "cells") and callable(getattr(target, "plan_spillover", None)):
+        return check_fleet(target, **kwargs)
+    if isinstance(target, ClusterState):
+        return check_state(target, **kwargs)
+    raise TypeError(
+        f"cannot check invariants of {type(target).__name__}: expected a "
+        "ClusterState or a FleetEngine"
+    )
+
+
+def verify_invariants(target, **kwargs) -> None:
+    """Assert-style twin of :func:`check_invariants`."""
+    violations = check_invariants(target, **kwargs)
+    if violations:
+        raise InvariantError(violations)

@@ -609,6 +609,8 @@ def cmd_chaos(args) -> int:
         raise CliError(
             f"unknown template {args.template!r}; available: all, {', '.join(sorted(builders))}"
         )
+    # A custom trace implies the storm check (it is what consumes traces).
+    storm_trace = _read_trace(args.trace) if args.trace else None
     all_passed = True
     for name in names:
         template = builders[name]()
@@ -620,13 +622,14 @@ def cmd_chaos(args) -> int:
         )
         print(cluster_report.to_text())
         all_passed &= cluster_report.passed
-        if args.storm:
+        if args.storm or storm_trace is not None:
             storm_report = run_storm_check(
                 template,
                 node_count=args.nodes,
                 storm_fraction=args.storm_fraction,
                 objective=args.objective,
                 seed=args.seed,
+                trace=storm_trace,
             )
             print(storm_report.to_text())
             all_passed &= storm_report.passed
@@ -640,6 +643,74 @@ def cmd_chaos(args) -> int:
             print(outage_report.to_text())
             all_passed &= outage_report.passed
     return 0 if all_passed else EXIT_FAILED
+
+
+# -- corpus / fuzz ------------------------------------------------------------
+
+
+def cmd_corpus(args) -> int:
+    """Sweep the scenario corpus under the invariant oracle; emit coverage."""
+    from repro.corpus import SCENARIOS, run_corpus, scenario_names
+
+    if args.list:
+        print(f"{'name':<22}{'scale':<9}{'nodes':<7}description")
+        for scenario in SCENARIOS:
+            print(
+                f"{scenario.name:<22}{scenario.scale:<9}"
+                f"{scenario.node_count:<7}{scenario.description}"
+            )
+        return 0
+    names = None
+    if args.only:
+        names = [name.strip() for name in args.only.split(",") if name.strip()]
+        unknown = [name for name in names if name not in scenario_names()]
+        if unknown:
+            raise CliError(
+                f"unknown scenario {unknown[0]!r}; available: "
+                f"{', '.join(scenario_names())}"
+            )
+        if not names:
+            raise CliError("--only must name at least one scenario")
+    if args.workers < 1:
+        raise CliError("--workers must be >= 1")
+    scales = None if args.scale == "all" else (args.scale,)
+    report = run_corpus(
+        names,
+        workers=args.workers,
+        seed=args.seed,
+        env_seed=args.env_seed,
+        scales=scales,
+    )
+    if not report.records:
+        raise CliError(f"no scenarios match --scale {args.scale!r}")
+    _write_text(args.out, report.to_jsonl())
+    print(report.to_text(), file=sys.stderr)
+    return 0 if report.ok else EXIT_FAILED
+
+
+def cmd_fuzz(args) -> int:
+    """Property-based chaos fuzz: random event programs under the oracle."""
+    from repro.chaos.fuzz import FuzzConfig, run_fuzz
+
+    if args.cases < 1:
+        raise CliError("--cases must be >= 1")
+    config = FuzzConfig(
+        cases=args.cases,
+        node_count=args.nodes,
+        n_apps=args.apps,
+        horizon=args.horizon,
+        objective=args.objective,
+        seed=args.seed,
+        env_seed=args.env_seed,
+        lockstep=not args.no_lockstep,
+    )
+    report = run_fuzz(config)
+    print(report.to_text())
+    if report.violation is not None:
+        report.violation.write(args.reproducer)
+        print(f"reproducer written to {args.reproducer}", file=sys.stderr)
+        return EXIT_FAILED
+    return 0
 
 
 # -- bench --------------------------------------------------------------------
@@ -1083,7 +1154,76 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--fleet-cells", type=int, default=4, help="cell-outage check: fleet size (default: 4)"
     )
+    chaos.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="replay this JSONL trace through the storm check instead of a "
+        "generated storm ('-' for stdin)",
+    )
     chaos.set_defaults(func=cmd_chaos)
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="sweep the scenario corpus under the invariant oracle",
+        description=(
+            "Run the multi-day scenario corpus across schemes and engine "
+            "configurations with the invariant oracle checked after every "
+            "reconcile round, and emit a deterministic coverage report "
+            "(JSONL). Same seeds and --workers produce byte-identical "
+            "reports. Exits 1 if any invariant was violated."
+        ),
+    )
+    corpus.add_argument("--list", action="store_true", help="list corpus scenarios and exit")
+    corpus.add_argument(
+        "--only", default=None, metavar="NAMES",
+        help="comma-separated scenario names to run (default: all in --scale)",
+    )
+    corpus.add_argument(
+        "--scale", default="all", choices=("small", "medium", "all"),
+        help="scenario scale to sweep (default: all)",
+    )
+    corpus.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes to shard jobs across (default: 1)",
+    )
+    corpus.add_argument("--seed", type=int, default=0, help="scenario seed (default: 0)")
+    corpus.add_argument(
+        "--env-seed", type=int, default=2025, help="environment seed (default: 2025)"
+    )
+    corpus.add_argument("--out", default=None, help="coverage report file (default: stdout)")
+    corpus.set_defaults(func=cmd_corpus)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="property-based chaos fuzz with trace shrinking",
+        description=(
+            "Compose random seeded event programs (churn, rack storms, "
+            "diurnal load, capacity dips, refail interleavings), drive the "
+            "engine through them under the invariant oracle, and on a "
+            "violation shrink the failing trace to a minimal JSONL "
+            "reproducer. Exits 1 if a violation was found."
+        ),
+    )
+    fuzz.add_argument("--cases", type=int, default=20, help="event programs to try (default: 20)")
+    fuzz.add_argument("--nodes", type=int, default=24, help="cluster size (default: 24)")
+    fuzz.add_argument("--apps", type=int, default=2, help="applications (default: 2)")
+    fuzz.add_argument(
+        "--horizon", type=float, default=1800.0, help="program length in seconds (default: 1800)"
+    )
+    fuzz.add_argument("--objective", default="revenue", help="engine objective (default: revenue)")
+    fuzz.add_argument("--seed", type=int, default=0, help="fuzzer seed (default: 0)")
+    fuzz.add_argument(
+        "--env-seed", type=int, default=2025, help="environment seed (default: 2025)"
+    )
+    fuzz.add_argument(
+        "--no-lockstep", action="store_true",
+        help="skip the incremental-vs-full lockstep twin (faster, weaker oracle)",
+    )
+    fuzz.add_argument(
+        "--reproducer", default="fuzz-reproducer.jsonl", metavar="PATH",
+        help="where to write the shrunk reproducer on violation "
+        "(default: fuzz-reproducer.jsonl)",
+    )
+    fuzz.set_defaults(func=cmd_fuzz)
 
     bench = sub.add_parser(
         "bench",

@@ -1,0 +1,29 @@
+"""Scenario corpus: a library of composed multi-day scenarios plus a
+parallel runner that sweeps them under the invariant oracle and reports
+coverage (see :mod:`repro.corpus.library` and :mod:`repro.corpus.runner`;
+CLI: ``python -m repro corpus``)."""
+
+from repro.corpus.library import SCENARIOS, Scenario, get_scenario, scenario_names
+from repro.corpus.runner import (
+    CORPUS_REPORT_VERSION,
+    ENGINE_CONFIGS,
+    SCHEMES,
+    CorpusReport,
+    build_jobs,
+    corpus_job,
+    run_corpus,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "get_scenario",
+    "scenario_names",
+    "CORPUS_REPORT_VERSION",
+    "ENGINE_CONFIGS",
+    "SCHEMES",
+    "CorpusReport",
+    "build_jobs",
+    "corpus_job",
+    "run_corpus",
+]

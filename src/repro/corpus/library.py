@@ -1,0 +1,212 @@
+"""The scenario corpus: composable multi-day scenarios with known shapes.
+
+Where the fuzzer (:mod:`repro.chaos.fuzz`) searches *random* event programs,
+the corpus pins down a library of named, composed, multi-day scenarios —
+diurnal load under Poisson churn, rack storms over a weekend, capacity dips
+with flash crowds, refail interleavings — that the runner
+(:mod:`repro.corpus.runner`) sweeps across engine configurations under the
+invariant oracle.  Every scenario is a pure function of its seed (composed
+from the seeded generators in :mod:`repro.traces.generators`), ends with a
+full recovery so the ``full-recovery-availability`` invariant is always
+exercised, and declares the environment shape it runs against.
+
+Scales: ``small`` (24 nodes, 2 apps — PR smoke budget) and ``medium``
+(48 nodes, 3 apps — nightly budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.chaos.fuzz import refail_interleaving
+from repro.traces.generators import (
+    capacity_schedule,
+    correlated_failures,
+    diurnal_load,
+    failure_storm,
+    poisson_failures,
+)
+from repro.traces.schema import NodeRecovery, Trace, merge_traces
+
+DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named corpus entry: environment shape + seeded trace builder."""
+
+    name: str
+    scale: str  # "small" | "medium"
+    description: str
+    node_count: int
+    n_apps: int
+    horizon: float
+    #: ``build(node_names, seed) -> Trace`` — pure function of its inputs.
+    build: Callable[[Sequence[str], int], Trace]
+
+
+def _closed(
+    segments: list[Trace], node_names: Sequence[str], horizon: float, name: str, seed: int
+) -> Trace:
+    """Merge segments and append the closing full recovery."""
+    closing = Trace(
+        events=[NodeRecovery(time=round(horizon + 60.0, 6), nodes=tuple(node_names))],
+        metadata={"generator": "closing_recovery"},
+    )
+    return merge_traces(
+        segments + [closing],
+        metadata={
+            "generator": "corpus",
+            "scenario": name,
+            "seed": seed,
+            "nodes": len(node_names),
+            "horizon": horizon,
+        },
+    ).validate()
+
+
+def _poisson_day(names: Sequence[str], seed: int) -> Trace:
+    churn = poisson_failures(names, horizon=DAY, mtbf=8 * 3600.0, mttr=1800.0, seed=seed)
+    load = diurnal_load(horizon=DAY, step_seconds=2 * 3600.0, amplitude=0.4, seed=seed + 1)
+    return _closed([churn, load], names, DAY, "poisson-day", seed)
+
+
+def _rack_storms(names: Sequence[str], seed: int) -> Trace:
+    racks = correlated_failures(
+        names, rack_size=8, horizon=2 * DAY, rack_mtbf=DAY, mttr=2 * 3600.0, seed=seed
+    )
+    storm = failure_storm(
+        names,
+        at=DAY + 4 * 3600.0,
+        fraction=0.4,
+        burst_waves=3,
+        recovery_after=3600.0,
+        recovery_steps=3,
+        recovery_step_seconds=600.0,
+        seed=seed + 1,
+    )
+    return _closed([racks, storm], names, 2 * DAY, "rack-storms", seed)
+
+
+def _diurnal_flash_crowd(names: Sequence[str], seed: int) -> Trace:
+    load = diurnal_load(horizon=DAY, step_seconds=3600.0, amplitude=0.8, seed=seed)
+    crowd_storm = failure_storm(
+        names,
+        at=DAY / 2,
+        fraction=0.6,
+        burst_waves=4,
+        recovery_after=1800.0,
+        recovery_steps=4,
+        recovery_step_seconds=900.0,
+        seed=seed + 1,
+    )
+    return _closed([load, crowd_storm], names, DAY, "diurnal-flash-crowd", seed)
+
+
+def _capacity_dips(names: Sequence[str], seed: int) -> Trace:
+    fractions = [1.0, 0.85, 0.6, 0.45, 0.6, 0.35, 0.5, 0.75, 0.9, 1.0]
+    dips = capacity_schedule(
+        fractions,
+        step_seconds=DAY / len(fractions),
+        metadata={"generator": "capacity_schedule", "seed": seed},
+    )
+    load = diurnal_load(horizon=DAY, step_seconds=DAY / 12, amplitude=0.3, seed=seed + 1)
+    return _closed([dips, load], names, DAY, "capacity-dips", seed)
+
+
+def _refail_churn(names: Sequence[str], seed: int) -> Trace:
+    refail = refail_interleaving(names, horizon=DAY / 2, seed=seed)
+    churn = poisson_failures(
+        names, horizon=DAY / 2, mtbf=6 * 3600.0, mttr=1200.0, seed=seed + 1
+    )
+    return _closed([refail, churn], names, DAY / 2, "refail-churn", seed)
+
+
+def _storm_recovery(names: Sequence[str], seed: int) -> Trace:
+    storm = failure_storm(
+        names,
+        at=4 * 3600.0,
+        fraction=0.7,
+        burst_waves=6,
+        recovery_after=2 * 3600.0,
+        recovery_steps=6,
+        recovery_step_seconds=1800.0,
+        seed=seed,
+    )
+    return _closed([storm], names, DAY, "storm-recovery", seed)
+
+
+#: The corpus, in sweep order.
+SCENARIOS: tuple[Scenario, ...] = (
+    Scenario(
+        name="poisson-day",
+        scale="small",
+        description="one day of independent Poisson churn under diurnal load",
+        node_count=24,
+        n_apps=2,
+        horizon=DAY,
+        build=_poisson_day,
+    ),
+    Scenario(
+        name="diurnal-flash-crowd",
+        scale="small",
+        description="strong diurnal load with a mid-day flash-crowd storm",
+        node_count=24,
+        n_apps=2,
+        horizon=DAY,
+        build=_diurnal_flash_crowd,
+    ),
+    Scenario(
+        name="capacity-dips",
+        scale="small",
+        description="an Alibaba-shaped capacity dip schedule under diurnal load",
+        node_count=24,
+        n_apps=2,
+        horizon=DAY,
+        build=_capacity_dips,
+    ),
+    Scenario(
+        name="refail-churn",
+        scale="small",
+        description="refail-before-recovery interleavings over background churn",
+        node_count=24,
+        n_apps=2,
+        horizon=DAY / 2,
+        build=_refail_churn,
+    ),
+    Scenario(
+        name="rack-storms",
+        scale="medium",
+        description="two days of correlated rack failures plus a deep storm",
+        node_count=48,
+        n_apps=3,
+        horizon=2 * DAY,
+        build=_rack_storms,
+    ),
+    Scenario(
+        name="storm-recovery",
+        scale="medium",
+        description="one 70% failure storm with a long six-stage recovery",
+        node_count=48,
+        n_apps=3,
+        horizon=DAY,
+        build=_storm_recovery,
+    ),
+)
+
+_BY_NAME = {scenario.name: scenario for scenario in SCENARIOS}
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Every corpus scenario name, in sweep order."""
+    return tuple(scenario.name for scenario in SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    scenario = _BY_NAME.get(name)
+    if scenario is None:
+        raise KeyError(
+            f"unknown corpus scenario {name!r}; available: {', '.join(scenario_names())}"
+        )
+    return scenario

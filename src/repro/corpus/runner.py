@@ -1,0 +1,230 @@
+"""Parallel corpus runner: sweep the scenario library, report coverage.
+
+One *job* is (scenario × scheme × engine config): build the scenario's
+environment, generate its seeded trace, replay it through a fresh engine
+with the invariant oracle checked after every reconcile round
+(:func:`repro.chaos.fuzz.drive_trace`), and record what was exercised.
+Jobs are independent and seeded, so the runner shards them across worker
+processes exactly like ``repro sweep``/``repro replay`` do — an
+order-preserving ``pool.map`` merge makes ``--workers N`` byte-identical
+to a serial run.
+
+The coverage report (:meth:`CorpusReport.to_jsonl`) is canonical JSONL: a
+header with the aggregate coverage (event kinds × scales × schemes ×
+engine configs hit, and — crucially — the kinds *not* hit) followed by one
+record per job.  Same seeds ⇒ byte-identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.corpus.library import SCENARIOS, get_scenario
+
+#: Schema version of the corpus coverage report.
+CORPUS_REPORT_VERSION = 1
+
+#: Engine configurations every scenario is swept across.
+ENGINE_CONFIGS: tuple[Mapping[str, object], ...] = (
+    {"name": "fast-incremental", "incremental": True},
+    {"name": "fast-full", "incremental": False},
+)
+
+#: Operator objectives (the engine-side scheme dimension) swept per scenario.
+SCHEMES: tuple[str, ...] = ("revenue", "fairness")
+
+
+def _canonical(record: Mapping[str, object]) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+#: Per-process environment cache, keyed by shape — corpus jobs with the same
+#: environment share one build (cf. the CLI's ``_cached_environment``).
+_ENVIRONMENTS: dict[tuple, object] = {}
+
+
+def _environment(node_count: int, n_apps: int, env_seed: int):
+    from repro.adaptlab import build_environment
+
+    key = (node_count, n_apps, env_seed)
+    env = _ENVIRONMENTS.get(key)
+    if env is None:
+        env = build_environment(
+            node_count=node_count, n_apps=n_apps, target_utilization=0.6, seed=env_seed
+        )
+        _ENVIRONMENTS[key] = env
+    return env
+
+
+def corpus_job(params: dict) -> dict:
+    """Run one (scenario, scheme, engine config) job; return its record.
+
+    Top-level and dict-in/dict-out so it crosses the process pool boundary;
+    deterministic given ``params``.
+    """
+    import repro.api as api
+    from repro.chaos.fuzz import drive_trace
+
+    scenario = get_scenario(params["scenario"])
+    env = _environment(scenario.node_count, scenario.n_apps, params["env_seed"])
+    trace = scenario.build(list(env.state.nodes), params["seed"])
+    engine = api.engine(params["scheme"], incremental=params["incremental"])
+    result = drive_trace(
+        engine, env.fresh_state(), trace, seed=params["seed"], stop_on_violation=False
+    )
+    return {
+        "record": "job",
+        "scenario": scenario.name,
+        "scale": scenario.scale,
+        "scheme": params["scheme"],
+        "engine": params["engine"],
+        "seed": params["seed"],
+        "events": len(trace),
+        "event_kinds": dict(sorted(result.event_kinds.items())),
+        "steps": result.steps,
+        "duration": trace.duration,
+        "final_failed_nodes": result.final_failed_nodes,
+        "violations": [f"t={time}: {violation}" for time, violation in result.violations],
+    }
+
+
+@dataclass
+class CorpusReport:
+    """The merged outcome of one corpus sweep."""
+
+    seed: int
+    records: list[dict] = field(default_factory=list)
+
+    @property
+    def violations(self) -> int:
+        return sum(len(record["violations"]) for record in self.records)
+
+    @property
+    def ok(self) -> bool:
+        return self.violations == 0
+
+    def coverage(self) -> dict:
+        """Event kinds × scales × schemes × engine configs hit (and missed)."""
+        from repro.traces.schema import EVENT_TYPES
+
+        kinds: dict[str, int] = {}
+        for record in self.records:
+            for kind, count in record["event_kinds"].items():
+                kinds[kind] = kinds.get(kind, 0) + count
+        return {
+            "event_kinds": dict(sorted(kinds.items())),
+            "event_kinds_missing": sorted(set(EVENT_TYPES) - set(kinds)),
+            "scales": sorted({record["scale"] for record in self.records}),
+            "schemes": sorted({record["scheme"] for record in self.records}),
+            "engine_configs": sorted({record["engine"] for record in self.records}),
+            "scenarios": sorted({record["scenario"] for record in self.records}),
+        }
+
+    def to_jsonl(self) -> str:
+        """Canonical coverage report: header + one record per job."""
+        header = {
+            "record": "corpus",
+            "version": CORPUS_REPORT_VERSION,
+            "seed": self.seed,
+            "jobs": len(self.records),
+            "violations": self.violations,
+            "coverage": self.coverage(),
+        }
+        lines = [_canonical(header)]
+        lines.extend(_canonical(record) for record in self.records)
+        return "\n".join(lines) + "\n"
+
+    def to_text(self) -> str:
+        """Human summary for stderr: verdict plus the coverage dimensions."""
+        coverage = self.coverage()
+        verdict = "OK" if self.ok else f"FAIL ({self.violations} violation(s))"
+        lines = [
+            f"corpus: {verdict} — {len(self.records)} job(s) over "
+            f"{len(coverage['scenarios'])} scenario(s), seed {self.seed}",
+            f"  kinds hit: "
+            + (
+                ", ".join(f"{k}×{v}" for k, v in coverage["event_kinds"].items())
+                or "none"
+            ),
+            f"  kinds missing: {', '.join(coverage['event_kinds_missing']) or 'none'}",
+            f"  scales: {', '.join(coverage['scales'])}; "
+            f"schemes: {', '.join(coverage['schemes'])}; "
+            f"engines: {', '.join(coverage['engine_configs'])}",
+        ]
+        for record in self.records:
+            for violation in record["violations"]:
+                lines.append(
+                    f"  violation [{record['scenario']}/{record['scheme']}/"
+                    f"{record['engine']}]: {violation}"
+                )
+        return "\n".join(lines)
+
+
+def build_jobs(
+    names: Sequence[str] | None = None,
+    *,
+    seed: int = 0,
+    env_seed: int = 2025,
+    scales: Sequence[str] | None = None,
+    schemes: Sequence[str] = SCHEMES,
+    engine_configs: Sequence[Mapping[str, object]] = ENGINE_CONFIGS,
+) -> list[dict]:
+    """The deterministic job list of one sweep (exposed for tests/CLI)."""
+    if names is not None:
+        scenarios = [get_scenario(name) for name in names]
+    else:
+        scenarios = [
+            scenario
+            for scenario in SCENARIOS
+            if scales is None or scenario.scale in scales
+        ]
+    return [
+        {
+            "scenario": scenario.name,
+            "scheme": scheme,
+            "engine": config["name"],
+            "incremental": config["incremental"],
+            "seed": seed,
+            "env_seed": env_seed,
+        }
+        for scenario in scenarios
+        for scheme in schemes
+        for config in engine_configs
+    ]
+
+
+def run_corpus(
+    names: Sequence[str] | None = None,
+    *,
+    workers: int = 1,
+    seed: int = 0,
+    env_seed: int = 2025,
+    scales: Sequence[str] | None = None,
+    schemes: Sequence[str] = SCHEMES,
+    engine_configs: Sequence[Mapping[str, object]] = ENGINE_CONFIGS,
+) -> CorpusReport:
+    """Sweep the corpus (or a named/scale-filtered slice) under the oracle.
+
+    ``workers > 1`` shards jobs across processes; the order-preserving merge
+    keeps the report byte-identical to the serial run.
+    """
+    jobs = build_jobs(
+        names,
+        seed=seed,
+        env_seed=env_seed,
+        scales=scales,
+        schemes=schemes,
+        engine_configs=engine_configs,
+    )
+    workers = min(max(1, workers), max(1, len(jobs)))
+    if workers <= 1 or len(jobs) <= 1:
+        records = [corpus_job(job) for job in jobs]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # map() yields in job order — the report merge is deterministic.
+            records = list(pool.map(corpus_job, jobs))
+    return CorpusReport(seed=seed, records=records)

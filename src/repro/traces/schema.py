@@ -233,6 +233,11 @@ def parse_event(
     """
     if not isinstance(record, Mapping):
         raise TraceError(f"event record must be an object, got {type(record).__name__}")
+    version = record.get("version", TRACE_VERSION)
+    if version != TRACE_VERSION:
+        raise TraceError(
+            f"unsupported event version {version!r} (this build reads {TRACE_VERSION})"
+        )
     kind = record.get("kind")
     parser = EVENT_TYPES.get(kind)  # type: ignore[arg-type]
     if parser is None:
@@ -357,6 +362,12 @@ class Trace:
         for record in records[1:]:
             if not isinstance(record, dict) or record.get("record") != "event":
                 raise TraceError(f"expected an event record, got: {record!r}")
+            event_version = record.get("version", TRACE_VERSION)
+            if event_version != TRACE_VERSION:
+                raise TraceError(
+                    f"unsupported event version {event_version!r} "
+                    f"(this build reads {TRACE_VERSION})"
+                )
             kind = record.get("kind")
             parser = EVENT_TYPES.get(kind)  # type: ignore[arg-type]
             if parser is None:

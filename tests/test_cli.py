@@ -189,6 +189,113 @@ class TestChaosCommand:
         assert main(["chaos", "--template", "nope"]) == 2
         assert "unknown template" in capsys.readouterr().err
 
+    def test_chaos_custom_trace_runs_storm_check(self, tmp_path, capsys):
+        trace = tmp_path / "storm.jsonl"
+        assert main(
+            ["trace", "gen", "--kind", "storm", "--nodes", "12", "--out", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["chaos", "--template", "overleaf", "--trace", str(trace)]) == 0
+        assert "Storm chaos" in capsys.readouterr().out
+
+    def test_chaos_malformed_trace_is_one_line_error(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(
+            '{"record":"trace","version":1,"metadata":{}}\n{"record":"event","ki',
+            encoding="utf-8",
+        )
+        proc = run_module("chaos", "--template", "overleaf", "--trace", str(bad))
+        assert proc.returncode == 2
+        assert proc.stderr.startswith("error:")
+        assert "Traceback" not in proc.stderr
+
+    def test_chaos_missing_trace_file_errors(self, capsys):
+        assert main(["chaos", "--trace", "/no/such/trace.jsonl"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_chaos_unknown_event_version_errors(self, tmp_path, capsys):
+        bad = tmp_path / "future.jsonl"
+        bad.write_text(
+            '{"record":"trace","version":1,"metadata":{}}\n'
+            '{"record":"event","kind":"node_failure","time":1.0,'
+            '"nodes":["node-0"],"version":2}\n',
+            encoding="utf-8",
+        )
+        assert main(["chaos", "--template", "overleaf", "--trace", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "event version" in err
+
+
+class TestTraceValidateErrorPaths:
+    def test_unknown_event_version_is_one_line_error(self, tmp_path):
+        bad = tmp_path / "future.jsonl"
+        bad.write_text(
+            '{"record":"trace","version":1,"metadata":{}}\n'
+            '{"record":"event","kind":"node_failure","time":1.0,'
+            '"nodes":["node-0"],"version":7}\n',
+            encoding="utf-8",
+        )
+        proc = run_module("trace", "validate", str(bad))
+        assert proc.returncode == 2
+        assert proc.stderr.startswith("error:")
+        assert "event version" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_truncated_trailing_line_is_one_line_error(self, tmp_path, capsys):
+        bad = tmp_path / "cut.jsonl"
+        bad.write_text(
+            '{"record":"trace","version":1,"metadata":{}}\n'
+            '{"record":"event","kind":"node_fail',
+            encoding="utf-8",
+        )
+        assert main(["trace", "validate", str(bad)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestCorpusCommand:
+    def test_corpus_list(self, capsys):
+        assert main(["corpus", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "poisson-day" in out and "rack-storms" in out
+
+    def test_corpus_unknown_scenario_errors(self, capsys):
+        assert main(["corpus", "--only", "meteor-strike"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "available" in err
+
+    def test_corpus_bad_workers_errors(self, capsys):
+        assert main(["corpus", "--workers", "0"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_corpus_workers_output_identical_to_serial(self, tmp_path, capsys):
+        reports = []
+        for workers in ("1", "2"):
+            out = tmp_path / f"corpus-{workers}.jsonl"
+            code = main(
+                ["corpus", "--only", "capacity-dips", "--workers", workers,
+                 "--out", str(out)]
+            )
+            assert code == 0
+            reports.append(out.read_bytes())
+        assert reports[0] == reports[1]
+        assert "corpus: OK" in capsys.readouterr().err
+
+
+class TestFuzzCommand:
+    def test_fuzz_bad_cases_errors(self, capsys):
+        assert main(["fuzz", "--cases", "0"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_fuzz_clean_budget_passes(self, capsys, tmp_path):
+        code = main(
+            ["fuzz", "--cases", "1", "--nodes", "12", "--apps", "2",
+             "--horizon", "300", "--no-lockstep",
+             "--reproducer", str(tmp_path / "repro.jsonl")]
+        )
+        assert code == 0
+        assert "fuzz: OK" in capsys.readouterr().out
+        assert not (tmp_path / "repro.jsonl").exists()  # only written on FAIL
+
 
 class TestBenchCommand:
     def test_bench_list(self, capsys):

@@ -1,0 +1,114 @@
+"""The scenario corpus: library shapes, runner determinism, coverage report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.corpus import (
+    CORPUS_REPORT_VERSION,
+    ENGINE_CONFIGS,
+    SCENARIOS,
+    SCHEMES,
+    build_jobs,
+    get_scenario,
+    run_corpus,
+    scenario_names,
+)
+from repro.traces import NodeRecovery
+
+NODES = [f"node-{i}" for i in range(24)]
+
+
+class TestScenarioLibrary:
+    def test_names_are_unique_and_resolvable(self):
+        names = scenario_names()
+        assert len(names) == len(set(names)) == len(SCENARIOS)
+        for name in names:
+            assert get_scenario(name).name == name
+
+    def test_unknown_scenario_raises_with_catalogue(self):
+        with pytest.raises(KeyError, match="available"):
+            get_scenario("meteor-strike")
+
+    @pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
+    def test_builders_are_deterministic(self, scenario):
+        nodes = [f"node-{i}" for i in range(scenario.node_count)]
+        assert scenario.build(nodes, 5).dumps() == scenario.build(nodes, 5).dumps()
+        assert scenario.build(nodes, 5).dumps() != scenario.build(nodes, 6).dumps()
+
+    @pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
+    def test_scenarios_validate_and_end_recovered(self, scenario):
+        nodes = [f"node-{i}" for i in range(scenario.node_count)]
+        trace = scenario.build(nodes, 0)
+        trace.validate()
+        closing = trace.events[-1]
+        assert isinstance(closing, NodeRecovery)
+        assert set(closing.nodes) == set(nodes)
+        assert trace.metadata["scenario"] == scenario.name
+
+    def test_every_event_kind_is_covered_by_the_library(self):
+        kinds: set[str] = set()
+        for scenario in SCENARIOS:
+            nodes = [f"node-{i}" for i in range(scenario.node_count)]
+            kinds |= set(scenario.build(nodes, 0).kinds())
+        assert kinds == {"node_failure", "node_recovery", "capacity", "load_change"}
+
+
+class TestJobPlan:
+    def test_full_sweep_is_scenarios_times_schemes_times_engines(self):
+        jobs = build_jobs()
+        assert len(jobs) == len(SCENARIOS) * len(SCHEMES) * len(ENGINE_CONFIGS)
+
+    def test_scale_filter(self):
+        jobs = build_jobs(scales=("small",))
+        assert jobs
+        assert all(get_scenario(job["scenario"]).scale == "small" for job in jobs)
+
+
+class TestRunnerDeterminism:
+    @pytest.fixture(scope="class")
+    def serial_report(self):
+        return run_corpus(
+            ["refail-churn"],
+            seed=0,
+            schemes=("revenue",),
+        )
+
+    def test_slice_is_clean_and_covered(self, serial_report):
+        assert serial_report.ok, serial_report.to_text()
+        coverage = serial_report.coverage()
+        assert coverage["scenarios"] == ["refail-churn"]
+        assert coverage["schemes"] == ["revenue"]
+        assert coverage["engine_configs"] == ["fast-full", "fast-incremental"]
+        assert "node_failure" in coverage["event_kinds"]
+        assert "capacity" in coverage["event_kinds_missing"]
+
+    def test_report_jsonl_is_parseable(self, serial_report):
+        lines = serial_report.to_jsonl().splitlines()
+        header = json.loads(lines[0])
+        assert header["record"] == "corpus"
+        assert header["version"] == CORPUS_REPORT_VERSION
+        assert header["jobs"] == len(lines) - 1
+        for line in lines[1:]:
+            assert json.loads(line)["record"] == "job"
+
+    def test_workers_report_is_byte_identical(self, serial_report):
+        parallel = run_corpus(
+            ["refail-churn"],
+            workers=2,
+            seed=0,
+            schemes=("revenue",),
+        )
+        assert parallel.to_jsonl() == serial_report.to_jsonl()
+
+    def test_different_seed_changes_the_report(self, serial_report):
+        other = run_corpus(["refail-churn"], seed=1, schemes=("revenue",))
+        assert other.to_jsonl() != serial_report.to_jsonl()
+
+    def test_text_summary_names_the_dimensions(self, serial_report):
+        text = serial_report.to_text()
+        assert "corpus: OK" in text
+        assert "kinds hit" in text and "kinds missing" in text
+        assert "scales: small" in text

@@ -23,7 +23,7 @@ import pytest
 import repro.api as api
 from repro.adaptlab import build_environment
 from repro.apps import build_hotel_reservation, build_overleaf
-from repro.chaos import run_cell_outage_check
+from repro.chaos import check_equivalence, run_cell_outage_check, verify_invariants
 from repro.cluster import ClusterState, Node, Resources
 from repro.fleet import (
     CellDegraded,
@@ -353,6 +353,16 @@ class TestWorkerEquivalence:
                     assert _state_fingerprint(a.state) == _state_fingerprint(b.state), (
                         f"step {step} cell {a.name}"
                     )
+                    # Fingerprint equality says serial == parallel; the oracle
+                    # says both are *internally* sound and identical per round.
+                    violations = check_equivalence(
+                        a.state, b.state, labels=("serial", "parallel")
+                    )
+                    assert not violations, f"step {step} cell {a.name}: {violations}"
+                if step % 7 == 0:
+                    verify_invariants(serial)
+            verify_invariants(serial)
+            verify_invariants(parallel)
         finally:
             serial.close()
             parallel.close()

@@ -1,0 +1,250 @@
+"""The chaos fuzzer: seeded determinism, shrinking, and planted-fault capture.
+
+The load-bearing suite is ``TestPlantedFault`` (the PR's acceptance
+criterion): an engine with a deliberately broken packing stage is handed to
+the fuzzer, which must find the invariant violation, shrink the failing
+program to a minimal schema-v1 reproducer, and that reproducer must
+re-trigger the same invariant on replay.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptlab import build_environment
+from repro.chaos.fuzz import (
+    FuzzConfig,
+    drive_trace,
+    random_program,
+    refail_interleaving,
+    replay_reproducer,
+    run_fuzz,
+    shrink_trace,
+)
+from repro.core.packing import PackingHeuristic
+from repro.traces import NodeFailure, NodeRecovery, Trace
+import repro.api as api
+
+NODES = [f"node-{i}" for i in range(16)]
+
+
+@pytest.fixture(scope="module")
+def fuzz_environment():
+    return build_environment(node_count=12, n_apps=2, target_utilization=0.6, seed=2025)
+
+
+class TestProgramGeneration:
+    def test_same_seed_is_byte_identical(self):
+        a = random_program(NODES, horizon=900.0, seed=11)
+        b = random_program(NODES, horizon=900.0, seed=11)
+        assert a.dumps() == b.dumps()
+
+    def test_different_seeds_differ(self):
+        a = random_program(NODES, horizon=900.0, seed=1)
+        b = random_program(NODES, horizon=900.0, seed=2)
+        assert a.dumps() != b.dumps()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_programs_validate_and_end_recovered(self, seed):
+        program = random_program(NODES, horizon=900.0, seed=seed)
+        program.validate()
+        closing = program.events[-1]
+        assert isinstance(closing, NodeRecovery)
+        assert set(closing.nodes) == set(NODES)
+        assert program.metadata["generator"] == "fuzz_program"
+        assert 1 <= len(program.metadata["segments"]) <= 3
+
+    def test_case_seed_is_pure(self):
+        config = FuzzConfig(seed=7)
+        assert config.case_seed(3) == config.case_seed(3)
+        assert config.case_seed(3) != config.case_seed(4)
+        assert config.case_seed(0) != FuzzConfig(seed=8).case_seed(0)
+
+    def test_refail_interleaving_refails_down_nodes(self):
+        trace = refail_interleaving(NODES, horizon=600.0, seed=0)
+        trace.validate()
+        failed: set[str] = set()
+        refailed_while_down = False
+        for event in trace.events:
+            if isinstance(event, NodeFailure):
+                if failed & set(event.nodes):
+                    refailed_while_down = True
+                failed |= set(event.nodes)
+            else:
+                failed -= set(event.nodes)
+        assert refailed_while_down
+        assert not failed  # everything recovers by the end
+
+    def test_refail_interleaving_rejects_bad_horizon(self):
+        with pytest.raises(ValueError, match="horizon"):
+            refail_interleaving(NODES, horizon=0.0)
+
+
+class TestShrinkTrace:
+    def _numbered(self, count: int) -> Trace:
+        events = [NodeFailure(time=float(i), nodes=(f"n{i}",)) for i in range(count)]
+        return Trace(events=events, metadata={"origin": "unit"})
+
+    def test_shrinks_to_exactly_the_needed_events(self):
+        trace = self._numbered(16)
+
+        def predicate(events):
+            times = {event.time for event in events}
+            return {3.0, 11.0} <= times
+
+        shrunk = shrink_trace(trace, predicate)
+        assert [event.time for event in shrunk.events] == [3.0, 11.0]
+        assert shrunk.metadata == {"origin": "unit"}
+
+    def test_irreducible_trace_is_unchanged(self):
+        trace = self._numbered(4)
+        shrunk = shrink_trace(trace, lambda events: len(events) == 4)
+        assert [e.time for e in shrunk.events] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_attempt_budget_is_respected(self):
+        trace = self._numbered(64)
+        calls = 0
+
+        def predicate(events):
+            nonlocal calls
+            calls += 1
+            return True
+
+        shrink_trace(trace, predicate, max_attempts=10)
+        assert calls <= 10
+
+
+class TestDriveTrace:
+    def test_stock_engine_is_clean(self, fuzz_environment):
+        nodes = list(fuzz_environment.state.nodes)
+        program = random_program(nodes, horizon=600.0, seed=0)
+        result = drive_trace(
+            api.engine("revenue"), fuzz_environment.fresh_state(), program
+        )
+        assert result.ok
+        assert result.steps > 0
+        assert result.final_failed_nodes == 0
+        assert result.event_kinds
+
+    def test_lockstep_twin_is_clean(self, fuzz_environment):
+        nodes = list(fuzz_environment.state.nodes)
+        program = random_program(nodes, horizon=600.0, seed=1)
+        result = drive_trace(
+            api.engine("revenue", incremental=True),
+            fuzz_environment.fresh_state(),
+            program,
+            lockstep_engine=api.engine("revenue", incremental=False),
+        )
+        assert result.ok
+
+
+class _LatchedDropPacker:
+    """A planted recovery bug: packs correctly until it has ever seen a
+    failed node, then silently drops one application's placements.
+
+    Not a ``PackingHeuristic`` subclass on purpose — the engine takes the
+    plain (non-incremental-wrapped) packing path, so the fault survives
+    exactly as written.
+    """
+
+    def __init__(self) -> None:
+        self._inner = PackingHeuristic()
+        self._latched = False
+
+    def pack(self, state, plan):
+        if state.failed_count:
+            self._latched = True
+        result = self._inner.pack(state, plan)
+        if self._latched:
+            victim = min(state.applications)
+            result.assignment = {
+                replica: node
+                for replica, node in result.assignment.items()
+                if replica.app != victim
+            }
+        return result
+
+
+def _broken_engine_factory(config: FuzzConfig):
+    return api.engine(config.objective, packer=_LatchedDropPacker())
+
+
+PLANT_CONFIG = FuzzConfig(
+    cases=6,
+    node_count=12,
+    n_apps=2,
+    horizon=600.0,
+    seed=0,
+    lockstep=False,
+    max_shrink_attempts=200,
+)
+
+
+class TestPlantedFault:
+    @pytest.fixture(scope="class")
+    def report(self, fuzz_environment):
+        return run_fuzz(
+            PLANT_CONFIG,
+            engine_factory=_broken_engine_factory,
+            environment=fuzz_environment,
+        )
+
+    def test_fuzzer_finds_the_planted_violation(self, report):
+        assert report.violation is not None
+        assert report.violation.invariant == "full-recovery-availability"
+        assert "FAIL" in report.to_text()
+
+    def test_reproducer_is_minimal(self, report):
+        violation = report.violation
+        # The latched fault needs a failure (to latch) and a full recovery
+        # (to make the dropped app visible) — nothing else should survive.
+        assert len(violation.reproducer) < violation.events_before_shrink
+        assert len(violation.reproducer) <= 3
+
+    def test_reproducer_metadata_is_self_contained(self, report):
+        meta = report.violation.reproducer.metadata
+        assert meta["generator"] == "fuzz_reproducer"
+        assert meta["invariant"] == "full-recovery-availability"
+        assert meta["seed"] == report.violation.seed
+        assert meta["nodes"] == PLANT_CONFIG.node_count
+        assert meta["events_before_shrink"] == report.violation.events_before_shrink
+
+    def test_reproducer_retriggers_same_invariant(self, report, tmp_path, fuzz_environment):
+        path = tmp_path / "reproducer.jsonl"
+        report.violation.write(path)
+        reloaded = Trace.read(path)  # valid schema-v1 JSONL end to end
+        violations = replay_reproducer(
+            reloaded,
+            engine_factory=_broken_engine_factory,
+            environment=fuzz_environment,
+        )
+        assert violations
+        assert violations[0][1].invariant == "full-recovery-availability"
+
+    def test_reproducer_is_clean_on_the_stock_engine(self, report, fuzz_environment):
+        violations = replay_reproducer(
+            report.violation.reproducer,
+            config=PLANT_CONFIG,
+            environment=fuzz_environment,
+        )
+        assert violations == []
+
+    def test_fuzz_run_is_deterministic(self, report, fuzz_environment):
+        again = run_fuzz(
+            PLANT_CONFIG,
+            engine_factory=_broken_engine_factory,
+            environment=fuzz_environment,
+        )
+        assert again.violation is not None
+        assert again.violation.case == report.violation.case
+        assert again.violation.reproducer.dumps() == report.violation.reproducer.dumps()
+        assert again.to_text() == report.to_text()
+
+
+class TestCleanRun:
+    def test_stock_engine_survives_the_budget(self, fuzz_environment):
+        config = FuzzConfig(cases=2, node_count=12, n_apps=2, horizon=600.0, seed=3)
+        report = run_fuzz(config, environment=fuzz_environment)
+        assert report.ok
+        assert report.cases == 2
+        assert "OK" in report.to_text()

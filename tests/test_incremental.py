@@ -16,6 +16,7 @@ import pytest
 import repro.api as api
 from repro.adaptlab import build_environment
 from repro.apps import build_hotel_reservation, build_overleaf
+from repro.chaos import check_equivalence, verify_invariants
 from repro.cluster import ClusterState, Node, ReplicaId, Resources
 from repro.traces import generators
 from repro.traces.replayer import TraceReplayer
@@ -126,6 +127,17 @@ class TestChurnFuzzEquivalence:
             inc_state = _state_fingerprint(states["inc"])
             assert inc_state == _state_fingerprint(states["full"]), f"step {step} state"
             assert inc_state == _state_fingerprint(states["ref"]), f"step {step} state"
+            if step % 17 == 0:
+                # The invariant oracle: states are not just identical, they
+                # are *sound* (no overcommit, indexes/counters consistent).
+                verify_invariants(states["inc"])
+                for other in ("full", "ref"):
+                    violations = check_equivalence(
+                        states["inc"], states[other], labels=("inc", other)
+                    )
+                    assert not violations, f"step {step}: {violations}"
+        for state in states.values():
+            verify_invariants(state)
         return engines
 
     @pytest.mark.parametrize("seed", [0, 1, 2])

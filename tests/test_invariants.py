@@ -1,0 +1,232 @@
+"""The invariant oracle: holds on healthy states, catches planted corruption."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.api as api
+from repro.apps import build_hotel_reservation, build_overleaf
+from repro.chaos import (
+    INVARIANTS,
+    InvariantError,
+    check_capacity,
+    check_equivalence,
+    check_fleet,
+    check_full_recovery,
+    check_identity,
+    check_invariants,
+    check_placement,
+    check_spillover_conservation,
+    check_state,
+    verify_invariants,
+)
+from repro.cluster import ClusterState, Node, Resources
+from repro.cluster.state import ReplicaId
+from repro.fleet import FleetConfig, FleetEngine
+from repro.traces import failure_storm, TraceReplayer
+
+
+def _names(violations) -> set[str]:
+    return {violation.invariant for violation in violations}
+
+
+@pytest.fixture
+def reconciled_state(small_environment) -> ClusterState:
+    state = small_environment.fresh_state()
+    api.engine("revenue").reconcile(state, force=True)
+    return state
+
+
+class TestOracleOnHealthyStates:
+    def test_reconciled_state_passes_every_invariant(self, reconciled_state):
+        assert check_state(reconciled_state, recovered=True) == []
+        verify_invariants(reconciled_state, recovered=True)
+
+    def test_state_passes_mid_failure(self, small_environment):
+        state = small_environment.fresh_state()
+        eng = api.engine("revenue")
+        eng.reconcile(state, force=True)
+        state.fail_nodes(list(state.nodes)[:3])
+        eng.reconcile(state)
+        # recovered=True is safe mid-failure: the recovery check is vacuous.
+        assert check_state(state, recovered=True) == []
+
+    def test_storm_replay_ends_clean(self, small_environment):
+        state = small_environment.fresh_state()
+        eng = api.engine("revenue")
+        trace = failure_storm(list(state.nodes), fraction=0.4, seed=3)
+        TraceReplayer(eng).run(state, trace)
+        verify_invariants(state, recovered=True)
+
+    def test_fleet_passes(self):
+        states = [
+            _template_cell(build_overleaf),
+            _template_cell(build_hotel_reservation),
+        ]
+        fleet = FleetEngine(FleetConfig(cells=2), states=states)
+        fleet.reconcile(force=True)
+        assert check_fleet(fleet, recovered=True) == []
+        verify_invariants(fleet, recovered=True)
+
+
+class TestOracleCatchesCorruption:
+    def test_capacity_overcommit(self, reconciled_state):
+        state = reconciled_state
+        replica = next(iter(state.assignments))
+        target = next(iter(state.nodes))
+        # Cram every replica of the app onto one node, bypassing the guard.
+        for other in list(state.assignments):
+            if state.assignments[other] != target:
+                state.unassign(other)
+                state.assign(other, target, enforce_capacity=False)
+        assert replica in state.assignments
+        assert "capacity-overcommit" in _names(check_capacity(state))
+
+    def test_double_placement(self, reconciled_state):
+        state = reconciled_state
+        replica, home = next(iter(state.assignments.items()))
+        other = next(name for name in state.nodes if name != home)
+        state._owned_replicas(other).add(replica)  # corrupt the reverse index
+        found = check_placement(state)
+        assert "placement-consistency" in _names(found)
+        assert any("both" in violation.message for violation in found)
+
+    def test_usage_counter_drift(self, reconciled_state):
+        state = reconciled_state
+        name = next(iter(state.nodes))
+        state._used[name] = (state._used[name][0] + 5.0, state._used[name][1])
+        assert "placement-consistency" in _names(check_placement(state))
+
+    def test_running_counter_drift(self, reconciled_state):
+        state = reconciled_state
+        key = next(iter(state.running_replica_counts()))
+        state._running[key] += 1
+        found = check_placement(state)
+        assert any("running-replica" in violation.message for violation in found)
+
+    def test_unknown_application(self, reconciled_state):
+        state = reconciled_state
+        node = next(iter(state.nodes))
+        state._assignments[ReplicaId("ghost-app", "web", 0)] = node
+        assert "identity-consistency" in _names(check_identity(state))
+
+    def test_out_of_range_replica_index(self, reconciled_state):
+        state = reconciled_state
+        replica, node = next(iter(state.assignments.items()))
+        bogus = ReplicaId(replica.app, replica.microservice, 10_000)
+        state._assignments[bogus] = node
+        found = check_identity(state)
+        assert any("out of range" in violation.message for violation in found)
+
+    def test_full_recovery_catches_stranded_work(self, reconciled_state):
+        state = reconciled_state
+        assert check_full_recovery(state) == []
+        # Delete one app's replicas with zero failed nodes: availability < 1.
+        app = next(iter(state.applications))
+        for replica in [r for r in state.assignments if r.app == app]:
+            state.unassign(replica)
+        assert "full-recovery-availability" in _names(check_full_recovery(state))
+
+    def test_full_recovery_vacuous_while_failed(self, reconciled_state):
+        state = reconciled_state
+        state.fail_nodes(list(state.nodes)[:1])
+        assert check_full_recovery(state) == []
+
+    def test_equivalence_flags_divergence(self, reconciled_state):
+        twin = reconciled_state.copy()
+        assert check_equivalence(reconciled_state, twin) == []
+        replica, home = next(iter(twin.assignments.items()))
+        other = next(
+            name
+            for name in twin.nodes
+            if name != home and twin.free_on(name).cpu > 1.0
+        )
+        twin.unassign(replica)
+        twin.assign(replica, other, enforce_capacity=False)
+        found = check_equivalence(reconciled_state, twin)
+        assert _names(found) == {"incremental-equivalence"}
+
+    def test_equivalence_flags_failed_set_drift(self, reconciled_state):
+        twin = reconciled_state.copy()
+        twin.fail_nodes(list(twin.nodes)[:1])
+        found = check_equivalence(reconciled_state, twin)
+        assert any("failed sets" in violation.message for violation in found)
+
+
+class TestSpilloverConservation:
+    def test_active_spillover_is_conserved(self):
+        fleet = _spillover_fleet()
+        fleet.reconcile(force=True)
+        victim = fleet.cell("cell-0")
+        victim.state.fail_nodes(list(victim.state.nodes))
+        fleet.reconcile()
+        assert fleet.spillovers  # the scenario actually planned a clone
+        assert check_spillover_conservation(fleet) == []
+        assert check_fleet(fleet) == []
+
+    def test_clone_without_ledger_entry_is_flagged(self):
+        fleet = _spillover_fleet()
+        fleet.reconcile(force=True)
+        victim = fleet.cell("cell-0")
+        victim.state.fail_nodes(list(victim.state.nodes))
+        fleet.reconcile()
+        key = next(iter(fleet.spillovers))
+        fleet._ledger.pop(key)  # corrupt the ledger: clone now orphaned
+        found = check_spillover_conservation(fleet)
+        assert _names(found) == {"spillover-conservation"}
+        assert any("without a ledger entry" in v.message for v in found)
+
+    def test_ledger_entry_without_clone_is_flagged(self):
+        fleet = _spillover_fleet()
+        fleet.reconcile(force=True)
+        victim = fleet.cell("cell-0")
+        victim.state.fail_nodes(list(victim.state.nodes))
+        fleet.reconcile()
+        (key, entry), *_ = fleet.spillovers.items()
+        donor = fleet.cell(entry.donor)
+        from repro.fleet.summary import clone_name
+
+        donor.state.remove_application(clone_name(key[1], key[0]))
+        found = check_spillover_conservation(fleet)
+        assert any("no hosted clone" in v.message for v in found)
+
+
+class TestDispatch:
+    def test_dispatch_rejects_other_types(self):
+        with pytest.raises(TypeError, match="cannot check invariants"):
+            check_invariants(object())
+
+    def test_verify_raises_with_violations_attached(self, reconciled_state):
+        state = reconciled_state
+        node = next(iter(state.nodes))
+        state._assignments[ReplicaId("ghost-app", "web", 0)] = node
+        with pytest.raises(InvariantError) as excinfo:
+            verify_invariants(state)
+        assert excinfo.value.violations
+        assert all(v.invariant in INVARIANTS for v in excinfo.value.violations)
+
+
+def _template_cell(builder, nodes=10, headroom=1.5) -> ClusterState:
+    app = builder().application
+    demand = app.total_demand()
+    per_cpu = max(
+        demand.cpu * headroom / nodes, max(ms.resources.cpu for ms in app) * 1.2
+    )
+    per_mem = max(
+        demand.memory * headroom / nodes,
+        max(ms.resources.memory for ms in app) * 1.2,
+        1.0,
+    )
+    return ClusterState(
+        nodes=[Node(f"node-{i}", Resources(per_cpu, per_mem)) for i in range(nodes)],
+        applications=[app],
+    )
+
+
+def _spillover_fleet() -> FleetEngine:
+    states = [
+        _template_cell(build_overleaf),
+        _template_cell(build_hotel_reservation),
+        _template_cell(build_overleaf),
+    ]
+    return FleetEngine(FleetConfig(cells=3), states=states)

@@ -174,6 +174,13 @@ class TestParseEvent:
         with pytest.raises(TraceError, match="unknown event kind"):
             parse_event({"record": "event", "kind": "meteor", "time": 0.0})
 
+    def test_unknown_event_version_raises(self):
+        with pytest.raises(TraceError, match="unsupported event version"):
+            parse_event(
+                {"record": "event", "kind": "node_failure", "time": 0.0,
+                 "nodes": ["n1"], "version": 99}
+            )
+
 
 # -- EventBus concurrency (satellite: emission-safe subscribe/unsubscribe) -----
 

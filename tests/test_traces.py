@@ -291,6 +291,52 @@ class TestTraceReplayer:
         assert traced.steps[0].requests_served is not None
 
 
+class TestReplayerInputRobustness:
+    """Malformed trace files must fail loudly at parse time, before the
+    replayer ever touches the cluster — and fail with :class:`TraceError`,
+    which the CLI maps to a one-line usage error."""
+
+    HEADER = '{"record":"trace","version":1,"metadata":{}}'
+    EVENT = '{"record":"event","kind":"node_failure","time":1.0,"nodes":["node-0"]}'
+
+    def test_truncated_trailing_line_is_rejected(self):
+        text = self.HEADER + "\n" + self.EVENT + "\n" + self.EVENT[: len(self.EVENT) // 2]
+        with pytest.raises(TraceError, match="not valid JSONL"):
+            Trace.loads(text)
+
+    def test_garbage_trailing_line_is_rejected(self):
+        text = self.HEADER + "\n" + self.EVENT + "\n%%% scribble %%%"
+        with pytest.raises(TraceError, match="not valid JSONL"):
+            Trace.loads(text)
+
+    def test_non_event_trailing_record_is_rejected(self):
+        text = self.HEADER + "\n" + self.EVENT + '\n{"record":"checkpoint"}'
+        with pytest.raises(TraceError, match="expected an event record"):
+            Trace.loads(text)
+
+    def test_unknown_event_version_is_rejected(self):
+        bumped = self.EVENT[:-1] + ',"version":2}'
+        with pytest.raises(TraceError, match="unsupported event version"):
+            Trace.loads(self.HEADER + "\n" + bumped)
+
+    def test_current_event_version_is_accepted(self):
+        tagged = self.EVENT[:-1] + ',"version":1}'
+        assert len(Trace.loads(self.HEADER + "\n" + tagged)) == 1
+
+    def test_header_only_trace_replays_to_zero_steps(self, small_environment):
+        trace = Trace.loads(self.HEADER)
+        metrics = TraceReplayer(api.engine("revenue")).run(
+            small_environment.fresh_state(), trace
+        )
+        assert len(metrics) == 0
+        with pytest.raises(ValueError, match="empty replay"):
+            metrics.final()
+
+    def test_fully_empty_text_never_reaches_the_replayer(self):
+        with pytest.raises(TraceError, match="empty trace"):
+            Trace.loads("   \n  \n")
+
+
 class TestGeneratorShapes:
     def test_poisson_failures_recover_eventually(self):
         trace = poisson_failures(20, horizon=20000.0, mtbf=500.0, mttr=100.0, seed=0)
