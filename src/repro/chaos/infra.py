@@ -1,0 +1,532 @@
+"""Infrastructure fault injection: composable fault plans + the infra fuzzer.
+
+The chaos layer's other fuzzer (:mod:`repro.chaos.fuzz`) attacks the
+*workload* — random failure/recovery programs against a correct engine.
+This module attacks the *infrastructure*: worker processes are killed,
+hung and made to emit corrupt frames while the self-healing shard pool
+(:mod:`repro.fleet.pool`) recovers, and the oracle asserts the new
+``fault-recovery-equivalence`` invariant — a faulted, supervised run must
+be byte-identical to its fault-free serial twin — plus the standard fleet
+invariants on the survivor.
+
+Building blocks:
+
+* :class:`WorkerFault` / :class:`FaultPlan` — a declarative, JSON-able
+  fault schedule.  A plan plugs straight into the ``fault=`` hook of
+  :class:`~repro.fleet.pool.ShardPool` (via ``FleetEngine._shard_fault``)
+  through its ``for_shard(shard, incarnation)`` method; the serve layer
+  reads ``wal_crash_round`` / ``ws_drop_after`` for its own fault points.
+* :func:`run_infra_fuzz` — the seeded campaign (behind
+  ``python -m repro fuzz --infra``): each case derives a fault plan and a
+  workload from the case seed and drives either a live reconcile loop or a
+  sharded replay against a fault-free twin.  Everything is a pure function
+  of the config — byte-identical reports and reproducer records on rerun.
+* :class:`AmnesicRestartPool` — a deliberately broken pool whose restarts
+  skip the recovery journal (the classic restore-from-wrong-checkpoint
+  bug).  It exists so tests can prove the fuzzer *finds* supervisor bugs,
+  not merely passes correct code.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+from repro.fleet.config import FleetConfig
+from repro.fleet.engine import FleetEngine
+from repro.fleet.pool import ShardPool, ShardSupervisor
+from repro.fleet.replay import FleetReplayer
+from repro.serve.session import fleet_digest
+from repro.traces import fleet_scenario
+
+#: Fault kinds a worker process can be asked to simulate.
+FAULT_KINDS = ("kill", "hang", "corrupt")
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One scheduled fault in one worker shard.
+
+    ``command`` counts messages *received by that incarnation* (1-based);
+    ``incarnations`` lists the incarnations the fault fires in (``None``
+    means every incarnation — the crash-loop case).  ``mode`` selects the
+    frame damage for ``corrupt`` faults (``"flip"`` or ``"truncate"``).
+    """
+
+    kind: str
+    shard: int
+    command: int
+    incarnations: tuple[int, ...] | None = (0,)
+    mode: str = "flip"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (choose {FAULT_KINDS})")
+        if self.command < 1:
+            raise ValueError("command is 1-based; must be >= 1")
+        if self.kind == "corrupt" and self.mode not in ("flip", "truncate"):
+            raise ValueError(f"unknown corrupt mode {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A composable infrastructure fault schedule.
+
+    ``workers`` drive the shard pool's fault hook; ``wal_crash_round``
+    (crash the serve process after the WAL append, before the round
+    applies) and ``ws_drop_after`` (drop a serve WebSocket after N frames)
+    are read by the serve layer.  Plans are plain data: JSON round-trips
+    via :meth:`to_records` / :meth:`from_records` keep fuzz reproducers
+    self-contained.
+    """
+
+    workers: tuple[WorkerFault, ...] = ()
+    wal_crash_round: int | None = None
+    ws_drop_after: int | None = None
+
+    def for_shard(self, shard: int, incarnation: int) -> list[tuple]:
+        """The pool-facing view: ``(kind, nth, mode)`` for one incarnation."""
+        return [
+            (fault.kind, fault.command, fault.mode)
+            for fault in self.workers
+            if fault.shard == shard
+            and (fault.incarnations is None or incarnation in fault.incarnations)
+        ]
+
+    def to_records(self) -> dict:
+        return {
+            "workers": [
+                {
+                    "kind": f.kind,
+                    "shard": f.shard,
+                    "command": f.command,
+                    "incarnations": None
+                    if f.incarnations is None
+                    else list(f.incarnations),
+                    "mode": f.mode,
+                }
+                for f in self.workers
+            ],
+            "wal_crash_round": self.wal_crash_round,
+            "ws_drop_after": self.ws_drop_after,
+        }
+
+    @classmethod
+    def from_records(cls, record: dict) -> "FaultPlan":
+        return cls(
+            workers=tuple(
+                WorkerFault(
+                    kind=item["kind"],
+                    shard=int(item["shard"]),
+                    command=int(item["command"]),
+                    incarnations=None
+                    if item.get("incarnations") is None
+                    else tuple(int(i) for i in item["incarnations"]),
+                    mode=item.get("mode", "flip"),
+                )
+                for item in record.get("workers", ())
+            ),
+            wal_crash_round=record.get("wal_crash_round"),
+            ws_drop_after=record.get("ws_drop_after"),
+        )
+
+
+def random_fault_plan(
+    seed: int, *, shards: int = 2, include_hangs: bool = True
+) -> FaultPlan:
+    """A seeded random worker-fault schedule (pure function of the inputs).
+
+    One or two faults per plan: kills and corrupt frames at small command
+    indexes, at most one hang (each hang costs one supervisor deadline of
+    wall-clock), and an occasional every-incarnation kill to exercise the
+    crash-loop → degrade path.
+    """
+    rng = random.Random(seed)
+    kinds = ["kill", "kill", "corrupt"] + (["hang"] if include_hangs else [])
+    faults: list[WorkerFault] = []
+    hang_used = False
+    for _ in range(rng.randint(1, 2)):
+        kind = rng.choice(kinds)
+        if kind == "hang":
+            if hang_used:
+                kind = "kill"
+            hang_used = True
+        incarnations: tuple[int, ...] | None = (0,)
+        if kind == "kill" and rng.random() < 0.25:
+            incarnations = None  # crash loop: dies in every incarnation
+        faults.append(
+            WorkerFault(
+                kind=kind,
+                shard=rng.randrange(shards),
+                command=rng.randint(2, 6),
+                incarnations=incarnations,
+                mode=rng.choice(("flip", "truncate")),
+            )
+        )
+    return FaultPlan(workers=tuple(faults))
+
+
+# -- a planted supervisor bug ---------------------------------------------------
+
+
+class _AmnesicSupervisor(ShardSupervisor):
+    """Restart policy with the journal replay *dropped* (deliberate bug)."""
+
+    def _respawn(self, shard, *, reconcile: bool) -> None:
+        if not reconcile and shard.journal is not None:
+            shard.journal = []  # forget every completed command
+        super()._respawn(shard, reconcile=reconcile)
+
+
+class AmnesicRestartPool(ShardPool):
+    """A :class:`ShardPool` whose restarts forget the shard's history.
+
+    The restore-from-wrong-checkpoint bug, planted: a restarted
+    replay-protocol worker restarts from the *initial* payload with no
+    journal replay, so its state silently diverges from the serial twin.
+    ``run_infra_fuzz(pool_class=AmnesicRestartPool)`` must catch this as a
+    ``fault-recovery-equivalence`` violation — the oracle's own test.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if self.supervisor is not None:
+            self.supervisor = _AmnesicSupervisor(self, self.supervisor.config)
+
+
+# -- the campaign ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InfraFuzzConfig:
+    """One infra-chaos campaign: fleet shape, budget, and the master seed."""
+
+    cases: int = 6
+    cells: int = 3
+    nodes_per_cell: int = 12
+    n_apps: int = 2
+    env_seed: int = 2025
+    horizon: float = 900.0
+    #: Live-reconcile cases run this many fleet rounds each.
+    rounds: int = 8
+    seed: int = 0
+    workers: int = 2
+    max_restarts: int = 2
+    #: Supervisor deadline for hung workers; each injected hang costs this
+    #: much wall-clock, so keep it small.
+    shard_timeout: float = 2.0
+    include_hangs: bool = True
+
+    def case_seed(self, case: int) -> int:
+        """The seed of case ``case`` — a pure function of the master seed."""
+        return self.seed * 100_003 + case
+
+
+@dataclass
+class InfraViolation:
+    """One found violation with its self-contained reproducer record."""
+
+    case: int
+    seed: int
+    mode: str
+    invariant: str
+    message: str
+    faults: dict = field(default_factory=dict)
+    reproducer: dict = field(default_factory=dict)
+
+    def write(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.reproducer, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+
+
+@dataclass
+class InfraFuzzReport:
+    """The outcome of one infra-chaos campaign."""
+
+    config: InfraFuzzConfig
+    cases: int = 0
+    faults_injected: int = 0
+    restarts_observed: int = 0
+    degradations_observed: int = 0
+    violation: InfraViolation | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    def to_text(self) -> str:
+        if self.ok:
+            return (
+                f"infra-fuzz: OK — {self.cases} case(s), "
+                f"{self.faults_injected} fault(s) injected, "
+                f"{self.restarts_observed} restart(s), "
+                f"{self.degradations_observed} degradation(s); recovery "
+                f"byte-identical throughout (seed {self.config.seed})"
+            )
+        v = self.violation
+        return (
+            f"infra-fuzz: FAIL — case {v.case} (seed {v.seed}, mode {v.mode}) "
+            f"violated {v.invariant!r}: {v.message}"
+        )
+
+
+def _fleet_states(config: InfraFuzzConfig):
+    from repro.adaptlab import build_environment
+
+    return [
+        build_environment(
+            node_count=config.nodes_per_cell,
+            n_apps=config.n_apps,
+            seed=config.env_seed + index,
+        ).fresh_state()
+        for index in range(config.cells)
+    ]
+
+
+def _build_fleet(config: InfraFuzzConfig, *, supervised: bool) -> FleetEngine:
+    fleet_config = FleetConfig(
+        cells=config.cells,
+        supervise=supervised,
+        shard_timeout=config.shard_timeout,
+        max_shard_restarts=config.max_restarts,
+        shard_backoff=0.0,
+    )
+    fleet = FleetEngine(fleet_config, states=_fleet_states(config))
+    fleet.reconcile(force=True)
+    return fleet
+
+
+def _observe(fleet: FleetEngine, report: InfraFuzzReport) -> None:
+    from repro.fleet.events import ShardDegraded, ShardRestarted
+
+    def on_event(event) -> None:
+        if isinstance(event, ShardRestarted):
+            report.restarts_observed += 1
+        elif isinstance(event, ShardDegraded):
+            report.degradations_observed += 1
+
+    fleet.events.subscribe(on_event)
+
+
+def _reproducer(config: InfraFuzzConfig, case: int, mode: str, plan: FaultPlan) -> dict:
+    return {
+        "generator": "infra_fuzz_reproducer",
+        "case": case,
+        "mode": mode,
+        "seed": config.case_seed(case),
+        "fuzz_seed": config.seed,
+        "faults": plan.to_records(),
+        "config": {
+            "cells": config.cells,
+            "nodes_per_cell": config.nodes_per_cell,
+            "n_apps": config.n_apps,
+            "env_seed": config.env_seed,
+            "horizon": config.horizon,
+            "rounds": config.rounds,
+            "workers": config.workers,
+            "max_restarts": config.max_restarts,
+            "shard_timeout": config.shard_timeout,
+        },
+    }
+
+
+def _reconcile_case(
+    config: InfraFuzzConfig,
+    case: int,
+    plan: FaultPlan,
+    report: InfraFuzzReport,
+    pool_class,
+) -> InfraViolation | None:
+    """Live-reconcile mode: random churn + injected worker faults, with the
+    supervised parallel fleet digest-compared to a fault-free serial twin
+    after every round."""
+    from repro.chaos.invariants import check_fleet
+
+    case_seed = config.case_seed(case)
+    rng = random.Random(case_seed)
+    faulted = _build_fleet(config, supervised=True)
+    twin = _build_fleet(config, supervised=True)  # same config, run serially
+    faulted._shard_fault = plan
+    faulted._pool_class = pool_class
+    _observe(faulted, report)
+    try:
+        for round_index in range(config.rounds):
+            for index in range(config.cells):
+                probe = faulted.cells[index].state
+                shadow = twin.cells[index].state
+                healthy = sorted(n for n, node in probe.nodes.items() if not node.failed)
+                failed = sorted(probe.failed_names())
+                roll = rng.random()
+                if roll < 0.45 and healthy:
+                    picked = rng.sample(healthy, min(len(healthy), rng.randint(1, 3)))
+                    probe.fail_nodes(picked)
+                    shadow.fail_nodes(picked)
+                elif roll < 0.75 and failed:
+                    picked = rng.sample(failed, 1)
+                    probe.recover_nodes(picked)
+                    shadow.recover_nodes(picked)
+            force = rng.random() < 0.1
+            faulted.reconcile(force=force, workers=config.workers)
+            twin.reconcile(force=force)
+            if fleet_digest(faulted) != fleet_digest(twin):
+                return InfraViolation(
+                    case=case,
+                    seed=case_seed,
+                    mode="reconcile",
+                    invariant="fault-recovery-equivalence",
+                    message=(
+                        f"fleet digest diverged from the fault-free twin at "
+                        f"round {round_index}"
+                    ),
+                    faults=plan.to_records(),
+                    reproducer=_reproducer(config, case, "reconcile", plan),
+                )
+        violations = check_fleet(faulted)
+        if violations:
+            first = violations[0]
+            return InfraViolation(
+                case=case,
+                seed=case_seed,
+                mode="reconcile",
+                invariant=first.invariant,
+                message=first.message,
+                faults=plan.to_records(),
+                reproducer=_reproducer(config, case, "reconcile", plan),
+            )
+    finally:
+        faulted.close()
+        twin.close()
+    return None
+
+
+def _replay_case(
+    config: InfraFuzzConfig,
+    case: int,
+    plan: FaultPlan,
+    report: InfraFuzzReport,
+    pool_class,
+) -> InfraViolation | None:
+    """Sharded-replay mode: one fleet scenario replayed through faulted
+    worker shards, metrics JSONL byte-compared against the serial replay."""
+    case_seed = config.case_seed(case)
+    scenario = fleet_scenario(
+        config.cells,
+        config.nodes_per_cell,
+        horizon=config.horizon,
+        mtbf=config.horizon / 3.0,
+        seed=case_seed,
+    )
+    serial = _build_fleet(config, supervised=True)
+    try:
+        serial_jsonl = FleetReplayer(serial, seed=case_seed).run(scenario).to_jsonl()
+    finally:
+        serial.close()
+    faulted = _build_fleet(config, supervised=True)
+    faulted._shard_fault = plan
+    faulted._pool_class = pool_class
+    _observe(faulted, report)
+    try:
+        faulted_jsonl = (
+            FleetReplayer(faulted, seed=case_seed, workers=config.workers)
+            .run(scenario)
+            .to_jsonl()
+        )
+    finally:
+        faulted.close()
+    # The metrics JSONL is the replay's entire observable output (with the
+    # process executor the parent states intentionally go stale), so the
+    # byte-compare IS the equivalence oracle here.
+    if faulted_jsonl != serial_jsonl:
+        return InfraViolation(
+            case=case,
+            seed=case_seed,
+            mode="replay",
+            invariant="fault-recovery-equivalence",
+            message="metrics JSONL diverged from the fault-free serial replay",
+            faults=plan.to_records(),
+            reproducer=_reproducer(config, case, "replay", plan),
+        )
+    return None
+
+
+def run_infra_fuzz(
+    config: InfraFuzzConfig | None = None,
+    *,
+    pool_class: type | None = None,
+    on_case=None,
+) -> InfraFuzzReport:
+    """Search ``config.cases`` seeded fault schedules for recovery bugs.
+
+    Even cases run the live-reconcile mode, odd cases the sharded-replay
+    mode, so both restart strategies (parent-state resync and journal
+    replay) face every fault kind.  ``pool_class`` substitutes the shard
+    pool implementation under test (hand it :class:`AmnesicRestartPool`
+    and the campaign must fail — the planted-bug check in the tests and
+    CI).  Stops at the first violation; the whole run is a pure function
+    of ``config``.
+    """
+    config = config if config is not None else InfraFuzzConfig()
+    report = InfraFuzzReport(config=config)
+    for case in range(config.cases):
+        plan = random_fault_plan(
+            config.case_seed(case),
+            shards=min(config.workers, config.cells),
+            include_hangs=config.include_hangs,
+        )
+        report.faults_injected += len(plan.workers)
+        runner = _reconcile_case if case % 2 == 0 else _replay_case
+        violation = runner(config, case, plan, report, pool_class)
+        report.cases += 1
+        if on_case is not None:
+            on_case(case, report)
+        if violation is not None:
+            report.violation = violation
+            break
+    return report
+
+
+def replay_infra_case(record: dict, *, pool_class: type | None = None) -> InfraFuzzReport:
+    """Re-run one reproducer record produced by :func:`run_infra_fuzz`.
+
+    The record is self-contained (fault schedule + fleet shape + seeds);
+    replaying it re-triggers the same violation, or returns an OK report
+    if the bug has since been fixed.
+    """
+    params = record.get("config", {})
+    config = InfraFuzzConfig(
+        cases=1,
+        cells=int(params.get("cells", InfraFuzzConfig.cells)),
+        nodes_per_cell=int(params.get("nodes_per_cell", InfraFuzzConfig.nodes_per_cell)),
+        n_apps=int(params.get("n_apps", InfraFuzzConfig.n_apps)),
+        env_seed=int(params.get("env_seed", InfraFuzzConfig.env_seed)),
+        horizon=float(params.get("horizon", InfraFuzzConfig.horizon)),
+        rounds=int(params.get("rounds", InfraFuzzConfig.rounds)),
+        seed=int(record.get("fuzz_seed", 0)),
+        workers=int(params.get("workers", InfraFuzzConfig.workers)),
+        max_restarts=int(params.get("max_restarts", InfraFuzzConfig.max_restarts)),
+        shard_timeout=float(params.get("shard_timeout", InfraFuzzConfig.shard_timeout)),
+    )
+    case = int(record.get("case", 0))
+    plan = FaultPlan.from_records(record.get("faults", {}))
+    report = InfraFuzzReport(config=config)
+    report.faults_injected = len(plan.workers)
+    runner = _reconcile_case if record.get("mode") == "reconcile" else _replay_case
+    report.cases = 1
+    report.violation = runner(config, case, plan, report, pool_class)
+    return report
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "AmnesicRestartPool",
+    "FaultPlan",
+    "InfraFuzzConfig",
+    "InfraFuzzReport",
+    "InfraViolation",
+    "WorkerFault",
+    "random_fault_plan",
+    "replay_infra_case",
+    "run_infra_fuzz",
+]

@@ -33,6 +33,13 @@ lockstep equivalence tests all share.  The invariants, checkable against any
     present in donor cells are a bijection — every clone is accounted for
     by exactly one ledger entry on its recorded donor, so clones are
     planned and released exactly once.
+``fault-recovery-equivalence``
+    Infra-chaos only (:mod:`repro.chaos.infra`): a run whose *machinery*
+    faulted — shard workers killed, hung or corrupting frames mid-round,
+    with the supervisor restarting or degrading them — produces results
+    byte-identical to its fault-free twin.  Reported by the infra fuzzer's
+    digest comparison rather than a ``check_*`` function, since it is a
+    property of two runs, not of one state.
 
 ``check_*`` functions return a list of :class:`InvariantViolation` (empty =
 holds); ``verify_*`` wrappers raise :class:`InvariantError` instead, for
@@ -53,6 +60,7 @@ INVARIANTS = (
     "full-recovery-availability",
     "incremental-equivalence",
     "spillover-conservation",
+    "fault-recovery-equivalence",
 )
 
 #: Resource-accounting tolerance (matches the packer's assign tolerance).

@@ -465,35 +465,94 @@ def cmd_serve(args) -> int:
 
     Prints one JSON ``Serving`` line to stdout once the socket is bound
     (machine-readable: the smoke driver and tests parse the port from it),
-    then blocks.  Ctrl-C is a clean exit (0), not an error.
+    then blocks.  SIGTERM and Ctrl-C both exit cleanly (0) through a
+    graceful drain: in-flight admitted batches finish and the write-ahead
+    journal is flushed before the process exits.
+
+    With ``--wal`` every admitted batch is journaled before it applies;
+    after a crash, ``--resume`` rebuilds the session from the journal
+    (fast-forwarded from ``--checkpoint`` when one exists) with a trace and
+    digest byte-identical to an uncrashed run's.
     """
     import asyncio
     import json
+    import signal
 
-    from repro.serve import ControlPlane, build_fleet
+    from repro.serve import ControlPlane, WriteAheadLog, build_fleet, resume_control_plane
 
-    params = _serve_fleet_params(args)
-    fleet = build_fleet(**params)
-    plane = ControlPlane(
-        fleet,
-        seed=args.seed,
-        force_each_step=args.force_each_step,
-        queue_limit=args.queue_limit,
-        fleet_params=params,
-    )
+    if args.checkpoint_every and not args.checkpoint:
+        raise CliError("--checkpoint-every requires --checkpoint PATH")
+    if args.resume:
+        if not args.wal:
+            raise CliError("--resume requires --wal PATH (the journal to replay)")
+        plane = resume_control_plane(
+            args.wal,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            queue_limit=args.queue_limit,
+        )
+    else:
+        params = _serve_fleet_params(args)
+        fleet = build_fleet(**params)
+        wal = None
+        if args.wal:
+            wal = WriteAheadLog(
+                args.wal,
+                header={
+                    "fleet": params,
+                    "seed": args.seed,
+                    "force_each_step": args.force_each_step,
+                    "queue_limit": args.queue_limit,
+                },
+            )
+        plane = ControlPlane(
+            fleet,
+            seed=args.seed,
+            force_each_step=args.force_each_step,
+            queue_limit=args.queue_limit,
+            fleet_params=params,
+            wal=wal,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+        )
 
     async def _run() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        signals_installed = True
+        try:
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+            loop.add_signal_handler(signal.SIGINT, stop.set)
+        except (NotImplementedError, RuntimeError):
+            signals_installed = False  # non-unix: fall back to KeyboardInterrupt
         host, port = await plane.start(args.host, args.port)
         print(
             json.dumps(
-                {"event": "Serving", "host": host, "port": port, "cells": args.cells},
+                {
+                    "event": "Serving",
+                    "host": host,
+                    "port": port,
+                    "cells": len(plane.fleet.cells),
+                    "rounds": plane.recorder.rounds,
+                    "resumed": bool(args.resume),
+                },
                 sort_keys=True,
             ),
             flush=True,
         )
+        serving = asyncio.create_task(plane.serve_forever())
+        stopper = asyncio.create_task(stop.wait())
         try:
-            await plane.serve_forever()
+            if signals_installed:
+                await asyncio.wait(
+                    {serving, stopper}, return_when=asyncio.FIRST_COMPLETED
+                )
+            else:
+                await serving
         finally:
+            serving.cancel()
+            stopper.cancel()
+            await asyncio.gather(serving, stopper, return_exceptions=True)
             await plane.shutdown()
 
     try:
@@ -694,6 +753,25 @@ def cmd_fuzz(args) -> int:
 
     if args.cases < 1:
         raise CliError("--cases must be >= 1")
+    if args.infra:
+        from repro.chaos.infra import InfraFuzzConfig, run_infra_fuzz
+
+        config = InfraFuzzConfig(
+            cases=args.cases,
+            cells=args.cells,
+            nodes_per_cell=args.nodes_per_cell,
+            n_apps=args.apps,
+            env_seed=args.env_seed,
+            horizon=args.horizon,
+            seed=args.seed,
+        )
+        report = run_infra_fuzz(config)
+        print(report.to_text())
+        if report.violation is not None:
+            report.violation.write(args.reproducer)
+            print(f"reproducer written to {args.reproducer}", file=sys.stderr)
+            return EXIT_FAILED
+        return 0
     config = FuzzConfig(
         cases=args.cases,
         node_count=args.nodes,
@@ -1099,6 +1177,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--force-each-step", action="store_true",
         help="force a planning round in every cell on every admitted batch",
     )
+    serve.add_argument(
+        "--wal", default=None, metavar="PATH",
+        help="write-ahead journal: fsync every admitted batch before it "
+        "applies (enables crash recovery via --resume)",
+    )
+    serve.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="durable fleet checkpoint file (written every --checkpoint-every "
+        "rounds; bounds --resume replay time)",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="checkpoint cadence in rounds (0 = never; requires --checkpoint)",
+    )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="rebuild the session from --wal (and --checkpoint if present) "
+        "instead of starting fresh; the recovered trace and digest match an "
+        "uncrashed run",
+    )
     serve.set_defaults(func=cmd_serve)
 
     serve_load = sub.add_parser(
@@ -1217,6 +1315,21 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--no-lockstep", action="store_true",
         help="skip the incremental-vs-full lockstep twin (faster, weaker oracle)",
+    )
+    fuzz.add_argument(
+        "--infra", action="store_true",
+        help="fuzz the infrastructure instead of the workload: random worker "
+        "kill/hang/corrupt-frame fault plans against the shard supervisor, "
+        "asserting recovery is byte-identical to a fault-free run "
+        "(uses --cases/--cells/--nodes-per-cell/--apps/--horizon/--seed)",
+    )
+    fuzz.add_argument(
+        "--cells", type=int, default=3,
+        help="fleet cells per infra case (--infra only; default: 3)",
+    )
+    fuzz.add_argument(
+        "--nodes-per-cell", type=int, default=12,
+        help="cluster size per cell (--infra only; default: 12)",
     )
     fuzz.add_argument(
         "--reproducer", default="fuzz-reproducer.jsonl", metavar="PATH",

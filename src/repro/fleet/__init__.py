@@ -33,7 +33,13 @@ Building blocks:
   across worker counts.
 """
 
-from repro.fleet.config import FleetConfig, default_cell_names
+from repro.fleet.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    restore_checkpoint,
+    save_checkpoint,
+)
+from repro.fleet.config import FleetConfig, SupervisorConfig, default_cell_names
 from repro.fleet.engine import (
     Cell,
     FleetEngine,
@@ -45,6 +51,8 @@ from repro.fleet.events import (
     CellDegraded,
     CellEvent,
     CellReconciled,
+    ShardDegraded,
+    ShardRestarted,
     SpilloverPlanned,
     SpilloverReleased,
 )
@@ -76,7 +84,12 @@ from repro.fleet.summary import (
 )
 
 __all__ = [
+    "CheckpointError",
+    "load_checkpoint",
+    "restore_checkpoint",
+    "save_checkpoint",
     "FleetConfig",
+    "SupervisorConfig",
     "default_cell_names",
     "Cell",
     "FleetEngine",
@@ -86,6 +99,8 @@ __all__ = [
     "CellDegraded",
     "CellEvent",
     "CellReconciled",
+    "ShardDegraded",
+    "ShardRestarted",
     "SpilloverPlanned",
     "SpilloverReleased",
     "HashPartitioner",

@@ -1,0 +1,171 @@
+"""Durable fleet checkpoints: freeze a :class:`FleetEngine`, thaw it later.
+
+A checkpoint captures everything the fleet's behaviour depends on beyond
+its construction parameters: per-cell cluster states, detector checkpoints
+(``engine.known_failed``), reference revenues, the active spillover ledger,
+the residual-change memory and the donor placement-failure memory.  It does
+*not* capture construction parameters (cell count, policy, seeds) — those
+belong to whoever rebuilds the fleet (:class:`~repro.fleet.config.FleetConfig`,
+or the serve layer's recorded ``fleet_params``) — nor transient machinery
+(worker pools, event subscribers, dirty-set trackers), which
+:func:`restore_checkpoint` re-derives.
+
+File format, versioned for forward evolution::
+
+    b"FC" | version (1 byte) | wire frame of the payload dict
+
+The payload rides the :mod:`repro.fleet.wire` codec, which embeds its own
+magic, version and CRC-32 — so a truncated or bit-flipped checkpoint file
+surfaces as :exc:`CheckpointError` at load time, never as a silently wrong
+fleet.  Writes are atomic (temp file + ``os.replace``): a crash mid-save
+leaves the previous checkpoint intact.
+
+The serve layer pairs this with its write-ahead journal
+(:mod:`repro.serve.wal`): checkpoint every K rounds, journal every round,
+and recovery is load-checkpoint + replay-journal-tail (see
+``docs/robustness.md``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.fleet.wire import WireError, dumps as wire_dumps, loads as wire_loads
+
+#: File magic + format version (bump on incompatible payload changes).
+CHECKPOINT_MAGIC = b"FC"
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is damaged, incompatible, or mismatches the fleet."""
+
+
+@dataclass
+class Checkpoint:
+    """One decoded checkpoint, ready for :func:`restore_checkpoint`.
+
+    ``cells`` holds ``(name, state, known_failed, reference_revenue)``
+    tuples in fleet order; ``extra`` is the caller's opaque dict (the serve
+    layer records its round count and WAL position here).
+    """
+
+    version: int
+    cells: list[tuple]
+    ledger: dict
+    last_residuals: dict
+    spill_failures: dict
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def cell_names(self) -> tuple[str, ...]:
+        return tuple(entry[0] for entry in self.cells)
+
+
+def save_checkpoint(fleet, path, *, extra: Mapping | None = None) -> None:
+    """Write ``fleet``'s durable state to ``path``, atomically.
+
+    Safe to call between rounds at any time; never call it mid-round (the
+    serve layer's driver checkpoints only at round boundaries, where the
+    fleet is quiescent by construction).
+    """
+    payload = {
+        "cells": [
+            (
+                cell.name,
+                cell.state,
+                cell.engine.known_failed,
+                cell.reference_revenue,
+            )
+            for cell in fleet.cells
+        ],
+        "ledger": dict(fleet._ledger),
+        "last_residuals": dict(fleet._last_residuals),
+        "spill_failures": dict(fleet._spill_failures),
+        "extra": dict(extra or {}),
+    }
+    blob = CHECKPOINT_MAGIC + bytes([CHECKPOINT_VERSION]) + wire_dumps(payload)
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path) -> Checkpoint:
+    """Read and validate a checkpoint file; raises :exc:`CheckpointError`."""
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if not blob.startswith(CHECKPOINT_MAGIC):
+        raise CheckpointError(f"{path}: not a fleet checkpoint (bad magic)")
+    if len(blob) < len(CHECKPOINT_MAGIC) + 1:
+        raise CheckpointError(f"{path}: truncated checkpoint header")
+    version = blob[len(CHECKPOINT_MAGIC)]
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: checkpoint version {version} unsupported "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+    try:
+        payload = wire_loads(blob[len(CHECKPOINT_MAGIC) + 1 :])
+    except WireError as exc:
+        raise CheckpointError(f"{path}: corrupt checkpoint body: {exc}") from exc
+    try:
+        return Checkpoint(
+            version=version,
+            cells=list(payload["cells"]),
+            ledger=dict(payload["ledger"]),
+            last_residuals=dict(payload["last_residuals"]),
+            spill_failures=dict(payload["spill_failures"]),
+            extra=dict(payload.get("extra", {})),
+        )
+    except (KeyError, TypeError) as exc:
+        raise CheckpointError(f"{path}: malformed checkpoint payload: {exc!r}") from exc
+
+
+def restore_checkpoint(fleet, checkpoint: Checkpoint) -> None:
+    """Reinstate ``checkpoint`` onto an identically *built* ``fleet``.
+
+    The fleet must have the same cell names in the same order (build it
+    from the same construction parameters); everything else — states,
+    detector checkpoints, ledger, memories — is replaced wholesale.  Any
+    worker pool is torn down (workers hold pre-checkpoint state) and the
+    next parallel round re-ships the restored states.
+    """
+    if tuple(fleet.cell_names) != checkpoint.cell_names:
+        raise CheckpointError(
+            f"cell mismatch: fleet has {list(fleet.cell_names)}, "
+            f"checkpoint has {list(checkpoint.cell_names)}"
+        )
+    fleet.close()
+    for cell, (name, state, known_failed, reference) in zip(
+        fleet.cells, checkpoint.cells
+    ):
+        cell.backend.state = state
+        cell.engine.reset()
+        cell.engine.known_failed = known_failed
+        cell.reference_revenue = reference
+    fleet._ledger = dict(checkpoint.ledger)
+    fleet._last_residuals = dict(checkpoint.last_residuals)
+    fleet._spill_failures = dict(checkpoint.spill_failures)
+    # Re-derive the spillover spec cache from the restored states (clone
+    # apps are skipped by _spec_for, exactly as at construction).
+    fleet._app_specs = {}
+    for cell in fleet.cells:
+        for app_name in cell.state.applications:
+            fleet._spec_for(cell.name, app_name)
+
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "load_checkpoint",
+    "restore_checkpoint",
+    "save_checkpoint",
+]

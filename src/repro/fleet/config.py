@@ -19,6 +19,47 @@ from repro.traces.fleet import default_fleet_cells
 from repro.fleet.partition import resolve_partitioner
 
 
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """How a :class:`~repro.fleet.pool.ShardPool` supervises its workers.
+
+    Parameters
+    ----------
+    round_timeout:
+        Per-reply deadline in seconds.  A worker that has not produced its
+        reply within the deadline is treated as hung: it is killed and the
+        shard goes through the restart path.  ``None`` disables the
+        deadline (a hung worker then blocks forever, as an unsupervised
+        pool would).
+    max_restarts:
+        Consecutive failures tolerated per shard before its cells are
+        redistributed to surviving workers (graceful degradation).  The
+        counter resets on every successful reply, so only crash *loops*
+        degrade a shard.
+    backoff_base / backoff_cap:
+        Exponential restart backoff: attempt ``k`` sleeps
+        ``min(cap, base * 2**(k-1))`` scaled by seeded jitter in
+        ``[0.5, 1.5)``.  ``base=0`` disables sleeping entirely (tests).
+    seed:
+        Seed for the jitter RNG.  Backoff affects only wall-clock timing,
+        never results, so supervised runs stay byte-identical regardless.
+    """
+
+    round_timeout: float | None = 300.0
+    max_restarts: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.round_timeout is not None and self.round_timeout <= 0:
+            raise ValueError("round_timeout must be positive (or None)")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff must be >= 0")
+
+
 def default_cell_names(cells: int) -> tuple[str, ...]:
     """``cell-0`` … ``cell-N-1`` — the naming the whole fleet layer uses.
 
@@ -78,6 +119,21 @@ class FleetConfig(EngineConfig):
     cell_overrides:
         Mapping of cell name (or index) to a dict of :class:`EngineConfig`
         field overrides for that cell only.
+    supervise:
+        Whether process-executor shard workers run under the
+        self-healing supervisor (dead/hung/corrupt workers restart with
+        backoff, crash loops degrade to surviving workers).  ``False``
+        restores fail-fast semantics: any worker fault raises
+        :class:`~repro.fleet.pool.ShardFailure` with state untouched.
+    shard_timeout:
+        Supervisor per-reply deadline in seconds (see
+        :class:`SupervisorConfig.round_timeout`).
+    max_shard_restarts:
+        Consecutive restarts per shard before degradation (see
+        :class:`SupervisorConfig.max_restarts`).
+    shard_backoff:
+        Base of the exponential restart backoff, seconds; ``0`` disables
+        sleeping between restarts.
     """
 
     cells: int = 1
@@ -90,6 +146,10 @@ class FleetConfig(EngineConfig):
     codec: str = "wire"
     batch_steps: int = 0
     cell_overrides: dict = field(default_factory=dict)
+    supervise: bool = True
+    shard_timeout: float = 300.0
+    max_shard_restarts: int = 3
+    shard_backoff: float = 0.05
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -105,6 +165,12 @@ class FleetConfig(EngineConfig):
             raise ValueError(f"codec must be 'wire' or 'pickle', got {self.codec!r}")
         if self.batch_steps < 0:
             raise ValueError("batch_steps must be >= 0 (0 = auto-tune)")
+        if self.shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive")
+        if self.max_shard_restarts < 0:
+            raise ValueError("max_shard_restarts must be >= 0")
+        if self.shard_backoff < 0:
+            raise ValueError("shard_backoff must be >= 0")
         if self.cell_names is not None:
             self.cell_names = tuple(self.cell_names)
             if len(self.cell_names) != self.cells:
@@ -122,6 +188,17 @@ class FleetConfig(EngineConfig):
                     f"cell_overrides[{key!r}] names unknown EngineConfig "
                     f"fields: {sorted(unknown)}"
                 )
+
+    def supervisor_config(self) -> SupervisorConfig | None:
+        """The shard-supervision policy this config describes (None = off)."""
+        if not self.supervise:
+            return None
+        return SupervisorConfig(
+            round_timeout=self.shard_timeout,
+            max_restarts=self.max_shard_restarts,
+            backoff_base=self.shard_backoff,
+            seed=self.partition_seed,
+        )
 
     def resolved_cell_names(self) -> tuple[str, ...]:
         """The cell names this config describes."""

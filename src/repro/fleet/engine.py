@@ -377,9 +377,13 @@ class FleetEngine:
         #: cell name -> (failure order, state signature, dirty generation)
         #: at last worker sync.
         self._sync: dict[str, tuple[tuple[str, ...], tuple, int]] = {}
-        #: Test hook: (shard index, nth command) worker-death injection,
-        #: handed to the pool at creation (see repro.fleet.pool.ShardPool).
-        self._shard_fault: tuple[int, int] | None = None
+        #: Test hook: worker-fault injection handed to the pool at creation —
+        #: the legacy (shard index, nth command) kill tuple or a composable
+        #: repro.chaos.infra.FaultPlan (see repro.fleet.pool.ShardPool).
+        self._shard_fault: object | None = None
+        #: Test hook: ShardPool substitute (the infra-chaos fuzzer plants
+        #: deliberately broken supervisors through this).
+        self._pool_class: type | None = None
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -435,9 +439,18 @@ class FleetEngine:
         so steady-state IPC is O(churn + report), not O(cluster).  Parent
         states stay authoritative: mutate them freely between rounds (node
         health and structural changes are picked up; structural ones cost a
-        one-off state resync).  A dead worker raises
-        :exc:`repro.fleet.pool.ShardFailure` *before* any fold-back, leaving
-        the fleet state unchanged; the next call rebuilds the pool.
+        one-off state resync).
+
+        With supervision on (``config.supervise``, the default) a dead,
+        hung or corrupt worker is restarted — re-seeded from the parent's
+        authoritative states with the in-flight round replayed, so the
+        merged outcome stays byte-identical — and a crash-looping shard
+        degrades (its cells re-home to surviving workers) instead of
+        failing the call; :class:`~repro.fleet.events.ShardRestarted` /
+        :class:`~repro.fleet.events.ShardDegraded` surface on the fleet
+        bus.  With ``supervise=False`` a worker fault raises
+        :exc:`repro.fleet.pool.ShardFailure` *before* any fold-back,
+        leaving the fleet state unchanged; the next call rebuilds the pool.
         """
         workers = self.config.workers if workers is None else workers
         if workers < 1:
@@ -510,11 +523,14 @@ class FleetEngine:
         if self._pool is not None and self._pool_workers != workers:
             self.close()
         if self._pool is None:
-            self._pool = ShardPool(
+            pool_class = self._pool_class or ShardPool
+            self._pool = pool_class(
                 self.cells,
                 workers=workers,
                 codec=self.config.codec,
                 fault=self._shard_fault,
+                supervisor=self.config.supervisor_config(),
+                on_event=self.events.emit,
             )
             self._pool_workers = workers
             # The pool just shipped the current states; baseline the delta

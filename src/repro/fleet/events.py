@@ -15,6 +15,12 @@ processes.  On top of that the federation layer emits its own vocabulary:
 * :class:`CellReconciled` — lightweight per-cell round summary used by the
   replay path, where full plan/schedule payloads are not shipped back from
   worker processes.
+* :class:`ShardRestarted` — the shard supervisor replaced a dead, hung or
+  corrupt worker process and replayed its in-flight command (results stay
+  byte-identical to a fault-free round).
+* :class:`ShardDegraded` — a shard exhausted its restart budget; its cells
+  were re-homed (to surviving workers, or in-process when none survive)
+  instead of failing the call.
 
 All events subclass :class:`~repro.api.events.EngineEvent`, so one observer
 type serves engines and fleets alike.
@@ -55,6 +61,35 @@ class CellDegraded(EngineEvent):
 
     cell: str
     missing: tuple[tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class ShardRestarted(EngineEvent):
+    """The supervisor restarted a shard worker after a fault.
+
+    ``attempt`` counts consecutive failures for this shard (resets on any
+    successful reply); ``reason`` is a short human-readable fault
+    description (worker died / deadline exceeded / corrupt reply frame).
+    """
+
+    shard: int
+    attempt: int
+    cells: tuple[str, ...]
+    reason: str
+
+
+@dataclass(frozen=True)
+class ShardDegraded(EngineEvent):
+    """A shard crash-looped past its restart budget and was degraded.
+
+    Its cells keep reconciling — first in-process in the parent, then
+    re-homed to surviving workers at the next dispatch — so the fleet call
+    completes instead of raising.  ``reason`` describes the final fault.
+    """
+
+    shard: int
+    cells: tuple[str, ...]
+    reason: str
 
 
 @dataclass(frozen=True)

@@ -239,12 +239,15 @@ class _PoolExecutor:
     batching = True
 
     def __init__(self, fleet, seed: int, workers: int, codec: str) -> None:
-        self.pool = ShardPool(
+        pool_class = getattr(fleet, "_pool_class", None) or ShardPool
+        self.pool = pool_class(
             fleet.cells,
             seed=seed,
             workers=workers,
             codec=codec,
             fault=getattr(fleet, "_shard_fault", None),
+            supervisor=fleet.config.supervisor_config(),
+            on_event=fleet.events.emit,
         )
 
     def step(

@@ -20,11 +20,15 @@ types that cross the fleet's process boundary:
   cluster states during a resync, engine configs at pool start), so the
   codec never refuses a payload — unknown types just skip the compaction.
 
-The format carries an explicit schema version (:data:`WIRE_VERSION`) in a
-three-byte header; decoding a different version raises :exc:`WireError`
-rather than mis-parsing, which is what lets a fleet refuse a peer running
-an older wire schema instead of silently corrupting a round.  Truncated or
-corrupt frames also surface as :exc:`WireError`.
+The format carries an explicit schema version (:data:`WIRE_VERSION`) and a
+CRC-32 of the body in a seven-byte header; decoding a different version
+raises :exc:`WireError` rather than mis-parsing, which is what lets a fleet
+refuse a peer running an older wire schema instead of silently corrupting a
+round.  The checksum makes *every* truncation or bit-flip of a frame —
+header or body, at any byte offset — surface deterministically as
+:exc:`WireError`, never as a hang, a crash, or a silently wrong decode;
+the shard supervisor relies on this to treat a corrupt reply as a worker
+fault it can recover from.
 
 ``dumps``/``loads`` round-trip every supported value exactly (object
 types, tuple-vs-list shape, dict insertion order, float bits), which the
@@ -36,6 +40,7 @@ from __future__ import annotations
 
 import pickle
 import struct
+import zlib
 
 from repro.cluster.state import ReplicaId
 from repro.core.controller import ReconcileReport
@@ -52,12 +57,20 @@ from repro.traces.schema import CapacityTarget, LoadChange, NodeFailure, NodeRec
 from repro.fleet.spillover import DonorCapacity, MsSpec, SpilloverAssignment
 from repro.fleet.summary import CellSummary
 
-#: Wire schema version.  Bump when tags, record ids or record field lists
-#: change; decoders reject any other version outright.
-WIRE_VERSION = 1
+#: Wire schema version.  Bump when tags, record ids, record field lists or
+#: the header layout change; decoders reject any other version outright.
+#: v2 added the CRC-32 body checksum to the header.
+WIRE_VERSION = 2
 
 #: Two-byte magic prefixing every message (catches non-wire input early).
 MAGIC = b"FW"
+
+#: Header layout: 2-byte magic + 1-byte version + 4-byte little-endian
+#: CRC-32 of the body.
+HEADER_SIZE = 7
+
+_pack_crc = struct.Struct("<I").pack
+_unpack_crc = struct.Struct("<I").unpack_from
 
 
 class WireError(ValueError):
@@ -280,10 +293,13 @@ def _encode(obj, buf: bytearray, interns: dict[str, int]) -> None:
 
 
 def dumps(obj) -> bytes:
-    """Encode ``obj`` as one framed wire message (magic + version + value)."""
+    """Encode ``obj`` as one framed wire message (magic + version + crc + value)."""
+    body = bytearray()
+    _encode(obj, body, {})
     buf = bytearray(MAGIC)
     buf.append(WIRE_VERSION)
-    _encode(obj, buf, {})
+    buf += _pack_crc(zlib.crc32(body) & 0xFFFFFFFF)
+    buf += body
     return bytes(buf)
 
 
@@ -292,6 +308,10 @@ def _read_varint(data: bytes, i: int) -> tuple[int, int]:
     shift = 0
     result = 0
     while True:
+        if shift > 127:
+            # A frame that passed the CRC never encodes varints this long;
+            # bound the loop so even a checksum collision cannot spin it.
+            raise WireError("varint overruns 128 bits")
         byte = data[i]
         i += 1
         result |= (byte & 0x7F) << shift
@@ -364,7 +384,12 @@ def _decode(data: bytes, i: int, interns: list[str]):
         raw = data[i : i + length]
         if len(raw) != length:
             raise IndexError
-        return pickle.loads(raw), i + length
+        try:
+            return pickle.loads(raw), i + length
+        except WireError:
+            raise
+        except Exception as exc:
+            raise WireError(f"corrupt pickle escape frame: {exc!r}") from exc
     raise WireError(f"unknown wire tag {tag}")
 
 
@@ -380,8 +405,18 @@ def loads(data: bytes):
             f"wire schema version {version} is not supported "
             f"(this build speaks version {WIRE_VERSION})"
         )
+    if len(data) < HEADER_SIZE:
+        raise WireError("truncated wire message: missing body checksum")
+    data = bytes(data)
+    expected = _unpack_crc(data, 3)[0]
+    actual = zlib.crc32(data[HEADER_SIZE:]) & 0xFFFFFFFF
+    if actual != expected:
+        raise WireError(
+            f"wire body checksum mismatch (crc32 {actual:#010x}, header says "
+            f"{expected:#010x}): frame truncated or corrupted in flight"
+        )
     try:
-        value, offset = _decode(bytes(data), 3, [])
+        value, offset = _decode(data, HEADER_SIZE, [])
     except (IndexError, struct.error) as exc:
         raise WireError(f"truncated or corrupt wire message: {exc!r}") from exc
     if offset != len(data):
@@ -396,16 +431,25 @@ def _pickle_dumps(obj) -> bytes:
     return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
 
 
+def _pickle_loads(data: bytes):
+    try:
+        return pickle.loads(data)
+    except Exception as exc:
+        raise WireError(f"corrupt pickle frame: {exc!r}") from exc
+
+
 def resolve_codec(name: str):
     """``(dumps, loads)`` for a codec name — ``"wire"`` or ``"pickle"``.
 
     Both sides of a pipe resolve the same name, so the frames always match;
     the pickle codec is the escape hatch for payload types the wire schema
     does not cover natively (it costs bytes, not correctness — wire embeds
-    pickle frames for unknown types anyway).
+    pickle frames for unknown types anyway).  Either codec surfaces a
+    damaged frame as :exc:`WireError`, so the shard pool's corrupt-reply
+    recovery path is codec-agnostic.
     """
     if name == "wire":
         return dumps, loads
     if name == "pickle":
-        return _pickle_dumps, pickle.loads
+        return _pickle_dumps, _pickle_loads
     raise ValueError(f"unknown fleet codec {name!r} (choose 'wire' or 'pickle')")

@@ -13,10 +13,17 @@ through :class:`ControlPlane` and :func:`run_load`.
 """
 
 from repro.serve.admission import AdmissionBatcher, AdmissionFull, canonical_key
-from repro.serve.app import ControlPlane, build_fleet, event_record, percentiles
+from repro.serve.app import (
+    ControlPlane,
+    ServeCrash,
+    build_fleet,
+    event_record,
+    percentiles,
+)
 from repro.serve.http1 import HttpConnection, HttpError
 from repro.serve.loadgen import run_load
 from repro.serve.session import SessionRecorder, fleet_digest, state_digest
+from repro.serve.wal import WalError, WriteAheadLog, resume_control_plane
 from repro.serve.websocket import WebSocketClient, WebSocketError
 
 __all__ = [
@@ -25,14 +32,18 @@ __all__ = [
     "ControlPlane",
     "HttpConnection",
     "HttpError",
+    "ServeCrash",
     "SessionRecorder",
+    "WalError",
     "WebSocketClient",
     "WebSocketError",
+    "WriteAheadLog",
     "build_fleet",
     "canonical_key",
     "event_record",
     "fleet_digest",
     "percentiles",
+    "resume_control_plane",
     "run_load",
     "state_digest",
 ]

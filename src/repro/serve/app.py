@@ -36,6 +36,7 @@ import json
 import time as _time
 from typing import Mapping
 
+from repro.fleet.checkpoint import save_checkpoint
 from repro.fleet.engine import FleetEngine, step_cells
 from repro.fleet.events import CellEvent, CellReconciled
 from repro.fleet.replay import FleetReplayStep
@@ -70,6 +71,15 @@ from repro.serve.websocket import (
 
 #: Per-subscriber event queue depth; a slow reader drops, never blocks rounds.
 SUBSCRIBER_QUEUE = 512
+
+
+class ServeCrash(RuntimeError):
+    """Injected control-plane crash (see :class:`repro.chaos.infra.FaultPlan`).
+
+    Raised by the round driver *after* the batch is journaled but *before*
+    it applies — the exact window the WAL recovery path must cover.  Only
+    fault plans raise this; production code never does.
+    """
 
 
 def build_fleet(
@@ -175,6 +185,10 @@ class ControlPlane:
         queue_limit: int = 1024,
         retry_after: float = 1.0,
         fleet_params: dict[str, object] | None = None,
+        wal=None,
+        checkpoint_path=None,
+        checkpoint_every: int = 0,
+        fault_plan=None,
     ) -> None:
         self.fleet = fleet
         self.seed = seed
@@ -182,6 +196,15 @@ class ControlPlane:
         #: Construction parameters echoed by ``/config`` so a client can
         #: rebuild the identical fleet for offline-replay verification.
         self.fleet_params = dict(fleet_params or {})
+        #: Optional :class:`~repro.serve.wal.WriteAheadLog`; every admitted
+        #: batch is journaled (fsync) before the round applies.
+        self.wal = wal
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        #: Optional :class:`~repro.chaos.infra.FaultPlan` (duck-typed: only
+        #: ``wal_crash_round`` / ``ws_drop_after`` are read here).
+        self.fault_plan = fault_plan
+        self._resumed = False
         self.batcher = AdmissionBatcher(queue_limit=queue_limit, retry_after=retry_after)
         self.recorder = SessionRecorder(
             fleet.cell_names,
@@ -201,16 +224,24 @@ class ControlPlane:
 
     # -- lifecycle -------------------------------------------------------------
 
+    def mark_resumed(self) -> None:
+        """Flag this plane as WAL-recovered: :meth:`start` must keep the
+        rebuilt fleet state instead of resetting it."""
+        self._resumed = True
+
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
         """Reset the fleet, start the round driver and bind the listener.
 
         The reset mirrors :meth:`FleetReplayer.run`'s entry (detector state
         forgotten, pool torn down), so a served session starts from the
-        same point an offline replay of its recorded trace will.
+        same point an offline replay of its recorded trace will.  A plane
+        rebuilt by :func:`~repro.serve.wal.resume_control_plane` skips the
+        reset — its state *is* the replayed session.
         """
         if self._server is not None:
             raise RuntimeError("control plane already started")
-        self.fleet.reset()
+        if not self._resumed:
+            self.fleet.reset()
         self._unsubscribe = self.fleet.events.subscribe(self._on_bus_event)
         self._with_events = bool(self.fleet.events)
         self._driver = asyncio.create_task(self._drive())
@@ -240,6 +271,8 @@ class ControlPlane:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.wal is not None:
+            self.wal.close()
         self.fleet.close()
 
     # -- the round driver ------------------------------------------------------
@@ -256,6 +289,24 @@ class ControlPlane:
             round_index = self.recorder.record_batch(
                 (mutation.cell, mutation.event) for mutation in batch
             )
+            if self.wal is not None:
+                # Durability point: once this returns, the batch survives a
+                # crash — apply must never precede it.
+                self.wal.append_batch(
+                    round_index,
+                    [(mutation.cell, mutation.record) for mutation in batch],
+                )
+            if (
+                self.fault_plan is not None
+                and getattr(self.fault_plan, "wal_crash_round", None) == round_index
+            ):
+                crash = ServeCrash(
+                    f"injected crash after journaling round {round_index}"
+                )
+                for mutation in batch:
+                    if not mutation.future.done():
+                        mutation.future.set_exception(crash)
+                raise crash
             try:
                 step = self._apply_round(round_index, events_by_cell)
             except Exception as exc:  # engine invariant broken: fail loudly
@@ -265,6 +316,16 @@ class ControlPlane:
                 raise
             self.steps.append(step)
             self.round_seconds.append(_time.perf_counter() - started)
+            if (
+                self.checkpoint_path is not None
+                and self.checkpoint_every > 0
+                and (round_index + 1) % self.checkpoint_every == 0
+            ):
+                save_checkpoint(
+                    self.fleet,
+                    self.checkpoint_path,
+                    extra={"rounds": round_index + 1},
+                )
             record = step.to_record()
             result = {"round": round_index, "step": record}
             for mutation in batch:
@@ -618,6 +679,12 @@ class ControlPlane:
                 pass
 
     async def _ws_sender(self, queue: asyncio.Queue, writer: asyncio.StreamWriter) -> None:
+        drop_after = (
+            getattr(self.fault_plan, "ws_drop_after", None)
+            if self.fault_plan is not None
+            else None
+        )
+        sent = 0
         try:
             while True:
                 line = await queue.get()
@@ -625,8 +692,14 @@ class ControlPlane:
                     writer.write(encode_frame(OP_CLOSE))
                     await writer.drain()
                     return
+                if drop_after is not None and sent >= drop_after:
+                    # Injected infrastructure fault: hard-drop the peer
+                    # (no close frame), as a dying network path would.
+                    writer.transport.abort()
+                    return
                 writer.write(text_frame(line))
                 await writer.drain()
+                sent += 1
         except (ConnectionError, OSError):
             pass  # the reader loop notices the dead peer and unregisters us
 

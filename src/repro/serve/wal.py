@@ -1,0 +1,198 @@
+"""Write-ahead journal + crash recovery for served sessions.
+
+Durability contract: every admitted batch is appended to the journal —
+flushed and fsynced — *before* the round applies to the fleet
+(:meth:`ControlPlane._drive` sequences record → append → apply).  A crash
+at any point therefore loses at most work the client was never told
+committed; ``python -m repro serve --resume`` rebuilds the fleet by
+replaying the journal (optionally fast-forwarded from a
+:mod:`repro.fleet.checkpoint` file) and the resumed session's recorded
+trace and fleet digest equal an uncrashed run's, byte for byte — the
+recovery gate the tests and the CI ``infra-chaos-smoke`` job assert.
+
+Format: JSONL.  Line one is a header recording everything needed to
+rebuild the fleet (the ``build_fleet`` parameters plus the control plane's
+seed/force/queue settings); each following line is one batch::
+
+    {"record": "wal", "version": 1, "fleet": {...}, "seed": 0, ...}
+    {"record": "batch", "round": 0, "mutations": [["cell-0", {...}], ...]}
+
+Torn tail: a crash can leave one partially written final line; the reader
+drops it (that batch never applied — the crash happened during the append,
+so its round never ran and no client saw it commit).  A malformed line
+*before* the tail is real corruption and raises :exc:`WalError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.traces.schema import parse_event
+
+#: Journal format version (bump on incompatible record changes).
+WAL_VERSION = 1
+
+
+class WalError(RuntimeError):
+    """A journal file is damaged, incompatible, or inconsistent."""
+
+
+class WriteAheadLog:
+    """Append-only JSONL journal of admitted mutation batches.
+
+    Pass ``header`` to start a fresh journal (truncates any existing file);
+    omit it to reopen an existing journal for appending (the resume path).
+    Every append is flushed and fsynced before returning — the driver's
+    "append before apply" sequencing is only durable because of that.
+    """
+
+    def __init__(self, path, *, header: dict | None = None) -> None:
+        self.path = os.fspath(path)
+        if header is not None:
+            self._handle = open(self.path, "w", encoding="utf-8")
+            self._write_line(
+                {"record": "wal", "version": WAL_VERSION} | dict(header)
+            )
+        else:
+            if not os.path.exists(self.path):
+                raise WalError(f"{self.path}: cannot append to a missing journal")
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    def _write_line(self, record: dict) -> None:
+        self._handle.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def append_batch(self, round_index: int, mutations) -> None:
+        """Journal one admitted batch: ``[(cell, event record), ...]``."""
+        self._write_line(
+            {
+                "record": "batch",
+                "round": round_index,
+                "mutations": [[cell, dict(record)] for cell, record in mutations],
+            }
+        )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    @staticmethod
+    def read(path) -> tuple[dict, list[dict]]:
+        """Load a journal: ``(header, batch records)``, torn-tail tolerant."""
+        path = os.fspath(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        if not lines:
+            raise WalError(f"{path}: empty journal")
+        records: list[dict] = []
+        for index, line in enumerate(lines):
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict) or "record" not in record:
+                    raise ValueError("not a journal record")
+            except ValueError as exc:
+                if index == len(lines) - 1:
+                    break  # torn tail: the crash interrupted this append
+                raise WalError(f"{path}: corrupt journal line {index + 1}: {exc}") from exc
+            records.append(record)
+        if not records:
+            raise WalError(f"{path}: no intact journal header")
+        header = records[0]
+        if header.get("record") != "wal":
+            raise WalError(f"{path}: first line is not a journal header")
+        if header.get("version") != WAL_VERSION:
+            raise WalError(
+                f"{path}: journal version {header.get('version')} unsupported "
+                f"(this build reads version {WAL_VERSION})"
+            )
+        batches = []
+        for record in records[1:]:
+            if record.get("record") != "batch":
+                raise WalError(f"{path}: unexpected record {record.get('record')!r}")
+            if record.get("round") != len(batches):
+                raise WalError(
+                    f"{path}: journal round {record.get('round')} out of order "
+                    f"(expected {len(batches)})"
+                )
+            batches.append(record)
+        return header, batches
+
+
+def resume_control_plane(
+    wal_path,
+    *,
+    checkpoint_path=None,
+    checkpoint_every: int = 0,
+    queue_limit: int | None = None,
+    retry_after: float = 1.0,
+):
+    """Rebuild a :class:`~repro.serve.app.ControlPlane` from its journal.
+
+    Reconstruction is the serve determinism contract run backwards: rebuild
+    the identical fleet from the journal header's construction parameters,
+    take the same entry point a fresh session takes (``fleet.reset()``),
+    then re-apply every journaled batch through the *same* fold the live
+    driver uses.  With a checkpoint, the fleet fast-forwards to the
+    checkpointed round first and only the journal tail replays — the
+    result is identical either way, the checkpoint just bounds recovery
+    time.  Every batch (replayed or skipped) is re-recorded into a fresh
+    session recorder, so the resumed plane's ``/trace`` and ``/digest``
+    match an uncrashed run's.
+
+    The returned plane has the journal reopened for appending and is
+    flagged resumed, so :meth:`~repro.serve.app.ControlPlane.start` keeps
+    the recovered state instead of resetting it.  Call ``start()`` next.
+    """
+    from repro.fleet.checkpoint import load_checkpoint, restore_checkpoint
+    from repro.serve.app import ControlPlane, build_fleet
+
+    header, batches = WriteAheadLog.read(wal_path)
+    params = dict(header.get("fleet", {}))
+    fleet = build_fleet(**params)
+    plane = ControlPlane(
+        fleet,
+        seed=int(header.get("seed", 0)),
+        force_each_step=bool(header.get("force_each_step", False)),
+        queue_limit=(
+            int(header["queue_limit"]) if queue_limit is None else queue_limit
+        ),
+        retry_after=retry_after,
+        fleet_params=params,
+        wal=WriteAheadLog(wal_path),
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+    )
+    fleet.reset()  # the same starting point ControlPlane.start() takes
+    start_round = 0
+    if checkpoint_path is not None and os.path.exists(os.fspath(checkpoint_path)):
+        checkpoint = load_checkpoint(checkpoint_path)
+        restore_checkpoint(fleet, checkpoint)
+        start_round = int(checkpoint.extra.get("rounds", 0))
+        if start_round > len(batches):
+            raise WalError(
+                f"checkpoint is ahead of the journal ({start_round} rounds "
+                f"checkpointed, {len(batches)} journaled)"
+            )
+    for record in batches:
+        pairs = []
+        events_by_cell: dict[str, list] = {}
+        for cell, event_record in record["mutations"]:
+            event = parse_event(event_record, default_time=0.0)
+            pairs.append((cell, event))
+            events_by_cell.setdefault(cell, []).append(event)
+        round_index = plane.recorder.record_batch(pairs)
+        if round_index < start_round:
+            continue  # already folded into the checkpointed state
+        plane.steps.append(plane._apply_round(round_index, events_by_cell))
+    plane.mark_resumed()
+    return plane
+
+
+__all__ = ["WAL_VERSION", "WalError", "WriteAheadLog", "resume_control_plane"]

@@ -418,12 +418,20 @@ class TestWorkerEquivalence:
 
 
 class TestShardFailure:
-    """A dying shard surfaces one clear error, never a hang or a torn round."""
+    """Worker faults: fail-fast without supervision, self-healing with it.
 
-    def test_reconcile_worker_death_is_atomic(self):
+    The all-replies-before-fold contract is load-bearing either way — an
+    unsupervised pool raises before any partial fold-back; a supervised one
+    restarts the worker and re-executes the in-flight command, so the
+    eventual fold is byte-identical to a fault-free round.  Deeper fault
+    coverage (hangs, corrupt frames, journal restarts, degraded adoption)
+    lives in ``tests/test_infra.py``.
+    """
+
+    def test_unsupervised_worker_death_is_atomic(self):
         from repro.fleet.pool import ShardFailure
 
-        fleet = _three_cell_fleet()
+        fleet = _three_cell_fleet(supervise=False)
         try:
             fleet._shard_fault = (0, 2)  # shard 0 dies on its 2nd command
             fleet.reconcile(force=True, workers=2)  # command 1: survives
@@ -439,7 +447,7 @@ class TestShardFailure:
         finally:
             fleet.close()
 
-    def test_replay_worker_death_raises_cleanly(self):
+    def test_unsupervised_replay_worker_death_raises_cleanly(self):
         from repro.fleet.pool import ShardFailure
 
         scenario = fleet_scenario(3, 16, horizon=1500.0, mtbf=300.0, seed=4)
@@ -447,7 +455,7 @@ class TestShardFailure:
             build_environment(node_count=16, n_apps=2, seed=61 + i).fresh_state()
             for i in range(3)
         ]
-        fleet = FleetEngine(FleetConfig(cells=3), states=states)
+        fleet = FleetEngine(FleetConfig(cells=3, supervise=False), states=states)
         fleet.reconcile(force=True)
         fleet._shard_fault = (0, 3)
         try:
@@ -455,6 +463,65 @@ class TestShardFailure:
                 FleetReplayer(fleet, seed=2, workers=2).run(scenario)
         finally:
             fleet.close()
+
+    def test_supervised_restart_mid_round_is_byte_identical(self):
+        """Kill a worker mid-round: the supervisor restarts it and the round
+        lands byte-identically to a fault-free serial twin's."""
+        from repro.fleet import ShardRestarted
+
+        fleet = _three_cell_fleet(shard_backoff=0.0)
+        twin = _three_cell_fleet()
+        restarts = []
+        fleet.events.subscribe(restarts.append, ShardRestarted)
+        try:
+            fleet._shard_fault = (0, 2)  # shard 0 dies on its 2nd command
+            fleet.reconcile(force=True, workers=2)
+            twin.reconcile(force=True)
+            for target in (fleet, twin):
+                target.cells[0].state.fail_nodes(["node-1", "node-3"])
+                target.cells[1].state.fail_nodes(["node-2"])
+            report = fleet.reconcile(workers=2)  # command 2: worker dies here
+            twin_report = twin.reconcile()
+            assert restarts and restarts[0].shard == 0, (
+                "expected a ShardRestarted event for shard 0"
+            )
+            assert _fleet_fingerprint(report) == _fleet_fingerprint(twin_report)
+            assert [_state_fingerprint(c.state) for c in fleet.cells] == [
+                _state_fingerprint(c.state) for c in twin.cells
+            ]
+        finally:
+            fleet.close()
+            twin.close()
+
+    def test_supervised_crash_loop_degrades_instead_of_raising(self):
+        """A shard that dies on every incarnation exhausts its restart budget
+        and degrades — the round still completes, matching the serial twin."""
+        from repro.fleet import ShardDegraded, ShardRestarted
+
+        fleet = _three_cell_fleet(shard_backoff=0.0, max_shard_restarts=1)
+        twin = _three_cell_fleet()
+        restarts, degraded = [], []
+        fleet.events.subscribe(restarts.append, ShardRestarted)
+        fleet.events.subscribe(degraded.append, ShardDegraded)
+        try:
+            # The legacy fault kills on the Nth command of *every*
+            # incarnation, so shard 0 can never complete a round remotely.
+            fleet._shard_fault = (0, 1)
+            report = fleet.reconcile(force=True, workers=2)
+            twin_report = twin.reconcile(force=True)
+            assert len(restarts) == 1, "one restart before the budget ran out"
+            assert degraded and degraded[0].shard == 0
+            assert set(degraded[0].cells) <= set(fleet.cell_names)
+            assert _fleet_fingerprint(report) == _fleet_fingerprint(twin_report)
+            # Subsequent rounds keep working (cells re-homed to survivors).
+            for target in (fleet, twin):
+                target.cells[2].state.fail_nodes(["node-4"])
+            assert _fleet_fingerprint(fleet.reconcile(workers=2)) == _fleet_fingerprint(
+                twin.reconcile()
+            )
+        finally:
+            fleet.close()
+            twin.close()
 
     def test_pool_fault_hook_targets_one_shard(self):
         from repro.fleet.pool import ShardFailure, ShardPool

@@ -10,6 +10,7 @@ than returning a partial object.
 from __future__ import annotations
 
 import math
+import random
 import struct
 
 import pytest
@@ -187,12 +188,84 @@ class TestVersioningAndCorruption:
                 loads(payload[:cut])
 
     def test_trailing_bytes_rejected(self):
-        with pytest.raises(WireError, match="trailing"):
+        # The checksum covers the exact body, so appended bytes fail the CRC
+        # before the decoder could even notice the trailing garbage.
+        with pytest.raises(WireError, match="trailing|checksum"):
             loads(dumps([1, 2]) + b"\x00")
 
     def test_empty_input_rejected(self):
         with pytest.raises(WireError):
             loads(b"")
+
+    def test_checksum_detects_body_bit_flip(self):
+        payload = bytearray(dumps({"cells": ["cell-0", "cell-1"], "round": 3}))
+        payload[wire.HEADER_SIZE + 2] ^= 0x10
+        with pytest.raises(WireError, match="checksum"):
+            loads(bytes(payload))
+
+
+def _corruption_corpus():
+    """Small but shape-diverse frames for the exhaustive corruption sweep."""
+    ranked = RankedMicroservice("app", "front", 2.0)
+    plan = ActivationPlan(ranked=[ranked], activated=[ranked])
+    schedule = SchedulePlan(
+        target_assignment={("app", "front", 0): "node-1"},
+        actions=[make_action(ActionKind.START, ("app", "front", 0), "node-1", None)],
+        unplaced=[],
+    )
+    report = ReconcileReport(
+        triggered=True,
+        failed_nodes=["node-9"],
+        recovered_nodes=[],
+        plan=plan,
+        schedule=schedule,
+        planning_seconds=0.125,
+        actions_executed=1,
+    )
+    return [
+        ("round", {"cell-0": ("delta", ("n1",), ("n2",), (1.0, 2.0))}, True),
+        ("ok", [(report, {"node-9"})]),
+        ("step", {"cell-0": (NodeFailure(time=10.0, nodes=("n1", "n2")),)}, False, True),
+        {"nested": [1, "two", 3.5, None, b"\x00\xff", {"k": (1, 2)}]},
+        ("pickle-escape", EngineConfig()),
+    ]
+
+
+class TestCorruptionFuzz:
+    """Satellite: every single-byte truncation/bit-flip must raise WireError.
+
+    The supervisor treats a corrupt reply frame as a recoverable worker
+    fault, which is only safe if *no* corruption can hang the decoder,
+    crash it with a non-WireError, or silently decode to a wrong value.
+    The CRC-32 header makes this exhaustive sweep tractable: any damaged
+    frame fails the checksum (or an earlier header check) outright.
+    """
+
+    def test_every_truncation_offset_rejected(self):
+        for frame in (dumps(obj) for obj in _corruption_corpus()):
+            for cut in range(len(frame)):
+                with pytest.raises(WireError):
+                    loads(frame[:cut])
+
+    def test_every_single_bit_flip_rejected_or_roundtrips(self):
+        rng = random.Random(20260808)
+        for obj in _corruption_corpus():
+            frame = dumps(obj)
+            for offset in range(len(frame)):
+                corrupt = bytearray(frame)
+                corrupt[offset] ^= 1 << rng.randrange(8)
+                with pytest.raises(WireError):
+                    loads(bytes(corrupt))
+
+    def test_random_multi_byte_damage_rejected(self):
+        rng = random.Random(7)
+        frames = [dumps(obj) for obj in _corruption_corpus()]
+        for _ in range(200):
+            frame = bytearray(rng.choice(frames))
+            for _ in range(rng.randrange(1, 4)):
+                frame[rng.randrange(len(frame))] ^= rng.randrange(1, 256)
+            with pytest.raises(WireError):
+                loads(bytes(frame))
 
 
 class TestResolveCodec:

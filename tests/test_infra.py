@@ -1,0 +1,405 @@
+"""Infrastructure fault injection: fault plans, supervised recovery, the
+infra fuzzer, and durable checkpoints.
+
+The backbone is byte-identity under faults: a supervised parallel fleet
+hit with injected worker kills, hangs and corrupt frames must end every
+round in exactly the state of a fault-free serial twin — for both shard
+protocols (live reconcile with parent-state resync, and journal-replay
+workers).  Around it: the FaultPlan data model, the seeded infra fuzzer's
+determinism, the planted-supervisor-bug detection gate (the fuzzer must
+*find* bugs, not just pass correct code), close() escalation with
+force-kill reporting, and checkpoint save/load/restore round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.adaptlab import build_environment
+from repro.chaos.infra import (
+    AmnesicRestartPool,
+    FaultPlan,
+    InfraFuzzConfig,
+    InfraFuzzReport,
+    InfraViolation,
+    WorkerFault,
+    random_fault_plan,
+    replay_infra_case,
+    run_infra_fuzz,
+)
+from repro.fleet import (
+    CheckpointError,
+    FleetConfig,
+    FleetEngine,
+    FleetReplayer,
+    ShardDegraded,
+    ShardRestarted,
+    load_checkpoint,
+    restore_checkpoint,
+    save_checkpoint,
+)
+from repro.fleet.pool import ShardPool
+from repro.serve import fleet_digest
+from repro.traces import fleet_scenario
+
+
+def _states(cells: int = 3, nodes: int = 10, seed0: int = 91):
+    return [
+        build_environment(node_count=nodes, n_apps=2, seed=seed0 + index).fresh_state()
+        for index in range(cells)
+    ]
+
+
+def _supervised_fleet(*, fault=None, pool_class=None, **config_kwargs) -> FleetEngine:
+    config = FleetConfig(cells=3, shard_backoff=0.0, **config_kwargs)
+    fleet = FleetEngine(config, states=_states())
+    fleet.reconcile(force=True)
+    if fault is not None:
+        fleet._shard_fault = fault
+    if pool_class is not None:
+        fleet._pool_class = pool_class
+    return fleet
+
+
+def _churn(*fleets: FleetEngine) -> None:
+    """The same small churn applied to every fleet (keeps twins in step)."""
+    for fleet in fleets:
+        fleet.cells[0].state.fail_nodes(["node-1", "node-3"])
+        fleet.cells[1].state.fail_nodes(["node-2"])
+
+
+# -- the fault-plan data model ---------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_records_roundtrip(self):
+        plan = FaultPlan(
+            workers=(
+                WorkerFault(kind="kill", shard=0, command=2),
+                WorkerFault(kind="corrupt", shard=1, command=3, mode="truncate"),
+                WorkerFault(kind="kill", shard=1, command=1, incarnations=None),
+            ),
+            wal_crash_round=4,
+            ws_drop_after=7,
+        )
+        clone = FaultPlan.from_records(plan.to_records())
+        assert clone == plan
+        json.dumps(plan.to_records())  # reproducers must be JSON-able
+
+    def test_for_shard_filters_by_shard_and_incarnation(self):
+        plan = FaultPlan(
+            workers=(
+                WorkerFault(kind="kill", shard=0, command=2, incarnations=(0,)),
+                WorkerFault(kind="hang", shard=1, command=4, incarnations=(1,)),
+                WorkerFault(kind="kill", shard=1, command=1, incarnations=None),
+            )
+        )
+        assert plan.for_shard(0, 0) == [("kill", 2, "flip")]
+        assert plan.for_shard(0, 1) == []
+        assert plan.for_shard(1, 0) == [("kill", 1, "flip")]
+        assert plan.for_shard(1, 1) == [("hang", 4, "flip"), ("kill", 1, "flip")]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            WorkerFault(kind="meteor", shard=0, command=1)
+        with pytest.raises(ValueError, match="1-based"):
+            WorkerFault(kind="kill", shard=0, command=0)
+        with pytest.raises(ValueError, match="unknown corrupt mode"):
+            WorkerFault(kind="corrupt", shard=0, command=1, mode="scramble")
+
+    def test_random_fault_plan_is_seed_deterministic(self):
+        for seed in range(20):
+            first = random_fault_plan(seed, shards=3)
+            second = random_fault_plan(seed, shards=3)
+            assert first == second
+            assert 1 <= len(first.workers) <= 2
+            assert sum(1 for f in first.workers if f.kind == "hang") <= 1
+        no_hangs = [
+            f
+            for seed in range(40)
+            for f in random_fault_plan(seed, include_hangs=False).workers
+        ]
+        assert all(f.kind != "hang" for f in no_hangs)
+
+
+# -- supervised recovery is byte-identical ---------------------------------------
+
+
+class TestSupervisedRecovery:
+    @pytest.mark.parametrize("mode", ["flip", "truncate"])
+    def test_corrupt_frame_restart_matches_twin(self, mode):
+        """A worker answering with a damaged frame is restarted and the
+        round's outcome is byte-identical to a fault-free serial twin."""
+        plan = FaultPlan(
+            workers=(WorkerFault(kind="corrupt", shard=0, command=1, mode=mode),)
+        )
+        faulted = _supervised_fleet(fault=plan)
+        twin = _supervised_fleet()
+        restarts: list[ShardRestarted] = []
+        faulted.events.subscribe(restarts.append, ShardRestarted)
+        try:
+            _churn(faulted, twin)
+            faulted.reconcile(workers=2)
+            twin.reconcile()
+            assert [e.shard for e in restarts] == [0]
+            assert "corrupt" in restarts[0].reason
+            assert fleet_digest(faulted) == fleet_digest(twin)
+        finally:
+            faulted.close()
+            twin.close()
+
+    def test_hang_restart_matches_twin(self):
+        """A hung worker trips the round deadline, is replaced, and the
+        fold still matches the serial twin byte for byte."""
+        plan = FaultPlan(workers=(WorkerFault(kind="hang", shard=0, command=1),))
+        faulted = _supervised_fleet(fault=plan, shard_timeout=1.0)
+        twin = _supervised_fleet()
+        restarts: list[ShardRestarted] = []
+        faulted.events.subscribe(restarts.append, ShardRestarted)
+        try:
+            _churn(faulted, twin)
+            started = time.monotonic()
+            faulted.reconcile(workers=2)
+            assert time.monotonic() - started < 30.0  # deadline, not a hang
+            twin.reconcile()
+            assert [e.shard for e in restarts] == [0]
+            assert fleet_digest(faulted) == fleet_digest(twin)
+        finally:
+            faulted.close()
+            twin.close()
+
+    def test_external_sigkill_mid_fleet_recovers(self):
+        """A real ``kill -9`` on a worker process (not a simulated fault):
+        the supervisor replaces it and the next round is exact."""
+        faulted = _supervised_fleet()
+        twin = _supervised_fleet()
+        restarts: list[ShardRestarted] = []
+        faulted.events.subscribe(restarts.append, ShardRestarted)
+        try:
+            _churn(faulted, twin)
+            faulted.reconcile(workers=2)
+            twin.reconcile()
+            assert fleet_digest(faulted) == fleet_digest(twin)
+
+            victim = faulted._pool._shards[0].process
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=10)
+
+            for fleet in (faulted, twin):
+                fleet.cells[2].state.fail_nodes(["node-4"])
+            faulted.reconcile(workers=2)
+            twin.reconcile()
+            assert [e.shard for e in restarts] == [0]
+            assert fleet_digest(faulted) == fleet_digest(twin)
+        finally:
+            faulted.close()
+            twin.close()
+
+    def test_replay_protocol_restart_matches_serial_jsonl(self):
+        """Journal-replay workers: a mid-scenario kill is replayed from the
+        shard journal and the metrics JSONL equals the serial replay's."""
+        scenario = fleet_scenario(3, 10, horizon=300.0, mtbf=100.0, seed=7)
+        serial = _supervised_fleet()
+        try:
+            reference = FleetReplayer(serial, seed=7).run(scenario).to_jsonl()
+        finally:
+            serial.close()
+        plan = FaultPlan(workers=(WorkerFault(kind="kill", shard=0, command=3),))
+        faulted = _supervised_fleet(fault=plan)
+        restarts: list[ShardRestarted] = []
+        faulted.events.subscribe(restarts.append, ShardRestarted)
+        try:
+            jsonl = FleetReplayer(faulted, seed=7, workers=2).run(scenario).to_jsonl()
+        finally:
+            faulted.close()
+        assert [e.shard for e in restarts] == [0]
+        assert jsonl == reference
+
+
+# -- close() escalation ----------------------------------------------------------
+
+
+class TestCloseEscalation:
+    def test_wedged_worker_is_force_killed_and_reported(self, monkeypatch):
+        """A worker that ignores the cooperative stop *and* SIGTERM (here:
+        SIGSTOPped, so signals stay pending) is force-killed by close()
+        and reported in ``force_killed``."""
+        monkeypatch.setattr(ShardPool, "STOP_JOIN_TIMEOUT", 0.3)
+        monkeypatch.setattr(ShardPool, "TERMINATE_JOIN_TIMEOUT", 0.3)
+        fleet = _supervised_fleet()
+        try:
+            fleet.reconcile(force=True, workers=2)
+            pool = fleet._pool
+            victim = pool._shards[1].process
+            os.kill(victim.pid, signal.SIGSTOP)
+            pool.close()
+            assert pool.force_killed == [1]
+            assert not victim.is_alive()
+        finally:
+            fleet.close()
+
+    def test_clean_close_force_kills_nothing(self):
+        fleet = _supervised_fleet()
+        try:
+            fleet.reconcile(force=True, workers=2)
+            pool = fleet._pool
+            pool.close()
+            assert pool.force_killed == []
+        finally:
+            fleet.close()
+
+
+# -- durable checkpoints ---------------------------------------------------------
+
+
+class TestCheckpoint:
+    def _converged_fleet(self) -> FleetEngine:
+        fleet = FleetEngine(FleetConfig(cells=3), states=_states())
+        fleet.reconcile(force=True)
+        fleet.cells[0].state.fail_nodes(["node-1", "node-5"])
+        fleet.cells[1].state.fail_nodes(["node-2"])
+        fleet.reconcile()
+        return fleet
+
+    def test_save_restore_roundtrip_is_exact(self, tmp_path):
+        path = tmp_path / "fleet.ckpt"
+        original = self._converged_fleet()
+        try:
+            save_checkpoint(original, path, extra={"rounds": 2})
+            digest = fleet_digest(original)
+
+            clone = FleetEngine(FleetConfig(cells=3), states=_states())
+            clone.reconcile(force=True)
+            checkpoint = load_checkpoint(path)
+            assert checkpoint.extra == {"rounds": 2}
+            restore_checkpoint(clone, checkpoint)
+            assert fleet_digest(clone) == digest
+
+            # The restored fleet keeps evolving identically, including the
+            # detector state and spillover memories the checkpoint carries.
+            for fleet in (original, clone):
+                fleet.cells[0].state.recover_nodes(["node-1"])
+                fleet.cells[2].state.fail_nodes(["node-0"])
+                fleet.reconcile()
+            assert fleet_digest(clone) == fleet_digest(original)
+            clone.close()
+        finally:
+            original.close()
+
+    def test_corruption_and_truncation_raise(self, tmp_path):
+        path = tmp_path / "fleet.ckpt"
+        fleet = self._converged_fleet()
+        try:
+            save_checkpoint(fleet, path)
+        finally:
+            fleet.close()
+        blob = path.read_bytes()
+
+        flipped = bytearray(blob)
+        flipped[len(flipped) // 2] ^= 0x10
+        path.write_bytes(bytes(flipped))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+        path.write_bytes(b"XX" + blob[2:])
+        with pytest.raises(CheckpointError, match="bad magic"):
+            load_checkpoint(path)
+
+        path.write_bytes(blob[:2] + bytes([99]) + blob[3:])
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path)
+
+    def test_cell_mismatch_raises(self, tmp_path):
+        path = tmp_path / "fleet.ckpt"
+        fleet = self._converged_fleet()
+        try:
+            save_checkpoint(fleet, path)
+        finally:
+            fleet.close()
+        other = FleetEngine(
+            FleetConfig(cells=2), states=_states(cells=2)
+        )
+        try:
+            with pytest.raises(CheckpointError, match="cell mismatch"):
+                restore_checkpoint(other, load_checkpoint(path))
+        finally:
+            other.close()
+
+
+# -- the infra fuzzer ------------------------------------------------------------
+
+
+def _small_campaign(**overrides) -> InfraFuzzConfig:
+    defaults = dict(
+        cases=2,
+        cells=3,
+        nodes_per_cell=10,
+        rounds=4,
+        horizon=240.0,
+        shard_timeout=2.0,
+        include_hangs=False,  # keep the unit-test budget wall-clock-tight
+        seed=0,
+    )
+    defaults.update(overrides)
+    return InfraFuzzConfig(**defaults)
+
+
+class TestInfraFuzzer:
+    def test_campaign_is_deterministic_and_clean(self):
+        config = _small_campaign()
+        first = run_infra_fuzz(config)
+        second = run_infra_fuzz(config)
+        assert first.ok and second.ok
+        assert first.to_text() == second.to_text()
+        assert first.faults_injected == second.faults_injected > 0
+        assert first.restarts_observed == second.restarts_observed
+
+    def test_finds_planted_supervisor_bug(self):
+        """The oracle's own test: a pool whose restarts drop the recovery
+        journal must be caught as a fault-recovery-equivalence violation,
+        within a bounded budget, with a working reproducer."""
+        config = _small_campaign(cases=4)
+        report = run_infra_fuzz(config, pool_class=AmnesicRestartPool)
+        assert not report.ok
+        violation = report.violation
+        assert violation.invariant == "fault-recovery-equivalence"
+        assert violation.mode == "replay"  # the bug lives in journal replay
+        assert "FAIL" in report.to_text()
+
+        # The reproducer record is self-contained: replaying it re-triggers
+        # the violation against the broken pool and passes on the fixed one.
+        retriggered = replay_infra_case(
+            violation.reproducer, pool_class=AmnesicRestartPool
+        )
+        assert not retriggered.ok
+        assert retriggered.violation.invariant == "fault-recovery-equivalence"
+        fixed = replay_infra_case(violation.reproducer)
+        assert fixed.ok
+
+    def test_reproducer_write_is_json(self, tmp_path):
+        violation = InfraViolation(
+            case=1,
+            seed=1,
+            mode="replay",
+            invariant="fault-recovery-equivalence",
+            message="diverged",
+            reproducer={"generator": "infra_fuzz_reproducer", "case": 1},
+        )
+        path = tmp_path / "repro.json"
+        violation.write(path)
+        assert json.loads(path.read_text())["case"] == 1
+
+    def test_report_text_shapes(self):
+        report = InfraFuzzReport(config=_small_campaign(), cases=2, faults_injected=3)
+        assert report.ok
+        assert "OK" in report.to_text()
+        assert "3 fault(s)" in report.to_text()

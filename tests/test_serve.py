@@ -28,10 +28,14 @@ from repro.serve import (
     AdmissionFull,
     ControlPlane,
     HttpConnection,
+    ServeCrash,
+    WalError,
     WebSocketClient,
+    WriteAheadLog,
     build_fleet,
     canonical_key,
     fleet_digest,
+    resume_control_plane,
 )
 from repro.serve.http1 import HttpError, read_request, render_response
 from repro.serve.websocket import (
@@ -575,6 +579,283 @@ class TestDeterminismGate:
             fleet.close()
 
 
+# -- write-ahead journal + crash recovery --------------------------------------
+
+#: A fixed serial workload: one round per mutation (single client).
+WAL_MUTATIONS = [
+    mutation("cell-0", "node_failure", nodes=["node-0", "node-3"]),
+    mutation("cell-1", "node_failure", nodes=["node-5"]),
+    mutation("cell-0", "node_recovery", nodes=["node-0"]),
+    mutation("cell-1", "node_recovery", nodes=["node-5"]),
+]
+
+
+def _wal_header() -> dict:
+    return {
+        "fleet": FLEET_PARAMS,
+        "seed": 0,
+        "force_each_step": False,
+        "queue_limit": 1024,
+    }
+
+
+def build_wal_plane(wal_path, **overrides) -> ControlPlane:
+    return build_plane(
+        wal=WriteAheadLog(wal_path, header=_wal_header()), **overrides
+    )
+
+
+async def _post_and_drop(host, port, payload) -> None:
+    """POST a mutation on a raw one-shot socket and read to EOF.
+
+    The crash tests need this instead of :class:`HttpConnection`: the
+    keep-alive client retries once on a dropped connection, and re-sending
+    the mutation to a crashed driver would wait forever on a future no one
+    will resolve.
+    """
+    body = json.dumps(payload).encode()
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        b"POST /mutations HTTP/1.1\r\nHost: x\r\nContent-Length: %d\r\n\r\n%s"
+        % (len(body), body)
+    )
+    await writer.drain()
+    await reader.read()  # EOF: the handler died with the driver
+    writer.close()
+
+
+async def _abandon(plane: ControlPlane) -> None:
+    """Tear a crashed plane down the way kill -9 would (no graceful drain)."""
+    if plane._server is not None:
+        plane._server.close()
+        await plane._server.wait_closed()
+        plane._server = None
+    plane.batcher.fail_pending(RuntimeError("crashed"))
+    if plane.wal is not None:
+        plane.wal.close()
+    plane.fleet.close()
+
+
+async def _session_snapshot(host, port) -> tuple[str, dict, list]:
+    async with HttpConnection(host, port) as conn:
+        digest = await conn.get_json("/digest")
+        trace = await conn.get_json("/trace")
+        steps = await conn.get_json("/steps")
+    return digest["digest"], trace["cells"], steps["steps"]
+
+
+async def _run_uncrashed_twin() -> tuple[str, dict, list]:
+    """The fault-free reference: all WAL_MUTATIONS served start to finish."""
+    plane = build_plane()
+    host, port = await plane.start()
+    try:
+        async with HttpConnection(host, port) as conn:
+            for payload in WAL_MUTATIONS:
+                status, _, _ = await post(conn, payload)
+                assert status == 200
+        return await _session_snapshot(host, port)
+    finally:
+        await plane.shutdown()
+
+
+class TestWriteAheadLog:
+    def test_journal_roundtrip(self, tmp_path):
+        path = tmp_path / "session.wal"
+        wal = WriteAheadLog(path, header=_wal_header())
+        wal.append_batch(0, [("cell-0", {"kind": "node_failure", "nodes": ["a"]})])
+        wal.append_batch(1, [("cell-1", {"kind": "node_recovery", "nodes": ["a"]})])
+        wal.close()
+        header, batches = WriteAheadLog.read(path)
+        assert header["fleet"] == FLEET_PARAMS
+        assert [b["round"] for b in batches] == [0, 1]
+        assert batches[0]["mutations"] == [
+            ["cell-0", {"kind": "node_failure", "nodes": ["a"]}]
+        ]
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "session.wal"
+        wal = WriteAheadLog(path, header=_wal_header())
+        wal.append_batch(0, [("cell-0", {"kind": "node_failure", "nodes": ["a"]})])
+        wal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"record": "batch", "round": 1, "mut')  # crash mid-write
+        _header, batches = WriteAheadLog.read(path)
+        assert [b["round"] for b in batches] == [0]
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = tmp_path / "session.wal"
+        wal = WriteAheadLog(path, header=_wal_header())
+        wal.append_batch(0, [("cell-0", {"kind": "node_failure", "nodes": ["a"]})])
+        wal.close()
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]  # damage a non-tail record
+        lines.append('{"record": "batch", "round": 1, "mutations": []}')
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(WalError, match="corrupt journal line"):
+            WriteAheadLog.read(path)
+
+    def test_out_of_order_rounds_raise(self, tmp_path):
+        path = tmp_path / "session.wal"
+        wal = WriteAheadLog(path, header=_wal_header())
+        wal.append_batch(1, [("cell-0", {"kind": "node_failure", "nodes": ["a"]})])
+        wal.close()
+        # A trailing valid record keeps round 1 from being torn-tail-dropped.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"record": "batch", "round": 2, "mutations": []}\n')
+        with pytest.raises(WalError, match="out of order"):
+            WriteAheadLog.read(path)
+
+
+class TestCrashRecovery:
+    def test_wal_append_precedes_apply(self, tmp_path):
+        """The crash window: a journaled round the fleet never saw."""
+
+        class _Plan:
+            wal_crash_round = 0
+            ws_drop_after = None
+
+        async def run():
+            path = tmp_path / "session.wal"
+            plane = build_wal_plane(path, fault_plan=_Plan())
+            host, port = await plane.start()
+            try:
+                await _post_and_drop(host, port, WAL_MUTATIONS[0])
+                with pytest.raises(ServeCrash):
+                    await plane._driver
+                assert plane.recorder.rounds == 1  # recorded and journaled...
+                assert plane.steps == []  # ...but never applied
+            finally:
+                await _abandon(plane)
+            _header, batches = WriteAheadLog.read(path)
+            assert [b["round"] for b in batches] == [0]
+
+        asyncio.run(run())
+
+    def test_crash_then_resume_matches_uncrashed_run(self, tmp_path):
+        """Kill the driver after journaling round 2; resume replays it and
+        finishes the workload — trace, digest, and steps all byte-equal the
+        fault-free twin's."""
+
+        class _Plan:
+            wal_crash_round = 2
+            ws_drop_after = None
+
+        async def crash_run(path) -> None:
+            plane = build_wal_plane(path, fault_plan=_Plan())
+            host, port = await plane.start()
+            try:
+                async with HttpConnection(host, port) as conn:
+                    for payload in WAL_MUTATIONS[:2]:
+                        status, _, _ = await post(conn, payload)
+                        assert status == 200
+                await _post_and_drop(host, port, WAL_MUTATIONS[2])
+                with pytest.raises(ServeCrash):
+                    await plane._driver
+            finally:
+                await _abandon(plane)
+
+        async def resume_run(path) -> tuple[str, dict, list]:
+            plane = resume_control_plane(path)
+            assert plane.recorder.rounds == 3  # rounds 0-2 rebuilt from the WAL
+            host, port = await plane.start()
+            try:
+                async with HttpConnection(host, port) as conn:
+                    status, _, result = await post(conn, WAL_MUTATIONS[3])
+                    assert status == 200
+                    assert result["round"] == 3  # continues where the WAL ended
+                return await _session_snapshot(host, port)
+            finally:
+                await plane.shutdown()
+
+        async def run():
+            path = tmp_path / "session.wal"
+            await crash_run(path)
+            recovered = await resume_run(path)
+            reference = await _run_uncrashed_twin()
+            assert recovered == reference
+
+        asyncio.run(run())
+
+    def test_resume_with_checkpoint_skips_replayed_rounds(self, tmp_path):
+        async def run():
+            wal_path = tmp_path / "session.wal"
+            checkpoint_path = tmp_path / "session.ckpt"
+            plane = build_wal_plane(
+                wal_path, checkpoint_path=checkpoint_path, checkpoint_every=2
+            )
+            host, port = await plane.start()
+            try:
+                async with HttpConnection(host, port) as conn:
+                    for payload in WAL_MUTATIONS:
+                        status, _, _ = await post(conn, payload)
+                        assert status == 200
+                digest, traces, _steps = await _session_snapshot(host, port)
+            finally:
+                await plane.shutdown()
+            assert checkpoint_path.exists()
+
+            resumed = resume_control_plane(wal_path, checkpoint_path=checkpoint_path)
+            try:
+                # The checkpoint covers all 4 rounds: nothing re-applies, yet
+                # the recorded trace and fleet state match the original.
+                assert resumed.steps == []
+                assert resumed.recorder.rounds == 4
+                assert fleet_digest(resumed.fleet) == digest
+                assert resumed.recorder.traces_jsonl() == traces
+            finally:
+                if resumed.wal is not None:
+                    resumed.wal.close()
+                resumed.fleet.close()
+
+        asyncio.run(run())
+
+    def test_client_disconnect_mid_batch_keeps_trace_intact(self, tmp_path):
+        """An admitted mutation commits even if its client vanishes before
+        the response — the recorded trace stays replayable and complete."""
+
+        async def run():
+            path = tmp_path / "session.wal"
+            plane = build_wal_plane(path)
+            host, port = await plane.start()
+            try:
+                # Fire a full POST and slam the connection without reading
+                # the response.
+                body = json.dumps(WAL_MUTATIONS[0]).encode()
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(
+                    b"POST /mutations HTTP/1.1\r\nHost: x\r\n"
+                    b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+                )
+                await writer.drain()
+                writer.close()
+                # The round driver is oblivious: wait for the round to land.
+                for _ in range(200):
+                    if plane.recorder.rounds >= 1:
+                        break
+                    await asyncio.sleep(0.01)
+                assert plane.recorder.rounds == 1
+                async with HttpConnection(host, port) as conn:
+                    status, _, result = await post(conn, WAL_MUTATIONS[1])
+                    assert status == 200
+                    assert result["round"] == 1
+                digest, traces, steps = await _session_snapshot(host, port)
+            finally:
+                await plane.shutdown()
+
+            # Both mutations are in the trace, and it replays to the digest.
+            scenario = {cell: Trace.loads(text) for cell, text in traces.items()}
+            assert sum(len(t) for t in scenario.values()) == 2
+            fleet = build_fleet(**FLEET_PARAMS)
+            try:
+                metrics = FleetReplayer(fleet, seed=0, workers=1).run(scenario)
+                assert fleet_digest(fleet) == digest
+                assert [step.to_record() for step in metrics.steps] == steps
+            finally:
+                fleet.close()
+
+        asyncio.run(run())
+
+
 class TestServeSubprocess:
     """The CLI boots a real server process that a client can talk to."""
 
@@ -620,3 +901,58 @@ class TestServeSubprocess:
             raise
         proc.send_signal(signal.SIGINT)
         assert proc.wait(timeout=30) == 0
+
+    def test_sigterm_drains_and_wal_resumes(self, tmp_path):
+        """SIGTERM is a graceful drain: admitted rounds finish, the journal
+        flushes, and an offline resume reproduces the served session."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(root / "src")
+        wal_path = tmp_path / "session.wal"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--cells", "2", "--nodes-per-cell", "12", "--apps", "2",
+                "--port", "0", "--wal", str(wal_path),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+            cwd=str(root),
+        )
+        try:
+            info = json.loads(proc.stdout.readline())
+            assert info["event"] == "Serving"
+            assert info["resumed"] is False
+
+            async def drive():
+                async with HttpConnection(info["host"], info["port"]) as conn:
+                    for payload in WAL_MUTATIONS:
+                        status, _, _ = await post(conn, payload)
+                        assert status == 200
+                    digest = await conn.get_json("/digest")
+                return digest["digest"]
+
+            served_digest = asyncio.run(drive())
+        except BaseException:
+            proc.kill()
+            proc.wait()
+            raise
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+
+        plane = resume_control_plane(wal_path)
+        try:
+            assert plane.recorder.rounds == len(WAL_MUTATIONS)
+            assert fleet_digest(plane.fleet) == served_digest
+        finally:
+            if plane.wal is not None:
+                plane.wal.close()
+            plane.fleet.close()
