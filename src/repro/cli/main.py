@@ -485,6 +485,9 @@ def cmd_serve(args) -> int:
     if args.resume:
         if not args.wal:
             raise CliError("--resume requires --wal PATH (the journal to replay)")
+        # queue_limit=None → resume_control_plane falls back to the limit
+        # journaled in the WAL header, so a resumed session keeps the
+        # original admission back-pressure unless the flag is re-specified.
         plane = resume_control_plane(
             args.wal,
             checkpoint_path=args.checkpoint,
@@ -492,6 +495,7 @@ def cmd_serve(args) -> int:
             queue_limit=args.queue_limit,
         )
     else:
+        queue_limit = 1024 if args.queue_limit is None else args.queue_limit
         params = _serve_fleet_params(args)
         fleet = build_fleet(**params)
         wal = None
@@ -502,14 +506,14 @@ def cmd_serve(args) -> int:
                     "fleet": params,
                     "seed": args.seed,
                     "force_each_step": args.force_each_step,
-                    "queue_limit": args.queue_limit,
+                    "queue_limit": queue_limit,
                 },
             )
         plane = ControlPlane(
             fleet,
             seed=args.seed,
             force_each_step=args.force_each_step,
-            queue_limit=args.queue_limit,
+            queue_limit=queue_limit,
             fleet_params=params,
             wal=wal,
             checkpoint_path=args.checkpoint,
@@ -1170,8 +1174,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8642, help="bind port; 0 = ephemeral (default: 8642)")
     serve.add_argument("--seed", type=int, default=0, help="capacity-event seed (default: 0)")
     serve.add_argument(
-        "--queue-limit", type=int, default=1024,
-        help="max pending mutations before 429 back-pressure (default: 1024)",
+        "--queue-limit", type=int, default=None,
+        help="max pending mutations before 429 back-pressure (default: 1024; "
+        "on --resume, defaults to the limit recorded in the journal header)",
     )
     serve.add_argument(
         "--force-each-step", action="store_true",

@@ -43,8 +43,11 @@ onto them only after the full gather), so a restarted worker is re-seeded
 from the parent's current cells and the in-flight round is re-sent with
 no-op deltas.  In the replay protocol the parent's states are frozen at
 pool start, so each shard keeps a journal of completed commands; a restart
-re-seeds from the initial payload and replays the journal worker-side
-(``restore``) before re-sending the in-flight command.  Either way the
+re-seeds from the shard's restart baseline and replays the journal
+worker-side (``restore``) before re-sending the in-flight command.  The
+journal is kept bounded: past :attr:`ShardPool.JOURNAL_COMPACT_THRESHOLD`
+commands the parent pulls a ``snapshot`` of the worker's state, makes it
+the new baseline, and truncates the journal.  Either way the
 re-executed work runs the exact same code over the exact same inputs as a
 fault-free round.
 
@@ -225,6 +228,12 @@ class _ShardServer:
             # never interleaves with an adoption.
             self.cells.extend(_build_cells(message[1]))
             return None
+        if command == "snapshot":
+            # Journal compaction: ship the shard's current logical state
+            # back to the parent, which makes it the new restart baseline
+            # and truncates the replay journal (read-only here — encoding
+            # the reply is itself the state copy).
+            return [_cell_payload(cell) for cell in self.cells]
         raise _UnknownCommand(f"unknown command {message[0]!r}")
 
 
@@ -349,8 +358,10 @@ class _Shard:
         self.conn = None
         self.incarnation = 0
         self.failures = 0
-        # Completed replay-protocol commands, for journal-based restarts.
-        # ``None`` once invalidated (reconcile protocol, or degradation).
+        # Completed replay-protocol commands since the last compaction
+        # snapshot, for journal-based restarts.  ``None`` when journaling
+        # is pointless or invalid (unsupervised pool, reconcile protocol,
+        # degradation).
         self.journal: list | None = []
         self.initial_payload = initial_payload
         self.server: _ShardServer | None = None
@@ -521,6 +532,13 @@ class ShardPool:
     STOP_JOIN_TIMEOUT = 10.0
     TERMINATE_JOIN_TIMEOUT = 5.0
     KILL_JOIN_TIMEOUT = 5.0
+    #: Replay-journal compaction threshold, in journaled commands: once a
+    #: shard's journal grows past this, the parent pulls a state snapshot
+    #: from the worker, makes it the new restart baseline, and truncates
+    #: the journal — bounding parent memory at O(threshold) commands per
+    #: shard for arbitrarily long replay sessions (class attr so tests
+    #: can shrink it).
+    JOURNAL_COMPACT_THRESHOLD = 64
 
     def __init__(
         self,
@@ -558,6 +576,10 @@ class ShardPool:
                 continue
             payload = [_cell_payload(cell) for cell in shard_cells]
             shard = _Shard(index, [c.name for c in shard_cells], payload)
+            if self.supervisor is None:
+                # Unsupervised pools never restart a worker, so journaling
+                # replay commands would only accumulate memory.
+                shard.journal = None
             self._spawn(shard, payload)
             self._shards.append(shard)
 
@@ -677,6 +699,37 @@ class ShardPool:
             shard.server = None
         self._shards = [s for s in self._shards if s.names]
 
+    def _maybe_compact(self) -> None:
+        """Truncate oversized replay journals against a fresh worker snapshot.
+
+        Runs at dispatch time, next to :meth:`_maybe_adopt` (so it can
+        never slip between a batch and its rewind — the one command pair
+        that depends on worker-side snapshots).  The snapshot reply is the
+        same shippable payload a spawn uses; once it lands, the journal
+        entries it subsumes are dropped and a later restart replays only
+        commands issued after it.  A worker that faults during the snapshot
+        is restarted in place (journal intact) and simply keeps its journal
+        until the next compaction opportunity.
+        """
+        for shard in self._shards:
+            if (
+                not shard.remote
+                or shard.journal is None
+                or len(shard.journal) < self.JOURNAL_COMPACT_THRESHOLD
+            ):
+                continue
+            try:
+                self._send(shard, ("snapshot",))
+                status, data = self._await_reply(shard)
+                if status != "ok":
+                    self._fail(f"fleet shard worker failed: {data}")
+            except _ShardDown as exc:
+                self._restart_in_place(shard, str(exc))
+                continue
+            shard.failures = 0
+            shard.initial_payload = data
+            shard.journal = []
+
     def _restart_in_place(self, shard: _Shard, reason: str) -> None:
         """Bring a worker back to its pre-command state with no in-flight
         command to re-send (used when an adoption hand-off fails)."""
@@ -723,6 +776,7 @@ class ShardPool:
         self._protocol = "reconcile" if resync is not None else "replay"
         if self.supervisor is not None and adoptable:
             self._maybe_adopt()
+            self._maybe_compact()
         self.last_reply_bytes = 0
         sent: dict[int, tuple] = {}
         down: dict[int, str] = {}

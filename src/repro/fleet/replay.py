@@ -100,6 +100,31 @@ class FleetReplayStep:
             "actions": self.actions,
         }
 
+    @classmethod
+    def from_record(cls, record: Mapping) -> "FleetReplayStep":
+        """Rebuild a step from :meth:`to_record` output.
+
+        Floats come back as :meth:`to_record` rounded them, so
+        ``from_record(r).to_record() == r`` — the round-trip the serve
+        layer relies on when checkpointed step records are served again
+        after a resume.
+        """
+        return cls(
+            time=float(record["time"]),
+            events=tuple(record["events"]),
+            failed_nodes=int(record["failed_nodes"]),
+            available_fraction=float(record["available_fraction"]),
+            availability=float(record["availability"]),
+            revenue=float(record["revenue"]),
+            utilization=float(record["utilization"]),
+            degraded_cells=tuple(record["degraded_cells"]),
+            spillovers_planned=int(record["spillovers_planned"]),
+            spillovers_released=int(record["spillovers_released"]),
+            spillovers_active=int(record["spillovers_active"]),
+            triggered=int(record["triggered"]),
+            actions=int(record["actions"]),
+        )
+
 
 @dataclass
 class FleetReplayMetrics:

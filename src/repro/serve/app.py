@@ -324,7 +324,14 @@ class ControlPlane:
                 save_checkpoint(
                     self.fleet,
                     self.checkpoint_path,
-                    extra={"rounds": round_index + 1},
+                    # Steps ride along so a checkpoint-fast-forwarded resume
+                    # serves a complete /steps list (wal.resume_control_plane
+                    # skips re-applying these rounds but still needs their
+                    # step records).
+                    extra={
+                        "rounds": round_index + 1,
+                        "steps": [step.to_record() for step in self.steps],
+                    },
                 )
             record = step.to_record()
             result = {"round": round_index, "step": record}

@@ -19,8 +19,10 @@ seed/force/queue settings); each following line is one batch::
 
 Torn tail: a crash can leave one partially written final line; the reader
 drops it (that batch never applied — the crash happened during the append,
-so its round never ran and no client saw it commit).  A malformed line
-*before* the tail is real corruption and raises :exc:`WalError`.
+so its round never ran and no client saw it commit), and reopening for
+append truncates it first, so the next record starts on a fresh line
+instead of concatenating onto the fragment.  A malformed line *before*
+the tail is real corruption and raises :exc:`WalError`.
 """
 
 from __future__ import annotations
@@ -57,7 +59,28 @@ class WriteAheadLog:
         else:
             if not os.path.exists(self.path):
                 raise WalError(f"{self.path}: cannot append to a missing journal")
+            self._truncate_torn_tail()
             self._handle = open(self.path, "a", encoding="utf-8")
+
+    def _truncate_torn_tail(self) -> None:
+        """Drop a partially written final line before appending resumes.
+
+        Each record is written as one ``line + "\\n"`` call, so a crash
+        mid-append leaves a *prefix* of that line — which, because the JSON
+        payload contains no newlines, never includes the terminator.  A
+        file not ending in ``"\\n"`` therefore ends in exactly the torn
+        fragment the reader drops; cutting back to the last newline keeps
+        the on-disk journal and :meth:`read`'s view identical, so the next
+        append starts a fresh record instead of merging into garbage.
+        """
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        if not data or data.endswith(b"\n"):
+            return
+        cut = data.rfind(b"\n") + 1
+        if cut == 0:
+            raise WalError(f"{self.path}: no intact journal header")
+        os.truncate(self.path, cut)
 
     def _write_line(self, record: dict) -> None:
         self._handle.write(
@@ -143,14 +166,18 @@ def resume_control_plane(
     checkpointed round first and only the journal tail replays — the
     result is identical either way, the checkpoint just bounds recovery
     time.  Every batch (replayed or skipped) is re-recorded into a fresh
-    session recorder, so the resumed plane's ``/trace`` and ``/digest``
-    match an uncrashed run's.
+    session recorder, and fast-forwarded rounds take their step records
+    from the checkpoint, so the resumed plane's ``/trace``, ``/digest``
+    *and* ``/steps`` match an uncrashed run's.  A checkpoint that does not
+    carry step records (or carries an incomplete list) is ignored and the
+    whole journal replays instead — slower, never wrong.
 
     The returned plane has the journal reopened for appending and is
     flagged resumed, so :meth:`~repro.serve.app.ControlPlane.start` keeps
     the recovered state instead of resetting it.  Call ``start()`` next.
     """
     from repro.fleet.checkpoint import load_checkpoint, restore_checkpoint
+    from repro.fleet.replay import FleetReplayStep
     from repro.serve.app import ControlPlane, build_fleet
 
     header, batches = WriteAheadLog.read(wal_path)
@@ -171,15 +198,24 @@ def resume_control_plane(
     )
     fleet.reset()  # the same starting point ControlPlane.start() takes
     start_round = 0
+    checkpointed_steps: list = []
     if checkpoint_path is not None and os.path.exists(os.fspath(checkpoint_path)):
         checkpoint = load_checkpoint(checkpoint_path)
-        restore_checkpoint(fleet, checkpoint)
-        start_round = int(checkpoint.extra.get("rounds", 0))
-        if start_round > len(batches):
+        rounds = int(checkpoint.extra.get("rounds", 0))
+        if rounds > len(batches):
             raise WalError(
-                f"checkpoint is ahead of the journal ({start_round} rounds "
+                f"checkpoint is ahead of the journal ({rounds} rounds "
                 f"checkpointed, {len(batches)} journaled)"
             )
+        step_records = checkpoint.extra.get("steps")
+        if isinstance(step_records, list) and len(step_records) == rounds:
+            restore_checkpoint(fleet, checkpoint)
+            start_round = rounds
+            checkpointed_steps = [
+                FleetReplayStep.from_record(record) for record in step_records
+            ]
+        # else: a checkpoint without its step records cannot rebuild a
+        # complete /steps list — fall through to full journal replay.
     for record in batches:
         pairs = []
         events_by_cell: dict[str, list] = {}
@@ -189,7 +225,10 @@ def resume_control_plane(
             events_by_cell.setdefault(cell, []).append(event)
         round_index = plane.recorder.record_batch(pairs)
         if round_index < start_round:
-            continue  # already folded into the checkpointed state
+            # Already folded into the checkpointed state; the step record
+            # comes from the checkpoint so /steps stays complete.
+            plane.steps.append(checkpointed_steps[round_index])
+            continue
         plane.steps.append(plane._apply_round(round_index, events_by_cell))
     plane.mark_resumed()
     return plane

@@ -221,6 +221,85 @@ class TestSupervisedRecovery:
         assert jsonl == reference
 
 
+# -- replay-journal compaction ---------------------------------------------------
+
+
+class TestJournalCompaction:
+    """The per-shard restart journal is bounded, and restarts from a
+    compacted baseline stay byte-identical."""
+
+    @staticmethod
+    def _step_event(step: int):
+        from repro.traces.schema import parse_event
+
+        kind = "node_failure" if step % 2 == 0 else "node_recovery"
+        return parse_event(
+            {"record": "event", "kind": kind, "nodes": [f"node-{step % 5}"]},
+            default_time=float(step),
+        )
+
+    def test_journal_stays_bounded_and_snapshot_becomes_baseline(self, monkeypatch):
+        from repro.fleet import SupervisorConfig
+
+        monkeypatch.setattr(ShardPool, "JOURNAL_COMPACT_THRESHOLD", 3)
+        fleet = _supervised_fleet()
+        pool = ShardPool(
+            fleet.cells,
+            seed=0,
+            workers=2,
+            supervisor=SupervisorConfig(backoff_base=0.0),
+        )
+        try:
+            originals = [shard.initial_payload for shard in pool._shards]
+            for step in range(10):
+                event = self._step_event(step)
+                pool.step({name: [event] for name in pool.order}, False, False)
+                for shard in pool._shards:
+                    assert shard.journal is not None
+                    assert len(shard.journal) <= 3
+            # Compaction replaced every shard's restart baseline with a
+            # worker snapshot (10 journaled steps >> threshold 3).
+            assert all(
+                shard.initial_payload is not original
+                for shard, original in zip(pool._shards, originals)
+            )
+        finally:
+            pool.close()
+            fleet.close()
+
+    def test_unsupervised_pool_keeps_no_journal(self):
+        fleet = _supervised_fleet()
+        pool = ShardPool(fleet.cells, seed=0, workers=2, supervisor=None)
+        try:
+            pool.step({}, False, False)
+            assert all(shard.journal is None for shard in pool._shards)
+        finally:
+            pool.close()
+            fleet.close()
+
+    def test_restart_from_compacted_baseline_matches_serial_jsonl(self, monkeypatch):
+        """Kill a worker well after compaction has truncated its journal:
+        the restart replays snapshot + journal tail and the metrics JSONL
+        still equals the serial replay's, byte for byte."""
+        monkeypatch.setattr(ShardPool, "JOURNAL_COMPACT_THRESHOLD", 2)
+        scenario = fleet_scenario(3, 10, horizon=600.0, mtbf=60.0, seed=11)
+        serial = _supervised_fleet()
+        try:
+            reference = FleetReplayer(serial, seed=11).run(scenario).to_jsonl()
+        finally:
+            serial.close()
+        plan = FaultPlan(workers=(WorkerFault(kind="kill", shard=0, command=7),))
+        faulted = _supervised_fleet(fault=plan)
+        restarts: list[ShardRestarted] = []
+        faulted.events.subscribe(restarts.append, ShardRestarted)
+        try:
+            jsonl = FleetReplayer(faulted, seed=11, workers=2).run(scenario).to_jsonl()
+        finally:
+            faulted.close()
+        assert [e.shard for e in restarts] == [0]
+        assert jsonl == reference
+
+
 # -- close() escalation ----------------------------------------------------------
 
 

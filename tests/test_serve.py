@@ -682,6 +682,32 @@ class TestWriteAheadLog:
         _header, batches = WriteAheadLog.read(path)
         assert [b["round"] for b in batches] == [0]
 
+    def test_append_after_torn_tail_truncates(self, tmp_path):
+        """Reopening for append (the resume path) cuts a torn final line, so
+        the next record starts on a fresh line instead of concatenating onto
+        the fragment — which would corrupt the journal for every later read."""
+        path = tmp_path / "session.wal"
+        wal = WriteAheadLog(path, header=_wal_header())
+        wal.append_batch(0, [("cell-0", {"kind": "node_failure", "nodes": ["a"]})])
+        wal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"record": "batch", "round": 1, "mut')  # crash mid-write
+        wal = WriteAheadLog(path)  # append-reopen, as resume does
+        wal.append_batch(1, [("cell-1", {"kind": "node_recovery", "nodes": ["a"]})])
+        wal.close()
+        _header, batches = WriteAheadLog.read(path)
+        assert [b["round"] for b in batches] == [0, 1]
+        assert batches[1]["mutations"] == [
+            ["cell-1", {"kind": "node_recovery", "nodes": ["a"]}]
+        ]
+
+    def test_append_to_headerless_torn_file_raises(self, tmp_path):
+        """A file holding nothing but a torn header line cannot be resumed."""
+        path = tmp_path / "session.wal"
+        path.write_text('{"record": "wal", "versi')  # crash during line one
+        with pytest.raises(WalError, match="no intact journal header"):
+            WriteAheadLog(path)
+
     def test_corrupt_interior_line_raises(self, tmp_path):
         path = tmp_path / "session.wal"
         wal = WriteAheadLog(path, header=_wal_header())
@@ -776,30 +802,92 @@ class TestCrashRecovery:
 
         asyncio.run(run())
 
-    def test_resume_with_checkpoint_skips_replayed_rounds(self, tmp_path):
+    async def _serve_checkpointed_session(self, wal_path, checkpoint_path):
+        """Serve WAL_MUTATIONS with a checkpoint cadence; return the session
+        snapshot ``(digest, traces, steps)``."""
+        plane = build_wal_plane(
+            wal_path, checkpoint_path=checkpoint_path, checkpoint_every=2
+        )
+        host, port = await plane.start()
+        try:
+            async with HttpConnection(host, port) as conn:
+                for payload in WAL_MUTATIONS:
+                    status, _, _ = await post(conn, payload)
+                    assert status == 200
+            return await _session_snapshot(host, port)
+        finally:
+            await plane.shutdown()
+
+    @staticmethod
+    def _count_applied(monkeypatch) -> list[int]:
+        """Instrument ControlPlane._apply_round to record applied rounds."""
+        applied: list[int] = []
+        original = ControlPlane._apply_round
+
+        def counting(self, round_index, events_by_cell):
+            applied.append(round_index)
+            return original(self, round_index, events_by_cell)
+
+        monkeypatch.setattr(ControlPlane, "_apply_round", counting)
+        return applied
+
+    def test_resume_with_checkpoint_skips_rounds_but_serves_steps(
+        self, tmp_path, monkeypatch
+    ):
         async def run():
             wal_path = tmp_path / "session.wal"
             checkpoint_path = tmp_path / "session.ckpt"
-            plane = build_wal_plane(
-                wal_path, checkpoint_path=checkpoint_path, checkpoint_every=2
+            digest, traces, steps = await self._serve_checkpointed_session(
+                wal_path, checkpoint_path
             )
-            host, port = await plane.start()
-            try:
-                async with HttpConnection(host, port) as conn:
-                    for payload in WAL_MUTATIONS:
-                        status, _, _ = await post(conn, payload)
-                        assert status == 200
-                digest, traces, _steps = await _session_snapshot(host, port)
-            finally:
-                await plane.shutdown()
             assert checkpoint_path.exists()
 
+            applied = self._count_applied(monkeypatch)
             resumed = resume_control_plane(wal_path, checkpoint_path=checkpoint_path)
             try:
                 # The checkpoint covers all 4 rounds: nothing re-applies, yet
-                # the recorded trace and fleet state match the original.
-                assert resumed.steps == []
+                # the trace, fleet state AND step records match the original
+                # (steps ride in the checkpoint extra).
+                assert applied == []
                 assert resumed.recorder.rounds == 4
+                assert [step.to_record() for step in resumed.steps] == steps
+                assert fleet_digest(resumed.fleet) == digest
+                assert resumed.recorder.traces_jsonl() == traces
+            finally:
+                if resumed.wal is not None:
+                    resumed.wal.close()
+                resumed.fleet.close()
+
+        asyncio.run(run())
+
+    def test_checkpoint_without_steps_falls_back_to_full_replay(
+        self, tmp_path, monkeypatch
+    ):
+        """A checkpoint missing its step records (an older build's file) is
+        ignored: the whole journal replays and the session is still exact."""
+        from repro.fleet.checkpoint import CHECKPOINT_MAGIC, CHECKPOINT_VERSION
+        from repro.fleet.wire import dumps as wire_dumps, loads as wire_loads
+
+        async def run():
+            wal_path = tmp_path / "session.wal"
+            checkpoint_path = tmp_path / "session.ckpt"
+            digest, traces, steps = await self._serve_checkpointed_session(
+                wal_path, checkpoint_path
+            )
+
+            blob = checkpoint_path.read_bytes()
+            payload = wire_loads(blob[len(CHECKPOINT_MAGIC) + 1 :])
+            del payload["extra"]["steps"]
+            checkpoint_path.write_bytes(
+                CHECKPOINT_MAGIC + bytes([CHECKPOINT_VERSION]) + wire_dumps(payload)
+            )
+
+            applied = self._count_applied(monkeypatch)
+            resumed = resume_control_plane(wal_path, checkpoint_path=checkpoint_path)
+            try:
+                assert applied == [0, 1, 2, 3]  # no fast-forward: full replay
+                assert resumed.recorder.rounds == 4
+                assert [step.to_record() for step in resumed.steps] == steps
                 assert fleet_digest(resumed.fleet) == digest
                 assert resumed.recorder.traces_jsonl() == traces
             finally:
@@ -956,3 +1044,62 @@ class TestServeSubprocess:
             if plane.wal is not None:
                 plane.wal.close()
             plane.fleet.close()
+
+    def test_resume_defaults_to_journaled_queue_limit(self, tmp_path):
+        """A resumed CLI session keeps the admission back-pressure recorded
+        in the journal header unless --queue-limit is re-specified."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(root / "src")
+        wal_path = tmp_path / "session.wal"
+        base = [
+            sys.executable, "-m", "repro", "serve",
+            "--cells", "2", "--nodes-per-cell", "10", "--apps", "2",
+            "--port", "0", "--wal", str(wal_path),
+        ]
+
+        def boot(extra):
+            return subprocess.Popen(
+                base + extra,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                env=env,
+                text=True,
+                cwd=str(root),
+            )
+
+        async def config_of(info) -> dict:
+            async with HttpConnection(info["host"], info["port"]) as conn:
+                return await conn.get_json("/config")
+
+        proc = boot(["--queue-limit", "7"])
+        try:
+            info = json.loads(proc.stdout.readline())
+            assert json.loads(
+                wal_path.read_text().splitlines()[0]
+            )["queue_limit"] == 7
+        except BaseException:
+            proc.kill()
+            proc.wait()
+            raise
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+
+        proc = boot(["--resume"])
+        try:
+            info = json.loads(proc.stdout.readline())
+            assert info["resumed"] is True
+            config = asyncio.run(config_of(info))
+            assert config["queue_limit"] == 7  # journal header, not the default
+        except BaseException:
+            proc.kill()
+            proc.wait()
+            raise
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0

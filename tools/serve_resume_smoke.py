@@ -172,6 +172,9 @@ def main() -> int:
         "checkpoint-fast-forwarded resume diverged from the uncrashed run"
     )
     assert checkpointed["traces"] == reference["traces"]
+    assert json.dumps(checkpointed["steps"], sort_keys=True) == json.dumps(
+        reference["steps"], sort_keys=True
+    ), "checkpoint-fast-forwarded step records diverged"
 
     print(
         "serve resume smoke: OK — kill -9 after "
