@@ -26,6 +26,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from bench_hotpath import _best_of, _prepare  # noqa: E402
 
 import repro.api as api  # noqa: E402
+from repro import obs  # noqa: E402
 from repro.core.objectives import RevenueObjective  # noqa: E402
 from repro.core.planner import PhoenixPlanner  # noqa: E402
 from repro.core.scheduler import PhoenixScheduler  # noqa: E402
@@ -64,9 +65,14 @@ def measure_facade(node_count: int = DEFAULT_NODES, repeats: int = DEFAULT_REPEA
     return {
         "nodes": node_count,
         "stage": "facade",
+        # Under REPRO_OBS=1 this row doubles as the observability overhead
+        # gate: the engine path carries spans + counters, the direct wiring
+        # does not, so the same < 5% bound covers the registry cost.
+        "obs_enabled": obs.enabled(),
         "direct_seconds": direct,
         "engine_seconds": facade,
         "overhead_pct": (facade / direct - 1.0) * 100.0,
+        **obs.host_block(),
     }
 
 

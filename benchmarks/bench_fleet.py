@@ -41,10 +41,10 @@ from __future__ import annotations
 import argparse
 import gc
 import json
-import os
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.adaptlab import build_environment
 from repro.fleet import FleetConfig, FleetEngine, FleetReplayer
 from repro.traces import fleet_scenario
@@ -102,11 +102,23 @@ def _replay(cells: int, nodes_per_cell: int, scenario, workers: int):
     """
     fleet = _build_fleet(cells, nodes_per_cell)
     replayer = FleetReplayer(fleet, seed=REPLAY_SEED, workers=workers)
+    registry = obs.registry()
+    if registry.enabled:
+        registry.reset()  # this run's phase histograms only
     gc.collect()
     started = time.perf_counter()
     metrics = replayer.run(scenario)
     elapsed = time.perf_counter() - started
-    phases = dict(replayer.phase_seconds)
+    if registry.enabled:
+        # REPRO_OBS=1 runs read the phase split through the shared registry
+        # (the replayer observes each phase total into fleet.phase.*_seconds).
+        histograms = registry.snapshot()["histograms"]
+        phases = {
+            name: histograms.get(f"fleet.phase.{name}_seconds", {}).get("sum", 0.0)
+            for name in ("ship", "compute", "fold", "wait")
+        }
+    else:
+        phases = dict(replayer.phase_seconds)
     fleet.close()
     return metrics.to_jsonl(), len(metrics), elapsed, phases
 
@@ -127,14 +139,12 @@ def measure_fleet_replay(
             f"sharded fleet replay diverged from serial at "
             f"{cells}x{nodes_per_cell} nodes"
         )
-    cores = os.cpu_count() or 1
     return {
         "cells": cells,
         "nodes_per_cell": nodes_per_cell,
         "steps": n_steps,
         "workers": workers,
-        "cpu_count": cores,
-        "underprovisioned": cores < workers,
+        **obs.host_block(workers=workers),
         "serial_steps_per_sec": round(n_steps / serial_seconds, 2),
         "sharded_steps_per_sec": round(n_steps / sharded_seconds, 2),
         "speedup": round(serial_seconds / sharded_seconds, 2),

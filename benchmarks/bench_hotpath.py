@@ -28,6 +28,7 @@ import argparse
 import gc
 import time
 
+from repro import obs
 from repro.adaptlab import (
     build_environment,
     generate_alibaba_applications,
@@ -127,13 +128,14 @@ def measure_hotpath(node_counts=DEFAULT_NODE_COUNTS, repeats=DEFAULT_REPEATS):
         diff_after = _best_of(repeats, lambda: PhoenixScheduler._diff(state, packing))
         diff_before = _best_of(repeats, lambda: reference_diff(state, packing))
 
+        host = obs.host_block()
         for stage, before, after in (
             ("rank", rank_before, rank_after),
             ("pack", pack_before, pack_after),
             ("diff", diff_before, diff_after),
         ):
-            rows.append({"nodes": node_count, "stage": stage, "impl": "before", "seconds": before})
-            rows.append({"nodes": node_count, "stage": stage, "impl": "after", "seconds": after})
+            rows.append({"nodes": node_count, "stage": stage, "impl": "before", "seconds": before, **host})
+            rows.append({"nodes": node_count, "stage": stage, "impl": "after", "seconds": after, **host})
     return rows
 
 

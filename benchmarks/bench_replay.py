@@ -38,6 +38,7 @@ import time
 from pathlib import Path
 
 import repro.api as api
+from repro import obs
 from repro.adaptlab import build_environment
 from repro.traces import generators
 from repro.traces.replayer import TraceReplayer
@@ -93,7 +94,7 @@ def measure_replay(node_count: int, steps: int = DEFAULT_STEPS) -> dict:
         raise AssertionError(
             f"incremental replay diverged from full recompute at {node_count} nodes"
         )
-    return {
+    row = {
         "nodes": node_count,
         "steps": n_steps,
         "events": len(trace.events),
@@ -101,7 +102,13 @@ def measure_replay(node_count: int, steps: int = DEFAULT_STEPS) -> dict:
         "incremental_steps_per_sec": round(inc_steps / inc_seconds, 2),
         "speedup": round(full_seconds / inc_seconds, 2),
         "identical_output": True,
+        **obs.host_block(),
     }
+    if obs.enabled():
+        # REPRO_OBS=1 runs report through the shared registry (counters
+        # only: timing histograms are wall-clock and belong to the row).
+        row["obs"] = obs.registry().snapshot(include_timing=False)["counters"]
+    return row
 
 
 def print_rows(rows: list[dict]) -> None:

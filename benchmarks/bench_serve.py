@@ -36,10 +36,10 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
-import os
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.fleet import FleetReplayer
 from repro.serve import (
     ControlPlane,
@@ -122,10 +122,10 @@ async def _measure(rate: float, duration: float, connections: int, batch: int) -
 
     admission = report["admission_seconds"]
     rounds = report["server"]["round_seconds"]
-    return {
+    row = {
         "cells": FLEET_PARAMS["cells"],
         "nodes_per_cell": FLEET_PARAMS["nodes_per_cell"],
-        "cpu_count": os.cpu_count(),
+        **obs.host_block(),
         "offered_rate": rate,
         "duration_seconds": report["duration_seconds"],
         "admitted": report["admitted"],
@@ -145,6 +145,11 @@ async def _measure(rate: float, duration: float, connections: int, batch: int) -
         "offline_replay_seconds": round(replay_seconds, 3),
         "identical_end_state": True,
     }
+    if obs.enabled():
+        # REPRO_OBS=1 runs report through the shared registry (counters
+        # only: timing histograms are wall-clock and belong to the row).
+        row["obs"] = obs.registry().snapshot(include_timing=False)["counters"]
+    return row
 
 
 def measure_serve(

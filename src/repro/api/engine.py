@@ -23,6 +23,7 @@ from __future__ import annotations
 import time
 from typing import Iterable, Protocol, runtime_checkable
 
+from repro import obs
 from repro.cluster.state import ClusterState
 from repro.core.controller import ClusterBackend, ReconcileReport, StateBackend
 from repro.core.incremental import DEFAULT_DIRTY_NODE_THRESHOLD, IncrementalScheduler
@@ -104,14 +105,21 @@ class StagePipeline:
             self._incremental.invalidate()
 
     def plan(self, state: ClusterState) -> ActivationPlan:
-        return self.ranker.plan(state)
+        with obs.tracer().span("rank"):
+            return self.ranker.plan(state)
 
     def schedule(self, state: ClusterState, plan: ActivationPlan) -> SchedulePlan:
         if self._incremental is not None:
-            return self._incremental.schedule(state, plan)
+            # The incremental scheduler fuses pack and diff over its scratch
+            # state; it reports its own fast/full mode (see core.incremental).
+            with obs.tracer().span("pack", mode="incremental"):
+                return self._incremental.schedule(state, plan)
         working = state.copy(share_nodes=True)
-        packing = self.packer.pack(working, plan)
-        actions = self.differ(state, packing)
+        tracer = obs.tracer()
+        with tracer.span("pack"):
+            packing = self.packer.pack(working, plan)
+        with tracer.span("diff"):
+            actions = self.differ(state, packing)
         return SchedulePlan(
             target_assignment=packing.assignment,
             actions=actions,
@@ -320,6 +328,29 @@ class PhoenixEngine:
         ``force`` also drops the pipeline's incremental caches, so a forced
         round is always a full recompute.
         """
+        with obs.tracer().span("reconcile.round"):
+            report = self._reconcile(backend, force)
+        registry = obs.registry()
+        if registry.enabled:
+            registry.counter("engine.rounds").inc()
+            if report.failed_nodes:
+                registry.counter("engine.events.failure_detected").inc()
+            if report.recovered_nodes:
+                registry.counter("engine.events.recovery_detected").inc()
+            if report.triggered:
+                registry.counter("engine.rounds_triggered").inc()
+                # Pure observation of an already-computed value: the timing
+                # itself came from the untouched hot path above.
+                registry.histogram("engine.planning_seconds").observe(
+                    report.planning_seconds
+                )
+                if report.actions_executed:
+                    registry.counter("engine.actions_executed").inc(
+                        report.actions_executed
+                    )
+        return report
+
+    def _reconcile(self, backend, force: bool) -> ReconcileReport:
         backend = backend_for(backend)
         state = backend.observe()
         if force:

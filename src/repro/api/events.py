@@ -115,8 +115,13 @@ class EventBus:
     """Minimal synchronous pub/sub used by the engine.
 
     Handlers run inline, in subscription order, on the thread that emitted
-    the event; a handler that raises aborts the emit (the engine treats
-    observer failures as programming errors, not data).
+    the event.  A handler that raises is **isolated**: the exception is
+    swallowed, counted in the observability registry
+    (``obs.subscriber_errors``) and delivery continues to the remaining
+    subscribers — one broken observer must not abort an engine round.
+    Construct the bus with ``strict=True`` (or flip the attribute) to get
+    the old fail-fast behaviour back for debugging: the error still counts,
+    then re-raises.
 
     Emission is safe under concurrent subscribe/unsubscribe: the subscriber
     list is an immutable tuple swapped under a lock, so every emit walks a
@@ -126,9 +131,11 @@ class EventBus:
     handler may subscribe or unsubscribe without deadlocking).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, strict: bool = False) -> None:
         self._subscribers: tuple[tuple[type | None, Observer], ...] = ()
         self._lock = _threading.Lock()
+        #: Re-raise subscriber exceptions instead of isolating them.
+        self.strict = strict
 
     def subscribe(
         self, handler: Observer, event_type: type | None = None
@@ -173,7 +180,14 @@ class EventBus:
         """Deliver ``event`` to every subscriber of the current snapshot."""
         for event_type, handler in self._subscribers:
             if event_type is None or isinstance(event, event_type):
-                handler(event)
+                try:
+                    handler(event)
+                except Exception:
+                    from repro import obs
+
+                    obs.count_subscriber_error()
+                    if self.strict:
+                        raise
 
     def __len__(self) -> int:
         return len(self._subscribers)

@@ -52,6 +52,35 @@ def _write_text(out: str | None, text: str) -> None:
         Path(out).write_text(text, encoding="utf-8")
 
 
+def _obs_enable(args) -> None:
+    """Turn the observability registry on when ``--metrics-out`` is set."""
+    if getattr(args, "metrics_out", None):
+        from repro import obs
+
+        obs.enable()
+
+
+def _obs_write(args) -> None:
+    """Write the final registry snapshot as JSONL to ``--metrics-out``.
+
+    Histogram wall-clock fields (sum/max/quantiles) ride only behind the
+    command's ``--timing`` flag, exactly like the per-step metrics JSONL:
+    without them the snapshot is byte-identical across runs, which the CLI
+    determinism tests assert.  With ``--workers`` parallelism the replay
+    work runs in worker processes with their own registries; the snapshot
+    is the parent-process view.
+    """
+    path = getattr(args, "metrics_out", None)
+    if not path:
+        return
+    from repro import obs
+
+    text = obs.registry().snapshot_jsonl(
+        include_timing=bool(getattr(args, "timing", False))
+    )
+    Path(path).write_text(text, encoding="utf-8")
+
+
 def _read_trace(path: str):
     from repro.traces.schema import Trace
 
@@ -259,6 +288,7 @@ def _replay_job(params: dict) -> str:
 
 def cmd_replay(args) -> int:
     """Replay JSONL trace(s) through the engine; emit per-step metrics JSONL."""
+    _obs_enable(args)
     if args.seeds is not None:
         try:
             seeds = [int(seed) for seed in args.seeds.split(",") if seed.strip()]
@@ -304,6 +334,7 @@ def cmd_replay(args) -> int:
             # the merged stream is byte-identical to the serial run.
             chunks = list(pool.map(_replay_job, jobs))
     _write_text(args.out, "".join(chunks))
+    _obs_write(args)
     return 0
 
 
@@ -407,6 +438,7 @@ def cmd_fleet_replay(args) -> int:
     """
     from repro.fleet import FleetReplayer
 
+    _obs_enable(args)
     fleet = _build_fleet(args, _fleet_environments(args))
     scenario = _fleet_scenario(args)
     replayer = FleetReplayer(fleet, seed=args.seed, workers=args.workers)
@@ -437,6 +469,7 @@ def cmd_fleet_replay(args) -> int:
     finally:
         fleet.close()
     _write_text(args.out, metrics.to_jsonl())
+    _obs_write(args)
     return 0
 
 
@@ -480,6 +513,7 @@ def cmd_serve(args) -> int:
 
     from repro.serve import ControlPlane, WriteAheadLog, build_fleet, resume_control_plane
 
+    _obs_enable(args)
     if args.checkpoint_every and not args.checkpoint:
         raise CliError("--checkpoint-every requires --checkpoint PATH")
     if args.resume:
@@ -563,6 +597,7 @@ def cmd_serve(args) -> int:
         asyncio.run(_run())
     except KeyboardInterrupt:
         pass
+    _obs_write(args)
     return 0
 
 
@@ -1082,6 +1117,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="include wall-clock planning seconds (breaks byte-reproducibility)",
     )
     replay.add_argument("--out", default=None, help="output file (default: stdout)")
+    replay.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="enable the observability registry and write its final snapshot "
+        "as JSONL (parent-process view when --workers > 1)",
+    )
     replay.set_defaults(func=cmd_replay)
 
     fleet = sub.add_parser(
@@ -1131,6 +1171,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="outage: seconds until the cell returns",
     )
     fleet_replay.add_argument("--out", default=None, help="output file (default: stdout)")
+    fleet_replay.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="enable the observability registry and write its final snapshot as JSONL",
+    )
     fleet_replay.add_argument(
         "--profile", action="store_true",
         help="run under cProfile; print top-20 cumulative functions and the "
@@ -1201,6 +1245,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="rebuild the session from --wal (and --checkpoint if present) "
         "instead of starting fresh; the recovered trace and digest match an "
         "uncrashed run",
+    )
+    serve.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="enable the observability registry and write its final snapshot "
+        "as JSONL at shutdown",
     )
     serve.set_defaults(func=cmd_serve)
 

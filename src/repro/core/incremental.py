@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import weakref
 
+from repro import obs
 from repro.cluster.state import ClusterState
 from repro.core.packing import PackingHeuristic, _NodeIndex
 from repro.core.plan import ActivationPlan, SchedulePlan
@@ -133,6 +134,9 @@ class IncrementalScheduler:
                 if schedule is not None:
                     self.fast_rounds += 1
                     self.last_mode = "incremental"
+                    registry = obs.registry()
+                    if registry.enabled:
+                        registry.counter("engine.incremental.fast_rounds").inc()
                     return schedule
             # Seed (or re-seed) the scratch only for states that have shown
             # reuse potential: the tracked state itself, or a state seen on
@@ -145,6 +149,9 @@ class IncrementalScheduler:
             )
             self.full_rounds += 1
             self.last_mode = "full"
+            registry = obs.registry()
+            if registry.enabled:
+                registry.counter("engine.incremental.full_rounds").inc()
             return self._full_schedule(state, plan, retain)
         finally:
             self._last_seen = weakref.ref(state)

@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, NamedTuple, Sequence
 
+from repro import obs
 from repro.adaptlab.metrics import potential_revenue
 from repro.api.engine import PhoenixEngine
 from repro.api.events import (
@@ -452,6 +453,18 @@ class FleetEngine:
         :exc:`repro.fleet.pool.ShardFailure` *before* any fold-back,
         leaving the fleet state unchanged; the next call rebuilds the pool.
         """
+        with obs.tracer().span("fleet.round"):
+            report = self._reconcile(force, workers)
+        registry = obs.registry()
+        if registry.enabled:
+            registry.counter("fleet.rounds").inc()
+            if report.planned:
+                registry.counter("fleet.spillovers_planned").inc(len(report.planned))
+            if report.released:
+                registry.counter("fleet.spillovers_released").inc(len(report.released))
+        return report
+
+    def _reconcile(self, force: bool, workers: int | None) -> FleetReport:
         workers = self.config.workers if workers is None else workers
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -571,6 +584,9 @@ class FleetEngine:
             or dirty.base_generation != synced[2]
             or signature != synced[1]
         ):
+            registry = obs.registry()
+            if registry.enabled:
+                registry.counter("fleet.state_resyncs").inc()
             return ("full", state, cell.engine.known_failed)
         last = synced[0]
         common = 0

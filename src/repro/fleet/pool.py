@@ -70,6 +70,7 @@ import time
 from collections import deque
 from typing import Callable, Mapping, Sequence
 
+from repro import obs
 from repro.api.engine import PhoenixEngine
 from repro.core.controller import StateBackend
 
@@ -240,14 +241,36 @@ class _ShardServer:
 _HANG_SECONDS = 3600.0
 
 
+def _traced_handle(server: _ShardServer, message: tuple, parent_id: str, prefix: str):
+    """Run one command under the worker's tracer, parented to the caller.
+
+    The worker enables its default tracer under the parent-chosen id
+    prefix (``w<shard>i<incarnation>.`` — deterministic across restarts),
+    attaches the parent span id from the wire, and wraps the command in a
+    ``shard.<command>`` span; spans the instrumented engine code emits
+    inside nest underneath it.  Returns the handler's data plus every
+    finished span, for shipping home in the reply.
+    """
+    tracer = obs.tracer()
+    tracer.enable(prefix=prefix)
+    with tracer.attach(parent_id):
+        with tracer.span("shard." + message[0]):
+            data = server.handle(message)
+    return data, tuple(tracer.drain())
+
+
 def _shard_main(conn, payload: list, seed: int, codec: str, faults) -> None:
     """Worker process: owns a shard of cells for the pool's lifetime.
 
     Protocol: every parent message is a tuple whose first element is the
     command; every reply is ``("ok", data)`` or ``("error", message)``.
-    The per-cell work is the shared :class:`_ShardServer` — the exact code
-    the serial paths and degraded in-process shards run, so results match
-    the parent's byte for byte.
+    When the parent traces, a command arrives wrapped as ``("span",
+    parent_id, id_prefix, inner)`` and the reply grows a third element —
+    the worker's finished spans (see :func:`_traced_handle`); an untraced
+    command is handled exactly as before, so observability off keeps the
+    wire bytes identical.  The per-cell work is the shared
+    :class:`_ShardServer` — the exact code the serial paths and degraded
+    in-process shards run, so results match the parent's byte for byte.
 
     ``faults`` (tests only) is a list of ``(kind, nth, mode)`` tuples for
     this incarnation: ``kill`` hard-exits on the Nth received message,
@@ -277,6 +300,11 @@ def _shard_main(conn, payload: list, seed: int, codec: str, faults) -> None:
                     time.sleep(_HANG_SECONDS)
                     os._exit(3)
             command = message[0]
+            span_wrap = None
+            if command == "span":
+                span_wrap = (message[1], message[2])
+                message = message[3]
+                command = message[0]
             if command == "stop":
                 break
             try:
@@ -286,6 +314,9 @@ def _shard_main(conn, payload: list, seed: int, codec: str, faults) -> None:
                     for entry in message[1]:
                         server.handle(entry)
                     reply = ("ok", None)
+                elif span_wrap is not None:
+                    data, spans = _traced_handle(server, message, *span_wrap)
+                    reply = ("ok", data, spans)
                 else:
                     reply = ("ok", server.handle(message))
             except _UnknownCommand as exc:
@@ -387,6 +418,9 @@ class ShardSupervisor:
         self._rng = random.Random(config.seed)
 
     def backoff(self, attempt: int) -> None:
+        registry = obs.registry()
+        if registry.enabled:
+            registry.counter("fleet.shard_backoffs").inc()
         base = self.config.backoff_base
         if base <= 0:
             return
@@ -585,6 +619,15 @@ class ShardPool:
 
     # -- plumbing --------------------------------------------------------------
     def _emit(self, event) -> None:
+        registry = obs.registry()
+        if registry.enabled:
+            # PR 9's supervision events double as metrics: one counter per
+            # event kind, labelled by shard, so restart storms show up in
+            # /metrics without anyone subscribing to the bus.
+            if isinstance(event, ShardRestarted):
+                registry.counter("fleet.shard_restarts", shard=event.shard).inc()
+            elif isinstance(event, ShardDegraded):
+                registry.counter("fleet.shard_degraded", shard=event.shard).inc()
         if self._on_event is not None:
             self._on_event(event)
 
@@ -635,7 +678,15 @@ class ShardPool:
             ) from exc
         self.last_reply_bytes += len(raw)
         try:
-            return self._loads(raw)
+            reply = self._loads(raw)
+            if len(reply) == 3 and reply[0] == "ok":
+                # Traced reply: the third element is the worker's finished
+                # spans; fold them into the parent's tree and hand callers
+                # the usual (status, data) shape.
+                if reply[2]:
+                    obs.tracer().adopt(reply[2])
+                return reply[0], reply[1]
+            return reply
         except WireError as exc:
             self._kill_worker(shard)
             raise _ShardDown(
@@ -778,19 +829,36 @@ class ShardPool:
             self._maybe_adopt()
             self._maybe_compact()
         self.last_reply_bytes = 0
+        registry = obs.registry()
+        tracer = obs.tracer()
         sent: dict[int, tuple] = {}
         down: dict[int, str] = {}
         started = time.perf_counter()
-        for shard in self._shards:
-            if not shard.remote:
-                continue
-            message = build(shard.names)
-            sent[shard.index] = message
-            try:
-                self._send(shard, message)
-            except _ShardDown as exc:
-                down[shard.index] = str(exc)
-        self.phase_seconds["ship"] += time.perf_counter() - started
+        with tracer.span("fleet.ship"):
+            for shard in self._shards:
+                if not shard.remote:
+                    continue
+                message = build(shard.names)
+                sent[shard.index] = message
+                if tracer.enabled:
+                    # Wrap the command so the worker parents its spans under
+                    # ours.  Only the inner message is journaled/re-sent —
+                    # recovery replay stays byte-identical to the untraced
+                    # protocol.
+                    message = (
+                        "span",
+                        tracer.current_id(),
+                        f"w{shard.index}i{shard.incarnation}.",
+                        message,
+                    )
+                try:
+                    self._send(shard, message)
+                except _ShardDown as exc:
+                    down[shard.index] = str(exc)
+        elapsed = time.perf_counter() - started
+        self.phase_seconds["ship"] += elapsed
+        if registry.enabled:
+            registry.histogram("fleet.ship_seconds").observe(elapsed)
         replies: dict[int, object] = {}
         for shard in self._shards:
             if shard.remote:
@@ -798,35 +866,42 @@ class ShardPool:
             replies[shard.index] = self._local_call(shard, build(shard.names))
         started = time.perf_counter()
         try:
-            queue = deque(shard for shard in self._shards if shard.remote)
-            while queue:
-                shard = queue.popleft()
-                try:
-                    if shard.index in down:
-                        raise _ShardDown(down.pop(shard.index))
-                    status, data = self._await_reply(shard)
-                except _ShardDown as exc:
-                    if self.supervisor is None:
-                        self._fail(str(exc))
-                    outcome, local_data = self.supervisor.recover(
-                        shard, build, resync, str(exc)
-                    )
-                    if outcome == "pending":
-                        sent[shard.index] = (
-                            resync(shard.names) if resync is not None else build(shard.names)
+            with tracer.span("fleet.compute"):
+                queue = deque(shard for shard in self._shards if shard.remote)
+                while queue:
+                    shard = queue.popleft()
+                    try:
+                        if shard.index in down:
+                            raise _ShardDown(down.pop(shard.index))
+                        status, data = self._await_reply(shard)
+                    except _ShardDown as exc:
+                        if self.supervisor is None:
+                            self._fail(str(exc))
+                        outcome, local_data = self.supervisor.recover(
+                            shard, build, resync, str(exc)
                         )
-                        queue.append(shard)
-                    else:
-                        replies[shard.index] = local_data
-                    continue
-                if status != "ok":
-                    self._fail(f"fleet shard worker failed: {data}")
-                shard.failures = 0
-                if journal and shard.journal is not None:
-                    shard.journal.append(sent[shard.index])
-                replies[shard.index] = data
+                        if outcome == "pending":
+                            sent[shard.index] = (
+                                resync(shard.names)
+                                if resync is not None
+                                else build(shard.names)
+                            )
+                            queue.append(shard)
+                        else:
+                            replies[shard.index] = local_data
+                        continue
+                    if status != "ok":
+                        self._fail(f"fleet shard worker failed: {data}")
+                    shard.failures = 0
+                    if journal and shard.journal is not None:
+                        shard.journal.append(sent[shard.index])
+                    replies[shard.index] = data
         finally:
-            self.phase_seconds["wait"] += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            self.phase_seconds["wait"] += elapsed
+            if registry.enabled:
+                registry.histogram("fleet.wait_seconds").observe(elapsed)
+                registry.counter("fleet.reply_bytes").inc(self.last_reply_bytes)
         return replies
 
     def _shard_replies(self, replies: dict) -> list:

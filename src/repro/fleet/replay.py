@@ -38,6 +38,7 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro import obs
 from repro.traces.schema import Trace, TraceError
 
 from repro.fleet.engine import adjust_cells, step_cells
@@ -447,6 +448,7 @@ class FleetReplayer:
         )
         executor_seconds = 0.0
         loop_started = _time.perf_counter()
+        tracer = obs.tracer()
         batch = 1
         index = 0
         try:
@@ -468,86 +470,94 @@ class FleetReplayer:
                 ) / len(chunk)
                 consumed = len(chunk)
                 adjusted = False
-                for position, ((time_point, events_by_cell), summaries) in enumerate(
-                    zip(chunk, summaries_list)
-                ):
-                    if bus:
-                        for summary in summaries:
-                            if summary.failed_nodes:
+                fold_span = tracer.span("fleet.fold", steps=len(chunk))
+                fold_span.__enter__()
+                try:
+                    for position, ((time_point, events_by_cell), summaries) in enumerate(
+                        zip(chunk, summaries_list)
+                    ):
+                        if bus:
+                            for summary in summaries:
+                                if summary.failed_nodes:
+                                    bus.emit(
+                                        CellEvent(
+                                            summary.cell,
+                                            FailureDetected(nodes=summary.failed_nodes),
+                                        )
+                                    )
+                                if summary.recovered_nodes:
+                                    bus.emit(
+                                        CellEvent(
+                                            summary.cell,
+                                            RecoveryDetected(nodes=summary.recovered_nodes),
+                                        )
+                                    )
                                 bus.emit(
-                                    CellEvent(
-                                        summary.cell,
-                                        FailureDetected(nodes=summary.failed_nodes),
+                                    CellReconciled(
+                                        cell=summary.cell,
+                                        triggered=summary.triggered,
+                                        actions=summary.actions,
                                     )
                                 )
-                            if summary.recovered_nodes:
-                                bus.emit(
-                                    CellEvent(
-                                        summary.cell,
-                                        RecoveryDetected(nodes=summary.recovered_nodes),
-                                    )
+                        plan = fleet.plan_spillover(summaries)
+                        updated: dict[str, CellSummary] = {}
+                        failed: list = []
+                        if plan:
+                            started = _time.perf_counter()
+                            if position + 1 < len(chunk):
+                                # The batch speculated past a spillover round:
+                                # roll the shards back to this step before
+                                # adjusting, discarding the overrun.  Output is
+                                # unchanged — only the speculation is.
+                                executor.rewind(position + 1)
+                                registry = obs.registry()
+                                if registry.enabled:
+                                    registry.counter("fleet.replay.rewinds").inc()
+                            updated, failed = executor.adjust(plan)
+                            executor_seconds += _time.perf_counter() - started
+                            adjusted = True
+                        fleet.commit_spillover(plan, failed)
+                        final = {s.cell: s for s in summaries}
+                        final.update(updated)
+                        ordered = [final[name] for name in fleet.cell_names]
+                        capacity = sum(s.capacity_cpu for s in ordered)
+                        healthy = sum(s.healthy_cpu for s in ordered)
+                        step = FleetReplayStep(
+                            time=time_point,
+                            events=tuple(
+                                f"{cell}:{event.kind}"
+                                for cell in fleet.cell_names
+                                for event in events_by_cell.get(cell, ())
+                            ),
+                            failed_nodes=sum(s.failed_count for s in ordered),
+                            available_fraction=(
+                                healthy / capacity if capacity > 0 else 0.0
+                            ),
+                            availability=fleet_availability(ordered, fleet.spillovers),
+                            revenue=fleet_revenue(ordered),
+                            utilization=fleet_utilization(ordered),
+                            degraded_cells=tuple(
+                                s.cell
+                                for s in ordered
+                                if any(
+                                    not is_clone(app)
+                                    and (s.cell, app) not in fleet.spillovers
+                                    for app, _ in s.missing_critical
                                 )
-                            bus.emit(
-                                CellReconciled(
-                                    cell=summary.cell,
-                                    triggered=summary.triggered,
-                                    actions=summary.actions,
-                                )
-                            )
-                    plan = fleet.plan_spillover(summaries)
-                    updated: dict[str, CellSummary] = {}
-                    failed: list = []
-                    if plan:
-                        started = _time.perf_counter()
-                        if position + 1 < len(chunk):
-                            # The batch speculated past a spillover round:
-                            # roll the shards back to this step before
-                            # adjusting, discarding the overrun.  Output is
-                            # unchanged — only the speculation is.
-                            executor.rewind(position + 1)
-                        updated, failed = executor.adjust(plan)
-                        executor_seconds += _time.perf_counter() - started
-                        adjusted = True
-                    fleet.commit_spillover(plan, failed)
-                    final = {s.cell: s for s in summaries}
-                    final.update(updated)
-                    ordered = [final[name] for name in fleet.cell_names]
-                    capacity = sum(s.capacity_cpu for s in ordered)
-                    healthy = sum(s.healthy_cpu for s in ordered)
-                    step = FleetReplayStep(
-                        time=time_point,
-                        events=tuple(
-                            f"{cell}:{event.kind}"
-                            for cell in fleet.cell_names
-                            for event in events_by_cell.get(cell, ())
-                        ),
-                        failed_nodes=sum(s.failed_count for s in ordered),
-                        available_fraction=(
-                            healthy / capacity if capacity > 0 else 0.0
-                        ),
-                        availability=fleet_availability(ordered, fleet.spillovers),
-                        revenue=fleet_revenue(ordered),
-                        utilization=fleet_utilization(ordered),
-                        degraded_cells=tuple(
-                            s.cell
-                            for s in ordered
-                            if any(
-                                not is_clone(app)
-                                and (s.cell, app) not in fleet.spillovers
-                                for app, _ in s.missing_critical
-                            )
-                        ),
-                        spillovers_planned=len(plan.assignments) - len(failed),
-                        spillovers_released=len(plan.releases),
-                        spillovers_active=len(fleet.spillovers),
-                        triggered=sum(1 for s in summaries if s.triggered),
-                        actions=sum(s.actions for s in summaries)
-                        + sum(s.actions for s in updated.values()),
-                    )
-                    metrics.steps.append(step)
-                    if adjusted:
-                        consumed = position + 1
-                        break
+                            ),
+                            spillovers_planned=len(plan.assignments) - len(failed),
+                            spillovers_released=len(plan.releases),
+                            spillovers_active=len(fleet.spillovers),
+                            triggered=sum(1 for s in summaries if s.triggered),
+                            actions=sum(s.actions for s in summaries)
+                            + sum(s.actions for s in updated.values()),
+                        )
+                        metrics.steps.append(step)
+                        if adjusted:
+                            consumed = position + 1
+                            break
+                finally:
+                    fold_span.__exit__(None, None, None)
                 index += consumed
                 batch = self._next_batch(max(1, len(chunk)), adjusted, step_bytes)
         finally:
@@ -568,4 +578,11 @@ class FleetReplayer:
                 "compute": executor_seconds,
                 "fold": total - executor_seconds,
             }
+        registry = obs.registry()
+        if registry.enabled:
+            registry.counter("fleet.replay.steps").inc(len(metrics.steps))
+            # The same per-phase split phase_seconds reports, as registry
+            # histograms — bench_fleet reads its phase columns from here.
+            for phase, seconds in self.phase_seconds.items():
+                registry.histogram(f"fleet.phase.{phase}_seconds").observe(seconds)
         return metrics

@@ -52,6 +52,7 @@ from repro.core.plan import (
     SchedulePlan,
     make_action,
 )
+from repro.obs.trace import SpanRecord
 from repro.traces.schema import CapacityTarget, LoadChange, NodeFailure, NodeRecovery
 
 from repro.fleet.spillover import DonorCapacity, MsSpec, SpilloverAssignment
@@ -60,7 +61,9 @@ from repro.fleet.summary import CellSummary
 #: Wire schema version.  Bump when tags, record ids, record field lists or
 #: the header layout change; decoders reject any other version outright.
 #: v2 added the CRC-32 body checksum to the header.
-WIRE_VERSION = 2
+#: v3 added record 14 (``SpanRecord``) so observability spans propagate
+#: across shard IPC without falling back to the pickle escape frame.
+WIRE_VERSION = 3
 
 #: Two-byte magic prefixing every message (catches non-wire input early).
 MAGIC = b"FW"
@@ -213,6 +216,19 @@ _RECORDS: list[tuple[type, object, object]] = [
         LoadChange,
         lambda o: (o.time, o.multiplier, o.app),
         lambda v: LoadChange(time=v[0], multiplier=v[1], app=v[2]),
+    ),
+    # 14 (v3): observability spans shipped back from worker shards
+    (
+        SpanRecord,
+        lambda o: (o.name, o.span_id, o.parent_id, o.start, o.end, o.attrs),
+        lambda v: SpanRecord(
+            name=v[0],
+            span_id=v[1],
+            parent_id=v[2],
+            start=v[3],
+            end=v[4],
+            attrs=dict(v[5]),
+        ),
     ),
 ]
 

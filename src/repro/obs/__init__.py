@@ -1,0 +1,98 @@
+"""repro.obs — unified observability plane (metrics registry + tracing).
+
+Dependency-free and observation-only: every layer of the stack funnels
+counters, gauges, histograms, and spans through the process-default
+:func:`registry` and :func:`tracer`, and turning them on or off never
+changes a digest, trace byte, or float accumulation (the lockstep suite
+in ``tests/test_obs_lockstep.py`` enforces that).
+
+Activation:
+
+* programmatic — :func:`enable` / :func:`disable`;
+* environment — ``REPRO_OBS=1`` enables both at import (CI smoke jobs);
+* clock — ``REPRO_OBS_CLOCK=tick[:step]`` installs a deterministic
+  counting clock so subprocess snapshots are byte-identical.
+
+Exposition: ``GET /metrics`` on serve (Prometheus text via Accept
+negotiation), ``GET /spans`` (JSONL), ``--metrics-out`` on the CLI, and
+:meth:`MetricsRegistry.snapshot_jsonl` for the bench scripts.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TickClock,
+    host_block,
+    render_prometheus,
+    resolve_clock,
+    validate_prometheus_text,
+)
+from repro.obs.trace import SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "TickClock",
+    "Tracer",
+    "count_subscriber_error",
+    "disable",
+    "enable",
+    "enabled",
+    "host_block",
+    "registry",
+    "render_prometheus",
+    "resolve_clock",
+    "tracer",
+    "validate_prometheus_text",
+]
+
+_REGISTRY = MetricsRegistry()
+_TRACER = Tracer(clock=_REGISTRY.clock)
+
+
+def registry() -> MetricsRegistry:
+    """The process-default metrics registry."""
+    return _REGISTRY
+
+
+def tracer() -> Tracer:
+    """The process-default tracer."""
+    return _TRACER
+
+
+def enable() -> None:
+    """Turn on the default registry and tracer."""
+    _REGISTRY.enable()
+    _TRACER.enable()
+
+
+def disable() -> None:
+    """Turn off the default registry and tracer (buffers are kept)."""
+    _REGISTRY.disable()
+    _TRACER.disable()
+
+
+def enabled() -> bool:
+    return _REGISTRY.enabled or _TRACER.enabled
+
+
+def count_subscriber_error() -> None:
+    """Record a raising EventBus subscriber.
+
+    Error signals count even while observability is off — a swallowed
+    subscriber exception must leave *some* trace — hence ``force_inc``.
+    """
+    _REGISTRY.counter("obs.subscriber_errors").force_inc()
+
+
+if os.environ.get("REPRO_OBS") == "1":
+    enable()

@@ -1,0 +1,195 @@
+"""Structured spans with parent/child context that crosses shard IPC.
+
+A :class:`Tracer` hands out context-manager spans.  Span ids are
+sequential (``<prefix><n>``), never random, so two identical runs emit
+identical ids; timestamps come from the same injectable clock the
+metrics registry uses.  The current span travels through a
+``contextvars.ContextVar``, so nesting works across ``await`` points in
+serve as well as plain call stacks.
+
+Cross-process propagation: when tracing is on, :class:`~repro.fleet.pool.
+ShardPool` wraps each dispatched command as ``("span", parent_id,
+id_prefix, inner)``.  The worker enables its own tracer under that prefix
+(``w<shard>i<incarnation>.`` — deterministic across restarts), attaches
+the parent id, handles the inner command, and ships its finished spans
+back inside the reply as :class:`SpanRecord` values over the wire codec.
+The parent adopts them on receipt, so one fleet round yields one merged
+span tree covering parent and workers.
+
+Like the registry, the disabled path is observation-free: ``span()``
+returns a shared no-op context manager and nothing is recorded.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import json
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import resolve_clock
+
+__all__ = ["SpanRecord", "Tracer"]
+
+#: Finished spans kept per tracer; older spans fall off the front.
+DEFAULT_SPAN_LIMIT = 4096
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One finished span.  Crosses shard IPC via the wire codec (record 14)."""
+
+    name: str
+    span_id: str
+    parent_id: str  # "" marks a root span
+    start: float
+    end: float
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_record(self, *, include_timing: bool = True) -> dict:
+        record = {
+            "name": self.name,
+            "span": self.span_id,
+            "parent": self.parent_id,
+        }
+        if include_timing:
+            record["start"] = self.start
+            record["end"] = self.end
+        if self.attrs:
+            record["attrs"] = {k: self.attrs[k] for k in sorted(self.attrs)}
+        return record
+
+
+class _NoopSpan:
+    """Shared do-nothing span for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+class _ActiveSpan:
+    __slots__ = ("_tracer", "_name", "_attrs", "_span_id", "_parent", "_start", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self):
+        tracer = self._tracer
+        self._span_id = tracer._next_id()
+        self._parent = tracer._current.get()
+        self._token = tracer._current.set(self._span_id)
+        self._start = tracer.clock()
+        return self
+
+    def set(self, **attrs) -> None:
+        self._attrs.update(attrs)
+
+    def __exit__(self, exc_type, exc, tb):
+        tracer = self._tracer
+        end = tracer.clock()
+        tracer._current.reset(self._token)
+        if exc_type is not None:
+            self._attrs["error"] = exc_type.__name__
+        tracer.finished.append(
+            SpanRecord(
+                name=self._name,
+                span_id=self._span_id,
+                parent_id=self._parent,
+                start=self._start,
+                end=end,
+                attrs=self._attrs,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Creates spans, tracks the current one, and buffers finished records."""
+
+    def __init__(self, clock=None, *, prefix: str = "", limit: int = DEFAULT_SPAN_LIMIT) -> None:
+        self._enabled = False
+        self.clock = clock if clock is not None else resolve_clock()
+        self.prefix = prefix
+        self._sequence = 0
+        self.finished: deque[SpanRecord] = deque(maxlen=limit)
+        self._current = contextvars.ContextVar("repro_obs_span", default="")
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self, *, prefix: str | None = None) -> None:
+        if prefix is not None:
+            self.prefix = prefix
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def clear(self) -> None:
+        self.finished.clear()
+        self._sequence = 0
+
+    def _next_id(self) -> str:
+        span_id = f"{self.prefix}{self._sequence}"
+        self._sequence += 1
+        return span_id
+
+    def span(self, name: str, **attrs):
+        """A context manager span; the shared no-op when tracing is off."""
+        if not self._enabled:
+            return _NOOP
+        return _ActiveSpan(self, name, attrs)
+
+    def current_id(self) -> str:
+        """The active span's id ("" at the root)."""
+        return self._current.get()
+
+    @contextlib.contextmanager
+    def attach(self, parent_id: str):
+        """Make a foreign span id the current parent (worker side of IPC)."""
+        token = self._current.set(parent_id)
+        try:
+            yield
+        finally:
+            self._current.reset(token)
+
+    def adopt(self, spans) -> None:
+        """Merge externally produced spans (a worker's reply) into the buffer."""
+        self.finished.extend(spans)
+
+    def drain(self) -> list[SpanRecord]:
+        """Take and clear every finished span (ships a worker's spans home)."""
+        spans = list(self.finished)
+        self.finished.clear()
+        return spans
+
+    def to_jsonl(self, *, include_timing: bool = True) -> str:
+        """Finished spans as JSONL — the ``GET /spans`` body."""
+        lines = [
+            json.dumps(
+                span.to_record(include_timing=include_timing),
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+            for span in self.finished
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -36,6 +36,7 @@ import json
 import time as _time
 from typing import Mapping
 
+from repro import obs
 from repro.fleet.checkpoint import save_checkpoint
 from repro.fleet.engine import FleetEngine, step_cells
 from repro.fleet.events import CellEvent, CellReconciled
@@ -308,14 +309,22 @@ class ControlPlane:
                         mutation.future.set_exception(crash)
                 raise crash
             try:
-                step = self._apply_round(round_index, events_by_cell)
+                with obs.tracer().span("serve.batch", size=len(batch)):
+                    step = self._apply_round(round_index, events_by_cell)
             except Exception as exc:  # engine invariant broken: fail loudly
                 for mutation in batch:
                     if not mutation.future.done():
                         mutation.future.set_exception(exc)
                 raise
             self.steps.append(step)
-            self.round_seconds.append(_time.perf_counter() - started)
+            elapsed = _time.perf_counter() - started
+            self.round_seconds.append(elapsed)
+            registry = obs.registry()
+            if registry.enabled:
+                registry.counter("serve.rounds").inc()
+                registry.counter("serve.mutations").inc(len(batch))
+                registry.histogram("serve.round_seconds").observe(elapsed)
+                registry.gauge("serve.queue_depth").set(len(self.batcher))
             if (
                 self.checkpoint_path is not None
                 and self.checkpoint_every > 0
@@ -493,7 +502,7 @@ class ControlPlane:
                 payload = await self._post_mutations(request)
                 await write_response(writer, 200, json_body(payload), keep_alive=keep_alive)
                 return
-            if path in ("/healthz", "/config", "/cells", "/metrics", "/digest", "/trace", "/steps"):
+            if path in ("/healthz", "/config", "/cells", "/metrics", "/digest", "/trace", "/steps", "/spans"):
                 raise HttpError(405, f"{path} is read-only (GET)")
             raise HttpError(404, f"no POST route {path!r}")
         if request.method != "GET":
@@ -504,6 +513,28 @@ class ControlPlane:
                 200,
                 DASHBOARD_HTML,
                 content_type="text/html; charset=utf-8",
+                keep_alive=keep_alive,
+            )
+            return
+        if path == "/metrics":
+            accept = request.headers.get("accept", "")
+            if "text/plain" in accept or "openmetrics" in accept:
+                # Prometheus scrape; JSON stays the default so the dashboard
+                # and every existing client keep their shape.
+                await write_response(
+                    writer,
+                    200,
+                    self._prometheus_metrics(),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                    keep_alive=keep_alive,
+                )
+                return
+        if path == "/spans":
+            await write_response(
+                writer,
+                200,
+                obs.tracer().to_jsonl(),
+                content_type="application/x-ndjson",
                 keep_alive=keep_alive,
             )
             return
@@ -566,6 +597,10 @@ class ControlPlane:
             }
         if path == "/digest":
             return {"digest": fleet_digest(fleet), "rounds": self.recorder.rounds}
+        if path == "/spans":
+            # JSON fallback for clients that hit /spans through _get (tests);
+            # the HTTP route serves the raw JSONL body directly.
+            return {"spans": obs.tracer().to_jsonl()}
         if path == "/trace":
             return {
                 "metadata": dict(self.recorder.metadata),
@@ -575,6 +610,28 @@ class ControlPlane:
         if path == "/steps":
             return {"steps": [step.to_record() for step in self.steps]}
         raise HttpError(404, f"no route {path!r}")
+
+    def _prometheus_metrics(self) -> str:
+        """Prometheus text exposition: the core serve block under
+        ``repro_serve_*`` plus the whole observability registry under
+        ``repro_obs_*`` (distinct prefixes, so the two sources can never
+        collide on a family name)."""
+        core = self._get("/metrics")
+        round_seconds = core["round_seconds"]
+        text = obs.render_prometheus(
+            counters={
+                f"repro_serve_{key}": core[key]
+                for key in ("admitted", "rejected", "rounds", "mutations", "dropped_events")
+            },
+            gauges={
+                f"repro_serve_{key}": core[key]
+                for key in ("pending", "subscribers", "spillovers_active")
+            },
+            summaries=(
+                {"repro_serve_round_seconds": round_seconds} if round_seconds else None
+            ),
+        )
+        return text + obs.registry().prometheus_text()
 
     async def _post_mutations(self, request: HttpRequest) -> dict[str, object]:
         payload = request.json()
@@ -586,34 +643,43 @@ class ControlPlane:
             items = [payload]
         futures = []
         admitted = 0
+        registry = obs.registry()
         try:
-            for item in items:
-                if not isinstance(item, Mapping):
-                    raise HttpError(400, "each mutation must be an object")
-                cell = item.get("cell")
-                if cell not in self.fleet.cell_names:
-                    raise HttpError(
-                        400,
-                        f"unknown cell {cell!r}; fleet has {list(self.fleet.cell_names)}",
-                    )
-                record = item.get("event")
-                if not isinstance(record, Mapping):
-                    raise HttpError(400, "mutation needs an 'event' record (schema v1)")
-                try:
-                    event = parse_event(record, default_time=0.0)
-                except TraceError as exc:
-                    raise HttpError(400, str(exc)) from None
-                try:
-                    futures.append(self.batcher.submit(cell, event, dict(record)))
-                except AdmissionFull as exc:
-                    error = HttpError(429, str(exc))
-                    error.retry_after = exc.retry_after
-                    raise error from None
-                admitted += 1
+            with obs.tracer().span("serve.admit", items=len(items)):
+                for item in items:
+                    if not isinstance(item, Mapping):
+                        raise HttpError(400, "each mutation must be an object")
+                    cell = item.get("cell")
+                    if cell not in self.fleet.cell_names:
+                        raise HttpError(
+                            400,
+                            f"unknown cell {cell!r}; fleet has {list(self.fleet.cell_names)}",
+                        )
+                    record = item.get("event")
+                    if not isinstance(record, Mapping):
+                        raise HttpError(400, "mutation needs an 'event' record (schema v1)")
+                    try:
+                        event = parse_event(record, default_time=0.0)
+                    except TraceError as exc:
+                        raise HttpError(400, str(exc)) from None
+                    try:
+                        futures.append(self.batcher.submit(cell, event, dict(record)))
+                    except AdmissionFull as exc:
+                        if registry.enabled:
+                            # Back-pressure signal: queue full, client told 429.
+                            registry.counter("serve.rejected").inc()
+                        error = HttpError(429, str(exc))
+                        error.retry_after = exc.retry_after
+                        raise error from None
+                    admitted += 1
         except HttpError:
             # Partially admitted items still commit (they are queued); the
             # client learns the cutoff from 'admitted' in later retries.
+            if registry.enabled and admitted:
+                registry.counter("serve.admitted").inc(admitted)
             raise
+        if registry.enabled:
+            registry.counter("serve.admitted").inc(admitted)
         results = await asyncio.gather(*futures)
         last = results[-1]
         return {

@@ -43,6 +43,8 @@ DASHBOARD_HTML = """<!doctype html>
   <span class="stat">round <b id="round">–</b></span>
   <span class="stat">admitted <b id="admitted">–</b></span>
   <span class="stat">rejected <b id="rejected">–</b></span>
+  <span class="stat">queue <b id="queue">–</b></span>
+  <span class="stat">round p50/p99 <b id="latency">–</b></span>
   <span class="stat" id="link">connecting…</span>
 </header>
 <main>
@@ -110,6 +112,11 @@ async function pollMetrics() {
     const metrics = await (await fetch("/metrics")).json();
     document.getElementById("admitted").textContent = metrics.admitted;
     document.getElementById("rejected").textContent = metrics.rejected;
+    document.getElementById("queue").textContent = metrics.pending;
+    const rs = metrics.round_seconds || {};
+    document.getElementById("latency").textContent =
+      rs.count ? (1000 * rs.p50).toFixed(1) + "ms / " +
+                 (1000 * rs.p99).toFixed(1) + "ms" : "–";
   } catch (err) { /* server restarting; the ws handler drives reconnect */ }
   setTimeout(pollMetrics, 2000);
 }

@@ -30,6 +30,7 @@ from __future__ import annotations
 import json
 import os
 
+from repro import obs
 from repro.traces.schema import parse_event
 
 #: Journal format version (bump on incompatible record changes).
@@ -83,11 +84,22 @@ class WriteAheadLog:
         os.truncate(self.path, cut)
 
     def _write_line(self, record: dict) -> None:
-        self._handle.write(
-            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
-        )
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        registry = obs.registry()
+        with obs.tracer().span("wal.append"):
+            self._handle.write(
+                json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+            )
+            self._handle.flush()
+            # Timed only when the registry is on: the fsync dominates append
+            # latency and the extra clock reads must not ride the off path.
+            started = registry.clock() if registry.enabled else 0.0
+            with obs.tracer().span("wal.fsync"):
+                os.fsync(self._handle.fileno())
+            if registry.enabled:
+                registry.histogram("wal.fsync_seconds").observe(
+                    registry.clock() - started
+                )
+                registry.counter("wal.appends").inc()
 
     def append_batch(self, round_index: int, mutations) -> None:
         """Journal one admitted batch: ``[(cell, event record), ...]``."""
